@@ -1,0 +1,28 @@
+//! Figure 2 at bench scale: unfair depth-bounded DFS on the Figure 1
+//! program. The measured time (and the reported nonterminating-execution
+//! throughput) grows exponentially with the depth bound — run the `fig2`
+//! binary for the full sweep.
+
+use chess_core::strategy::Dfs;
+use chess_core::{Config, Explorer};
+use chess_workloads::philosophers::figure1;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_unfair_depth_bounded_dfs");
+    group.sample_size(10);
+    for &db in &[12usize, 16, 20] {
+        group.bench_with_input(BenchmarkId::from_parameter(db), &db, |b, &db| {
+            b.iter(|| {
+                let config = Config::unfair().with_depth_bound(db);
+                let report = Explorer::new(figure1, Dfs::new(), config).run();
+                black_box(report.stats.nonterminating)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Figures 5/6 at bench scale: head-to-head search time, fair vs. the
+//! unfair depth-bounded baseline, on the 3-philosopher subject at cb=1.
+//! The fair search completes; the unfair baseline is capped at the same
+//! number of executions the fair search needed — and still covers fewer
+//! states (see the `fig5_fig6` binary for the full log-scale series).
+
+use chess_core::strategy::ContextBounded;
+use chess_core::{Config, Explorer};
+use chess_workloads::philosophers::{philosophers, PhilosophersConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fair_vs_unfair(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_phil3_cb1");
+    group.sample_size(10);
+    let factory = || philosophers(PhilosophersConfig::table2(3));
+
+    // Calibrate: how many executions does the complete fair search take?
+    let fair_execs = {
+        let config = Config::fair().with_detect_cycles(false);
+        Explorer::new(factory, ContextBounded::new(1), config)
+            .run()
+            .stats
+            .executions
+    };
+
+    group.bench_function("fair_complete", |b| {
+        b.iter(|| {
+            let config = Config::fair().with_detect_cycles(false);
+            let report = Explorer::new(factory, ContextBounded::new(1), config).run();
+            black_box(report.stats.executions)
+        })
+    });
+    group.bench_function("unfair_db30_same_executions", |b| {
+        b.iter(|| {
+            let config = Config::unfair()
+                .with_depth_bound(1_200)
+                .with_max_executions(fair_execs);
+            let report =
+                Explorer::new(factory, ContextBounded::with_horizon(1, 30), config).run();
+            black_box(report.stats.executions)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fair_vs_unfair);
+criterion_main!(benches);

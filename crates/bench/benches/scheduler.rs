@@ -1,0 +1,87 @@
+//! Microbenchmarks of the fair scheduler's bookkeeping (Algorithm 1) and
+//! the kernel's transition machinery — the per-step overhead fairness
+//! adds to a stateless search.
+
+use chess_core::{FairScheduler, TransitionSystem};
+use chess_kernel::{ThreadId, TidSet};
+use chess_workloads::spinloop::figure3;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_fair_scheduler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fair_scheduler_step");
+    for &n in &[2usize, 8, 32, 128] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let es = TidSet::full(n);
+            b.iter_batched(
+                || FairScheduler::new(n),
+                |mut fair| {
+                    // One window's worth of work for each thread.
+                    for i in 0..n {
+                        let t = ThreadId::new(i);
+                        let schedulable = fair.schedulable(black_box(&es));
+                        black_box(&schedulable);
+                        fair.on_scheduled(t, &es, &es, i % 3 == 0);
+                    }
+                    fair
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_tidset(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tidset");
+    let a = TidSet::full(128);
+    let b_set: TidSet = (0..128)
+        .step_by(3)
+        .map(ThreadId::new)
+        .collect();
+    group.bench_function("union_128", |b| {
+        b.iter(|| black_box(&a).union(black_box(&b_set)))
+    });
+    group.bench_function("difference_128", |b| {
+        b.iter(|| black_box(&a).difference(black_box(&b_set)))
+    });
+    group.bench_function("iter_128", |b| {
+        b.iter(|| black_box(&a).iter().map(|t| t.index()).sum::<usize>())
+    });
+    group.finish();
+}
+
+fn bench_kernel_execution(c: &mut Criterion) {
+    c.bench_function("kernel_execution_figure3_round_robin", |b| {
+        b.iter(|| {
+            let mut k = figure3();
+            let mut rr = 0usize;
+            while TransitionSystem::status(&k).is_running() {
+                let n = k.thread_count();
+                let t = (0..n)
+                    .map(|i| ThreadId::new((rr + i) % n))
+                    .find(|&t| k.enabled(t))
+                    .unwrap();
+                k.step(t, 0);
+                rr = (t.index() + 1) % n;
+            }
+            black_box(k.stats().steps)
+        })
+    });
+}
+
+fn bench_fingerprint(c: &mut Criterion) {
+    let k = figure3();
+    c.bench_function("state_fingerprint_figure3", |b| {
+        b.iter(|| black_box(&k).fingerprint())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_fair_scheduler,
+    bench_tidset,
+    bench_kernel_execution,
+    bench_fingerprint
+);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Table 2 at bench scale: complete fair context-bounded coverage runs on
+//! the two coverage subjects — the searches whose state counts Table 2
+//! reports. Run the `table2` binary for the full grid.
+
+use chess_core::strategy::ContextBounded;
+use chess_core::{Config, Explorer};
+use chess_state::CoverageTracker;
+use chess_workloads::philosophers::{philosophers, PhilosophersConfig};
+use chess_workloads::wsq::{wsq, WsqConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fair_coverage(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_fair_coverage");
+    group.sample_size(10);
+    group.bench_function("phil3_cb2", |b| {
+        b.iter(|| {
+            let factory = || philosophers(PhilosophersConfig::table2(3));
+            let mut cov = CoverageTracker::new();
+            let config = Config::fair().with_detect_cycles(false);
+            Explorer::new(factory, ContextBounded::new(2), config).run_observed(&mut cov);
+            black_box(cov.distinct_states())
+        })
+    });
+    group.bench_function("wsq1_cb1", |b| {
+        b.iter(|| {
+            let factory = || wsq(WsqConfig::table2(1));
+            let mut cov = CoverageTracker::new();
+            let config = Config::fair().with_detect_cycles(false);
+            Explorer::new(factory, ContextBounded::new(1), config).run_observed(&mut cov);
+            black_box(cov.distinct_states())
+        })
+    });
+    group.finish();
+}
+
+fn bench_stateful_reference(c: &mut Criterion) {
+    use chess_state::{StateGraph, StatefulLimits};
+    let mut group = c.benchmark_group("table2_stateful_reference");
+    group.sample_size(10);
+    group.bench_function("phil3_total_states", |b| {
+        b.iter(|| {
+            let g = StateGraph::build(
+                &philosophers(PhilosophersConfig::table2(3)),
+                StatefulLimits::default(),
+            )
+            .unwrap();
+            black_box(g.state_count())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fair_coverage, bench_stateful_reference);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Table 3 at bench scale: time-to-first-bug for the seeded bugs with
+//! the fair context-bounded search. Run the `table3` binary for the full
+//! fair-vs-unfair comparison.
+
+use chess_core::strategy::ContextBounded;
+use chess_core::{Config, Explorer};
+use chess_workloads::channels::{fifo_pipeline, ChannelBug, FifoConfig};
+use chess_workloads::wsq::{wsq, WsqBug, WsqConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_bug_hunts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_fair_bug_hunt");
+    group.sample_size(10);
+    group.bench_function("wsq_bug2_unsynchronized_steal", |b| {
+        b.iter(|| {
+            let factory = || wsq(WsqConfig::with_bug(WsqBug::UnsynchronizedSteal));
+            let config = Config::fair().with_detect_cycles(false);
+            let report = Explorer::new(factory, ContextBounded::new(2), config).run();
+            assert!(report.outcome.found_error());
+            black_box(report.stats.executions)
+        })
+    });
+    group.bench_function("channel_bug1_credit_leak", |b| {
+        b.iter(|| {
+            let factory = || fifo_pipeline(FifoConfig::with_bug(ChannelBug::CreditLeak));
+            let config = Config::fair().with_detect_cycles(false);
+            let report = Explorer::new(factory, ContextBounded::new(2), config).run();
+            assert!(report.outcome.found_error());
+            black_box(report.stats.executions)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_bug_hunts);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Ablation study (DESIGN.md §6): the paper's window-set penalty rule
+//! versus naive all-enabled penalization, and the `k`-yield parameter —
+//! showing why Algorithm 1's careful `H = (E ∪ D) \ S` matters for
+//! coverage.
+
+use chess_bench::{ablation, persist, Budget, TextTable};
+
+fn main() {
+    let budget = Budget::from_env();
+    eprintln!("ablation: fair cb=2 coverage, budget {:?}/cell", budget.per_cell);
+    let rows = ablation(budget);
+    let mut t = TextTable::new(["Subject", "Variant", "states", "execs", "time s"]);
+    for r in &rows {
+        t.row([
+            r.subject.clone(),
+            r.variant.clone(),
+            format!("{}{}", r.states, if r.completed { "" } else { "*" }),
+            r.executions.to_string(),
+            format!("{:.2}", r.secs),
+        ]);
+    }
+    let text = t.render();
+    println!("{text}");
+    persist("ablation", &text, &serde_json::to_value(&rows).unwrap());
+}

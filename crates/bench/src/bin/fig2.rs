@@ -1,0 +1,36 @@
+//! Figure 2: the number of nonterminating executions explored by
+//! depth-bounded stateless search (no fairness) grows exponentially with
+//! the depth bound, on the Figure 1 dining-philosophers program.
+
+use chess_bench::{figure2, log_bars, persist, Budget, TextTable};
+
+fn main() {
+    let budget = Budget::from_env();
+    let dbs = [15usize, 20, 25, 30, 35, 40];
+    eprintln!(
+        "figure 2: unfair depth-bounded DFS on Figure 1, db in {dbs:?} \
+         (budget {:?}/cell)",
+        budget.per_cell
+    );
+    let points = figure2(budget, &dbs);
+
+    let mut t = TextTable::new(["depth bound", "nonterminating execs", "total execs", "time (s)"]);
+    for p in &points {
+        t.row([
+            p.db.to_string(),
+            format!("{}{}", p.nonterminating, if p.completed { "" } else { "*" }),
+            p.executions.to_string(),
+            format!("{:.2}", p.secs),
+        ]);
+    }
+    let bars = log_bars(
+        &points
+            .iter()
+            .map(|p| (format!("db={}", p.db), p.nonterminating as f64))
+            .collect::<Vec<_>>(),
+        "nonterminating executions (log scale)",
+    );
+    let text = format!("{}\n{}", t.render(), bars);
+    println!("{text}");
+    persist("fig2", &text, &serde_json::to_value(&points).unwrap());
+}

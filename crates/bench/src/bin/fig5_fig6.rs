@@ -1,0 +1,56 @@
+//! Figures 5 and 6: time to complete the state-space search for the
+//! dining philosophers (3) and the work-stealing queue (2 stealers),
+//! per strategy, fair vs. unfair with depth bounds 20–60 (log scale).
+//! Fair search is exponentially faster without sacrificing coverage.
+
+use chess_bench::{log_bars, persist, table2_subject, Budget, Table2Subject};
+use chess_workloads::philosophers::{philosophers, PhilosophersConfig};
+use chess_workloads::wsq::{wsq, WsqConfig};
+
+fn render(subject: &Table2Subject) -> String {
+    let mut text = format!("\n== {} — time to complete search (seconds) ==\n", subject.name);
+    for row in &subject.rows {
+        text.push_str(&format!("\n[{}]\n", row.strategy));
+        let mut pts = vec![("fair".to_string(), row.fair.secs.max(1e-6))];
+        for u in &row.unfair {
+            pts.push((
+                format!(
+                    "nf db={}{}",
+                    u.db,
+                    if u.cell.completed { "" } else { " *" }
+                ),
+                u.cell.secs.max(1e-6),
+            ));
+        }
+        text.push_str(&log_bars(&pts, "s"));
+    }
+    text
+}
+
+fn main() {
+    let budget = Budget::from_env();
+    let dbs = [20usize, 30, 40, 50, 60];
+    eprintln!(
+        "figures 5/6: phil(3) and wsq(2), budget {:?}/cell",
+        budget.per_cell
+    );
+    let fig5 = table2_subject(
+        "Figure 5: Dining philosophers (3)",
+        || philosophers(PhilosophersConfig::table2(3)),
+        budget,
+        &dbs,
+    );
+    let fig6 = table2_subject(
+        "Figure 6: Work-stealing queue (2 stealers)",
+        || wsq(WsqConfig::table2(2)),
+        budget,
+        &dbs,
+    );
+    let text = format!("{}{}", render(&fig5), render(&fig6));
+    println!("{text}");
+    persist(
+        "fig5_fig6",
+        &text,
+        &serde_json::to_value([&fig5, &fig6]).unwrap(),
+    );
+}

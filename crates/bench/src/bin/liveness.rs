@@ -1,0 +1,23 @@
+//! §4.3: the two liveness violations — the worker pool's good-samaritan
+//! violation (Figure 7) and the Promise livelock (Figure 8) — found by
+//! the fair search, and the unfair baseline's inability to report either.
+
+use chess_bench::{liveness, persist, Budget, TextTable};
+
+fn main() {
+    let budget = Budget::from_env();
+    let rows = liveness(budget);
+    let mut t = TextTable::new(["Program", "Fair search", "execs", "time s", "Unfair baseline"]);
+    for r in &rows {
+        t.row([
+            r.program.clone(),
+            r.fair_outcome.clone(),
+            r.fair_executions.to_string(),
+            format!("{:.2}", r.fair_secs),
+            r.unfair_outcome.clone(),
+        ]);
+    }
+    let text = t.render();
+    println!("{text}");
+    persist("liveness", &text, &serde_json::to_value(&rows).unwrap());
+}

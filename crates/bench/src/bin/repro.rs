@@ -1,0 +1,23 @@
+//! Runs the complete reproduction — every table and figure — and writes
+//! all artifacts into `results/`. Budget per search cell comes from
+//! `REPRO_BUDGET_SECS` (default 10; the paper used 5000).
+
+use std::process::Command;
+
+fn main() {
+    let exes = ["table1", "fig2", "table2", "fig5_fig6", "table3", "liveness", "ablation"];
+    // Re-exec the sibling binaries so each experiment is isolated and
+    // this binary stays a thin driver.
+    let me = std::env::current_exe().expect("current_exe");
+    let dir = me.parent().expect("bin dir").to_path_buf();
+    for exe in exes {
+        println!("\n########## {exe} ##########");
+        let status = Command::new(dir.join(exe))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to run {exe}: {e}"));
+        if !status.success() {
+            eprintln!("{exe} exited with {status}");
+        }
+    }
+    println!("\nall artifacts written to results/");
+}

@@ -1,0 +1,20 @@
+//! Table 1: characteristics of the input programs — lines of workload
+//! code, threads per execution, synchronization operations per execution.
+
+use chess_bench::{persist, table1, TextTable};
+
+fn main() {
+    let rows = table1();
+    let mut t = TextTable::new(["Program", "LOC", "Threads", "Synch Ops"]);
+    for r in &rows {
+        t.row([
+            r.program.clone(),
+            r.loc.to_string(),
+            r.threads.to_string(),
+            r.sync_ops.to_string(),
+        ]);
+    }
+    let text = t.render();
+    println!("{text}");
+    persist("table1", &text, &serde_json::to_value(&rows).unwrap());
+}

@@ -1,0 +1,44 @@
+//! Table 2: states visited for the context-bounded and depth-first
+//! strategies, with and without fairness, on the two coverage subjects
+//! (dining philosophers and the work-stealing queue, two configurations
+//! each). Unfair search is pruned at a depth bound `db` and completed
+//! with a random tail; `*` marks cells whose search did not finish
+//! within the budget — both exactly as in the paper.
+
+use chess_bench::{persist, table2_all, Budget, TextTable};
+
+fn main() {
+    let budget = Budget::from_env();
+    let dbs = [20usize, 30, 40, 50, 60];
+    eprintln!(
+        "table 2: 4 subjects x 4 strategies x (fair + {} unfair dbs), \
+         budget {:?}/cell — this takes a while",
+        dbs.len(),
+        budget.per_cell
+    );
+    let subjects = table2_all(budget, &dbs);
+
+    let mut text = String::new();
+    for s in &subjects {
+        text.push_str(&format!("\n== {} ==\n", s.name));
+        let mut header = vec![
+            "strategy".to_string(),
+            "total".to_string(),
+            "fair".to_string(),
+        ];
+        header.extend(dbs.iter().map(|db| format!("db={db}")));
+        let mut t = TextTable::new(header);
+        for row in &s.rows {
+            let mut cells = vec![
+                row.strategy.clone(),
+                row.total.map_or("?".to_string(), |v| v.to_string()),
+                row.fair.states_str(),
+            ];
+            cells.extend(row.unfair.iter().map(|u| u.cell.states_str()));
+            t.row(cells);
+        }
+        text.push_str(&t.render());
+    }
+    println!("{text}");
+    persist("table2", &text, &serde_json::to_value(&subjects).unwrap());
+}

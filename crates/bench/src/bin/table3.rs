@@ -1,0 +1,42 @@
+//! Table 3: number of executions and time required to find the seeded
+//! bugs in the work-stealing queue and the channel pipeline, with and
+//! without fairness. The unfair baseline uses the paper's configuration:
+//! preemption bound 2, backtracking horizon db=250, random tail.
+
+use chess_bench::{persist, table3, Budget, TextTable};
+
+fn main() {
+    let budget = Budget::from_env();
+    eprintln!("table 3: 7 bugs x 2 searches, budget {:?}/cell", budget.per_cell);
+    let rows = table3(budget);
+
+    let mut t = TextTable::new([
+        "Bug",
+        "execs (fair)",
+        "execs (unfair)",
+        "time s (fair)",
+        "time s (unfair)",
+    ]);
+    for r in &rows {
+        let unfair_execs = if r.without_fairness.found {
+            r.without_fairness.executions.to_string()
+        } else {
+            "-".to_string()
+        };
+        let unfair_secs = if r.without_fairness.found {
+            format!("{:.2}", r.without_fairness.secs)
+        } else {
+            format!(">{:.0}", r.without_fairness.secs)
+        };
+        t.row([
+            r.bug.clone(),
+            r.with_fairness.executions.to_string(),
+            unfair_execs,
+            format!("{:.2}", r.with_fairness.secs),
+            unfair_secs,
+        ]);
+    }
+    let text = t.render();
+    println!("{text}");
+    persist("table3", &text, &serde_json::to_value(&rows).unwrap());
+}

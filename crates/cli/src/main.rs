@@ -1,0 +1,29 @@
+//! `fair-chess` — command-line front end for the fair stateless model
+//! checker.
+//!
+//! ```text
+//! fair-chess list
+//! fair-chess check <workload> [--bug <bug>] [options]
+//! fair-chess cover <workload> [options]
+//! fair-chess truth <workload> [--bug <bug>]
+//! ```
+//!
+//! Run `fair-chess help` for the full option list.
+
+mod opts;
+mod registry;
+mod run;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match opts::parse(&args) {
+        Ok(cmd) => run::execute(cmd),
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprintln!("{}", opts::USAGE);
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! Hand-rolled argument parsing (the workspace deliberately has no CLI
+//! dependency).
+
+use std::fmt;
+use std::time::Duration;
+
+/// Usage text for `help` and parse errors.
+pub const USAGE: &str = "\
+fair-chess — fair stateless model checking (PLDI 2008) for the bundled workloads
+
+USAGE:
+    fair-chess list
+        List workloads and their seedable bugs.
+
+    fair-chess check <workload> [--bug <bug>] [options]
+        Model-check the workload; print the outcome and, for errors, the
+        reproducing trace.
+
+    fair-chess cover <workload> [options]
+        Measure distinct-state coverage of the search and compare with the
+        stateful total (where feasible).
+
+    fair-chess truth <workload> [--bug <bug>]
+        Stateful ground truth: reachable states, deadlocks, violations,
+        and the Streett fair-cycle (livelock) check.
+
+OPTIONS:
+    --bug <name>          Seed a bug (see `fair-chess list`).
+    --strategy <s>        dfs | cb:<N> | random:<seed>   [default: dfs]
+    --unfair              Disable the fair scheduler (baseline mode).
+    --db <N>              Backtracking horizon with a random tail
+                          (the paper's unfair baseline configuration).
+    --depth-bound <N>     Max transitions per execution [default: 100000].
+    --max-executions <N>  Execution budget.
+    --time-budget <SECS>  Wall-clock budget [default: 60 when no
+                          execution budget is given either].
+    --k <N>               Fairness k parameter (process every k-th yield).
+    --no-trace            Do not print the counterexample trace.
+";
+
+/// The strategy selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StrategyOpt {
+    /// Exhaustive depth-first search.
+    Dfs,
+    /// Context-bounded search with the given preemption bound.
+    Cb(u32),
+    /// Random walk with the given seed.
+    Random(u64),
+}
+
+/// Options shared by `check` and `cover`.
+#[derive(Debug, Clone)]
+pub struct RunOpts {
+    pub workload: String,
+    pub bug: Option<String>,
+    pub strategy: StrategyOpt,
+    pub fair: bool,
+    pub db: Option<usize>,
+    pub depth_bound: usize,
+    pub max_executions: Option<u64>,
+    pub time_budget: Option<Duration>,
+    pub k: u64,
+    pub trace: bool,
+}
+
+impl Default for RunOpts {
+    fn default() -> Self {
+        RunOpts {
+            workload: String::new(),
+            bug: None,
+            strategy: StrategyOpt::Dfs,
+            fair: true,
+            db: None,
+            depth_bound: 100_000,
+            max_executions: None,
+            time_budget: None,
+            k: 1,
+            trace: true,
+        }
+    }
+}
+
+/// A parsed command line.
+#[derive(Debug, Clone)]
+pub enum Command {
+    /// `fair-chess list`
+    List,
+    /// `fair-chess help`
+    Help,
+    /// `fair-chess check ...`
+    Check(RunOpts),
+    /// `fair-chess cover ...`
+    Cover(RunOpts),
+    /// `fair-chess truth <workload> [--bug ...]`
+    Truth(RunOpts),
+}
+
+/// A parse failure with a human-readable message.
+#[derive(Debug)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError(msg.into()))
+}
+
+fn parse_strategy(s: &str) -> Result<StrategyOpt, ParseError> {
+    if s == "dfs" {
+        return Ok(StrategyOpt::Dfs);
+    }
+    if let Some(n) = s.strip_prefix("cb:") {
+        return match n.parse() {
+            Ok(n) => Ok(StrategyOpt::Cb(n)),
+            Err(_) => err(format!("invalid preemption bound in '{s}'")),
+        };
+    }
+    if let Some(seed) = s.strip_prefix("random:") {
+        return match seed.parse() {
+            Ok(seed) => Ok(StrategyOpt::Random(seed)),
+            Err(_) => err(format!("invalid seed in '{s}'")),
+        };
+    }
+    err(format!(
+        "unknown strategy '{s}' (expected dfs, cb:<N>, or random:<seed>)"
+    ))
+}
+
+fn parse_run_opts(args: &[String]) -> Result<RunOpts, ParseError> {
+    let mut opts = RunOpts::default();
+    let mut it = args.iter();
+    let Some(workload) = it.next() else {
+        return err("missing workload name");
+    };
+    if workload.starts_with('-') {
+        return err("the workload name must come before options");
+    }
+    opts.workload = workload.clone();
+
+    let next_value = |flag: &str, it: &mut std::slice::Iter<'_, String>| {
+        it.next()
+            .cloned()
+            .ok_or_else(|| ParseError(format!("{flag} needs a value")))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--bug" => opts.bug = Some(next_value("--bug", &mut it)?),
+            "--strategy" => {
+                opts.strategy = parse_strategy(&next_value("--strategy", &mut it)?)?;
+            }
+            "--unfair" => opts.fair = false,
+            "--db" => {
+                opts.db = Some(parse_num("--db", &next_value("--db", &mut it)?)?);
+            }
+            "--depth-bound" => {
+                opts.depth_bound =
+                    parse_num("--depth-bound", &next_value("--depth-bound", &mut it)?)?;
+            }
+            "--max-executions" => {
+                opts.max_executions = Some(parse_num(
+                    "--max-executions",
+                    &next_value("--max-executions", &mut it)?,
+                )? as u64);
+            }
+            "--time-budget" => {
+                let secs: f64 = next_value("--time-budget", &mut it)?
+                    .parse()
+                    .map_err(|_| ParseError("--time-budget needs seconds".into()))?;
+                opts.time_budget = Some(Duration::from_secs_f64(secs));
+            }
+            "--k" => opts.k = parse_num("--k", &next_value("--k", &mut it)?)? as u64,
+            "--no-trace" => opts.trace = false,
+            other => return err(format!("unknown option '{other}'")),
+        }
+    }
+    Ok(opts)
+}
+
+fn parse_num(flag: &str, s: &str) -> Result<usize, ParseError> {
+    s.parse()
+        .map_err(|_| ParseError(format!("{flag} needs a number, got '{s}'")))
+}
+
+/// Parses a full command line (without the program name).
+pub fn parse(args: &[String]) -> Result<Command, ParseError> {
+    let Some(cmd) = args.first() else {
+        return Ok(Command::Help);
+    };
+    match cmd.as_str() {
+        "list" => Ok(Command::List),
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "check" => Ok(Command::Check(parse_run_opts(&args[1..])?)),
+        "cover" => Ok(Command::Cover(parse_run_opts(&args[1..])?)),
+        "truth" => Ok(Command::Truth(parse_run_opts(&args[1..])?)),
+        other => err(format!("unknown command '{other}'")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_check_with_options() {
+        let cmd = parse(&s(&[
+            "check",
+            "wsq",
+            "--bug",
+            "bug2",
+            "--strategy",
+            "cb:2",
+            "--max-executions",
+            "100",
+        ]))
+        .unwrap();
+        let Command::Check(o) = cmd else {
+            panic!("expected check")
+        };
+        assert_eq!(o.workload, "wsq");
+        assert_eq!(o.bug.as_deref(), Some("bug2"));
+        assert_eq!(o.strategy, StrategyOpt::Cb(2));
+        assert_eq!(o.max_executions, Some(100));
+        assert!(o.fair);
+    }
+
+    #[test]
+    fn parses_unfair_baseline() {
+        let cmd = parse(&s(&["cover", "philosophers", "--unfair", "--db", "30"])).unwrap();
+        let Command::Cover(o) = cmd else {
+            panic!("expected cover")
+        };
+        assert!(!o.fair);
+        assert_eq!(o.db, Some(30));
+    }
+
+    #[test]
+    fn rejects_unknown_strategy() {
+        assert!(parse(&s(&["check", "wsq", "--strategy", "bfs"])).is_err());
+    }
+
+    #[test]
+    fn rejects_missing_workload() {
+        assert!(parse(&s(&["check"])).is_err());
+        assert!(parse(&s(&["check", "--bug", "x"])).is_err());
+    }
+
+    #[test]
+    fn empty_args_show_help() {
+        assert!(matches!(parse(&[]).unwrap(), Command::Help));
+    }
+
+    #[test]
+    fn random_strategy_seed() {
+        let cmd = parse(&s(&["check", "miniboot", "--strategy", "random:42"])).unwrap();
+        let Command::Check(o) = cmd else {
+            panic!()
+        };
+        assert_eq!(o.strategy, StrategyOpt::Random(42));
+    }
+}

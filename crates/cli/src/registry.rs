@@ -1,0 +1,131 @@
+//! The workload registry: names, descriptions, and seedable bugs.
+
+/// Descriptor of one bundled workload.
+pub struct WorkloadInfo {
+    /// CLI name.
+    pub name: &'static str,
+    /// One-line description.
+    pub about: &'static str,
+    /// Seedable bugs as `(name, description)` pairs.
+    pub bugs: &'static [(&'static str, &'static str)],
+}
+
+/// All bundled workloads.
+pub const WORKLOADS: &[WorkloadInfo] = &[
+    WorkloadInfo {
+        name: "counter",
+        about: "mutex-protected shared counter (teaching example)",
+        bugs: &[("racy", "unprotected load/store increments lose updates")],
+    },
+    WorkloadInfo {
+        name: "spinloop",
+        about: "Figure 3: a thread spinning (with yields) on a flag",
+        bugs: &[("no-yield", "spin loop without yields: good-samaritan violation")],
+    },
+    WorkloadInfo {
+        name: "philosophers",
+        about: "dining philosophers, fair-terminating ordered-trylock variant (3 seats)",
+        bugs: &[
+            ("figure1", "Figure 1's ring try-lock protocol: livelock"),
+            ("figure1-polite", "Figure 1 plus polite retry yields: pure livelock"),
+        ],
+    },
+    WorkloadInfo {
+        name: "wsq",
+        about: "Cilk-THE work-stealing queue, owner + 2 thieves",
+        bugs: &[
+            ("unlocked-pop", "owner's conflict pop path skips the lock"),
+            ("unsync-steal", "steal path without the lock: double take"),
+            ("lost-tail", "conflict path forgets to restore the tail: lost item"),
+        ],
+    },
+    WorkloadInfo {
+        name: "promise",
+        about: "promise library with spin-wait consumers",
+        bugs: &[("stale-spin", "Figure 8: spin on a stale local copy — livelock")],
+    },
+    WorkloadInfo {
+        name: "workerpool",
+        about: "worker-group task pool with two-level stop flags",
+        bugs: &[("figure7", "Idle returns without yielding during shutdown: GS violation")],
+    },
+    WorkloadInfo {
+        name: "channels",
+        about: "Dryad-like credit-based channel pipeline with a polling sink",
+        bugs: &[
+            ("credit-leak", "fast path skips a credit return: livelock"),
+            ("racy-seq", "fan-in workers allocate log slots without the lock"),
+            ("eager-shutdown", "relay closes on the done flag without draining"),
+            ("draining-shutdown", "the incorrect fix: drains but misses in-flight messages"),
+        ],
+    },
+    WorkloadInfo {
+        name: "boundedbuffer",
+        about: "condition-variable bounded buffer (monitor)",
+        bugs: &[
+            ("if-bug", "guard re-checked with `if` instead of `while`"),
+            ("lost-wakeup", "one shared condvar with single signals"),
+        ],
+    },
+    WorkloadInfo {
+        name: "treiber",
+        about: "lock-free Treiber stack over a CAS'd head word",
+        bugs: &[("aba", "unversioned head word: the classic ABA corruption")],
+    },
+    WorkloadInfo {
+        name: "rwcache",
+        about: "rwlock-guarded read-mostly cache",
+        bugs: &[("upgrade-race", "refresh value precomputed under the read lock")],
+    },
+    WorkloadInfo {
+        name: "bsp",
+        about: "barrier-synchronized bulk-parallel computation",
+        bugs: &[("elided-barrier", "reduction consumed before the post-reduce barrier")],
+    },
+    WorkloadInfo {
+        name: "miniboot",
+        about: "mini-OS boot/shutdown, 2 services (exhaustively checkable)",
+        bugs: &[],
+    },
+    WorkloadInfo {
+        name: "miniboot-full",
+        about: "mini-OS boot/shutdown, 13 services + controller (14 threads)",
+        bugs: &[],
+    },
+];
+
+/// Renders the `list` command output.
+pub fn render_list() -> String {
+    let mut out = String::from("available workloads:\n");
+    for w in WORKLOADS {
+        out.push_str(&format!("  {:<16} {}\n", w.name, w.about));
+        for (bug, about) in w.bugs {
+            out.push_str(&format!("      --bug {:<18} {}\n", bug, about));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = WORKLOADS.iter().map(|w| w.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), WORKLOADS.len());
+    }
+
+    #[test]
+    fn list_mentions_every_workload_and_bug() {
+        let text = render_list();
+        for w in WORKLOADS {
+            assert!(text.contains(w.name));
+            for (bug, _) in w.bugs {
+                assert!(text.contains(bug), "missing bug {bug}");
+            }
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! Command execution: wiring the parsed options to the checker.
+
+use std::process::ExitCode;
+
+use chess_core::strategy::{ContextBounded, Dfs, RandomWalk, Strategy};
+use chess_core::{Config, Explorer, SearchOutcome};
+use chess_kernel::{Capture, Kernel};
+use chess_state::{CoverageTracker, StateGraph, StatefulError, StatefulLimits};
+use chess_workloads::boundedbuffer::{bounded_buffer, BufferBug, BufferConfig};
+use chess_workloads::bsp::{bsp, BspConfig};
+use chess_workloads::channels::{fifo_pipeline, ChannelBug, FifoConfig};
+use chess_workloads::miniboot::{miniboot, BootConfig};
+use chess_workloads::philosophers::{figure1, figure1_polite, philosophers, PhilosophersConfig};
+use chess_workloads::promise::{figure8, promises, PromiseConfig};
+use chess_workloads::rwcache::{rw_cache, RwCacheConfig};
+use chess_workloads::simple::{locked_counter, racy_counter};
+use chess_workloads::spinloop::{figure3, spinloop};
+use chess_workloads::treiber::{treiber_stack, TreiberConfig};
+use chess_workloads::workerpool::{figure7, worker_pool, PoolConfig};
+use chess_workloads::wsq::{wsq, WsqBug, WsqConfig};
+
+use crate::opts::{Command, RunOpts, StrategyOpt};
+use crate::registry;
+
+/// Runs a parsed command.
+pub fn execute(cmd: Command) -> ExitCode {
+    match cmd {
+        Command::Help => {
+            println!("{}", crate::opts::USAGE);
+            ExitCode::SUCCESS
+        }
+        Command::List => {
+            print!("{}", registry::render_list());
+            ExitCode::SUCCESS
+        }
+        Command::Check(o) => dispatch(&o, Mode::Check),
+        Command::Cover(o) => dispatch(&o, Mode::Cover),
+        Command::Truth(o) => dispatch(&o, Mode::Truth),
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Check,
+    Cover,
+    Truth,
+}
+
+/// Monomorphized dispatch from (workload, bug) strings to factories.
+fn dispatch(o: &RunOpts, mode: Mode) -> ExitCode {
+    macro_rules! go {
+        ($factory:expr) => {{
+            let factory = $factory;
+            match mode {
+                Mode::Check => do_check(factory, o),
+                Mode::Cover => do_cover(factory, o),
+                Mode::Truth => do_truth(factory),
+            }
+        }};
+    }
+    match (o.workload.as_str(), o.bug.as_deref()) {
+        ("counter", None) => go!(|| locked_counter(2)),
+        ("counter", Some("racy")) => go!(|| racy_counter(2)),
+        ("spinloop", None) => go!(figure3),
+        ("spinloop", Some("no-yield")) => go!(|| spinloop(1, false)),
+        ("philosophers", None) => go!(|| philosophers(PhilosophersConfig::table2(3))),
+        ("philosophers", Some("figure1")) => go!(figure1),
+        ("philosophers", Some("figure1-polite")) => go!(figure1_polite),
+        ("wsq", None) => go!(|| wsq(WsqConfig::table2(2))),
+        ("wsq", Some("unlocked-pop")) => {
+            go!(|| wsq(WsqConfig::with_bug(WsqBug::UnlockedConflictPop)))
+        }
+        ("wsq", Some("unsync-steal")) => {
+            go!(|| wsq(WsqConfig::with_bug(WsqBug::UnsynchronizedSteal)))
+        }
+        ("wsq", Some("lost-tail")) => go!(|| wsq(WsqConfig::with_bug(WsqBug::LostTailRestore))),
+        ("promise", None) => go!(|| promises(PromiseConfig::correct())),
+        ("promise", Some("stale-spin")) => go!(figure8),
+        ("workerpool", None) => go!(|| worker_pool(PoolConfig::correct())),
+        ("workerpool", Some("figure7")) => go!(figure7),
+        ("channels", None) => go!(|| fifo_pipeline(FifoConfig::correct_fanin())),
+        ("channels", Some("credit-leak")) => {
+            go!(|| fifo_pipeline(FifoConfig::with_bug(ChannelBug::CreditLeak)))
+        }
+        ("channels", Some("racy-seq")) => {
+            go!(|| fifo_pipeline(FifoConfig::with_bug(ChannelBug::RacySequence)))
+        }
+        ("channels", Some("eager-shutdown")) => {
+            go!(|| fifo_pipeline(FifoConfig::with_bug(ChannelBug::EagerShutdown)))
+        }
+        ("channels", Some("draining-shutdown")) => {
+            go!(|| fifo_pipeline(FifoConfig::with_bug(ChannelBug::DrainingShutdown)))
+        }
+        ("boundedbuffer", None) => go!(|| bounded_buffer(BufferConfig::correct())),
+        ("boundedbuffer", Some("if-bug")) => {
+            go!(|| bounded_buffer(BufferConfig::with_bug(BufferBug::IfInsteadOfWhile)))
+        }
+        ("boundedbuffer", Some("lost-wakeup")) => {
+            go!(|| bounded_buffer(BufferConfig::with_bug(BufferBug::SharedCondvarSignal)))
+        }
+        ("rwcache", None) => go!(|| rw_cache(RwCacheConfig::correct())),
+        ("rwcache", Some("upgrade-race")) => go!(|| rw_cache(RwCacheConfig::upgrade_race())),
+        ("bsp", None) => go!(|| bsp(BspConfig::correct())),
+        ("bsp", Some("elided-barrier")) => go!(|| bsp(BspConfig::elided_barrier())),
+        ("treiber", None) => go!(|| treiber_stack(TreiberConfig::correct())),
+        ("treiber", Some("aba")) => go!(|| treiber_stack(TreiberConfig::aba())),
+        ("miniboot", None) => go!(|| miniboot(BootConfig::small())),
+        ("miniboot-full", None) => go!(|| miniboot(BootConfig::full())),
+        (w, b) => {
+            match b {
+                Some(b) => eprintln!("error: unknown workload/bug combination '{w}' / '{b}'"),
+                None => eprintln!("error: unknown workload '{w}'"),
+            }
+            eprintln!("\n{}", registry::render_list());
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn build_strategy(o: &RunOpts) -> Box<dyn Strategy> {
+    match (o.strategy, o.db) {
+        (StrategyOpt::Dfs, None) => Box::new(Dfs::new()),
+        (StrategyOpt::Dfs, Some(db)) => Box::new(Dfs::with_horizon(db)),
+        (StrategyOpt::Cb(b), None) => Box::new(ContextBounded::new(b)),
+        (StrategyOpt::Cb(b), Some(db)) => Box::new(ContextBounded::with_horizon(b, db)),
+        (StrategyOpt::Random(seed), _) => Box::new(RandomWalk::new(seed)),
+    }
+}
+
+fn build_config(o: &RunOpts) -> Config {
+    let mut config = if o.fair {
+        Config::fair().with_fairness_k(o.k)
+    } else {
+        Config::unfair()
+    };
+    config = config.with_depth_bound(o.depth_bound);
+    if let Some(n) = o.max_executions {
+        config = config.with_max_executions(n);
+    }
+    match o.time_budget {
+        Some(t) => config = config.with_time_budget(t),
+        // Stateless search spaces are routinely astronomical; never hang
+        // an interactive session. Pass --time-budget to override.
+        None if o.max_executions.is_none() => {
+            eprintln!("note: no budget given; defaulting to --time-budget 60");
+            config = config.with_time_budget(std::time::Duration::from_secs(60));
+        }
+        None => {}
+    }
+    config
+}
+
+fn do_check<S, F>(factory: F, o: &RunOpts) -> ExitCode
+where
+    S: Capture + Clone + 'static,
+    F: Fn() -> Kernel<S> + Copy,
+{
+    let report = Explorer::new(factory, build_strategy(o), build_config(o)).run();
+    println!("{report}");
+    match &report.outcome {
+        SearchOutcome::SafetyViolation(cex) | SearchOutcome::Deadlock(cex) => {
+            if o.trace {
+                println!("\n{}", cex.render(factory));
+            }
+            ExitCode::FAILURE
+        }
+        SearchOutcome::Divergence(d) => {
+            if o.trace {
+                println!(
+                    "\nschedule to the divergence ({} steps):\n  {}",
+                    d.schedule.len(),
+                    d.schedule
+                        .iter()
+                        .map(|x| x.to_string())
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                );
+            }
+            ExitCode::FAILURE
+        }
+        SearchOutcome::Complete => ExitCode::SUCCESS,
+        SearchOutcome::BudgetExhausted(_) => ExitCode::from(3),
+    }
+}
+
+fn do_cover<S, F>(factory: F, o: &RunOpts) -> ExitCode
+where
+    S: Capture + Clone + 'static,
+    F: Fn() -> Kernel<S> + Copy,
+{
+    let mut cov = CoverageTracker::new();
+    let report =
+        Explorer::new(factory, build_strategy(o), build_config(o)).run_observed(&mut cov);
+    println!("{report}");
+    let limits = StatefulLimits {
+        max_states: 2_000_000,
+    };
+    match StateGraph::build(&factory(), limits) {
+        Ok(g) => println!(
+            "coverage: {} of {} reachable states ({:.1}%)",
+            cov.distinct_states(),
+            g.state_count(),
+            cov.percent_of(g.state_count()),
+        ),
+        Err(StatefulError::StateLimitExceeded(_)) => println!(
+            "coverage: {} distinct states (total unknown: state space exceeds the stateful limit)",
+            cov.distinct_states()
+        ),
+    }
+    ExitCode::SUCCESS
+}
+
+fn do_truth<S, F>(factory: F) -> ExitCode
+where
+    S: Capture + Clone + 'static,
+    F: Fn() -> Kernel<S> + Copy,
+{
+    let limits = StatefulLimits {
+        max_states: 2_000_000,
+    };
+    match StateGraph::build(&factory(), limits) {
+        Ok(g) => {
+            println!("reachable states:   {}", g.state_count());
+            println!("deadlock states:    {}", g.deadlock_states().len());
+            println!("violation states:   {}", g.violation_states().len());
+            match g.find_fair_scc() {
+                Some(scc) => println!(
+                    "livelock:           YES — fair cycle through {} state(s)",
+                    scc.len()
+                ),
+                None => println!("livelock:           no (no fair cycle)"),
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("stateful search failed: {e}");
+            ExitCode::from(3)
+        }
+    }
+}

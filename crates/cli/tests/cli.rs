@@ -1,0 +1,101 @@
+//! End-to-end tests of the `fair-chess` binary.
+
+use std::process::{Command, Output};
+
+fn fair_chess(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_fair-chess"))
+        .args(args)
+        .output()
+        .expect("failed to run fair-chess")
+}
+
+fn stdout(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stdout).into_owned()
+}
+
+#[test]
+fn list_shows_workloads() {
+    let out = fair_chess(&["list"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("philosophers"));
+    assert!(text.contains("--bug aba"));
+}
+
+#[test]
+fn help_on_no_args() {
+    let out = fair_chess(&[]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("USAGE"));
+}
+
+#[test]
+fn check_finds_racy_counter() {
+    let out = fair_chess(&["check", "counter", "--bug", "racy"]);
+    assert_eq!(out.status.code(), Some(1), "violation must exit 1");
+    let text = stdout(&out);
+    assert!(text.contains("safety violation"), "{text}");
+    assert!(text.contains("racy-inc"), "trace must be printed: {text}");
+}
+
+#[test]
+fn check_clean_counter_exits_zero() {
+    let out = fair_chess(&["check", "counter"]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(stdout(&out).contains("search complete"));
+}
+
+#[test]
+fn check_detects_livelock() {
+    let out = fair_chess(&["check", "promise", "--bug", "stale-spin", "--no-trace"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stdout(&out).contains("livelock"));
+}
+
+#[test]
+fn truth_reports_fair_cycle() {
+    let out = fair_chess(&["truth", "philosophers", "--bug", "figure1"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("livelock:           YES"), "{text}");
+}
+
+#[test]
+fn cover_reports_percentage() {
+    let out = fair_chess(&["cover", "spinloop"]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("100.0%"));
+}
+
+#[test]
+fn unknown_workload_exits_2() {
+    let out = fair_chess(&["check", "nope"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn unknown_flag_exits_2() {
+    let out = fair_chess(&["check", "counter", "--wat"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn budgeted_unfair_baseline_runs() {
+    let out = fair_chess(&[
+        "check",
+        "philosophers",
+        "--bug",
+        "figure1",
+        "--unfair",
+        "--db",
+        "30",
+        "--depth-bound",
+        "200",
+        "--max-executions",
+        "500",
+        "--no-trace",
+    ]);
+    // The unfair baseline cannot detect the livelock: it completes or
+    // exhausts its budget without reporting an error.
+    assert!(matches!(out.status.code(), Some(0) | Some(3)), "{out:?}");
+}

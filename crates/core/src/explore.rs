@@ -1,0 +1,565 @@
+//! The stateless explorer: repeatedly executes the program under the
+//! control of a strategy (and optionally the fair scheduler), re-creating
+//! the program from a factory for every execution — no program state is
+//! ever stored across executions.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use chess_kernel::TidSet;
+
+use crate::fair::{FairScheduler, PenaltyScope};
+use crate::observer::{NullObserver, Observer};
+use crate::report::{
+    BudgetKind, Divergence, DivergenceKind, SearchOutcome, SearchReport, SearchStats,
+};
+use crate::strategy::{SchedulePoint, Strategy};
+use crate::system::{SystemStatus, TransitionSystem};
+use crate::trace::{Counterexample, CounterexampleKind, Decision};
+
+/// Configuration of the fair scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FairnessConfig {
+    /// Process only every `k`-th yield of each thread (Section 3 end).
+    /// `1` (the default) processes every yield.
+    pub k: u64,
+    /// Penalty-edge scope (ablation; default is the paper's rule).
+    pub scope: PenaltyScope,
+}
+
+impl Default for FairnessConfig {
+    fn default() -> Self {
+        FairnessConfig {
+            k: 1,
+            scope: PenaltyScope::default(),
+        }
+    }
+}
+
+/// Explorer configuration.
+///
+/// Use [`Config::fair`] or [`Config::unfair`] for the two canonical
+/// setups of the paper and adjust with the `with_*` methods.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Config {
+    /// Fair scheduling (Algorithm 1), or `None` for the unfair baseline.
+    pub fairness: Option<FairnessConfig>,
+    /// Maximum transitions per execution. With fairness this is the
+    /// paper's "large bound, orders of magnitude above the expected
+    /// execution length"; without fairness it caps the random tail.
+    pub depth_bound: usize,
+    /// Stop after this many executions.
+    pub max_executions: Option<u64>,
+    /// Stop after this much wall-clock time.
+    pub time_budget: Option<Duration>,
+    /// Return at the first error (violation/deadlock/divergence). When
+    /// `false`, errors are counted and the search continues.
+    pub stop_on_error: bool,
+    /// Treat deadlocks as errors (the usual setting).
+    pub deadlock_is_error: bool,
+    /// Detect state revisits within an execution to report livelocks
+    /// (fair cycles) precisely. Requires meaningful fingerprints.
+    pub detect_cycles: bool,
+    /// Consecutive non-yielding transitions of one thread after which a
+    /// depth-bound hit is classified as a good-samaritan suspect.
+    pub gs_threshold: u64,
+}
+
+impl Config {
+    /// The paper's fair configuration: Algorithm 1 with `k = 1`, cycle
+    /// detection on, a generous depth bound, errors stop the search.
+    pub fn fair() -> Self {
+        Config {
+            fairness: Some(FairnessConfig::default()),
+            depth_bound: 100_000,
+            max_executions: None,
+            time_budget: None,
+            stop_on_error: true,
+            deadlock_is_error: true,
+            detect_cycles: true,
+            gs_threshold: 100,
+        }
+    }
+
+    /// The unfair baseline: no fairness, no cycle detection; executions
+    /// that hit the depth bound are counted as *nonterminating* and the
+    /// search moves on (Figure 2's metric).
+    pub fn unfair() -> Self {
+        Config {
+            fairness: None,
+            detect_cycles: false,
+            ..Config::fair()
+        }
+    }
+
+    /// Sets the per-execution depth bound.
+    pub fn with_depth_bound(mut self, bound: usize) -> Self {
+        self.depth_bound = bound;
+        self
+    }
+
+    /// Sets the execution budget.
+    pub fn with_max_executions(mut self, n: u64) -> Self {
+        self.max_executions = Some(n);
+        self
+    }
+
+    /// Sets the wall-clock budget.
+    pub fn with_time_budget(mut self, d: Duration) -> Self {
+        self.time_budget = Some(d);
+        self
+    }
+
+    /// Sets whether the search stops at the first error.
+    pub fn with_stop_on_error(mut self, stop: bool) -> Self {
+        self.stop_on_error = stop;
+        self
+    }
+
+    /// Sets whether deadlocks are errors.
+    pub fn with_deadlock_is_error(mut self, err: bool) -> Self {
+        self.deadlock_is_error = err;
+        self
+    }
+
+    /// Enables or disables per-execution cycle detection.
+    pub fn with_detect_cycles(mut self, on: bool) -> Self {
+        self.detect_cycles = on;
+        self
+    }
+
+    /// Sets the fairness `k` parameter (processing every `k`-th yield).
+    pub fn with_fairness_k(mut self, k: u64) -> Self {
+        let scope = self.fairness.map(|f| f.scope).unwrap_or_default();
+        self.fairness = Some(FairnessConfig { k, scope });
+        self
+    }
+
+    /// Sets the fairness penalty scope (ablation; see [`PenaltyScope`]).
+    pub fn with_penalty_scope(mut self, scope: PenaltyScope) -> Self {
+        let k = self.fairness.map(|f| f.k).unwrap_or(1);
+        self.fairness = Some(FairnessConfig { k, scope });
+        self
+    }
+}
+
+/// Result of one execution, internal to the explorer.
+enum ExecEnd {
+    /// Execution finished without error (terminated, cut at the depth
+    /// bound without fairness, abandoned, or non-error deadlock).
+    Done,
+    /// An error outcome to report.
+    Error(SearchOutcome),
+    /// The wall-clock budget expired mid-execution.
+    TimeUp,
+}
+
+/// The stateless model checker: a factory producing fresh program
+/// instances, a strategy, and a configuration.
+///
+/// # Examples
+///
+/// ```
+/// use chess_core::{Config, Explorer};
+/// use chess_core::strategy::Dfs;
+/// use chess_kernel::{Effects, GuestThread, Kernel, OpDesc, OpResult};
+///
+/// #[derive(Clone)]
+/// struct Step(bool);
+/// impl GuestThread<()> for Step {
+///     fn next_op(&self, _: &()) -> OpDesc {
+///         if self.0 { OpDesc::Finished } else { OpDesc::Local }
+///     }
+///     fn on_op(&mut self, _: OpResult, _: &mut (), _: &mut Effects<()>) {
+///         self.0 = true;
+///     }
+///     fn box_clone(&self) -> Box<dyn GuestThread<()>> { Box::new(self.clone()) }
+/// }
+///
+/// let factory = || {
+///     let mut k = Kernel::new(());
+///     k.spawn(Step(false));
+///     k.spawn(Step(false));
+///     k
+/// };
+/// let report = Explorer::new(factory, Dfs::new(), Config::fair()).run();
+/// assert!(!report.outcome.found_error());
+/// assert_eq!(report.stats.executions, 2); // two interleavings
+/// ```
+pub struct Explorer<P, F, St> {
+    factory: F,
+    strategy: St,
+    config: Config,
+    _marker: std::marker::PhantomData<fn() -> P>,
+}
+
+impl<P, F, St> Explorer<P, F, St>
+where
+    P: TransitionSystem,
+    F: FnMut() -> P,
+    St: Strategy,
+{
+    /// Creates an explorer.
+    pub fn new(factory: F, strategy: St, config: Config) -> Self {
+        Explorer {
+            factory,
+            strategy,
+            config,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Runs the search with no observer.
+    pub fn run(&mut self) -> SearchReport {
+        self.run_observed(&mut NullObserver)
+    }
+
+    /// Runs the search, reporting every visited state to `obs`.
+    pub fn run_observed(&mut self, obs: &mut dyn Observer<P>) -> SearchReport {
+        let start = Instant::now();
+        let deadline = self.config.time_budget.map(|d| start + d);
+        let mut stats = SearchStats::default();
+        let outcome = loop {
+            if let Some(max) = self.config.max_executions {
+                if stats.executions >= max {
+                    break SearchOutcome::BudgetExhausted(BudgetKind::Executions);
+                }
+            }
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                break SearchOutcome::BudgetExhausted(BudgetKind::Time);
+            }
+            stats.executions += 1;
+            let end = self.one_execution(obs, &mut stats, deadline);
+            match end {
+                ExecEnd::Error(outcome) => {
+                    if stats.first_error_execution.is_none() {
+                        stats.first_error_execution = Some(stats.executions);
+                    }
+                    if self.config.stop_on_error {
+                        break outcome;
+                    }
+                    if !self.strategy.on_execution_end() {
+                        break SearchOutcome::Complete;
+                    }
+                }
+                ExecEnd::Done => {
+                    if !self.strategy.on_execution_end() {
+                        break SearchOutcome::Complete;
+                    }
+                }
+                ExecEnd::TimeUp => break SearchOutcome::BudgetExhausted(BudgetKind::Time),
+            }
+        };
+        stats.wall = start.elapsed();
+        SearchReport { outcome, stats }
+    }
+
+    fn one_execution(
+        &mut self,
+        obs: &mut dyn Observer<P>,
+        stats: &mut SearchStats,
+        deadline: Option<Instant>,
+    ) -> ExecEnd {
+        let execution = stats.executions;
+        let mut sys = (self.factory)();
+        let mut fair = self.config.fairness.map(|fc| {
+            FairScheduler::with_k(sys.thread_count(), fc.k).with_scope(fc.scope)
+        });
+        let mut schedule: Vec<Decision> = Vec::new();
+        // Steps each thread has taken since its last yield, for the
+        // good-samaritan heuristic.
+        let mut steps_since_yield: Vec<u64> = vec![0; sys.thread_count()];
+        // Cycle detection: (program ⊕ scheduler) fingerprint → step index,
+        // plus per-state enabled sets to classify detected cycles.
+        let mut seen: HashMap<u64, usize> = HashMap::new();
+        let mut es_history: Vec<TidSet> = Vec::new();
+        let mut prev: Option<chess_kernel::ThreadId> = None;
+        let mut depth = 0usize;
+
+        obs.on_state(&sys, 0);
+        if self.config.detect_cycles {
+            seen.insert(self.combined_fingerprint(&sys, fair.as_ref()), 0);
+        }
+
+        let end = loop {
+            match sys.status() {
+                SystemStatus::Running => {}
+                SystemStatus::Terminated => {
+                    stats.terminating += 1;
+                    break ExecEnd::Done;
+                }
+                SystemStatus::Deadlock => {
+                    stats.deadlocks += 1;
+                    if self.config.deadlock_is_error {
+                        let blocked: Vec<String> = (0..sys.thread_count())
+                            .map(chess_kernel::ThreadId::new)
+                            .filter(|&t| !sys.enabled(t))
+                            .map(|t| sys.thread_name(t))
+                            .collect();
+                        break ExecEnd::Error(SearchOutcome::Deadlock(Counterexample {
+                            kind: CounterexampleKind::Deadlock,
+                            message: format!("no thread enabled; blocked: {blocked:?}"),
+                            schedule,
+                            execution,
+                        }));
+                    }
+                    stats.terminating += 1;
+                    break ExecEnd::Done;
+                }
+                SystemStatus::Violation(t, message) => {
+                    stats.violations += 1;
+                    break ExecEnd::Error(SearchOutcome::SafetyViolation(Counterexample {
+                        kind: CounterexampleKind::Safety,
+                        message: format!("{}: {message}", sys.thread_name(t)),
+                        schedule,
+                        execution,
+                    }));
+                }
+            }
+
+            if depth >= self.config.depth_bound {
+                stats.nonterminating += 1;
+                if self.config.fairness.is_some() {
+                    // Under fairness, a bound hit is a divergence warning:
+                    // classify it heuristically (Section 2's outcomes 2/3).
+                    let kind = steps_since_yield
+                        .iter()
+                        .enumerate()
+                        .filter(|&(_, &s)| s >= self.config.gs_threshold)
+                        .max_by_key(|&(_, &s)| s)
+                        .map(|(i, &s)| DivergenceKind::GoodSamaritanSuspect {
+                            thread: chess_kernel::ThreadId::new(i),
+                            steps_without_yield: s,
+                        })
+                        .unwrap_or(DivergenceKind::LivelockSuspect);
+                    stats.divergences += 1;
+                    break ExecEnd::Error(SearchOutcome::Divergence(Divergence {
+                        kind,
+                        schedule,
+                        execution,
+                    }));
+                }
+                break ExecEnd::Done;
+            }
+
+            if depth % 4096 == 4095 && deadline.is_some_and(|d| Instant::now() >= d) {
+                break ExecEnd::TimeUp;
+            }
+
+            let es = sys.enabled_set();
+            let schedulable = match &fair {
+                Some(f) => f.schedulable(&es),
+                None => es.clone(),
+            };
+            debug_assert_eq!(
+                schedulable.is_empty(),
+                es.is_empty(),
+                "Theorem 3: T empty iff ES empty"
+            );
+            let mut options = Vec::with_capacity(schedulable.len());
+            for t in schedulable.iter() {
+                for c in 0..sys.branching(t) {
+                    options.push(Decision {
+                        thread: t,
+                        choice: c as u32,
+                    });
+                }
+            }
+            let point = SchedulePoint {
+                depth,
+                options: &options,
+                prev,
+                prev_enabled: prev.is_some_and(|p| es.contains(p)),
+                prev_schedulable: prev.is_some_and(|p| schedulable.contains(p)),
+            };
+            let Some(d) = self.strategy.pick(&point) else {
+                stats.abandoned += 1;
+                break ExecEnd::Done;
+            };
+            debug_assert!(options.contains(&d), "strategy picked unavailable {d:?}");
+
+            let kind = sys.step(d.thread, d.choice);
+            let es_after = sys.enabled_set();
+            if let Some(f) = fair.as_mut() {
+                f.grow(sys.thread_count());
+                f.on_scheduled(d.thread, &es, &es_after, kind.is_yield());
+            }
+            steps_since_yield.resize(sys.thread_count(), 0);
+            if kind.is_yield() {
+                steps_since_yield[d.thread.index()] = 0;
+            } else {
+                steps_since_yield[d.thread.index()] += 1;
+            }
+            schedule.push(d);
+            stats.transitions += 1;
+            depth += 1;
+            prev = Some(d.thread);
+            obs.on_state(&sys, depth);
+
+            if self.config.detect_cycles {
+                es_history.push(es);
+                let fp = self.combined_fingerprint(&sys, fair.as_ref());
+                if let Some(&start_idx) = seen.get(&fp) {
+                    // Transitions start_idx..depth form a repeatable cycle.
+                    stats.divergences += 1;
+                    let cycle_len = depth - start_idx;
+                    let scheduled: TidSet = schedule[start_idx..depth]
+                        .iter()
+                        .map(|d| d.thread)
+                        .collect();
+                    let mut enabled_in_cycle = TidSet::new();
+                    for e in &es_history[start_idx..depth] {
+                        enabled_in_cycle.union_with(e);
+                    }
+                    let starved = enabled_in_cycle.difference(&scheduled).first();
+                    let kind = match starved {
+                        None => DivergenceKind::FairCycle {
+                            cycle_start: start_idx,
+                            cycle_len,
+                        },
+                        Some(starved) => DivergenceKind::UnfairCycle {
+                            cycle_start: start_idx,
+                            cycle_len,
+                            starved,
+                        },
+                    };
+                    break ExecEnd::Error(SearchOutcome::Divergence(Divergence {
+                        kind,
+                        schedule,
+                        execution,
+                    }));
+                }
+                seen.insert(fp, depth);
+            }
+        };
+        stats.max_depth = stats.max_depth.max(depth);
+        obs.on_execution_end(&sys, depth);
+        end
+    }
+
+    fn combined_fingerprint(&self, sys: &P, fair: Option<&FairScheduler>) -> u64 {
+        let prog = sys.fingerprint();
+        match fair {
+            Some(f) => prog ^ f.state_fingerprint().rotate_left(1),
+            None => prog,
+        }
+    }
+}
+
+/// Iterative context bounding (Section 4): runs searches with preemption
+/// bounds `0..=max_bound` in order, stopping early at the first error.
+/// Returns the report for each bound that ran.
+pub fn iterative_context_bounding<P, F>(
+    mut factory: F,
+    config: Config,
+    max_bound: u32,
+) -> Vec<(u32, SearchReport)>
+where
+    P: TransitionSystem,
+    F: FnMut() -> P,
+{
+    let mut reports = Vec::new();
+    for bound in 0..=max_bound {
+        let strategy = crate::strategy::ContextBounded::new(bound);
+        let report = Explorer::new(&mut factory, strategy, config.clone()).run();
+        let stop = report.outcome.found_error();
+        reports.push((bound, report));
+        if stop {
+            break;
+        }
+    }
+    reports
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::{Dfs, RandomWalk};
+    use crate::system::testsys::{Act, Script};
+
+    /// Figure 3's program: t sets x, u spins (check; yield) until x != 0.
+    /// Modeled as: u loops on WaitNonZero? No — the spin must be
+    /// nonblocking. We emulate with an unbounded yield loop cut by the
+    /// wait: u alternates Step/Yield while counter 0 is zero... The
+    /// Script type has no loops, so for explorer tests we use the kernel
+    /// workloads in integration tests and keep Script tests acyclic.
+    fn two_step_scripts() -> Script {
+        Script::new(vec![vec![Act::Step, Act::Step], vec![Act::Step]], 0)
+    }
+
+    #[test]
+    fn dfs_counts_all_interleavings() {
+        let mut ex = Explorer::new(two_step_scripts, Dfs::new(), Config::fair());
+        let report = ex.run();
+        assert_eq!(report.outcome, SearchOutcome::Complete);
+        // Interleavings of aab with one b: positions for b = 3.
+        assert_eq!(report.stats.executions, 3);
+        assert_eq!(report.stats.terminating, 3);
+        assert_eq!(report.stats.transitions, 9);
+        assert_eq!(report.stats.max_depth, 3);
+    }
+
+    #[test]
+    fn deadlock_reported_with_schedule() {
+        let factory = || Script::new(vec![vec![Act::Step, Act::Dec(0)]], 1);
+        let mut ex = Explorer::new(factory, Dfs::new(), Config::fair());
+        let report = ex.run();
+        match report.outcome {
+            SearchOutcome::Deadlock(cex) => {
+                assert_eq!(cex.schedule.len(), 1);
+                assert_eq!(cex.execution, 1);
+            }
+            o => panic!("expected deadlock, got {o:?}"),
+        }
+    }
+
+    #[test]
+    fn deadlock_tolerated_when_configured() {
+        let factory = || Script::new(vec![vec![Act::Step, Act::Dec(0)]], 1);
+        let config = Config::fair().with_deadlock_is_error(false);
+        let mut ex = Explorer::new(factory, Dfs::new(), config);
+        let report = ex.run();
+        assert_eq!(report.outcome, SearchOutcome::Complete);
+        assert_eq!(report.stats.deadlocks, 1);
+    }
+
+    #[test]
+    fn execution_budget_respected() {
+        let factory = two_step_scripts;
+        let config = Config::fair().with_max_executions(2);
+        let mut ex = Explorer::new(factory, Dfs::new(), config);
+        let report = ex.run();
+        assert_eq!(
+            report.outcome,
+            SearchOutcome::BudgetExhausted(BudgetKind::Executions)
+        );
+        assert_eq!(report.stats.executions, 2);
+    }
+
+    #[test]
+    fn random_walk_terminates_via_budget() {
+        let config = Config::fair().with_max_executions(16);
+        let mut ex = Explorer::new(two_step_scripts, RandomWalk::new(3), config);
+        let report = ex.run();
+        assert_eq!(report.stats.executions, 16);
+    }
+
+    #[test]
+    fn observer_sees_every_state_occurrence() {
+        let mut obs = crate::observer::CountingObserver::default();
+        let mut ex = Explorer::new(two_step_scripts, Dfs::new(), Config::fair());
+        let report = ex.run_observed(&mut obs);
+        // Each execution reports initial + 3 = 4 occurrences.
+        assert_eq!(obs.states_seen, 4 * report.stats.executions);
+        assert_eq!(obs.executions, report.stats.executions);
+    }
+
+    #[test]
+    fn iterative_cb_runs_increasing_bounds() {
+        let reports = iterative_context_bounding(two_step_scripts, Config::fair(), 2);
+        assert_eq!(reports.len(), 3);
+        assert!(reports.iter().all(|(_, r)| !r.outcome.found_error()));
+        // Larger bounds explore at least as many executions.
+        assert!(reports[0].1.stats.executions <= reports[2].1.stats.executions);
+    }
+}

@@ -1,0 +1,518 @@
+//! Algorithm 1: the fair demonic scheduler.
+//!
+//! This module is a line-by-line implementation of Algorithm 1 from the
+//! paper. The scheduler maintains, per state, a priority relation
+//! `P ⊆ Tid × Tid` and three per-thread *window* sets:
+//!
+//! * `S(t)` — threads scheduled since the last yield by `t`,
+//! * `E(t)` — threads continuously enabled since the last yield by `t`,
+//! * `D(t)` — threads disabled by a transition of `t` since its last yield.
+//!
+//! An edge `(t, u) ∈ P` means `t` may be scheduled only in states where
+//! `u` is disabled. Edges are added **only** when `t` yields (line 25),
+//! and only toward threads `u` that were starved during `t`'s window —
+//! `H = (E(t) ∪ D(t)) \ S(t)` (line 24) — so in the absence of yields the
+//! scheduler is fully nondeterministic (Theorem 5), and any infinite
+//! execution it generates satisfies `GS ⇒ SF` (Theorem 1).
+//!
+//! The paper's initialization trick is preserved: `E(u) = ∅`,
+//! `D(u) = S(u) = Tid`, so each thread's first yield adds no edges and its
+//! first real window begins only after that yield. Dynamically spawned
+//! threads receive the same treatment (and are inserted into every
+//! existing thread's `S` so an in-progress window cannot blame a thread
+//! that did not exist when the window opened).
+
+use chess_kernel::{ThreadId, TidSet};
+
+/// Which threads a yielding thread is penalized against — an ablation
+/// knob for the design choice at the heart of Algorithm 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PenaltyScope {
+    /// The paper's line 24: `H = (E(t) ∪ D(t)) \ S(t)` — only threads the
+    /// yielder actually starved in its window. Keeps the scheduler
+    /// demonic enough for full coverage (Theorem 5).
+    #[default]
+    WindowSets,
+    /// Naive over-penalization: on every yield of `t`, add an edge toward
+    /// *every other currently enabled thread*. Still fair and still
+    /// acyclic (the in-edge removal of line 13 precedes the edge
+    /// insertion), but it forces a round-robin-like discipline after
+    /// yields and measurably loses state coverage — the ablation that
+    /// shows why the window sets matter.
+    AllEnabled,
+}
+
+/// The fair demonic scheduler of Algorithm 1.
+///
+/// Drive it with two calls per scheduling point:
+///
+/// 1. [`FairScheduler::schedulable`] computes the set `T` of line 7 from
+///    the enabled set `ES`.
+/// 2. After executing the chosen thread's transition,
+///    [`FairScheduler::on_scheduled`] performs the bookkeeping of lines
+///    12–29.
+///
+/// # Examples
+///
+/// ```
+/// use chess_core::FairScheduler;
+/// use chess_kernel::{ThreadId, TidSet};
+///
+/// let mut fair = FairScheduler::new(2);
+/// let es = TidSet::full(2);
+/// // No yields yet: the scheduler is fully nondeterministic.
+/// assert_eq!(fair.schedulable(&es).len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FairScheduler {
+    /// `p[t]` is the successor set `{u | (t, u) ∈ P}`.
+    p: Vec<TidSet>,
+    e: Vec<TidSet>,
+    d: Vec<TidSet>,
+    s: Vec<TidSet>,
+    /// Per-thread yield counter for the `k`-yield parameterization.
+    yield_counts: Vec<u64>,
+    /// Process only every `k`-th yield of each thread (Section 3 end).
+    k: u64,
+    /// Penalty-edge scope (ablation; default is the paper's rule).
+    scope: PenaltyScope,
+}
+
+impl FairScheduler {
+    /// Creates a scheduler for a program that starts with `n` threads,
+    /// processing every yield (`k = 1`).
+    pub fn new(n: usize) -> Self {
+        Self::with_k(n, 1)
+    }
+
+    /// Creates a scheduler that processes only every `k`-th yield of a
+    /// thread, the parameterization the paper suggests for programs whose
+    /// states are only reachable through yielding executions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn with_k(n: usize, k: u64) -> Self {
+        assert!(k > 0, "k must be positive");
+        let mut fair = FairScheduler {
+            p: Vec::new(),
+            e: Vec::new(),
+            d: Vec::new(),
+            s: Vec::new(),
+            yield_counts: Vec::new(),
+            k,
+            scope: PenaltyScope::default(),
+        };
+        for _ in 0..n {
+            fair.push_thread(n);
+        }
+        fair
+    }
+
+    /// Sets the penalty-edge scope (ablation; see [`PenaltyScope`]).
+    pub fn with_scope(mut self, scope: PenaltyScope) -> Self {
+        self.scope = scope;
+        self
+    }
+
+    /// Initialization per lines 1–4: empty `P` and `E`, full `D` and `S`
+    /// (over the current universe), so the first yield of the thread adds
+    /// no edges and its first real window begins after that yield.
+    fn push_thread(&mut self, universe: usize) {
+        self.p.push(TidSet::new());
+        self.e.push(TidSet::new());
+        self.d.push(TidSet::full(universe));
+        self.s.push(TidSet::full(universe));
+        self.yield_counts.push(0);
+    }
+
+    /// Number of threads known to the scheduler.
+    pub fn thread_count(&self) -> usize {
+        self.p.len()
+    }
+
+    /// Registers dynamically spawned threads, growing the universe to
+    /// `new_count` threads.
+    pub fn grow(&mut self, new_count: usize) {
+        while self.p.len() < new_count {
+            let v = ThreadId::new(self.p.len());
+            // A window already in progress cannot have starved a thread
+            // that did not exist when it opened: pretend v was scheduled.
+            for u in 0..self.p.len() {
+                self.s[u].insert(v);
+                self.d[u].insert(v);
+            }
+            self.push_thread(self.p.len() + 1);
+        }
+    }
+
+    /// Line 7: `T := ES \ pre(P, ES)` — the subset of enabled threads the
+    /// priority relation allows to be scheduled.
+    ///
+    /// Theorem 3 guarantees `T` is empty iff `ES` is empty (the priority
+    /// relation never manufactures a deadlock); this is upheld because `P`
+    /// stays acyclic.
+    pub fn schedulable(&self, es: &TidSet) -> TidSet {
+        es.iter()
+            .filter(|t| !self.p[t.index()].intersects(es))
+            .collect()
+    }
+
+    /// Lines 12–29: bookkeeping after thread `t` executed one transition.
+    ///
+    /// * `es_before` — the enabled set of the state `t` was scheduled in
+    ///   (the paper's `curr.ES`);
+    /// * `es_after` — the enabled set of the resulting state (`next.ES`);
+    /// * `yielded` — the paper's `curr.yield(t)`: whether the executed
+    ///   transition was a yield.
+    pub fn on_scheduled(
+        &mut self,
+        t: ThreadId,
+        es_before: &TidSet,
+        es_after: &TidSet,
+        yielded: bool,
+    ) {
+        let n = self.p.len();
+        debug_assert!(t.index() < n, "unknown thread {t}; call grow() first");
+
+        // Line 13: remove all edges with sink t, lowering t's relative
+        // priority.
+        for u in 0..n {
+            self.p[u].remove(t);
+        }
+
+        // Lines 14–22: update the window sets of every thread.
+        for u in 0..n {
+            self.e[u].intersect_with(es_after);
+            self.s[u].insert(t);
+        }
+        // Line 17: D(t) accumulates the threads disabled by t's transition.
+        let disabled_now = es_before.difference(es_after);
+        self.d[t.index()].union_with(&disabled_now);
+
+        // Lines 23–29: on a (processed) yield of t, penalize t against the
+        // threads it starved during its window, then open a new window.
+        if yielded {
+            self.yield_counts[t.index()] += 1;
+            if !self.yield_counts[t.index()].is_multiple_of(self.k) {
+                return;
+            }
+            let ti = t.index();
+            let mut h = match self.scope {
+                // Line 24: H := (E(t) ∪ D(t)) \ S(t).
+                PenaltyScope::WindowSets => {
+                    let mut h = self.e[ti].union(&self.d[ti]);
+                    h.difference_with(&self.s[ti]);
+                    h
+                }
+                // Ablation: penalize against every other enabled thread.
+                PenaltyScope::AllEnabled => es_after.clone(),
+            };
+            h.remove(t);
+            // Line 25: P := P ∪ ({t} × H).
+            self.p[ti].union_with(&h);
+            // Lines 26–28: reset the window.
+            self.e[ti] = es_after.clone();
+            self.d[ti] = TidSet::new();
+            self.s[ti] = TidSet::new();
+            debug_assert!(
+                !self.p[ti].contains(t),
+                "t ∈ S(t) must have prevented a self-edge"
+            );
+            debug_assert!(self.is_acyclic(), "P must stay acyclic (Theorem 3)");
+        }
+    }
+
+    /// The current priority relation as successor sets: `(t, u) ∈ P` iff
+    /// `priority_edges()[t].contains(u)`.
+    pub fn priority_edges(&self) -> &[TidSet] {
+        &self.p
+    }
+
+    /// The window set `E(t)` (continuously enabled since `t`'s last yield).
+    pub fn window_enabled(&self, t: ThreadId) -> &TidSet {
+        &self.e[t.index()]
+    }
+
+    /// The window set `D(t)` (disabled by `t` since its last yield).
+    pub fn window_disabled(&self, t: ThreadId) -> &TidSet {
+        &self.d[t.index()]
+    }
+
+    /// The window set `S(t)` (scheduled since `t`'s last yield).
+    pub fn window_scheduled(&self, t: ThreadId) -> &TidSet {
+        &self.s[t.index()]
+    }
+
+    /// Total processed yields of thread `t`.
+    pub fn yield_count(&self, t: ThreadId) -> u64 {
+        self.yield_counts[t.index()]
+    }
+
+    /// A 64-bit fingerprint of the scheduler state (`P`, `E`, `D`, `S`
+    /// and the yield phase modulo `k`).
+    ///
+    /// Combined with the program-state fingerprint this identifies
+    /// genuinely repeatable configurations: if the pair repeats along an
+    /// execution, the scheduler can reproduce the cycle forever, which is
+    /// how the explorer detects livelocks precisely.
+    pub fn state_fingerprint(&self) -> u64 {
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut mix = |v: u64| {
+            h = (h ^ v).wrapping_mul(PRIME);
+        };
+        for group in [&self.p, &self.e, &self.d, &self.s] {
+            for set in group.iter() {
+                for t in set.iter() {
+                    mix(t.index() as u64 + 1);
+                }
+                mix(0);
+            }
+            mix(u64::MAX);
+        }
+        for &c in &self.yield_counts {
+            mix(c % self.k);
+        }
+        h
+    }
+
+    /// Checks that the priority relation is acyclic — the loop invariant
+    /// of Theorem 3. Exposed for tests and debug assertions.
+    pub fn is_acyclic(&self) -> bool {
+        // Kahn-style: repeatedly remove nodes with no in-edges.
+        let n = self.p.len();
+        let mut indeg = vec![0usize; n];
+        for succ in &self.p {
+            for u in succ.iter() {
+                if u.index() < n {
+                    indeg[u.index()] += 1;
+                }
+            }
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut seen = 0;
+        while let Some(i) = queue.pop() {
+            seen += 1;
+            for u in self.p[i].iter() {
+                if u.index() < n {
+                    indeg[u.index()] -= 1;
+                    if indeg[u.index()] == 0 {
+                        queue.push(u.index());
+                    }
+                }
+            }
+        }
+        seen == n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: usize) -> ThreadId {
+        ThreadId::new(i)
+    }
+
+    fn set(ids: &[usize]) -> TidSet {
+        ids.iter().map(|&i| t(i)).collect()
+    }
+
+    #[test]
+    fn no_yields_means_full_nondeterminism() {
+        let mut fair = FairScheduler::new(3);
+        let es = set(&[0, 1, 2]);
+        for _ in 0..10 {
+            assert_eq!(fair.schedulable(&es), es);
+            fair.on_scheduled(t(1), &es, &es, false);
+        }
+    }
+
+    #[test]
+    fn first_yield_adds_no_edges() {
+        let mut fair = FairScheduler::new(2);
+        let es = set(&[0, 1]);
+        fair.on_scheduled(t(1), &es, &es, true);
+        assert!(fair.priority_edges()[1].is_empty());
+        assert_eq!(fair.schedulable(&es), es);
+    }
+
+    /// The Figure 4 emulation: thread u (=1) spins through a yield loop
+    /// while t (=0) stays enabled. After u's *second* yield, the edge
+    /// (u, t) appears and only t is schedulable.
+    #[test]
+    fn figure4_emulation() {
+        let mut fair = FairScheduler::new(2);
+        let es = set(&[0, 1]);
+        let (th_t, th_u) = (t(0), t(1));
+
+        // u: while (x != 1)  — state (a,c) -> (a,d)
+        fair.on_scheduled(th_u, &es, &es, false);
+        // u: yield()         — state (a,d) -> (a,c); first yield: no edges
+        fair.on_scheduled(th_u, &es, &es, true);
+        assert!(fair.priority_edges()[1].is_empty());
+        assert_eq!(*fair.window_scheduled(th_u), TidSet::new());
+        assert_eq!(*fair.window_disabled(th_u), TidSet::new());
+        assert_eq!(*fair.window_enabled(th_u), es);
+
+        // u: while (x != 1)  — S(u) = {u}
+        fair.on_scheduled(th_u, &es, &es, false);
+        assert_eq!(*fair.window_scheduled(th_u), set(&[1]));
+
+        // u: yield()         — H = (E ∪ D) \ S = {t}; edge (u, t) added.
+        fair.on_scheduled(th_u, &es, &es, true);
+        assert!(fair.priority_edges()[1].contains(th_t));
+        // Now the scheduler is forced to run t.
+        assert_eq!(fair.schedulable(&es), set(&[0]));
+    }
+
+    #[test]
+    fn edge_removed_when_sink_scheduled() {
+        let mut fair = FairScheduler::new(2);
+        let es = set(&[0, 1]);
+        // Build the (u=1, t=0) edge as in figure4_emulation.
+        fair.on_scheduled(t(1), &es, &es, true);
+        fair.on_scheduled(t(1), &es, &es, false);
+        fair.on_scheduled(t(1), &es, &es, true);
+        assert!(fair.priority_edges()[1].contains(t(0)));
+        // Scheduling t removes the incoming edge (line 13).
+        fair.on_scheduled(t(0), &es, &es, false);
+        assert!(fair.priority_edges()[1].is_empty());
+        assert_eq!(fair.schedulable(&es), es);
+    }
+
+    #[test]
+    fn edge_only_blocks_while_sink_enabled() {
+        let mut fair = FairScheduler::new(2);
+        let es = set(&[0, 1]);
+        fair.on_scheduled(t(1), &es, &es, true);
+        fair.on_scheduled(t(1), &es, &es, false);
+        fair.on_scheduled(t(1), &es, &es, true);
+        // u has lower priority than t; but if t is disabled, u may run.
+        let only_u = set(&[1]);
+        assert_eq!(fair.schedulable(&only_u), only_u);
+        assert_eq!(fair.schedulable(&es), set(&[0]));
+    }
+
+    #[test]
+    fn disabled_threads_counted_in_d() {
+        let mut fair = FairScheduler::new(3);
+        // Open windows for thread 0 with a first yield.
+        let es_all = set(&[0, 1, 2]);
+        fair.on_scheduled(t(0), &es_all, &es_all, true);
+        // Thread 0's transition disables thread 2 (e.g. takes a lock 2
+        // wanted).
+        let es_after = set(&[0, 1]);
+        fair.on_scheduled(t(0), &es_all, &es_after, false);
+        assert!(fair.window_disabled(t(0)).contains(t(2)));
+        // At 0's next yield, H contains 2 (disabled, never scheduled) and
+        // 1 (continuously enabled, never scheduled).
+        fair.on_scheduled(t(0), &es_after, &es_after, true);
+        assert!(fair.priority_edges()[0].contains(t(2)));
+        assert!(fair.priority_edges()[0].contains(t(1)));
+        // 2 is disabled, so the (0,2) edge does not block 0; but 1 is
+        // enabled, so the (0,1) edge does.
+        assert_eq!(fair.schedulable(&es_after), set(&[1]));
+    }
+
+    #[test]
+    fn scheduled_threads_not_penalized() {
+        let mut fair = FairScheduler::new(2);
+        let es = set(&[0, 1]);
+        fair.on_scheduled(t(1), &es, &es, true); // open window
+        fair.on_scheduled(t(0), &es, &es, false); // t runs in u's window
+        fair.on_scheduled(t(1), &es, &es, false);
+        fair.on_scheduled(t(1), &es, &es, true);
+        // t(0) ∈ S(u): no edge.
+        assert!(fair.priority_edges()[1].is_empty());
+    }
+
+    #[test]
+    fn k_parameterization_processes_every_kth_yield() {
+        let mut fair = FairScheduler::with_k(2, 2);
+        let es = set(&[0, 1]);
+        // With k=2, yields 2 and 4 are processed. Yield 2 is effectively
+        // the "first processed yield" — it still adds edges only if the
+        // window saw starvation, and the window here started with the
+        // initial full S, so no edges yet.
+        fair.on_scheduled(t(1), &es, &es, true); // yield 1: skipped
+        fair.on_scheduled(t(1), &es, &es, true); // yield 2: processed, opens window
+        assert!(fair.priority_edges()[1].is_empty());
+        fair.on_scheduled(t(1), &es, &es, true); // yield 3: skipped
+        assert!(fair.priority_edges()[1].is_empty());
+        fair.on_scheduled(t(1), &es, &es, true); // yield 4: processed → edge
+        assert!(fair.priority_edges()[1].contains(t(0)));
+    }
+
+    #[test]
+    fn spawned_thread_not_blamed_mid_window() {
+        let mut fair = FairScheduler::new(1);
+        let es1 = set(&[0]);
+        fair.on_scheduled(t(0), &es1, &es1, true); // open 0's window
+        // Thread 1 spawns mid-window and is immediately enabled.
+        fair.grow(2);
+        let es2 = set(&[0, 1]);
+        fair.on_scheduled(t(0), &es2, &es2, false);
+        fair.on_scheduled(t(0), &es2, &es2, true);
+        // 1 was inserted into S(0)/D(0) at spawn, so no edge (0,1) —
+        // and E(0) never contained it.
+        assert!(fair.priority_edges()[0].is_empty());
+        // But in the *new* window (E(0) = es2 ∋ 1), starving 1 is blamed.
+        fair.on_scheduled(t(0), &es2, &es2, false);
+        fair.on_scheduled(t(0), &es2, &es2, true);
+        assert!(fair.priority_edges()[0].contains(t(1)));
+    }
+
+    #[test]
+    fn acyclicity_invariant_under_adversarial_driving() {
+        // Drive the scheduler with pseudo-random enabled sets and yields
+        // and check P stays acyclic and schedulable() is nonempty whenever
+        // ES is (Theorem 3).
+        let n = 5;
+        let mut fair = FairScheduler::new(n);
+        let mut rng: u64 = 0x9E3779B97F4A7C15;
+        let mut next = || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+        let mut es: TidSet = TidSet::full(n);
+        for _ in 0..2000 {
+            let tset = fair.schedulable(&es);
+            assert!(
+                es.is_empty() == tset.is_empty(),
+                "Theorem 3 violated: es={es:?} T={tset:?} P={:?}",
+                fair.priority_edges()
+            );
+            if tset.is_empty() {
+                es = TidSet::full(n);
+                continue;
+            }
+            let options: Vec<_> = tset.iter().collect();
+            let pick = options[(next() % options.len() as u64) as usize];
+            let mut es_after = TidSet::new();
+            for i in 0..n {
+                if next() % 4 != 0 {
+                    es_after.insert(t(i));
+                }
+            }
+            // The scheduled thread stays "in the system": keep it enabled
+            // half of the time.
+            if next() % 2 == 0 {
+                es_after.insert(pick);
+            }
+            let yielded = next() % 3 == 0;
+            fair.on_scheduled(pick, &es, &es_after, yielded);
+            assert!(fair.is_acyclic());
+            es = es_after;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_rejected() {
+        let _ = FairScheduler::with_k(1, 0);
+    }
+}

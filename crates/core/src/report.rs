@@ -1,0 +1,262 @@
+//! Search outcomes and statistics: the four possible results of the
+//! semi-algorithm (Section 2) plus budget exhaustion.
+
+use std::fmt;
+use std::time::Duration;
+
+use chess_kernel::ThreadId;
+
+use crate::trace::{Counterexample, Schedule};
+
+/// How a divergence (a potentially-infinite execution) was detected and
+/// classified.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DivergenceKind {
+    /// The execution revisited a (program state, scheduler state) pair
+    /// along a **fair** cycle: a definite livelock (outcome 3 of the
+    /// paper's semi-algorithm, made precise by per-execution cycle
+    /// detection).
+    FairCycle {
+        /// Step index at which the repeated state was first seen.
+        cycle_start: usize,
+        /// Length of the cycle in transitions.
+        cycle_len: usize,
+    },
+    /// The execution revisited a state along an **unfair** cycle that the
+    /// scheduler would repeat forever: some enabled thread is starved and
+    /// nobody ever yields toward it — a definite good-samaritan violation
+    /// (outcome 2).
+    UnfairCycle {
+        /// Step index at which the repeated state was first seen.
+        cycle_start: usize,
+        /// Length of the cycle in transitions.
+        cycle_len: usize,
+        /// A thread enabled in the cycle but never scheduled in it.
+        starved: ThreadId,
+    },
+    /// The depth bound was exceeded and some thread had taken at least
+    /// the configured number of consecutive transitions without yielding:
+    /// a good-samaritan violation suspect.
+    GoodSamaritanSuspect {
+        /// The offending thread.
+        thread: ThreadId,
+        /// Its transitions since its last yield.
+        steps_without_yield: u64,
+    },
+    /// The depth bound was exceeded while every frequently-scheduled
+    /// thread kept yielding: a livelock suspect (the paper's "warning to
+    /// the user" — increase the bound or inspect the trace).
+    LivelockSuspect,
+}
+
+impl fmt::Display for DivergenceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DivergenceKind::FairCycle {
+                cycle_start,
+                cycle_len,
+            } => write!(
+                f,
+                "livelock: fair cycle of length {cycle_len} from step {cycle_start}"
+            ),
+            DivergenceKind::UnfairCycle {
+                cycle_start,
+                cycle_len,
+                starved,
+            } => write!(
+                f,
+                "good-samaritan violation: unfair cycle of length {cycle_len} from step \
+                 {cycle_start} starving {starved}"
+            ),
+            DivergenceKind::GoodSamaritanSuspect {
+                thread,
+                steps_without_yield,
+            } => write!(
+                f,
+                "good-samaritan violation suspect: {thread} took {steps_without_yield} \
+                 transitions without yielding"
+            ),
+            DivergenceKind::LivelockSuspect => {
+                write!(f, "livelock suspect: depth bound exceeded on a fair execution")
+            }
+        }
+    }
+}
+
+/// A detected divergence with its reproducing schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// Classification of the divergence.
+    pub kind: DivergenceKind,
+    /// The schedule up to the point of detection.
+    pub schedule: Schedule,
+    /// The execution (1-based) in which the divergence was found.
+    pub execution: u64,
+}
+
+/// Which budget stopped the search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetKind {
+    /// The configured maximum number of executions was reached.
+    Executions,
+    /// The configured wall-clock budget was exhausted.
+    Time,
+}
+
+/// Final outcome of a search, mirroring the four outcomes of the paper's
+/// semi-algorithm.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SearchOutcome {
+    /// The strategy exhausted its search space without finding an error
+    /// (outcome 4).
+    Complete,
+    /// A safety violation was found (outcome 1).
+    SafetyViolation(Counterexample),
+    /// A deadlock was found (a safety violation in the paper's setting).
+    Deadlock(Counterexample),
+    /// A divergence was detected (outcomes 2 and 3).
+    Divergence(Divergence),
+    /// A budget ran out before the search completed.
+    BudgetExhausted(BudgetKind),
+}
+
+impl SearchOutcome {
+    /// Returns whether the search found any error.
+    pub fn found_error(&self) -> bool {
+        matches!(
+            self,
+            SearchOutcome::SafetyViolation(_)
+                | SearchOutcome::Deadlock(_)
+                | SearchOutcome::Divergence(_)
+        )
+    }
+
+    /// Returns the counterexample, if the outcome carries one.
+    pub fn counterexample(&self) -> Option<&Counterexample> {
+        match self {
+            SearchOutcome::SafetyViolation(c) | SearchOutcome::Deadlock(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+/// Statistics accumulated over a whole search.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Executions started.
+    pub executions: u64,
+    /// Total transitions across all executions.
+    pub transitions: u64,
+    /// Executions that reached a terminating state (or an error).
+    pub terminating: u64,
+    /// Executions cut off by the depth bound — the paper's wasteful
+    /// "nonterminating executions" metric (Figure 2).
+    pub nonterminating: u64,
+    /// Executions abandoned by the strategy before completion.
+    pub abandoned: u64,
+    /// Deadlocks observed (when deadlocks are not treated as violations).
+    pub deadlocks: u64,
+    /// Safety violations observed (when not stopping at the first).
+    pub violations: u64,
+    /// Divergences observed (when not stopping at the first).
+    pub divergences: u64,
+    /// Execution index of the first error found, if any.
+    pub first_error_execution: Option<u64>,
+    /// Deepest execution observed.
+    pub max_depth: usize,
+    /// Wall-clock duration of the search.
+    pub wall: Duration,
+}
+
+/// The result of a search: outcome plus statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SearchReport {
+    /// Why the search stopped.
+    pub outcome: SearchOutcome,
+    /// Counters describing the work performed.
+    pub stats: SearchStats,
+}
+
+impl fmt::Display for SearchReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.outcome {
+            SearchOutcome::Complete => write!(f, "search complete")?,
+            SearchOutcome::SafetyViolation(c) => {
+                write!(f, "safety violation: {} (execution {})", c.message, c.execution)?
+            }
+            SearchOutcome::Deadlock(c) => {
+                write!(f, "deadlock: {} (execution {})", c.message, c.execution)?
+            }
+            SearchOutcome::Divergence(d) => {
+                write!(f, "{} (execution {})", d.kind, d.execution)?
+            }
+            SearchOutcome::BudgetExhausted(k) => write!(f, "budget exhausted: {k:?}")?,
+        }
+        write!(
+            f,
+            " — {} executions, {} transitions, {} nonterminating, {:?}",
+            self.stats.executions, self.stats.transitions, self.stats.nonterminating,
+            self.stats.wall
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::CounterexampleKind;
+
+    #[test]
+    fn outcome_classification() {
+        assert!(!SearchOutcome::Complete.found_error());
+        assert!(!SearchOutcome::BudgetExhausted(BudgetKind::Time).found_error());
+        let cex = Counterexample {
+            kind: CounterexampleKind::Safety,
+            message: "m".into(),
+            schedule: vec![],
+            execution: 1,
+        };
+        let o = SearchOutcome::SafetyViolation(cex.clone());
+        assert!(o.found_error());
+        assert_eq!(o.counterexample().unwrap().message, "m");
+        let d = SearchOutcome::Divergence(Divergence {
+            kind: DivergenceKind::LivelockSuspect,
+            schedule: vec![],
+            execution: 2,
+        });
+        assert!(d.found_error());
+        assert!(d.counterexample().is_none());
+    }
+
+    #[test]
+    fn divergence_kind_display() {
+        let k = DivergenceKind::FairCycle {
+            cycle_start: 3,
+            cycle_len: 6,
+        };
+        assert!(k.to_string().contains("livelock"));
+        let k = DivergenceKind::UnfairCycle {
+            cycle_start: 0,
+            cycle_len: 2,
+            starved: ThreadId::new(1),
+        };
+        assert!(k.to_string().contains("starving t1"));
+        let k = DivergenceKind::GoodSamaritanSuspect {
+            thread: ThreadId::new(0),
+            steps_without_yield: 99,
+        };
+        assert!(k.to_string().contains("99"));
+    }
+
+    #[test]
+    fn report_display_mentions_stats() {
+        let r = SearchReport {
+            outcome: SearchOutcome::Complete,
+            stats: SearchStats {
+                executions: 7,
+                ..Default::default()
+            },
+        };
+        assert!(r.to_string().contains("7 executions"));
+    }
+}

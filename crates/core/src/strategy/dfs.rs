@@ -1,0 +1,253 @@
+//! Exhaustive depth-first enumeration of the decision tree, optionally
+//! with a backtracking *horizon* and a random tail — the configuration
+//! the paper uses for its "without fairness, depth bound db" baselines
+//! (Table 2: systematic search up to `db`, then random search to the end
+//! of the execution).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::strategy::{SchedulePoint, Strategy};
+use crate::trace::Decision;
+
+#[derive(Debug, Clone)]
+struct Frame {
+    options: Vec<Decision>,
+    index: usize,
+}
+
+/// Depth-first search over scheduling decisions.
+///
+/// Without a horizon this systematically enumerates every schedule (up to
+/// the explorer's depth bound). With [`Dfs::with_horizon`]`(db)` it only
+/// backtracks over the first `db` decisions and completes each execution
+/// with uniformly random decisions, exactly the paper's unfair baseline.
+#[derive(Debug, Clone)]
+pub struct Dfs {
+    stack: Vec<Frame>,
+    horizon: Option<usize>,
+    rng: SmallRng,
+    exhausted: bool,
+    prefer_continuation: bool,
+}
+
+impl Dfs {
+    /// Full depth-first search (backtracks at every depth).
+    pub fn new() -> Self {
+        Dfs {
+            stack: Vec::new(),
+            horizon: None,
+            rng: SmallRng::seed_from_u64(0x5EED),
+            exhausted: false,
+            prefer_continuation: false,
+        }
+    }
+
+    /// Explores the "continue the previously scheduled thread" decision
+    /// first at every point. The search space is unchanged, but
+    /// executions reach completion with fewer context switches early on,
+    /// which spreads coverage faster on large spaces.
+    pub fn prefer_continuation(mut self) -> Self {
+        self.prefer_continuation = true;
+        self
+    }
+
+    /// Depth-first search that backtracks only over the first `db`
+    /// decisions; beyond the horizon, decisions are uniformly random
+    /// (deterministically seeded).
+    pub fn with_horizon(db: usize) -> Self {
+        Dfs {
+            horizon: Some(db),
+            ..Dfs::new()
+        }
+    }
+
+    /// Overrides the seed of the random tail.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.rng = SmallRng::seed_from_u64(seed);
+        self
+    }
+}
+
+impl Default for Dfs {
+    fn default() -> Self {
+        Dfs::new()
+    }
+}
+
+impl Strategy for Dfs {
+    fn pick(&mut self, point: &SchedulePoint<'_>) -> Option<Decision> {
+        debug_assert!(!point.options.is_empty());
+        if let Some(db) = self.horizon {
+            if point.depth >= db {
+                let i = self.rng.gen_range(0..point.options.len());
+                return Some(point.options[i]);
+            }
+        }
+        let ordered = |options: &[Decision]| -> Vec<Decision> {
+            if !self.prefer_continuation {
+                return options.to_vec();
+            }
+            let mut v: Vec<Decision> = options.to_vec();
+            if let Some(p) = point.prev {
+                v.sort_by_key(|d| (d.thread != p, d.thread.index(), d.choice));
+            }
+            v
+        };
+        if point.depth < self.stack.len() {
+            // Replay of the committed prefix. Deterministic re-execution
+            // must reproduce the very same option set.
+            let f = &self.stack[point.depth];
+            debug_assert_eq!(
+                f.options,
+                ordered(point.options),
+                "nondeterministic replay at depth {}",
+                point.depth
+            );
+            Some(f.options[f.index])
+        } else {
+            debug_assert_eq!(point.depth, self.stack.len());
+            let options = ordered(point.options);
+            let first = options[0];
+            self.stack.push(Frame { options, index: 0 });
+            Some(first)
+        }
+    }
+
+    fn on_execution_end(&mut self) -> bool {
+        while let Some(last) = self.stack.last_mut() {
+            last.index += 1;
+            if last.index < last.options.len() {
+                return true;
+            }
+            self.stack.pop();
+        }
+        self.exhausted = true;
+        false
+    }
+
+    fn name(&self) -> String {
+        match self.horizon {
+            Some(db) => format!("dfs(db={db})"),
+            None => "dfs".to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chess_kernel::ThreadId;
+
+    fn d(t: usize) -> Decision {
+        Decision::run(ThreadId::new(t))
+    }
+
+    fn point<'a>(depth: usize, options: &'a [Decision]) -> SchedulePoint<'a> {
+        SchedulePoint {
+            depth,
+            options,
+            prev: None,
+            prev_enabled: false,
+            prev_schedulable: false,
+        }
+    }
+
+    /// Enumerate all leaves of a fixed 2x2 decision tree.
+    #[test]
+    fn enumerates_full_tree() {
+        let mut dfs = Dfs::new();
+        let opts = [d(0), d(1)];
+        let mut leaves = Vec::new();
+        loop {
+            let a = dfs.pick(&point(0, &opts)).unwrap();
+            let b = dfs.pick(&point(1, &opts)).unwrap();
+            leaves.push((a.thread.index(), b.thread.index()));
+            if !dfs.on_execution_end() {
+                break;
+            }
+        }
+        assert_eq!(leaves, vec![(0, 0), (0, 1), (1, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn variable_width_tree() {
+        let mut dfs = Dfs::new();
+        let wide = [d(0), d(1), d(2)];
+        let narrow = [d(0)];
+        let mut count = 0;
+        loop {
+            let a = dfs.pick(&point(0, &wide)).unwrap();
+            // Depth-1 options depend on the first decision in real
+            // programs; emulate with a narrow set on branch 1.
+            if a.thread.index() == 1 {
+                dfs.pick(&point(1, &narrow)).unwrap();
+            } else {
+                dfs.pick(&point(1, &wide)).unwrap();
+            }
+            count += 1;
+            if !dfs.on_execution_end() {
+                break;
+            }
+        }
+        assert_eq!(count, 3 + 1 + 3);
+    }
+
+    #[test]
+    fn horizon_randomizes_tail_without_backtracking() {
+        let mut dfs = Dfs::with_horizon(1).with_seed(42);
+        let opts = [d(0), d(1)];
+        let mut first_decisions = Vec::new();
+        loop {
+            let a = dfs.pick(&point(0, &opts)).unwrap();
+            // Beyond the horizon: random, not recorded.
+            let _ = dfs.pick(&point(1, &opts)).unwrap();
+            let _ = dfs.pick(&point(2, &opts)).unwrap();
+            first_decisions.push(a.thread.index());
+            if !dfs.on_execution_end() {
+                break;
+            }
+        }
+        // Only the depth-0 decision is enumerated: two executions.
+        assert_eq!(first_decisions, vec![0, 1]);
+    }
+
+    #[test]
+    fn exhausted_after_single_option_tree() {
+        let mut dfs = Dfs::new();
+        let only = [d(0)];
+        dfs.pick(&point(0, &only)).unwrap();
+        assert!(!dfs.on_execution_end());
+    }
+
+    #[test]
+    fn prefer_continuation_reorders_but_keeps_the_tree() {
+        // Same leaves, different order: the continuation branch first.
+        let mut dfs = Dfs::new().prefer_continuation();
+        let opts = [d(0), d(1)];
+        let mut leaves = Vec::new();
+        loop {
+            let a = dfs.pick(&point(0, &opts)).unwrap();
+            let p1 = SchedulePoint {
+                depth: 1,
+                options: &opts,
+                prev: Some(a.thread),
+                prev_enabled: true,
+                prev_schedulable: true,
+            };
+            let b = dfs.pick(&p1).unwrap();
+            leaves.push((a.thread.index(), b.thread.index()));
+            if !dfs.on_execution_end() {
+                break;
+            }
+        }
+        leaves.sort();
+        assert_eq!(leaves, vec![(0, 0), (0, 1), (1, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn name_reports_horizon() {
+        assert_eq!(Dfs::new().name(), "dfs");
+        assert_eq!(Dfs::with_horizon(20).name(), "dfs(db=20)");
+    }
+}

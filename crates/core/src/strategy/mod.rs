@@ -1,0 +1,134 @@
+//! Search strategies: implementations of the `Choose` on line 11 of
+//! Algorithm 1, enumerated across executions.
+//!
+//! A strategy is driven by the explorer at every scheduling point with a
+//! [`SchedulePoint`] describing the available (already fairness-filtered)
+//! decisions, and once at the end of each execution to decide whether and
+//! where to backtrack.
+
+mod cb;
+mod dfs;
+mod random;
+mod replay;
+
+pub use cb::ContextBounded;
+pub use dfs::Dfs;
+pub use random::RandomWalk;
+pub use replay::FixedSchedule;
+
+use chess_kernel::ThreadId;
+
+use crate::trace::Decision;
+
+/// Everything a strategy may consult at one scheduling point.
+#[derive(Debug, Clone, Copy)]
+pub struct SchedulePoint<'a> {
+    /// Index of this scheduling point within the current execution.
+    pub depth: usize,
+    /// Available decisions, in ascending `(thread, choice)` order. Never
+    /// empty. When fairness is on, threads excluded by the priority
+    /// relation are already filtered out.
+    pub options: &'a [Decision],
+    /// The previously scheduled thread, if any.
+    pub prev: Option<ThreadId>,
+    /// Whether the previous thread is enabled in the current state.
+    pub prev_enabled: bool,
+    /// Whether the previous thread appears among `options` (it may be
+    /// enabled yet excluded by the fairness priority).
+    pub prev_schedulable: bool,
+}
+
+impl SchedulePoint<'_> {
+    /// The *preemption cost* of a decision, following the paper's
+    /// accounting (Section 4): switching away from an enabled,
+    /// schedulable thread costs one preemption; switches forced by
+    /// blocking **or by the fairness priority** are free.
+    pub fn preemption_cost(&self, d: Decision) -> u32 {
+        match self.prev {
+            Some(p) if d.thread != p && self.prev_enabled && self.prev_schedulable => 1,
+            _ => 0,
+        }
+    }
+}
+
+/// A search strategy: picks decisions within an execution and enumerates
+/// executions.
+pub trait Strategy {
+    /// Picks the decision to take at this scheduling point, or `None` to
+    /// abandon the current execution (pruning).
+    fn pick(&mut self, point: &SchedulePoint<'_>) -> Option<Decision>;
+
+    /// Called when the current execution ends (termination, error, depth
+    /// bound, or abandonment). Returns `true` if another execution should
+    /// be explored.
+    fn on_execution_end(&mut self) -> bool;
+
+    /// A short human-readable name (used in experiment tables).
+    fn name(&self) -> String;
+}
+
+impl Strategy for Box<dyn Strategy> {
+    fn pick(&mut self, point: &SchedulePoint<'_>) -> Option<Decision> {
+        (**self).pick(point)
+    }
+
+    fn on_execution_end(&mut self) -> bool {
+        (**self).on_execution_end()
+    }
+
+    fn name(&self) -> String {
+        (**self).name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(t: usize) -> Decision {
+        Decision::run(ThreadId::new(t))
+    }
+
+    #[test]
+    fn preemption_cost_accounting() {
+        let options = [d(0), d(1)];
+        // First point: every decision free.
+        let p0 = SchedulePoint {
+            depth: 0,
+            options: &options,
+            prev: None,
+            prev_enabled: false,
+            prev_schedulable: false,
+        };
+        assert_eq!(p0.preemption_cost(d(1)), 0);
+
+        // Continuing the previous thread is free; switching costs 1.
+        let p1 = SchedulePoint {
+            depth: 1,
+            options: &options,
+            prev: Some(ThreadId::new(0)),
+            prev_enabled: true,
+            prev_schedulable: true,
+        };
+        assert_eq!(p1.preemption_cost(d(0)), 0);
+        assert_eq!(p1.preemption_cost(d(1)), 1);
+
+        // Previous thread blocked: the switch is free.
+        let p2 = SchedulePoint {
+            prev_enabled: false,
+            prev_schedulable: false,
+            ..p1
+        };
+        assert_eq!(p2.preemption_cost(d(1)), 0);
+
+        // Previous thread enabled but excluded by the fairness priority:
+        // the switch is forced by fairness and must not be counted
+        // (Section 4's soundness remark).
+        let p3 = SchedulePoint {
+            prev_enabled: true,
+            prev_schedulable: false,
+            ..p1
+        };
+        assert_eq!(p3.preemption_cost(d(1)), 0);
+    }
+}

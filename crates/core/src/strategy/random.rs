@@ -1,0 +1,76 @@
+//! Pure random scheduling, the baseline `random search` of the paper's
+//! evaluation [17] and a cheap way to smoke-test large programs.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::strategy::{SchedulePoint, Strategy};
+use crate::trace::Decision;
+
+/// Uniformly random decisions; executions are enumerated until the
+/// explorer's execution or time budget runs out.
+#[derive(Debug, Clone)]
+pub struct RandomWalk {
+    rng: SmallRng,
+    seed: u64,
+}
+
+impl RandomWalk {
+    /// A random walk with the given seed (searches are reproducible).
+    pub fn new(seed: u64) -> Self {
+        RandomWalk {
+            rng: SmallRng::seed_from_u64(seed),
+            seed,
+        }
+    }
+}
+
+impl Strategy for RandomWalk {
+    fn pick(&mut self, point: &SchedulePoint<'_>) -> Option<Decision> {
+        debug_assert!(!point.options.is_empty());
+        Some(point.options[self.rng.gen_range(0..point.options.len())])
+    }
+
+    fn on_execution_end(&mut self) -> bool {
+        // The explorer's budgets (executions / time) terminate the search.
+        true
+    }
+
+    fn name(&self) -> String {
+        format!("random(seed={})", self.seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chess_kernel::ThreadId;
+
+    #[test]
+    fn picks_are_reproducible_per_seed() {
+        let opts: Vec<Decision> = (0..4).map(|i| Decision::run(ThreadId::new(i))).collect();
+        let point = SchedulePoint {
+            depth: 0,
+            options: &opts,
+            prev: None,
+            prev_enabled: false,
+            prev_schedulable: false,
+        };
+        let picks = |seed| {
+            let mut r = RandomWalk::new(seed);
+            (0..16)
+                .map(|_| r.pick(&point).unwrap().thread.index())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(picks(7), picks(7));
+        assert_ne!(picks(7), picks(8));
+    }
+
+    #[test]
+    fn never_ends_on_its_own() {
+        let mut r = RandomWalk::new(1);
+        for _ in 0..8 {
+            assert!(r.on_execution_end());
+        }
+    }
+}

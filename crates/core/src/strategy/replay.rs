@@ -1,0 +1,80 @@
+//! Replay of a fixed schedule — used to re-render counterexamples and to
+//! pin down a single execution in tests.
+
+use crate::strategy::{SchedulePoint, Strategy};
+use crate::trace::{Decision, Schedule};
+
+/// A strategy that replays a fixed schedule once.
+///
+/// If the schedule runs out (or names a decision that is not currently
+/// available) the execution is abandoned; the search ends after this one
+/// execution.
+#[derive(Debug, Clone)]
+pub struct FixedSchedule {
+    schedule: Schedule,
+}
+
+impl FixedSchedule {
+    /// Replays the given schedule.
+    pub fn new(schedule: Schedule) -> Self {
+        FixedSchedule { schedule }
+    }
+}
+
+impl Strategy for FixedSchedule {
+    fn pick(&mut self, point: &SchedulePoint<'_>) -> Option<Decision> {
+        let d = *self.schedule.get(point.depth)?;
+        if point.options.contains(&d) {
+            Some(d)
+        } else {
+            None
+        }
+    }
+
+    fn on_execution_end(&mut self) -> bool {
+        false
+    }
+
+    fn name(&self) -> String {
+        format!("replay({} steps)", self.schedule.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chess_kernel::ThreadId;
+
+    #[test]
+    fn replays_then_stops() {
+        let sched = vec![Decision::run(ThreadId::new(1))];
+        let mut s = FixedSchedule::new(sched);
+        let opts = [Decision::run(ThreadId::new(0)), Decision::run(ThreadId::new(1))];
+        let point = SchedulePoint {
+            depth: 0,
+            options: &opts,
+            prev: None,
+            prev_enabled: false,
+            prev_schedulable: false,
+        };
+        assert_eq!(s.pick(&point).unwrap().thread, ThreadId::new(1));
+        let point1 = SchedulePoint { depth: 1, ..point };
+        assert_eq!(s.pick(&point1), None, "schedule exhausted");
+        assert!(!s.on_execution_end());
+    }
+
+    #[test]
+    fn unavailable_decision_abandons() {
+        let sched = vec![Decision::run(ThreadId::new(5))];
+        let mut s = FixedSchedule::new(sched);
+        let opts = [Decision::run(ThreadId::new(0))];
+        let point = SchedulePoint {
+            depth: 0,
+            options: &opts,
+            prev: None,
+            prev_enabled: false,
+            prev_schedulable: false,
+        };
+        assert_eq!(s.pick(&point), None);
+    }
+}

@@ -1,0 +1,308 @@
+//! The transition-system interface the explorer drives.
+//!
+//! The paper's Algorithm 1 is phrased over an abstract program `Q` with a
+//! `NextState` function and `enabled(t)` / `yield(t)` predicates.
+//! [`TransitionSystem`] is that interface; `chess-kernel`'s `Kernel`
+//! implements it, and tests implement it directly for small hand-built
+//! state spaces.
+
+use chess_kernel::{Capture, Kernel, KernelStatus, StepKind, ThreadId, TidSet};
+
+/// Status of a program under exploration, mirroring
+/// [`chess_kernel::KernelStatus`] at the abstract level.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SystemStatus {
+    /// At least one thread is enabled.
+    Running,
+    /// All threads finished: a terminating execution.
+    Terminated,
+    /// No thread enabled, some unfinished.
+    Deadlock,
+    /// A safety violation with a message, attributed to a thread.
+    Violation(ThreadId, String),
+}
+
+impl SystemStatus {
+    /// Returns whether more transitions can be taken.
+    pub fn is_running(&self) -> bool {
+        matches!(self, SystemStatus::Running)
+    }
+}
+
+/// An explorable multithreaded program: the paper's `Q`.
+///
+/// All methods except [`TransitionSystem::step`] must be pure observations;
+/// `step` must be deterministic given `(t, choice)`. Stateless exploration
+/// re-creates instances via a factory closure and replays schedules, so
+/// two instances produced by the same factory must behave identically.
+pub trait TransitionSystem {
+    /// Number of threads created so far (finished threads included).
+    fn thread_count(&self) -> usize;
+
+    /// The paper's `enabled(t)`.
+    fn enabled(&self, t: ThreadId) -> bool;
+
+    /// The set of enabled threads (the paper's `ES`).
+    fn enabled_set(&self) -> TidSet {
+        (0..self.thread_count())
+            .map(ThreadId::new)
+            .filter(|&t| self.enabled(t))
+            .collect()
+    }
+
+    /// The paper's `yield(t)`: `t` is enabled and its next transition is a
+    /// yield.
+    fn is_yielding(&self, t: ThreadId) -> bool;
+
+    /// Number of data-nondeterminism branches for thread `t`'s next
+    /// transition (1 unless the transition is a `Choose`).
+    fn branching(&self, t: ThreadId) -> usize;
+
+    /// Executes one transition of `t` with data choice `choice`, returning
+    /// whether it was a yielding transition.
+    fn step(&mut self, t: ThreadId, choice: u32) -> StepKind;
+
+    /// Current status.
+    fn status(&self) -> SystemStatus;
+
+    /// 64-bit fingerprint of the current abstract state (used by cycle
+    /// detection and coverage).
+    fn fingerprint(&self) -> u64;
+
+    /// Exact byte signature of the current abstract state (used as the
+    /// collision-free visited-set key).
+    fn state_bytes(&self) -> Vec<u8>;
+
+    /// Human-readable description of `t`'s pending operation, for traces.
+    fn describe_op(&self, t: ThreadId) -> String;
+
+    /// Display name of thread `t`.
+    fn thread_name(&self, t: ThreadId) -> String;
+}
+
+impl<S: Capture> TransitionSystem for Kernel<S> {
+    fn thread_count(&self) -> usize {
+        Kernel::thread_count(self)
+    }
+
+    fn enabled(&self, t: ThreadId) -> bool {
+        Kernel::enabled(self, t)
+    }
+
+    fn enabled_set(&self) -> TidSet {
+        Kernel::enabled_set(self)
+    }
+
+    fn is_yielding(&self, t: ThreadId) -> bool {
+        Kernel::is_yielding(self, t)
+    }
+
+    fn branching(&self, t: ThreadId) -> usize {
+        Kernel::branching(self, t)
+    }
+
+    fn step(&mut self, t: ThreadId, choice: u32) -> StepKind {
+        Kernel::step(self, t, choice).kind
+    }
+
+    fn status(&self) -> SystemStatus {
+        match Kernel::status(self) {
+            KernelStatus::Running => SystemStatus::Running,
+            KernelStatus::Terminated => SystemStatus::Terminated,
+            KernelStatus::Deadlock => SystemStatus::Deadlock,
+            KernelStatus::Violation(v) => SystemStatus::Violation(v.thread, v.message),
+        }
+    }
+
+    fn fingerprint(&self) -> u64 {
+        Kernel::fingerprint(self)
+    }
+
+    fn state_bytes(&self) -> Vec<u8> {
+        self.capture_state().into_bytes()
+    }
+
+    fn describe_op(&self, t: ThreadId) -> String {
+        format!("{:?}", self.next_op(t))
+    }
+
+    fn thread_name(&self, t: ThreadId) -> String {
+        Kernel::thread_name(self, t).to_string()
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testsys {
+    //! A tiny hand-built transition system for unit-testing the scheduler
+    //! and strategies without the kernel: each thread is a fixed script of
+    //! (yield?, enabled-condition) steps over a vector clock state.
+
+    use super::*;
+
+    /// One scripted action of a test thread.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Act {
+        /// Ordinary step.
+        Step,
+        /// Yielding step.
+        Yield,
+        /// Step enabled only when the given counter slot is nonzero.
+        WaitNonZero(usize),
+        /// Step that increments the given counter slot.
+        Inc(usize),
+        /// Step that decrements the given counter slot (enabled iff > 0).
+        Dec(usize),
+    }
+
+    /// Scripted multithreaded test program.
+    #[derive(Debug, Clone)]
+    pub struct Script {
+        pub threads: Vec<Vec<Act>>,
+        pub pcs: Vec<usize>,
+        pub counters: Vec<u64>,
+    }
+
+    impl Script {
+        pub fn new(threads: Vec<Vec<Act>>, counters: usize) -> Self {
+            let pcs = vec![0; threads.len()];
+            Script {
+                threads,
+                pcs,
+                counters: vec![0; counters],
+            }
+        }
+
+        fn current(&self, t: ThreadId) -> Option<Act> {
+            self.threads[t.index()].get(self.pcs[t.index()]).copied()
+        }
+    }
+
+    impl TransitionSystem for Script {
+        fn thread_count(&self) -> usize {
+            self.threads.len()
+        }
+
+        fn enabled(&self, t: ThreadId) -> bool {
+            match self.current(t) {
+                None => false,
+                Some(Act::WaitNonZero(c)) | Some(Act::Dec(c)) => self.counters[c] > 0,
+                Some(_) => true,
+            }
+        }
+
+        fn is_yielding(&self, t: ThreadId) -> bool {
+            self.enabled(t) && self.current(t) == Some(Act::Yield)
+        }
+
+        fn branching(&self, _t: ThreadId) -> usize {
+            1
+        }
+
+        fn step(&mut self, t: ThreadId, _choice: u32) -> StepKind {
+            let act = self.current(t).expect("stepping finished thread");
+            match act {
+                Act::Inc(c) => self.counters[c] += 1,
+                Act::Dec(c) => self.counters[c] -= 1,
+                _ => {}
+            }
+            self.pcs[t.index()] += 1;
+            if act == Act::Yield {
+                StepKind::Yield
+            } else {
+                StepKind::Normal
+            }
+        }
+
+        fn status(&self) -> SystemStatus {
+            let ids = (0..self.thread_count()).map(ThreadId::new);
+            let mut active = false;
+            for t in ids {
+                if self.current(t).is_some() {
+                    active = true;
+                    if self.enabled(t) {
+                        return SystemStatus::Running;
+                    }
+                }
+            }
+            if active {
+                SystemStatus::Deadlock
+            } else {
+                SystemStatus::Terminated
+            }
+        }
+
+        fn fingerprint(&self) -> u64 {
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for &pc in &self.pcs {
+                h = (h ^ pc as u64).wrapping_mul(0x100_0000_01b3);
+            }
+            for &c in &self.counters {
+                h = (h ^ c).wrapping_mul(0x100_0000_01b3);
+            }
+            h
+        }
+
+        fn state_bytes(&self) -> Vec<u8> {
+            let mut v = Vec::new();
+            for &pc in &self.pcs {
+                v.extend_from_slice(&(pc as u64).to_le_bytes());
+            }
+            for &c in &self.counters {
+                v.extend_from_slice(&c.to_le_bytes());
+            }
+            v
+        }
+
+        fn describe_op(&self, t: ThreadId) -> String {
+            format!("{:?}", self.current(t))
+        }
+
+        fn thread_name(&self, t: ThreadId) -> String {
+            format!("s{}", t.index())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testsys::{Act, Script};
+    use super::*;
+
+    #[test]
+    fn script_runs_to_termination() {
+        let mut s = Script::new(vec![vec![Act::Inc(0)], vec![Act::WaitNonZero(0)]], 1);
+        let t0 = ThreadId::new(0);
+        let t1 = ThreadId::new(1);
+        assert!(s.enabled(t0));
+        assert!(!s.enabled(t1));
+        s.step(t0, 0);
+        assert!(s.enabled(t1));
+        s.step(t1, 0);
+        assert_eq!(s.status(), SystemStatus::Terminated);
+    }
+
+    #[test]
+    fn script_deadlock() {
+        let mut s = Script::new(vec![vec![Act::Dec(0)]], 1);
+        assert_eq!(s.status(), SystemStatus::Deadlock);
+        s.counters[0] = 1;
+        assert_eq!(s.status(), SystemStatus::Running);
+    }
+
+    #[test]
+    fn kernel_implements_transition_system() {
+        let k: Kernel<()> = Kernel::new(());
+        assert_eq!(TransitionSystem::thread_count(&k), 0);
+        assert_eq!(TransitionSystem::status(&k), SystemStatus::Terminated);
+    }
+
+    #[test]
+    fn fingerprint_tracks_state_bytes() {
+        let mut s = Script::new(vec![vec![Act::Step, Act::Step]], 0);
+        let f0 = s.fingerprint();
+        let b0 = s.state_bytes();
+        s.step(ThreadId::new(0), 0);
+        assert_ne!(f0, s.fingerprint());
+        assert_ne!(b0, s.state_bytes());
+    }
+}

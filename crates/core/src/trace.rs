@@ -1,0 +1,163 @@
+//! Schedules, decisions and counterexamples.
+//!
+//! A stateless model checker's only persistent artifact is the *schedule*:
+//! the sequence of scheduling (and data) decisions that reproduces an
+//! execution from the initial state. Counterexamples carry a schedule and
+//! can be re-rendered into a human-readable trace by deterministic replay.
+
+use std::fmt;
+
+use chess_kernel::ThreadId;
+
+use crate::system::{SystemStatus, TransitionSystem};
+
+/// One scheduling decision: which thread to run, and which branch of its
+/// (possible) data choice to take.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Decision {
+    /// The scheduled thread.
+    pub thread: ThreadId,
+    /// The selected branch of a `Choose` transition (0 otherwise).
+    pub choice: u32,
+}
+
+impl Decision {
+    /// A decision with no data choice.
+    pub fn run(thread: ThreadId) -> Self {
+        Decision { thread, choice: 0 }
+    }
+}
+
+impl fmt::Display for Decision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.choice == 0 {
+            write!(f, "{}", self.thread)
+        } else {
+            write!(f, "{}#{}", self.thread, self.choice)
+        }
+    }
+}
+
+/// A complete replayable schedule.
+pub type Schedule = Vec<Decision>;
+
+/// Why an execution was flagged as erroneous.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CounterexampleKind {
+    /// A guest assertion failed or a kernel object was misused.
+    Safety,
+    /// No thread was enabled while some had not finished.
+    Deadlock,
+}
+
+/// A reproducible erroneous execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Counterexample {
+    /// The classification of the error.
+    pub kind: CounterexampleKind,
+    /// Human-readable description of the error.
+    pub message: String,
+    /// The schedule reproducing the error from the initial state.
+    pub schedule: Schedule,
+    /// The execution (1-based) in which the error was found.
+    pub execution: u64,
+}
+
+impl Counterexample {
+    /// Replays the counterexample on a fresh program instance and renders
+    /// a step-by-step trace.
+    ///
+    /// The factory must produce the same program the search ran on;
+    /// stateless model checking relies on deterministic re-execution.
+    pub fn render<P, F>(&self, mut factory: F) -> String
+    where
+        P: TransitionSystem,
+        F: FnMut() -> P,
+    {
+        let mut sys = factory();
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{} ({} steps): {}\n",
+            match self.kind {
+                CounterexampleKind::Safety => "safety violation",
+                CounterexampleKind::Deadlock => "deadlock",
+            },
+            self.schedule.len(),
+            self.message
+        ));
+        for (i, d) in self.schedule.iter().enumerate() {
+            let name = sys.thread_name(d.thread);
+            let op = sys.describe_op(d.thread);
+            let choice = if sys.branching(d.thread) > 1 {
+                format!(" [branch {}]", d.choice)
+            } else {
+                String::new()
+            };
+            out.push_str(&format!("{i:5}  {name:<16} {op}{choice}\n"));
+            sys.step(d.thread, d.choice);
+        }
+        match sys.status() {
+            SystemStatus::Violation(t, msg) => {
+                out.push_str(&format!("  =>  violation in {t}: {msg}\n"));
+            }
+            SystemStatus::Deadlock => out.push_str("  =>  deadlock\n"),
+            s => out.push_str(&format!("  =>  {s:?}\n")),
+        }
+        out
+    }
+}
+
+/// Replays a schedule on a system, stopping early if the program stops
+/// running. Returns the final status.
+///
+/// This is the `NextState`-composition the paper relies on for
+/// reproducing executions without storing states.
+pub fn replay<P: TransitionSystem>(sys: &mut P, schedule: &[Decision]) -> SystemStatus {
+    for d in schedule {
+        if !sys.status().is_running() {
+            break;
+        }
+        sys.step(d.thread, d.choice);
+    }
+    sys.status()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::testsys::{Act, Script};
+
+    #[test]
+    fn decision_display() {
+        let d = Decision::run(ThreadId::new(2));
+        assert_eq!(d.to_string(), "t2");
+        let d = Decision {
+            thread: ThreadId::new(1),
+            choice: 3,
+        };
+        assert_eq!(d.to_string(), "t1#3");
+    }
+
+    #[test]
+    fn replay_reaches_deadlock() {
+        let mk = || Script::new(vec![vec![Act::Step, Act::Dec(0)]], 1);
+        let mut sys = mk();
+        let status = replay(&mut sys, &[Decision::run(ThreadId::new(0))]);
+        assert_eq!(status, SystemStatus::Deadlock);
+    }
+
+    #[test]
+    fn render_includes_ops_and_outcome() {
+        let mk = || Script::new(vec![vec![Act::Step, Act::Dec(0)]], 1);
+        let cex = Counterexample {
+            kind: CounterexampleKind::Deadlock,
+            message: "stuck".into(),
+            schedule: vec![Decision::run(ThreadId::new(0))],
+            execution: 1,
+        };
+        let rendered = cex.render(mk);
+        assert!(rendered.contains("deadlock (1 steps): stuck"));
+        assert!(rendered.contains("s0"));
+        assert!(rendered.contains("=>  deadlock"));
+    }
+}

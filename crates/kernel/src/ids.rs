@@ -1,0 +1,95 @@
+//! Typed identifiers for kernel synchronization objects.
+//!
+//! Each object kind has its own id newtype so that guest code cannot, for
+//! example, pass a semaphore where a mutex is expected (C-NEWTYPE). Ids are
+//! dense per kind and assigned in creation order, which keeps executions
+//! deterministic and replayable.
+
+use std::fmt;
+
+macro_rules! object_id {
+    ($(#[$doc:meta])* $name:ident, $tag:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub(crate) u32);
+
+        impl $name {
+            /// Returns the dense index of this object id.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            pub(crate) const fn new(index: usize) -> Self {
+                Self(index as u32)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::Debug::fmt(self, f)
+            }
+        }
+    };
+}
+
+object_id!(
+    /// Identifier of a kernel mutex.
+    MutexId,
+    "mutex"
+);
+object_id!(
+    /// Identifier of a kernel reader-writer lock.
+    RwLockId,
+    "rwlock"
+);
+object_id!(
+    /// Identifier of a kernel counting semaphore.
+    SemaphoreId,
+    "sem"
+);
+object_id!(
+    /// Identifier of a kernel event (auto- or manual-reset).
+    EventId,
+    "event"
+);
+object_id!(
+    /// Identifier of a kernel condition variable.
+    CondvarId,
+    "condvar"
+);
+object_id!(
+    /// Identifier of a kernel bounded channel.
+    ChannelId,
+    "chan"
+);
+object_id!(
+    /// Identifier of a kernel atomic cell.
+    AtomicId,
+    "atomic"
+);
+object_id!(
+    /// Identifier of a kernel barrier.
+    BarrierId,
+    "barrier"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_and_index() {
+        let m = MutexId::new(2);
+        assert_eq!(format!("{m:?}"), "mutex2");
+        assert_eq!(format!("{m}"), "mutex2");
+        assert_eq!(m.index(), 2);
+        let c = ChannelId::new(0);
+        assert_eq!(format!("{c}"), "chan0");
+    }
+}

@@ -1,0 +1,769 @@
+//! The kernel: a deterministic world of guest threads, shared state and
+//! synchronization objects, driven one transition at a time by a scheduler.
+
+use std::fmt;
+
+use crate::capture::{Capture, StateWriter};
+use crate::ids::{AtomicId, BarrierId, ChannelId, CondvarId, EventId, MutexId, RwLockId, SemaphoreId};
+use crate::objects::Objects;
+use crate::op::{OpDesc, OpResult, StepKind};
+use crate::thread::{Effects, GuestThread};
+use crate::tid::{ThreadId, TidSet};
+
+/// A safety violation detected during an execution: a failed guest
+/// assertion or a misuse of a kernel object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The thread whose transition triggered the violation.
+    pub thread: ThreadId,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "violation in {}: {}", self.thread, self.message)
+    }
+}
+
+impl std::error::Error for Violation {}
+
+/// Overall status of a kernel execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KernelStatus {
+    /// At least one thread is enabled.
+    Running,
+    /// Every thread finished: a terminating execution.
+    Terminated,
+    /// No thread is enabled but some have not finished: a deadlock.
+    Deadlock,
+    /// A safety violation was detected.
+    Violation(Violation),
+}
+
+impl KernelStatus {
+    /// Returns whether the execution can take another transition.
+    pub fn is_running(&self) -> bool {
+        matches!(self, KernelStatus::Running)
+    }
+}
+
+/// Statistics accumulated over one execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Total transitions executed.
+    pub steps: u64,
+    /// Transitions that were synchronization operations (Table 1's
+    /// "Synch Ops" metric).
+    pub sync_ops: u64,
+    /// Transitions that were yields (explicit yields, sleeps, timeouts).
+    pub yields: u64,
+}
+
+/// Information about one executed transition, for traces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepInfo {
+    /// The operation that was executed.
+    pub op: OpDesc,
+    /// Whether the transition was yielding.
+    pub kind: StepKind,
+    /// The operation's result as delivered to the guest.
+    pub result: OpResult,
+}
+
+struct Slot<S> {
+    guest: Box<dyn GuestThread<S>>,
+    name: String,
+}
+
+/// A deterministic multithreaded program instance: shared state `S`, a set
+/// of guest threads, and a table of synchronization objects.
+///
+/// The kernel exposes exactly the interface the paper's Algorithm 1 needs:
+/// the `enabled(t)` and `yield(t)` predicates, and a `NextState` function
+/// ([`Kernel::step`]) executing one transition of a chosen thread. All
+/// nondeterminism is external: the kernel never makes a scheduling choice
+/// itself.
+///
+/// # Examples
+///
+/// ```
+/// use chess_kernel::{Effects, GuestThread, Kernel, OpDesc, OpResult, ThreadId};
+///
+/// #[derive(Clone)]
+/// struct SetFlag;
+/// impl GuestThread<bool> for SetFlag {
+///     fn next_op(&self, shared: &bool) -> OpDesc {
+///         if *shared { OpDesc::Finished } else { OpDesc::Local }
+///     }
+///     fn on_op(&mut self, _: OpResult, shared: &mut bool, _: &mut Effects<bool>) {
+///         *shared = true;
+///     }
+///     fn box_clone(&self) -> Box<dyn GuestThread<bool>> { Box::new(self.clone()) }
+/// }
+///
+/// let mut k = Kernel::new(false);
+/// let t = k.spawn(SetFlag);
+/// assert!(k.enabled(t));
+/// k.step(t, 0);
+/// assert!(!k.enabled(t));
+/// assert!(!k.status().is_running());
+/// ```
+pub struct Kernel<S> {
+    shared: S,
+    threads: Vec<Slot<S>>,
+    objects: Objects,
+    violation: Option<Violation>,
+    stats: ExecStats,
+}
+
+impl<S> Kernel<S> {
+    /// Creates a kernel with the given shared state and no threads.
+    pub fn new(shared: S) -> Self {
+        Kernel {
+            shared,
+            threads: Vec::new(),
+            objects: Objects::default(),
+            violation: None,
+            stats: ExecStats::default(),
+        }
+    }
+
+    /// Adds a guest thread and returns its id. Threads are identified by
+    /// the order in which they are added.
+    pub fn spawn(&mut self, guest: impl GuestThread<S> + 'static) -> ThreadId {
+        self.spawn_boxed(Box::new(guest))
+    }
+
+    /// Adds an already-boxed guest thread.
+    pub fn spawn_boxed(&mut self, guest: Box<dyn GuestThread<S>>) -> ThreadId {
+        let name = guest.name();
+        self.threads.push(Slot { guest, name });
+        ThreadId::new(self.threads.len() - 1)
+    }
+
+    /// Creates a mutex.
+    pub fn add_mutex(&mut self) -> MutexId {
+        self.objects.add_mutex()
+    }
+
+    /// Creates a reader-writer lock.
+    pub fn add_rwlock(&mut self) -> RwLockId {
+        self.objects.add_rwlock()
+    }
+
+    /// Creates a counting semaphore with `permits` initial permits.
+    pub fn add_semaphore(&mut self, permits: u32) -> SemaphoreId {
+        self.objects.add_semaphore(permits)
+    }
+
+    /// Creates an auto-reset event (consumed by the first completed wait).
+    pub fn add_auto_event(&mut self, initially_set: bool) -> EventId {
+        self.objects.add_event(true, initially_set)
+    }
+
+    /// Creates a manual-reset event (stays set until explicitly reset).
+    pub fn add_manual_event(&mut self, initially_set: bool) -> EventId {
+        self.objects.add_event(false, initially_set)
+    }
+
+    /// Creates a condition variable.
+    pub fn add_condvar(&mut self) -> CondvarId {
+        self.objects.add_condvar()
+    }
+
+    /// Creates an atomic cell with an initial value.
+    pub fn add_atomic(&mut self, value: u64) -> AtomicId {
+        self.objects.add_atomic(value)
+    }
+
+    /// Creates an `parties`-party reusable barrier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parties` is zero.
+    pub fn add_barrier(&mut self, parties: u32) -> BarrierId {
+        assert!(parties > 0, "a barrier needs at least one party");
+        self.objects.add_barrier(parties)
+    }
+
+    /// Creates a bounded channel with the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero (rendezvous channels are not
+    /// supported; use capacity 1 plus an event for a handshake).
+    pub fn add_channel(&mut self, capacity: usize) -> ChannelId {
+        assert!(capacity > 0, "channel capacity must be positive");
+        self.objects.add_channel(capacity)
+    }
+
+    /// Number of threads ever added (including finished ones).
+    pub fn thread_count(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Iterates over all thread ids.
+    pub fn thread_ids(&self) -> impl Iterator<Item = ThreadId> {
+        (0..self.threads.len()).map(ThreadId::new)
+    }
+
+    /// The display name of a thread.
+    pub fn thread_name(&self, t: ThreadId) -> &str {
+        &self.threads[t.index()].name
+    }
+
+    /// Shared state accessor (for assertions and result extraction).
+    pub fn shared(&self) -> &S {
+        &self.shared
+    }
+
+    /// Mutable shared state accessor, intended for test-harness setup
+    /// before the search starts.
+    pub fn shared_mut(&mut self) -> &mut S {
+        &mut self.shared
+    }
+
+    /// The next operation thread `t` would perform (for traces).
+    pub fn next_op(&self, t: ThreadId) -> OpDesc {
+        self.threads[t.index()].guest.next_op(&self.shared)
+    }
+
+    /// Has thread `t` finished?
+    pub fn is_finished(&self, t: ThreadId) -> bool {
+        matches!(self.next_op(t), OpDesc::Finished)
+    }
+
+    /// The paper's `enabled(t)` predicate: can `t` take a transition now?
+    pub fn enabled(&self, t: ThreadId) -> bool {
+        match self.next_op(t) {
+            OpDesc::Finished => false,
+            OpDesc::Join(u) => self.is_finished(u),
+            op => self.objects.satisfiable(t, &op),
+        }
+    }
+
+    /// The set of enabled threads (the paper's `ES`).
+    pub fn enabled_set(&self) -> TidSet {
+        self.thread_ids().filter(|&t| self.enabled(t)).collect()
+    }
+
+    /// The paper's `yield(t)` predicate: is `t` enabled and would its next
+    /// transition be a yield?
+    pub fn is_yielding(&self, t: ThreadId) -> bool {
+        self.enabled(t) && self.objects.is_yielding(&self.next_op(t))
+    }
+
+    /// The number of branches exploring thread `t` requires (1 except for
+    /// [`OpDesc::Choose`]).
+    pub fn branching(&self, t: ThreadId) -> usize {
+        self.next_op(t).branching()
+    }
+
+    /// Executes one transition of thread `t`.
+    ///
+    /// `choice` selects the branch for a [`OpDesc::Choose`] operation and
+    /// is ignored otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is not enabled or `choice` is out of range; both
+    /// indicate a scheduler bug, not a guest bug.
+    pub fn step(&mut self, t: ThreadId, choice: u32) -> StepInfo {
+        assert!(
+            self.enabled(t),
+            "scheduler bug: stepped disabled thread {t}"
+        );
+        let op = self.next_op(t);
+        let (result, kind) = match op {
+            OpDesc::Local | OpDesc::Join(_) => (OpResult::Unit, StepKind::Normal),
+            OpDesc::Choose(n) => {
+                if n == 0 {
+                    self.violation = Some(Violation {
+                        thread: t,
+                        message: "Choose(0) has no branches".to_string(),
+                    });
+                    return StepInfo {
+                        op,
+                        kind: StepKind::Normal,
+                        result: OpResult::Choice(0),
+                    };
+                }
+                assert!(choice < n, "scheduler bug: choice {choice} out of {n}");
+                (OpResult::Choice(choice), StepKind::Normal)
+            }
+            OpDesc::Finished => unreachable!("finished threads are never enabled"),
+            ref obj_op => match self.objects.execute(t, obj_op) {
+                Ok(r) => r,
+                Err(v) => {
+                    self.violation = Some(Violation {
+                        thread: t,
+                        message: v.0,
+                    });
+                    return StepInfo {
+                        op,
+                        kind: StepKind::Normal,
+                        result: OpResult::Unit,
+                    };
+                }
+            },
+        };
+        self.stats.steps += 1;
+        if op.is_sync_op() {
+            self.stats.sync_ops += 1;
+        }
+        if kind.is_yield() {
+            self.stats.yields += 1;
+        }
+        let mut fx = Effects::new(self.threads.len());
+        {
+            let slot = &mut self.threads[t.index()];
+            slot.guest.on_op(result, &mut self.shared, &mut fx);
+        }
+        for guest in fx.spawns {
+            self.spawn_boxed(guest);
+        }
+        if let Some(message) = fx.violation {
+            self.violation = Some(Violation { thread: t, message });
+        }
+        StepInfo { op, kind, result }
+    }
+
+    /// Current execution status.
+    pub fn status(&self) -> KernelStatus {
+        if let Some(v) = &self.violation {
+            return KernelStatus::Violation(v.clone());
+        }
+        let mut any_active = false;
+        for t in self.thread_ids() {
+            if !self.is_finished(t) {
+                any_active = true;
+                if self.enabled(t) {
+                    return KernelStatus::Running;
+                }
+            }
+        }
+        if any_active {
+            KernelStatus::Deadlock
+        } else {
+            KernelStatus::Terminated
+        }
+    }
+
+    /// Injects a violation from outside a transition (used by external
+    /// monitors checking whole-program invariants between transitions).
+    pub fn report_violation(&mut self, thread: ThreadId, message: impl Into<String>) {
+        if self.violation.is_none() {
+            self.violation = Some(Violation {
+                thread,
+                message: message.into(),
+            });
+        }
+    }
+
+    /// Statistics of this execution so far.
+    pub fn stats(&self) -> ExecStats {
+        self.stats
+    }
+
+    /// Number of synchronization objects created.
+    pub fn object_count(&self) -> usize {
+        self.objects.count()
+    }
+}
+
+impl<S: Capture> Kernel<S> {
+    /// Captures the complete abstract state: shared state, every thread's
+    /// local state plus its next operation, and all object states.
+    ///
+    /// Two kernels with equal captures are behaviorally equivalent (given
+    /// faithful [`Capture`]/[`GuestThread::capture`] implementations), so
+    /// the returned writer's bytes serve as an exact visited-set key.
+    pub fn capture_state(&self) -> StateWriter {
+        let mut w = StateWriter::new();
+        self.shared.capture(&mut w);
+        for slot in &self.threads {
+            slot.guest.capture(&mut w);
+            // The pending op disambiguates threads whose `capture` is
+            // coarse; it is part of the control state.
+            let op = slot.guest.next_op(&self.shared);
+            w.write_str(&format!("{op:?}"));
+        }
+        self.objects.capture(&mut w);
+        w
+    }
+
+    /// 64-bit fingerprint of [`Kernel::capture_state`].
+    pub fn fingerprint(&self) -> u64 {
+        self.capture_state().fingerprint()
+    }
+}
+
+impl<S: Clone> Clone for Kernel<S> {
+    fn clone(&self) -> Self {
+        Kernel {
+            shared: self.shared.clone(),
+            threads: self
+                .threads
+                .iter()
+                .map(|s| Slot {
+                    guest: s.guest.box_clone(),
+                    name: s.name.clone(),
+                })
+                .collect(),
+            objects: self.objects.clone(),
+            violation: self.violation.clone(),
+            stats: self.stats,
+        }
+    }
+}
+
+impl<S: fmt::Debug> fmt::Debug for Kernel<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Kernel")
+            .field("shared", &self.shared)
+            .field("threads", &self.threads.len())
+            .field("objects", &self.objects.count())
+            .field("violation", &self.violation)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone)]
+    struct Locker {
+        pc: u8,
+        m: MutexId,
+    }
+
+    impl GuestThread<u32> for Locker {
+        fn next_op(&self, _: &u32) -> OpDesc {
+            match self.pc {
+                0 => OpDesc::Acquire(self.m),
+                1 => OpDesc::Local,
+                2 => OpDesc::Release(self.m),
+                _ => OpDesc::Finished,
+            }
+        }
+        fn on_op(&mut self, _: OpResult, shared: &mut u32, _: &mut Effects<u32>) {
+            if self.pc == 1 {
+                *shared += 1;
+            }
+            self.pc += 1;
+        }
+        fn name(&self) -> String {
+            "locker".to_string()
+        }
+        fn box_clone(&self) -> Box<dyn GuestThread<u32>> {
+            Box::new(self.clone())
+        }
+    }
+
+    fn two_lockers() -> (Kernel<u32>, ThreadId, ThreadId) {
+        let mut k = Kernel::new(0u32);
+        let m = k.add_mutex();
+        let a = k.spawn(Locker { pc: 0, m });
+        let b = k.spawn(Locker { pc: 0, m });
+        (k, a, b)
+    }
+
+    #[test]
+    fn mutual_exclusion_disables_contender() {
+        let (mut k, a, b) = two_lockers();
+        assert!(k.enabled(a) && k.enabled(b));
+        k.step(a, 0);
+        assert!(k.enabled(a));
+        assert!(!k.enabled(b), "b must be disabled while a holds the lock");
+        k.step(a, 0);
+        k.step(a, 0); // release
+        assert!(k.enabled(b));
+    }
+
+    #[test]
+    fn terminating_execution_counts_state() {
+        let (mut k, a, b) = two_lockers();
+        for t in [a, a, a, b, b, b] {
+            k.step(t, 0);
+        }
+        assert_eq!(*k.shared(), 2);
+        assert_eq!(k.status(), KernelStatus::Terminated);
+        assert_eq!(k.stats().steps, 6);
+        assert_eq!(k.stats().sync_ops, 4); // 2 acquires + 2 releases
+    }
+
+    #[test]
+    fn deadlock_detected() {
+        // Two threads each holding one lock and wanting the other.
+        #[derive(Clone)]
+        struct Deadlocker {
+            pc: u8,
+            first: MutexId,
+            second: MutexId,
+        }
+        impl GuestThread<()> for Deadlocker {
+            fn next_op(&self, _: &()) -> OpDesc {
+                match self.pc {
+                    0 => OpDesc::Acquire(self.first),
+                    1 => OpDesc::Acquire(self.second),
+                    _ => OpDesc::Finished,
+                }
+            }
+            fn on_op(&mut self, _: OpResult, _: &mut (), _: &mut Effects<()>) {
+                self.pc += 1;
+            }
+            fn box_clone(&self) -> Box<dyn GuestThread<()>> {
+                Box::new(self.clone())
+            }
+        }
+        let mut k = Kernel::new(());
+        let m1 = k.add_mutex();
+        let m2 = k.add_mutex();
+        let a = k.spawn(Deadlocker {
+            pc: 0,
+            first: m1,
+            second: m2,
+        });
+        let b = k.spawn(Deadlocker {
+            pc: 0,
+            first: m2,
+            second: m1,
+        });
+        k.step(a, 0);
+        k.step(b, 0);
+        assert_eq!(k.status(), KernelStatus::Deadlock);
+    }
+
+    #[test]
+    fn violation_from_guest_assertion() {
+        #[derive(Clone)]
+        struct Failer(bool);
+        impl GuestThread<()> for Failer {
+            fn next_op(&self, _: &()) -> OpDesc {
+                if self.0 {
+                    OpDesc::Finished
+                } else {
+                    OpDesc::Local
+                }
+            }
+            fn on_op(&mut self, _: OpResult, _: &mut (), fx: &mut Effects<()>) {
+                fx.fail("boom");
+                self.0 = true;
+            }
+            fn box_clone(&self) -> Box<dyn GuestThread<()>> {
+                Box::new(self.clone())
+            }
+        }
+        let mut k = Kernel::new(());
+        let t = k.spawn(Failer(false));
+        k.step(t, 0);
+        match k.status() {
+            KernelStatus::Violation(v) => {
+                assert_eq!(v.thread, t);
+                assert_eq!(v.message, "boom");
+            }
+            s => panic!("expected violation, got {s:?}"),
+        }
+    }
+
+    #[test]
+    fn dynamic_spawn_and_join() {
+        #[derive(Clone)]
+        struct Child;
+        impl GuestThread<u32> for Child {
+            fn next_op(&self, shared: &u32) -> OpDesc {
+                if *shared == 0 {
+                    OpDesc::Local
+                } else {
+                    OpDesc::Finished
+                }
+            }
+            fn on_op(&mut self, _: OpResult, shared: &mut u32, _: &mut Effects<u32>) {
+                *shared = 1;
+            }
+            fn box_clone(&self) -> Box<dyn GuestThread<u32>> {
+                Box::new(self.clone())
+            }
+        }
+        #[derive(Clone)]
+        struct Parent {
+            pc: u8,
+            child: Option<ThreadId>,
+        }
+        impl GuestThread<u32> for Parent {
+            fn next_op(&self, _: &u32) -> OpDesc {
+                match self.pc {
+                    0 => OpDesc::Local,
+                    1 => OpDesc::Join(self.child.unwrap()),
+                    _ => OpDesc::Finished,
+                }
+            }
+            fn on_op(&mut self, _: OpResult, _: &mut u32, fx: &mut Effects<u32>) {
+                if self.pc == 0 {
+                    self.child = Some(fx.spawn(Box::new(Child)));
+                }
+                self.pc += 1;
+            }
+            fn box_clone(&self) -> Box<dyn GuestThread<u32>> {
+                Box::new(self.clone())
+            }
+        }
+        let mut k = Kernel::new(0u32);
+        let p = k.spawn(Parent { pc: 0, child: None });
+        k.step(p, 0);
+        assert_eq!(k.thread_count(), 2);
+        let c = ThreadId::new(1);
+        // Parent blocked on join until the child finishes.
+        assert!(!k.enabled(p));
+        assert!(k.enabled(c));
+        k.step(c, 0);
+        assert!(k.enabled(p));
+        k.step(p, 0);
+        assert_eq!(k.status(), KernelStatus::Terminated);
+    }
+
+    #[test]
+    fn choose_branches() {
+        #[derive(Clone)]
+        struct Chooser {
+            picked: Option<u32>,
+        }
+        impl GuestThread<()> for Chooser {
+            fn next_op(&self, _: &()) -> OpDesc {
+                if self.picked.is_none() {
+                    OpDesc::Choose(3)
+                } else {
+                    OpDesc::Finished
+                }
+            }
+            fn on_op(&mut self, r: OpResult, _: &mut (), _: &mut Effects<()>) {
+                self.picked = Some(r.as_choice());
+            }
+            fn box_clone(&self) -> Box<dyn GuestThread<()>> {
+                Box::new(self.clone())
+            }
+        }
+        let mut k = Kernel::new(());
+        let t = k.spawn(Chooser { picked: None });
+        assert_eq!(k.branching(t), 3);
+        k.step(t, 2);
+        assert_eq!(k.status(), KernelStatus::Terminated);
+    }
+
+    #[test]
+    fn clone_snapshots_full_state() {
+        let (mut k, a, b) = two_lockers();
+        k.step(a, 0);
+        let snap = k.clone();
+        k.step(a, 0);
+        k.step(a, 0);
+        k.step(b, 0);
+        // The snapshot still has a holding the lock and b disabled.
+        assert!(!snap.enabled(b));
+        assert_eq!(*snap.shared(), 0);
+        assert_eq!(*k.shared(), 1);
+    }
+
+    #[test]
+    fn object_misuse_becomes_violation() {
+        #[derive(Clone)]
+        struct BadRelease(MutexId, bool);
+        impl GuestThread<()> for BadRelease {
+            fn next_op(&self, _: &()) -> OpDesc {
+                if self.1 {
+                    OpDesc::Finished
+                } else {
+                    OpDesc::Release(self.0)
+                }
+            }
+            fn on_op(&mut self, _: OpResult, _: &mut (), _: &mut Effects<()>) {
+                self.1 = true;
+            }
+            fn box_clone(&self) -> Box<dyn GuestThread<()>> {
+                Box::new(self.clone())
+            }
+        }
+        let mut k = Kernel::new(());
+        let m = k.add_mutex();
+        let t = k.spawn(BadRelease(m, false));
+        k.step(t, 0);
+        assert!(matches!(k.status(), KernelStatus::Violation(_)));
+    }
+
+    #[test]
+    fn step_info_reports_op_and_result() {
+        let (mut k, a, b) = two_lockers();
+        let info = k.step(a, 0);
+        assert!(matches!(info.op, OpDesc::Acquire(_)));
+        assert_eq!(info.result, OpResult::Unit);
+        assert!(!info.kind.is_yield());
+        let _ = b;
+    }
+
+    #[test]
+    fn external_monitor_can_report_violations() {
+        let (mut k, a, _b) = two_lockers();
+        k.report_violation(a, "monitor saw an invariant break");
+        match k.status() {
+            KernelStatus::Violation(v) => {
+                assert_eq!(v.thread, a);
+                assert!(v.message.contains("invariant"));
+            }
+            s => panic!("expected violation, got {s:?}"),
+        }
+        // First violation wins.
+        k.report_violation(a, "second");
+        if let KernelStatus::Violation(v) = k.status() {
+            assert!(v.message.contains("invariant"));
+        }
+    }
+
+    #[test]
+    fn yields_counted_in_stats() {
+        #[derive(Clone)]
+        struct Napper(u8);
+        impl GuestThread<()> for Napper {
+            fn next_op(&self, _: &()) -> OpDesc {
+                match self.0 {
+                    0 => OpDesc::Sleep,
+                    1 => OpDesc::Yield,
+                    2 => OpDesc::Local,
+                    _ => OpDesc::Finished,
+                }
+            }
+            fn on_op(&mut self, _: OpResult, _: &mut (), _: &mut Effects<()>) {
+                self.0 += 1;
+            }
+            fn box_clone(&self) -> Box<dyn GuestThread<()>> {
+                Box::new(self.clone())
+            }
+        }
+        let mut k = Kernel::new(());
+        let t = k.spawn(Napper(0));
+        assert!(k.is_yielding(t));
+        k.step(t, 0);
+        k.step(t, 0);
+        assert!(!k.is_yielding(t));
+        k.step(t, 0);
+        assert_eq!(k.stats().yields, 2);
+        assert_eq!(k.stats().steps, 3);
+    }
+
+    #[test]
+    fn names_and_object_counts() {
+        let (k, a, _b) = two_lockers();
+        assert_eq!(k.thread_name(a), "locker");
+        assert_eq!(k.object_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduler bug")]
+    fn stepping_disabled_thread_panics() {
+        let (mut k, a, b) = two_lockers();
+        k.step(a, 0);
+        k.step(b, 0); // b is disabled: scheduler bug
+    }
+}

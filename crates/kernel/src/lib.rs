@@ -1,0 +1,97 @@
+//! # chess-kernel — a deterministic virtual concurrency kernel
+//!
+//! This crate is the *substrate* for the fair stateless model checker in
+//! the companion `chess-core` crate (a reproduction of **"Fair Stateless
+//! Model Checking"**, Musuvathi & Qadeer, PLDI 2008). It plays the role
+//! that the instrumented Win32/.NET synchronization layer plays for CHESS:
+//! it provides multithreaded *guest programs* whose every transition is
+//! deterministic and whose scheduling nondeterminism is fully externalized.
+//!
+//! The pieces:
+//!
+//! * [`Kernel`] — a world of guest threads, shared state, and
+//!   synchronization objects, advanced one transition at a time by
+//!   [`Kernel::step`]. It exposes exactly the predicates the paper's
+//!   Algorithm 1 consumes: `enabled(t)` ([`Kernel::enabled`]) and
+//!   `yield(t)` ([`Kernel::is_yielding`]).
+//! * [`GuestThread`] — the trait guest threads implement: a pure
+//!   *describe* half ([`GuestThread::next_op`]) and an *apply* half
+//!   ([`GuestThread::on_op`]). The describe/apply split lets the kernel
+//!   evaluate enabledness without speculative execution: a thread whose
+//!   next operation would block is simply never scheduled, as in the
+//!   paper's formal model.
+//! * Synchronization objects with demonic semantics — mutexes (blocking,
+//!   try, and timeout acquires), reader-writer locks, counting semaphores,
+//!   auto/manual-reset events, condition variables, bounded channels,
+//!   joins, plus data nondeterminism via [`OpDesc::Choose`]. When an
+//!   object becomes available, *all* waiters become enabled and the
+//!   scheduler picks the winner.
+//! * Yield modeling — explicit yields, sleeps, and every timeout
+//!   operation are *yielding transitions*, the signal the fair scheduler
+//!   uses (the paper's good-samaritan property).
+//! * [`Capture`]/[`StateWriter`] — on-demand state extraction for the
+//!   coverage experiments (Table 2), used by the `chess-state` crate.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use chess_kernel::{Effects, GuestThread, Kernel, MutexId, OpDesc, OpResult};
+//!
+//! // A guest thread is an explicit state machine: describe the next
+//! // operation, then apply the transition body when it executes.
+//! #[derive(Clone)]
+//! struct Increment {
+//!     pc: u8,
+//!     lock: MutexId,
+//! }
+//!
+//! impl GuestThread<u64> for Increment {
+//!     fn next_op(&self, _shared: &u64) -> OpDesc {
+//!         match self.pc {
+//!             0 => OpDesc::Acquire(self.lock),
+//!             1 => OpDesc::Local,
+//!             2 => OpDesc::Release(self.lock),
+//!             _ => OpDesc::Finished,
+//!         }
+//!     }
+//!     fn on_op(&mut self, _r: OpResult, shared: &mut u64, _fx: &mut Effects<u64>) {
+//!         if self.pc == 1 {
+//!             *shared += 1;
+//!         }
+//!         self.pc += 1;
+//!     }
+//!     fn box_clone(&self) -> Box<dyn GuestThread<u64>> {
+//!         Box::new(self.clone())
+//!     }
+//! }
+//!
+//! let mut kernel = Kernel::new(0u64);
+//! let lock = kernel.add_mutex();
+//! let a = kernel.spawn(Increment { pc: 0, lock });
+//! let b = kernel.spawn(Increment { pc: 0, lock });
+//!
+//! // A scheduler (normally chess-core) drives the kernel:
+//! while kernel.status().is_running() {
+//!     let t = kernel.thread_ids().find(|&t| kernel.enabled(t)).unwrap();
+//!     kernel.step(t, 0);
+//! }
+//! assert_eq!(*kernel.shared(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod capture;
+mod ids;
+mod kernel;
+mod objects;
+mod op;
+mod thread;
+mod tid;
+
+pub use capture::{Capture, StateWriter};
+pub use ids::{AtomicId, BarrierId, ChannelId, CondvarId, EventId, MutexId, RwLockId, SemaphoreId};
+pub use kernel::{ExecStats, Kernel, KernelStatus, StepInfo, Violation};
+pub use op::{OpDesc, OpResult, StepKind};
+pub use thread::{Effects, GuestThread, ThreadStatus};
+pub use tid::{Iter as TidSetIter, ThreadId, TidSet};

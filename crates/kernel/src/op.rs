@@ -1,0 +1,280 @@
+//! Operation descriptors: the interface between guest threads and the kernel.
+//!
+//! A guest thread's transition relation is split in two pure halves (see
+//! [`crate::GuestThread`]): [`OpDesc`] *describes* the next operation the
+//! thread will perform, and the kernel *executes* it, handing the outcome
+//! back as an [`OpResult`]. This split is what lets the kernel compute the
+//! paper's `enabled(t)` and `yield(t)` predicates exactly, without
+//! speculative execution or rollback: a thread whose next operation would
+//! block is simply *not enabled* and is never scheduled, just as in the
+//! formal model of Section 3.
+
+use crate::ids::{AtomicId, BarrierId, ChannelId, CondvarId, EventId, MutexId, RwLockId, SemaphoreId};
+use crate::tid::ThreadId;
+
+/// Description of the next operation of a guest thread.
+///
+/// Returned by [`crate::GuestThread::next_op`]. Must be a pure function of
+/// the thread's local state and the shared state: the kernel may call it
+/// repeatedly (to evaluate `enabled`/`yield`) before actually executing it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum OpDesc {
+    /// A local computation step (possibly touching shared memory).
+    ///
+    /// Always enabled. Every transition is a scheduling point, so threads
+    /// that want fine-grained interleaving of data accesses split them
+    /// across several `Local` steps.
+    Local,
+    /// An explicit processor yield, e.g. `Thread.Yield()` / `sched_yield`.
+    ///
+    /// Always enabled; this is a *yielding* transition in the sense of the
+    /// paper's good-samaritan property.
+    Yield,
+    /// A sleep with a finite timeout.
+    ///
+    /// Semantically identical to [`OpDesc::Yield`]: CHESS treats every
+    /// operation with a finite timeout as a yield (Section 4).
+    Sleep,
+    /// Blocking acquire of a mutex. Enabled iff the mutex is free.
+    Acquire(MutexId),
+    /// Non-blocking acquire attempt. Always enabled; the result reports
+    /// success as [`OpResult::Bool`].
+    TryAcquire(MutexId),
+    /// Acquire with a finite timeout. Always enabled: if the mutex is free
+    /// the acquire succeeds (`Bool(true)`), otherwise the operation *times
+    /// out* and counts as a yielding transition (`Bool(false)`).
+    AcquireTimeout(MutexId),
+    /// Release of a held mutex. Always enabled; releasing a mutex the
+    /// thread does not hold is reported as a safety violation.
+    Release(MutexId),
+    /// Blocking shared (read) acquire of a reader-writer lock.
+    RwAcquireRead(RwLockId),
+    /// Blocking exclusive (write) acquire of a reader-writer lock.
+    RwAcquireWrite(RwLockId),
+    /// Non-blocking exclusive acquire attempt on a reader-writer lock.
+    RwTryAcquireWrite(RwLockId),
+    /// Release of a reader-writer lock (either mode).
+    RwRelease(RwLockId),
+    /// Semaphore down (P). Enabled iff at least one permit is available.
+    SemDown(SemaphoreId),
+    /// Semaphore down with a finite timeout: succeeds if a permit is
+    /// available, otherwise times out as a yielding transition.
+    SemDownTimeout(SemaphoreId),
+    /// Semaphore up (V). Always enabled.
+    SemUp(SemaphoreId),
+    /// Wait until an event is set. Enabled iff the event is set; consuming
+    /// an auto-reset event resets it.
+    EventWait(EventId),
+    /// Wait on an event with a finite timeout: if the event is set the wait
+    /// succeeds (`Bool(true)`), otherwise it times out as a yielding
+    /// transition (`Bool(false)`).
+    EventWaitTimeout(EventId),
+    /// Set an event, waking its waiters. Always enabled.
+    EventSet(EventId),
+    /// Reset a manual-reset event. Always enabled.
+    EventReset(EventId),
+    /// First half of a condition-variable wait: atomically release the
+    /// mutex and enroll as a waiter. Always enabled; it is a safety
+    /// violation if the thread does not hold the mutex.
+    CondEnroll(CondvarId, MutexId),
+    /// Second half of a condition-variable wait: consume a signal. Enabled
+    /// iff a signal is available to this thread. After this the guest
+    /// should re-acquire the mutex with [`OpDesc::Acquire`].
+    CondConsume(CondvarId),
+    /// Signal one waiter of a condition variable. Always enabled.
+    CondSignal(CondvarId),
+    /// Signal all current waiters of a condition variable. Always enabled.
+    CondBroadcast(CondvarId),
+    /// Send a message on a bounded channel. Enabled iff the channel has
+    /// capacity or is closed (sending on a closed channel yields
+    /// `Bool(false)` rather than blocking forever).
+    Send(ChannelId, u64),
+    /// Non-blocking send attempt: always enabled, `Bool` reports success.
+    TrySend(ChannelId, u64),
+    /// Receive from a bounded channel. Enabled iff a message is available
+    /// or the channel is closed (yielding [`OpResult::Message`] `None`).
+    Recv(ChannelId),
+    /// Non-blocking receive attempt: always enabled; the result is
+    /// [`OpResult::Message`] (`None` if no message was available).
+    TryRecv(ChannelId),
+    /// Close a channel. Always enabled; receivers of an empty closed
+    /// channel observe `Message(None)`.
+    Close(ChannelId),
+    /// Wait for another thread to finish. Enabled iff the target finished.
+    Join(ThreadId),
+    /// Atomic load; the result is [`OpResult::Value`]. Always enabled.
+    AtomicLoad(AtomicId),
+    /// Atomic store. Always enabled.
+    AtomicStore(AtomicId, u64),
+    /// Atomic compare-and-swap `(cell, expected, new)`: stores `new` iff
+    /// the cell holds `expected`; [`OpResult::Bool`] reports success.
+    /// Always enabled (failure is a result, not blocking).
+    AtomicCas(AtomicId, u64, u64),
+    /// Atomic swap; the result is the previous value. Always enabled.
+    AtomicSwap(AtomicId, u64),
+    /// Atomic fetch-and-add (wrapping); the result is the previous
+    /// value. Always enabled.
+    AtomicAdd(AtomicId, u64),
+    /// Arrive at a barrier: registers this thread's arrival and returns
+    /// the current generation as [`OpResult::Value`]. Always enabled.
+    /// Follow with [`OpDesc::BarrierAwait`] on the returned generation.
+    BarrierArrive(BarrierId),
+    /// Wait until the barrier's generation exceeds `gen` (i.e. all
+    /// parties of that generation arrived). Enabled iff it has.
+    BarrierAwait(BarrierId, u64),
+    /// A `k`-way nondeterministic data choice. Always enabled; the model
+    /// checker enumerates all `k` branches and the chosen index arrives as
+    /// [`OpResult::Choice`]. `Choose(0)` is a guest bug and is reported as
+    /// a violation.
+    Choose(u32),
+    /// The thread has finished. A finished thread is never enabled; the
+    /// execution terminates when every thread is finished.
+    Finished,
+}
+
+impl OpDesc {
+    /// Returns whether this operation is a *synchronization* operation for
+    /// the purposes of statistics (Table 1 counts these).
+    pub fn is_sync_op(&self) -> bool {
+        !matches!(self, OpDesc::Local | OpDesc::Finished | OpDesc::Choose(_))
+    }
+
+    /// Returns the number of branches the model checker must explore for
+    /// this operation (1 for everything except [`OpDesc::Choose`]).
+    pub fn branching(&self) -> usize {
+        match self {
+            OpDesc::Choose(n) => (*n).max(1) as usize,
+            _ => 1,
+        }
+    }
+}
+
+/// Outcome of an executed operation, passed to [`crate::GuestThread::on_op`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum OpResult {
+    /// The operation completed and carries no value (acquire, release,
+    /// set-event, send, yield, ...).
+    Unit,
+    /// Result of a try- or timeout-operation: `true` on success, `false`
+    /// on failure/timeout.
+    Bool(bool),
+    /// Result of a receive: the message, or `None` if the channel is
+    /// closed (blocking receive) or empty (try-receive).
+    Message(Option<u64>),
+    /// The branch selected for an [`OpDesc::Choose`].
+    Choice(u32),
+    /// A numeric result (atomic loads/swaps/adds, barrier generations).
+    Value(u64),
+}
+
+impl OpResult {
+    /// Extracts a boolean result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result is not [`OpResult::Bool`]; that indicates a
+    /// guest/kernel protocol mismatch, which is a bug in the guest.
+    pub fn as_bool(self) -> bool {
+        match self {
+            OpResult::Bool(b) => b,
+            other => panic!("expected Bool result, got {other:?}"),
+        }
+    }
+
+    /// Extracts a message result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result is not [`OpResult::Message`].
+    pub fn as_message(self) -> Option<u64> {
+        match self {
+            OpResult::Message(m) => m,
+            other => panic!("expected Message result, got {other:?}"),
+        }
+    }
+
+    /// Extracts a choice result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result is not [`OpResult::Choice`].
+    pub fn as_choice(self) -> u32 {
+        match self {
+            OpResult::Choice(c) => c,
+            other => panic!("expected Choice result, got {other:?}"),
+        }
+    }
+
+    /// Extracts a numeric result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result is not [`OpResult::Value`].
+    pub fn as_value(self) -> u64 {
+        match self {
+            OpResult::Value(v) => v,
+            other => panic!("expected Value result, got {other:?}"),
+        }
+    }
+}
+
+/// Classification of an executed transition, as needed by the fair
+/// scheduler: was it a yielding transition or not?
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StepKind {
+    /// An ordinary transition.
+    Normal,
+    /// A yielding transition: an explicit yield, a sleep, or a
+    /// synchronization operation that timed out.
+    Yield,
+}
+
+impl StepKind {
+    /// Returns whether this was a yielding transition.
+    pub fn is_yield(self) -> bool {
+        matches!(self, StepKind::Yield)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::MutexId;
+
+    #[test]
+    fn sync_op_classification() {
+        assert!(!OpDesc::Local.is_sync_op());
+        assert!(!OpDesc::Finished.is_sync_op());
+        assert!(!OpDesc::Choose(2).is_sync_op());
+        assert!(OpDesc::Yield.is_sync_op());
+        assert!(OpDesc::Acquire(MutexId::new(0)).is_sync_op());
+    }
+
+    #[test]
+    fn branching_width() {
+        assert_eq!(OpDesc::Local.branching(), 1);
+        assert_eq!(OpDesc::Choose(4).branching(), 4);
+        assert_eq!(OpDesc::Choose(0).branching(), 1);
+    }
+
+    #[test]
+    fn result_extractors() {
+        assert!(OpResult::Bool(true).as_bool());
+        assert_eq!(OpResult::Message(Some(7)).as_message(), Some(7));
+        assert_eq!(OpResult::Choice(3).as_choice(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected Bool")]
+    fn result_extractor_mismatch_panics() {
+        OpResult::Unit.as_bool();
+    }
+
+    #[test]
+    fn step_kind() {
+        assert!(StepKind::Yield.is_yield());
+        assert!(!StepKind::Normal.is_yield());
+    }
+}

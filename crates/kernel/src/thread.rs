@@ -1,0 +1,207 @@
+//! Guest threads: the programs the model checker executes.
+//!
+//! A guest thread is an explicit small-step state machine. Its transition
+//! relation is split into a pure *describe* half ([`GuestThread::next_op`])
+//! and an *apply* half ([`GuestThread::on_op`]); the kernel executes the
+//! described operation atomically in between. Exactly one operation is
+//! performed per transition, which makes every transition a scheduling
+//! point — the same granularity CHESS uses (it preempts at synchronization
+//! operations).
+
+use std::fmt;
+
+use crate::capture::StateWriter;
+use crate::op::{OpDesc, OpResult};
+use crate::tid::ThreadId;
+
+/// A guest thread over shared state `S`.
+///
+/// # Writing guests
+///
+/// Guests are typically written as a `pc` (program counter) enum plus a
+/// `match` in both methods:
+///
+/// ```
+/// use chess_kernel::{Effects, GuestThread, MutexId, OpDesc, OpResult};
+///
+/// #[derive(Clone)]
+/// struct LockAndBump {
+///     pc: u8,
+///     lock: MutexId,
+/// }
+///
+/// impl GuestThread<u64> for LockAndBump {
+///     fn next_op(&self, _shared: &u64) -> OpDesc {
+///         match self.pc {
+///             0 => OpDesc::Acquire(self.lock),
+///             1 => OpDesc::Local, // the critical section
+///             2 => OpDesc::Release(self.lock),
+///             _ => OpDesc::Finished,
+///         }
+///     }
+///
+///     fn on_op(&mut self, _r: OpResult, shared: &mut u64, _fx: &mut Effects<u64>) {
+///         if self.pc == 1 {
+///             *shared += 1;
+///         }
+///         self.pc += 1;
+///     }
+///
+///     fn box_clone(&self) -> Box<dyn GuestThread<u64>> {
+///         Box::new(self.clone())
+///     }
+/// }
+/// ```
+///
+/// # Contract
+///
+/// * `next_op` must be a **pure** function of `(self, shared)`: the kernel
+///   calls it repeatedly to evaluate the `enabled(t)` and `yield(t)`
+///   predicates of the paper.
+/// * `on_op` is called exactly once per executed transition, after the
+///   kernel has applied the operation's effect on its object. It updates
+///   the thread's local state (advance the pc) and may mutate the shared
+///   state; together with the object effect this forms one atomic
+///   transition.
+/// * A thread signals completion by returning [`OpDesc::Finished`]; it is
+///   then never scheduled again.
+pub trait GuestThread<S> {
+    /// Describes the next operation this thread will perform, as a pure
+    /// function of the thread-local and shared state.
+    fn next_op(&self, shared: &S) -> OpDesc;
+
+    /// Applies the transition body after the kernel executed the operation
+    /// described by [`GuestThread::next_op`].
+    fn on_op(&mut self, result: OpResult, shared: &mut S, fx: &mut Effects<S>);
+
+    /// A human-readable name for traces and counterexamples.
+    fn name(&self) -> String {
+        "thread".to_string()
+    }
+
+    /// Writes the thread-local state (typically the pc and local
+    /// variables) for state-coverage fingerprinting. The default writes
+    /// nothing, which is only sound for threads whose relevant state is
+    /// entirely in the shared state.
+    fn capture(&self, w: &mut StateWriter) {
+        let _ = w;
+    }
+
+    /// Clones this thread into a box, enabling snapshot-based *stateful*
+    /// reference search (used to compute the "Total States" column of
+    /// Table 2). Typically `Box::new(self.clone())`.
+    fn box_clone(&self) -> Box<dyn GuestThread<S>>;
+}
+
+/// Side effects a transition body may request beyond mutating shared
+/// state: spawning threads and reporting safety violations.
+///
+/// Collected during [`GuestThread::on_op`] and applied by the kernel when
+/// the call returns, keeping the borrow structure simple and the
+/// transition atomic.
+pub struct Effects<S> {
+    pub(crate) spawns: Vec<Box<dyn GuestThread<S>>>,
+    pub(crate) violation: Option<String>,
+    pub(crate) next_tid: usize,
+}
+
+impl<S> Effects<S> {
+    pub(crate) fn new(next_tid: usize) -> Self {
+        Effects {
+            spawns: Vec::new(),
+            violation: None,
+            next_tid,
+        }
+    }
+
+    /// Spawns a new guest thread; it becomes schedulable from the next
+    /// scheduling point. Returns the id the new thread will receive.
+    pub fn spawn(&mut self, guest: Box<dyn GuestThread<S>>) -> ThreadId {
+        let tid = ThreadId::new(self.next_tid + self.spawns.len());
+        self.spawns.push(guest);
+        tid
+    }
+
+    /// Reports a safety violation, terminating the execution with a
+    /// counterexample. The first violation of a transition wins.
+    pub fn fail(&mut self, message: impl Into<String>) {
+        if self.violation.is_none() {
+            self.violation = Some(message.into());
+        }
+    }
+
+    /// Reports a violation if `condition` is false (a guest-level
+    /// assertion).
+    pub fn check(&mut self, condition: bool, message: impl fmt::Display) {
+        if !condition {
+            self.fail(format!("assertion failed: {message}"));
+        }
+    }
+}
+
+impl<S> fmt::Debug for Effects<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Effects")
+            .field("spawns", &self.spawns.len())
+            .field("violation", &self.violation)
+            .finish()
+    }
+}
+
+/// Scheduling status of a thread slot inside the kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ThreadStatus {
+    /// The thread may still take transitions (it may currently be blocked,
+    /// i.e. not enabled, but it has not finished).
+    Active,
+    /// The thread returned [`OpDesc::Finished`] and will never run again.
+    Finished,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone)]
+    struct Nop;
+
+    impl GuestThread<()> for Nop {
+        fn next_op(&self, _: &()) -> OpDesc {
+            OpDesc::Finished
+        }
+        fn on_op(&mut self, _: OpResult, _: &mut (), _: &mut Effects<()>) {}
+        fn box_clone(&self) -> Box<dyn GuestThread<()>> {
+            Box::new(self.clone())
+        }
+    }
+
+    #[test]
+    fn effects_assign_sequential_tids() {
+        let mut fx = Effects::<()>::new(3);
+        assert_eq!(fx.spawn(Box::new(Nop)), ThreadId::new(3));
+        assert_eq!(fx.spawn(Box::new(Nop)), ThreadId::new(4));
+        assert_eq!(fx.spawns.len(), 2);
+    }
+
+    #[test]
+    fn first_violation_wins() {
+        let mut fx = Effects::<()>::new(0);
+        fx.check(true, "fine");
+        assert!(fx.violation.is_none());
+        fx.fail("first");
+        fx.fail("second");
+        assert_eq!(fx.violation.as_deref(), Some("first"));
+    }
+
+    #[test]
+    fn check_formats_message() {
+        let mut fx = Effects::<()>::new(0);
+        fx.check(false, format_args!("x = {}", 3));
+        assert_eq!(fx.violation.as_deref(), Some("assertion failed: x = 3"));
+    }
+
+    #[test]
+    fn default_name() {
+        assert_eq!(Nop.name(), "thread");
+    }
+}

@@ -1,0 +1,221 @@
+//! Property-based tests of the kernel's foundations: `TidSet` against a
+//! `BTreeSet` model, and the object table's enabledness invariants under
+//! random operation sequences.
+
+use std::collections::BTreeSet;
+
+use chess_kernel::{Kernel, KernelStatus, OpDesc, ThreadId, TidSet};
+use proptest::prelude::*;
+
+fn tid(i: usize) -> ThreadId {
+    ThreadId::new(i)
+}
+
+#[derive(Debug, Clone)]
+enum SetOp {
+    Insert(usize),
+    Remove(usize),
+    Clear,
+}
+
+fn set_op() -> impl Strategy<Value = SetOp> {
+    prop_oneof![
+        8 => (0usize..200).prop_map(SetOp::Insert),
+        4 => (0usize..200).prop_map(SetOp::Remove),
+        1 => Just(SetOp::Clear),
+    ]
+}
+
+proptest! {
+    /// TidSet behaves exactly like a BTreeSet<usize> model.
+    #[test]
+    fn tidset_matches_model(ops in prop::collection::vec(set_op(), 0..120)) {
+        let mut sut = TidSet::new();
+        let mut model = BTreeSet::new();
+        for op in ops {
+            match op {
+                SetOp::Insert(i) => {
+                    prop_assert_eq!(sut.insert(tid(i)), model.insert(i));
+                }
+                SetOp::Remove(i) => {
+                    prop_assert_eq!(sut.remove(tid(i)), model.remove(&i));
+                }
+                SetOp::Clear => {
+                    sut.clear();
+                    model.clear();
+                }
+            }
+            prop_assert_eq!(sut.len(), model.len());
+            prop_assert_eq!(sut.is_empty(), model.is_empty());
+            let got: Vec<usize> = sut.iter().map(|t| t.index()).collect();
+            let want: Vec<usize> = model.iter().copied().collect();
+            prop_assert_eq!(got, want, "iteration order must be ascending");
+        }
+    }
+
+    /// Set algebra agrees with the model on random operand pairs.
+    #[test]
+    fn tidset_algebra_matches_model(
+        a in prop::collection::btree_set(0usize..150, 0..40),
+        b in prop::collection::btree_set(0usize..150, 0..40),
+    ) {
+        let sa: TidSet = a.iter().map(|&i| tid(i)).collect();
+        let sb: TidSet = b.iter().map(|&i| tid(i)).collect();
+        let check = |s: &TidSet, m: &BTreeSet<usize>| {
+            let got: BTreeSet<usize> = s.iter().map(|t| t.index()).collect();
+            got == *m
+        };
+        prop_assert!(check(&sa.union(&sb), &a.union(&b).copied().collect()));
+        prop_assert!(check(
+            &sa.intersection(&sb),
+            &a.intersection(&b).copied().collect()
+        ));
+        prop_assert!(check(
+            &sa.difference(&sb),
+            &a.difference(&b).copied().collect()
+        ));
+        prop_assert_eq!(sa.intersects(&sb), !a.is_disjoint(&b));
+        prop_assert_eq!(sa.is_subset(&sb), a.is_subset(&b));
+    }
+}
+
+/// A guest that performs a scripted list of operations on a fixed set of
+/// objects, skipping ops that would block by going to the next (models
+/// "some thread doing random synchronization").
+#[derive(Clone)]
+struct Scripted {
+    ops: Vec<OpDesc>,
+    pc: usize,
+}
+
+impl chess_kernel::GuestThread<()> for Scripted {
+    fn next_op(&self, _: &()) -> OpDesc {
+        self.ops.get(self.pc).copied().unwrap_or(OpDesc::Finished)
+    }
+    fn on_op(
+        &mut self,
+        _: chess_kernel::OpResult,
+        _: &mut (),
+        _: &mut chess_kernel::Effects<()>,
+    ) {
+        self.pc += 1;
+    }
+    fn capture(&self, w: &mut chess_kernel::StateWriter) {
+        w.write_usize(self.pc);
+    }
+    fn box_clone(&self) -> Box<dyn chess_kernel::GuestThread<()>> {
+        Box::new(self.clone())
+    }
+}
+
+/// Random (non-lock) op scripts over shared objects. Lock ops need
+/// balanced acquire/release, so this generator sticks to semaphores,
+/// events and channels, whose misuse cannot occur.
+fn safe_op(sems: u32, events: u32, chans: u32) -> impl Strategy<Value = u8> {
+    let _ = (sems, events, chans);
+    0u8..9
+}
+
+proptest! {
+    /// Under any schedule of scripted safe ops, the kernel never panics,
+    /// `enabled` implies a step succeeds, and steps are deterministic
+    /// (same schedule twice ⇒ same fingerprints).
+    #[test]
+    fn kernel_random_programs_are_deterministic(
+        scripts in prop::collection::vec(
+            prop::collection::vec(safe_op(2, 2, 2), 1..12), 1..4),
+        schedule_seed in any::<u64>(),
+    ) {
+        let build = || {
+            let mut k = Kernel::new(());
+            let sem = k.add_semaphore(1);
+            let ev = k.add_auto_event(false);
+            let mv = k.add_manual_event(false);
+            let ch = k.add_channel(2);
+            for script in &scripts {
+                let ops: Vec<OpDesc> = script
+                    .iter()
+                    .map(|&x| match x {
+                        0 => OpDesc::Local,
+                        1 => OpDesc::Yield,
+                        2 => OpDesc::SemUp(sem),
+                        3 => OpDesc::SemDownTimeout(sem),
+                        4 => OpDesc::EventSet(ev),
+                        5 => OpDesc::EventWaitTimeout(ev),
+                        6 => OpDesc::EventSet(mv),
+                        7 => OpDesc::TrySend(ch, 7),
+                        _ => OpDesc::TryRecv(ch),
+                    })
+                    .collect();
+                k.spawn(Scripted { ops, pc: 0 });
+            }
+            k
+        };
+
+        let run = |mut k: Kernel<()>|
+            -> Result<(Vec<u64>, KernelStatus), TestCaseError> {
+            let mut rng = schedule_seed | 1;
+            let mut fps = vec![k.fingerprint()];
+            for _ in 0..200 {
+                if !k.status().is_running() {
+                    break;
+                }
+                let enabled: Vec<ThreadId> =
+                    k.thread_ids().filter(|&t| k.enabled(t)).collect();
+                prop_assert!(!enabled.is_empty());
+                rng ^= rng << 13;
+                rng ^= rng >> 7;
+                rng ^= rng << 17;
+                let t = enabled[(rng % enabled.len() as u64) as usize];
+                k.step(t, 0);
+                fps.push(k.fingerprint());
+            }
+            Ok((fps, k.status()))
+        };
+
+        let (f1, s1) = run(build())?;
+        let (f2, s2) = run(build())?;
+        prop_assert_eq!(f1, f2, "same schedule must replay identically");
+        prop_assert_eq!(s1, s2);
+    }
+
+    /// Scripted programs of non-blocking ops always terminate (never
+    /// deadlock): timeouts and try-ops keep every unfinished thread
+    /// enabled.
+    #[test]
+    fn nonblocking_scripts_never_deadlock(
+        scripts in prop::collection::vec(
+            prop::collection::vec(safe_op(2, 2, 2), 1..10), 1..4),
+    ) {
+        let mut k = Kernel::new(());
+        let sem = k.add_semaphore(1);
+        let ev = k.add_auto_event(false);
+        let mv = k.add_manual_event(true);
+        let ch = k.add_channel(2);
+        for script in &scripts {
+            let ops: Vec<OpDesc> = script
+                .iter()
+                .map(|&x| match x {
+                    0 => OpDesc::Local,
+                    1 => OpDesc::Yield,
+                    2 => OpDesc::SemUp(sem),
+                    3 => OpDesc::SemDownTimeout(sem),
+                    4 => OpDesc::EventSet(ev),
+                    5 => OpDesc::EventWaitTimeout(ev),
+                    6 => OpDesc::EventWait(mv), // manual event starts set
+                    7 => OpDesc::TrySend(ch, 7),
+                    _ => OpDesc::TryRecv(ch),
+                })
+                .collect();
+            k.spawn(Scripted { ops, pc: 0 });
+        }
+        let mut steps = 0;
+        while k.status().is_running() {
+            let t = k.thread_ids().find(|&t| k.enabled(t)).unwrap();
+            k.step(t, 0);
+            steps += 1;
+            prop_assert!(steps < 10_000);
+        }
+        prop_assert_eq!(k.status(), KernelStatus::Terminated);
+    }
+}

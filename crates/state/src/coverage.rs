@@ -1,0 +1,118 @@
+//! State-coverage tracking for stateless searches.
+//!
+//! The model checker itself stores no states; these observers plug into
+//! `chess_core::Explorer::run_observed` and record the distinct abstract
+//! states visited, reproducing the measurement methodology of Table 2.
+
+use std::collections::HashSet;
+
+use chess_core::{Observer, TransitionSystem};
+
+/// Exact coverage tracker: keys the visited set on the full state byte
+/// signature, so distinct states are never conflated.
+#[derive(Debug, Clone, Default)]
+pub struct CoverageTracker {
+    visited: HashSet<Vec<u8>>,
+    occurrences: u64,
+}
+
+impl CoverageTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        CoverageTracker::default()
+    }
+
+    /// Number of distinct states visited.
+    pub fn distinct_states(&self) -> usize {
+        self.visited.len()
+    }
+
+    /// Total state occurrences observed (with repetition).
+    pub fn occurrences(&self) -> u64 {
+        self.occurrences
+    }
+
+    /// Whether the given exact state signature was visited.
+    pub fn contains(&self, state: &[u8]) -> bool {
+        self.visited.contains(state)
+    }
+
+    /// Iterates over the visited signatures.
+    pub fn iter(&self) -> impl Iterator<Item = &Vec<u8>> {
+        self.visited.iter()
+    }
+
+    /// Records a state signature directly (used by the stateful reference
+    /// search when cross-checking coverage).
+    pub fn insert(&mut self, state: Vec<u8>) -> bool {
+        self.occurrences += 1;
+        self.visited.insert(state)
+    }
+
+    /// Fraction of `total` states covered, in percent.
+    pub fn percent_of(&self, total: usize) -> f64 {
+        if total == 0 {
+            100.0
+        } else {
+            100.0 * self.distinct_states() as f64 / total as f64
+        }
+    }
+}
+
+impl<P: TransitionSystem + ?Sized> Observer<P> for CoverageTracker {
+    fn on_state(&mut self, sys: &P, _depth: usize) {
+        self.insert(sys.state_bytes());
+    }
+}
+
+/// Memory-light coverage tracker keyed on 64-bit fingerprints. Suitable
+/// for very large state counts where a rare collision is an acceptable
+/// undercount (the paper's hash-table methodology).
+#[derive(Debug, Clone, Default)]
+pub struct FingerprintCoverage {
+    visited: HashSet<u64>,
+}
+
+impl FingerprintCoverage {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        FingerprintCoverage::default()
+    }
+
+    /// Number of distinct fingerprints visited.
+    pub fn distinct_states(&self) -> usize {
+        self.visited.len()
+    }
+}
+
+impl<P: TransitionSystem + ?Sized> Observer<P> for FingerprintCoverage {
+    fn on_state(&mut self, sys: &P, _depth: usize) {
+        self.visited.insert(sys.fingerprint());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_vs_occurrences() {
+        let mut c = CoverageTracker::new();
+        assert!(c.insert(vec![1]));
+        assert!(!c.insert(vec![1]));
+        assert!(c.insert(vec![2]));
+        assert_eq!(c.distinct_states(), 2);
+        assert_eq!(c.occurrences(), 3);
+        assert!(c.contains(&[1]));
+        assert!(!c.contains(&[3]));
+    }
+
+    #[test]
+    fn percent_of_handles_zero_total() {
+        let c = CoverageTracker::new();
+        assert_eq!(c.percent_of(0), 100.0);
+        let mut c = CoverageTracker::new();
+        c.insert(vec![1]);
+        assert_eq!(c.percent_of(4), 25.0);
+    }
+}

@@ -1,0 +1,387 @@
+//! A condition-variable bounded buffer — the classic monitor workload,
+//! exercising the kernel's two-phase condvar protocol
+//! (`CondEnroll`/`CondConsume`) under the fair scheduler.
+//!
+//! Producers put `items` values, consumers take them; both wait on
+//! condition variables when the buffer is full/empty. Two seeded bugs:
+//!
+//! * [`BufferBug::IfInsteadOfWhile`] — the guard is re-checked with `if`
+//!   instead of `while` after waking. Under spurious-looking wakeup
+//!   orders (two waiters, one signal consumed by the "wrong" one — or a
+//!   producer slot immediately re-stolen), the woken thread proceeds on
+//!   a false guard and corrupts the buffer.
+//! * [`BufferBug::SharedCondvarSignal`] — producers and consumers share
+//!   a single condition variable (a common "simplification") and notify
+//!   with `signal`. The signal can wake a waiter of the *wrong class*
+//!   (a producer when a consumer was needed), losing the wakeup and
+//!   deadlocking the monitor.
+
+use chess_kernel::{
+    Capture, CondvarId, Effects, GuestThread, Kernel, MutexId, OpDesc, OpResult, StateWriter,
+};
+
+/// Seeded bugs for the bounded buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BufferBug {
+    /// Re-check the monitor guard with `if` instead of `while`.
+    IfInsteadOfWhile,
+    /// One shared condition variable with single-waiter signals: a
+    /// wakeup can land on the wrong class of waiter and be lost.
+    SharedCondvarSignal,
+}
+
+/// Bounded-buffer workload configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct BufferConfig {
+    /// Buffer capacity.
+    pub capacity: usize,
+    /// Number of producer threads.
+    pub producers: usize,
+    /// Number of consumer threads.
+    pub consumers: usize,
+    /// Items produced by each producer. Total production must equal
+    /// total consumption: `producers * items_per_producer` must be
+    /// divisible by `consumers`.
+    pub items_per_producer: u32,
+    /// Optional seeded bug.
+    pub bug: Option<BufferBug>,
+}
+
+impl BufferConfig {
+    /// A small correct instance: 2 producers, 2 consumers, capacity 1.
+    pub fn correct() -> Self {
+        BufferConfig {
+            capacity: 1,
+            producers: 2,
+            consumers: 2,
+            items_per_producer: 1,
+            bug: None,
+        }
+    }
+
+    /// A configuration seeding the given bug.
+    pub fn with_bug(bug: BufferBug) -> Self {
+        BufferConfig {
+            bug: Some(bug),
+            ..BufferConfig::correct()
+        }
+    }
+}
+
+/// Shared state: the ring buffer and production/consumption counters.
+#[derive(Debug, Clone, Default)]
+pub struct BufferShared {
+    /// The buffer contents (up to `capacity` values).
+    pub buffer: Vec<u64>,
+    /// Capacity of the buffer.
+    pub capacity: usize,
+    /// Values produced so far (also the next value).
+    pub produced: u64,
+    /// Values consumed so far.
+    pub consumed: u64,
+    /// Sum of consumed values, checked at the end.
+    pub checksum: u64,
+}
+
+impl Capture for BufferShared {
+    fn capture(&self, w: &mut StateWriter) {
+        w.write_usize(self.buffer.len());
+        for &v in &self.buffer {
+            w.write_u64(v);
+        }
+        w.write_u64(self.produced);
+        w.write_u64(self.consumed);
+        w.write_u64(self.checksum);
+    }
+}
+
+/// Monitor wiring shared by producers and consumers.
+#[derive(Debug, Clone, Copy)]
+struct Monitor {
+    lock: MutexId,
+    not_full: CondvarId,
+    not_empty: CondvarId,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Pc {
+    Lock,
+    Guard,
+    WaitEnroll,
+    WaitConsume,
+    Relock,
+    Action,
+    Notify,
+    Unlock,
+    Done,
+}
+
+/// A producer or consumer thread over the monitor.
+#[derive(Debug, Clone)]
+struct Party {
+    id: usize,
+    producer: bool,
+    pc: Pc,
+    remaining: u32,
+    monitor: Monitor,
+    bug: Option<BufferBug>,
+}
+
+impl Party {
+    fn guard_blocked(&self, sh: &BufferShared) -> bool {
+        if self.producer {
+            sh.buffer.len() >= sh.capacity
+        } else {
+            sh.buffer.is_empty()
+        }
+    }
+
+    fn wait_cv(&self) -> CondvarId {
+        if self.bug == Some(BufferBug::SharedCondvarSignal) {
+            // BUG: a single condvar for both guards.
+            self.monitor.not_full
+        } else if self.producer {
+            self.monitor.not_full
+        } else {
+            self.monitor.not_empty
+        }
+    }
+
+    fn notify_cv(&self) -> CondvarId {
+        if self.bug == Some(BufferBug::SharedCondvarSignal) {
+            self.monitor.not_full
+        } else if self.producer {
+            self.monitor.not_empty
+        } else {
+            self.monitor.not_full
+        }
+    }
+}
+
+impl GuestThread<BufferShared> for Party {
+    fn next_op(&self, _: &BufferShared) -> OpDesc {
+        match self.pc {
+            Pc::Lock | Pc::Relock => OpDesc::Acquire(self.monitor.lock),
+            Pc::Guard | Pc::Action => OpDesc::Local,
+            Pc::WaitEnroll => OpDesc::CondEnroll(self.wait_cv(), self.monitor.lock),
+            Pc::WaitConsume => OpDesc::CondConsume(self.wait_cv()),
+            Pc::Notify => {
+                if self.bug == Some(BufferBug::SharedCondvarSignal) {
+                    // BUG: one signal on the shared condvar; may wake the
+                    // wrong class of waiter.
+                    OpDesc::CondSignal(self.notify_cv())
+                } else {
+                    OpDesc::CondBroadcast(self.notify_cv())
+                }
+            }
+            Pc::Unlock => OpDesc::Release(self.monitor.lock),
+            Pc::Done => OpDesc::Finished,
+        }
+    }
+
+    fn on_op(&mut self, _: OpResult, sh: &mut BufferShared, fx: &mut Effects<BufferShared>) {
+        self.pc = match self.pc {
+            Pc::Lock => Pc::Guard,
+            // The correct monitor re-checks the guard after re-acquiring
+            // the lock (`while`); the `if` bug proceeds straight to the
+            // action on a possibly-false guard.
+            Pc::Relock => {
+                if self.bug == Some(BufferBug::IfInsteadOfWhile) {
+                    Pc::Action
+                } else {
+                    Pc::Guard
+                }
+            }
+            Pc::Guard => {
+                if self.guard_blocked(sh) {
+                    Pc::WaitEnroll
+                } else {
+                    Pc::Action
+                }
+            }
+            Pc::WaitEnroll => Pc::WaitConsume,
+            Pc::WaitConsume => Pc::Relock,
+            Pc::Action => {
+                if self.producer {
+                    if sh.buffer.len() >= sh.capacity {
+                        fx.fail(format!(
+                            "producer {} overfilled the buffer ({} of {})",
+                            self.id,
+                            sh.buffer.len(),
+                            sh.capacity
+                        ));
+                    } else {
+                        let v = sh.produced;
+                        sh.produced += 1;
+                        sh.buffer.push(v);
+                    }
+                } else if let Some(v) = sh.buffer.pop() {
+                    sh.consumed += 1;
+                    sh.checksum += v;
+                } else {
+                    fx.fail(format!("consumer {} took from an empty buffer", self.id));
+                }
+                Pc::Notify
+            }
+            Pc::Notify => Pc::Unlock,
+            Pc::Unlock => {
+                self.remaining -= 1;
+                if self.remaining == 0 {
+                    Pc::Done
+                } else {
+                    Pc::Lock
+                }
+            }
+            Pc::Done => unreachable!(),
+        };
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "{}{}",
+            if self.producer { "producer" } else { "consumer" },
+            self.id
+        )
+    }
+
+    fn capture(&self, w: &mut StateWriter) {
+        w.write_u8(self.pc as u8);
+        w.write_u32(self.remaining);
+    }
+
+    fn box_clone(&self) -> Box<dyn GuestThread<BufferShared>> {
+        Box::new(self.clone())
+    }
+}
+
+/// Builds the bounded-buffer program.
+///
+/// # Panics
+///
+/// Panics if the configuration is degenerate (zero parties/capacity) or
+/// production does not divide evenly among consumers.
+pub fn bounded_buffer(config: BufferConfig) -> Kernel<BufferShared> {
+    assert!(config.capacity > 0, "capacity must be positive");
+    assert!(config.producers > 0 && config.consumers > 0);
+    let total = config.producers as u32 * config.items_per_producer;
+    assert!(
+        total.is_multiple_of(config.consumers as u32),
+        "production must divide evenly among consumers"
+    );
+    let mut k = Kernel::new(BufferShared {
+        buffer: Vec::new(),
+        capacity: config.capacity,
+        ..BufferShared::default()
+    });
+    let monitor = Monitor {
+        lock: k.add_mutex(),
+        not_full: k.add_condvar(),
+        not_empty: k.add_condvar(),
+    };
+    for id in 0..config.producers {
+        k.spawn(Party {
+            id,
+            producer: true,
+            pc: Pc::Lock,
+            remaining: config.items_per_producer,
+            monitor,
+            bug: config.bug,
+        });
+    }
+    for id in 0..config.consumers {
+        k.spawn(Party {
+            id,
+            producer: false,
+            pc: Pc::Lock,
+            remaining: total / config.consumers as u32,
+            monitor,
+            bug: config.bug,
+        });
+    }
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chess_core::strategy::Dfs;
+    use chess_core::{Config, Explorer, SearchOutcome};
+    use chess_state::{StateGraph, StatefulLimits};
+
+    #[test]
+    fn correct_buffer_is_clean() {
+        let factory = || bounded_buffer(BufferConfig::correct());
+        let report = Explorer::new(factory, Dfs::new(), Config::fair()).run();
+        assert_eq!(report.outcome, SearchOutcome::Complete, "{report}");
+    }
+
+    #[test]
+    fn correct_buffer_ground_truth() {
+        let g = StateGraph::build(
+            &bounded_buffer(BufferConfig::correct()),
+            StatefulLimits::default(),
+        )
+        .unwrap();
+        assert!(g.violation_states().is_empty());
+        assert!(g.deadlock_states().is_empty());
+        assert!(g.find_fair_scc().is_none());
+    }
+
+    #[test]
+    fn if_instead_of_while_found() {
+        let factory = || bounded_buffer(BufferConfig::with_bug(BufferBug::IfInsteadOfWhile));
+        let report = Explorer::new(factory, Dfs::new(), Config::fair()).run();
+        match &report.outcome {
+            SearchOutcome::SafetyViolation(cex) => {
+                assert!(
+                    cex.message.contains("overfilled") || cex.message.contains("empty buffer"),
+                    "{}",
+                    cex.message
+                );
+            }
+            SearchOutcome::Deadlock(_) => {} // also a legitimate symptom
+            o => panic!("expected violation, got {o:?}"),
+        }
+    }
+
+    #[test]
+    fn shared_condvar_signal_deadlocks() {
+        let cfg = BufferConfig {
+            consumers: 2,
+            producers: 2,
+            ..BufferConfig::with_bug(BufferBug::SharedCondvarSignal)
+        };
+        let factory = move || bounded_buffer(cfg);
+        let report = Explorer::new(factory, Dfs::new(), Config::fair()).run();
+        assert!(
+            matches!(
+                report.outcome,
+                SearchOutcome::Deadlock(_) | SearchOutcome::SafetyViolation(_)
+            ),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn checksum_adds_up_on_a_serial_run() {
+        let mut k = bounded_buffer(BufferConfig {
+            capacity: 2,
+            producers: 1,
+            consumers: 1,
+            items_per_producer: 4,
+            bug: None,
+        });
+        let mut rr = 0usize;
+        while chess_core::TransitionSystem::status(&k).is_running() {
+            let n = k.thread_count();
+            let t = (0..n)
+                .map(|i| chess_kernel::ThreadId::new((rr + i) % n))
+                .find(|&t| k.enabled(t))
+                .unwrap();
+            k.step(t, 0);
+            rr = (t.index() + 1) % n;
+        }
+        assert_eq!(k.shared().consumed, 4);
+        assert_eq!(k.shared().checksum, 6);
+    }
+}

@@ -1,0 +1,304 @@
+//! A bulk-synchronous-parallel (BSP) computation over the kernel's
+//! reusable barriers: each *superstep*, every worker publishes a partial
+//! result, the workers synchronize, worker 0 reduces the partials into a
+//! global, the workers synchronize again, and everyone consumes the
+//! reduction.
+//!
+//! The seeded bug is the tempting "barrier elision" optimization:
+//! consumers read the global **before** the post-reduction barrier. In
+//! most schedules the reducer happens to be done; in the rest they read
+//! a stale or partially-reduced value — a textbook data race behind a
+//! correct-looking barrier protocol.
+
+use chess_kernel::{BarrierId, Capture, Effects, GuestThread, Kernel, OpDesc, OpResult, StateWriter};
+
+/// BSP workload configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct BspConfig {
+    /// Number of workers (barrier parties).
+    pub workers: usize,
+    /// Supersteps to run.
+    pub rounds: u32,
+    /// Seed the barrier-elision bug: consume the reduction before the
+    /// second barrier of the superstep.
+    pub skip_consume_barrier: bool,
+}
+
+impl BspConfig {
+    /// A small correct instance.
+    pub fn correct() -> Self {
+        BspConfig {
+            workers: 3,
+            rounds: 2,
+            skip_consume_barrier: false,
+        }
+    }
+
+    /// The barrier-elision bug.
+    pub fn elided_barrier() -> Self {
+        BspConfig {
+            skip_consume_barrier: true,
+            ..BspConfig::correct()
+        }
+    }
+}
+
+/// Shared state: per-worker partials and the per-round reductions.
+#[derive(Debug, Clone, Default)]
+pub struct BspShared {
+    /// Partial results, one slot per worker, rewritten each round.
+    pub partials: Vec<u64>,
+    /// The reduction of each completed round.
+    pub reduced: Vec<u64>,
+}
+
+impl Capture for BspShared {
+    fn capture(&self, w: &mut StateWriter) {
+        for &p in &self.partials {
+            w.write_u64(p);
+        }
+        for &r in &self.reduced {
+            w.write_u64(r);
+        }
+    }
+}
+
+/// The expected reduction for `round` with `workers` workers: each
+/// worker contributes `id + round + 1`.
+fn expected_sum(workers: usize, round: u32) -> u64 {
+    (0..workers as u64)
+        .map(|id| id + round as u64 + 1)
+        .sum()
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Pc {
+    Publish,
+    Arrive1,
+    Await1,
+    ReduceRead,
+    ReduceWrite,
+    Consume,
+    Arrive2,
+    Await2,
+    Done,
+}
+
+/// One BSP worker. Worker 0 doubles as the reducer.
+#[derive(Debug, Clone)]
+struct BspWorker {
+    id: usize,
+    pc: Pc,
+    round: u32,
+    rounds: u32,
+    /// Barrier generation returned by the latest arrival.
+    gen: u64,
+    /// Reducer scratch: accumulated sum and cursor.
+    acc: u64,
+    cursor: usize,
+    barrier: BarrierId,
+    skip_consume_barrier: bool,
+}
+
+impl BspWorker {
+    fn is_reducer(&self) -> bool {
+        self.id == 0
+    }
+
+    fn next_round(&mut self) -> Pc {
+        self.round += 1;
+        if self.round >= self.rounds {
+            Pc::Done
+        } else {
+            Pc::Publish
+        }
+    }
+}
+
+impl GuestThread<BspShared> for BspWorker {
+    fn next_op(&self, _: &BspShared) -> OpDesc {
+        match self.pc {
+            Pc::Publish | Pc::ReduceRead | Pc::ReduceWrite | Pc::Consume => OpDesc::Local,
+            Pc::Arrive1 | Pc::Arrive2 => OpDesc::BarrierArrive(self.barrier),
+            Pc::Await1 | Pc::Await2 => OpDesc::BarrierAwait(self.barrier, self.gen),
+            Pc::Done => OpDesc::Finished,
+        }
+    }
+
+    fn on_op(&mut self, r: OpResult, sh: &mut BspShared, fx: &mut Effects<BspShared>) {
+        self.pc = match self.pc {
+            Pc::Publish => {
+                sh.partials[self.id] = self.id as u64 + self.round as u64 + 1;
+                Pc::Arrive1
+            }
+            Pc::Arrive1 => {
+                self.gen = r.as_value();
+                Pc::Await1
+            }
+            Pc::Await1 => {
+                if self.is_reducer() {
+                    self.acc = 0;
+                    self.cursor = 0;
+                    Pc::ReduceRead
+                } else if self.skip_consume_barrier {
+                    // BUG: consume without waiting for the reducer.
+                    Pc::Consume
+                } else {
+                    Pc::Arrive2
+                }
+            }
+            Pc::ReduceRead => {
+                self.acc += sh.partials[self.cursor];
+                self.cursor += 1;
+                if self.cursor < sh.partials.len() {
+                    Pc::ReduceRead
+                } else {
+                    Pc::ReduceWrite
+                }
+            }
+            Pc::ReduceWrite => {
+                sh.reduced[self.round as usize] = self.acc;
+                if self.skip_consume_barrier {
+                    Pc::Consume
+                } else {
+                    Pc::Arrive2
+                }
+            }
+            Pc::Arrive2 => {
+                self.gen = r.as_value();
+                Pc::Await2
+            }
+            Pc::Await2 => Pc::Consume,
+            Pc::Consume => {
+                let got = sh.reduced[self.round as usize];
+                let want = expected_sum(sh.partials.len(), self.round);
+                fx.check(
+                    got == want,
+                    format_args!(
+                        "worker {}: round {} reduction is {got}, expected {want}",
+                        self.id, self.round
+                    ),
+                );
+                self.next_round()
+            }
+            Pc::Done => unreachable!(),
+        };
+    }
+
+    fn name(&self) -> String {
+        format!("bsp{}", self.id)
+    }
+
+    fn capture(&self, w: &mut StateWriter) {
+        w.write_u8(self.pc as u8);
+        w.write_u32(self.round);
+        w.write_u64(self.gen);
+        w.write_u64(self.acc);
+        w.write_usize(self.cursor);
+    }
+
+    fn box_clone(&self) -> Box<dyn GuestThread<BspShared>> {
+        Box::new(self.clone())
+    }
+}
+
+/// Builds the BSP program.
+///
+/// # Panics
+///
+/// Panics on a degenerate configuration.
+pub fn bsp(config: BspConfig) -> Kernel<BspShared> {
+    assert!(config.workers > 0 && config.rounds > 0);
+    let mut k = Kernel::new(BspShared {
+        partials: vec![0; config.workers],
+        reduced: vec![0; config.rounds as usize],
+    });
+    // One physical barrier reused for both synchronization points: every
+    // worker arrives exactly once per generation, so generations simply
+    // alternate publish-sync, consume-sync, publish-sync, ...
+    let barrier = k.add_barrier(config.workers as u32);
+    for id in 0..config.workers {
+        k.spawn(BspWorker {
+            id,
+            pc: Pc::Publish,
+            round: 0,
+            rounds: config.rounds,
+            gen: 0,
+            acc: 0,
+            cursor: 0,
+            barrier,
+            skip_consume_barrier: config.skip_consume_barrier,
+        });
+    }
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chess_core::strategy::Dfs;
+    use chess_core::{Config, Explorer, SearchOutcome};
+    use chess_state::{StateGraph, StatefulLimits};
+
+    #[test]
+    fn correct_bsp_is_clean() {
+        let factory = || bsp(BspConfig::correct());
+        let config = Config::fair().with_max_executions(50_000);
+        let report = Explorer::new(factory, Dfs::new(), config).run();
+        assert!(!report.outcome.found_error(), "{report}");
+    }
+
+    #[test]
+    fn small_correct_bsp_ground_truth() {
+        let cfg = BspConfig {
+            workers: 2,
+            rounds: 1,
+            skip_consume_barrier: false,
+        };
+        let g = StateGraph::build(&bsp(cfg), StatefulLimits::default()).unwrap();
+        assert!(g.violation_states().is_empty());
+        assert!(g.deadlock_states().is_empty());
+        assert!(g.find_fair_scc().is_none());
+    }
+
+    #[test]
+    fn elided_barrier_found() {
+        let factory = || bsp(BspConfig::elided_barrier());
+        let report = Explorer::new(factory, Dfs::new(), Config::fair()).run();
+        match &report.outcome {
+            SearchOutcome::SafetyViolation(cex) => {
+                assert!(cex.message.contains("reduction is"), "{}", cex.message);
+            }
+            o => panic!("expected the stale reduction, got {o:?}"),
+        }
+    }
+
+    #[test]
+    fn elided_barrier_needs_interference() {
+        // Running the reducer (worker 0) eagerly makes even the buggy
+        // version pass: the race needs a consumer to outrun the reducer.
+        let mut k = bsp(BspConfig::elided_barrier());
+        let t0 = chess_kernel::ThreadId::new(0);
+        loop {
+            // Round-robin but always give worker 0 priority.
+            let t = if k.enabled(t0) {
+                t0
+            } else if let Some(t) = k.thread_ids().find(|&t| k.enabled(t)) {
+                t
+            } else {
+                break;
+            };
+            k.step(t, 0);
+        }
+        assert_eq!(
+            chess_core::TransitionSystem::status(&k),
+            chess_core::SystemStatus::Terminated
+        );
+    }
+
+    #[test]
+    fn expected_sums() {
+        assert_eq!(expected_sum(3, 0), 1 + 2 + 3);
+        assert_eq!(expected_sum(3, 1), 2 + 3 + 4);
+    }
+}

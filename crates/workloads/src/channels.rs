@@ -1,0 +1,687 @@
+//! Dryad-like channels and fifos — the distributed-dataflow substrate of
+//! Table 1 (rows "Dryad Channels" and "Dryad Fifo") and Table 3's bugs
+//! 4–7 (Dryad bugs 1–4).
+//!
+//! Dryad wires vertices into a dataflow graph connected by channels. We
+//! reproduce the concurrency skeleton: a *source* vertex, a fan-in stage
+//! of *worker* relays, a downstream *relay* stage, and a *sink*, wired by
+//! bounded kernel channels with **credit-based flow control** (a
+//! semaphore bounds the messages in flight on the source link, the sink
+//! of the link returns credits as it forwards). Shutdown propagates by
+//! closing channels stage by stage.
+//!
+//! Four seeded bugs reproduce the flavor of Table 3's Dryad bugs:
+//!
+//! * [`ChannelBug::CreditLeak`] — the stage-1 relay skips returning a
+//!   credit when the source link *looks idle* (a misguided fast path):
+//!   in schedules where the relay repeatedly outruns the source, the
+//!   credits drain and the source blocks forever. Because the sink polls
+//!   its input, the system does not deadlock — it **livelocks** (the sink
+//!   spins politely forever), so only the fair search reports anything.
+//! * [`ChannelBug::RacySequence`] — with two stage-1 workers, sequence
+//!   numbers are allocated with an unlocked read–increment–write; two
+//!   workers can claim the same slot and one log entry is overwritten.
+//! * [`ChannelBug::EagerShutdown`] — the stage-2 relay polls the
+//!   *source's* done flag and closes its output as soon as it is set,
+//!   dropping everything still queued upstream (easily found).
+//! * [`ChannelBug::DrainingShutdown`] — the "fix" for the previous bug:
+//!   on the done flag the relay drains its input with try-receives and
+//!   only then closes. Still wrong: a stage-1 worker can hold a message
+//!   in flight (received but not yet forwarded) during the drain — a
+//!   strictly rarer interleaving, which is why the original fix passed
+//!   review. The correct protocol propagates end-of-stream by closing
+//!   channels, never by polling flags.
+
+use chess_kernel::{
+    Capture, ChannelId, Effects, GuestThread, Kernel, MutexId, OpDesc, OpResult, SemaphoreId,
+    StateWriter,
+};
+
+/// Seeded bugs for the channel pipeline (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChannelBug {
+    /// Stage 1 leaks a flow-control credit on odd-valued messages.
+    CreditLeak,
+    /// Stage 1's two workers allocate log sequence numbers without the
+    /// lock.
+    RacySequence,
+    /// Stage 2 closes its output as soon as the source's done flag is
+    /// set, without draining.
+    EagerShutdown,
+    /// Stage 2 drains with try-receives after the done flag — the
+    /// incorrect fix of [`ChannelBug::EagerShutdown`].
+    DrainingShutdown,
+}
+
+/// Channel-pipeline configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct FifoConfig {
+    /// Number of messages the source injects (values `0..items`).
+    pub items: u32,
+    /// Stage-1 fan-in width (1 or 2 workers).
+    pub stage1_workers: usize,
+    /// Flow-control credits on the source link.
+    pub credits: u32,
+    /// Capacity of each channel.
+    pub channel_capacity: usize,
+    /// Optional seeded bug.
+    pub bug: Option<ChannelBug>,
+}
+
+impl FifoConfig {
+    /// The correct pipeline with one stage-1 worker.
+    pub fn correct() -> Self {
+        FifoConfig {
+            items: 3,
+            stage1_workers: 1,
+            credits: 2,
+            channel_capacity: 4,
+            bug: None,
+        }
+    }
+
+    /// The correct pipeline with a two-worker fan-in stage (the "Dryad
+    /// Fifo" shape: more threads, more sync ops).
+    pub fn correct_fanin() -> Self {
+        FifoConfig {
+            stage1_workers: 2,
+            ..FifoConfig::correct()
+        }
+    }
+
+    /// A Table 3 bug-finding configuration.
+    pub fn with_bug(bug: ChannelBug) -> Self {
+        FifoConfig {
+            stage1_workers: if bug == ChannelBug::RacySequence { 2 } else { 1 },
+            // Two items keep the fan-in race findable at small preemption
+            // bounds; one credit makes the leak fatal before the source
+            // drains.
+            items: if bug == ChannelBug::RacySequence { 2 } else { 3 },
+            credits: if bug == ChannelBug::CreditLeak { 1 } else { 2 },
+            bug: Some(bug),
+            ..FifoConfig::correct()
+        }
+    }
+}
+
+/// Shared state of the pipeline.
+#[derive(Debug, Clone, Default)]
+pub struct FifoShared {
+    /// Next log sequence number (allocated by stage-1 workers).
+    pub next_seq: u64,
+    /// The forwarding log: slot `seq` records the item forwarded with
+    /// that sequence number.
+    pub out_log: Vec<Option<u64>>,
+    /// Per-item delivery count at the sink.
+    pub seen: Vec<u8>,
+    /// Total deliveries at the sink.
+    pub seen_count: u32,
+    /// Stage-1 workers still running (the last closes the stage link).
+    pub stage1_active: u32,
+    /// Set by the source after its last send.
+    pub source_done: bool,
+    /// Messages sent by the source and not yet received by stage 1 (the
+    /// "source link looks idle" proxy the credit-leak fast path misuses).
+    pub in_flight: u32,
+    /// Set by the stage-2 relay after closing the sink link.
+    pub relay_done: bool,
+}
+
+impl Capture for FifoShared {
+    fn capture(&self, w: &mut StateWriter) {
+        w.write_u64(self.next_seq);
+        for slot in &self.out_log {
+            match slot {
+                None => w.write_u64(u64::MAX),
+                Some(v) => w.write_u64(*v),
+            }
+        }
+        for &s in &self.seen {
+            w.write_u8(s);
+        }
+        w.write_u32(self.stage1_active);
+        w.write_bool(self.source_done);
+        w.write_u32(self.in_flight);
+        w.write_bool(self.relay_done);
+    }
+}
+
+/// Injects `items` messages with flow control, then publishes the done
+/// flag and closes the link.
+#[derive(Debug, Clone)]
+struct Source {
+    next: u64,
+    items: u64,
+    pc: u8, // 0 = take credit, 1 = send, 2 = set done, 3 = close, 4 = done
+    out: ChannelId,
+    credits: SemaphoreId,
+}
+
+impl GuestThread<FifoShared> for Source {
+    fn next_op(&self, _: &FifoShared) -> OpDesc {
+        match self.pc {
+            0 => OpDesc::SemDown(self.credits),
+            1 => OpDesc::Send(self.out, self.next),
+            2 => OpDesc::Local,
+            3 => OpDesc::Close(self.out),
+            _ => OpDesc::Finished,
+        }
+    }
+
+    fn on_op(&mut self, r: OpResult, sh: &mut FifoShared, fx: &mut Effects<FifoShared>) {
+        match self.pc {
+            0 => self.pc = 1,
+            1 => {
+                fx.check(r.as_bool(), "source send on closed channel");
+                sh.in_flight += 1;
+                self.next += 1;
+                self.pc = if self.next < self.items { 0 } else { 2 };
+            }
+            2 => {
+                sh.source_done = true;
+                self.pc = 3;
+            }
+            3 => self.pc = 4,
+            _ => unreachable!(),
+        }
+    }
+
+    fn name(&self) -> String {
+        "source".to_string()
+    }
+
+    fn capture(&self, w: &mut StateWriter) {
+        w.write_u64(self.next);
+        w.write_u8(self.pc);
+    }
+
+    fn box_clone(&self) -> Box<dyn GuestThread<FifoShared>> {
+        Box::new(self.clone())
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WorkerPc {
+    Recv,
+    Lock,
+    SeqRead,
+    SeqWrite,
+    SeqBump,
+    Unlock,
+    SendOut,
+    Credit,
+    DecActive,
+    CloseOut,
+    Done,
+}
+
+/// A stage-1 worker: forwards messages from the source link to the stage
+/// link, allocating a log sequence number for each, and returning flow-
+/// control credits.
+#[derive(Debug, Clone)]
+struct Stage1Worker {
+    id: usize,
+    pc: WorkerPc,
+    msg: u64,
+    seq: u64,
+    was_last: bool,
+    input: ChannelId,
+    output: ChannelId,
+    credits: SemaphoreId,
+    /// `None` reproduces [`ChannelBug::RacySequence`].
+    seq_lock: Option<MutexId>,
+    credit_leak: bool,
+}
+
+impl GuestThread<FifoShared> for Stage1Worker {
+    fn next_op(&self, _: &FifoShared) -> OpDesc {
+        match self.pc {
+            WorkerPc::Recv => OpDesc::Recv(self.input),
+            WorkerPc::Lock => OpDesc::Acquire(self.seq_lock.expect("lock pc without lock")),
+            WorkerPc::SeqRead | WorkerPc::SeqWrite | WorkerPc::SeqBump | WorkerPc::DecActive => {
+                OpDesc::Local
+            }
+            WorkerPc::Unlock => OpDesc::Release(self.seq_lock.expect("unlock pc without lock")),
+            WorkerPc::SendOut => OpDesc::Send(self.output, self.msg),
+            WorkerPc::Credit => OpDesc::SemUp(self.credits),
+            WorkerPc::CloseOut => {
+                if self.was_last {
+                    OpDesc::Close(self.output)
+                } else {
+                    OpDesc::Local
+                }
+            }
+            WorkerPc::Done => OpDesc::Finished,
+        }
+    }
+
+    fn on_op(&mut self, r: OpResult, sh: &mut FifoShared, fx: &mut Effects<FifoShared>) {
+        let who = format!("stage1-{}", self.id);
+        self.pc = match self.pc {
+            WorkerPc::Recv => match r.as_message() {
+                Some(v) => {
+                    self.msg = v;
+                    sh.in_flight -= 1;
+                    if self.seq_lock.is_some() {
+                        WorkerPc::Lock
+                    } else {
+                        WorkerPc::SeqRead
+                    }
+                }
+                None => WorkerPc::DecActive,
+            },
+            WorkerPc::Lock => WorkerPc::SeqRead,
+            WorkerPc::SeqRead => {
+                self.seq = sh.next_seq;
+                WorkerPc::SeqWrite
+            }
+            WorkerPc::SeqWrite => {
+                match sh.out_log.get_mut(self.seq as usize) {
+                    Some(slot) => {
+                        if let Some(prev) = slot {
+                            fx.fail(format!(
+                                "{who}: log slot {} overwritten (had item {prev}, now {})",
+                                self.seq, self.msg
+                            ));
+                        }
+                        *slot = Some(self.msg);
+                    }
+                    None => fx.fail(format!("{who}: sequence {} out of range", self.seq)),
+                }
+                WorkerPc::SeqBump
+            }
+            WorkerPc::SeqBump => {
+                sh.next_seq = self.seq + 1;
+                if self.seq_lock.is_some() {
+                    WorkerPc::Unlock
+                } else {
+                    WorkerPc::SendOut
+                }
+            }
+            WorkerPc::Unlock => WorkerPc::SendOut,
+            WorkerPc::SendOut => {
+                // A send on a closed stage link silently drops the
+                // message — exactly what the shutdown bugs exploit.
+                let _ = r.as_bool();
+                if self.credit_leak && sh.in_flight == 0 {
+                    // BUG: a "fast path" that skips the credit return
+                    // when the source link looks idle. In schedules
+                    // where the relay keeps outrunning the source the
+                    // credits drain and the source starves.
+                    WorkerPc::Recv
+                } else {
+                    WorkerPc::Credit
+                }
+            }
+            WorkerPc::Credit => WorkerPc::Recv,
+            WorkerPc::DecActive => {
+                sh.stage1_active -= 1;
+                self.was_last = sh.stage1_active == 0;
+                WorkerPc::CloseOut
+            }
+            WorkerPc::CloseOut => WorkerPc::Done,
+            WorkerPc::Done => unreachable!(),
+        };
+    }
+
+    fn name(&self) -> String {
+        format!("stage1-{}", self.id)
+    }
+
+    fn capture(&self, w: &mut StateWriter) {
+        w.write_u8(self.pc as u8);
+        w.write_u64(self.msg);
+        w.write_u64(self.seq);
+        w.write_bool(self.was_last);
+    }
+
+    fn box_clone(&self) -> Box<dyn GuestThread<FifoShared>> {
+        Box::new(self.clone())
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RelayPc {
+    Recv,
+    Send,
+    CheckDone,
+    DrainTry,
+    DrainSend,
+    CloseOut,
+    PublishDone,
+    Done,
+}
+
+/// The stage-2 relay: forwards the stage link to the sink link. Its
+/// shutdown behavior is where Table 3's Dryad bugs 3 and 4 live.
+#[derive(Debug, Clone)]
+struct Stage2Relay {
+    pc: RelayPc,
+    msg: u64,
+    input: ChannelId,
+    output: ChannelId,
+    bug: Option<ChannelBug>,
+}
+
+impl GuestThread<FifoShared> for Stage2Relay {
+    fn next_op(&self, _: &FifoShared) -> OpDesc {
+        match self.pc {
+            RelayPc::Recv => OpDesc::Recv(self.input),
+            RelayPc::Send | RelayPc::DrainSend => OpDesc::Send(self.output, self.msg),
+            RelayPc::CheckDone | RelayPc::PublishDone => OpDesc::Local,
+            RelayPc::DrainTry => OpDesc::TryRecv(self.input),
+            RelayPc::CloseOut => OpDesc::Close(self.output),
+            RelayPc::Done => OpDesc::Finished,
+        }
+    }
+
+    fn on_op(&mut self, r: OpResult, sh: &mut FifoShared, _: &mut Effects<FifoShared>) {
+        self.pc = match self.pc {
+            RelayPc::Recv => match r.as_message() {
+                Some(v) => {
+                    self.msg = v;
+                    RelayPc::Send
+                }
+                None => RelayPc::CloseOut,
+            },
+            RelayPc::Send => match self.bug {
+                Some(ChannelBug::EagerShutdown) | Some(ChannelBug::DrainingShutdown) => {
+                    RelayPc::CheckDone
+                }
+                _ => RelayPc::Recv,
+            },
+            RelayPc::CheckDone => {
+                if sh.source_done {
+                    match self.bug {
+                        // BUG: close immediately, dropping queued input.
+                        Some(ChannelBug::EagerShutdown) => RelayPc::CloseOut,
+                        // BUG ("the fix"): drain what is visible, then
+                        // close — in-flight stage-1 messages are lost.
+                        Some(ChannelBug::DrainingShutdown) => RelayPc::DrainTry,
+                        _ => unreachable!(),
+                    }
+                } else {
+                    RelayPc::Recv
+                }
+            }
+            RelayPc::DrainTry => match r.as_message() {
+                Some(v) => {
+                    self.msg = v;
+                    RelayPc::DrainSend
+                }
+                None => RelayPc::CloseOut,
+            },
+            RelayPc::DrainSend => RelayPc::DrainTry,
+            RelayPc::CloseOut => RelayPc::PublishDone,
+            RelayPc::PublishDone => {
+                sh.relay_done = true;
+                RelayPc::Done
+            }
+            RelayPc::Done => unreachable!(),
+        };
+    }
+
+    fn name(&self) -> String {
+        "stage2".to_string()
+    }
+
+    fn capture(&self, w: &mut StateWriter) {
+        w.write_u8(self.pc as u8);
+        w.write_u64(self.msg);
+    }
+
+    fn box_clone(&self) -> Box<dyn GuestThread<FifoShared>> {
+        Box::new(self.clone())
+    }
+}
+
+/// The sink: *polls* its input (try-receive plus a polite sleep — the
+/// spin-until-data idiom the paper's real subjects are full of), then
+/// verifies that every item arrived exactly once (and, with a fan-in
+/// stage, that the forwarding log is complete).
+#[derive(Debug, Clone)]
+struct Sink {
+    // 0 = poll, 1 = check relay_done, 2 = sleep+retry, 3 = final check,
+    // 4 = done, 5 = final drain (relay closed; drain until empty)
+    pc: u8,
+    input: ChannelId,
+    items: u32,
+    check_log: bool,
+}
+
+impl GuestThread<FifoShared> for Sink {
+    fn next_op(&self, _: &FifoShared) -> OpDesc {
+        match self.pc {
+            0 | 5 => OpDesc::TryRecv(self.input),
+            1 | 3 => OpDesc::Local,
+            2 => OpDesc::Sleep,
+            _ => OpDesc::Finished,
+        }
+    }
+
+    fn on_op(&mut self, r: OpResult, sh: &mut FifoShared, fx: &mut Effects<FifoShared>) {
+        match self.pc {
+            0 | 5 => match r.as_message() {
+                Some(v) => {
+                    match sh.seen.get_mut(v as usize) {
+                        Some(slot) => {
+                            *slot += 1;
+                            sh.seen_count += 1;
+                            let c = *slot;
+                            fx.check(
+                                c == 1,
+                                format_args!("sink: item {v} delivered {c} times"),
+                            );
+                        }
+                        None => fx.fail(format!("sink: garbage item {v}")),
+                    }
+                    if self.pc == 5 {
+                        // stay in the final drain
+                    } else {
+                        self.pc = 0;
+                    }
+                }
+                None => self.pc = if self.pc == 5 { 3 } else { 1 },
+            },
+            1 => {
+                // Input looked empty. If the relay has closed and
+                // published, messages may still have landed between our
+                // poll and this check: run one conclusive drain (nothing
+                // can be sent after relay_done). Otherwise nap and retry.
+                self.pc = if sh.relay_done { 5 } else { 2 };
+            }
+            2 => self.pc = 0,
+            3 => {
+                fx.check(
+                    sh.seen_count == self.items,
+                    format_args!("sink: {} of {} items delivered", sh.seen_count, self.items),
+                );
+                if self.check_log {
+                    for (i, slot) in sh.out_log.iter().enumerate() {
+                        fx.check(slot.is_some(), format_args!("log slot {i} never written"));
+                    }
+                }
+                self.pc = 4;
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    fn name(&self) -> String {
+        "sink".to_string()
+    }
+
+    fn capture(&self, w: &mut StateWriter) {
+        w.write_u8(self.pc);
+    }
+
+    fn box_clone(&self) -> Box<dyn GuestThread<FifoShared>> {
+        Box::new(self.clone())
+    }
+}
+
+/// Builds the channel-pipeline test program.
+///
+/// # Panics
+///
+/// Panics if `items == 0`, `credits == 0`, or `stage1_workers` is not 1
+/// or 2.
+pub fn fifo_pipeline(config: FifoConfig) -> Kernel<FifoShared> {
+    assert!(config.items > 0, "need at least one item");
+    assert!(config.credits > 0, "need at least one credit");
+    assert!(
+        (1..=2).contains(&config.stage1_workers),
+        "stage-1 fan-in must be 1 or 2 workers"
+    );
+    let mut k = Kernel::new(FifoShared {
+        next_seq: 0,
+        out_log: vec![None; config.items as usize],
+        seen: vec![0; config.items as usize],
+        seen_count: 0,
+        stage1_active: config.stage1_workers as u32,
+        source_done: false,
+        in_flight: 0,
+        relay_done: false,
+    });
+    let ch0 = k.add_channel(config.channel_capacity);
+    let ch1 = k.add_channel(config.channel_capacity);
+    let ch2 = k.add_channel(config.channel_capacity);
+    let credits = k.add_semaphore(config.credits);
+    let seq_lock = if config.stage1_workers == 2 && config.bug != Some(ChannelBug::RacySequence)
+    {
+        Some(k.add_mutex())
+    } else {
+        None
+    };
+    k.spawn(Source {
+        next: 0,
+        items: config.items as u64,
+        pc: 0,
+        out: ch0,
+        credits,
+    });
+    for id in 0..config.stage1_workers {
+        k.spawn(Stage1Worker {
+            id,
+            pc: WorkerPc::Recv,
+            msg: 0,
+            seq: 0,
+            was_last: false,
+            input: ch0,
+            output: ch1,
+            credits,
+            seq_lock,
+            credit_leak: config.bug == Some(ChannelBug::CreditLeak),
+        });
+    }
+    k.spawn(Stage2Relay {
+        pc: RelayPc::Recv,
+        msg: 0,
+        input: ch1,
+        output: ch2,
+        bug: config.bug,
+    });
+    k.spawn(Sink {
+        pc: 0,
+        input: ch2,
+        items: config.items,
+        check_log: config.stage1_workers == 2,
+    });
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chess_core::strategy::ContextBounded;
+    use chess_core::{Config, Explorer, SearchOutcome};
+    use chess_state::{StateGraph, StatefulLimits};
+
+    fn check(cfg: FifoConfig, cb: u32, max_execs: u64) -> chess_core::SearchReport {
+        let factory = move || fifo_pipeline(cfg);
+        let config = Config::fair()
+            .with_detect_cycles(false)
+            .with_max_executions(max_execs);
+        Explorer::new(factory, ContextBounded::new(cb), config).run()
+    }
+
+    #[test]
+    fn correct_pipeline_is_clean() {
+        let report = check(FifoConfig::correct(), 2, 30_000);
+        assert!(!report.outcome.found_error(), "{report}");
+    }
+
+    #[test]
+    fn correct_fanin_is_clean() {
+        let report = check(FifoConfig::correct_fanin(), 2, 30_000);
+        assert!(!report.outcome.found_error(), "{report}");
+    }
+
+    #[test]
+    fn correct_pipeline_ground_truth() {
+        let cfg = FifoConfig {
+            items: 2,
+            ..FifoConfig::correct()
+        };
+        let g = StateGraph::build(&fifo_pipeline(cfg), StatefulLimits::default()).unwrap();
+        assert!(g.violation_states().is_empty());
+        assert!(g.deadlock_states().is_empty());
+        assert!(g.find_fair_scc().is_none());
+    }
+
+    /// The credit leak starves the source; the polling sink keeps the
+    /// system technically live, so the failure is a livelock (fair
+    /// divergence), which only the fair search reports.
+    #[test]
+    fn credit_leak_livelocks() {
+        let factory = || fifo_pipeline(FifoConfig::with_bug(ChannelBug::CreditLeak));
+        let config = chess_core::Config::fair().with_max_executions(200_000);
+        let report = Explorer::new(factory, ContextBounded::new(2), config).run();
+        assert!(
+            matches!(report.outcome, SearchOutcome::Divergence(_)),
+            "{report}"
+        );
+        // The unfair baseline discards bound-hitting executions and
+        // reports nothing.
+        let config = chess_core::Config::unfair()
+            .with_depth_bound(2_000)
+            .with_max_executions(2_000);
+        let report = Explorer::new(factory, ContextBounded::with_horizon(2, 250), config).run();
+        assert!(!report.outcome.found_error(), "{report}");
+    }
+
+    #[test]
+    fn racy_sequence_found() {
+        let report = check(FifoConfig::with_bug(ChannelBug::RacySequence), 2, 200_000);
+        match &report.outcome {
+            SearchOutcome::SafetyViolation(cex) => {
+                assert!(
+                    cex.message.contains("overwritten") || cex.message.contains("never written"),
+                    "{}",
+                    cex.message
+                );
+            }
+            o => panic!("expected log corruption, got {o:?}"),
+        }
+    }
+
+    #[test]
+    fn eager_shutdown_found() {
+        let report = check(FifoConfig::with_bug(ChannelBug::EagerShutdown), 2, 100_000);
+        match &report.outcome {
+            SearchOutcome::SafetyViolation(cex) => {
+                assert!(cex.message.contains("delivered"), "{}", cex.message);
+            }
+            o => panic!("expected lost messages, got {o:?}"),
+        }
+    }
+
+    #[test]
+    fn draining_shutdown_found_but_deeper() {
+        let report = check(FifoConfig::with_bug(ChannelBug::DrainingShutdown), 2, 200_000);
+        assert!(
+            matches!(report.outcome, SearchOutcome::SafetyViolation(_)),
+            "{report}"
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! # chess-workloads — the evaluation subjects of the PLDI 2008 paper
+//!
+//! Guest programs for the fair stateless model checker, re-implementing
+//! (as kernel guest programs) every subject of the paper's evaluation:
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`spinloop`] | Figure 3's running example |
+//! | [`philosophers`] | Figure 1 (livelock) and the Table 2 coverage subject |
+//! | [`wsq`] | the Cilk-style work-stealing queue, with Table 3's seeded bugs |
+//! | [`promise`] | the Promise library, with Figure 8's stale-read livelock |
+//! | [`workerpool`] | the task library of §4.3.1, with its good-samaritan violation |
+//! | [`channels`] | Dryad-like credit-based channels/fifo, with Table 3's seeded bugs |
+//! | [`miniboot`] | a Singularity stand-in: multi-service OS boot and shutdown |
+//! | [`treiber`] | lock-free Treiber stack with the classic ABA bug |
+//! | [`rwcache`] | rwlock-guarded cache with the lock-upgrade race |
+//! | [`bsp`] | barrier-synchronized BSP computation with a barrier-elision race |
+//! | [`boundedbuffer`] | condvar monitor with if-vs-while and lost-wakeup bugs |
+//! | [`simple`] | tiny teaching programs (racy counter, deadlock pair) |
+//!
+//! Every workload is parameterized by a config struct, instrumented with
+//! safety assertions, and implements state capture so the coverage
+//! experiments of Table 2 can measure it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod boundedbuffer;
+pub mod bsp;
+pub mod channels;
+pub mod miniboot;
+pub mod philosophers;
+pub mod promise;
+pub mod rwcache;
+pub mod wsq;
+pub mod simple;
+pub mod spinloop;
+pub mod treiber;
+pub mod workerpool;

@@ -1,0 +1,431 @@
+//! A miniature operating-system boot/shutdown scenario — the stand-in
+//! for the paper's headline demonstration: "we have successfully booted
+//! the Singularity operating system under the control of CHESS"
+//! (Sections 1 and 4.1).
+//!
+//! The real experiment drives the entire Singularity boot (174 kLOC, 14
+//! threads, ~168k sync ops per execution). We reproduce its *shape*: a
+//! boot controller dynamically spawns a set of services with a
+//! dependency DAG; each service waits for its dependencies' ready
+//! events, initializes, signals ready, then serves a message loop; the
+//! controller drives a steady-state workload through every service's
+//! inbox, collects acknowledgements, shuts the system down by closing
+//! inboxes, joins every service, and verifies the final state.
+//!
+//! The program is fair-terminating (all waits are on events/channels or
+//! yield-free), dynamically creates threads (exercising the scheduler's
+//! `Tid` growth path), and produces executions hundreds of transitions
+//! deep — far beyond what exhaustive search covers, which is exactly why
+//! the paper emphasizes that fairness makes *unmodified* nonterminating
+//! programs checkable at all.
+
+use chess_kernel::{
+    Capture, ChannelId, Effects, EventId, GuestThread, Kernel, OpDesc, OpResult, StateWriter,
+    ThreadId,
+};
+
+/// Boot scenario configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct BootConfig {
+    /// Number of services (the paper's run has 13 + the boot thread).
+    pub services: usize,
+    /// Work messages sent to each service in the steady phase.
+    pub work_per_service: u32,
+    /// Local initialization steps per service.
+    pub init_steps: u32,
+}
+
+impl BootConfig {
+    /// The full-size scenario: 13 services + controller = 14 threads.
+    pub fn full() -> Self {
+        BootConfig {
+            services: 13,
+            work_per_service: 2,
+            init_steps: 2,
+        }
+    }
+
+    /// A small instance for exhaustive exploration in tests.
+    pub fn small() -> Self {
+        BootConfig {
+            services: 2,
+            work_per_service: 1,
+            init_steps: 1,
+        }
+    }
+}
+
+/// Shared state of the boot scenario.
+#[derive(Debug, Clone, Default)]
+pub struct BootShared {
+    /// Services that have signalled ready.
+    pub ready_count: u32,
+    /// Messages handled per service.
+    pub handled: Vec<u32>,
+    /// Acknowledgements received by the controller.
+    pub acks: u32,
+}
+
+impl Capture for BootShared {
+    fn capture(&self, w: &mut StateWriter) {
+        w.write_u32(self.ready_count);
+        for &h in &self.handled {
+            w.write_u32(h);
+        }
+        w.write_u32(self.acks);
+    }
+}
+
+/// Wiring of one service: its dependencies' ready events, its own ready
+/// event, its inbox, and the shared ack channel.
+#[derive(Debug, Clone)]
+struct ServiceWiring {
+    deps: Vec<EventId>,
+    ready: EventId,
+    inbox: ChannelId,
+    ack: ChannelId,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ServicePc {
+    WaitDep,
+    Init,
+    SignalReady,
+    Serve,
+    Ack,
+    Cleanup,
+    Done,
+}
+
+/// A system service thread.
+#[derive(Debug, Clone)]
+struct Service {
+    id: usize,
+    pc: ServicePc,
+    dep_idx: usize,
+    init_left: u32,
+    wiring: ServiceWiring,
+}
+
+impl GuestThread<BootShared> for Service {
+    fn next_op(&self, _: &BootShared) -> OpDesc {
+        match self.pc {
+            ServicePc::WaitDep => OpDesc::EventWait(self.wiring.deps[self.dep_idx]),
+            ServicePc::Init | ServicePc::Cleanup => OpDesc::Local,
+            ServicePc::SignalReady => OpDesc::EventSet(self.wiring.ready),
+            ServicePc::Serve => OpDesc::Recv(self.wiring.inbox),
+            ServicePc::Ack => OpDesc::Send(self.wiring.ack, self.id as u64),
+            ServicePc::Done => OpDesc::Finished,
+        }
+    }
+
+    fn on_op(&mut self, r: OpResult, sh: &mut BootShared, fx: &mut Effects<BootShared>) {
+        self.pc = match self.pc {
+            ServicePc::WaitDep => {
+                self.dep_idx += 1;
+                if self.dep_idx < self.wiring.deps.len() {
+                    ServicePc::WaitDep
+                } else {
+                    ServicePc::Init
+                }
+            }
+            ServicePc::Init => {
+                if self.init_left > 1 {
+                    self.init_left -= 1;
+                    ServicePc::Init
+                } else {
+                    ServicePc::SignalReady
+                }
+            }
+            ServicePc::SignalReady => {
+                sh.ready_count += 1;
+                ServicePc::Serve
+            }
+            ServicePc::Serve => match r.as_message() {
+                Some(_work) => {
+                    sh.handled[self.id] += 1;
+                    ServicePc::Ack
+                }
+                None => ServicePc::Cleanup,
+            },
+            ServicePc::Ack => {
+                fx.check(r.as_bool(), "ack channel closed prematurely");
+                ServicePc::Serve
+            }
+            ServicePc::Cleanup => ServicePc::Done,
+            ServicePc::Done => unreachable!(),
+        };
+    }
+
+    fn name(&self) -> String {
+        format!("svc{}", self.id)
+    }
+
+    fn capture(&self, w: &mut StateWriter) {
+        w.write_u8(self.pc as u8);
+        w.write_usize(self.dep_idx);
+        w.write_u32(self.init_left);
+    }
+
+    fn box_clone(&self) -> Box<dyn GuestThread<BootShared>> {
+        Box::new(self.clone())
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BootPc {
+    SpawnService,
+    AwaitReady,
+    SendWork,
+    CollectAcks,
+    CloseInbox,
+    JoinService,
+    FinalCheck,
+    Done,
+}
+
+/// The boot controller: spawns services, awaits readiness, drives the
+/// steady-state workload, shuts down, and verifies.
+#[derive(Debug, Clone)]
+struct BootController {
+    pc: BootPc,
+    cursor: usize,
+    work_sent: u32,
+    config: BootConfig,
+    wirings: Vec<ServiceWiring>,
+    ack: ChannelId,
+    spawned: Vec<ThreadId>,
+}
+
+impl BootController {
+    fn total_work(&self) -> u32 {
+        self.config.work_per_service * self.config.services as u32
+    }
+}
+
+impl GuestThread<BootShared> for BootController {
+    fn next_op(&self, _: &BootShared) -> OpDesc {
+        match self.pc {
+            BootPc::SpawnService | BootPc::FinalCheck => OpDesc::Local,
+            BootPc::AwaitReady => OpDesc::EventWait(self.wirings[self.cursor].ready),
+            BootPc::SendWork => {
+                OpDesc::Send(self.wirings[self.cursor].inbox, self.work_sent as u64)
+            }
+            BootPc::CollectAcks => OpDesc::Recv(self.ack),
+            BootPc::CloseInbox => OpDesc::Close(self.wirings[self.cursor].inbox),
+            BootPc::JoinService => OpDesc::Join(self.spawned[self.cursor]),
+            BootPc::Done => OpDesc::Finished,
+        }
+    }
+
+    fn on_op(&mut self, r: OpResult, sh: &mut BootShared, fx: &mut Effects<BootShared>) {
+        let n = self.config.services;
+        self.pc = match self.pc {
+            BootPc::SpawnService => {
+                let id = self.cursor;
+                let tid = fx.spawn(Box::new(Service {
+                    id,
+                    pc: if self.wirings[id].deps.is_empty() {
+                        ServicePc::Init
+                    } else {
+                        ServicePc::WaitDep
+                    },
+                    dep_idx: 0,
+                    init_left: self.config.init_steps.max(1),
+                    wiring: self.wirings[id].clone(),
+                }));
+                self.spawned.push(tid);
+                self.cursor += 1;
+                if self.cursor < n {
+                    BootPc::SpawnService
+                } else {
+                    self.cursor = 0;
+                    BootPc::AwaitReady
+                }
+            }
+            BootPc::AwaitReady => {
+                self.cursor += 1;
+                if self.cursor < n {
+                    BootPc::AwaitReady
+                } else {
+                    self.cursor = 0;
+                    BootPc::SendWork
+                }
+            }
+            BootPc::SendWork => {
+                fx.check(r.as_bool(), "inbox closed during steady state");
+                self.work_sent += 1;
+                if self.work_sent.is_multiple_of(self.config.work_per_service) {
+                    self.cursor += 1;
+                }
+                if self.work_sent < self.total_work() {
+                    BootPc::SendWork
+                } else {
+                    BootPc::CollectAcks
+                }
+            }
+            BootPc::CollectAcks => {
+                match r.as_message() {
+                    Some(_) => sh.acks += 1,
+                    None => fx.fail("ack channel closed by someone else"),
+                }
+                if sh.acks < self.total_work() {
+                    BootPc::CollectAcks
+                } else {
+                    self.cursor = 0;
+                    BootPc::CloseInbox
+                }
+            }
+            BootPc::CloseInbox => {
+                self.cursor += 1;
+                if self.cursor < n {
+                    BootPc::CloseInbox
+                } else {
+                    self.cursor = 0;
+                    BootPc::JoinService
+                }
+            }
+            BootPc::JoinService => {
+                self.cursor += 1;
+                if self.cursor < n {
+                    BootPc::JoinService
+                } else {
+                    BootPc::FinalCheck
+                }
+            }
+            BootPc::FinalCheck => {
+                fx.check(
+                    sh.ready_count == n as u32,
+                    format_args!("{} of {n} services became ready", sh.ready_count),
+                );
+                fx.check(
+                    sh.acks == self.total_work(),
+                    format_args!("{} of {} acks", sh.acks, self.total_work()),
+                );
+                for (i, &h) in sh.handled.iter().enumerate() {
+                    fx.check(
+                        h == self.config.work_per_service,
+                        format_args!("service {i} handled {h} messages"),
+                    );
+                }
+                BootPc::Done
+            }
+            BootPc::Done => unreachable!(),
+        };
+    }
+
+    fn name(&self) -> String {
+        "boot".to_string()
+    }
+
+    fn capture(&self, w: &mut StateWriter) {
+        w.write_u8(self.pc as u8);
+        w.write_usize(self.cursor);
+        w.write_u32(self.work_sent);
+    }
+
+    fn box_clone(&self) -> Box<dyn GuestThread<BootShared>> {
+        Box::new(self.clone())
+    }
+}
+
+/// Builds the boot scenario. Service `i > 0` depends on service
+/// `(i - 1) / 2` (a binary tree), so boot order is partially concurrent.
+///
+/// # Panics
+///
+/// Panics if `config.services == 0` or `config.work_per_service == 0`.
+pub fn miniboot(config: BootConfig) -> Kernel<BootShared> {
+    assert!(config.services > 0, "need at least one service");
+    assert!(config.work_per_service > 0, "need steady-state work");
+    let mut k = Kernel::new(BootShared {
+        ready_count: 0,
+        handled: vec![0; config.services],
+        acks: 0,
+    });
+    let ready: Vec<EventId> = (0..config.services)
+        .map(|_| k.add_manual_event(false))
+        .collect();
+    let ack = k.add_channel(config.services.max(2));
+    let wirings: Vec<ServiceWiring> = (0..config.services)
+        .map(|i| ServiceWiring {
+            deps: if i == 0 {
+                Vec::new()
+            } else {
+                vec![ready[(i - 1) / 2]]
+            },
+            ready: ready[i],
+            inbox: k.add_channel(config.work_per_service as usize),
+            ack,
+        })
+        .collect();
+    k.spawn(BootController {
+        pc: BootPc::SpawnService,
+        cursor: 0,
+        work_sent: 0,
+        config,
+        wirings,
+        ack,
+        spawned: Vec::new(),
+    });
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chess_core::strategy::{ContextBounded, RandomWalk};
+    use chess_core::{Config, Explorer};
+    use chess_state::{StateGraph, StatefulLimits};
+
+    #[test]
+    fn small_boot_ground_truth() {
+        let g = StateGraph::build(&miniboot(BootConfig::small()), StatefulLimits::default())
+            .unwrap();
+        assert!(g.violation_states().is_empty(), "boot must be safe");
+        assert!(g.deadlock_states().is_empty(), "boot must not deadlock");
+        assert!(g.find_fair_scc().is_none(), "boot is fair-terminating");
+    }
+
+    #[test]
+    fn small_boot_fair_cb2_clean() {
+        let factory = || miniboot(BootConfig::small());
+        let config = Config::fair()
+            .with_detect_cycles(false)
+            .with_max_executions(20_000);
+        let report = Explorer::new(factory, ContextBounded::new(2), config).run();
+        assert!(!report.outcome.found_error(), "{report}");
+    }
+
+    #[test]
+    fn full_boot_random_fair_smoke() {
+        let factory = || miniboot(BootConfig::full());
+        let config = Config::fair()
+            .with_detect_cycles(false)
+            .with_max_executions(50);
+        let report = Explorer::new(factory, RandomWalk::new(7), config).run();
+        assert!(!report.outcome.found_error(), "{report}");
+        assert_eq!(report.stats.nonterminating, 0);
+        // 14 threads: controller + 13 services.
+        let k = factory();
+        assert_eq!(chess_core::TransitionSystem::thread_count(&k), 1);
+    }
+
+    #[test]
+    fn full_boot_single_run_verifies() {
+        let mut k = miniboot(BootConfig::full());
+        let mut steps = 0u64;
+        while chess_core::TransitionSystem::status(&k).is_running() {
+            let t = k.thread_ids().find(|&t| k.enabled(t)).unwrap();
+            k.step(t, 0);
+            steps += 1;
+            assert!(steps < 100_000, "boot should terminate");
+        }
+        assert_eq!(
+            chess_core::TransitionSystem::status(&k),
+            chess_core::SystemStatus::Terminated
+        );
+        assert_eq!(k.thread_count(), 14);
+        assert_eq!(k.shared().ready_count, 13);
+    }
+}

@@ -1,0 +1,430 @@
+//! Dining philosophers — the paper's introductory example (Figure 1) and
+//! one of the two coverage subjects of Table 2.
+//!
+//! Three variants:
+//!
+//! * [`Variant::Trylock`] — **Figure 1 verbatim** (generalized to a ring):
+//!   each philosopher blocks on its first fork, *tries* the second, and on
+//!   failure releases and retries. With the figure's ring order this has
+//!   the paper's livelock: all philosophers can acquire–fail–release in
+//!   lockstep forever, a *fair* cycle.
+//! * [`Variant::TrylockOrdered`] — the same retry structure but forks are
+//!   always grabbed lowest-id first, with a yield before retrying. The
+//!   retry loops create cycles in the state space (which unfair search
+//!   wastes executions unrolling — Figures 2/5/6) but the ordering makes
+//!   the program fair-terminating: no livelock, no deadlock.
+//! * [`Variant::OrderedBlocking`] — both forks acquired blocking in
+//!   ascending order: the terminating, acyclic textbook fix.
+//!
+//! Safety instrumentation: a philosopher eating asserts that no neighbor
+//! is eating, and the harness counts meals.
+
+use chess_kernel::{Capture, Effects, GuestThread, Kernel, MutexId, OpDesc, OpResult, StateWriter};
+
+/// Which philosopher protocol to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// Figure 1: block on first fork (ring order), try second, release
+    /// and retry on failure. Contains a livelock.
+    Trylock,
+    /// Lowest-fork-first trylock with a polite yield before retrying:
+    /// cyclic state space but fair-terminating.
+    TrylockOrdered,
+    /// Lowest-fork-first blocking acquisition: terminating, acyclic.
+    OrderedBlocking,
+}
+
+/// Configuration for the dining-philosophers workload.
+#[derive(Debug, Clone, Copy)]
+pub struct PhilosophersConfig {
+    /// Number of philosophers (and forks). Must be at least 2.
+    pub n: usize,
+    /// Protocol variant.
+    pub variant: Variant,
+    /// Meals each philosopher must eat before finishing.
+    pub meals: u32,
+    /// Insert a yield (sleep) before retrying after a failed try-acquire.
+    /// Figure 1 has no yield; the fair-terminating variant needs one for
+    /// the good-samaritan property.
+    pub polite: bool,
+    /// Local "thinking" steps before each meal attempt (adds scheduling
+    /// interleavings without synchronization).
+    pub think_steps: u32,
+}
+
+impl PhilosophersConfig {
+    /// Figure 1's two-philosopher livelocking program.
+    pub fn figure1() -> Self {
+        PhilosophersConfig {
+            n: 2,
+            variant: Variant::Trylock,
+            meals: 1,
+            polite: false,
+            think_steps: 0,
+        }
+    }
+
+    /// The Table 2 coverage subject with `n` philosophers:
+    /// fair-terminating, cyclic for `n >= 3`.
+    pub fn table2(n: usize) -> Self {
+        PhilosophersConfig {
+            n,
+            variant: Variant::TrylockOrdered,
+            meals: 1,
+            polite: true,
+            think_steps: 1,
+        }
+    }
+}
+
+/// Shared state: who is eating, and meal counts.
+#[derive(Debug, Clone, Default)]
+pub struct PhilShared {
+    /// `eating[i]` while philosopher `i` holds both forks and eats.
+    pub eating: Vec<bool>,
+    /// Completed meals per philosopher.
+    pub meals_eaten: Vec<u32>,
+}
+
+impl Capture for PhilShared {
+    fn capture(&self, w: &mut StateWriter) {
+        for &e in &self.eating {
+            w.write_bool(e);
+        }
+        for &m in &self.meals_eaten {
+            w.write_u32(m);
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Pc {
+    Think,
+    AcqFirst,
+    TrySecond,
+    AcqSecond,
+    RelFirstRetry,
+    YieldRetry,
+    Eat,
+    RelSecond,
+    RelFirst,
+    Done,
+}
+
+/// One philosopher thread.
+#[derive(Debug, Clone)]
+struct Philosopher {
+    id: usize,
+    pc: Pc,
+    first: MutexId,
+    second: MutexId,
+    blocking_second: bool,
+    polite: bool,
+    meals_left: u32,
+    think_steps: u32,
+    thinks_left: u32,
+}
+
+impl Philosopher {
+    fn after_think(&self) -> Pc {
+        if self.thinks_left > 0 {
+            Pc::Think
+        } else {
+            Pc::AcqFirst
+        }
+    }
+}
+
+impl GuestThread<PhilShared> for Philosopher {
+    fn next_op(&self, _: &PhilShared) -> OpDesc {
+        match self.pc {
+            Pc::Think | Pc::Eat => OpDesc::Local,
+            Pc::AcqFirst => OpDesc::Acquire(self.first),
+            Pc::TrySecond => OpDesc::TryAcquire(self.second),
+            Pc::AcqSecond => OpDesc::Acquire(self.second),
+            Pc::RelFirstRetry => OpDesc::Release(self.first),
+            Pc::YieldRetry => OpDesc::Sleep,
+            Pc::RelSecond => OpDesc::Release(self.second),
+            Pc::RelFirst => OpDesc::Release(self.first),
+            Pc::Done => OpDesc::Finished,
+        }
+    }
+
+    fn on_op(&mut self, r: OpResult, sh: &mut PhilShared, fx: &mut Effects<PhilShared>) {
+        self.pc = match self.pc {
+            Pc::Think => {
+                self.thinks_left -= 1;
+                self.after_think()
+            }
+            Pc::AcqFirst => {
+                if self.blocking_second {
+                    Pc::AcqSecond
+                } else {
+                    Pc::TrySecond
+                }
+            }
+            Pc::AcqSecond => Pc::Eat,
+            Pc::TrySecond => {
+                if r.as_bool() {
+                    Pc::Eat
+                } else {
+                    Pc::RelFirstRetry
+                }
+            }
+            Pc::RelFirstRetry => {
+                if self.polite {
+                    Pc::YieldRetry
+                } else {
+                    Pc::AcqFirst
+                }
+            }
+            Pc::YieldRetry => Pc::AcqFirst,
+            Pc::Eat => {
+                let n = sh.eating.len();
+                let left = (self.id + n - 1) % n;
+                let right = (self.id + 1) % n;
+                fx.check(
+                    !sh.eating[left] && !sh.eating[right],
+                    format_args!("philosopher {} eating next to an eating neighbor", self.id),
+                );
+                sh.eating[self.id] = true;
+                Pc::RelSecond
+            }
+            Pc::RelSecond => {
+                // Eating requires both forks; once the first is given up
+                // the philosopher no longer counts as eating.
+                sh.eating[self.id] = false;
+                sh.meals_eaten[self.id] += 1;
+                Pc::RelFirst
+            }
+            Pc::RelFirst => {
+                self.meals_left -= 1;
+                if self.meals_left == 0 {
+                    Pc::Done
+                } else {
+                    self.thinks_left = self.think_steps;
+                    self.after_think()
+                }
+            }
+            Pc::Done => unreachable!(),
+        };
+    }
+
+    fn name(&self) -> String {
+        format!("phil{}", self.id)
+    }
+
+    fn capture(&self, w: &mut StateWriter) {
+        w.write_u8(self.pc as u8);
+        w.write_u32(self.meals_left);
+        w.write_u32(self.thinks_left);
+    }
+
+    fn box_clone(&self) -> Box<dyn GuestThread<PhilShared>> {
+        Box::new(self.clone())
+    }
+}
+
+/// Builds a dining-philosophers kernel from a configuration.
+///
+/// # Panics
+///
+/// Panics if `config.n < 2` or `config.meals == 0`.
+pub fn philosophers(config: PhilosophersConfig) -> Kernel<PhilShared> {
+    assert!(config.n >= 2, "need at least two philosophers");
+    assert!(config.meals > 0, "each philosopher must eat at least once");
+    let mut k = Kernel::new(PhilShared {
+        eating: vec![false; config.n],
+        meals_eaten: vec![0; config.n],
+    });
+    let forks: Vec<MutexId> = (0..config.n).map(|_| k.add_mutex()).collect();
+    for i in 0..config.n {
+        let (a, b) = (forks[i], forks[(i + 1) % config.n]);
+        let (first, second) = match config.variant {
+            // Figure 1 ring order: grab "your" fork, then the next one.
+            Variant::Trylock => (a, b),
+            // Global fork ordering: lowest id first.
+            Variant::TrylockOrdered | Variant::OrderedBlocking => {
+                if a.index() < b.index() {
+                    (a, b)
+                } else {
+                    (b, a)
+                }
+            }
+        };
+        let phil = Philosopher {
+            id: i,
+            pc: Pc::AcqFirst,
+            first,
+            second,
+            blocking_second: config.variant == Variant::OrderedBlocking,
+            polite: config.polite,
+            meals_left: config.meals,
+            think_steps: config.think_steps,
+            thinks_left: config.think_steps,
+        };
+        let pc = phil.after_think();
+        k.spawn(Philosopher { pc, ..phil });
+    }
+    k
+}
+
+/// Figure 1's program: two philosophers, try-locks, no yields — contains
+/// the paper's livelock.
+pub fn figure1() -> Kernel<PhilShared> {
+    philosophers(PhilosophersConfig::figure1())
+}
+
+/// Figure 1 with a polite yield before each retry: the program then
+/// satisfies the good-samaritan property, so the *only* error left is the
+/// genuine livelock (the fair acquire–fail–release cycle of both
+/// philosophers), and solo spinning is pruned by the fair scheduler
+/// (Theorem 4).
+pub fn figure1_polite() -> Kernel<PhilShared> {
+    philosophers(PhilosophersConfig {
+        polite: true,
+        ..PhilosophersConfig::figure1()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chess_core::strategy::Dfs;
+    use chess_core::{Config, DivergenceKind, Explorer, SearchOutcome};
+    use chess_state::{StateGraph, StatefulLimits};
+
+    #[test]
+    fn figure1_has_a_livelock_ground_truth() {
+        let g = StateGraph::build(&figure1(), StatefulLimits::default()).unwrap();
+        assert!(
+            g.find_fair_scc().is_some(),
+            "figure 1 must contain a fair cycle (livelock)"
+        );
+        assert!(g.deadlock_states().is_empty(), "trylock avoids deadlock");
+    }
+
+    /// Figure 1 has no yields, so both genuine livelock cycles (fair) and
+    /// solo-spin cycles (unfair, i.e. good-samaritan violations) loop
+    /// forever; either is a correct error report.
+    #[test]
+    fn fair_search_detects_figure1_divergence() {
+        let report = Explorer::new(figure1, Dfs::new(), Config::fair()).run();
+        match report.outcome {
+            SearchOutcome::Divergence(d) => assert!(matches!(
+                d.kind,
+                DivergenceKind::FairCycle { .. } | DivergenceKind::UnfairCycle { .. }
+            )),
+            o => panic!("expected divergence, got {o:?}"),
+        }
+    }
+
+    /// With polite retries the program satisfies GS: the fair scheduler
+    /// prunes solo spinning (Theorem 4) and the *livelock itself* is the
+    /// divergence that remains.
+    #[test]
+    fn fair_search_pinpoints_the_livelock_in_polite_figure1() {
+        let report = Explorer::new(figure1_polite, Dfs::new(), Config::fair()).run();
+        match report.outcome {
+            SearchOutcome::Divergence(d) => match d.kind {
+                DivergenceKind::FairCycle { cycle_len, .. } => assert!(cycle_len >= 4),
+                k => panic!("expected fair cycle (livelock), got {k:?}"),
+            },
+            o => panic!("expected divergence, got {o:?}"),
+        }
+    }
+
+    #[test]
+    fn table2_variant_is_fair_terminating() {
+        for n in [2, 3] {
+            let factory = move || philosophers(PhilosophersConfig::table2(n));
+            let g = StateGraph::build(&factory(), StatefulLimits::default()).unwrap();
+            assert!(
+                g.find_fair_scc().is_none(),
+                "ordered trylock must be livelock-free (n={n})"
+            );
+            assert!(g.deadlock_states().is_empty());
+            assert!(g.violation_states().is_empty());
+        }
+        // Full fair DFS on the 2-philosopher instance: must complete with
+        // every execution terminating (the 3-philosopher DFS is large and
+        // is exercised with a budget in the benches).
+        let factory = || philosophers(PhilosophersConfig::table2(2));
+        let report = Explorer::new(factory, Dfs::new(), Config::fair()).run();
+        assert_eq!(report.outcome, SearchOutcome::Complete);
+        assert_eq!(report.stats.nonterminating, 0);
+        // With a budget, the 3-philosopher fair search stays error-free
+        // and never hits the depth bound.
+        let factory = || philosophers(PhilosophersConfig::table2(3));
+        let config = Config::fair().with_max_executions(3_000);
+        let report = Explorer::new(factory, Dfs::new(), config).run();
+        assert!(!report.outcome.found_error(), "{report}");
+        assert_eq!(report.stats.nonterminating, 0);
+    }
+
+    /// Unfair depth-bounded DFS wastes executions unrolling the retry
+    /// cycles (the phenomenon of Figure 2).
+    #[test]
+    fn table2_variant_has_cycles_for_three_philosophers() {
+        let factory = || philosophers(PhilosophersConfig::table2(3));
+        let config = Config::unfair()
+            .with_depth_bound(40)
+            .with_max_executions(20_000);
+        let report = Explorer::new(factory, Dfs::new(), config).run();
+        assert!(
+            report.stats.nonterminating > 0,
+            "expected depth-bound hits from cycle unrolling: {:?}",
+            report.stats
+        );
+    }
+
+    #[test]
+    fn ordered_blocking_terminates_everywhere() {
+        let factory = || {
+            philosophers(PhilosophersConfig {
+                n: 3,
+                variant: Variant::OrderedBlocking,
+                meals: 1,
+                polite: false,
+                think_steps: 0,
+            })
+        };
+        let g = StateGraph::build(&factory(), StatefulLimits::default()).unwrap();
+        assert!(g.deadlock_states().is_empty());
+        assert!(g.find_fair_scc().is_none());
+        let report = Explorer::new(factory, Dfs::new(), Config::fair()).run();
+        assert_eq!(report.outcome, SearchOutcome::Complete);
+    }
+
+    #[test]
+    fn meals_are_eaten_on_every_terminating_execution() {
+        let factory = || {
+            philosophers(PhilosophersConfig {
+                n: 2,
+                variant: Variant::OrderedBlocking,
+                meals: 2,
+                polite: false,
+                think_steps: 0,
+            })
+        };
+        // Run one arbitrary execution to completion and check meal counts.
+        let mut k = factory();
+        while chess_core::TransitionSystem::status(&k).is_running() {
+            let t = k.thread_ids().find(|&t| k.enabled(t)).unwrap();
+            k.step(t, 0);
+        }
+        assert_eq!(k.shared().meals_eaten, vec![2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn single_philosopher_rejected() {
+        let _ = philosophers(PhilosophersConfig {
+            n: 1,
+            variant: Variant::Trylock,
+            meals: 1,
+            polite: false,
+            think_steps: 0,
+        });
+    }
+}

@@ -1,0 +1,382 @@
+//! The Promise library — §4.3.2's livelock subject.
+//!
+//! Promises are single-assignment cells used for data parallelism: a
+//! producer fulfills each promise, consumers wait for it. The library is
+//! "optimized for efficiency and selectively uses low-level primitives":
+//! waiting has a lock-free fast path (read the state word) and a slow
+//! path that spins with `Sleep(1)`.
+//!
+//! Figure 8's bug: for performance, the waiter caches the shared state
+//! word in a local, and the uncommon slow path spins on the **stale
+//! local copy** without re-reading shared memory:
+//!
+//! ```text
+//! int x_temp = InterlockedRead(x);
+//! if (common case 1) break;
+//! if (common case 2) break;
+//! while (x_temp != 1) {          // BUG: should re-read x
+//!     Sleep(1);                  // yield
+//! }
+//! ```
+//!
+//! Because the spin *does* yield, the buggy infinite execution satisfies
+//! the good-samaritan property and is perfectly fair once the producer
+//! has finished — a textbook **livelock**, which is exactly what the fair
+//! scheduler reports. The bug "only occurred in those rare thread
+//! interleavings in which the common cases were inapplicable": if the
+//! producer wins the race the fast path hides the bug.
+
+use chess_kernel::{
+    Capture, Effects, EventId, GuestThread, Kernel, OpDesc, OpResult, StateWriter,
+};
+
+/// How a consumer waits for a promise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitMode {
+    /// Block on the promise's completion event.
+    Blocking,
+    /// Fast-path read, then spin re-reading the shared state with a
+    /// `Sleep(1)` yield per iteration (correct spin).
+    SpinYield,
+    /// Figure 8: fast-path read, then spin on the **stale local copy**.
+    StaleSpin,
+}
+
+/// Promise workload configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct PromiseConfig {
+    /// Number of promises (one producer each).
+    pub promises: usize,
+    /// The consumer's waiting strategy.
+    pub wait_mode: WaitMode,
+    /// Local computation steps each producer performs before fulfilling
+    /// its promise (widens the racy window).
+    pub compute_steps: u32,
+}
+
+impl PromiseConfig {
+    /// The correct library.
+    pub fn correct() -> Self {
+        PromiseConfig {
+            promises: 2,
+            wait_mode: WaitMode::SpinYield,
+            compute_steps: 1,
+        }
+    }
+
+    /// The Figure 8 configuration with the stale-read livelock.
+    pub fn figure8() -> Self {
+        PromiseConfig {
+            wait_mode: WaitMode::StaleSpin,
+            ..PromiseConfig::correct()
+        }
+    }
+}
+
+/// One promise cell.
+#[derive(Debug, Clone, Default)]
+pub struct PromiseSlot {
+    /// 0 = pending, 1 = fulfilled (the `x` of Figure 8).
+    pub state: u64,
+    /// The fulfilled value.
+    pub value: u64,
+}
+
+/// Shared state: the promise cells.
+#[derive(Debug, Clone, Default)]
+pub struct PromiseShared {
+    /// All promise cells.
+    pub slots: Vec<PromiseSlot>,
+}
+
+impl Capture for PromiseShared {
+    fn capture(&self, w: &mut StateWriter) {
+        for s in &self.slots {
+            w.write_u64(s.state);
+            w.write_u64(s.value);
+        }
+    }
+}
+
+/// Fulfills promise `idx` with value `100 + idx` after some computation.
+#[derive(Debug, Clone)]
+struct Producer {
+    idx: usize,
+    steps_left: u32,
+    pc: u8, // 0 = compute, 1 = write value, 2 = publish state, 3 = set event, 4 = done
+    event: EventId,
+}
+
+impl GuestThread<PromiseShared> for Producer {
+    fn next_op(&self, _: &PromiseShared) -> OpDesc {
+        match self.pc {
+            0..=2 => OpDesc::Local,
+            3 => OpDesc::EventSet(self.event),
+            _ => OpDesc::Finished,
+        }
+    }
+
+    fn on_op(&mut self, _: OpResult, sh: &mut PromiseShared, _: &mut Effects<PromiseShared>) {
+        match self.pc {
+            0 => {
+                if self.steps_left > 0 {
+                    self.steps_left -= 1;
+                    return; // stay in compute
+                }
+                self.pc = 1;
+            }
+            1 => {
+                sh.slots[self.idx].value = 100 + self.idx as u64;
+                self.pc = 2;
+            }
+            2 => {
+                sh.slots[self.idx].state = 1;
+                self.pc = 3;
+            }
+            3 => self.pc = 4,
+            _ => unreachable!(),
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("producer{}", self.idx)
+    }
+
+    fn capture(&self, w: &mut StateWriter) {
+        w.write_u8(self.pc);
+        w.write_u32(self.steps_left);
+    }
+
+    fn box_clone(&self) -> Box<dyn GuestThread<PromiseShared>> {
+        Box::new(self.clone())
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WaitPc {
+    FastRead,
+    BlockingWait,
+    SpinCheck,
+    SpinSleep,
+    Collect,
+    Done,
+}
+
+/// Waits for every promise in order, then checks all values.
+#[derive(Debug, Clone)]
+struct Consumer {
+    pc: WaitPc,
+    current: usize,
+    /// Figure 8's `x_temp`: the locally cached state word.
+    cached_state: u64,
+    mode: WaitMode,
+    events: Vec<EventId>,
+}
+
+impl Consumer {
+    fn next_promise(&mut self, n: usize) -> WaitPc {
+        self.current += 1;
+        if self.current >= n {
+            WaitPc::Collect
+        } else {
+            WaitPc::FastRead
+        }
+    }
+}
+
+impl GuestThread<PromiseShared> for Consumer {
+    fn next_op(&self, _: &PromiseShared) -> OpDesc {
+        match self.pc {
+            WaitPc::FastRead | WaitPc::SpinCheck | WaitPc::Collect => OpDesc::Local,
+            WaitPc::BlockingWait => OpDesc::EventWait(self.events[self.current]),
+            WaitPc::SpinSleep => OpDesc::Sleep,
+            WaitPc::Done => OpDesc::Finished,
+        }
+    }
+
+    fn on_op(&mut self, _: OpResult, sh: &mut PromiseShared, fx: &mut Effects<PromiseShared>) {
+        let n = sh.slots.len();
+        self.pc = match self.pc {
+            WaitPc::FastRead => {
+                // The InterlockedRead of Figure 8.
+                self.cached_state = sh.slots[self.current].state;
+                if self.cached_state == 1 {
+                    // Common case: already fulfilled.
+                    self.next_promise(n)
+                } else {
+                    match self.mode {
+                        WaitMode::Blocking => WaitPc::BlockingWait,
+                        WaitMode::SpinYield | WaitMode::StaleSpin => WaitPc::SpinCheck,
+                    }
+                }
+            }
+            WaitPc::BlockingWait => self.next_promise(n),
+            WaitPc::SpinCheck => {
+                let observed = match self.mode {
+                    // Correct: re-read shared memory each iteration.
+                    WaitMode::SpinYield => sh.slots[self.current].state,
+                    // BUG (Figure 8): consult the stale local copy.
+                    WaitMode::StaleSpin => self.cached_state,
+                    WaitMode::Blocking => unreachable!(),
+                };
+                if observed == 1 {
+                    self.next_promise(n)
+                } else {
+                    WaitPc::SpinSleep
+                }
+            }
+            WaitPc::SpinSleep => WaitPc::SpinCheck,
+            WaitPc::Collect => {
+                for (i, slot) in sh.slots.iter().enumerate() {
+                    fx.check(
+                        slot.value == 100 + i as u64,
+                        format_args!("promise {i} delivered {}", slot.value),
+                    );
+                }
+                WaitPc::Done
+            }
+            WaitPc::Done => unreachable!(),
+        };
+    }
+
+    fn name(&self) -> String {
+        "consumer".to_string()
+    }
+
+    fn capture(&self, w: &mut StateWriter) {
+        w.write_u8(self.pc as u8);
+        w.write_usize(self.current);
+        w.write_u64(self.cached_state);
+    }
+
+    fn box_clone(&self) -> Box<dyn GuestThread<PromiseShared>> {
+        Box::new(self.clone())
+    }
+}
+
+/// Builds the promise test program: one producer per promise and a
+/// consumer awaiting all of them.
+///
+/// # Panics
+///
+/// Panics if `config.promises == 0`.
+pub fn promises(config: PromiseConfig) -> Kernel<PromiseShared> {
+    assert!(config.promises > 0, "need at least one promise");
+    let mut k = Kernel::new(PromiseShared {
+        slots: vec![PromiseSlot::default(); config.promises],
+    });
+    let events: Vec<EventId> = (0..config.promises)
+        .map(|_| k.add_manual_event(false))
+        .collect();
+    for (idx, &event) in events.iter().enumerate() {
+        k.spawn(Producer {
+            idx,
+            steps_left: config.compute_steps,
+            pc: 0,
+            event,
+        });
+    }
+    k.spawn(Consumer {
+        pc: WaitPc::FastRead,
+        current: 0,
+        cached_state: 0,
+        mode: config.wait_mode,
+        events,
+    });
+    k
+}
+
+/// Figure 8's buggy program.
+pub fn figure8() -> Kernel<PromiseShared> {
+    promises(PromiseConfig::figure8())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chess_core::strategy::Dfs;
+    use chess_core::{Config, DivergenceKind, Explorer, SearchOutcome};
+    use chess_state::{StateGraph, StatefulLimits};
+
+    #[test]
+    fn correct_spin_yield_is_clean() {
+        // One promise: the full fair DFS completes. (With several spin
+        // loops the *path* count explodes even though the state space is
+        // tiny — the fundamental stateless-search tradeoff.)
+        let factory = || {
+            promises(PromiseConfig {
+                promises: 1,
+                ..PromiseConfig::correct()
+            })
+        };
+        let report = Explorer::new(factory, Dfs::new(), Config::fair()).run();
+        assert_eq!(report.outcome, SearchOutcome::Complete, "{report}");
+        assert_eq!(report.stats.nonterminating, 0);
+        // Two promises: bounded fair search stays clean.
+        let factory = || promises(PromiseConfig::correct());
+        let config = Config::fair().with_max_executions(5_000);
+        let report = Explorer::new(factory, Dfs::new(), config).run();
+        assert!(!report.outcome.found_error(), "{report}");
+        assert_eq!(report.stats.nonterminating, 0);
+    }
+
+    #[test]
+    fn correct_blocking_is_clean() {
+        let factory = || {
+            promises(PromiseConfig {
+                wait_mode: WaitMode::Blocking,
+                ..PromiseConfig::correct()
+            })
+        };
+        let report = Explorer::new(factory, Dfs::new(), Config::fair()).run();
+        assert_eq!(report.outcome, SearchOutcome::Complete, "{report}");
+    }
+
+    #[test]
+    fn figure8_livelock_ground_truth() {
+        let g = StateGraph::build(&figure8(), StatefulLimits::default()).unwrap();
+        assert!(
+            g.find_fair_scc().is_some(),
+            "the stale spin must loop fairly forever"
+        );
+    }
+
+    #[test]
+    fn fair_search_reports_figure8_as_livelock() {
+        let report = Explorer::new(figure8, Dfs::new(), Config::fair()).run();
+        match report.outcome {
+            SearchOutcome::Divergence(d) => match d.kind {
+                DivergenceKind::FairCycle { .. } => {}
+                k => panic!("expected a fair cycle (livelock), got {k:?}"),
+            },
+            o => panic!("expected divergence, got {o:?}"),
+        }
+    }
+
+    /// The common case hides the bug: if every producer finishes before
+    /// the consumer's first read, the fast path succeeds. This is why
+    /// stress testing misses it ("only occurred in rare interleavings").
+    #[test]
+    fn figure8_common_case_terminates() {
+        let mut k = figure8();
+        // Run producers to completion first, then the consumer.
+        loop {
+            let Some(t) = k
+                .thread_ids()
+                .filter(|&t| k.enabled(t))
+                .find(|&t| k.thread_name(t).starts_with("producer"))
+            else {
+                break;
+            };
+            k.step(t, 0);
+        }
+        while chess_core::TransitionSystem::status(&k).is_running() {
+            let t = k.thread_ids().find(|&t| k.enabled(t)).unwrap();
+            k.step(t, 0);
+        }
+        assert_eq!(
+            chess_core::TransitionSystem::status(&k),
+            chess_core::SystemStatus::Terminated
+        );
+    }
+}

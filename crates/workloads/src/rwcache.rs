@@ -1,0 +1,323 @@
+//! A read-mostly cache guarded by a reader-writer lock, with the classic
+//! **lock-upgrade race**: a reader that misses precomputes the refresh
+//! value while still under the *read* lock, drops it, re-acquires the
+//! lock for writing, and installs the — by then stale — value. The fix
+//! recomputes under the write lock.
+//!
+//! This workload exercises the kernel's reader-writer lock end to end:
+//! concurrent readers, writer exclusion, and the release-then-upgrade
+//! pattern whose non-atomicity is the bug.
+
+use chess_kernel::{
+    Capture, Effects, GuestThread, Kernel, OpDesc, OpResult, RwLockId, StateWriter,
+};
+
+/// Read-write-cache workload configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct RwCacheConfig {
+    /// Number of reader threads.
+    pub readers: usize,
+    /// Successful lookups each reader must perform.
+    pub lookups: u32,
+    /// Times the updater bumps the source value (invalidating the cache).
+    pub updates: u32,
+    /// Seed the upgrade race: precompute the refresh value under the
+    /// read lock instead of the write lock.
+    pub stale_refresh: bool,
+}
+
+impl RwCacheConfig {
+    /// A small correct instance.
+    pub fn correct() -> Self {
+        RwCacheConfig {
+            readers: 2,
+            lookups: 1,
+            updates: 1,
+            stale_refresh: false,
+        }
+    }
+
+    /// The upgrade-race bug.
+    pub fn upgrade_race() -> Self {
+        RwCacheConfig {
+            stale_refresh: true,
+            ..RwCacheConfig::correct()
+        }
+    }
+}
+
+/// Shared state: the authoritative value and its cache.
+#[derive(Debug, Clone, Default)]
+pub struct CacheShared {
+    /// The authoritative value (bumped by the updater).
+    pub source: u64,
+    /// The cached value, if any (invalidated by the updater).
+    pub cache: Option<u64>,
+    /// Completed lookups (for statistics).
+    pub hits: u32,
+}
+
+impl Capture for CacheShared {
+    fn capture(&self, w: &mut StateWriter) {
+        w.write_u64(self.source);
+        match self.cache {
+            None => w.write_u64(u64::MAX),
+            Some(v) => w.write_u64(v),
+        }
+        w.write_u32(self.hits);
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ReaderPc {
+    ReadLock,
+    Inspect,
+    ReadUnlockHit,
+    ReadUnlockMiss,
+    WriteLock,
+    Install,
+    WriteUnlock,
+    Done,
+}
+
+/// A reader thread: lookups with the miss/upgrade path.
+#[derive(Debug, Clone)]
+struct Reader {
+    id: usize,
+    pc: ReaderPc,
+    lookups_left: u32,
+    /// The refresh value (precomputed under the read lock in the buggy
+    /// variant; `None` until computed).
+    precomputed: Option<u64>,
+    lock: RwLockId,
+    stale_refresh: bool,
+}
+
+impl GuestThread<CacheShared> for Reader {
+    fn next_op(&self, _: &CacheShared) -> OpDesc {
+        match self.pc {
+            ReaderPc::ReadLock => OpDesc::RwAcquireRead(self.lock),
+            ReaderPc::Inspect | ReaderPc::Install => OpDesc::Local,
+            ReaderPc::ReadUnlockHit | ReaderPc::ReadUnlockMiss | ReaderPc::WriteUnlock => {
+                OpDesc::RwRelease(self.lock)
+            }
+            ReaderPc::WriteLock => OpDesc::RwAcquireWrite(self.lock),
+            ReaderPc::Done => OpDesc::Finished,
+        }
+    }
+
+    fn on_op(&mut self, _: OpResult, sh: &mut CacheShared, fx: &mut Effects<CacheShared>) {
+        self.pc = match self.pc {
+            ReaderPc::ReadLock => ReaderPc::Inspect,
+            ReaderPc::Inspect => match sh.cache {
+                Some(v) => {
+                    // The invariant a cache must give its readers: what
+                    // you read under the lock is the current value.
+                    fx.check(
+                        v == sh.source,
+                        format_args!(
+                            "reader {}: cache serves {v} but source is {}",
+                            self.id, sh.source
+                        ),
+                    );
+                    sh.hits += 1;
+                    ReaderPc::ReadUnlockHit
+                }
+                None => {
+                    if self.stale_refresh {
+                        // BUG: compute the refresh value now, under the
+                        // read lock, and install it later.
+                        self.precomputed = Some(sh.source);
+                    }
+                    ReaderPc::ReadUnlockMiss
+                }
+            },
+            ReaderPc::ReadUnlockHit => {
+                self.lookups_left -= 1;
+                if self.lookups_left == 0 {
+                    ReaderPc::Done
+                } else {
+                    ReaderPc::ReadLock
+                }
+            }
+            ReaderPc::ReadUnlockMiss => ReaderPc::WriteLock,
+            ReaderPc::WriteLock => ReaderPc::Install,
+            ReaderPc::Install => {
+                let fresh = match self.precomputed.take() {
+                    Some(stale) => stale, // the bug path
+                    None => sh.source,    // the fix: recompute here
+                };
+                sh.cache = Some(fresh);
+                ReaderPc::WriteUnlock
+            }
+            ReaderPc::WriteUnlock => ReaderPc::ReadLock,
+            ReaderPc::Done => unreachable!(),
+        };
+    }
+
+    fn name(&self) -> String {
+        format!("reader{}", self.id)
+    }
+
+    fn capture(&self, w: &mut StateWriter) {
+        w.write_u8(self.pc as u8);
+        w.write_u32(self.lookups_left);
+        match self.precomputed {
+            None => w.write_u64(u64::MAX),
+            Some(v) => w.write_u64(v),
+        }
+    }
+
+    fn box_clone(&self) -> Box<dyn GuestThread<CacheShared>> {
+        Box::new(self.clone())
+    }
+}
+
+/// The updater: bumps the source and invalidates the cache, atomically
+/// under the write lock.
+#[derive(Debug, Clone)]
+struct Updater {
+    pc: u8, // 0 = lock, 1 = update, 2 = unlock
+    updates_left: u32,
+    lock: RwLockId,
+}
+
+impl GuestThread<CacheShared> for Updater {
+    fn next_op(&self, _: &CacheShared) -> OpDesc {
+        if self.updates_left == 0 {
+            return OpDesc::Finished;
+        }
+        match self.pc {
+            0 => OpDesc::RwAcquireWrite(self.lock),
+            1 => OpDesc::Local,
+            _ => OpDesc::RwRelease(self.lock),
+        }
+    }
+
+    fn on_op(&mut self, _: OpResult, sh: &mut CacheShared, _: &mut Effects<CacheShared>) {
+        match self.pc {
+            0 => self.pc = 1,
+            1 => {
+                sh.source += 1;
+                sh.cache = None;
+                self.pc = 2;
+            }
+            _ => {
+                self.pc = 0;
+                self.updates_left -= 1;
+            }
+        }
+    }
+
+    fn name(&self) -> String {
+        "updater".to_string()
+    }
+
+    fn capture(&self, w: &mut StateWriter) {
+        w.write_u8(self.pc);
+        w.write_u32(self.updates_left);
+    }
+
+    fn box_clone(&self) -> Box<dyn GuestThread<CacheShared>> {
+        Box::new(self.clone())
+    }
+}
+
+/// Builds the read-write-cache program.
+///
+/// # Panics
+///
+/// Panics on a degenerate configuration (no readers or no lookups).
+pub fn rw_cache(config: RwCacheConfig) -> Kernel<CacheShared> {
+    assert!(config.readers > 0 && config.lookups > 0);
+    let mut k = Kernel::new(CacheShared::default());
+    let lock = k.add_rwlock();
+    for id in 0..config.readers {
+        k.spawn(Reader {
+            id,
+            pc: ReaderPc::ReadLock,
+            lookups_left: config.lookups,
+            precomputed: None,
+            lock,
+            stale_refresh: config.stale_refresh,
+        });
+    }
+    k.spawn(Updater {
+        pc: 0,
+        updates_left: config.updates,
+        lock,
+    });
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chess_core::strategy::Dfs;
+    use chess_core::{Config, Explorer, SearchOutcome};
+    use chess_state::{StateGraph, StatefulLimits};
+
+    #[test]
+    fn correct_cache_is_clean() {
+        let factory = || rw_cache(RwCacheConfig::correct());
+        let report = Explorer::new(factory, Dfs::new(), Config::fair()).run();
+        assert_eq!(report.outcome, SearchOutcome::Complete, "{report}");
+    }
+
+    #[test]
+    fn correct_cache_ground_truth() {
+        let g = StateGraph::build(&rw_cache(RwCacheConfig::correct()), StatefulLimits::default())
+            .unwrap();
+        assert!(g.violation_states().is_empty());
+        assert!(g.deadlock_states().is_empty());
+        assert!(g.find_fair_scc().is_none());
+    }
+
+    #[test]
+    fn upgrade_race_found() {
+        let factory = || rw_cache(RwCacheConfig::upgrade_race());
+        let report = Explorer::new(factory, Dfs::new(), Config::fair()).run();
+        match &report.outcome {
+            SearchOutcome::SafetyViolation(cex) => {
+                assert!(cex.message.contains("cache serves"), "{}", cex.message);
+            }
+            o => panic!("expected the stale cache violation, got {o:?}"),
+        }
+    }
+
+    /// The bug needs the updater to slip between the read unlock and the
+    /// write lock: a serial execution is clean even with the bug.
+    #[test]
+    fn upgrade_race_is_concurrency_dependent() {
+        let mut k = rw_cache(RwCacheConfig::upgrade_race());
+        for t in 0..3usize {
+            let tid = chess_kernel::ThreadId::new(t);
+            while k.enabled(tid) {
+                k.step(tid, 0);
+            }
+        }
+        assert_eq!(
+            chess_core::TransitionSystem::status(&k),
+            chess_core::SystemStatus::Terminated
+        );
+    }
+
+    #[test]
+    fn readers_share_the_lock() {
+        // Both readers can hold the read lock at once: from the initial
+        // state, step both readers' ReadLock and check both are inside.
+        let mut k = rw_cache(RwCacheConfig {
+            readers: 2,
+            lookups: 1,
+            updates: 0,
+            stale_refresh: false,
+        });
+        let r0 = chess_kernel::ThreadId::new(0);
+        let r1 = chess_kernel::ThreadId::new(1);
+        k.step(r0, 0);
+        assert!(k.enabled(r1), "read lock must be shared");
+        k.step(r1, 0);
+        // The updater (if it had updates) would be excluded here.
+        assert_eq!(k.thread_name(r0), "reader0");
+    }
+}

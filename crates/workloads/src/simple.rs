@@ -1,0 +1,262 @@
+//! Tiny teaching programs used throughout the documentation and tests:
+//! a racy counter, its lock-protected fix, and an AB–BA deadlock pair.
+
+use chess_kernel::{Effects, GuestThread, Kernel, MutexId, OpDesc, OpResult, StateWriter};
+
+/// Shared state of the counter programs.
+#[derive(Debug, Clone, Default)]
+pub struct CounterShared {
+    /// The counter.
+    pub count: u64,
+    /// Threads that finished their increment.
+    pub done: u32,
+    /// Number of increment threads (for the final assertion).
+    pub expected: u32,
+}
+
+impl chess_kernel::Capture for CounterShared {
+    fn capture(&self, w: &mut StateWriter) {
+        w.write_u64(self.count);
+        w.write_u32(self.done);
+    }
+}
+
+/// A thread performing `count += 1` as two transitions (load then store):
+/// the canonical lost-update race.
+#[derive(Debug, Clone)]
+struct RacyIncrement {
+    pc: u8,
+    loaded: u64,
+}
+
+impl GuestThread<CounterShared> for RacyIncrement {
+    fn next_op(&self, _: &CounterShared) -> OpDesc {
+        match self.pc {
+            0..=2 => OpDesc::Local,
+            _ => OpDesc::Finished,
+        }
+    }
+
+    fn on_op(&mut self, _: OpResult, sh: &mut CounterShared, fx: &mut Effects<CounterShared>) {
+        match self.pc {
+            0 => self.loaded = sh.count,
+            1 => sh.count = self.loaded + 1,
+            2 => {
+                sh.done += 1;
+                if sh.done == sh.expected {
+                    fx.check(
+                        sh.count == sh.expected as u64,
+                        format_args!("lost update: count = {} != {}", sh.count, sh.expected),
+                    );
+                }
+            }
+            _ => unreachable!(),
+        }
+        self.pc += 1;
+    }
+
+    fn name(&self) -> String {
+        "racy-inc".to_string()
+    }
+
+    fn capture(&self, w: &mut StateWriter) {
+        w.write_u8(self.pc);
+        w.write_u64(self.loaded);
+    }
+
+    fn box_clone(&self) -> Box<dyn GuestThread<CounterShared>> {
+        Box::new(self.clone())
+    }
+}
+
+/// Lock-protected increment: load and store under a mutex.
+#[derive(Debug, Clone)]
+struct LockedIncrement {
+    pc: u8,
+    loaded: u64,
+    lock: MutexId,
+}
+
+impl GuestThread<CounterShared> for LockedIncrement {
+    fn next_op(&self, _: &CounterShared) -> OpDesc {
+        match self.pc {
+            0 => OpDesc::Acquire(self.lock),
+            1 | 2 => OpDesc::Local,
+            3 => OpDesc::Release(self.lock),
+            4 => OpDesc::Local,
+            _ => OpDesc::Finished,
+        }
+    }
+
+    fn on_op(&mut self, _: OpResult, sh: &mut CounterShared, fx: &mut Effects<CounterShared>) {
+        match self.pc {
+            0 => {}
+            1 => self.loaded = sh.count,
+            2 => sh.count = self.loaded + 1,
+            3 => {}
+            4 => {
+                sh.done += 1;
+                if sh.done == sh.expected {
+                    fx.check(
+                        sh.count == sh.expected as u64,
+                        format_args!("lost update: count = {} != {}", sh.count, sh.expected),
+                    );
+                }
+            }
+            _ => unreachable!(),
+        }
+        self.pc += 1;
+    }
+
+    fn name(&self) -> String {
+        "locked-inc".to_string()
+    }
+
+    fn capture(&self, w: &mut StateWriter) {
+        w.write_u8(self.pc);
+        w.write_u64(self.loaded);
+    }
+
+    fn box_clone(&self) -> Box<dyn GuestThread<CounterShared>> {
+        Box::new(self.clone())
+    }
+}
+
+/// Builds the racy counter program: `threads` threads each perform an
+/// unprotected two-step increment; the last to finish asserts the total.
+/// Any interleaving that overlaps two increments loses an update.
+pub fn racy_counter(threads: u32) -> Kernel<CounterShared> {
+    let mut k = Kernel::new(CounterShared {
+        expected: threads,
+        ..CounterShared::default()
+    });
+    for _ in 0..threads {
+        k.spawn(RacyIncrement { pc: 0, loaded: 0 });
+    }
+    k
+}
+
+/// Builds the corrected counter program: increments under a mutex. No
+/// interleaving violates the final assertion.
+pub fn locked_counter(threads: u32) -> Kernel<CounterShared> {
+    let mut k = Kernel::new(CounterShared {
+        expected: threads,
+        ..CounterShared::default()
+    });
+    let lock = k.add_mutex();
+    for _ in 0..threads {
+        k.spawn(LockedIncrement {
+            pc: 0,
+            loaded: 0,
+            lock,
+        });
+    }
+    k
+}
+
+/// A thread acquiring `first` then `second`, then releasing both.
+#[derive(Debug, Clone)]
+struct TwoLocks {
+    pc: u8,
+    first: MutexId,
+    second: MutexId,
+}
+
+impl GuestThread<()> for TwoLocks {
+    fn next_op(&self, _: &()) -> OpDesc {
+        match self.pc {
+            0 => OpDesc::Acquire(self.first),
+            1 => OpDesc::Acquire(self.second),
+            2 => OpDesc::Release(self.second),
+            3 => OpDesc::Release(self.first),
+            _ => OpDesc::Finished,
+        }
+    }
+
+    fn on_op(&mut self, _: OpResult, _: &mut (), _: &mut Effects<()>) {
+        self.pc += 1;
+    }
+
+    fn name(&self) -> String {
+        "two-locks".to_string()
+    }
+
+    fn capture(&self, w: &mut StateWriter) {
+        w.write_u8(self.pc);
+    }
+
+    fn box_clone(&self) -> Box<dyn GuestThread<()>> {
+        Box::new(self.clone())
+    }
+}
+
+/// The classic AB–BA deadlock: one thread takes the locks in order
+/// (a, b), the other in order (b, a).
+pub fn deadlock_pair() -> Kernel<()> {
+    let mut k = Kernel::new(());
+    let a = k.add_mutex();
+    let b = k.add_mutex();
+    k.spawn(TwoLocks {
+        pc: 0,
+        first: a,
+        second: b,
+    });
+    k.spawn(TwoLocks {
+        pc: 0,
+        first: b,
+        second: a,
+    });
+    k
+}
+
+/// The same two threads taking locks in a consistent order: deadlock-free.
+pub fn ordered_pair() -> Kernel<()> {
+    let mut k = Kernel::new(());
+    let a = k.add_mutex();
+    let b = k.add_mutex();
+    for _ in 0..2 {
+        k.spawn(TwoLocks {
+            pc: 0,
+            first: a,
+            second: b,
+        });
+    }
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chess_core::strategy::Dfs;
+    use chess_core::{Config, Explorer, SearchOutcome};
+
+    #[test]
+    fn racy_counter_loses_updates() {
+        let report = Explorer::new(|| racy_counter(2), Dfs::new(), Config::fair()).run();
+        match report.outcome {
+            SearchOutcome::SafetyViolation(cex) => {
+                assert!(cex.message.contains("lost update"));
+            }
+            o => panic!("expected violation, got {o:?}"),
+        }
+    }
+
+    #[test]
+    fn locked_counter_is_correct() {
+        let report = Explorer::new(|| locked_counter(2), Dfs::new(), Config::fair()).run();
+        assert_eq!(report.outcome, SearchOutcome::Complete);
+        assert!(report.stats.executions >= 2);
+    }
+
+    #[test]
+    fn deadlock_pair_deadlocks() {
+        let report = Explorer::new(deadlock_pair, Dfs::new(), Config::fair()).run();
+        assert!(matches!(report.outcome, SearchOutcome::Deadlock(_)));
+    }
+
+    #[test]
+    fn ordered_pair_is_deadlock_free() {
+        let report = Explorer::new(ordered_pair, Dfs::new(), Config::fair()).run();
+        assert_eq!(report.outcome, SearchOutcome::Complete);
+    }
+}

@@ -1,0 +1,219 @@
+//! The running example of the paper (Figure 3):
+//!
+//! ```text
+//! Init x := 0;
+//! Thread t             Thread u
+//! a: x := 1;           c: while (x != 1)
+//! b: end;              d:     yield();
+//!                      e: end;
+//! ```
+//!
+//! The state space has a cycle between `(a,c)` and `(a,d)` produced by
+//! `u`'s spin loop. The program is *fair-terminating*: its only infinite
+//! execution starves `t`, which is enabled throughout — an unfair
+//! schedule. It also satisfies the good-samaritan property thanks to the
+//! `yield` in the loop body.
+
+use chess_kernel::{Capture, Effects, GuestThread, Kernel, OpDesc, OpResult, StateWriter};
+
+/// Shared state: the flag `x`.
+#[derive(Debug, Clone, Default)]
+pub struct SpinShared {
+    /// The flag thread `t` sets and thread `u` spins on.
+    pub x: u64,
+}
+
+impl Capture for SpinShared {
+    fn capture(&self, w: &mut StateWriter) {
+        w.write_u64(self.x);
+    }
+}
+
+/// Thread `t`: sets `x := 1` and ends.
+#[derive(Debug, Clone)]
+struct Setter {
+    done: bool,
+}
+
+impl GuestThread<SpinShared> for Setter {
+    fn next_op(&self, _: &SpinShared) -> OpDesc {
+        if self.done {
+            OpDesc::Finished
+        } else {
+            OpDesc::Local
+        }
+    }
+
+    fn on_op(&mut self, _: OpResult, sh: &mut SpinShared, _: &mut Effects<SpinShared>) {
+        sh.x = 1;
+        self.done = true;
+    }
+
+    fn name(&self) -> String {
+        "t".to_string()
+    }
+
+    fn capture(&self, w: &mut StateWriter) {
+        w.write_bool(self.done);
+    }
+
+    fn box_clone(&self) -> Box<dyn GuestThread<SpinShared>> {
+        Box::new(self.clone())
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SpinPc {
+    /// `c`: test `x != 1`.
+    Check,
+    /// `d`: `yield()`.
+    Yield,
+    /// `e`: end.
+    End,
+}
+
+/// Thread `u`: spins `while (x != 1) yield();`.
+///
+/// When `with_yield` is false, the loop body is an ordinary transition —
+/// the program then violates the good-samaritan property, which is the
+/// ablation used to demonstrate why GS matters for the scheduler.
+#[derive(Debug, Clone)]
+struct Spinner {
+    pc: SpinPc,
+    with_yield: bool,
+}
+
+impl GuestThread<SpinShared> for Spinner {
+    fn next_op(&self, _: &SpinShared) -> OpDesc {
+        match self.pc {
+            SpinPc::Check => OpDesc::Local,
+            SpinPc::Yield => {
+                if self.with_yield {
+                    OpDesc::Yield
+                } else {
+                    OpDesc::Local
+                }
+            }
+            SpinPc::End => OpDesc::Finished,
+        }
+    }
+
+    fn on_op(&mut self, _: OpResult, sh: &mut SpinShared, _: &mut Effects<SpinShared>) {
+        self.pc = match self.pc {
+            SpinPc::Check => {
+                if sh.x == 1 {
+                    SpinPc::End
+                } else {
+                    SpinPc::Yield
+                }
+            }
+            SpinPc::Yield => SpinPc::Check,
+            SpinPc::End => unreachable!(),
+        };
+    }
+
+    fn name(&self) -> String {
+        "u".to_string()
+    }
+
+    fn capture(&self, w: &mut StateWriter) {
+        w.write_u8(match self.pc {
+            SpinPc::Check => 0,
+            SpinPc::Yield => 1,
+            SpinPc::End => 2,
+        });
+    }
+
+    fn box_clone(&self) -> Box<dyn GuestThread<SpinShared>> {
+        Box::new(self.clone())
+    }
+}
+
+/// Builds the Figure 3 program.
+pub fn figure3() -> Kernel<SpinShared> {
+    spinloop(1, true)
+}
+
+/// Builds a generalization of Figure 3 with `spinners` threads spinning
+/// on the same flag. With `with_yield = false` the spin loops violate
+/// the good-samaritan property.
+pub fn spinloop(spinners: usize, with_yield: bool) -> Kernel<SpinShared> {
+    let mut k = Kernel::new(SpinShared::default());
+    k.spawn(Setter { done: false });
+    for _ in 0..spinners {
+        k.spawn(Spinner {
+            pc: SpinPc::Check,
+            with_yield,
+        });
+    }
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chess_core::strategy::Dfs;
+    use chess_core::{Config, Explorer, SearchOutcome};
+    use chess_state::{StateGraph, StatefulLimits};
+
+    #[test]
+    fn fair_search_terminates_and_finds_no_errors() {
+        let report = Explorer::new(figure3, Dfs::new(), Config::fair()).run();
+        assert_eq!(report.outcome, SearchOutcome::Complete);
+        assert_eq!(report.stats.nonterminating, 0);
+    }
+
+    /// Without fairness, full DFS on Figure 3 unrolls the spin cycle up
+    /// to the depth bound: nonterminating executions appear.
+    #[test]
+    fn unfair_search_wastes_executions_on_the_cycle() {
+        let config = Config::unfair().with_depth_bound(24);
+        let report = Explorer::new(figure3, Dfs::new(), config).run();
+        assert_eq!(report.outcome, SearchOutcome::Complete);
+        assert!(
+            report.stats.nonterminating > 0,
+            "expected depth-bound hits, got {:?}",
+            report.stats
+        );
+    }
+
+    #[test]
+    fn no_livelock_ground_truth() {
+        let g = StateGraph::build(&figure3(), StatefulLimits::default()).unwrap();
+        assert!(g.find_fair_scc().is_none());
+        assert!(g.deadlock_states().is_empty());
+    }
+
+    /// Figure 3's abstract state space (right side of the figure) has 5
+    /// states: (a,c), (a,d), (b,c), (b,d), (b,e) — ours adds the spinner
+    /// exit state after t finished; exact count depends on the encoding,
+    /// but it must be tiny and cycle-bearing.
+    #[test]
+    fn state_space_is_tiny() {
+        let g = StateGraph::build(&figure3(), StatefulLimits::default()).unwrap();
+        assert!(g.state_count() <= 8, "got {}", g.state_count());
+    }
+
+    /// The no-yield ablation: the spinner violates GS; the fair scheduler
+    /// never penalizes it (no yields → P stays empty), so the cycle is
+    /// explored and detected as an unfair cycle (a GS violation).
+    #[test]
+    fn gs_violation_detected_without_yield() {
+        let factory = || spinloop(1, false);
+        let report = Explorer::new(factory, Dfs::new(), Config::fair()).run();
+        match report.outcome {
+            SearchOutcome::Divergence(d) => {
+                assert!(
+                    matches!(
+                        d.kind,
+                        chess_core::DivergenceKind::UnfairCycle { .. }
+                            | chess_core::DivergenceKind::GoodSamaritanSuspect { .. }
+                    ),
+                    "got {:?}",
+                    d.kind
+                );
+            }
+            o => panic!("expected divergence, got {o:?}"),
+        }
+    }
+}

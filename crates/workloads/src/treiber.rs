@@ -1,0 +1,408 @@
+//! A Treiber lock-free stack over the kernel's atomic cells — the
+//! "low-level synchronization libraries that typically employ nonblocking
+//! algorithms" CHESS targets (Section 4.1), with the classic **ABA bug**.
+//!
+//! The stack's head is a single atomic word holding a node id. Push and
+//! pop are CAS loops:
+//!
+//! ```text
+//! push(n):  loop { h = head; next[n] = h; if CAS(head, h, n) break }
+//! pop():    loop { h = head; if h == null fail;
+//!                  n = next[h]; if CAS(head, h, n) return h }
+//! ```
+//!
+//! The unversioned variant suffers ABA: a popper reads `h = A` and
+//! `n = next[A] = B`, is preempted while another thread pops `A`, pops
+//! `B`, and pushes `A` back; the popper's `CAS(head, A, B)` then succeeds
+//! even though `B` has long been removed — the head now points at a
+//! *freed* node. The fix packs a version counter into the head word so
+//! every successful CAS invalidates stale reads.
+//!
+//! The harness tracks node ownership (`in_stack`) and reports a violation
+//! the moment the head is CAS'd onto a freed node, exactly the kind of
+//! heisenbug that is close to impossible to catch without a model
+//! checker.
+
+use chess_kernel::{
+    AtomicId, Capture, Effects, GuestThread, Kernel, OpDesc, OpResult, StateWriter,
+};
+
+/// Head-word encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeadEncoding {
+    /// Raw node id: vulnerable to ABA.
+    Unversioned,
+    /// `version << 32 | node`: every successful CAS bumps the version.
+    Versioned,
+}
+
+/// Treiber-stack workload configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct TreiberConfig {
+    /// Head-word encoding (the bug toggle).
+    pub encoding: HeadEncoding,
+    /// Number of mutator threads running the pop–pop–push-back script.
+    pub mutators: usize,
+}
+
+impl TreiberConfig {
+    /// The correct (versioned) stack.
+    pub fn correct() -> Self {
+        TreiberConfig {
+            encoding: HeadEncoding::Versioned,
+            mutators: 1,
+        }
+    }
+
+    /// The ABA-vulnerable stack.
+    pub fn aba() -> Self {
+        TreiberConfig {
+            encoding: HeadEncoding::Unversioned,
+            ..TreiberConfig::correct()
+        }
+    }
+}
+
+/// Shared state: the node arena and ownership tracking.
+#[derive(Debug, Clone, Default)]
+pub struct StackShared {
+    /// `next[n]` for node ids `1..`; index 0 is the null sentinel.
+    pub next: Vec<u64>,
+    /// Harness bookkeeping: is node `n` currently linked in the stack?
+    pub in_stack: Vec<bool>,
+    /// Successful pops (for the final count).
+    pub pops: u32,
+}
+
+impl StackShared {
+    fn node_count(nodes: u32) -> StackShared {
+        StackShared {
+            next: vec![0; nodes as usize + 1],
+            in_stack: vec![false; nodes as usize + 1],
+            pops: 0,
+        }
+    }
+}
+
+impl Capture for StackShared {
+    fn capture(&self, w: &mut StateWriter) {
+        for &n in &self.next {
+            w.write_u64(n);
+        }
+        for &b in &self.in_stack {
+            w.write_bool(b);
+        }
+        w.write_u32(self.pops);
+    }
+}
+
+const VERSION_SHIFT: u32 = 32;
+const NODE_MASK: u64 = (1 << VERSION_SHIFT) - 1;
+
+fn node_of(word: u64) -> u64 {
+    word & NODE_MASK
+}
+
+fn bump(word: u64, new_node: u64, encoding: HeadEncoding) -> u64 {
+    match encoding {
+        HeadEncoding::Unversioned => new_node,
+        HeadEncoding::Versioned => {
+            let version = (word >> VERSION_SHIFT) + 1;
+            (version << VERSION_SHIFT) | new_node
+        }
+    }
+}
+
+/// One stack operation of a mutator script.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StackAction {
+    /// Pop a node (remember it in the local slot).
+    Pop(usize),
+    /// Push the node remembered in the local slot back.
+    PushSlot(usize),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Pc {
+    ReadHead,
+    ReadNext,
+    CasPop,
+    LinkNode,
+    CasPush,
+    Advance,
+    Done,
+}
+
+/// A thread executing a script of stack operations via CAS loops.
+#[derive(Debug, Clone)]
+struct StackUser {
+    id: usize,
+    script: Vec<StackAction>,
+    idx: usize,
+    pc: Pc,
+    /// Local head word read at the top of the CAS loop.
+    h: u64,
+    /// Local successor read from the popped candidate.
+    n: u64,
+    /// Nodes this thread popped, by slot.
+    slots: Vec<u64>,
+    head: AtomicId,
+    encoding: HeadEncoding,
+}
+
+impl StackUser {
+    fn action(&self) -> Option<StackAction> {
+        self.script.get(self.idx).copied()
+    }
+}
+
+impl GuestThread<StackShared> for StackUser {
+    fn next_op(&self, _: &StackShared) -> OpDesc {
+        match self.pc {
+            Pc::ReadHead => OpDesc::AtomicLoad(self.head),
+            Pc::ReadNext | Pc::LinkNode | Pc::Advance => OpDesc::Local,
+            Pc::CasPop => OpDesc::AtomicCas(
+                self.head,
+                self.h,
+                bump(self.h, self.n, self.encoding),
+            ),
+            Pc::CasPush => {
+                let Some(StackAction::PushSlot(slot)) = self.action() else {
+                    unreachable!()
+                };
+                OpDesc::AtomicCas(
+                    self.head,
+                    self.h,
+                    bump(self.h, self.slots[slot], self.encoding),
+                )
+            }
+            Pc::Done => OpDesc::Finished,
+        }
+    }
+
+    fn on_op(&mut self, r: OpResult, sh: &mut StackShared, fx: &mut Effects<StackShared>) {
+        let who = format!("user{}", self.id);
+        self.pc = match self.pc {
+            Pc::ReadHead => {
+                self.h = r.as_value();
+                match self.action() {
+                    Some(StackAction::Pop(_)) => {
+                        if node_of(self.h) == 0 {
+                            // Empty: this tiny harness treats it as done
+                            // with the action.
+                            Pc::Advance
+                        } else {
+                            Pc::ReadNext
+                        }
+                    }
+                    Some(StackAction::PushSlot(_)) => Pc::LinkNode,
+                    None => Pc::Done,
+                }
+            }
+            Pc::ReadNext => {
+                self.n = sh.next[node_of(self.h) as usize];
+                Pc::CasPop
+            }
+            Pc::CasPop => {
+                if r.as_bool() {
+                    let Some(StackAction::Pop(slot)) = self.action() else {
+                        unreachable!()
+                    };
+                    let popped = node_of(self.h);
+                    let new_top = node_of(self.n);
+                    fx.check(
+                        sh.in_stack[popped as usize],
+                        format_args!("{who}: popped node {popped} that was not in the stack"),
+                    );
+                    if new_top != 0 {
+                        fx.check(
+                            sh.in_stack[new_top as usize],
+                            format_args!(
+                                "{who}: ABA! head now points at freed node {new_top}"
+                            ),
+                        );
+                    }
+                    sh.in_stack[popped as usize] = false;
+                    sh.pops += 1;
+                    if self.slots.len() <= slot {
+                        self.slots.resize(slot + 1, 0);
+                    }
+                    self.slots[slot] = popped;
+                    Pc::Advance
+                } else {
+                    Pc::ReadHead // CAS failed: retry the loop
+                }
+            }
+            Pc::LinkNode => {
+                let Some(StackAction::PushSlot(slot)) = self.action() else {
+                    unreachable!()
+                };
+                let node = self.slots[slot];
+                sh.next[node as usize] = node_of(self.h);
+                Pc::CasPush
+            }
+            Pc::CasPush => {
+                if r.as_bool() {
+                    let Some(StackAction::PushSlot(slot)) = self.action() else {
+                        unreachable!()
+                    };
+                    let node = self.slots[slot];
+                    fx.check(
+                        !sh.in_stack[node as usize],
+                        format_args!("{who}: pushed node {node} twice"),
+                    );
+                    sh.in_stack[node as usize] = true;
+                    Pc::Advance
+                } else {
+                    Pc::ReadHead
+                }
+            }
+            Pc::Advance => {
+                self.idx += 1;
+                if self.action().is_some() {
+                    Pc::ReadHead
+                } else {
+                    Pc::Done
+                }
+            }
+            Pc::Done => unreachable!(),
+        };
+    }
+
+    fn name(&self) -> String {
+        format!("user{}", self.id)
+    }
+
+    fn capture(&self, w: &mut StateWriter) {
+        w.write_u8(self.pc as u8);
+        w.write_usize(self.idx);
+        w.write_u64(self.h);
+        w.write_u64(self.n);
+        for &s in &self.slots {
+            w.write_u64(s);
+        }
+    }
+
+    fn box_clone(&self) -> Box<dyn GuestThread<StackShared>> {
+        Box::new(self.clone())
+    }
+}
+
+/// Builds the ABA test program: a stack initialized as `head → 1 → 2`, a
+/// victim thread performing one pop, and mutator threads each running
+/// pop–pop–push-first-back.
+pub fn treiber_stack(config: TreiberConfig) -> Kernel<StackShared> {
+    let mut shared = StackShared::node_count(2);
+    // head → 1 → 2 → null
+    shared.next[1] = 2;
+    shared.next[2] = 0;
+    shared.in_stack[1] = true;
+    shared.in_stack[2] = true;
+    let mut k = Kernel::new(shared);
+    // Initial head word: version 0 (if any), node 1.
+    let head = k.add_atomic(1);
+    k.spawn(StackUser {
+        id: 0,
+        script: vec![StackAction::Pop(0)],
+        idx: 0,
+        pc: Pc::ReadHead,
+        h: 0,
+        n: 0,
+        slots: vec![0],
+        head,
+        encoding: config.encoding,
+    });
+    for m in 0..config.mutators {
+        k.spawn(StackUser {
+            id: m + 1,
+            script: vec![
+                StackAction::Pop(0),
+                StackAction::Pop(1),
+                StackAction::PushSlot(0),
+            ],
+            idx: 0,
+            pc: Pc::ReadHead,
+            h: 0,
+            n: 0,
+            slots: vec![0, 0],
+            head,
+            encoding: config.encoding,
+        });
+    }
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chess_core::strategy::Dfs;
+    use chess_core::{Config, Explorer, SearchOutcome};
+    use chess_state::{StateGraph, StatefulLimits};
+
+    #[test]
+    fn aba_found_by_fair_dfs() {
+        let factory = || treiber_stack(TreiberConfig::aba());
+        let report = Explorer::new(factory, Dfs::new(), Config::fair()).run();
+        match &report.outcome {
+            SearchOutcome::SafetyViolation(cex) => {
+                assert!(
+                    cex.message.contains("ABA")
+                        || cex.message.contains("not in the stack")
+                        || cex.message.contains("twice"),
+                    "{}",
+                    cex.message
+                );
+            }
+            o => panic!("expected the ABA violation, got {o:?}"),
+        }
+    }
+
+    #[test]
+    fn versioned_stack_is_clean() {
+        let factory = || treiber_stack(TreiberConfig::correct());
+        let report = Explorer::new(factory, Dfs::new(), Config::fair()).run();
+        assert_eq!(report.outcome, SearchOutcome::Complete, "{report}");
+    }
+
+    #[test]
+    fn versioned_stack_ground_truth() {
+        let g = StateGraph::build(
+            &treiber_stack(TreiberConfig::correct()),
+            StatefulLimits::default(),
+        )
+        .unwrap();
+        assert!(g.violation_states().is_empty());
+        assert!(g.deadlock_states().is_empty());
+        assert!(g.find_fair_scc().is_none(), "CAS loops need interference");
+    }
+
+    #[test]
+    fn unversioned_ground_truth_has_violation() {
+        let g = StateGraph::build(
+            &treiber_stack(TreiberConfig::aba()),
+            StatefulLimits::default(),
+        )
+        .unwrap();
+        assert!(
+            !g.violation_states().is_empty(),
+            "the ABA state must be reachable"
+        );
+    }
+
+    #[test]
+    fn serial_run_is_clean_even_unversioned() {
+        // ABA needs interference: any serial (one thread at a time to
+        // completion) run of the unversioned stack is fine.
+        let mut k = treiber_stack(TreiberConfig::aba());
+        for t in [1usize, 0] {
+            let tid = chess_kernel::ThreadId::new(t);
+            while k.enabled(tid) {
+                k.step(tid, 0);
+            }
+        }
+        assert_eq!(
+            chess_core::TransitionSystem::status(&k),
+            chess_core::SystemStatus::Terminated
+        );
+    }
+}

@@ -1,0 +1,355 @@
+//! The worker-group task library — §4.3.1's good-samaritan violation.
+//!
+//! The library maintains worker threads partitioned into groups. Each
+//! worker runs (Figure 7):
+//!
+//! ```text
+//! void Worker::Run() {
+//!     while (!stop) {
+//!         while (!stop && task != null) { /* perform */ task = PopNextTask(); }
+//!         if (!stop) task = group.Idle(this);
+//!     }
+//! }
+//! Task WorkerGroup::Idle(Worker w) {
+//!     while (!stop) { ... w.YieldExponential(); ... }
+//!     return null;
+//! }
+//! ```
+//!
+//! During shutdown the group's `stop` flag is set before each worker's
+//! `stop` flag. In that window `Idle` returns `null` immediately —
+//! **without yielding** — and the worker's outer loop spins: task is
+//! null, the worker's own `stop` is still false, so it calls `Idle`
+//! again, which again returns immediately. The thread burns its whole
+//! time slice without yielding, starving other threads (potentially the
+//! very thread that would set its `stop` flag): a violation of the
+//! good-samaritan property. The corrected library yields once on the
+//! `Idle`-returns-null path.
+
+use chess_kernel::{Capture, Effects, GuestThread, Kernel, OpDesc, OpResult, StateWriter};
+
+/// Worker-pool configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct PoolConfig {
+    /// Number of worker threads in the group.
+    pub workers: usize,
+    /// Number of tasks initially in the queue.
+    pub tasks: u32,
+    /// Reproduce the Figure 7 bug: `Idle` returns without yielding when
+    /// the group is stopping.
+    pub buggy_idle: bool,
+}
+
+impl PoolConfig {
+    /// The corrected library.
+    pub fn correct() -> Self {
+        PoolConfig {
+            workers: 2,
+            tasks: 2,
+            buggy_idle: false,
+        }
+    }
+
+    /// §4.3.1's buggy shutdown.
+    pub fn figure7() -> Self {
+        PoolConfig {
+            buggy_idle: true,
+            ..PoolConfig::correct()
+        }
+    }
+}
+
+/// Shared state of the pool.
+#[derive(Debug, Clone, Default)]
+pub struct PoolShared {
+    /// The group-level stop flag.
+    pub group_stop: bool,
+    /// Per-worker stop flags.
+    pub worker_stop: Vec<bool>,
+    /// Remaining tasks in the queue.
+    pub tasks: u32,
+    /// Tasks completed by workers.
+    pub tasks_done: u32,
+}
+
+impl Capture for PoolShared {
+    fn capture(&self, w: &mut StateWriter) {
+        w.write_bool(self.group_stop);
+        for &s in &self.worker_stop {
+            w.write_bool(s);
+        }
+        w.write_u32(self.tasks);
+        w.write_u32(self.tasks_done);
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WorkerPc {
+    /// Outer `while (!stop)` check.
+    CheckStop,
+    /// Try to pop a task from the queue.
+    PopTask,
+    /// Perform the popped task.
+    Perform,
+    /// `Idle`: check the group stop flag.
+    IdleCheck,
+    /// `Idle`: the `YieldExponential()` call.
+    IdleYield,
+    /// Corrected library: yield once when `Idle` returned null.
+    PostIdleYield,
+    Done,
+}
+
+/// One worker of the group.
+#[derive(Debug, Clone)]
+struct Worker {
+    id: usize,
+    pc: WorkerPc,
+    buggy_idle: bool,
+}
+
+impl GuestThread<PoolShared> for Worker {
+    fn next_op(&self, _: &PoolShared) -> OpDesc {
+        match self.pc {
+            WorkerPc::IdleYield | WorkerPc::PostIdleYield => OpDesc::Sleep,
+            WorkerPc::Done => OpDesc::Finished,
+            _ => OpDesc::Local,
+        }
+    }
+
+    fn on_op(&mut self, _: OpResult, sh: &mut PoolShared, _: &mut Effects<PoolShared>) {
+        self.pc = match self.pc {
+            WorkerPc::CheckStop => {
+                if sh.worker_stop[self.id] {
+                    WorkerPc::Done
+                } else {
+                    WorkerPc::PopTask
+                }
+            }
+            WorkerPc::PopTask => {
+                if sh.tasks > 0 {
+                    sh.tasks -= 1;
+                    WorkerPc::Perform
+                } else {
+                    WorkerPc::IdleCheck
+                }
+            }
+            WorkerPc::Perform => {
+                sh.tasks_done += 1;
+                WorkerPc::CheckStop
+            }
+            WorkerPc::IdleCheck => {
+                if sh.group_stop {
+                    // Idle returns null. The buggy library goes straight
+                    // back to the outer loop; the fix yields first.
+                    if self.buggy_idle {
+                        WorkerPc::CheckStop
+                    } else {
+                        WorkerPc::PostIdleYield
+                    }
+                } else {
+                    WorkerPc::IdleYield
+                }
+            }
+            WorkerPc::IdleYield => WorkerPc::IdleCheck,
+            WorkerPc::PostIdleYield => WorkerPc::CheckStop,
+            WorkerPc::Done => unreachable!(),
+        };
+    }
+
+    fn name(&self) -> String {
+        format!("worker{}", self.id)
+    }
+
+    fn capture(&self, w: &mut StateWriter) {
+        w.write_u8(self.pc as u8);
+    }
+
+    fn box_clone(&self) -> Box<dyn GuestThread<PoolShared>> {
+        Box::new(self.clone())
+    }
+}
+
+/// The shutdown thread: waits (politely) for the queue to drain, then
+/// sets the group flag, then each worker flag — the flag ordering whose
+/// window Figure 7's bug lives in.
+#[derive(Debug, Clone)]
+struct Shutdown {
+    /// 0 = wait for drain; 1 = set group flag; 1+i+1 = set worker i's
+    /// flag; workers+2 = done.
+    pc: usize,
+    workers: usize,
+    wait_for: u32,
+}
+
+impl GuestThread<PoolShared> for Shutdown {
+    fn next_op(&self, sh: &PoolShared) -> OpDesc {
+        if self.pc == 0 {
+            if sh.tasks_done < self.wait_for {
+                OpDesc::Sleep
+            } else {
+                OpDesc::Local
+            }
+        } else if self.pc <= self.workers + 1 {
+            OpDesc::Local
+        } else {
+            OpDesc::Finished
+        }
+    }
+
+    fn on_op(&mut self, _: OpResult, sh: &mut PoolShared, _: &mut Effects<PoolShared>) {
+        if self.pc == 0 {
+            if sh.tasks_done < self.wait_for {
+                return; // slept; keep waiting
+            }
+        } else if self.pc == 1 {
+            sh.group_stop = true;
+        } else {
+            sh.worker_stop[self.pc - 2] = true;
+        }
+        self.pc += 1;
+    }
+
+    fn name(&self) -> String {
+        "shutdown".to_string()
+    }
+
+    fn capture(&self, w: &mut StateWriter) {
+        w.write_usize(self.pc);
+    }
+
+    fn box_clone(&self) -> Box<dyn GuestThread<PoolShared>> {
+        Box::new(self.clone())
+    }
+}
+
+/// Builds the worker-pool test program: `workers` workers, a task queue,
+/// and a shutdown thread.
+///
+/// # Panics
+///
+/// Panics if `config.workers == 0`.
+pub fn worker_pool(config: PoolConfig) -> Kernel<PoolShared> {
+    assert!(config.workers > 0, "need at least one worker");
+    let mut k = Kernel::new(PoolShared {
+        group_stop: false,
+        worker_stop: vec![false; config.workers],
+        tasks: config.tasks,
+        tasks_done: 0,
+    });
+    for id in 0..config.workers {
+        k.spawn(Worker {
+            id,
+            pc: WorkerPc::CheckStop,
+            buggy_idle: config.buggy_idle,
+        });
+    }
+    let workers = config.workers;
+    k.spawn(Shutdown {
+        pc: 0,
+        workers,
+        wait_for: config.tasks,
+    });
+    k
+}
+
+/// §4.3.1's buggy program.
+pub fn figure7() -> Kernel<PoolShared> {
+    worker_pool(PoolConfig::figure7())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chess_core::strategy::Dfs;
+    use chess_core::{Config, DivergenceKind, Explorer, SearchOutcome};
+    use chess_state::{StateGraph, StatefulLimits};
+
+    #[test]
+    fn corrected_pool_is_clean() {
+        let factory = || worker_pool(PoolConfig::correct());
+        let config = Config::fair().with_max_executions(5_000);
+        let report = Explorer::new(factory, Dfs::new(), config).run();
+        assert!(!report.outcome.found_error(), "{report}");
+        assert_eq!(report.stats.nonterminating, 0);
+    }
+
+    #[test]
+    fn corrected_pool_small_completes_fully() {
+        let factory = || {
+            worker_pool(PoolConfig {
+                workers: 1,
+                tasks: 1,
+                buggy_idle: false,
+            })
+        };
+        let report = Explorer::new(factory, Dfs::new(), Config::fair()).run();
+        assert_eq!(report.outcome, SearchOutcome::Complete, "{report}");
+    }
+
+    #[test]
+    fn figure7_gs_violation_detected() {
+        let report = Explorer::new(figure7, Dfs::new(), Config::fair()).run();
+        match report.outcome {
+            SearchOutcome::Divergence(d) => match d.kind {
+                DivergenceKind::UnfairCycle { starved, .. } => {
+                    // The spinning worker starves another thread (the
+                    // shutdown thread or a sibling worker).
+                    assert!(starved.index() <= 2);
+                }
+                DivergenceKind::GoodSamaritanSuspect { .. } => {}
+                k => panic!("expected GS violation, got {k:?}"),
+            },
+            o => panic!("expected divergence, got {o:?}"),
+        }
+    }
+
+    /// Ground truth: the buggy pool has no *fair* cycle in which every
+    /// enabled thread runs — the spin cycle starves the shutdown thread.
+    /// (It is a GS violation, not a livelock.)
+    #[test]
+    fn figure7_cycle_is_unfair_ground_truth() {
+        let factory = || {
+            worker_pool(PoolConfig {
+                workers: 1,
+                tasks: 0,
+                buggy_idle: true,
+            })
+        };
+        let g = StateGraph::build(&factory(), StatefulLimits::default()).unwrap();
+        assert!(g.find_fair_scc().is_none(), "the spin starves shutdown");
+    }
+
+    #[test]
+    fn all_tasks_performed_in_serial_run() {
+        let mut k = worker_pool(PoolConfig {
+            workers: 2,
+            tasks: 3,
+            buggy_idle: false,
+        });
+        // Let workers drain the queue before shutting down.
+        let worker_tid = |k: &chess_kernel::Kernel<PoolShared>| {
+            k.thread_ids()
+                .filter(|&t| k.enabled(t))
+                .find(|&t| k.thread_name(t).starts_with("worker"))
+        };
+        while k.shared().tasks > 0 || k.shared().tasks_done < 3 {
+            let t = worker_tid(&k).expect("a worker should be runnable");
+            k.step(t, 0);
+        }
+        // Drive the remainder round-robin: first-enabled scheduling would
+        // itself starve the shutdown thread — the very phenomenon the
+        // fair scheduler exists to prune.
+        let mut rr = 0;
+        while chess_core::TransitionSystem::status(&k).is_running() {
+            let n = k.thread_count();
+            let t = (0..n)
+                .map(|i| chess_kernel::ThreadId::new((rr + i) % n))
+                .find(|&t| k.enabled(t))
+                .unwrap();
+            k.step(t, 0);
+            rr = (t.index() + 1) % n;
+        }
+        assert_eq!(k.shared().tasks_done, 3);
+    }
+}

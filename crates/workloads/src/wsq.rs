@@ -1,0 +1,736 @@
+//! The work-stealing queue — the paper's low-level synchronization
+//! subject (Table 1 row "Work-Stealing Queue", Table 2 coverage subject,
+//! Table 3 bugs 1–3).
+//!
+//! This is the Cilk-5 THE protocol [Frigo et al., PLDI 98] as used by the
+//! C# futures library the paper tested [Leijen, MSR-TR-2006-162]: the
+//! owner pushes and pops at the *tail* without locking in the common
+//! case, thieves steal from the *head* under a lock, and the owner falls
+//! back to the lock only on a potential conflict:
+//!
+//! ```text
+//! pop (owner):                     steal (thief):
+//!   T--                              lock
+//!   if (H > T) {                     H++
+//!     T++                            if (H > T) { H--; unlock; fail }
+//!     lock                           v = deque[H-1]
+//!     T--                            unlock
+//!     if (H > T) {                   return v
+//!       T++; unlock; fail
+//!     }
+//!     unlock
+//!   }
+//!   return deque[T]
+//! ```
+//!
+//! Every access to `H`, `T`, and a deque cell is one atomic transition,
+//! giving the checker the same interleaving granularity CHESS gets from
+//! instrumented volatile accesses.
+//!
+//! The test harness plays an owner script (bursts of pushes with
+//! interleaved pops, then a full drain), `K` thieves that steal until the
+//! owner is done, and a verifier that joins everyone and asserts that
+//! **every item was taken exactly once**.
+//!
+//! Three seeded bugs reproduce the flavor of Table 3's WSQ bugs:
+//!
+//! * [`WsqBug::UnlockedConflictPop`] — the owner's conflict fallback
+//!   path forgets to take the lock. Its re-check of `H` can then observe
+//!   a thief's *transient* `H++`/`H--` spike (the thief is backing off
+//!   inside its own critical section), making the owner conclude the
+//!   queue is empty and retire while an item is still present — which
+//!   the lone thief then never picks up because it sees `owner_done`.
+//! * [`WsqBug::UnsynchronizedSteal`] — steal runs without the lock
+//!   (read `H`, read cell, bump `H` as separate unprotected steps): two
+//!   thieves can take the same item.
+//! * [`WsqBug::LostTailRestore`] — the owner's conflict path forgets to
+//!   restore `T` after losing the race: the deque size goes negative and
+//!   a subsequently pushed item becomes invisible (lost item).
+
+use chess_kernel::{
+    Capture, Effects, GuestThread, Kernel, MutexId, OpDesc, OpResult, StateWriter, ThreadId,
+};
+
+/// Seeded bugs for the work-stealing queue (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WsqBug {
+    /// Owner's conflict pop path runs without holding the lock.
+    UnlockedConflictPop,
+    /// Steal path runs without holding the lock.
+    UnsynchronizedSteal,
+    /// Owner's conflict-failure path forgets `T++`.
+    LostTailRestore,
+}
+
+/// Work-stealing queue workload configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct WsqConfig {
+    /// Number of stealer threads.
+    pub stealers: usize,
+    /// Number of items the owner pushes (item values are `0..items`).
+    pub items: u32,
+    /// The owner pushes in bursts of this size, popping one item between
+    /// bursts, then drains the queue. `0` means push everything first.
+    pub burst: u32,
+    /// Optional seeded bug.
+    pub bug: Option<WsqBug>,
+}
+
+impl WsqConfig {
+    /// The Table 2 coverage configuration with `stealers` thieves.
+    pub fn table2(stealers: usize) -> Self {
+        WsqConfig {
+            stealers,
+            items: 3,
+            burst: 2,
+            bug: None,
+        }
+    }
+
+    /// A Table 3 bug-finding configuration.
+    pub fn with_bug(bug: WsqBug) -> Self {
+        WsqConfig {
+            stealers: 2,
+            items: 3,
+            burst: 2,
+            bug: Some(bug),
+        }
+    }
+}
+
+/// Shared state of the work-stealing queue program.
+#[derive(Debug, Clone)]
+pub struct WsqShared {
+    /// Head index `H` (thieves steal here).
+    pub head: i64,
+    /// Tail index `T` (the owner pushes/pops here).
+    pub tail: i64,
+    /// The deque cells.
+    pub deque: Vec<u64>,
+    /// Take count per item value.
+    pub taken: Vec<u8>,
+    /// Total takes.
+    pub taken_count: u32,
+    /// Set by the owner after its final failed pop.
+    pub owner_done: bool,
+}
+
+impl WsqShared {
+    fn new(items: u32) -> Self {
+        WsqShared {
+            head: 0,
+            tail: 0,
+            deque: vec![u64::MAX; items as usize],
+            taken: vec![0; items as usize],
+            taken_count: 0,
+            owner_done: false,
+        }
+    }
+
+    fn record_take(&mut self, v: u64, who: &str, fx: &mut Effects<WsqShared>) {
+        let Some(slot) = self.taken.get_mut(v as usize) else {
+            fx.fail(format!("{who} took garbage value {v}"));
+            return;
+        };
+        *slot += 1;
+        self.taken_count += 1;
+        let count = *slot;
+        fx.check(
+            count == 1,
+            format_args!("{who}: item {v} taken {count} times"),
+        );
+    }
+
+    fn cell(&self, idx: i64) -> Option<u64> {
+        if idx < 0 {
+            return None;
+        }
+        self.deque.get(idx as usize).copied()
+    }
+}
+
+impl Capture for WsqShared {
+    fn capture(&self, w: &mut StateWriter) {
+        w.write_i64(self.head);
+        w.write_i64(self.tail);
+        for &c in &self.deque {
+            w.write_u64(c);
+        }
+        for &t in &self.taken {
+            w.write_u8(t);
+        }
+        w.write_bool(self.owner_done);
+    }
+}
+
+/// One entry of the owner's scripted workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OwnerAction {
+    Push(u64),
+    Pop,
+    Drain,
+}
+
+fn owner_script(cfg: &WsqConfig) -> Vec<OwnerAction> {
+    let mut script = Vec::new();
+    if cfg.burst == 0 {
+        script.extend((0..cfg.items as u64).map(OwnerAction::Push));
+    } else {
+        let mut next = 0u64;
+        while next < cfg.items as u64 {
+            for _ in 0..cfg.burst {
+                if next < cfg.items as u64 {
+                    script.push(OwnerAction::Push(next));
+                    next += 1;
+                }
+            }
+            if next < cfg.items as u64 {
+                script.push(OwnerAction::Pop);
+            }
+        }
+    }
+    script.push(OwnerAction::Drain);
+    script
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OwnerPc {
+    Dispatch,
+    PushWrite,
+    PushBump,
+    PopDec,
+    PopReadH,
+    PopTake,
+    PopRestore1,
+    PopLock,
+    PopDec2,
+    PopReadH2,
+    PopRestore2,
+    PopUnlockFail,
+    PopTakeLocked,
+    PopUnlockOk,
+    SetDone,
+    Done,
+}
+
+#[derive(Debug, Clone)]
+struct Owner {
+    pc: OwnerPc,
+    script: Vec<OwnerAction>,
+    idx: usize,
+    /// Local copy of `H` read during pop.
+    h: i64,
+    /// Value pending a push.
+    push_val: u64,
+    lock: MutexId,
+    bug: Option<WsqBug>,
+}
+
+impl Owner {
+    fn action(&self) -> OwnerAction {
+        self.script[self.idx]
+    }
+
+    fn advance(&mut self) -> OwnerPc {
+        // Drain repeats; everything else moves to the next script entry.
+        if self.action() != OwnerAction::Drain {
+            self.idx += 1;
+        }
+        OwnerPc::Dispatch
+    }
+
+    fn dispatch(&mut self) -> OwnerPc {
+        match self.action() {
+            OwnerAction::Push(v) => {
+                self.push_val = v;
+                OwnerPc::PushWrite
+            }
+            OwnerAction::Pop | OwnerAction::Drain => OwnerPc::PopDec,
+        }
+    }
+}
+
+impl GuestThread<WsqShared> for Owner {
+    fn next_op(&self, _: &WsqShared) -> OpDesc {
+        let unlocked = self.bug == Some(WsqBug::UnlockedConflictPop);
+        match self.pc {
+            OwnerPc::Done => OpDesc::Finished,
+            // BUG variant: the conflict path skips the lock entirely, so
+            // it can interleave with a thief's critical section.
+            OwnerPc::PopLock if !unlocked => OpDesc::Acquire(self.lock),
+            OwnerPc::PopUnlockFail | OwnerPc::PopUnlockOk if !unlocked => {
+                OpDesc::Release(self.lock)
+            }
+            _ => OpDesc::Local,
+        }
+    }
+
+    fn on_op(&mut self, _: OpResult, sh: &mut WsqShared, fx: &mut Effects<WsqShared>) {
+        self.pc = match self.pc {
+            OwnerPc::Dispatch => self.dispatch(),
+            OwnerPc::PushWrite => {
+                let t = sh.tail;
+                if t < 0 || t as usize >= sh.deque.len() {
+                    fx.fail(format!("push wrote out of bounds at T={t}"));
+                    OwnerPc::Done
+                } else {
+                    sh.deque[t as usize] = self.push_val;
+                    OwnerPc::PushBump
+                }
+            }
+            OwnerPc::PushBump => {
+                sh.tail += 1;
+                self.advance()
+            }
+            OwnerPc::PopDec => {
+                sh.tail -= 1;
+                OwnerPc::PopReadH
+            }
+            OwnerPc::PopReadH => {
+                self.h = sh.head;
+                if self.h > sh.tail {
+                    OwnerPc::PopRestore1
+                } else {
+                    OwnerPc::PopTake
+                }
+            }
+            OwnerPc::PopTake => {
+                match sh.cell(sh.tail) {
+                    Some(v) => sh.record_take(v, "owner", fx),
+                    None => fx.fail(format!("owner pop read out of bounds at T={}", sh.tail)),
+                }
+                self.advance()
+            }
+            OwnerPc::PopRestore1 => {
+                sh.tail += 1;
+                OwnerPc::PopLock
+            }
+            OwnerPc::PopLock => OwnerPc::PopDec2,
+            OwnerPc::PopDec2 => {
+                sh.tail -= 1;
+                OwnerPc::PopReadH2
+            }
+            OwnerPc::PopReadH2 => {
+                self.h = sh.head;
+                if self.h > sh.tail {
+                    if self.bug == Some(WsqBug::LostTailRestore) {
+                        // BUG: forget T++ when losing the conflict.
+                        OwnerPc::PopUnlockFail
+                    } else {
+                        OwnerPc::PopRestore2
+                    }
+                } else {
+                    OwnerPc::PopTakeLocked
+                }
+            }
+            OwnerPc::PopRestore2 => {
+                sh.tail += 1;
+                OwnerPc::PopUnlockFail
+            }
+            OwnerPc::PopUnlockFail => {
+                // Pop failed: on a drain this means the queue is empty and
+                // the owner retires.
+                if self.action() == OwnerAction::Drain {
+                    OwnerPc::SetDone
+                } else {
+                    self.idx += 1;
+                    OwnerPc::Dispatch
+                }
+            }
+            OwnerPc::PopTakeLocked => {
+                match sh.cell(sh.tail) {
+                    Some(v) => sh.record_take(v, "owner", fx),
+                    None => fx.fail(format!("owner pop read out of bounds at T={}", sh.tail)),
+                }
+                OwnerPc::PopUnlockOk
+            }
+            OwnerPc::PopUnlockOk => self.advance(),
+            OwnerPc::SetDone => {
+                sh.owner_done = true;
+                OwnerPc::Done
+            }
+            OwnerPc::Done => unreachable!(),
+        };
+    }
+
+    fn name(&self) -> String {
+        "owner".to_string()
+    }
+
+    fn capture(&self, w: &mut StateWriter) {
+        w.write_u8(self.pc as u8);
+        w.write_usize(self.idx);
+        w.write_i64(self.h);
+    }
+
+    fn box_clone(&self) -> Box<dyn GuestThread<WsqShared>> {
+        Box::new(self.clone())
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StealerPc {
+    Lock,
+    IncH,
+    CheckT,
+    DecH,
+    UnlockFail,
+    ReadCell,
+    UnlockOk,
+    CheckDone,
+    Retry,
+    Done,
+    // Unsynchronized (buggy) path:
+    RawReadH,
+    RawCheckT,
+    RawReadCell,
+    RawBumpH,
+}
+
+#[derive(Debug, Clone)]
+struct Stealer {
+    id: usize,
+    pc: StealerPc,
+    h: i64,
+    v: u64,
+    lock: MutexId,
+    unsynchronized: bool,
+}
+
+impl Stealer {
+    fn start(&self) -> StealerPc {
+        if self.unsynchronized {
+            StealerPc::RawReadH
+        } else {
+            StealerPc::Lock
+        }
+    }
+}
+
+impl GuestThread<WsqShared> for Stealer {
+    fn next_op(&self, _: &WsqShared) -> OpDesc {
+        match self.pc {
+            StealerPc::Lock => OpDesc::Acquire(self.lock),
+            StealerPc::UnlockFail | StealerPc::UnlockOk => OpDesc::Release(self.lock),
+            StealerPc::Retry => OpDesc::Sleep,
+            StealerPc::Done => OpDesc::Finished,
+            _ => OpDesc::Local,
+        }
+    }
+
+    fn on_op(&mut self, _: OpResult, sh: &mut WsqShared, fx: &mut Effects<WsqShared>) {
+        let who = format!("stealer{}", self.id);
+        self.pc = match self.pc {
+            StealerPc::Lock => StealerPc::IncH,
+            StealerPc::IncH => {
+                sh.head += 1;
+                StealerPc::CheckT
+            }
+            StealerPc::CheckT => {
+                if sh.head > sh.tail {
+                    StealerPc::DecH
+                } else {
+                    StealerPc::ReadCell
+                }
+            }
+            StealerPc::DecH => {
+                sh.head -= 1;
+                StealerPc::UnlockFail
+            }
+            StealerPc::UnlockFail => StealerPc::CheckDone,
+            StealerPc::ReadCell => {
+                match sh.cell(sh.head - 1) {
+                    Some(v) => sh.record_take(v, &who, fx),
+                    None => fx.fail(format!("{who} read out of bounds at H-1={}", sh.head - 1)),
+                }
+                StealerPc::UnlockOk
+            }
+            StealerPc::UnlockOk => self.start(),
+            StealerPc::CheckDone => {
+                if sh.owner_done {
+                    StealerPc::Done
+                } else {
+                    StealerPc::Retry
+                }
+            }
+            StealerPc::Retry => self.start(),
+            // BUG path: no lock at all.
+            StealerPc::RawReadH => {
+                self.h = sh.head;
+                StealerPc::RawCheckT
+            }
+            StealerPc::RawCheckT => {
+                if self.h + 1 > sh.tail {
+                    StealerPc::CheckDone
+                } else {
+                    StealerPc::RawReadCell
+                }
+            }
+            StealerPc::RawReadCell => {
+                match sh.cell(self.h) {
+                    Some(v) => self.v = v,
+                    None => {
+                        fx.fail(format!("{who} read out of bounds at h={}", self.h));
+                        self.v = u64::MAX;
+                    }
+                }
+                StealerPc::RawBumpH
+            }
+            StealerPc::RawBumpH => {
+                sh.head = self.h + 1;
+                sh.record_take(self.v, &who, fx);
+                self.start()
+            }
+            StealerPc::Done => unreachable!(),
+        };
+    }
+
+    fn name(&self) -> String {
+        format!("stealer{}", self.id)
+    }
+
+    fn capture(&self, w: &mut StateWriter) {
+        w.write_u8(self.pc as u8);
+        w.write_i64(self.h);
+        w.write_u64(self.v);
+    }
+
+    fn box_clone(&self) -> Box<dyn GuestThread<WsqShared>> {
+        Box::new(self.clone())
+    }
+}
+
+/// Joins every worker, then asserts that each item was taken exactly once.
+#[derive(Debug, Clone)]
+struct Verifier {
+    joined: usize,
+    workers: Vec<ThreadId>,
+    items: u32,
+    checked: bool,
+}
+
+impl GuestThread<WsqShared> for Verifier {
+    fn next_op(&self, _: &WsqShared) -> OpDesc {
+        if self.joined < self.workers.len() {
+            OpDesc::Join(self.workers[self.joined])
+        } else if !self.checked {
+            OpDesc::Local
+        } else {
+            OpDesc::Finished
+        }
+    }
+
+    fn on_op(&mut self, _: OpResult, sh: &mut WsqShared, fx: &mut Effects<WsqShared>) {
+        if self.joined < self.workers.len() {
+            self.joined += 1;
+            return;
+        }
+        fx.check(
+            sh.taken_count == self.items,
+            format_args!("{} of {} items taken", sh.taken_count, self.items),
+        );
+        for (v, &count) in sh.taken.iter().enumerate() {
+            fx.check(count == 1, format_args!("item {v} taken {count} times"));
+        }
+        self.checked = true;
+    }
+
+    fn name(&self) -> String {
+        "verifier".to_string()
+    }
+
+    fn capture(&self, w: &mut StateWriter) {
+        w.write_usize(self.joined);
+        w.write_bool(self.checked);
+    }
+
+    fn box_clone(&self) -> Box<dyn GuestThread<WsqShared>> {
+        Box::new(self.clone())
+    }
+}
+
+/// Builds the work-stealing-queue test program.
+///
+/// # Panics
+///
+/// Panics if `config.items == 0`.
+pub fn wsq(config: WsqConfig) -> Kernel<WsqShared> {
+    assert!(config.items > 0, "need at least one item");
+    let mut k = Kernel::new(WsqShared::new(config.items));
+    let lock = k.add_mutex();
+    let mut workers = Vec::new();
+    workers.push(k.spawn(Owner {
+        pc: OwnerPc::Dispatch,
+        script: owner_script(&config),
+        idx: 0,
+        h: 0,
+        push_val: 0,
+        lock,
+        bug: config.bug,
+    }));
+    for id in 0..config.stealers {
+        workers.push(k.spawn(Stealer {
+            id,
+            pc: StealerPc::Lock,
+            h: 0,
+            v: 0,
+            lock,
+            unsynchronized: config.bug == Some(WsqBug::UnsynchronizedSteal),
+        }));
+    }
+    let items = config.items;
+    k.spawn(Verifier {
+        joined: 0,
+        workers,
+        items,
+        checked: false,
+    });
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chess_core::strategy::{ContextBounded, Dfs};
+    use chess_core::{Config, Explorer, SearchOutcome};
+    use chess_state::{StateGraph, StatefulLimits};
+
+    #[test]
+    fn owner_script_shape() {
+        let cfg = WsqConfig {
+            stealers: 1,
+            items: 5,
+            burst: 2,
+            bug: None,
+        };
+        use OwnerAction::*;
+        assert_eq!(
+            owner_script(&cfg),
+            vec![Push(0), Push(1), Pop, Push(2), Push(3), Pop, Push(4), Drain]
+        );
+        let cfg0 = WsqConfig { burst: 0, ..cfg };
+        assert_eq!(
+            owner_script(&cfg0),
+            vec![Push(0), Push(1), Push(2), Push(3), Push(4), Drain]
+        );
+    }
+
+    #[test]
+    fn correct_queue_single_stealer_is_clean() {
+        let factory = || wsq(WsqConfig::table2(1));
+        let config = Config::fair()
+            .with_detect_cycles(false)
+            .with_max_executions(20_000);
+        let report = Explorer::new(factory, ContextBounded::new(2), config).run();
+        assert!(!report.outcome.found_error(), "{report}");
+    }
+
+    #[test]
+    fn correct_queue_has_no_livelock_ground_truth() {
+        let factory = || {
+            wsq(WsqConfig {
+                stealers: 1,
+                items: 2,
+                burst: 2,
+                bug: None,
+            })
+        };
+        let g = StateGraph::build(&factory(), StatefulLimits::default()).unwrap();
+        assert!(g.violation_states().is_empty(), "correct WSQ must be safe");
+        assert!(g.deadlock_states().is_empty());
+        assert!(g.find_fair_scc().is_none(), "correct WSQ is fair-terminating");
+    }
+
+    fn find_bug(bug: WsqBug) -> chess_core::SearchReport {
+        let factory = move || wsq(WsqConfig::with_bug(bug));
+        let config = Config::fair().with_detect_cycles(false);
+        Explorer::new(factory, ContextBounded::new(2), config).run()
+    }
+
+    #[test]
+    fn bug1_unlocked_conflict_pop_found() {
+        let report = find_bug(WsqBug::UnlockedConflictPop);
+        match &report.outcome {
+            // The unlocked conflict path loses an item (the owner retires
+            // on a phantom-empty view) or double-takes under deeper races.
+            SearchOutcome::SafetyViolation(cex) => {
+                assert!(
+                    cex.message.contains("items taken")
+                        || cex.message.contains("taken 2 times")
+                        || cex.message.contains("out of bounds"),
+                    "{}",
+                    cex.message
+                );
+            }
+            o => panic!("expected a safety violation, got {o:?}"),
+        }
+    }
+
+    /// The unlocked conflict path needs a real race: a single-threaded
+    /// (round-robin-free) owner-only drain behaves correctly.
+    #[test]
+    fn bug1_is_concurrency_dependent() {
+        let mut k = wsq(WsqConfig {
+            stealers: 0,
+            items: 3,
+            burst: 2,
+            bug: Some(WsqBug::UnlockedConflictPop),
+        });
+        while chess_core::TransitionSystem::status(&k).is_running() {
+            let t = k.thread_ids().find(|&t| k.enabled(t)).unwrap();
+            k.step(t, 0);
+        }
+        assert_eq!(
+            chess_core::TransitionSystem::status(&k),
+            chess_core::SystemStatus::Terminated,
+            "owner-only run must be clean"
+        );
+    }
+
+    #[test]
+    fn bug2_unsynchronized_steal_found() {
+        let report = find_bug(WsqBug::UnsynchronizedSteal);
+        assert!(
+            matches!(report.outcome, SearchOutcome::SafetyViolation(_)),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn bug3_lost_tail_restore_found() {
+        let report = find_bug(WsqBug::LostTailRestore);
+        assert!(
+            matches!(report.outcome, SearchOutcome::SafetyViolation(_)),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn counterexamples_replay_deterministically() {
+        let report = find_bug(WsqBug::UnlockedConflictPop);
+        let cex = report.outcome.counterexample().unwrap().clone();
+        let rendered = cex.render(|| wsq(WsqConfig::with_bug(WsqBug::UnlockedConflictPop)));
+        assert!(rendered.contains("violation"), "{rendered}");
+        assert!(rendered.contains("stealer") || rendered.contains("owner"), "{rendered}");
+    }
+
+    /// The full DFS fair search is large; a bounded fair DFS stays clean
+    /// on the correct queue.
+    #[test]
+    fn bounded_fair_dfs_clean_on_correct_queue() {
+        let factory = || {
+            wsq(WsqConfig {
+                stealers: 1,
+                items: 2,
+                burst: 0,
+                bug: None,
+            })
+        };
+        let config = Config::fair()
+            .with_detect_cycles(false)
+            .with_max_executions(5_000);
+        let report = Explorer::new(factory, Dfs::new(), config).run();
+        assert!(!report.outcome.found_error(), "{report}");
+        assert_eq!(report.stats.nonterminating, 0);
+    }
+}

@@ -1,0 +1,89 @@
+//! Reproduces Figure 4 of the paper: an emulation of Algorithm 1 on the
+//! spin loop of Figure 3, printing the evolution of the priority
+//! relation `P` and the window sets `S(u)`, `D(u)`, `E(u)` as the
+//! scheduler keeps choosing the spinning thread `u`.
+//!
+//! After `u`'s *second* yield the edge `(u, t)` appears in `P` and the
+//! scheduler is forced to run `t`, which lets `u` exit its loop.
+//!
+//! ```sh
+//! cargo run --release -p chess-examples --bin fairness_trace
+//! ```
+
+use chess_core::{FairScheduler, TransitionSystem};
+use chess_kernel::{ThreadId, TidSet};
+use chess_workloads::spinloop::figure3;
+
+fn show(set: &TidSet) -> String {
+    let names: Vec<&str> = set
+        .iter()
+        .map(|t| if t.index() == 0 { "t" } else { "u" })
+        .collect();
+    format!("{{{}}}", names.join(","))
+}
+
+fn main() {
+    let mut sys = figure3();
+    let mut fair = FairScheduler::new(sys.thread_count());
+    let (_t, u) = (ThreadId::new(0), ThreadId::new(1));
+
+    println!("Figure 4 emulation: scheduler keeps choosing thread u (the spinner).\n");
+    let header = ["transition", "S(u)", "D(u)", "E(u)", "P", "schedulable"];
+    println!(
+        "{:28} {:10} {:10} {:10} {:14} {}",
+        header[0], header[1], header[2], header[3], header[4], header[5]
+    );
+
+    let print_row = |label: &str, fair: &FairScheduler, sys: &chess_kernel::Kernel<chess_workloads::spinloop::SpinShared>| {
+        let es = TransitionSystem::enabled_set(sys);
+        let p = fair.priority_edges()[u.index()].clone();
+        let p_str = if p.is_empty() {
+            "{}".to_string()
+        } else {
+            format!("{{(u,{})}}", show(&p).trim_matches(['{', '}']))
+        };
+        println!(
+            "{:28} {:10} {:10} {:10} {:14} {}",
+            label,
+            show(fair.window_scheduled(u)),
+            show(fair.window_disabled(u)),
+            show(fair.window_enabled(u)),
+            p_str,
+            show(&fair.schedulable(&es)),
+        );
+    };
+
+    print_row("initial state (a,c)", &fair, &sys);
+
+    // Keep scheduling u while the fair scheduler allows it.
+    let mut step = 0;
+    loop {
+        let es = TransitionSystem::enabled_set(&sys);
+        let schedulable = fair.schedulable(&es);
+        if !schedulable.contains(u) {
+            println!("\nAfter u's second yield, P = {{(u,t)}} forces the scheduler to run t:");
+            let kind = TransitionSystem::step(&mut sys, ThreadId::new(0), 0);
+            let es_after = TransitionSystem::enabled_set(&sys);
+            fair.on_scheduled(ThreadId::new(0), &es, &es_after, kind.is_yield());
+            print_row("t: x := 1", &fair, &sys);
+            break;
+        }
+        let label = format!("u: {}", sys.describe_op(u));
+        let kind = TransitionSystem::step(&mut sys, u, 0);
+        let es_after = TransitionSystem::enabled_set(&sys);
+        fair.on_scheduled(u, &es, &es_after, kind.is_yield());
+        print_row(&label, &fair, &sys);
+        step += 1;
+        assert!(step < 20, "the fair scheduler must cut the spin off");
+    }
+
+    // u can now observe x == 1 and exit.
+    while TransitionSystem::status(&sys).is_running() {
+        let es = TransitionSystem::enabled_set(&sys);
+        let pick = fair.schedulable(&es).first().unwrap();
+        let kind = TransitionSystem::step(&mut sys, pick, 0);
+        let es_after = TransitionSystem::enabled_set(&sys);
+        fair.on_scheduled(pick, &es, &es_after, kind.is_yield());
+    }
+    println!("\nprogram terminated: x = {}", sys.shared().x);
+}

@@ -1,0 +1,48 @@
+//! §4.3.1: the worker-pool shutdown bug — a violation of the
+//! good-samaritan property. During shutdown there is a window where the
+//! group stop flag is set but a worker's own flag is not; in that window
+//! the worker spins through `Idle` without ever yielding, starving the
+//! very thread that would stop it.
+//!
+//! ```sh
+//! cargo run --release -p chess-examples --bin good_samaritan
+//! ```
+
+use chess_core::strategy::Dfs;
+use chess_core::{Config, Explorer, SearchOutcome};
+use chess_workloads::workerpool::{figure7, worker_pool, PoolConfig};
+
+fn main() {
+    println!("== Worker pool with the Figure 7 shutdown bug ==\n");
+    let report = Explorer::new(figure7, Dfs::new(), Config::fair()).run();
+    match &report.outcome {
+        SearchOutcome::Divergence(d) => {
+            println!(
+                "good-samaritan violation detected (execution {}):\n  {}",
+                d.execution, d.kind
+            );
+            println!(
+                "\nthe offending execution's last 12 scheduling decisions:\n  ... {}",
+                d.schedule
+                    .iter()
+                    .rev()
+                    .take(12)
+                    .rev()
+                    .map(|x| x.to_string())
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            );
+            println!("\n(the same thread spins without a single yield)");
+        }
+        other => println!("unexpected outcome: {other:?}"),
+    }
+
+    println!("\n== Corrected library: Idle yields on the shutdown path ==");
+    let factory = || worker_pool(PoolConfig::correct());
+    let config = Config::fair().with_max_executions(5_000);
+    let report = Explorer::new(factory, Dfs::new(), config).run();
+    println!(
+        "outcome: {:?} — {} executions, 0 divergences",
+        report.outcome, report.stats.executions
+    );
+}

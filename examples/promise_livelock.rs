@@ -1,0 +1,53 @@
+//! §4.3.2: the livelock in the Promise library (Figure 8). The waiter
+//! caches the shared state word and spins on the **stale local copy** —
+//! with a polite `Sleep(1)` per iteration, so the infinite execution is
+//! fair and satisfies the good-samaritan property: a true livelock,
+//! invisible to the unfair baseline and to stress testing.
+//!
+//! ```sh
+//! cargo run --release -p chess-examples --bin promise_livelock
+//! ```
+
+use chess_core::strategy::Dfs;
+use chess_core::{Config, DivergenceKind, Explorer, SearchOutcome};
+use chess_workloads::promise::{figure8, promises, PromiseConfig};
+
+fn main() {
+    println!("== Promise library with the Figure 8 stale-read spin ==\n");
+    println!("int x_temp = InterlockedRead(x);");
+    println!("if (common case 1) break;");
+    println!("while (x_temp != 1) {{ Sleep(1); }}   // BUG: never re-reads x\n");
+
+    let report = Explorer::new(figure8, Dfs::new(), Config::fair()).run();
+    match &report.outcome {
+        SearchOutcome::Divergence(d) => {
+            match d.kind {
+                DivergenceKind::FairCycle { cycle_start, cycle_len } => println!(
+                    "livelock: the execution revisits the same (program, scheduler) state — \
+                     a fair cycle of {cycle_len} transition(s) starting at step {cycle_start}."
+                ),
+                ref k => println!("divergence: {k}"),
+            }
+            println!(
+                "found in execution {} after {} total executions ({:.1?})",
+                d.execution, report.stats.executions, report.stats.wall
+            );
+        }
+        other => println!("unexpected outcome: {other:?}"),
+    }
+
+    println!("\nWhy stress testing misses it: if the producers win the race, the");
+    println!("fast path succeeds and the buggy spin never runs. Only the rare");
+    println!("interleaving where the consumer reads x *before* the producer's");
+    println!("write enters the spin — and the fair scheduler drives straight");
+    println!("into it while pruning the unfair spins that waste the baseline's time.");
+
+    println!("\n== Corrected waiter: re-reads shared state each iteration ==");
+    let factory = || promises(PromiseConfig::correct());
+    let config = Config::fair().with_max_executions(5_000);
+    let report = Explorer::new(factory, Dfs::new(), config).run();
+    println!(
+        "outcome: {:?} — {} executions, 0 divergences",
+        report.outcome, report.stats.executions
+    );
+}

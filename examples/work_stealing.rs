@@ -1,0 +1,47 @@
+//! Finding a seeded bug in the Cilk-style work-stealing queue with
+//! context-bounded fair search (the Table 3 methodology), then checking
+//! the corrected implementation.
+//!
+//! ```sh
+//! cargo run --release -p chess-examples --bin work_stealing
+//! ```
+
+use chess_core::strategy::ContextBounded;
+use chess_core::{Config, Explorer, SearchOutcome};
+use chess_workloads::wsq::{wsq, WsqBug, WsqConfig};
+
+fn main() {
+    println!("== Work-stealing queue (THE protocol), owner + 2 thieves ==\n");
+
+    for (name, bug) in [
+        ("unlocked conflict path in pop", WsqBug::UnlockedConflictPop),
+        ("steal without the lock", WsqBug::UnsynchronizedSteal),
+        ("lost tail restore on conflict", WsqBug::LostTailRestore),
+    ] {
+        let factory = move || wsq(WsqConfig::with_bug(bug));
+        let config = Config::fair().with_detect_cycles(false);
+        let report = Explorer::new(factory, ContextBounded::new(2), config).run();
+        match &report.outcome {
+            SearchOutcome::SafetyViolation(cex) => {
+                println!(
+                    "bug [{name}]: found in {} executions ({:.1?})",
+                    report.stats.executions, report.stats.wall
+                );
+                println!("  violation: {}", cex.message);
+                println!("  schedule length: {} transitions\n", cex.schedule.len());
+            }
+            other => println!("bug [{name}]: NOT FOUND ({other:?})\n"),
+        }
+    }
+
+    println!("== Correct implementation, same search ==");
+    let factory = || wsq(WsqConfig::table2(2));
+    let config = Config::fair()
+        .with_detect_cycles(false)
+        .with_max_executions(50_000);
+    let report = Explorer::new(factory, ContextBounded::new(2), config).run();
+    println!(
+        "outcome: {:?} — {} executions, {} transitions, no violations",
+        report.outcome, report.stats.executions, report.stats.transitions
+    );
+}

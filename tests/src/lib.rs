@@ -1,0 +1,7 @@
+//! `chess-integration` — cross-crate integration tests.
+//!
+//! This package exists only for its `tests/` directory: the paper's
+//! theorems as property-based tests, the liveness ground-truth matrix,
+//! replay-determinism checks, coverage cross-checks, strategy
+//! combinatorics, and explorer-mode coverage. The library itself is
+//! intentionally empty.

@@ -1,0 +1,141 @@
+//! Integration tests for context-bounded search and its interaction with
+//! fairness (the Section 4 subtlety: fairness-forced preemptions must
+//! not count against the bound).
+
+use chess_core::strategy::ContextBounded;
+use chess_core::{
+    iterative_context_bounding, Config, Explorer, SearchOutcome, TransitionSystem,
+};
+use chess_state::{preemption_bounded_states, CoverageTracker, StatefulLimits};
+use chess_workloads::philosophers::{philosophers, PhilosophersConfig};
+use chess_workloads::spinloop::figure3;
+use chess_workloads::wsq::{wsq, WsqConfig};
+
+/// With fairness, even a preemption bound of ZERO terminates Figure 3:
+/// when the spinner is demoted by the priority relation, the switch to
+/// the setter is forced by fairness and therefore free. Without the
+/// "don't count fairness-forced preemptions" rule the zero-budget search
+/// could never leave the spinner.
+#[test]
+fn fair_cb0_terminates_spin_loop() {
+    let config = Config::fair();
+    let report = Explorer::new(figure3, ContextBounded::new(0), config).run();
+    assert_eq!(report.outcome, SearchOutcome::Complete, "{report}");
+    assert_eq!(report.stats.nonterminating, 0);
+}
+
+/// Without fairness, cb=0 keeps scheduling the spinner forever and every
+/// execution that starts with the spinner hits the depth bound.
+#[test]
+fn unfair_cb0_spins_to_the_depth_bound() {
+    let config = Config::unfair().with_depth_bound(50);
+    let report = Explorer::new(figure3, ContextBounded::new(0), config).run();
+    assert_eq!(report.outcome, SearchOutcome::Complete);
+    assert!(
+        report.stats.nonterminating > 0,
+        "expected the spinner to burn the depth bound: {:?}",
+        report.stats
+    );
+}
+
+/// Fair coverage grows monotonically with the preemption bound and
+/// reaches at least the stateful cb-bounded reference at each bound
+/// (fairness can add states beyond the bound, as Table 2 notes).
+#[test]
+fn fair_cb_coverage_monotone_and_at_least_reference() {
+    let factory = || philosophers(PhilosophersConfig::table2(3));
+    let mut prev = 0usize;
+    for cb in 0..=2u32 {
+        let mut cov = CoverageTracker::new();
+        let config = Config::fair().with_detect_cycles(false);
+        let report =
+            Explorer::new(factory, ContextBounded::new(cb), config).run_observed(&mut cov);
+        assert_eq!(report.outcome, SearchOutcome::Complete, "cb={cb}: {report}");
+        let reference =
+            preemption_bounded_states(&factory(), cb, StatefulLimits::default()).unwrap();
+        assert!(
+            cov.distinct_states() >= reference,
+            "cb={cb}: fair coverage {} < stateful reference {reference}",
+            cov.distinct_states()
+        );
+        assert!(cov.distinct_states() >= prev, "coverage shrank at cb={cb}");
+        prev = cov.distinct_states();
+    }
+}
+
+/// Iterative context bounding finds the seeded WSQ bug at a small bound
+/// without exhausting larger ones.
+#[test]
+fn iterative_cb_stops_at_first_buggy_bound() {
+    use chess_workloads::wsq::WsqBug;
+    let factory = || wsq(WsqConfig::with_bug(WsqBug::UnsynchronizedSteal));
+    let config = Config::fair().with_detect_cycles(false);
+    let reports = iterative_context_bounding(factory, config, 8);
+    let (last_bound, last) = reports.last().unwrap();
+    assert!(
+        last.outcome.found_error(),
+        "bug not found up to bound {last_bound}"
+    );
+    assert!(*last_bound <= 3, "bug should need few preemptions");
+}
+
+/// The number of executions grows with the preemption bound (the
+/// polynomial growth that motivates iterative context bounding).
+#[test]
+fn execution_count_grows_with_bound() {
+    let factory = || wsq(WsqConfig::table2(1));
+    let mut counts = Vec::new();
+    for cb in 0..=2u32 {
+        let config = Config::fair()
+            .with_detect_cycles(false)
+            .with_max_executions(200_000);
+        let report = Explorer::new(factory, ContextBounded::new(cb), config).run();
+        assert!(!report.outcome.found_error(), "cb={cb}: {report}");
+        counts.push(report.stats.executions);
+    }
+    assert!(counts[0] < counts[1] && counts[1] < counts[2], "{counts:?}");
+}
+
+/// Ablation: charging fairness-forced switches against the budget (the
+/// accounting the paper's Section 4 forbids) abandons executions and
+/// loses coverage on the spin loop at cb=0, where the sound accounting
+/// explores it completely.
+#[test]
+fn charging_fairness_switches_loses_executions() {
+    use chess_core::strategy::ContextBounded;
+    use chess_state::CoverageTracker;
+
+    let sound = {
+        let mut cov = CoverageTracker::new();
+        let config = Config::fair();
+        let report = Explorer::new(figure3, ContextBounded::new(0), config)
+            .run_observed(&mut cov);
+        assert_eq!(report.stats.abandoned, 0);
+        cov.distinct_states()
+    };
+    let charging = {
+        let mut cov = CoverageTracker::new();
+        let config = Config::fair();
+        let report = Explorer::new(
+            figure3,
+            ContextBounded::new(0).charging_fairness_switches(),
+            config,
+        )
+        .run_observed(&mut cov);
+        assert!(
+            report.stats.abandoned > 0,
+            "the unaffordable demotion must abandon executions: {:?}",
+            report.stats
+        );
+        cov.distinct_states()
+    };
+    assert!(charging <= sound);
+}
+
+/// Sanity: the kernel workload used above has the expected thread count.
+#[test]
+fn wsq_thread_inventory() {
+    let k = wsq(WsqConfig::table2(2));
+    // owner + 2 stealers + verifier
+    assert_eq!(TransitionSystem::thread_count(&k), 4);
+}

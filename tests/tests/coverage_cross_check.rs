@@ -1,0 +1,91 @@
+//! Cross-checks between the stateless coverage trackers and the stateful
+//! reference search across workloads — the Table 2 measurement pipeline
+//! validated end to end.
+
+use chess_core::strategy::{ContextBounded, Dfs};
+use chess_core::{Config, Explorer, SearchOutcome};
+use chess_state::{
+    preemption_bounded_states, CoverageTracker, FingerprintCoverage, StateGraph, StatefulLimits,
+};
+use chess_workloads::channels::{fifo_pipeline, FifoConfig};
+use chess_workloads::philosophers::{philosophers, PhilosophersConfig};
+use chess_workloads::simple::{locked_counter, racy_counter};
+use chess_workloads::spinloop::figure3;
+
+/// Full fair DFS covers exactly the reachable state space on programs
+/// small enough to exhaust.
+#[test]
+fn fair_dfs_exact_coverage_small_programs() {
+    fn check<S, F>(factory: F)
+    where
+        S: chess_kernel::Capture + Clone + 'static,
+        F: Fn() -> chess_kernel::Kernel<S> + Copy,
+    {
+        let total = StateGraph::build(&factory(), StatefulLimits::default())
+            .unwrap()
+            .state_count();
+        let mut cov = CoverageTracker::new();
+        let report = Explorer::new(factory, Dfs::new(), Config::fair()).run_observed(&mut cov);
+        assert_eq!(report.outcome, SearchOutcome::Complete);
+        assert_eq!(cov.distinct_states(), total);
+        assert!(cov.occurrences() >= cov.distinct_states() as u64);
+    }
+    check(|| locked_counter(2));
+    check(figure3);
+    check(|| philosophers(PhilosophersConfig::table2(2)));
+}
+
+/// Exact and fingerprint coverage agree on small spaces (no collisions).
+#[test]
+fn exact_and_fingerprint_coverage_agree() {
+    let factory = || philosophers(PhilosophersConfig::table2(2));
+    let mut exact = CoverageTracker::new();
+    Explorer::new(factory, Dfs::new(), Config::fair()).run_observed(&mut exact);
+    let mut fp = FingerprintCoverage::new();
+    Explorer::new(factory, Dfs::new(), Config::fair()).run_observed(&mut fp);
+    assert_eq!(exact.distinct_states(), fp.distinct_states());
+}
+
+/// On a buggy program the search stops at the violation but the states
+/// visited up to that point are still recorded.
+#[test]
+fn coverage_recorded_up_to_violation() {
+    let factory = || racy_counter(2);
+    let mut cov = CoverageTracker::new();
+    let report = Explorer::new(factory, Dfs::new(), Config::fair()).run_observed(&mut cov);
+    assert!(matches!(report.outcome, SearchOutcome::SafetyViolation(_)));
+    assert!(cov.distinct_states() > 0);
+}
+
+/// The stateful preemption-bounded reference is consistent with the full
+/// graph: at a large bound it equals the total.
+#[test]
+fn preemption_reference_converges_to_total() {
+    let factory = || fifo_pipeline(FifoConfig { items: 2, ..FifoConfig::correct() });
+    let total = StateGraph::build(&factory(), StatefulLimits::default())
+        .unwrap()
+        .state_count();
+    let big = preemption_bounded_states(&factory(), 64, StatefulLimits::default()).unwrap();
+    assert_eq!(big, total);
+}
+
+/// Fair context-bounded coverage at bound `k` is at least the stateful
+/// `k`-preemption reference on the channel pipeline too.
+#[test]
+fn fair_cb_at_least_reference_on_channels() {
+    let factory = || fifo_pipeline(FifoConfig { items: 2, ..FifoConfig::correct() });
+    for cb in 0..=2u32 {
+        let reference =
+            preemption_bounded_states(&factory(), cb, StatefulLimits::default()).unwrap();
+        let mut cov = CoverageTracker::new();
+        let config = Config::fair().with_detect_cycles(false);
+        let report =
+            Explorer::new(factory, ContextBounded::new(cb), config).run_observed(&mut cov);
+        assert_eq!(report.outcome, SearchOutcome::Complete, "cb={cb}");
+        assert!(
+            cov.distinct_states() >= reference,
+            "cb={cb}: {} < {reference}",
+            cov.distinct_states()
+        );
+    }
+}

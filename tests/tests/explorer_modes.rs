@@ -1,0 +1,112 @@
+//! Integration tests for the explorer's configuration surface: continue
+//! past errors, divergence accounting in unfair mode, heuristic
+//! divergence classification without cycle detection, and budgets.
+
+use std::time::Duration;
+
+use chess_core::strategy::{Dfs, RandomWalk};
+use chess_core::{
+    BudgetKind, Config, DivergenceKind, Explorer, SearchOutcome,
+};
+use chess_workloads::promise::figure8;
+use chess_workloads::simple::racy_counter;
+use chess_workloads::spinloop::{figure3, spinloop};
+
+/// With `stop_on_error = false`, the search keeps going, counts every
+/// violating execution, and still records where the first error was.
+#[test]
+fn continue_past_errors_counts_violations() {
+    let config = Config::fair().with_stop_on_error(false);
+    let report = Explorer::new(|| racy_counter(2), Dfs::new(), config).run();
+    assert_eq!(report.outcome, SearchOutcome::Complete);
+    assert!(report.stats.violations >= 2, "{:?}", report.stats);
+    assert!(report.stats.first_error_execution.is_some());
+    // The violating executions are a strict subset.
+    assert!(report.stats.violations < report.stats.executions);
+}
+
+/// In unfair mode, executions that hit the depth bound are *counted*
+/// (Figure 2's metric) but never raised as errors.
+#[test]
+fn unfair_bound_hits_are_counted_not_raised() {
+    let config = Config::unfair().with_depth_bound(30);
+    let report = Explorer::new(figure3, Dfs::new(), config).run();
+    assert_eq!(report.outcome, SearchOutcome::Complete);
+    assert!(report.stats.nonterminating > 0);
+    assert_eq!(report.stats.divergences, 0);
+}
+
+/// Without cycle detection, a bound-hitting fair execution is classified
+/// heuristically: a thread that took `gs_threshold` consecutive steps
+/// without yielding makes it a good-samaritan suspect...
+#[test]
+fn gs_suspect_heuristic_without_cycle_detection() {
+    let factory = || spinloop(1, false);
+    let config = Config::fair()
+        .with_detect_cycles(false)
+        .with_depth_bound(400);
+    let report = Explorer::new(factory, Dfs::new(), config).run();
+    match report.outcome {
+        SearchOutcome::Divergence(d) => match d.kind {
+            DivergenceKind::GoodSamaritanSuspect {
+                steps_without_yield,
+                ..
+            } => assert!(steps_without_yield >= 100),
+            k => panic!("expected GS suspect, got {k:?}"),
+        },
+        o => panic!("expected divergence, got {o:?}"),
+    }
+}
+
+/// ...while an execution whose threads all keep yielding is a livelock
+/// suspect.
+#[test]
+fn livelock_suspect_heuristic_without_cycle_detection() {
+    let config = Config::fair()
+        .with_detect_cycles(false)
+        .with_depth_bound(400);
+    let report = Explorer::new(figure8, Dfs::new(), config).run();
+    match report.outcome {
+        SearchOutcome::Divergence(d) => {
+            assert!(
+                matches!(d.kind, DivergenceKind::LivelockSuspect),
+                "got {:?}",
+                d.kind
+            );
+            assert_eq!(d.schedule.len(), 400);
+        }
+        o => panic!("expected divergence, got {o:?}"),
+    }
+}
+
+/// The wall-clock budget also fires in the middle of a very long
+/// execution, not just between executions.
+#[test]
+fn time_budget_interrupts_long_executions() {
+    // Unfair random walk on the no-yield spinner: a single execution can
+    // spin forever; the depth bound is huge so only time can stop it.
+    let factory = || spinloop(1, false);
+    let config = Config::unfair()
+        .with_depth_bound(usize::MAX / 2)
+        .with_time_budget(Duration::from_millis(300));
+    let report = Explorer::new(factory, RandomWalk::new(5), config).run();
+    assert_eq!(
+        report.outcome,
+        SearchOutcome::BudgetExhausted(BudgetKind::Time)
+    );
+    assert!(report.stats.wall < Duration::from_secs(30));
+}
+
+/// Divergence schedules replay: re-running the recorded schedule drives
+/// the program into the same non-progress region.
+#[test]
+fn divergence_schedule_replays() {
+    let report = Explorer::new(figure8, Dfs::new(), Config::fair()).run();
+    let SearchOutcome::Divergence(d) = report.outcome else {
+        panic!("expected divergence");
+    };
+    let mut sys = figure8();
+    let status = chess_core::replay(&mut sys, &d.schedule);
+    // The livelock keeps the program formally running forever.
+    assert!(status.is_running());
+}

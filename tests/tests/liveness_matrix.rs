@@ -1,0 +1,116 @@
+//! The liveness matrix: for every workload variant, the stateless fair
+//! search's verdict must agree with the Streett-condition ground truth
+//! computed by the stateful reference (`find_fair_scc`), and with the
+//! paper's classification of each bug.
+
+use chess_core::strategy::Dfs;
+use chess_core::{Config, Explorer, SearchOutcome};
+use chess_state::{StateGraph, StatefulLimits};
+use chess_workloads::philosophers::{figure1, figure1_polite, philosophers, PhilosophersConfig};
+use chess_workloads::promise::{figure8, promises, PromiseConfig, WaitMode};
+use chess_workloads::spinloop::{figure3, spinloop};
+use chess_workloads::workerpool::{figure7, worker_pool, PoolConfig};
+
+fn fair_search_diverges<S, F>(factory: F) -> bool
+where
+    S: chess_kernel::Capture + Clone + 'static,
+    F: Fn() -> chess_kernel::Kernel<S> + Copy,
+{
+    let config = Config::fair().with_max_executions(100_000);
+    let report = Explorer::new(factory, Dfs::new(), config).run();
+    match report.outcome {
+        SearchOutcome::Divergence(_) => true,
+        SearchOutcome::Complete | SearchOutcome::BudgetExhausted(_) => false,
+        o => panic!("unexpected outcome {o:?}"),
+    }
+}
+
+fn has_fair_cycle<S, F>(factory: F) -> bool
+where
+    S: chess_kernel::Capture + Clone + 'static,
+    F: Fn() -> chess_kernel::Kernel<S>,
+{
+    StateGraph::build(&factory(), StatefulLimits::default())
+        .unwrap()
+        .find_fair_scc()
+        .is_some()
+}
+
+#[test]
+fn figure3_clean() {
+    assert!(!has_fair_cycle(figure3));
+    assert!(!fair_search_diverges(figure3));
+}
+
+#[test]
+fn spinloop_without_yield_diverges_but_is_not_a_livelock() {
+    let f = || spinloop(1, false);
+    // No *fair* cycle: the spin starves the setter...
+    assert!(!has_fair_cycle(f));
+    // ...but the program violates GS, so the fair search diverges.
+    assert!(fair_search_diverges(f));
+}
+
+#[test]
+fn figure1_diverges_matrix() {
+    assert!(has_fair_cycle(figure1), "figure 1 livelocks");
+    assert!(fair_search_diverges(figure1));
+    assert!(has_fair_cycle(figure1_polite));
+    assert!(fair_search_diverges(figure1_polite));
+}
+
+#[test]
+fn ordered_philosophers_clean_matrix() {
+    let f = || philosophers(PhilosophersConfig::table2(2));
+    assert!(!has_fair_cycle(f));
+    assert!(!fair_search_diverges(f));
+}
+
+#[test]
+fn promise_matrix() {
+    assert!(has_fair_cycle(figure8));
+    assert!(fair_search_diverges(figure8));
+    let correct = || {
+        promises(PromiseConfig {
+            promises: 1,
+            ..PromiseConfig::correct()
+        })
+    };
+    assert!(!has_fair_cycle(correct));
+    assert!(!fair_search_diverges(correct));
+    let blocking = || {
+        promises(PromiseConfig {
+            promises: 1,
+            wait_mode: WaitMode::Blocking,
+            ..PromiseConfig::correct()
+        })
+    };
+    assert!(!has_fair_cycle(blocking));
+    assert!(!fair_search_diverges(blocking));
+}
+
+#[test]
+fn workerpool_matrix() {
+    // The figure 7 bug is a GS violation, not a livelock: no fair cycle,
+    // yet the fair search diverges (unfair cycle with no yields).
+    let buggy_small = || {
+        worker_pool(PoolConfig {
+            workers: 1,
+            tasks: 0,
+            buggy_idle: true,
+        })
+    };
+    assert!(!has_fair_cycle(buggy_small));
+    assert!(fair_search_diverges(buggy_small));
+    assert!(fair_search_diverges(figure7));
+
+    let correct_small = || {
+        worker_pool(PoolConfig {
+            workers: 1,
+            tasks: 1,
+            buggy_idle: false,
+        })
+    };
+    assert!(!has_fair_cycle(correct_small));
+    assert!(!fair_search_diverges(correct_small));
+}

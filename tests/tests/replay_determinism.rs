@@ -1,0 +1,118 @@
+//! Stateless model checking stands on deterministic re-execution: the
+//! same schedule must reproduce the same states, outcomes and
+//! counterexamples, across every workload.
+
+use chess_core::strategy::{FixedSchedule, RandomWalk};
+use chess_core::{replay, Config, Explorer, SearchOutcome, SystemStatus, TransitionSystem};
+use chess_workloads::channels::{fifo_pipeline, FifoConfig};
+use chess_workloads::miniboot::{miniboot, BootConfig};
+use chess_workloads::philosophers::{philosophers, PhilosophersConfig};
+use chess_workloads::promise::{promises, PromiseConfig};
+use chess_workloads::simple::racy_counter;
+use chess_workloads::workerpool::{worker_pool, PoolConfig};
+use chess_workloads::wsq::{wsq, WsqConfig};
+
+/// Runs one random execution, recording the schedule and per-step
+/// fingerprints; replays it and checks the fingerprints match exactly.
+fn assert_replays<P, F>(mut factory: F)
+where
+    P: TransitionSystem,
+    F: FnMut() -> P,
+{
+    use chess_core::Decision;
+
+    let mut sys = factory();
+    let mut schedule: Vec<Decision> = Vec::new();
+    let mut fingerprints = vec![sys.fingerprint()];
+    let mut rng: u64 = 0xDEADBEEF;
+    let mut next = move || {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        rng
+    };
+    for _ in 0..400 {
+        if !sys.status().is_running() {
+            break;
+        }
+        let es = sys.enabled_set();
+        let options: Vec<_> = es.iter().collect();
+        let t = options[(next() % options.len() as u64) as usize];
+        let branch = (next() % sys.branching(t) as u64) as u32;
+        sys.step(t, branch);
+        schedule.push(Decision { thread: t, choice: branch });
+        fingerprints.push(sys.fingerprint());
+    }
+
+    // Replay on a fresh instance.
+    let mut sys2 = factory();
+    let mut fingerprints2 = vec![sys2.fingerprint()];
+    for d in &schedule {
+        sys2.step(d.thread, d.choice);
+        fingerprints2.push(sys2.fingerprint());
+    }
+    assert_eq!(fingerprints, fingerprints2, "nondeterministic replay");
+    assert_eq!(sys.state_bytes(), sys2.state_bytes());
+}
+
+#[test]
+fn all_workloads_replay_deterministically() {
+    assert_replays(|| racy_counter(3));
+    assert_replays(|| philosophers(PhilosophersConfig::table2(3)));
+    assert_replays(|| wsq(WsqConfig::table2(2)));
+    assert_replays(|| promises(PromiseConfig::correct()));
+    assert_replays(|| worker_pool(PoolConfig::correct()));
+    assert_replays(|| fifo_pipeline(FifoConfig::correct_fanin()));
+    assert_replays(|| miniboot(BootConfig::small()));
+}
+
+/// A counterexample's schedule, replayed via the public `replay` helper,
+/// reproduces the violation.
+#[test]
+fn counterexample_schedules_reproduce_violations() {
+    let factory = || racy_counter(2);
+    let report = Explorer::new(factory, RandomWalk::new(11), Config::fair()).run();
+    let cex = match report.outcome {
+        SearchOutcome::SafetyViolation(c) => c,
+        o => panic!("expected violation, got {o:?}"),
+    };
+    let mut sys = factory();
+    let status = replay(&mut sys, &cex.schedule);
+    assert!(
+        matches!(status, SystemStatus::Violation(..)),
+        "replay produced {status:?}"
+    );
+}
+
+/// The FixedSchedule strategy drives the explorer through exactly the
+/// recorded execution.
+#[test]
+fn fixed_schedule_reproduces_search_outcome() {
+    let factory = || racy_counter(2);
+    let report = Explorer::new(factory, RandomWalk::new(11), Config::fair()).run();
+    let cex = report.outcome.counterexample().unwrap().clone();
+
+    let config = Config::fair();
+    let report2 = Explorer::new(
+        factory,
+        FixedSchedule::new(cex.schedule.clone()),
+        config,
+    )
+    .run();
+    match report2.outcome {
+        SearchOutcome::SafetyViolation(c2) => {
+            assert_eq!(c2.schedule, cex.schedule);
+            assert_eq!(c2.message, cex.message);
+        }
+        o => panic!("replay search produced {o:?}"),
+    }
+}
+
+/// Rendering a counterexample twice gives identical text (pure replay).
+#[test]
+fn render_is_pure() {
+    let factory = || racy_counter(2);
+    let report = Explorer::new(factory, RandomWalk::new(3), Config::fair()).run();
+    let cex = report.outcome.counterexample().unwrap();
+    assert_eq!(cex.render(factory), cex.render(factory));
+}

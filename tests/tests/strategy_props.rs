@@ -1,0 +1,153 @@
+//! Property-based tests of the exploration strategies: exhaustive DFS
+//! must enumerate exactly the combinatorics of independent threads, data
+//! choices must multiply branches, and a large-enough preemption bound
+//! must coincide with full DFS.
+
+use chess_core::strategy::{ContextBounded, Dfs};
+use chess_core::{Config, Explorer, SearchOutcome};
+use chess_kernel::{Effects, GuestThread, Kernel, OpDesc, OpResult, StateWriter};
+use proptest::prelude::*;
+
+/// A thread taking `steps` local steps, optionally prefixed by a `width`-
+/// way data choice.
+#[derive(Clone)]
+struct Worker {
+    steps: u8,
+    choice_width: u8,
+    pc: u8,
+    chosen: Option<u32>,
+}
+
+impl Worker {
+    fn plain(steps: u8) -> Self {
+        Worker {
+            steps,
+            choice_width: 0,
+            pc: 0,
+            chosen: None,
+        }
+    }
+
+    fn with_choice(steps: u8, width: u8) -> Self {
+        Worker {
+            choice_width: width,
+            ..Worker::plain(steps)
+        }
+    }
+}
+
+impl GuestThread<()> for Worker {
+    fn next_op(&self, _: &()) -> OpDesc {
+        if self.choice_width > 0 && self.chosen.is_none() {
+            OpDesc::Choose(self.choice_width as u32)
+        } else if self.pc < self.steps {
+            OpDesc::Local
+        } else {
+            OpDesc::Finished
+        }
+    }
+
+    fn on_op(&mut self, r: OpResult, _: &mut (), _: &mut Effects<()>) {
+        if self.choice_width > 0 && self.chosen.is_none() {
+            self.chosen = Some(r.as_choice());
+        } else {
+            self.pc += 1;
+        }
+    }
+
+    fn capture(&self, w: &mut StateWriter) {
+        w.write_u8(self.pc);
+        w.write_u32(self.chosen.map_or(u32::MAX, |c| c));
+    }
+
+    fn box_clone(&self) -> Box<dyn GuestThread<()>> {
+        Box::new(self.clone())
+    }
+}
+
+fn multinomial(steps: &[u8]) -> u64 {
+    let total: u64 = steps.iter().map(|&s| s as u64).sum();
+    let mut result = 1u64;
+    let mut acc = 0u64;
+    for &s in steps {
+        for i in 1..=(s as u64) {
+            acc += 1;
+            result = result * acc / i;
+        }
+    }
+    let _ = total;
+    result
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// DFS explores exactly (Σsteps)! / Πsteps! interleavings of
+    /// independent straight-line threads.
+    #[test]
+    fn dfs_counts_multinomial(steps in prop::collection::vec(1u8..4, 1..4)) {
+        let steps_c = steps.clone();
+        let factory = move || {
+            let mut k = Kernel::new(());
+            for &s in &steps_c {
+                k.spawn(Worker::plain(s));
+            }
+            k
+        };
+        let report = Explorer::new(factory, Dfs::new(), Config::fair()).run();
+        prop_assert_eq!(report.outcome, SearchOutcome::Complete);
+        prop_assert_eq!(report.stats.executions, multinomial(&steps));
+    }
+
+    /// A preemption bound at least as large as the total number of
+    /// transitions is no bound at all: cb == dfs exactly.
+    #[test]
+    fn saturated_cb_equals_dfs(steps in prop::collection::vec(1u8..4, 1..4)) {
+        let total: u32 = steps.iter().map(|&s| s as u32).sum();
+        let steps_c = steps.clone();
+        let factory = move || {
+            let mut k = Kernel::new(());
+            for &s in &steps_c {
+                k.spawn(Worker::plain(s));
+            }
+            k
+        };
+        let dfs = Explorer::new(factory.clone(), Dfs::new(), Config::fair()).run();
+        let cb = Explorer::new(factory, ContextBounded::new(total), Config::fair()).run();
+        prop_assert_eq!(dfs.stats.executions, cb.stats.executions);
+        prop_assert_eq!(dfs.stats.transitions, cb.stats.transitions);
+    }
+
+    /// Data choices multiply: a lone thread with a w-way choice and s
+    /// steps yields exactly w executions.
+    #[test]
+    fn choices_enumerate_branches(w in 1u8..6, s in 0u8..3) {
+        let factory = move || {
+            let mut k = Kernel::new(());
+            k.spawn(Worker::with_choice(s, w));
+            k
+        };
+        let report = Explorer::new(factory, Dfs::new(), Config::fair()).run();
+        prop_assert_eq!(report.outcome, SearchOutcome::Complete);
+        prop_assert_eq!(report.stats.executions, w as u64);
+    }
+
+    /// Two choosing threads: branches multiply with the interleavings of
+    /// the choice transitions themselves.
+    #[test]
+    fn parallel_choices_multiply(w1 in 1u8..4, w2 in 1u8..4) {
+        let factory = move || {
+            let mut k = Kernel::new(());
+            k.spawn(Worker::with_choice(0, w1));
+            k.spawn(Worker::with_choice(0, w2));
+            k
+        };
+        let report = Explorer::new(factory, Dfs::new(), Config::fair()).run();
+        // Each execution is 2 transitions; the scheduler picks which
+        // thread chooses first (2 orders), each choice independent.
+        prop_assert_eq!(
+            report.stats.executions,
+            2 * (w1 as u64) * (w2 as u64)
+        );
+    }
+}

@@ -1,0 +1,183 @@
+//! Tests for the paper's theorems (Section 3), on both hand-built
+//! systems and property-based random drives.
+
+use chess_core::strategy::Dfs;
+use chess_core::{Config, Explorer, FairScheduler, SearchOutcome};
+use chess_kernel::{ThreadId, TidSet};
+use chess_state::{CoverageTracker, StateGraph, StatefulLimits};
+use chess_workloads::spinloop::{figure3, spinloop};
+use proptest::prelude::*;
+
+fn tid(i: usize) -> ThreadId {
+    ThreadId::new(i)
+}
+
+proptest! {
+    /// Theorem 3: at every scheduling point, `T` is empty iff `ES` is
+    /// empty, no matter how the scheduler is driven.
+    #[test]
+    fn theorem3_no_false_deadlocks(
+        seed in any::<u64>(),
+        n in 2usize..6,
+        steps in 1usize..300,
+    ) {
+        let mut rng = seed | 1;
+        let mut next = move || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+        let mut fair = FairScheduler::new(n);
+        let mut es = TidSet::full(n);
+        for _ in 0..steps {
+            let t = fair.schedulable(&es);
+            prop_assert_eq!(t.is_empty(), es.is_empty(), "Theorem 3 violated");
+            prop_assert!(fair.is_acyclic(), "P must stay acyclic");
+            if t.is_empty() {
+                es = TidSet::full(n);
+                continue;
+            }
+            let options: Vec<_> = t.iter().collect();
+            let pick = options[(next() % options.len() as u64) as usize];
+            let mut es_after = TidSet::new();
+            for i in 0..n {
+                if next() % 3 != 0 {
+                    es_after.insert(tid(i));
+                }
+            }
+            let yielded = next() % 3 == 0;
+            fair.on_scheduled(pick, &es, &es_after, yielded);
+            es = es_after;
+        }
+    }
+
+    /// Theorem 1 (finite approximation): drive the fair scheduler with
+    /// an adversary that always prefers thread 0 but yields on every
+    /// k-th step of each thread (the program satisfies GS). Thread `n-1`
+    /// stays enabled throughout; it must be scheduled within a bounded
+    /// window — the adversary cannot starve it.
+    #[test]
+    fn theorem1_starvation_freedom_under_gs(
+        n in 2usize..5,
+        yield_period in 1u64..4,
+    ) {
+        let mut fair = FairScheduler::new(n);
+        let es = TidSet::full(n); // everyone enabled forever
+        let victim = tid(n - 1);
+        let mut steps_since_victim = 0u64;
+        let mut per_thread_steps = vec![0u64; n];
+        // A generous bound: each of the other threads can take at most
+        // O(yield_period) steps per window before its edge to the victim
+        // forces the victim to run.
+        let bound = (n as u64) * (yield_period + 2) * 4;
+        for _ in 0..2000 {
+            let schedulable = fair.schedulable(&es);
+            // Adversary: pick the lowest schedulable thread (prefers 0).
+            let pick = schedulable.first().expect("Theorem 3");
+            per_thread_steps[pick.index()] += 1;
+            // The guest yields every `yield_period` of its own steps.
+            let yielded = per_thread_steps[pick.index()] % yield_period == 0;
+            fair.on_scheduled(pick, &es, &es, yielded);
+            if pick == victim {
+                steps_since_victim = 0;
+            } else {
+                steps_since_victim += 1;
+                prop_assert!(
+                    steps_since_victim <= bound,
+                    "victim starved for {steps_since_victim} > {bound} steps"
+                );
+            }
+        }
+    }
+}
+
+/// Theorem 4: the fair scheduler unrolls an unfair cycle at most twice.
+/// In Figure 3, the spinner's loop (2 transitions + the paper counts
+/// windows) can never be taken more than a handful of times in a row
+/// before the setter is forced in.
+#[test]
+fn theorem4_unfair_cycle_cut_off() {
+    // Unrolling the spin cycle more than twice would make executions
+    // arbitrarily long; the priority edge added at the spinner's second
+    // yield caps every execution at a small depth.
+    let report = Explorer::new(figure3, Dfs::new(), Config::fair()).run();
+    assert_eq!(report.outcome, SearchOutcome::Complete);
+    // Each execution: t's 1 step + u's loop iterations (2 steps each) +
+    // u's exit check. With the cycle cut after ≤2 unrollings per window,
+    // executions stay short.
+    assert!(
+        report.stats.max_depth <= 12,
+        "executions too deep: {} (cycle not pruned?)",
+        report.stats.max_depth
+    );
+}
+
+/// Theorem 5: every state reachable by a yield-free execution is
+/// visited. The no-yield spin variant's entire state space is yield-free
+/// reachable... but it diverges; instead use workloads without yields:
+/// the racy counter. The fair search must cover the *full* state space.
+#[test]
+fn theorem5_yield_free_full_coverage() {
+    use chess_workloads::simple::locked_counter;
+    let factory = || locked_counter(2);
+    let total = StateGraph::build(&factory(), StatefulLimits::default())
+        .unwrap()
+        .state_count();
+    let mut cov = CoverageTracker::new();
+    let config = Config::fair();
+    Explorer::new(factory, Dfs::new(), config).run_observed(&mut cov);
+    assert_eq!(cov.distinct_states(), total);
+}
+
+/// Theorem 5 on a cyclic program: every state of Figure 3 is reachable
+/// by a yield-free execution (the loop body only yields after a failed
+/// check, and every state is reachable without completing an iteration
+/// twice)... more precisely, fair DFS covers the whole (tiny) space.
+#[test]
+fn theorem5_figure3_full_coverage() {
+    let total = StateGraph::build(&figure3(), StatefulLimits::default())
+        .unwrap()
+        .state_count();
+    let mut cov = CoverageTracker::new();
+    Explorer::new(figure3, Dfs::new(), Config::fair()).run_observed(&mut cov);
+    assert_eq!(cov.distinct_states(), total);
+}
+
+/// Theorem 2 (contrapositive flavor): on a program whose every infinite
+/// execution is unfair-and-GS (Figure 3 with several spinners), the fair
+/// search terminates.
+#[test]
+fn theorem2_termination_on_fair_terminating_programs() {
+    let factory = || spinloop(2, true);
+    let report = Explorer::new(factory, Dfs::new(), Config::fair()).run();
+    assert_eq!(report.outcome, SearchOutcome::Complete);
+    assert_eq!(report.stats.nonterminating, 0);
+}
+
+/// Theorem 6 / livelock detection: programs with a reachable fair cycle
+/// of low yield count produce divergence. Ground truth from the Streett
+/// reference must agree with the stateless detector.
+#[test]
+fn theorem6_livelock_agreement_with_ground_truth() {
+    use chess_workloads::philosophers::figure1_polite;
+    use chess_workloads::promise::figure8;
+
+    // Livelocking programs: ground truth says fair cycle, stateless
+    // search diverges.
+    let g = StateGraph::build(&figure1_polite(), StatefulLimits::default()).unwrap();
+    assert!(g.find_fair_scc().is_some());
+    let report = Explorer::new(figure1_polite, Dfs::new(), Config::fair()).run();
+    assert!(matches!(report.outcome, SearchOutcome::Divergence(_)));
+
+    let g = StateGraph::build(&figure8(), StatefulLimits::default()).unwrap();
+    assert!(g.find_fair_scc().is_some());
+    let report = Explorer::new(figure8, Dfs::new(), Config::fair()).run();
+    assert!(matches!(report.outcome, SearchOutcome::Divergence(_)));
+
+    // Livelock-free cyclic program: no fair cycle, search completes.
+    let g = StateGraph::build(&figure3(), StatefulLimits::default()).unwrap();
+    assert!(g.find_fair_scc().is_none());
+    let report = Explorer::new(figure3, Dfs::new(), Config::fair()).run();
+    assert_eq!(report.outcome, SearchOutcome::Complete);
+}
