@@ -36,8 +36,7 @@ fn bench_fair_vs_unfair(c: &mut Criterion) {
             let config = Config::unfair()
                 .with_depth_bound(1_200)
                 .with_max_executions(fair_execs);
-            let report =
-                Explorer::new(factory, ContextBounded::with_horizon(1, 30), config).run();
+            let report = Explorer::new(factory, ContextBounded::with_horizon(1, 30), config).run();
             black_box(report.stats.executions)
         })
     });

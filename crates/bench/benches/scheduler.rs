@@ -35,10 +35,7 @@ fn bench_fair_scheduler(c: &mut Criterion) {
 fn bench_tidset(c: &mut Criterion) {
     let mut group = c.benchmark_group("tidset");
     let a = TidSet::full(128);
-    let b_set: TidSet = (0..128)
-        .step_by(3)
-        .map(ThreadId::new)
-        .collect();
+    let b_set: TidSet = (0..128).step_by(3).map(ThreadId::new).collect();
     group.bench_function("union_128", |b| {
         b.iter(|| black_box(&a).union(black_box(&b_set)))
     });

@@ -3,11 +3,14 @@
 //! showing why Algorithm 1's careful `H = (E ∪ D) \ S` matters for
 //! coverage.
 
-use chess_bench::{ablation, persist, Budget, TextTable};
+use chess_bench::{ablation, persist, Budget, TextTable, ToJson};
 
 fn main() {
     let budget = Budget::from_env();
-    eprintln!("ablation: fair cb=2 coverage, budget {:?}/cell", budget.per_cell);
+    eprintln!(
+        "ablation: fair cb=2 coverage, budget {:?}/cell",
+        budget.per_cell
+    );
     let rows = ablation(budget);
     let mut t = TextTable::new(["Subject", "Variant", "states", "execs", "time s"]);
     for r in &rows {
@@ -21,5 +24,5 @@ fn main() {
     }
     let text = t.render();
     println!("{text}");
-    persist("ablation", &text, &serde_json::to_value(&rows).unwrap());
+    persist("ablation", &text, &rows.to_json());
 }

@@ -2,7 +2,7 @@
 //! depth-bounded stateless search (no fairness) grows exponentially with
 //! the depth bound, on the Figure 1 dining-philosophers program.
 
-use chess_bench::{figure2, log_bars, persist, Budget, TextTable};
+use chess_bench::{figure2, log_bars, persist, Budget, TextTable, ToJson};
 
 fn main() {
     let budget = Budget::from_env();
@@ -14,7 +14,12 @@ fn main() {
     );
     let points = figure2(budget, &dbs);
 
-    let mut t = TextTable::new(["depth bound", "nonterminating execs", "total execs", "time (s)"]);
+    let mut t = TextTable::new([
+        "depth bound",
+        "nonterminating execs",
+        "total execs",
+        "time (s)",
+    ]);
     for p in &points {
         t.row([
             p.db.to_string(),
@@ -32,5 +37,5 @@ fn main() {
     );
     let text = format!("{}\n{}", t.render(), bars);
     println!("{text}");
-    persist("fig2", &text, &serde_json::to_value(&points).unwrap());
+    persist("fig2", &text, &points.to_json());
 }

@@ -3,22 +3,21 @@
 //! per strategy, fair vs. unfair with depth bounds 20–60 (log scale).
 //! Fair search is exponentially faster without sacrificing coverage.
 
-use chess_bench::{log_bars, persist, table2_subject, Budget, Table2Subject};
+use chess_bench::{log_bars, persist, table2_subject, Budget, Table2Subject, ToJson};
 use chess_workloads::philosophers::{philosophers, PhilosophersConfig};
 use chess_workloads::wsq::{wsq, WsqConfig};
 
 fn render(subject: &Table2Subject) -> String {
-    let mut text = format!("\n== {} — time to complete search (seconds) ==\n", subject.name);
+    let mut text = format!(
+        "\n== {} — time to complete search (seconds) ==\n",
+        subject.name
+    );
     for row in &subject.rows {
         text.push_str(&format!("\n[{}]\n", row.strategy));
         let mut pts = vec![("fair".to_string(), row.fair.secs.max(1e-6))];
         for u in &row.unfair {
             pts.push((
-                format!(
-                    "nf db={}{}",
-                    u.db,
-                    if u.cell.completed { "" } else { " *" }
-                ),
+                format!("nf db={}{}", u.db, if u.cell.completed { "" } else { " *" }),
                 u.cell.secs.max(1e-6),
             ));
         }
@@ -51,6 +50,6 @@ fn main() {
     persist(
         "fig5_fig6",
         &text,
-        &serde_json::to_value([&fig5, &fig6]).unwrap(),
+        &chess_bench::Json::array([fig5.to_json(), fig6.to_json()]),
     );
 }

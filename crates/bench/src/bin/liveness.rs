@@ -2,12 +2,18 @@
 //! violation (Figure 7) and the Promise livelock (Figure 8) — found by
 //! the fair search, and the unfair baseline's inability to report either.
 
-use chess_bench::{liveness, persist, Budget, TextTable};
+use chess_bench::{liveness, persist, Budget, TextTable, ToJson};
 
 fn main() {
     let budget = Budget::from_env();
     let rows = liveness(budget);
-    let mut t = TextTable::new(["Program", "Fair search", "execs", "time s", "Unfair baseline"]);
+    let mut t = TextTable::new([
+        "Program",
+        "Fair search",
+        "execs",
+        "time s",
+        "Unfair baseline",
+    ]);
     for r in &rows {
         t.row([
             r.program.clone(),
@@ -19,5 +25,5 @@ fn main() {
     }
     let text = t.render();
     println!("{text}");
-    persist("liveness", &text, &serde_json::to_value(&rows).unwrap());
+    persist("liveness", &text, &rows.to_json());
 }

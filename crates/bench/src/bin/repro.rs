@@ -5,7 +5,16 @@
 use std::process::Command;
 
 fn main() {
-    let exes = ["table1", "fig2", "table2", "fig5_fig6", "table3", "liveness", "ablation"];
+    let exes = [
+        "table1",
+        "fig2",
+        "table2",
+        "fig5_fig6",
+        "table3",
+        "liveness",
+        "ablation",
+        "scaling",
+    ];
     // Re-exec the sibling binaries so each experiment is isolated and
     // this binary stays a thin driver.
     let me = std::env::current_exe().expect("current_exe");

@@ -1,7 +1,7 @@
 //! Table 1: characteristics of the input programs — lines of workload
 //! code, threads per execution, synchronization operations per execution.
 
-use chess_bench::{persist, table1, TextTable};
+use chess_bench::{persist, table1, TextTable, ToJson};
 
 fn main() {
     let rows = table1();
@@ -16,5 +16,5 @@ fn main() {
     }
     let text = t.render();
     println!("{text}");
-    persist("table1", &text, &serde_json::to_value(&rows).unwrap());
+    persist("table1", &text, &rows.to_json());
 }

@@ -5,7 +5,7 @@
 //! with a random tail; `*` marks cells whose search did not finish
 //! within the budget — both exactly as in the paper.
 
-use chess_bench::{persist, table2_all, Budget, TextTable};
+use chess_bench::{persist, table2_all, Budget, TextTable, ToJson};
 
 fn main() {
     let budget = Budget::from_env();
@@ -40,5 +40,5 @@ fn main() {
         text.push_str(&t.render());
     }
     println!("{text}");
-    persist("table2", &text, &serde_json::to_value(&subjects).unwrap());
+    persist("table2", &text, &subjects.to_json());
 }

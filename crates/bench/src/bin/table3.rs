@@ -3,11 +3,14 @@
 //! without fairness. The unfair baseline uses the paper's configuration:
 //! preemption bound 2, backtracking horizon db=250, random tail.
 
-use chess_bench::{persist, table3, Budget, TextTable};
+use chess_bench::{persist, table3, Budget, TextTable, ToJson};
 
 fn main() {
     let budget = Budget::from_env();
-    eprintln!("table 3: 7 bugs x 2 searches, budget {:?}/cell", budget.per_cell);
+    eprintln!(
+        "table 3: 7 bugs x 2 searches, budget {:?}/cell",
+        budget.per_cell
+    );
     let rows = table3(budget);
 
     let mut t = TextTable::new([
@@ -38,5 +41,5 @@ fn main() {
     }
     let text = t.render();
     println!("{text}");
-    persist("table3", &text, &serde_json::to_value(&rows).unwrap());
+    persist("table3", &text, &rows.to_json());
 }

@@ -4,7 +4,7 @@
 use std::time::Duration;
 
 use chess_core::strategy::{ContextBounded, Dfs, Strategy};
-use chess_core::{Config, Explorer, SearchOutcome};
+use chess_core::{Config, Explorer, ParallelExplorer, SearchOutcome};
 use chess_kernel::{Capture, Kernel, ThreadId};
 use chess_state::{preemption_bounded_states, CoverageTracker, StateGraph, StatefulLimits};
 use chess_workloads::channels::{fifo_pipeline, ChannelBug, FifoConfig};
@@ -13,7 +13,8 @@ use chess_workloads::philosophers::{figure1, philosophers, PhilosophersConfig};
 use chess_workloads::promise::{figure8, promises, PromiseConfig};
 use chess_workloads::workerpool::{figure7, worker_pool, PoolConfig};
 use chess_workloads::wsq::{wsq, WsqBug, WsqConfig};
-use serde::Serialize;
+
+use crate::impl_to_json;
 
 /// Wall-clock budget applied to every potentially-unbounded search cell.
 ///
@@ -46,7 +47,7 @@ impl Budget {
 }
 
 /// Result of one search cell.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct CellResult {
     /// Distinct states visited (when coverage was measured; 0 otherwise).
     pub states: usize,
@@ -58,6 +59,13 @@ pub struct CellResult {
     /// Executions explored.
     pub executions: u64,
 }
+
+impl_to_json!(CellResult {
+    states,
+    secs,
+    completed,
+    executions
+});
 
 impl CellResult {
     /// Renders `states` with the paper's timeout marker.
@@ -120,7 +128,11 @@ where
     S: Capture + Clone + 'static,
     F: Fn() -> Kernel<S>,
 {
-    let mut config = if fair { Config::fair() } else { Config::unfair() };
+    let mut config = if fair {
+        Config::fair()
+    } else {
+        Config::unfair()
+    };
     config = config
         .with_detect_cycles(false)
         .with_depth_bound(depth_cap)
@@ -141,7 +153,7 @@ where
 // ---------------------------------------------------------------------
 
 /// One point of Figure 2.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig2Point {
     /// The depth bound.
     pub db: usize,
@@ -155,6 +167,14 @@ pub struct Fig2Point {
     /// Whether the full depth-bounded search was exhausted.
     pub completed: bool,
 }
+
+impl_to_json!(Fig2Point {
+    db,
+    nonterminating,
+    executions,
+    secs,
+    completed
+});
 
 /// Figure 2: running depth-bounded stateless search (no fairness) on the
 /// Figure 1 program, the number of nonterminating executions explodes
@@ -182,7 +202,7 @@ pub fn figure2(budget: Budget, dbs: &[usize]) -> Vec<Fig2Point> {
 // ---------------------------------------------------------------------
 
 /// One row of Table 1: program characteristics.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table1Row {
     /// Program name.
     pub program: String,
@@ -193,6 +213,13 @@ pub struct Table1Row {
     /// Synchronization operations per execution.
     pub sync_ops: u64,
 }
+
+impl_to_json!(Table1Row {
+    program,
+    loc,
+    threads,
+    sync_ops
+});
 
 /// Drives one representative execution to termination under a seeded
 /// random fair schedule and returns the kernel for inspection.
@@ -284,7 +311,7 @@ pub fn table1() -> Vec<Table1Row> {
 // ---------------------------------------------------------------------
 
 /// One unfair (depth-bounded) cell of Table 2.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct UnfairCell {
     /// The backtracking horizon `db`.
     pub db: usize,
@@ -292,8 +319,10 @@ pub struct UnfairCell {
     pub cell: CellResult,
 }
 
+impl_to_json!(UnfairCell { db, cell });
+
 /// One strategy row of Table 2.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table2Row {
     /// Strategy label (`cb=1` … `dfs`).
     pub strategy: String,
@@ -305,8 +334,15 @@ pub struct Table2Row {
     pub unfair: Vec<UnfairCell>,
 }
 
+impl_to_json!(Table2Row {
+    strategy,
+    total,
+    fair,
+    unfair
+});
+
 /// One subject (configuration) of Table 2.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table2Subject {
     /// Subject name, e.g. "Dining Philosophers, 3 philosophers".
     pub name: String,
@@ -314,13 +350,10 @@ pub struct Table2Subject {
     pub rows: Vec<Table2Row>,
 }
 
+impl_to_json!(Table2Subject { name, rows });
+
 /// Runs the full Table 2 grid for one subject program.
-pub fn table2_subject<S, F>(
-    name: &str,
-    factory: F,
-    budget: Budget,
-    dbs: &[usize],
-) -> Table2Subject
+pub fn table2_subject<S, F>(name: &str, factory: F, budget: Budget, dbs: &[usize]) -> Table2Subject
 where
     S: Capture + Clone + 'static,
     F: Fn() -> Kernel<S> + Copy,
@@ -408,7 +441,7 @@ pub fn table2_all(budget: Budget, dbs: &[usize]) -> Vec<Table2Subject> {
 // ---------------------------------------------------------------------
 
 /// Result of one bug hunt.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct FindResult {
     /// Whether the bug was found within the budget.
     pub found: bool,
@@ -418,8 +451,14 @@ pub struct FindResult {
     pub secs: f64,
 }
 
+impl_to_json!(FindResult {
+    found,
+    executions,
+    secs
+});
+
 /// One row of Table 3.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table3Row {
     /// The seeded bug.
     pub bug: String,
@@ -429,6 +468,12 @@ pub struct Table3Row {
     /// random tail, as in the paper.
     pub without_fairness: FindResult,
 }
+
+impl_to_json!(Table3Row {
+    bug,
+    with_fairness,
+    without_fairness
+});
 
 fn hunt<S, F>(factory: F, fair: bool, budget: Budget) -> FindResult
 where
@@ -460,8 +505,14 @@ where
 pub fn table3(budget: Budget) -> Vec<Table3Row> {
     let mut rows = Vec::new();
     for (name, bug) in [
-        ("WSQ bug 1 (unlocked conflict pop)", WsqBug::UnlockedConflictPop),
-        ("WSQ bug 2 (unsynchronized steal)", WsqBug::UnsynchronizedSteal),
+        (
+            "WSQ bug 1 (unlocked conflict pop)",
+            WsqBug::UnlockedConflictPop,
+        ),
+        (
+            "WSQ bug 2 (unsynchronized steal)",
+            WsqBug::UnsynchronizedSteal,
+        ),
         ("WSQ bug 3 (lost tail restore)", WsqBug::LostTailRestore),
     ] {
         rows.push(Table3Row {
@@ -474,11 +525,18 @@ pub fn table3(budget: Budget) -> Vec<Table3Row> {
         ("Channel bug 1 (credit leak)", ChannelBug::CreditLeak),
         ("Channel bug 2 (racy sequence)", ChannelBug::RacySequence),
         ("Channel bug 3 (eager shutdown)", ChannelBug::EagerShutdown),
-        ("Channel bug 4 (draining shutdown)", ChannelBug::DrainingShutdown),
+        (
+            "Channel bug 4 (draining shutdown)",
+            ChannelBug::DrainingShutdown,
+        ),
     ] {
         rows.push(Table3Row {
             bug: name.to_string(),
-            with_fairness: hunt(move || fifo_pipeline(FifoConfig::with_bug(bug)), true, budget),
+            with_fairness: hunt(
+                move || fifo_pipeline(FifoConfig::with_bug(bug)),
+                true,
+                budget,
+            ),
             without_fairness: hunt(
                 move || fifo_pipeline(FifoConfig::with_bug(bug)),
                 false,
@@ -494,7 +552,7 @@ pub fn table3(budget: Budget) -> Vec<Table3Row> {
 // ---------------------------------------------------------------------
 
 /// One liveness experiment.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct LivenessRow {
     /// The subject program.
     pub program: String,
@@ -508,6 +566,14 @@ pub struct LivenessRow {
     /// paper's point: it has no livelock-detection capability at all).
     pub unfair_outcome: String,
 }
+
+impl_to_json!(LivenessRow {
+    program,
+    fair_outcome,
+    fair_executions,
+    fair_secs,
+    unfair_outcome
+});
 
 /// §4.3: the worker-pool good-samaritan violation and the Promise
 /// livelock, fair search vs. the unfair baseline.
@@ -552,7 +618,7 @@ pub fn liveness(budget: Budget) -> Vec<LivenessRow> {
 // ---------------------------------------------------------------------
 
 /// One ablation measurement.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct AblationRow {
     /// The subject program.
     pub subject: String,
@@ -567,6 +633,15 @@ pub struct AblationRow {
     /// Whether the search completed within the budget.
     pub completed: bool,
 }
+
+impl_to_json!(AblationRow {
+    subject,
+    variant,
+    states,
+    executions,
+    secs,
+    completed
+});
 
 /// Ablation study: the paper's window-set penalty rule vs. naive
 /// all-enabled penalization, and the `k`-yield parameterization — fair
@@ -603,8 +678,8 @@ pub fn ablation(budget: Budget) -> Vec<AblationRow> {
                     .with_detect_cycles(false)
                     .with_time_budget(budget.per_cell);
                 let mut cov = CoverageTracker::new();
-                let report = Explorer::new(factory, ContextBounded::new(2), config)
-                    .run_observed(&mut cov);
+                let report =
+                    Explorer::new(factory, ContextBounded::new(2), config).run_observed(&mut cov);
                 AblationRow {
                     subject: name.to_string(),
                     variant,
@@ -643,7 +718,90 @@ pub fn ablation(budget: Budget) -> Vec<AblationRow> {
         || philosophers(PhilosophersConfig::table2(3)),
         budget,
     );
-    rows.extend(subject("wsq(1 stealer)", || wsq(WsqConfig::table2(1)), budget));
+    rows.extend(subject(
+        "wsq(1 stealer)",
+        || wsq(WsqConfig::table2(1)),
+        budget,
+    ));
+    rows
+}
+
+// ---------------------------------------------------------------------
+// Parallel scaling (DESIGN.md, parallel search)
+// ---------------------------------------------------------------------
+
+/// One parallel-scaling measurement: a fixed execution budget split
+/// across `jobs` seed-sharded random-walk workers.
+#[derive(Debug, Clone)]
+pub struct ScalingRow {
+    /// The subject program.
+    pub workload: String,
+    /// Worker count.
+    pub jobs: usize,
+    /// Executions explored (the fixed budget; sanity check).
+    pub executions: u64,
+    /// Wall-clock seconds.
+    pub secs: f64,
+    /// Wall-clock speedup relative to the 1-worker run.
+    pub speedup: f64,
+}
+
+impl_to_json!(ScalingRow {
+    workload,
+    jobs,
+    executions,
+    secs,
+    speedup
+});
+
+/// Parallel scaling of the random-walk search: the same execution budget
+/// run with 1, 2, and 4 workers on bug-free subjects (no early stop, so
+/// the wall-clock measures pure search throughput). Not a paper artifact
+/// — the engine extension is documented in DESIGN.md.
+pub fn scaling(executions_per_cell: u64, jobs_axis: &[usize]) -> Vec<ScalingRow> {
+    fn subject<S, F>(
+        name: &str,
+        factory: F,
+        executions: u64,
+        jobs_axis: &[usize],
+    ) -> Vec<ScalingRow>
+    where
+        S: Capture + Clone + 'static,
+        F: Fn() -> Kernel<S> + Copy + Sync,
+    {
+        let config = Config::fair().with_max_executions(executions);
+        let mut rows: Vec<ScalingRow> = jobs_axis
+            .iter()
+            .map(|&jobs| {
+                let report = ParallelExplorer::new(factory, config.clone(), jobs).run_random(42);
+                ScalingRow {
+                    workload: name.to_string(),
+                    jobs,
+                    executions: report.stats.executions,
+                    secs: report.stats.wall.as_secs_f64(),
+                    speedup: 1.0,
+                }
+            })
+            .collect();
+        let base = rows[0].secs;
+        for r in &mut rows {
+            r.speedup = if r.secs > 0.0 { base / r.secs } else { 0.0 };
+        }
+        rows
+    }
+
+    let mut rows = subject(
+        "philosophers(3)",
+        || philosophers(PhilosophersConfig::table2(3)),
+        executions_per_cell,
+        jobs_axis,
+    );
+    rows.extend(subject(
+        "wsq(2 stealers)",
+        || wsq(WsqConfig::table2(2)),
+        executions_per_cell,
+        jobs_axis,
+    ));
     rows
 }
 

@@ -25,7 +25,9 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod json;
 pub mod output;
 
 pub use experiments::*;
+pub use json::{Json, ToJson};
 pub use output::*;

@@ -91,16 +91,13 @@ pub fn results_dir() -> PathBuf {
 }
 
 /// Writes both a text rendering and a JSON value for an experiment.
-pub fn persist(name: &str, text: &str, json: &serde_json::Value) {
+pub fn persist(name: &str, text: &str, json: &crate::json::Json) {
     let dir = results_dir();
     if fs::create_dir_all(&dir).is_err() {
         return;
     }
     let _ = fs::write(dir.join(format!("{name}.txt")), text);
-    let _ = fs::write(
-        dir.join(format!("{name}.json")),
-        serde_json::to_string_pretty(json).unwrap_or_default(),
-    );
+    let _ = fs::write(dir.join(format!("{name}.json")), json.to_string_pretty());
 }
 
 #[cfg(test)]
@@ -126,10 +123,7 @@ mod tests {
 
     #[test]
     fn bars_scale_logarithmically() {
-        let pts = vec![
-            ("ten".to_string(), 10.0),
-            ("thousand".to_string(), 1000.0),
-        ];
+        let pts = vec![("ten".to_string(), 10.0), ("thousand".to_string(), 1000.0)];
         let s = log_bars(&pts, "execs");
         let ten_bar = s.lines().next().unwrap().matches('#').count();
         let k_bar = s.lines().nth(1).unwrap().matches('#').count();

@@ -35,6 +35,11 @@ OPTIONS:
     --time-budget <SECS>  Wall-clock budget [default: 60 when no
                           execution budget is given either].
     --k <N>               Fairness k parameter (process every k-th yield).
+    --jobs <N>            Parallel search workers [default: 1]. Shards the
+                          strategy: random seeds per worker, DFS subtrees,
+                          or context bounds (cb:<B> runs bounds 0..=B).
+                          First error wins; its schedule is verified to
+                          replay deterministically. `check` only.
     --no-trace            Do not print the counterexample trace.
 ";
 
@@ -61,6 +66,7 @@ pub struct RunOpts {
     pub max_executions: Option<u64>,
     pub time_budget: Option<Duration>,
     pub k: u64,
+    pub jobs: usize,
     pub trace: bool,
 }
 
@@ -76,6 +82,7 @@ impl Default for RunOpts {
             max_executions: None,
             time_budget: None,
             k: 1,
+            jobs: 1,
             trace: true,
         }
     }
@@ -176,6 +183,12 @@ fn parse_run_opts(args: &[String]) -> Result<RunOpts, ParseError> {
                 opts.time_budget = Some(Duration::from_secs_f64(secs));
             }
             "--k" => opts.k = parse_num("--k", &next_value("--k", &mut it)?)? as u64,
+            "--jobs" => {
+                opts.jobs = parse_num("--jobs", &next_value("--jobs", &mut it)?)?;
+                if opts.jobs == 0 {
+                    return err("--jobs needs at least 1 worker");
+                }
+            }
             "--no-trace" => opts.trace = false,
             other => return err(format!("unknown option '{other}'")),
         }
@@ -261,11 +274,18 @@ mod tests {
     }
 
     #[test]
+    fn parses_jobs() {
+        let cmd = parse(&s(&["check", "wsq", "--jobs", "4"])).unwrap();
+        let Command::Check(o) = cmd else { panic!() };
+        assert_eq!(o.jobs, 4);
+        assert!(parse(&s(&["check", "wsq", "--jobs", "0"])).is_err());
+        assert!(parse(&s(&["check", "wsq", "--jobs"])).is_err());
+    }
+
+    #[test]
     fn random_strategy_seed() {
         let cmd = parse(&s(&["check", "miniboot", "--strategy", "random:42"])).unwrap();
-        let Command::Check(o) = cmd else {
-            panic!()
-        };
+        let Command::Check(o) = cmd else { panic!() };
         assert_eq!(o.strategy, StrategyOpt::Random(42));
     }
 }

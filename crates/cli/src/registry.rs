@@ -20,14 +20,20 @@ pub const WORKLOADS: &[WorkloadInfo] = &[
     WorkloadInfo {
         name: "spinloop",
         about: "Figure 3: a thread spinning (with yields) on a flag",
-        bugs: &[("no-yield", "spin loop without yields: good-samaritan violation")],
+        bugs: &[(
+            "no-yield",
+            "spin loop without yields: good-samaritan violation",
+        )],
     },
     WorkloadInfo {
         name: "philosophers",
         about: "dining philosophers, fair-terminating ordered-trylock variant (3 seats)",
         bugs: &[
             ("figure1", "Figure 1's ring try-lock protocol: livelock"),
-            ("figure1-polite", "Figure 1 plus polite retry yields: pure livelock"),
+            (
+                "figure1-polite",
+                "Figure 1 plus polite retry yields: pure livelock",
+            ),
         ],
     },
     WorkloadInfo {
@@ -36,27 +42,45 @@ pub const WORKLOADS: &[WorkloadInfo] = &[
         bugs: &[
             ("unlocked-pop", "owner's conflict pop path skips the lock"),
             ("unsync-steal", "steal path without the lock: double take"),
-            ("lost-tail", "conflict path forgets to restore the tail: lost item"),
+            (
+                "lost-tail",
+                "conflict path forgets to restore the tail: lost item",
+            ),
         ],
     },
     WorkloadInfo {
         name: "promise",
         about: "promise library with spin-wait consumers",
-        bugs: &[("stale-spin", "Figure 8: spin on a stale local copy — livelock")],
+        bugs: &[(
+            "stale-spin",
+            "Figure 8: spin on a stale local copy — livelock",
+        )],
     },
     WorkloadInfo {
         name: "workerpool",
         about: "worker-group task pool with two-level stop flags",
-        bugs: &[("figure7", "Idle returns without yielding during shutdown: GS violation")],
+        bugs: &[(
+            "figure7",
+            "Idle returns without yielding during shutdown: GS violation",
+        )],
     },
     WorkloadInfo {
         name: "channels",
         about: "Dryad-like credit-based channel pipeline with a polling sink",
         bugs: &[
             ("credit-leak", "fast path skips a credit return: livelock"),
-            ("racy-seq", "fan-in workers allocate log slots without the lock"),
-            ("eager-shutdown", "relay closes on the done flag without draining"),
-            ("draining-shutdown", "the incorrect fix: drains but misses in-flight messages"),
+            (
+                "racy-seq",
+                "fan-in workers allocate log slots without the lock",
+            ),
+            (
+                "eager-shutdown",
+                "relay closes on the done flag without draining",
+            ),
+            (
+                "draining-shutdown",
+                "the incorrect fix: drains but misses in-flight messages",
+            ),
         ],
     },
     WorkloadInfo {
@@ -75,12 +99,18 @@ pub const WORKLOADS: &[WorkloadInfo] = &[
     WorkloadInfo {
         name: "rwcache",
         about: "rwlock-guarded read-mostly cache",
-        bugs: &[("upgrade-race", "refresh value precomputed under the read lock")],
+        bugs: &[(
+            "upgrade-race",
+            "refresh value precomputed under the read lock",
+        )],
     },
     WorkloadInfo {
         name: "bsp",
         about: "barrier-synchronized bulk-parallel computation",
-        bugs: &[("elided-barrier", "reduction consumed before the post-reduce barrier")],
+        bugs: &[(
+            "elided-barrier",
+            "reduction consumed before the post-reduce barrier",
+        )],
     },
     WorkloadInfo {
         name: "miniboot",

@@ -3,7 +3,7 @@
 use std::process::ExitCode;
 
 use chess_core::strategy::{ContextBounded, Dfs, RandomWalk, Strategy};
-use chess_core::{Config, Explorer, SearchOutcome};
+use chess_core::{Config, Explorer, ParallelExplorer, SearchOutcome, SearchReport};
 use chess_kernel::{Capture, Kernel};
 use chess_state::{CoverageTracker, StateGraph, StatefulError, StatefulLimits};
 use chess_workloads::boundedbuffer::{bounded_buffer, BufferBug, BufferConfig};
@@ -153,9 +153,19 @@ fn build_config(o: &RunOpts) -> Config {
 fn do_check<S, F>(factory: F, o: &RunOpts) -> ExitCode
 where
     S: Capture + Clone + 'static,
-    F: Fn() -> Kernel<S> + Copy,
+    F: Fn() -> Kernel<S> + Copy + Sync,
 {
-    let report = Explorer::new(factory, build_strategy(o), build_config(o)).run();
+    let report = if o.jobs > 1 {
+        match check_parallel(factory, o) {
+            Ok(report) => report,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        Explorer::new(factory, build_strategy(o), build_config(o)).run()
+    };
     println!("{report}");
     match &report.outcome {
         SearchOutcome::SafetyViolation(cex) | SearchOutcome::Deadlock(cex) => {
@@ -183,14 +193,51 @@ where
     }
 }
 
+/// Parallel `check`: shards the configured strategy across `--jobs`
+/// workers. `dfs` partitions the root decision frontier, `random:<seed>`
+/// shards seeds, and `cb:<B>` runs iterative context bounding with the
+/// bounds `0..=B` dealt across the workers.
+fn check_parallel<S, F>(factory: F, o: &RunOpts) -> Result<SearchReport, String>
+where
+    S: Capture + Clone + 'static,
+    F: Fn() -> Kernel<S> + Copy + Sync,
+{
+    if o.db.is_some() {
+        return Err(
+            "--db is not supported with --jobs > 1 (the horizon's random tail \
+             is sequential-only)"
+                .into(),
+        );
+    }
+    let parallel = ParallelExplorer::new(factory, build_config(o), o.jobs);
+    match o.strategy {
+        StrategyOpt::Dfs => Ok(parallel.run_dfs()),
+        StrategyOpt::Random(seed) => Ok(parallel.run_random(seed)),
+        StrategyOpt::Cb(max_bound) => {
+            let reports = parallel.run_iterative_cb(max_bound);
+            for (bound, report) in &reports {
+                println!("cb={bound}: {report}");
+            }
+            reports
+                .iter()
+                .find(|(_, r)| r.outcome.found_error())
+                .or_else(|| reports.last())
+                .map(|(_, r)| r.clone())
+                .ok_or_else(|| "no context bound ran".to_string())
+        }
+    }
+}
+
 fn do_cover<S, F>(factory: F, o: &RunOpts) -> ExitCode
 where
     S: Capture + Clone + 'static,
     F: Fn() -> Kernel<S> + Copy,
 {
+    if o.jobs > 1 {
+        eprintln!("note: --jobs applies to `check` only; covering sequentially");
+    }
     let mut cov = CoverageTracker::new();
-    let report =
-        Explorer::new(factory, build_strategy(o), build_config(o)).run_observed(&mut cov);
+    let report = Explorer::new(factory, build_strategy(o), build_config(o)).run_observed(&mut cov);
     println!("{report}");
     let limits = StatefulLimits {
         max_states: 2_000_000,

@@ -4,6 +4,8 @@
 //! ever stored across executions.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use chess_kernel::TidSet;
@@ -150,8 +152,9 @@ enum ExecEnd {
     Done,
     /// An error outcome to report.
     Error(SearchOutcome),
-    /// The wall-clock budget expired mid-execution.
-    TimeUp,
+    /// The search was interrupted mid-execution: the wall-clock budget
+    /// expired or the stop flag was raised.
+    Interrupted(BudgetKind),
 }
 
 /// The stateless model checker: a factory producing fresh program
@@ -190,6 +193,7 @@ pub struct Explorer<P, F, St> {
     factory: F,
     strategy: St,
     config: Config,
+    stop: Option<Arc<AtomicBool>>,
     _marker: std::marker::PhantomData<fn() -> P>,
 }
 
@@ -205,8 +209,25 @@ where
             factory,
             strategy,
             config,
+            stop: None,
             _marker: std::marker::PhantomData,
         }
+    }
+
+    /// Attaches a shared cancellation flag. The explorer polls it between
+    /// executions and every 4096 transitions within one (alongside the
+    /// deadline poll); once it reads `true` the search stops with
+    /// [`BudgetKind::Cancelled`]. A parallel search uses this for
+    /// first-error-wins cancellation across workers.
+    pub fn with_stop_flag(mut self, stop: Arc<AtomicBool>) -> Self {
+        self.stop = Some(stop);
+        self
+    }
+
+    fn stop_requested(&self) -> bool {
+        self.stop
+            .as_ref()
+            .is_some_and(|s| s.load(Ordering::Relaxed))
     }
 
     /// Runs the search with no observer.
@@ -228,6 +249,9 @@ where
             if deadline.is_some_and(|d| Instant::now() >= d) {
                 break SearchOutcome::BudgetExhausted(BudgetKind::Time);
             }
+            if self.stop_requested() {
+                break SearchOutcome::BudgetExhausted(BudgetKind::Cancelled);
+            }
             stats.executions += 1;
             let end = self.one_execution(obs, &mut stats, deadline);
             match end {
@@ -247,7 +271,7 @@ where
                         break SearchOutcome::Complete;
                     }
                 }
-                ExecEnd::TimeUp => break SearchOutcome::BudgetExhausted(BudgetKind::Time),
+                ExecEnd::Interrupted(kind) => break SearchOutcome::BudgetExhausted(kind),
             }
         };
         stats.wall = start.elapsed();
@@ -262,9 +286,10 @@ where
     ) -> ExecEnd {
         let execution = stats.executions;
         let mut sys = (self.factory)();
-        let mut fair = self.config.fairness.map(|fc| {
-            FairScheduler::with_k(sys.thread_count(), fc.k).with_scope(fc.scope)
-        });
+        let mut fair = self
+            .config
+            .fairness
+            .map(|fc| FairScheduler::with_k(sys.thread_count(), fc.k).with_scope(fc.scope));
         let mut schedule: Vec<Decision> = Vec::new();
         // Steps each thread has taken since its last yield, for the
         // good-samaritan heuristic.
@@ -318,10 +343,13 @@ where
             }
 
             if depth >= self.config.depth_bound {
-                stats.nonterminating += 1;
                 if self.config.fairness.is_some() {
                     // Under fairness, a bound hit is a divergence warning:
                     // classify it heuristically (Section 2's outcomes 2/3).
+                    // It counts toward `divergences`, not `nonterminating`
+                    // — that counter is the unfair baseline's wasted-cut
+                    // metric (Figure 2), and counting the same hit in both
+                    // would double-book one event.
                     let kind = steps_since_yield
                         .iter()
                         .enumerate()
@@ -339,11 +367,17 @@ where
                         execution,
                     }));
                 }
+                stats.nonterminating += 1;
                 break ExecEnd::Done;
             }
 
-            if depth % 4096 == 4095 && deadline.is_some_and(|d| Instant::now() >= d) {
-                break ExecEnd::TimeUp;
+            if depth % 4096 == 4095 {
+                if deadline.is_some_and(|d| Instant::now() >= d) {
+                    break ExecEnd::Interrupted(BudgetKind::Time);
+                }
+                if self.stop_requested() {
+                    break ExecEnd::Interrupted(BudgetKind::Cancelled);
+                }
             }
 
             let es = sys.enabled_set();
@@ -396,7 +430,12 @@ where
             prev = Some(d.thread);
             obs.on_state(&sys, depth);
 
-            if self.config.detect_cycles {
+            if self.config.detect_cycles && sys.status().is_running() {
+                // Only running states can extend a cycle. A violating
+                // transition may leave the captured state unchanged (the
+                // violation aborts the step before the guest observes it),
+                // and treating that repeat as a cycle would misreport the
+                // safety violation as a divergence.
                 es_history.push(es);
                 let fp = self.combined_fingerprint(&sys, fair.as_ref());
                 if let Some(&start_idx) = seen.get(&fp) {
@@ -552,6 +591,31 @@ mod tests {
         // Each execution reports initial + 3 = 4 occurrences.
         assert_eq!(obs.states_seen, 4 * report.stats.executions);
         assert_eq!(obs.executions, report.stats.executions);
+    }
+
+    /// A depth-bound hit is booked once: as a `divergences` warning under
+    /// fairness, never also as an unfair-baseline `nonterminating` cut.
+    #[test]
+    fn fair_bound_hit_is_divergence_not_nonterminating() {
+        let config = Config::fair().with_depth_bound(2).with_stop_on_error(false);
+        let mut ex = Explorer::new(two_step_scripts, Dfs::new(), config);
+        let report = ex.run();
+        assert!(report.stats.divergences > 0, "{:?}", report.stats);
+        assert_eq!(report.stats.nonterminating, 0);
+        assert_eq!(
+            report.stats.divergences, report.stats.executions,
+            "every execution of the 3-step script hits the bound at depth 2"
+        );
+    }
+
+    /// The same bound hit without fairness is a counted cut, not an error.
+    #[test]
+    fn unfair_bound_hit_is_nonterminating_not_divergence() {
+        let config = Config::unfair().with_depth_bound(2);
+        let mut ex = Explorer::new(two_step_scripts, Dfs::new(), config);
+        let report = ex.run();
+        assert_eq!(report.stats.divergences, 0);
+        assert_eq!(report.stats.nonterminating, report.stats.executions);
     }
 
     #[test]

@@ -138,9 +138,13 @@ impl FairScheduler {
             let v = ThreadId::new(self.p.len());
             // A window already in progress cannot have starved a thread
             // that did not exist when it opened: pretend v was scheduled.
+            // Only S(u) is touched — membership there already excludes v
+            // from H = (E ∪ D) \ S, and D(u) must keep its meaning of
+            // "threads disabled by u's transitions" so that behaviorally
+            // identical scheduler states keep identical fingerprints
+            // (the cycle detector compares `state_fingerprint()`s).
             for u in 0..self.p.len() {
                 self.s[u].insert(v);
-                self.d[u].insert(v);
             }
             self.push_thread(self.p.len() + 1);
         }
@@ -450,13 +454,13 @@ mod tests {
         let mut fair = FairScheduler::new(1);
         let es1 = set(&[0]);
         fair.on_scheduled(t(0), &es1, &es1, true); // open 0's window
-        // Thread 1 spawns mid-window and is immediately enabled.
+                                                   // Thread 1 spawns mid-window and is immediately enabled.
         fair.grow(2);
         let es2 = set(&[0, 1]);
         fair.on_scheduled(t(0), &es2, &es2, false);
         fair.on_scheduled(t(0), &es2, &es2, true);
-        // 1 was inserted into S(0)/D(0) at spawn, so no edge (0,1) —
-        // and E(0) never contained it.
+        // 1 was inserted into S(0) at spawn, so no edge (0,1) — and
+        // E(0) never contained it.
         assert!(fair.priority_edges()[0].is_empty());
         // But in the *new* window (E(0) = es2 ∋ 1), starving 1 is blamed.
         fair.on_scheduled(t(0), &es2, &es2, false);
@@ -514,5 +518,60 @@ mod tests {
     #[should_panic(expected = "k must be positive")]
     fn zero_k_rejected() {
         let _ = FairScheduler::with_k(1, 0);
+    }
+
+    /// `grow()` must not touch `D(u)` — only `S(u)` shields the spawned
+    /// thread from blame. The spawn itself is not a transition of `u`, so
+    /// it cannot have disabled anything.
+    #[test]
+    fn grow_leaves_window_disabled_untouched() {
+        let mut fair = FairScheduler::new(2);
+        let es = set(&[0, 1]);
+        fair.on_scheduled(t(0), &es, &es, true); // open 0's window: D(0) = ∅
+        assert!(fair.window_disabled(t(0)).is_empty());
+        fair.grow(3);
+        assert!(
+            fair.window_disabled(t(0)).is_empty(),
+            "grow() polluted D(0): {:?}",
+            fair.window_disabled(t(0))
+        );
+        assert!(fair.window_scheduled(t(0)).contains(t(2)));
+    }
+
+    /// Regression for the `grow()` D-pollution bug: a scheduler that
+    /// grew mid-window must fingerprint identically to one that never
+    /// grew but is in the behaviorally identical `(P, E, D, S)` state.
+    ///
+    /// Construction: in `a`, thread 1 exists from the start but is
+    /// disabled during 0's yield (so `E(0) = {0}`), then runs one step
+    /// (so `1 ∈ S(0)`). In `b`, thread 1 is spawned mid-window, which
+    /// inserts it into `S(0)` — the same shield. Every window set is
+    /// then equal, so the fingerprints must match; with the old
+    /// `d[u].insert(v)` they differed (`D(0) = {1}` in `b` only), which
+    /// made the explorer's cycle detector miss repeats.
+    #[test]
+    fn grow_mid_window_matches_never_grown_fingerprint() {
+        // a: both threads exist from the start; 1 disabled at 0's yield.
+        let mut a = FairScheduler::new(2);
+        let es0 = set(&[0]);
+        let es01 = set(&[0, 1]);
+        a.on_scheduled(t(0), &es0, &es0, true); // open window: E(0) = {0}
+        a.on_scheduled(t(0), &es0, &es01, false); // 0's step enables 1
+        a.on_scheduled(t(1), &es01, &es01, false); // 1 runs: 1 ∈ S(u) ∀u
+
+        // b: thread 1 spawns mid-window instead of running.
+        let mut b = FairScheduler::new(1);
+        b.on_scheduled(t(0), &es0, &es0, true); // open window: E(0) = {0}
+        b.on_scheduled(t(0), &es0, &es0, false); // 0 steps: 0 ∈ S(0)
+        b.grow(2); // spawn: 1 ∈ S(0), D(0) untouched
+
+        assert_eq!(a.window_enabled(t(0)), b.window_enabled(t(0)));
+        assert_eq!(a.window_disabled(t(0)), b.window_disabled(t(0)));
+        assert_eq!(a.window_scheduled(t(0)), b.window_scheduled(t(0)));
+        assert_eq!(
+            a.state_fingerprint(),
+            b.state_fingerprint(),
+            "behaviorally identical scheduler states must hash identically"
+        );
     }
 }

@@ -34,6 +34,10 @@
 //!   detects safety violations, deadlocks, and divergences, classifying
 //!   the latter into livelocks (fair cycles) and good-samaritan
 //!   violations.
+//! * [`ParallelExplorer`] — `N` sequential explorers over disjoint
+//!   strategy shards (random seeds, DFS subtrees, preemption bounds) with
+//!   first-error-wins cancellation; the winning schedule is verified to
+//!   replay deterministically before it is reported.
 //!
 //! ## Checking a program
 //!
@@ -77,6 +81,7 @@
 mod explore;
 mod fair;
 mod observer;
+mod parallel;
 mod report;
 pub mod strategy;
 mod system;
@@ -85,6 +90,7 @@ mod trace;
 pub use explore::{iterative_context_bounding, Config, Explorer, FairnessConfig};
 pub use fair::{FairScheduler, PenaltyScope};
 pub use observer::{CountingObserver, NullObserver, Observer};
+pub use parallel::ParallelExplorer;
 pub use report::{
     BudgetKind, Divergence, DivergenceKind, SearchOutcome, SearchReport, SearchStats,
 };

@@ -1,0 +1,545 @@
+//! Parallel search: `N` workers exploring disjoint shards of the
+//! schedule space, with first-error-wins cancellation.
+//!
+//! Stateless model checking parallelizes along the *strategy* axis: the
+//! program, kernel, and fair scheduler stay single-threaded per worker
+//! (each worker builds fresh instances from the shared factory), and the
+//! workers never exchange states — only a stop flag and, at join time,
+//! their statistics. Three sharding schemes are provided, one per
+//! sequential strategy family:
+//!
+//! * **Seed-sharded random walk** ([`ParallelExplorer::run_random`]):
+//!   worker `i` runs [`RandomWalk`] with `seed + i`; an execution budget
+//!   is split across workers so the total matches the sequential search.
+//! * **Prefix-partitioned DFS** ([`ParallelExplorer::run_dfs`]): the
+//!   root-level decision frontier is dealt round-robin to the workers and
+//!   each enumerates its subtrees with the stock [`Dfs`] stack machine —
+//!   together they visit exactly the executions sequential DFS visits,
+//!   each exactly once.
+//! * **Per-bound partitioning** ([`ParallelExplorer::run_iterative_cb`]):
+//!   preemption bounds `0..=max` of iterative context bounding are dealt
+//!   round-robin to the workers.
+//!
+//! Cancellation is cooperative: every worker's sequential [`Explorer`]
+//! polls a shared [`AtomicBool`] between executions and every 4096
+//! transitions within one. The first worker whose search returns an error
+//! claims the win (an atomic compare-exchange makes the claim
+//! unambiguous) and raises the flag; the rest drain with
+//! [`BudgetKind::Cancelled`]. Before the winning error is reported it is
+//! replayed through the *sequential* explorer with a [`FixedSchedule`] —
+//! deterministic reproduction is part of the engine's contract, so a
+//! replay mismatch panics rather than reporting an irreproducible bug.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Instant;
+
+use crate::explore::{Config, Explorer};
+use crate::report::{BudgetKind, SearchOutcome, SearchReport, SearchStats};
+use crate::strategy::{ContextBounded, Dfs, FixedSchedule, RandomWalk, SchedulePoint, Strategy};
+use crate::system::TransitionSystem;
+use crate::trace::Decision;
+
+/// DFS over the subtrees rooted at an assigned share of the root-level
+/// decision frontier: the current root decision is forced at depth 0 and
+/// the stock [`Dfs`] stack machine (depth-shifted by one) enumerates
+/// everything below it.
+struct PartitionedDfs {
+    roots: Vec<Decision>,
+    current: usize,
+    inner: Dfs,
+}
+
+impl PartitionedDfs {
+    fn new(roots: Vec<Decision>) -> Self {
+        debug_assert!(!roots.is_empty());
+        PartitionedDfs {
+            roots,
+            current: 0,
+            inner: Dfs::new(),
+        }
+    }
+}
+
+impl Strategy for PartitionedDfs {
+    fn pick(&mut self, point: &SchedulePoint<'_>) -> Option<Decision> {
+        if point.depth == 0 {
+            let root = self.roots[self.current];
+            debug_assert!(
+                point.options.contains(&root),
+                "root frontier changed across executions"
+            );
+            Some(root)
+        } else {
+            let shifted = SchedulePoint {
+                depth: point.depth - 1,
+                ..*point
+            };
+            self.inner.pick(&shifted)
+        }
+    }
+
+    fn on_execution_end(&mut self) -> bool {
+        if self.inner.on_execution_end() {
+            return true;
+        }
+        // Subtree exhausted: move to the next assigned root.
+        self.inner = Dfs::new();
+        self.current += 1;
+        self.current < self.roots.len()
+    }
+
+    fn name(&self) -> String {
+        format!("dfs-shard({} roots)", self.roots.len())
+    }
+}
+
+/// A parallel stateless search: a shared program factory, a search
+/// [`Config`], and a worker count.
+///
+/// Every worker owns a private sequential [`Explorer`] over fresh program
+/// instances; the shards never overlap, so parallel DFS preserves the
+/// sequential search's exactly-once coverage while random walk divides a
+/// fixed execution budget. With `jobs = 1` each scheme degenerates to the
+/// sequential search (same seed, same order, same statistics).
+///
+/// # Examples
+///
+/// ```
+/// use chess_core::{Config, ParallelExplorer};
+/// use chess_core::strategy::Dfs;
+/// use chess_core::Explorer;
+/// use chess_kernel::{Effects, GuestThread, Kernel, OpDesc, OpResult};
+///
+/// #[derive(Clone)]
+/// struct Step(bool);
+/// impl GuestThread<()> for Step {
+///     fn next_op(&self, _: &()) -> OpDesc {
+///         if self.0 { OpDesc::Finished } else { OpDesc::Local }
+///     }
+///     fn on_op(&mut self, _: OpResult, _: &mut (), _: &mut Effects<()>) {
+///         self.0 = true;
+///     }
+///     fn box_clone(&self) -> Box<dyn GuestThread<()>> { Box::new(self.clone()) }
+/// }
+///
+/// let factory = || {
+///     let mut k = Kernel::new(());
+///     k.spawn(Step(false));
+///     k.spawn(Step(false));
+///     k
+/// };
+/// let parallel = ParallelExplorer::new(factory, Config::fair(), 2).run_dfs();
+/// let sequential = Explorer::new(factory, Dfs::new(), Config::fair()).run();
+/// assert_eq!(parallel.outcome, sequential.outcome);
+/// assert_eq!(parallel.stats.executions, sequential.stats.executions);
+/// ```
+pub struct ParallelExplorer<P, F> {
+    factory: F,
+    config: Config,
+    jobs: usize,
+    _marker: std::marker::PhantomData<fn() -> P>,
+}
+
+impl<P, F> ParallelExplorer<P, F>
+where
+    P: TransitionSystem,
+    F: Fn() -> P + Sync,
+{
+    /// Creates a parallel explorer with `jobs` workers (clamped to ≥ 1).
+    pub fn new(factory: F, config: Config, jobs: usize) -> Self {
+        ParallelExplorer {
+            factory,
+            config,
+            jobs: jobs.max(1),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// The worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Seed-sharded random walk: worker `i` searches with
+    /// `RandomWalk::new(seed + i)`. An execution budget in the config is
+    /// the *total* across workers and is split as evenly as possible; the
+    /// time budget (if any) applies to every worker alike.
+    pub fn run_random(&self, seed: u64) -> SearchReport {
+        let start = Instant::now();
+        let shares = split_budget(self.config.max_executions, self.jobs);
+        let workers: Vec<_> = shares
+            .into_iter()
+            .enumerate()
+            .map(|(i, share)| {
+                let mut config = self.config.clone();
+                config.max_executions = share;
+                (RandomWalk::new(seed.wrapping_add(i as u64)), config)
+            })
+            .collect();
+        self.run_workers(start, workers)
+    }
+
+    /// Prefix-partitioned depth-first search: the depth-0 decision
+    /// frontier is dealt round-robin to the workers, and each enumerates
+    /// its subtrees exhaustively. The union of the shards is exactly the
+    /// sequential [`Dfs`] search — same executions, visited once each.
+    /// An execution budget is split across workers like
+    /// [`ParallelExplorer::run_random`].
+    pub fn run_dfs(&self) -> SearchReport {
+        let start = Instant::now();
+        let roots = self.root_frontier();
+        if self.jobs == 1 || roots.len() <= 1 {
+            // Nothing to partition: identical to the sequential search.
+            return Explorer::new(|| (self.factory)(), Dfs::new(), self.config.clone()).run();
+        }
+        let jobs = self.jobs.min(roots.len());
+        let shares = split_budget(self.config.max_executions, jobs);
+        let workers: Vec<_> = (0..jobs)
+            .map(|i| {
+                let mine: Vec<Decision> = roots.iter().copied().skip(i).step_by(jobs).collect();
+                let mut config = self.config.clone();
+                config.max_executions = shares[i];
+                (PartitionedDfs::new(mine), config)
+            })
+            .collect();
+        self.run_workers(start, workers)
+    }
+
+    /// Per-bound-partitioned iterative context bounding: preemption
+    /// bounds `0..=max_bound` are dealt round-robin to the workers, each
+    /// running the full sequential search for its bounds in ascending
+    /// order. Returns the per-bound reports, sorted by bound.
+    ///
+    /// With `stop_on_error` set, the first error raises the stop flag:
+    /// workers abandon their remaining bounds, so — unlike the sequential
+    /// [`crate::iterative_context_bounding`] — reports for a few bounds
+    /// *above* the erroring one may appear (they ran concurrently), and
+    /// in-flight searches surface as [`BudgetKind::Cancelled`].
+    pub fn run_iterative_cb(&self, max_bound: u32) -> Vec<(u32, SearchReport)> {
+        let stop = Arc::new(AtomicBool::new(false));
+        let jobs = self.jobs.min(max_bound as usize + 1);
+        let mut reports: Vec<(u32, SearchReport)> = thread::scope(|s| {
+            let handles: Vec<_> = (0..jobs)
+                .map(|i| {
+                    let stop = Arc::clone(&stop);
+                    let factory = &self.factory;
+                    let config = &self.config;
+                    s.spawn(move || {
+                        let mut mine = Vec::new();
+                        let mut bound = i as u32;
+                        while bound <= max_bound && !stop.load(Ordering::Relaxed) {
+                            let report =
+                                Explorer::new(factory, ContextBounded::new(bound), config.clone())
+                                    .with_stop_flag(Arc::clone(&stop))
+                                    .run();
+                            let found = report.outcome.found_error();
+                            mine.push((bound, report));
+                            if found && config.stop_on_error {
+                                stop.store(true, Ordering::Release);
+                                break;
+                            }
+                            bound += jobs as u32;
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("search worker panicked"))
+                .collect()
+        });
+        reports.sort_by_key(|&(bound, _)| bound);
+        for (_, report) in &reports {
+            if report.outcome.found_error() {
+                self.verify_replay(&report.outcome);
+            }
+        }
+        reports
+    }
+
+    /// The depth-0 decision frontier, exactly as the sequential explorer
+    /// computes it: a fresh fair scheduler has no priorities yet, so the
+    /// schedulable set equals the enabled set.
+    fn root_frontier(&self) -> Vec<Decision> {
+        let sys = (self.factory)();
+        if !sys.status().is_running() {
+            return Vec::new();
+        }
+        let mut options = Vec::new();
+        for t in sys.enabled_set().iter() {
+            for c in 0..sys.branching(t) {
+                options.push(Decision {
+                    thread: t,
+                    choice: c as u32,
+                });
+            }
+        }
+        options
+    }
+
+    /// Runs one sequential explorer per `(strategy, config)` pair on
+    /// scoped threads, with first-error-wins cancellation, and merges the
+    /// per-worker reports.
+    fn run_workers<St: Strategy + Send>(
+        &self,
+        start: Instant,
+        workers: Vec<(St, Config)>,
+    ) -> SearchReport {
+        let stop = Arc::new(AtomicBool::new(false));
+        let winner = AtomicUsize::new(usize::MAX);
+        let reports: Vec<SearchReport> = thread::scope(|s| {
+            let handles: Vec<_> = workers
+                .into_iter()
+                .enumerate()
+                .map(|(i, (strategy, config))| {
+                    let stop = Arc::clone(&stop);
+                    let factory = &self.factory;
+                    let winner = &winner;
+                    s.spawn(move || {
+                        let stop_on_error = config.stop_on_error;
+                        let report = Explorer::new(factory, strategy, config)
+                            .with_stop_flag(Arc::clone(&stop))
+                            .run();
+                        if stop_on_error && report.outcome.found_error() {
+                            // Claim the win before raising the flag so
+                            // the winning worker is unambiguous.
+                            let _ = winner.compare_exchange(
+                                usize::MAX,
+                                i,
+                                Ordering::AcqRel,
+                                Ordering::Acquire,
+                            );
+                            stop.store(true, Ordering::Release);
+                        }
+                        report
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("search worker panicked"))
+                .collect()
+        });
+        let winner = winner.load(Ordering::Acquire);
+        let mut stats = SearchStats::default();
+        for r in &reports {
+            stats.merge(&r.stats);
+        }
+        stats.wall = start.elapsed();
+        let outcome = if winner != usize::MAX {
+            let outcome = reports[winner].outcome.clone();
+            self.verify_replay(&outcome);
+            outcome
+        } else {
+            merge_outcomes(reports)
+        };
+        SearchReport { outcome, stats }
+    }
+
+    /// Replays an error's schedule through the sequential explorer with a
+    /// [`FixedSchedule`] and asserts the identical error reproduces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the replay reaches a different outcome — that would mean
+    /// the factory is nondeterministic (or the engine is broken), and a
+    /// counterexample that cannot be reproduced must not be reported.
+    fn verify_replay(&self, outcome: &SearchOutcome) {
+        let schedule = match outcome {
+            SearchOutcome::SafetyViolation(c) | SearchOutcome::Deadlock(c) => &c.schedule,
+            SearchOutcome::Divergence(d) => &d.schedule,
+            _ => return,
+        };
+        let report = Explorer::new(
+            || (self.factory)(),
+            FixedSchedule::new(schedule.clone()),
+            self.config.clone(),
+        )
+        .run();
+        match (outcome, &report.outcome) {
+            (SearchOutcome::SafetyViolation(a), SearchOutcome::SafetyViolation(b))
+            | (SearchOutcome::Deadlock(a), SearchOutcome::Deadlock(b)) => {
+                assert_eq!(
+                    (&a.message, &a.schedule),
+                    (&b.message, &b.schedule),
+                    "parallel counterexample failed deterministic replay"
+                );
+            }
+            (SearchOutcome::Divergence(a), SearchOutcome::Divergence(b)) => {
+                assert_eq!(
+                    (&a.kind, &a.schedule),
+                    (&b.kind, &b.schedule),
+                    "parallel divergence failed deterministic replay"
+                );
+            }
+            (original, replayed) => panic!(
+                "parallel error failed deterministic replay:\n  found:    \
+                 {original:?}\n  replayed: {replayed:?}"
+            ),
+        }
+    }
+}
+
+/// Splits a total execution budget into per-worker shares summing to the
+/// total (`None` stays unbounded for every worker).
+fn split_budget(total: Option<u64>, jobs: usize) -> Vec<Option<u64>> {
+    match total {
+        None => vec![None; jobs],
+        Some(n) => {
+            let base = n / jobs as u64;
+            let extra = (n % jobs as u64) as usize;
+            (0..jobs)
+                .map(|i| Some(base + u64::from(i < extra)))
+                .collect()
+        }
+    }
+}
+
+/// The overall outcome of an error-free parallel search: `Complete` only
+/// if every shard completed; otherwise the most limiting budget.
+fn merge_outcomes(reports: Vec<SearchReport>) -> SearchOutcome {
+    let mut merged = SearchOutcome::Complete;
+    for r in reports {
+        let rank = |o: &SearchOutcome| match o {
+            SearchOutcome::BudgetExhausted(BudgetKind::Time) => 3,
+            SearchOutcome::BudgetExhausted(BudgetKind::Executions) => 2,
+            SearchOutcome::BudgetExhausted(BudgetKind::Cancelled) => 1,
+            _ => 0,
+        };
+        if rank(&r.outcome) > rank(&merged) {
+            merged = r.outcome;
+        }
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::testsys::{Act, Script};
+
+    /// Three-step acyclic world: 3 interleavings, 9 transitions.
+    fn two_step_scripts() -> Script {
+        Script::new(vec![vec![Act::Step, Act::Step], vec![Act::Step]], 0)
+    }
+
+    /// A world where some interleavings deadlock: if thread 1 runs to
+    /// completion first (its `Inc` consumed by its own `Dec`), thread 0
+    /// blocks on `Dec` forever with nobody left to produce.
+    fn sometimes_deadlocks() -> Script {
+        Script::new(
+            vec![
+                vec![Act::Step, Act::Dec(0), Act::Inc(0)],
+                vec![Act::Step, Act::Inc(0), Act::Dec(0)],
+            ],
+            1,
+        )
+    }
+
+    fn zero_wall(mut r: SearchReport) -> SearchReport {
+        r.stats.wall = std::time::Duration::ZERO;
+        r
+    }
+
+    #[test]
+    fn jobs_one_random_matches_sequential() {
+        let config = Config::fair().with_max_executions(16);
+        let sequential = Explorer::new(two_step_scripts, RandomWalk::new(7), config.clone()).run();
+        let parallel = ParallelExplorer::new(two_step_scripts, config, 1).run_random(7);
+        assert_eq!(zero_wall(parallel), zero_wall(sequential));
+    }
+
+    #[test]
+    fn jobs_one_dfs_matches_sequential() {
+        let config = Config::fair();
+        let sequential = Explorer::new(two_step_scripts, Dfs::new(), config.clone()).run();
+        let parallel = ParallelExplorer::new(two_step_scripts, config, 1).run_dfs();
+        assert_eq!(zero_wall(parallel), zero_wall(sequential));
+    }
+
+    #[test]
+    fn parallel_dfs_visits_exactly_the_sequential_executions() {
+        let config = Config::fair();
+        let sequential = Explorer::new(two_step_scripts, Dfs::new(), config.clone()).run();
+        for jobs in [2, 3, 4, 7] {
+            let parallel = ParallelExplorer::new(two_step_scripts, config.clone(), jobs).run_dfs();
+            assert_eq!(parallel.outcome, SearchOutcome::Complete, "jobs={jobs}");
+            assert_eq!(
+                parallel.stats.executions, sequential.stats.executions,
+                "jobs={jobs}: shards must partition the tree, not duplicate it"
+            );
+            assert_eq!(parallel.stats.transitions, sequential.stats.transitions);
+            assert_eq!(parallel.stats.terminating, sequential.stats.terminating);
+            assert_eq!(parallel.stats.max_depth, sequential.stats.max_depth);
+        }
+    }
+
+    #[test]
+    fn first_error_wins_and_replays_sequentially() {
+        for jobs in [1, 2, 4] {
+            let report = ParallelExplorer::new(sometimes_deadlocks, Config::fair(), jobs).run_dfs();
+            let SearchOutcome::Deadlock(cex) = &report.outcome else {
+                panic!("jobs={jobs}: expected a deadlock, got {:?}", report.outcome);
+            };
+            // verify_replay already ran inside the engine; check again
+            // from the outside that the schedule alone pins the bug.
+            let replay = Explorer::new(
+                sometimes_deadlocks,
+                FixedSchedule::new(cex.schedule.clone()),
+                Config::fair(),
+            )
+            .run();
+            let SearchOutcome::Deadlock(replayed) = replay.outcome else {
+                panic!("jobs={jobs}: schedule did not replay to the deadlock");
+            };
+            assert_eq!(replayed.schedule, cex.schedule);
+        }
+    }
+
+    #[test]
+    fn parallel_random_splits_the_execution_budget() {
+        let config = Config::fair().with_max_executions(16);
+        let report = ParallelExplorer::new(two_step_scripts, config, 4).run_random(3);
+        assert_eq!(
+            report.outcome,
+            SearchOutcome::BudgetExhausted(BudgetKind::Executions)
+        );
+        assert_eq!(report.stats.executions, 16, "shares must sum to the total");
+    }
+
+    #[test]
+    fn iterative_cb_jobs_one_matches_sequential() {
+        let sequential =
+            crate::explore::iterative_context_bounding(two_step_scripts, Config::fair(), 2);
+        let parallel =
+            ParallelExplorer::new(two_step_scripts, Config::fair(), 1).run_iterative_cb(2);
+        assert_eq!(parallel.len(), sequential.len());
+        for ((bs, rs), (bp, rp)) in sequential.iter().zip(&parallel) {
+            assert_eq!(bs, bp);
+            assert_eq!(zero_wall(rs.clone()), zero_wall(rp.clone()));
+        }
+    }
+
+    #[test]
+    fn iterative_cb_parallel_covers_every_bound() {
+        let parallel =
+            ParallelExplorer::new(two_step_scripts, Config::fair(), 3).run_iterative_cb(4);
+        let bounds: Vec<u32> = parallel.iter().map(|&(b, _)| b).collect();
+        assert_eq!(bounds, vec![0, 1, 2, 3, 4]);
+        assert!(parallel.iter().all(|(_, r)| !r.outcome.found_error()));
+    }
+
+    #[test]
+    fn split_budget_shares_sum_to_total() {
+        assert_eq!(split_budget(None, 3), vec![None, None, None]);
+        let shares = split_budget(Some(10), 4);
+        assert_eq!(shares, vec![Some(3), Some(3), Some(2), Some(2)]);
+        assert_eq!(
+            split_budget(Some(2), 4),
+            vec![Some(1), Some(1), Some(0), Some(0)]
+        );
+    }
+}

@@ -77,7 +77,10 @@ impl fmt::Display for DivergenceKind {
                  transitions without yielding"
             ),
             DivergenceKind::LivelockSuspect => {
-                write!(f, "livelock suspect: depth bound exceeded on a fair execution")
+                write!(
+                    f,
+                    "livelock suspect: depth bound exceeded on a fair execution"
+                )
             }
         }
     }
@@ -101,6 +104,9 @@ pub enum BudgetKind {
     Executions,
     /// The configured wall-clock budget was exhausted.
     Time,
+    /// The search was cancelled through its stop flag — in a parallel
+    /// search, another worker found an error first.
+    Cancelled,
 }
 
 /// Final outcome of a search, mirroring the four outcomes of the paper's
@@ -149,8 +155,10 @@ pub struct SearchStats {
     pub transitions: u64,
     /// Executions that reached a terminating state (or an error).
     pub terminating: u64,
-    /// Executions cut off by the depth bound — the paper's wasteful
-    /// "nonterminating executions" metric (Figure 2).
+    /// Executions cut off by the depth bound in the **unfair** baseline —
+    /// the paper's wasteful "nonterminating executions" metric (Figure 2).
+    /// Under fairness a bound hit is a divergence warning and is counted
+    /// in [`SearchStats::divergences`] instead, never here.
     pub nonterminating: u64,
     /// Executions abandoned by the strategy before completion.
     pub abandoned: u64,
@@ -158,7 +166,9 @@ pub struct SearchStats {
     pub deadlocks: u64,
     /// Safety violations observed (when not stopping at the first).
     pub violations: u64,
-    /// Divergences observed (when not stopping at the first).
+    /// Divergences observed under fairness (when not stopping at the
+    /// first): detected cycles plus fair depth-bound hits. Disjoint from
+    /// [`SearchStats::nonterminating`], which only counts unfair cuts.
     pub divergences: u64,
     /// Execution index of the first error found, if any.
     pub first_error_execution: Option<u64>,
@@ -166,6 +176,32 @@ pub struct SearchStats {
     pub max_depth: usize,
     /// Wall-clock duration of the search.
     pub wall: Duration,
+}
+
+impl SearchStats {
+    /// Folds another search's counters into this one — used to aggregate
+    /// per-worker statistics of a parallel search. Counters add up;
+    /// `max_depth` and `wall` take the maximum (workers run
+    /// concurrently, so wall-clock does not add). `first_error_execution`
+    /// keeps the smallest per-worker index on record, which under
+    /// parallelism is a worker-local position, not a global one.
+    pub fn merge(&mut self, other: &SearchStats) {
+        self.executions += other.executions;
+        self.transitions += other.transitions;
+        self.terminating += other.terminating;
+        self.nonterminating += other.nonterminating;
+        self.abandoned += other.abandoned;
+        self.deadlocks += other.deadlocks;
+        self.violations += other.violations;
+        self.divergences += other.divergences;
+        self.first_error_execution = match (self.first_error_execution, other.first_error_execution)
+        {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.max_depth = self.max_depth.max(other.max_depth);
+        self.wall = self.wall.max(other.wall);
+    }
 }
 
 /// The result of a search: outcome plus statistics.
@@ -181,21 +217,23 @@ impl fmt::Display for SearchReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match &self.outcome {
             SearchOutcome::Complete => write!(f, "search complete")?,
-            SearchOutcome::SafetyViolation(c) => {
-                write!(f, "safety violation: {} (execution {})", c.message, c.execution)?
-            }
+            SearchOutcome::SafetyViolation(c) => write!(
+                f,
+                "safety violation: {} (execution {})",
+                c.message, c.execution
+            )?,
             SearchOutcome::Deadlock(c) => {
                 write!(f, "deadlock: {} (execution {})", c.message, c.execution)?
             }
-            SearchOutcome::Divergence(d) => {
-                write!(f, "{} (execution {})", d.kind, d.execution)?
-            }
+            SearchOutcome::Divergence(d) => write!(f, "{} (execution {})", d.kind, d.execution)?,
             SearchOutcome::BudgetExhausted(k) => write!(f, "budget exhausted: {k:?}")?,
         }
         write!(
             f,
             " — {} executions, {} transitions, {} nonterminating, {:?}",
-            self.stats.executions, self.stats.transitions, self.stats.nonterminating,
+            self.stats.executions,
+            self.stats.transitions,
+            self.stats.nonterminating,
             self.stats.wall
         )
     }

@@ -49,7 +49,10 @@ mod tests {
     fn replays_then_stops() {
         let sched = vec![Decision::run(ThreadId::new(1))];
         let mut s = FixedSchedule::new(sched);
-        let opts = [Decision::run(ThreadId::new(0)), Decision::run(ThreadId::new(1))];
+        let opts = [
+            Decision::run(ThreadId::new(0)),
+            Decision::run(ThreadId::new(1)),
+        ];
         let point = SchedulePoint {
             depth: 0,
             options: &opts,

@@ -4,7 +4,9 @@
 use std::fmt;
 
 use crate::capture::{Capture, StateWriter};
-use crate::ids::{AtomicId, BarrierId, ChannelId, CondvarId, EventId, MutexId, RwLockId, SemaphoreId};
+use crate::ids::{
+    AtomicId, BarrierId, ChannelId, CondvarId, EventId, MutexId, RwLockId, SemaphoreId,
+};
 use crate::objects::Objects;
 use crate::op::{OpDesc, OpResult, StepKind};
 use crate::thread::{Effects, GuestThread};
@@ -283,6 +285,9 @@ impl<S> Kernel<S> {
                         thread: t,
                         message: "Choose(0) has no branches".to_string(),
                     });
+                    // The violating transition still executed: count it,
+                    // or kernel and search stats disagree by one.
+                    self.stats.steps += 1;
                     return StepInfo {
                         op,
                         kind: StepKind::Normal,
@@ -300,6 +305,13 @@ impl<S> Kernel<S> {
                         thread: t,
                         message: v.0,
                     });
+                    // The violating transition still executed: count it
+                    // (and the sync op it attempted), or kernel and
+                    // search stats disagree by one.
+                    self.stats.steps += 1;
+                    if op.is_sync_op() {
+                        self.stats.sync_ops += 1;
+                    }
                     return StepInfo {
                         op,
                         kind: StepKind::Normal,
@@ -691,6 +703,53 @@ mod tests {
         let t = k.spawn(BadRelease(m, false));
         k.step(t, 0);
         assert!(matches!(k.status(), KernelStatus::Violation(_)));
+    }
+
+    /// An object-misuse violation is still a transition that executed:
+    /// `steps` (and `sync_ops` for a sync op) must count it, or the
+    /// kernel's stats disagree with the search layer's by one.
+    #[test]
+    fn object_misuse_violation_counts_step_and_sync_op() {
+        #[derive(Clone)]
+        struct BadRelease(MutexId);
+        impl GuestThread<()> for BadRelease {
+            fn next_op(&self, _: &()) -> OpDesc {
+                OpDesc::Release(self.0)
+            }
+            fn on_op(&mut self, _: OpResult, _: &mut (), _: &mut Effects<()>) {}
+            fn box_clone(&self) -> Box<dyn GuestThread<()>> {
+                Box::new(self.clone())
+            }
+        }
+        let mut k = Kernel::new(());
+        let m = k.add_mutex();
+        let t = k.spawn(BadRelease(m));
+        k.step(t, 0);
+        assert!(matches!(k.status(), KernelStatus::Violation(_)));
+        assert_eq!(k.stats().steps, 1);
+        assert_eq!(k.stats().sync_ops, 1);
+    }
+
+    /// Same for the `Choose(0)` violation path.
+    #[test]
+    fn choose_zero_violation_counts_step() {
+        #[derive(Clone)]
+        struct NoBranches;
+        impl GuestThread<()> for NoBranches {
+            fn next_op(&self, _: &()) -> OpDesc {
+                OpDesc::Choose(0)
+            }
+            fn on_op(&mut self, _: OpResult, _: &mut (), _: &mut Effects<()>) {}
+            fn box_clone(&self) -> Box<dyn GuestThread<()>> {
+                Box::new(self.clone())
+            }
+        }
+        let mut k = Kernel::new(());
+        let t = k.spawn(NoBranches);
+        k.step(t, 0);
+        assert!(matches!(k.status(), KernelStatus::Violation(_)));
+        assert_eq!(k.stats().steps, 1);
+        assert_eq!(k.stats().sync_ops, 0);
     }
 
     #[test]

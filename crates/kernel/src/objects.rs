@@ -10,7 +10,9 @@
 use std::collections::VecDeque;
 
 use crate::capture::StateWriter;
-use crate::ids::{AtomicId, BarrierId, ChannelId, CondvarId, EventId, MutexId, RwLockId, SemaphoreId};
+use crate::ids::{
+    AtomicId, BarrierId, ChannelId, CondvarId, EventId, MutexId, RwLockId, SemaphoreId,
+};
 use crate::op::{OpDesc, OpResult, StepKind};
 use crate::tid::{ThreadId, TidSet};
 

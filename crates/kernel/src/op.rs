@@ -9,7 +9,9 @@
 //! block is simply *not enabled* and is never scheduled, just as in the
 //! formal model of Section 3.
 
-use crate::ids::{AtomicId, BarrierId, ChannelId, CondvarId, EventId, MutexId, RwLockId, SemaphoreId};
+use crate::ids::{
+    AtomicId, BarrierId, ChannelId, CondvarId, EventId, MutexId, RwLockId, SemaphoreId,
+};
 use crate::tid::ThreadId;
 
 /// Description of the next operation of a guest thread.

@@ -180,10 +180,7 @@ impl TidSet {
 
     /// Returns whether `self ∩ other` is nonempty.
     pub fn intersects(&self, other: &TidSet) -> bool {
-        self.words
-            .iter()
-            .zip(&other.words)
-            .any(|(a, b)| a & b != 0)
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
     }
 
     /// Returns whether every element of `self` is in `other`.

@@ -92,12 +92,7 @@ impl chess_kernel::GuestThread<()> for Scripted {
     fn next_op(&self, _: &()) -> OpDesc {
         self.ops.get(self.pc).copied().unwrap_or(OpDesc::Finished)
     }
-    fn on_op(
-        &mut self,
-        _: chess_kernel::OpResult,
-        _: &mut (),
-        _: &mut chess_kernel::Effects<()>,
-    ) {
+    fn on_op(&mut self, _: chess_kernel::OpResult, _: &mut (), _: &mut chess_kernel::Effects<()>) {
         self.pc += 1;
     }
     fn capture(&self, w: &mut chess_kernel::StateWriter) {

@@ -331,15 +331,16 @@ where
     let mut best: HashMap<(usize, Option<ThreadId>), u32> = HashMap::new();
     let mut frontier: Vec<(P, usize, Option<ThreadId>, u32)> = Vec::new();
 
-    let intern = |sys: &P, state_ids: &mut HashMap<Vec<u8>, usize>| -> Result<usize, StatefulError> {
-        let bytes = sys.state_bytes();
-        let next = state_ids.len();
-        let id = *state_ids.entry(bytes).or_insert(next);
-        if state_ids.len() > limits.max_states {
-            return Err(StatefulError::StateLimitExceeded(limits.max_states));
-        }
-        Ok(id)
-    };
+    let intern =
+        |sys: &P, state_ids: &mut HashMap<Vec<u8>, usize>| -> Result<usize, StatefulError> {
+            let bytes = sys.state_bytes();
+            let next = state_ids.len();
+            let id = *state_ids.entry(bytes).or_insert(next);
+            if state_ids.len() > limits.max_states {
+                return Err(StatefulError::StateLimitExceeded(limits.max_states));
+            }
+            Ok(id)
+        };
 
     let id0 = intern(initial, &mut state_ids)?;
     best.insert((id0, None), bound);
@@ -439,8 +440,7 @@ mod tests {
         // With 0 preemptions only the two "all of one thread, then all of
         // the other" paths exist: 2n+... states on the grid boundary.
         let n = 3;
-        let count =
-            preemption_bounded_states(&grid(n), 0, StatefulLimits::default()).unwrap();
+        let count = preemption_bounded_states(&grid(n), 0, StatefulLimits::default()).unwrap();
         // Boundary of the (n+1)x(n+1) grid reachable monotone without
         // interior: the two axis paths then the far edges: states
         // (i,0), (n,j), (0,j), (i,n) reachable: 4n states +1? Count
@@ -456,8 +456,7 @@ mod tests {
             .state_count();
         let mut prev = 0;
         for cb in 0..=4 {
-            let c = preemption_bounded_states(&grid(2), cb, StatefulLimits::default())
-                .unwrap();
+            let c = preemption_bounded_states(&grid(2), cb, StatefulLimits::default()).unwrap();
             assert!(c >= prev, "cb={cb} shrank coverage");
             prev = c;
         }

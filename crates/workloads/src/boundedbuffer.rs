@@ -239,7 +239,11 @@ impl GuestThread<BufferShared> for Party {
     fn name(&self) -> String {
         format!(
             "{}{}",
-            if self.producer { "producer" } else { "consumer" },
+            if self.producer {
+                "producer"
+            } else {
+                "consumer"
+            },
             self.id
         )
     }

@@ -10,7 +10,9 @@
 //! a stale or partially-reduced value — a textbook data race behind a
 //! correct-looking barrier protocol.
 
-use chess_kernel::{BarrierId, Capture, Effects, GuestThread, Kernel, OpDesc, OpResult, StateWriter};
+use chess_kernel::{
+    BarrierId, Capture, Effects, GuestThread, Kernel, OpDesc, OpResult, StateWriter,
+};
 
 /// BSP workload configuration.
 #[derive(Debug, Clone, Copy)]
@@ -66,9 +68,7 @@ impl Capture for BspShared {
 /// The expected reduction for `round` with `workers` workers: each
 /// worker contributes `id + round + 1`.
 fn expected_sum(workers: usize, round: u32) -> u64 {
-    (0..workers as u64)
-        .map(|id| id + round as u64 + 1)
-        .sum()
+    (0..workers as u64).map(|id| id + round as u64 + 1).sum()
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

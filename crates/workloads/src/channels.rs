@@ -92,11 +92,19 @@ impl FifoConfig {
     /// A Table 3 bug-finding configuration.
     pub fn with_bug(bug: ChannelBug) -> Self {
         FifoConfig {
-            stage1_workers: if bug == ChannelBug::RacySequence { 2 } else { 1 },
+            stage1_workers: if bug == ChannelBug::RacySequence {
+                2
+            } else {
+                1
+            },
             // Two items keep the fan-in race findable at small preemption
             // bounds; one credit makes the leak fatal before the source
             // drains.
-            items: if bug == ChannelBug::RacySequence { 2 } else { 3 },
+            items: if bug == ChannelBug::RacySequence {
+                2
+            } else {
+                3
+            },
             credits: if bug == ChannelBug::CreditLeak { 1 } else { 2 },
             bug: Some(bug),
             ..FifoConfig::correct()
@@ -468,10 +476,7 @@ impl GuestThread<FifoShared> for Sink {
                             *slot += 1;
                             sh.seen_count += 1;
                             let c = *slot;
-                            fx.check(
-                                c == 1,
-                                format_args!("sink: item {v} delivered {c} times"),
-                            );
+                            fx.check(c == 1, format_args!("sink: item {v} delivered {c} times"));
                         }
                         None => fx.fail(format!("sink: garbage item {v}")),
                     }
@@ -547,8 +552,7 @@ pub fn fifo_pipeline(config: FifoConfig) -> Kernel<FifoShared> {
     let ch1 = k.add_channel(config.channel_capacity);
     let ch2 = k.add_channel(config.channel_capacity);
     let credits = k.add_semaphore(config.credits);
-    let seq_lock = if config.stage1_workers == 2 && config.bug != Some(ChannelBug::RacySequence)
-    {
+    let seq_lock = if config.stage1_workers == 2 && config.bug != Some(ChannelBug::RacySequence) {
         Some(k.add_mutex())
     } else {
         None
@@ -678,7 +682,11 @@ mod tests {
 
     #[test]
     fn draining_shutdown_found_but_deeper() {
-        let report = check(FifoConfig::with_bug(ChannelBug::DrainingShutdown), 2, 200_000);
+        let report = check(
+            FifoConfig::with_bug(ChannelBug::DrainingShutdown),
+            2,
+            200_000,
+        );
         assert!(
             matches!(report.outcome, SearchOutcome::SafetyViolation(_)),
             "{report}"

@@ -32,8 +32,8 @@ pub mod miniboot;
 pub mod philosophers;
 pub mod promise;
 pub mod rwcache;
-pub mod wsq;
 pub mod simple;
 pub mod spinloop;
 pub mod treiber;
 pub mod workerpool;
+pub mod wsq;

@@ -380,8 +380,8 @@ mod tests {
 
     #[test]
     fn small_boot_ground_truth() {
-        let g = StateGraph::build(&miniboot(BootConfig::small()), StatefulLimits::default())
-            .unwrap();
+        let g =
+            StateGraph::build(&miniboot(BootConfig::small()), StatefulLimits::default()).unwrap();
         assert!(g.violation_states().is_empty(), "boot must be safe");
         assert!(g.deadlock_states().is_empty(), "boot must not deadlock");
         assert!(g.find_fair_scc().is_none(), "boot is fair-terminating");

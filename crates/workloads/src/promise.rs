@@ -26,9 +26,7 @@
 //! interleavings in which the common cases were inapplicable": if the
 //! producer wins the race the fast path hides the bug.
 
-use chess_kernel::{
-    Capture, Effects, EventId, GuestThread, Kernel, OpDesc, OpResult, StateWriter,
-};
+use chess_kernel::{Capture, Effects, EventId, GuestThread, Kernel, OpDesc, OpResult, StateWriter};
 
 /// How a consumer waits for a promise.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -266,8 +266,11 @@ mod tests {
 
     #[test]
     fn correct_cache_ground_truth() {
-        let g = StateGraph::build(&rw_cache(RwCacheConfig::correct()), StatefulLimits::default())
-            .unwrap();
+        let g = StateGraph::build(
+            &rw_cache(RwCacheConfig::correct()),
+            StatefulLimits::default(),
+        )
+        .unwrap();
         assert!(g.violation_states().is_empty());
         assert!(g.deadlock_states().is_empty());
         assert!(g.find_fair_scc().is_none());

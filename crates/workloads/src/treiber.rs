@@ -161,11 +161,7 @@ impl GuestThread<StackShared> for StackUser {
         match self.pc {
             Pc::ReadHead => OpDesc::AtomicLoad(self.head),
             Pc::ReadNext | Pc::LinkNode | Pc::Advance => OpDesc::Local,
-            Pc::CasPop => OpDesc::AtomicCas(
-                self.head,
-                self.h,
-                bump(self.h, self.n, self.encoding),
-            ),
+            Pc::CasPop => OpDesc::AtomicCas(self.head, self.h, bump(self.h, self.n, self.encoding)),
             Pc::CasPush => {
                 let Some(StackAction::PushSlot(slot)) = self.action() else {
                     unreachable!()
@@ -217,9 +213,7 @@ impl GuestThread<StackShared> for StackUser {
                     if new_top != 0 {
                         fx.check(
                             sh.in_stack[new_top as usize],
-                            format_args!(
-                                "{who}: ABA! head now points at freed node {new_top}"
-                            ),
+                            format_args!("{who}: ABA! head now points at freed node {new_top}"),
                         );
                     }
                     sh.in_stack[popped as usize] = false;

@@ -638,7 +638,10 @@ mod tests {
         let g = StateGraph::build(&factory(), StatefulLimits::default()).unwrap();
         assert!(g.violation_states().is_empty(), "correct WSQ must be safe");
         assert!(g.deadlock_states().is_empty());
-        assert!(g.find_fair_scc().is_none(), "correct WSQ is fair-terminating");
+        assert!(
+            g.find_fair_scc().is_none(),
+            "correct WSQ is fair-terminating"
+        );
     }
 
     fn find_bug(bug: WsqBug) -> chess_core::SearchReport {
@@ -711,7 +714,10 @@ mod tests {
         let cex = report.outcome.counterexample().unwrap().clone();
         let rendered = cex.render(|| wsq(WsqConfig::with_bug(WsqBug::UnlockedConflictPop)));
         assert!(rendered.contains("violation"), "{rendered}");
-        assert!(rendered.contains("stealer") || rendered.contains("owner"), "{rendered}");
+        assert!(
+            rendered.contains("stealer") || rendered.contains("owner"),
+            "{rendered}"
+        );
     }
 
     /// The full DFS fair search is large; a bounded fair DFS stays clean

@@ -36,7 +36,10 @@ fn main() {
                 "\nfair stateless search: {} (execution {}, {} executions total)",
                 d.kind, d.execution, report.stats.executions
             );
-            println!("\nschedule reaching the livelock ({} steps):", d.schedule.len());
+            println!(
+                "\nschedule reaching the livelock ({} steps):",
+                d.schedule.len()
+            );
             let tail: Vec<String> = d.schedule.iter().map(|x| x.to_string()).collect();
             println!("  {}", tail.join(" "));
         }

@@ -34,24 +34,27 @@ fn main() {
         header[0], header[1], header[2], header[3], header[4], header[5]
     );
 
-    let print_row = |label: &str, fair: &FairScheduler, sys: &chess_kernel::Kernel<chess_workloads::spinloop::SpinShared>| {
-        let es = TransitionSystem::enabled_set(sys);
-        let p = fair.priority_edges()[u.index()].clone();
-        let p_str = if p.is_empty() {
-            "{}".to_string()
-        } else {
-            format!("{{(u,{})}}", show(&p).trim_matches(['{', '}']))
+    let print_row =
+        |label: &str,
+         fair: &FairScheduler,
+         sys: &chess_kernel::Kernel<chess_workloads::spinloop::SpinShared>| {
+            let es = TransitionSystem::enabled_set(sys);
+            let p = fair.priority_edges()[u.index()].clone();
+            let p_str = if p.is_empty() {
+                "{}".to_string()
+            } else {
+                format!("{{(u,{})}}", show(&p).trim_matches(['{', '}']))
+            };
+            println!(
+                "{:28} {:10} {:10} {:10} {:14} {}",
+                label,
+                show(fair.window_scheduled(u)),
+                show(fair.window_disabled(u)),
+                show(fair.window_enabled(u)),
+                p_str,
+                show(&fair.schedulable(&es)),
+            );
         };
-        println!(
-            "{:28} {:10} {:10} {:10} {:14} {}",
-            label,
-            show(fair.window_scheduled(u)),
-            show(fair.window_disabled(u)),
-            show(fair.window_enabled(u)),
-            p_str,
-            show(&fair.schedulable(&es)),
-        );
-    };
 
     print_row("initial state (a,c)", &fair, &sys);
 

@@ -22,7 +22,10 @@ fn main() {
     match &report.outcome {
         SearchOutcome::Divergence(d) => {
             match d.kind {
-                DivergenceKind::FairCycle { cycle_start, cycle_len } => println!(
+                DivergenceKind::FairCycle {
+                    cycle_start,
+                    cycle_len,
+                } => println!(
                     "livelock: the execution revisits the same (program, scheduler) state — \
                      a fair cycle of {cycle_len} transition(s) starting at step {cycle_start}."
                 ),

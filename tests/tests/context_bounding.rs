@@ -3,9 +3,7 @@
 //! not count against the bound).
 
 use chess_core::strategy::ContextBounded;
-use chess_core::{
-    iterative_context_bounding, Config, Explorer, SearchOutcome, TransitionSystem,
-};
+use chess_core::{iterative_context_bounding, Config, Explorer, SearchOutcome, TransitionSystem};
 use chess_state::{preemption_bounded_states, CoverageTracker, StatefulLimits};
 use chess_workloads::philosophers::{philosophers, PhilosophersConfig};
 use chess_workloads::spinloop::figure3;
@@ -48,8 +46,7 @@ fn fair_cb_coverage_monotone_and_at_least_reference() {
     for cb in 0..=2u32 {
         let mut cov = CoverageTracker::new();
         let config = Config::fair().with_detect_cycles(false);
-        let report =
-            Explorer::new(factory, ContextBounded::new(cb), config).run_observed(&mut cov);
+        let report = Explorer::new(factory, ContextBounded::new(cb), config).run_observed(&mut cov);
         assert_eq!(report.outcome, SearchOutcome::Complete, "cb={cb}: {report}");
         let reference =
             preemption_bounded_states(&factory(), cb, StatefulLimits::default()).unwrap();
@@ -108,8 +105,7 @@ fn charging_fairness_switches_loses_executions() {
     let sound = {
         let mut cov = CoverageTracker::new();
         let config = Config::fair();
-        let report = Explorer::new(figure3, ContextBounded::new(0), config)
-            .run_observed(&mut cov);
+        let report = Explorer::new(figure3, ContextBounded::new(0), config).run_observed(&mut cov);
         assert_eq!(report.stats.abandoned, 0);
         cov.distinct_states()
     };

@@ -61,7 +61,12 @@ fn coverage_recorded_up_to_violation() {
 /// graph: at a large bound it equals the total.
 #[test]
 fn preemption_reference_converges_to_total() {
-    let factory = || fifo_pipeline(FifoConfig { items: 2, ..FifoConfig::correct() });
+    let factory = || {
+        fifo_pipeline(FifoConfig {
+            items: 2,
+            ..FifoConfig::correct()
+        })
+    };
     let total = StateGraph::build(&factory(), StatefulLimits::default())
         .unwrap()
         .state_count();
@@ -73,14 +78,18 @@ fn preemption_reference_converges_to_total() {
 /// `k`-preemption reference on the channel pipeline too.
 #[test]
 fn fair_cb_at_least_reference_on_channels() {
-    let factory = || fifo_pipeline(FifoConfig { items: 2, ..FifoConfig::correct() });
+    let factory = || {
+        fifo_pipeline(FifoConfig {
+            items: 2,
+            ..FifoConfig::correct()
+        })
+    };
     for cb in 0..=2u32 {
         let reference =
             preemption_bounded_states(&factory(), cb, StatefulLimits::default()).unwrap();
         let mut cov = CoverageTracker::new();
         let config = Config::fair().with_detect_cycles(false);
-        let report =
-            Explorer::new(factory, ContextBounded::new(cb), config).run_observed(&mut cov);
+        let report = Explorer::new(factory, ContextBounded::new(cb), config).run_observed(&mut cov);
         assert_eq!(report.outcome, SearchOutcome::Complete, "cb={cb}");
         assert!(
             cov.distinct_states() >= reference,

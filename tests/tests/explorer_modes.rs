@@ -5,9 +5,7 @@
 use std::time::Duration;
 
 use chess_core::strategy::{Dfs, RandomWalk};
-use chess_core::{
-    BudgetKind, Config, DivergenceKind, Explorer, SearchOutcome,
-};
+use chess_core::{BudgetKind, Config, DivergenceKind, Explorer, SearchOutcome};
 use chess_workloads::promise::figure8;
 use chess_workloads::simple::racy_counter;
 use chess_workloads::spinloop::{figure3, spinloop};

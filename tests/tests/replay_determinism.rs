@@ -40,7 +40,10 @@ where
         let t = options[(next() % options.len() as u64) as usize];
         let branch = (next() % sys.branching(t) as u64) as u32;
         sys.step(t, branch);
-        schedule.push(Decision { thread: t, choice: branch });
+        schedule.push(Decision {
+            thread: t,
+            choice: branch,
+        });
         fingerprints.push(sys.fingerprint());
     }
 
@@ -93,12 +96,7 @@ fn fixed_schedule_reproduces_search_outcome() {
     let cex = report.outcome.counterexample().unwrap().clone();
 
     let config = Config::fair();
-    let report2 = Explorer::new(
-        factory,
-        FixedSchedule::new(cex.schedule.clone()),
-        config,
-    )
-    .run();
+    let report2 = Explorer::new(factory, FixedSchedule::new(cex.schedule.clone()), config).run();
     match report2.outcome {
         SearchOutcome::SafetyViolation(c2) => {
             assert_eq!(c2.schedule, cex.schedule);

@@ -1,0 +1,110 @@
+//! The kernel's per-execution `ExecStats` and the explorer's search-level
+//! `SearchStats` describe the same transitions, so their counts must
+//! agree — including the violating transition of an execution that ends
+//! in a safety violation, which the kernel's early-return paths used to
+//! drop while the explorer still counted it.
+
+use chess_core::strategy::Dfs;
+use chess_core::{Config, Explorer, Observer};
+use chess_kernel::{Capture, Effects, GuestThread, Kernel, MutexId, OpDesc, OpResult};
+
+/// Sums the kernel's own step counter over every execution of a search.
+#[derive(Default)]
+struct KernelSteps {
+    total_steps: u64,
+    executions: u64,
+}
+
+impl<S: Capture> Observer<Kernel<S>> for KernelSteps {
+    fn on_execution_end(&mut self, sys: &Kernel<S>, _depth: usize) {
+        self.total_steps += sys.stats().steps;
+        self.executions += 1;
+    }
+}
+
+/// Takes one harmless step, then releases a mutex it never acquired —
+/// every execution ends in an object-misuse violation, exercising the
+/// kernel's early-return path in `step`.
+#[derive(Clone)]
+struct BadRelease {
+    pc: u8,
+    m: MutexId,
+}
+
+impl GuestThread<()> for BadRelease {
+    fn next_op(&self, _: &()) -> OpDesc {
+        match self.pc {
+            0 => OpDesc::Local,
+            1 => OpDesc::Release(self.m),
+            _ => OpDesc::Finished,
+        }
+    }
+    fn on_op(&mut self, _: OpResult, _: &mut (), _: &mut Effects<()>) {
+        self.pc += 1;
+    }
+    fn box_clone(&self) -> Box<dyn GuestThread<()>> {
+        Box::new(self.clone())
+    }
+}
+
+fn bad_release_pair() -> Kernel<()> {
+    let mut k = Kernel::new(());
+    let m = k.add_mutex();
+    k.spawn(BadRelease { pc: 0, m });
+    k.spawn(BadRelease { pc: 0, m });
+    k
+}
+
+#[test]
+fn kernel_steps_agree_with_search_transitions_on_violations() {
+    let mut obs = KernelSteps::default();
+    let config = Config::fair().with_stop_on_error(false);
+    let report = Explorer::new(bad_release_pair, Dfs::new(), config).run_observed(&mut obs);
+    assert!(
+        report.stats.violations > 0,
+        "every interleaving misuses the mutex: {:?}",
+        report.stats
+    );
+    assert_eq!(obs.executions, report.stats.executions);
+    assert_eq!(
+        obs.total_steps, report.stats.transitions,
+        "kernel ExecStats.steps and explorer SearchStats.transitions \
+         must count the same transitions, violating ones included"
+    );
+}
+
+#[test]
+fn kernel_steps_agree_with_search_transitions_when_terminating() {
+    let factory = || {
+        let mut k = Kernel::new(());
+        let m = k.add_mutex();
+        // A well-behaved acquire/release pair: no violations.
+        #[derive(Clone)]
+        struct Locker {
+            pc: u8,
+            m: MutexId,
+        }
+        impl GuestThread<()> for Locker {
+            fn next_op(&self, _: &()) -> OpDesc {
+                match self.pc {
+                    0 => OpDesc::Acquire(self.m),
+                    1 => OpDesc::Release(self.m),
+                    _ => OpDesc::Finished,
+                }
+            }
+            fn on_op(&mut self, _: OpResult, _: &mut (), _: &mut Effects<()>) {
+                self.pc += 1;
+            }
+            fn box_clone(&self) -> Box<dyn GuestThread<()>> {
+                Box::new(self.clone())
+            }
+        }
+        k.spawn(Locker { pc: 0, m });
+        k.spawn(Locker { pc: 0, m });
+        k
+    };
+    let mut obs = KernelSteps::default();
+    let report = Explorer::new(factory, Dfs::new(), Config::fair()).run_observed(&mut obs);
+    assert!(!report.outcome.found_error(), "{report}");
+    assert_eq!(obs.total_steps, report.stats.transitions);
+}

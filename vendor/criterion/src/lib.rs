@@ -1,0 +1,262 @@
+//! Offline drop-in replacement for the subset of `criterion 0.5` used by
+//! this workspace's `[[bench]]` targets: `Criterion`, benchmark groups,
+//! `bench_function` / `bench_with_input`, `Bencher::{iter, iter_batched}`,
+//! `BenchmarkId`, `BatchSize`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! The build environment has no network access, so the real `criterion`
+//! cannot be fetched. This shim keeps every bench source compiling and
+//! produces honest (if statistically unsophisticated) wall-clock numbers:
+//! each routine is warmed up, then timed over enough iterations to fill a
+//! small measurement window, and the mean ns/iter is printed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// How `iter_batched` amortizes setup cost; the shim times routines
+/// individually, so the variants only differ cosmetically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per measured iteration.
+    PerIteration,
+}
+
+/// A benchmark identifier, optionally parameterized.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id made of a parameter value alone (the group provides a name).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to benchmark closures; runs and times the routine.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+    window: Duration,
+}
+
+impl Bencher {
+    fn new(window: Duration) -> Self {
+        Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+            window,
+        }
+    }
+
+    /// Times `routine` repeatedly until the measurement window fills.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warmup: one untimed call (also triggers lazy init).
+        black_box(routine());
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < self.window {
+            black_box(routine());
+            iters += 1;
+        }
+        self.total = start.elapsed();
+        self.iters = iters.max(1);
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        let mut measured = Duration::ZERO;
+        let mut iters = 0u64;
+        let window_start = Instant::now();
+        while window_start.elapsed() < self.window {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            measured += start.elapsed();
+            iters += 1;
+        }
+        self.total = measured;
+        self.iters = iters.max(1);
+    }
+
+    fn report(&self, id: &str) {
+        let ns = self.total.as_nanos() as f64 / self.iters as f64;
+        println!("bench: {id:<50} {ns:>14.1} ns/iter ({} iters)", self.iters);
+    }
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    window: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let ms = std::env::var("BENCH_WINDOW_MS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(200u64);
+        Criterion {
+            window: Duration::from_millis(ms),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.window);
+        f(&mut b);
+        b.report(id);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sample-size hint; the shim sizes by wall-clock window instead.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Measurement-time hint, honored as the per-benchmark window.
+    pub fn measurement_time(&mut self, window: Duration) -> &mut Self {
+        self.criterion.window = window;
+        self
+    }
+
+    /// Runs a benchmark under `group_name/id`.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.criterion.window);
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id));
+        self
+    }
+
+    /// Runs a parameterized benchmark under `group_name/id`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.criterion.window);
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id));
+        self
+    }
+
+    /// Ends the group (report output is already flushed per-bench).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` for one or more `criterion_group!`s.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        let mut c = Criterion {
+            window: Duration::from_millis(5),
+        };
+        let mut ran = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(ran)
+            })
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn batched_excludes_setup() {
+        let mut c = Criterion {
+            window: Duration::from_millis(5),
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::from_parameter(3), &3u64, |b, &n| {
+            b.iter_batched(|| vec![0u8; n as usize], |v| v.len(), BatchSize::SmallInput);
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::new("f", 8).to_string(), "f/8");
+        assert_eq!(BenchmarkId::from_parameter(8).to_string(), "8");
+    }
+}

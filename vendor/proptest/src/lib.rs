@@ -1,0 +1,546 @@
+//! Offline drop-in replacement for the subset of `proptest 1.x` used by
+//! this workspace: the `proptest!` macro, `prop_assert*`, `prop_oneof!`,
+//! `Just`, `any`, `.prop_map`, and `prop::collection::{vec, btree_set}`.
+//!
+//! The build environment has no network access, so the real `proptest`
+//! cannot be fetched. This implementation keeps the property-test
+//! *sources* untouched while providing a deterministic, seedable case
+//! generator. Differences from real proptest, by design:
+//!
+//! - **No shrinking.** A failing case reports its inputs verbatim.
+//! - **Deterministic seeding.** Cases derive from a fixed seed mixed
+//!   with the test's name, so failures reproduce across runs. Set
+//!   `PROPTEST_CASES` to change the per-test case count.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::Range;
+
+// ---------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------
+
+/// The deterministic generator backing every sampled value (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// A generator seeded from the owning test's name, so every test gets
+    /// an independent but reproducible stream.
+    pub fn deterministic(test_name: &str) -> Self {
+        // FNV-1a over the name, folded into a fixed golden seed.
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng(h ^ 0x9E37_79B9_7F4A_7C15)
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform value below `n` (n > 0).
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+}
+
+// ---------------------------------------------------------------------
+// Config and errors
+// ---------------------------------------------------------------------
+
+/// Per-test configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(64);
+        ProptestConfig { cases }
+    }
+}
+
+/// A failed property case; `prop_assert*` early-returns one.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+
+    /// Alias used by real proptest's API surface.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Strategies
+// ---------------------------------------------------------------------
+
+/// A generator of values of type `Value`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f` (proptest's `prop_map`).
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// A strategy producing exactly one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// One weighted generator arm of a [`Union`].
+type Arm<T> = Box<dyn Fn(&mut TestRng) -> T>;
+
+/// The weighted union built by [`prop_oneof!`].
+pub struct Union<T> {
+    arms: Vec<(u32, Arm<T>)>,
+    total: u32,
+}
+
+impl<T> Union<T> {
+    /// An empty union; populate with [`Union::arm`].
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        Union {
+            arms: Vec::new(),
+            total: 0,
+        }
+    }
+
+    /// Adds a weighted arm (builder-style, used by the macro expansion).
+    pub fn arm<S>(mut self, weight: u32, strategy: S) -> Self
+    where
+        S: Strategy<Value = T> + 'static,
+    {
+        assert!(weight > 0, "prop_oneof! weights must be positive");
+        self.arms
+            .push((weight, Box::new(move |rng| strategy.sample(rng))));
+        self.total += weight;
+        self
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        assert!(!self.arms.is_empty(), "prop_oneof! needs at least one arm");
+        let mut roll = rng.below(self.total as u64) as u32;
+        for (weight, f) in &self.arms {
+            if roll < *weight {
+                return f(rng);
+            }
+            roll -= weight;
+        }
+        unreachable!("weighted pick within total")
+    }
+}
+
+// ---------------------------------------------------------------------
+// any::<T>()
+// ---------------------------------------------------------------------
+
+/// Types with a canonical full-domain strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// The strategy `any::<Self>()` returns.
+    type Strategy: Strategy<Value = Self>;
+    /// Builds that strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `T`.
+pub fn any<A: Arbitrary>() -> A::Strategy {
+    A::arbitrary()
+}
+
+/// Full-domain strategy for primitive types.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AnyPrimitive<T>(PhantomData<T>);
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for AnyPrimitive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = AnyPrimitive<$t>;
+            fn arbitrary() -> Self::Strategy {
+                AnyPrimitive(PhantomData)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for AnyPrimitive<bool> {
+    type Value = bool;
+    fn sample(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyPrimitive<bool>;
+    fn arbitrary() -> Self::Strategy {
+        AnyPrimitive(PhantomData)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Collections
+// ---------------------------------------------------------------------
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with a size drawn from a range.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    /// A `Vec` of `elem`-generated values with length in `size`.
+    pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet`s with a target size drawn from a range.
+    pub struct BTreeSetStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    /// A `BTreeSet` of `elem`-generated values; duplicates collapse, so
+    /// the realized size can fall below the drawn target (real proptest
+    /// retries; for generator purposes the smaller set is just as good).
+    pub fn btree_set<S>(elem: S, size: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { elem, size }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+/// The `prop` namespace (`prop::collection::...`), as re-exported by the
+/// real prelude.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Everything a property test needs in scope.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        Just, ProptestConfig, Strategy, TestCaseError, TestRng,
+    };
+}
+
+// ---------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------
+
+/// Declares property tests. Each `fn name(arg in strategy, ...) { body }`
+/// expands to a `#[test]` that samples the strategies `config.cases`
+/// times and runs the body, reporting the sampled inputs on failure.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::deterministic(stringify!($name));
+            for case in 0..config.cases {
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)+
+                let inputs = ::std::format!(
+                    ::std::concat!($(::std::stringify!($arg), " = {:?}; "),+),
+                    $(&$arg),+
+                );
+                let result: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(e) = result {
+                    ::std::panic!(
+                        "proptest {} failed at case {} with inputs [{}]: {}",
+                        ::std::stringify!($name),
+                        case,
+                        inputs,
+                        e
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a property, early-returning a
+/// [`TestCaseError`] so the harness can report the sampled inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", ::std::stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// `prop_assert!` for equality, printing both operands on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        $crate::prop_assert_eq!(
+            $left,
+            $right,
+            "assertion failed: {} == {}",
+            ::std::stringify!($left),
+            ::std::stringify!($right)
+        )
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (left_val, right_val) => {
+                if !(*left_val == *right_val) {
+                    return ::std::result::Result::Err($crate::TestCaseError::fail(
+                        ::std::format!(
+                            "{} (left: {:?}, right: {:?})",
+                            ::std::format!($($fmt)+),
+                            left_val,
+                            right_val
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// `prop_assert!` for inequality, printing both operands on failure.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        $crate::prop_assert_ne!(
+            $left,
+            $right,
+            "assertion failed: {} != {}",
+            ::std::stringify!($left),
+            ::std::stringify!($right)
+        )
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (left_val, right_val) => {
+                if *left_val == *right_val {
+                    return ::std::result::Result::Err($crate::TestCaseError::fail(
+                        ::std::format!(
+                            "{} (both: {:?})",
+                            ::std::format!($($fmt)+),
+                            left_val
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Weighted (or unweighted) choice among strategies producing the same
+/// value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::Union::new()$(.arm($weight as u32, $strat))+
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new()$(.arm(1u32, $strat))+
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_sample_in_bounds() {
+        let mut rng = TestRng::deterministic("ranges_sample_in_bounds");
+        for _ in 0..1_000 {
+            let v = Strategy::sample(&(3u8..9), &mut rng);
+            assert!((3..9).contains(&v));
+        }
+    }
+
+    #[test]
+    fn union_respects_arms() {
+        let mut rng = TestRng::deterministic("union_respects_arms");
+        let s = prop_oneof![4 => Just(1u8), 1 => Just(2u8)];
+        let mut seen = [0u32; 3];
+        for _ in 0..500 {
+            seen[Strategy::sample(&s, &mut rng) as usize] += 1;
+        }
+        assert_eq!(seen[0], 0);
+        assert!(seen[1] > seen[2], "weights ignored: {seen:?}");
+    }
+
+    #[test]
+    fn vec_strategy_respects_size() {
+        let mut rng = TestRng::deterministic("vec_strategy_respects_size");
+        for _ in 0..200 {
+            let v = Strategy::sample(&prop::collection::vec(0usize..5, 2..7), &mut rng);
+            assert!((2..7).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro path itself: sampled args are visible in the body
+        /// and `prop_assert*` early-returns work.
+        #[test]
+        fn macro_roundtrip(x in 0u64..100, ys in prop::collection::vec(0u8..4, 0..10)) {
+            prop_assert!(x < 100);
+            for y in &ys {
+                prop_assert!(*y < 4, "element {} out of range", y);
+            }
+            prop_assert_eq!(ys.len(), ys.len());
+            prop_assert_ne!(x, x + 1);
+        }
+    }
+}
