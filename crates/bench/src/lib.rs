@@ -29,5 +29,5 @@ pub mod json;
 pub mod output;
 
 pub use experiments::*;
-pub use json::{Json, ToJson};
+pub use json::{schedule_from_json, schedule_to_json, Json, ToJson};
 pub use output::*;

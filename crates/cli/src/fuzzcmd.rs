@@ -1,0 +1,328 @@
+//! The `fuzz` and `replay` subcommands: differential fuzzing of the
+//! fair stateless search against the exhaustive stateful reference,
+//! plus corpus-file replay.
+//!
+//! Every checked system runs through
+//! [`chess_state::differential_check`], which executes one oracle per
+//! theorem of the paper. Errors (injected or organic) are ddmin-
+//! minimized and persisted as corpus files; oracle disagreements fail
+//! the run with exit code 1 and leave a `discrepancy-*.json` record
+//! behind for the nightly artifact upload.
+//!
+//! # Corpus format (version 1)
+//!
+//! ```json
+//! {
+//!   "version": 1,
+//!   "kind": "deadlock",
+//!   "message": "deadlock: no thread enabled",
+//!   "depth_bound": 10000,
+//!   "config": { "seed": 42, "max_threads": 3, "...": "..." },
+//!   "original_len": 31,
+//!   "schedule": [[0, 0], [1, 0], [0, 0]]
+//! }
+//! ```
+//!
+//! `config` holds every generator knob, so `replay` can regenerate the
+//! identical [`chess_core::FuzzSystem`] and drive it through a
+//! [`FixedSchedule`] with the recorded decisions.
+
+use std::path::Path;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use chess_bench::{schedule_from_json, schedule_to_json, Json};
+use chess_core::strategy::FixedSchedule;
+use chess_core::{
+    derive_seed, generate_system, Config, Explorer, FuzzConfig, OutcomeKind, Schedule,
+    SearchOutcome,
+};
+use chess_state::{differential_check, OracleLimits, SystemOutcome, Verdict};
+
+use crate::opts::{FuzzOpts, ReplayOpts};
+
+/// Corpus file schema version.
+const CORPUS_VERSION: u64 = 1;
+
+/// One worker's record of a checked system.
+struct SystemResult {
+    index: u64,
+    seed: u64,
+    verdict: Verdict,
+}
+
+/// Runs `fair-chess fuzz`.
+pub fn do_fuzz(o: &FuzzOpts) -> ExitCode {
+    if let Err(e) = std::fs::create_dir_all(&o.corpus_dir) {
+        eprintln!("error: cannot create corpus dir '{}': {e}", o.corpus_dir);
+        return ExitCode::from(2);
+    }
+    let limits = OracleLimits {
+        max_states: o.max_states,
+        ..OracleLimits::default()
+    };
+
+    let next = AtomicU64::new(0);
+    let results: Mutex<Vec<SystemResult>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for _ in 0..o.jobs.max(1) {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                if index >= o.systems {
+                    break;
+                }
+                let seed = derive_seed(o.seed, index);
+                let config = fuzz_config(o, seed);
+                let sys = generate_system(&config);
+                let verdict = differential_check(|| sys.clone(), &limits);
+                results.lock().unwrap().push(SystemResult {
+                    index,
+                    seed,
+                    verdict,
+                });
+            });
+        }
+    });
+    let mut results = results.into_inner().unwrap();
+    results.sort_by_key(|r| r.index);
+
+    report_fuzz_run(o, &results)
+}
+
+/// Builds the generator configuration for one system.
+fn fuzz_config(o: &FuzzOpts, seed: u64) -> FuzzConfig {
+    FuzzConfig {
+        max_threads: o.max_threads,
+        max_ops: o.max_ops,
+        yield_percent: o.yield_percent,
+        inject_safety: o.inject_safety,
+        inject_deadlock: o.inject_deadlock,
+        inject_livelock: o.inject_livelock,
+        ..FuzzConfig::default().with_seed(seed)
+    }
+}
+
+/// Prints the aggregate report, writes corpus and discrepancy files,
+/// and picks the exit code (1 iff any oracle disagreed).
+fn report_fuzz_run(o: &FuzzOpts, results: &[SystemResult]) -> ExitCode {
+    let mut clean = 0u64;
+    let mut skipped = 0u64;
+    let mut buggy: Vec<(&'static str, u64)> = Vec::new();
+    let mut max_unrolling = 0u32;
+    let mut max_states = 0usize;
+    let mut discrepancies = 0usize;
+
+    for r in results {
+        max_unrolling = max_unrolling.max(r.verdict.max_unrolling);
+        max_states = max_states.max(r.verdict.graph_states);
+        match &r.verdict.outcome {
+            SystemOutcome::Clean => clean += 1,
+            SystemOutcome::Skipped(why) => {
+                skipped += 1;
+                eprintln!("note: system {} (seed {}) skipped: {why}", r.index, r.seed);
+            }
+            SystemOutcome::Buggy {
+                kind,
+                message,
+                schedule,
+                minimized,
+            } => {
+                match buggy.iter_mut().find(|(k, _)| *k == kind.as_str()) {
+                    Some((_, n)) => *n += 1,
+                    None => buggy.push((kind.as_str(), 1)),
+                }
+                let path =
+                    Path::new(&o.corpus_dir).join(format!("{}-{}.json", kind.as_str(), r.seed));
+                let doc = corpus_entry(o, r.seed, *kind, message, schedule, minimized);
+                if let Err(e) = std::fs::write(&path, doc.to_string_pretty()) {
+                    eprintln!("error: cannot write corpus file {}: {e}", path.display());
+                }
+                println!(
+                    "system {} (seed {}): {} — \"{message}\" minimized {} -> {} decisions, \
+                     corpus {}",
+                    r.index,
+                    r.seed,
+                    kind.as_str(),
+                    schedule.len(),
+                    minimized.len(),
+                    path.display(),
+                );
+            }
+        }
+        if !r.verdict.discrepancies.is_empty() {
+            discrepancies += r.verdict.discrepancies.len();
+            for d in &r.verdict.discrepancies {
+                eprintln!(
+                    "DISCREPANCY system {} (seed {}) oracle {}: {}",
+                    r.index, r.seed, d.oracle, d.detail
+                );
+            }
+            let path = Path::new(&o.corpus_dir).join(format!("discrepancy-{}.json", r.seed));
+            let doc = Json::object([
+                ("version", Json::UInt(CORPUS_VERSION)),
+                ("seed", Json::UInt(r.seed)),
+                (
+                    "oracles",
+                    Json::array(r.verdict.discrepancies.iter().map(|d| {
+                        Json::object([
+                            ("oracle", Json::Str(d.oracle.into())),
+                            ("detail", Json::Str(d.detail.clone())),
+                        ])
+                    })),
+                ),
+            ]);
+            if let Err(e) = std::fs::write(&path, doc.to_string_pretty()) {
+                eprintln!(
+                    "error: cannot write discrepancy file {}: {e}",
+                    path.display()
+                );
+            }
+        }
+    }
+
+    let buggy_total: u64 = buggy.iter().map(|(_, n)| n).sum();
+    println!(
+        "fuzzed {} systems (base seed {}): {clean} clean, {buggy_total} buggy, {skipped} skipped",
+        results.len(),
+        o.seed,
+    );
+    for (kind, n) in &buggy {
+        println!("  {kind}: {n}");
+    }
+    println!("largest state graph: {max_states} states");
+    println!("max per-execution unrolling: {max_unrolling} (Theorem 4 metric)");
+    if discrepancies > 0 {
+        eprintln!("FAIL: {discrepancies} oracle discrepancies");
+        ExitCode::FAILURE
+    } else {
+        println!("all theorem oracles agreed");
+        ExitCode::SUCCESS
+    }
+}
+
+/// Serializes one corpus entry.
+fn corpus_entry(
+    o: &FuzzOpts,
+    seed: u64,
+    kind: OutcomeKind,
+    message: &str,
+    original: &Schedule,
+    minimized: &Schedule,
+) -> Json {
+    let limits = OracleLimits::default();
+    let config = fuzz_config(o, seed);
+    Json::object([
+        ("version", Json::UInt(CORPUS_VERSION)),
+        ("kind", Json::Str(kind.as_str().into())),
+        ("message", Json::Str(message.into())),
+        ("depth_bound", Json::UInt(limits.depth_bound as u64)),
+        (
+            "config",
+            Json::object([
+                ("seed", Json::UInt(config.seed)),
+                ("max_threads", Json::UInt(config.max_threads as u64)),
+                ("max_ops", Json::UInt(config.max_ops as u64)),
+                ("counters", Json::UInt(config.counters as u64)),
+                ("locks", Json::UInt(config.locks as u64)),
+                ("flags", Json::UInt(config.flags as u64)),
+                ("yield_percent", Json::UInt(u64::from(config.yield_percent))),
+                ("inject_safety", Json::Bool(config.inject_safety)),
+                ("inject_deadlock", Json::Bool(config.inject_deadlock)),
+                ("inject_livelock", Json::Bool(config.inject_livelock)),
+            ]),
+        ),
+        ("original_len", Json::UInt(original.len() as u64)),
+        ("schedule", schedule_to_json(minimized)),
+    ])
+}
+
+/// Runs `fair-chess replay`.
+pub fn do_replay(o: &ReplayOpts) -> ExitCode {
+    match replay_corpus_file(&o.file) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Parses a corpus file, regenerates its system, and replays the
+/// recorded schedule, requiring the recorded outcome kind.
+fn replay_corpus_file(file: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(file).map_err(|e| format!("cannot read '{file}': {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("'{file}' is not valid JSON: {e}"))?;
+
+    let version = doc
+        .get("version")
+        .and_then(Json::as_u64)
+        .ok_or("corpus file has no version")?;
+    if version != CORPUS_VERSION {
+        return Err(format!("unsupported corpus version {version}"));
+    }
+    let kind = doc
+        .get("kind")
+        .and_then(Json::as_str)
+        .and_then(OutcomeKind::parse)
+        .ok_or("corpus file has no recognizable kind")?;
+    let schedule = schedule_from_json(doc.get("schedule").ok_or("corpus file has no schedule")?)?;
+    let depth_bound = doc
+        .get("depth_bound")
+        .and_then(Json::as_u64)
+        .unwrap_or(10_000) as usize;
+    let config = parse_corpus_config(doc.get("config").ok_or("corpus file has no config")?)?;
+
+    let sys = generate_system(&config);
+    println!(
+        "replaying {} ({} decisions, seed {}):",
+        kind.as_str(),
+        schedule.len(),
+        config.seed
+    );
+    let search = Config::fair().with_depth_bound(depth_bound);
+    let report = Explorer::new(|| sys.clone(), FixedSchedule::new(schedule.clone()), search).run();
+    match &report.outcome {
+        SearchOutcome::SafetyViolation(cex) | SearchOutcome::Deadlock(cex) => {
+            println!("{}", cex.render(|| sys.clone()));
+        }
+        other => println!("outcome: {other:?}"),
+    }
+    match OutcomeKind::of(&report.outcome) {
+        Some(k) if k == kind => {
+            println!("reproduced: {}", kind.as_str());
+            Ok(())
+        }
+        got => Err(format!(
+            "replay produced {:?}, corpus expected {}",
+            got.map(OutcomeKind::as_str),
+            kind.as_str()
+        )),
+    }
+}
+
+/// Reads the generator knobs back out of a corpus `config` object.
+fn parse_corpus_config(json: &Json) -> Result<FuzzConfig, String> {
+    let field = |name: &str| {
+        json.get(name)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("corpus config is missing '{name}'"))
+    };
+    let flag = |name: &str| {
+        json.get(name)
+            .and_then(Json::as_bool)
+            .ok_or_else(|| format!("corpus config is missing '{name}'"))
+    };
+    Ok(FuzzConfig {
+        seed: field("seed")?,
+        max_threads: field("max_threads")? as usize,
+        max_ops: field("max_ops")? as usize,
+        counters: field("counters")? as usize,
+        locks: field("locks")? as usize,
+        flags: field("flags")? as usize,
+        yield_percent: field("yield_percent")? as u32,
+        inject_safety: flag("inject_safety")?,
+        inject_deadlock: flag("inject_deadlock")?,
+        inject_livelock: flag("inject_livelock")?,
+    })
+}

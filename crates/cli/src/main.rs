@@ -6,10 +6,13 @@
 //! fair-chess check <workload> [--bug <bug>] [options]
 //! fair-chess cover <workload> [options]
 //! fair-chess truth <workload> [--bug <bug>]
+//! fair-chess fuzz [--systems <N>] [--seed <S>] [--jobs <J>]
+//! fair-chess replay <corpus-file>
 //! ```
 //!
 //! Run `fair-chess help` for the full option list.
 
+mod fuzzcmd;
 mod opts;
 mod registry;
 mod run;

@@ -24,6 +24,18 @@ USAGE:
         Stateful ground truth: reachable states, deadlocks, violations,
         and the Streett fair-cycle (livelock) check.
 
+    fair-chess fuzz [--systems <N>] [--seed <S>] [--jobs <J>] [options]
+        Differential fuzzing: generate random transition systems, check
+        the fair stateless search against the exhaustive stateful
+        reference with one executable oracle per theorem, and write a
+        minimized replayable corpus file for every error found. Exits
+        nonzero iff any oracle disagreed.
+
+    fair-chess replay <corpus-file>
+        Re-run a corpus file written by `fuzz`: regenerate the system
+        from its recorded seed and knobs and replay the minimized
+        schedule, requiring the same outcome kind.
+
 OPTIONS:
     --bug <name>          Seed a bug (see `fair-chess list`).
     --strategy <s>        dfs | cb:<N> | random:<seed>   [default: dfs]
@@ -41,6 +53,19 @@ OPTIONS:
                           First error wins; its schedule is verified to
                           replay deterministically. `check` only.
     --no-trace            Do not print the counterexample trace.
+
+FUZZ OPTIONS:
+    --systems <N>         Number of random systems to check [default: 100].
+    --seed <S>            Base seed; system i uses derive_seed(S, i) [default: 1].
+    --jobs <J>            Worker threads sharding the systems [default: 1].
+    --max-threads <N>     Max base threads per system [default: 3].
+    --max-ops <N>         Max operations per thread [default: 4].
+    --yield-percent <P>   Yield/politeness density 0..=100 [default: 60].
+    --inject <kinds>      Comma-separated bug injections applied to every
+                          system: safety, deadlock, livelock.
+    --corpus-dir <DIR>    Where to write corpus files [default: fuzz-corpus].
+    --max-states <N>      Stateful-reference state cap; larger systems are
+                          skipped [default: 200000].
 ";
 
 /// The strategy selector.
@@ -88,6 +113,46 @@ impl Default for RunOpts {
     }
 }
 
+/// Options for `fuzz`.
+#[derive(Debug, Clone)]
+pub struct FuzzOpts {
+    pub systems: u64,
+    pub seed: u64,
+    pub jobs: usize,
+    pub max_threads: usize,
+    pub max_ops: usize,
+    pub yield_percent: u32,
+    pub inject_safety: bool,
+    pub inject_deadlock: bool,
+    pub inject_livelock: bool,
+    pub corpus_dir: String,
+    pub max_states: usize,
+}
+
+impl Default for FuzzOpts {
+    fn default() -> Self {
+        FuzzOpts {
+            systems: 100,
+            seed: 1,
+            jobs: 1,
+            max_threads: 3,
+            max_ops: 4,
+            yield_percent: 60,
+            inject_safety: false,
+            inject_deadlock: false,
+            inject_livelock: false,
+            corpus_dir: "fuzz-corpus".into(),
+            max_states: 200_000,
+        }
+    }
+}
+
+/// Options for `replay`.
+#[derive(Debug, Clone)]
+pub struct ReplayOpts {
+    pub file: String,
+}
+
 /// A parsed command line.
 #[derive(Debug, Clone)]
 pub enum Command {
@@ -101,6 +166,10 @@ pub enum Command {
     Cover(RunOpts),
     /// `fair-chess truth <workload> [--bug ...]`
     Truth(RunOpts),
+    /// `fair-chess fuzz ...`
+    Fuzz(FuzzOpts),
+    /// `fair-chess replay <file>`
+    Replay(ReplayOpts),
 }
 
 /// A parse failure with a human-readable message.
@@ -201,6 +270,76 @@ fn parse_num(flag: &str, s: &str) -> Result<usize, ParseError> {
         .map_err(|_| ParseError(format!("{flag} needs a number, got '{s}'")))
 }
 
+fn parse_fuzz_opts(args: &[String]) -> Result<FuzzOpts, ParseError> {
+    let mut opts = FuzzOpts::default();
+    let mut it = args.iter();
+    let next_value = |flag: &str, it: &mut std::slice::Iter<'_, String>| {
+        it.next()
+            .cloned()
+            .ok_or_else(|| ParseError(format!("{flag} needs a value")))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--systems" => {
+                opts.systems = parse_num("--systems", &next_value("--systems", &mut it)?)? as u64;
+            }
+            "--seed" => {
+                let v = next_value("--seed", &mut it)?;
+                opts.seed = v
+                    .parse()
+                    .map_err(|_| ParseError(format!("--seed needs a number, got '{v}'")))?;
+            }
+            "--jobs" => {
+                opts.jobs = parse_num("--jobs", &next_value("--jobs", &mut it)?)?;
+                if opts.jobs == 0 {
+                    return err("--jobs needs at least 1 worker");
+                }
+            }
+            "--max-threads" => {
+                opts.max_threads =
+                    parse_num("--max-threads", &next_value("--max-threads", &mut it)?)?;
+                if opts.max_threads < 2 {
+                    return err("--max-threads needs at least 2");
+                }
+            }
+            "--max-ops" => {
+                opts.max_ops = parse_num("--max-ops", &next_value("--max-ops", &mut it)?)?;
+                if opts.max_ops == 0 {
+                    return err("--max-ops needs at least 1");
+                }
+            }
+            "--yield-percent" => {
+                let p = parse_num("--yield-percent", &next_value("--yield-percent", &mut it)?)?;
+                if p > 100 {
+                    return err("--yield-percent must be 0..=100");
+                }
+                opts.yield_percent = p as u32;
+            }
+            "--inject" => {
+                for kind in next_value("--inject", &mut it)?.split(',') {
+                    match kind.trim() {
+                        "safety" => opts.inject_safety = true,
+                        "deadlock" => opts.inject_deadlock = true,
+                        "livelock" => opts.inject_livelock = true,
+                        other => {
+                            return err(format!(
+                                "unknown injection '{other}' (expected safety, deadlock, \
+                                 or livelock)"
+                            ))
+                        }
+                    }
+                }
+            }
+            "--corpus-dir" => opts.corpus_dir = next_value("--corpus-dir", &mut it)?,
+            "--max-states" => {
+                opts.max_states = parse_num("--max-states", &next_value("--max-states", &mut it)?)?;
+            }
+            other => return err(format!("unknown option '{other}'")),
+        }
+    }
+    Ok(opts)
+}
+
 /// Parses a full command line (without the program name).
 pub fn parse(args: &[String]) -> Result<Command, ParseError> {
     let Some(cmd) = args.first() else {
@@ -212,6 +351,13 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
         "check" => Ok(Command::Check(parse_run_opts(&args[1..])?)),
         "cover" => Ok(Command::Cover(parse_run_opts(&args[1..])?)),
         "truth" => Ok(Command::Truth(parse_run_opts(&args[1..])?)),
+        "fuzz" => Ok(Command::Fuzz(parse_fuzz_opts(&args[1..])?)),
+        "replay" => match args.get(1) {
+            Some(file) if args.len() == 2 && !file.starts_with('-') => {
+                Ok(Command::Replay(ReplayOpts { file: file.clone() }))
+            }
+            _ => err("replay needs exactly one corpus file argument"),
+        },
         other => err(format!("unknown command '{other}'")),
     }
 }
@@ -280,6 +426,53 @@ mod tests {
         assert_eq!(o.jobs, 4);
         assert!(parse(&s(&["check", "wsq", "--jobs", "0"])).is_err());
         assert!(parse(&s(&["check", "wsq", "--jobs"])).is_err());
+    }
+
+    #[test]
+    fn parses_fuzz_options() {
+        let cmd = parse(&s(&[
+            "fuzz",
+            "--systems",
+            "500",
+            "--seed",
+            "7",
+            "--jobs",
+            "4",
+            "--inject",
+            "safety,livelock",
+            "--corpus-dir",
+            "out",
+        ]))
+        .unwrap();
+        let Command::Fuzz(o) = cmd else {
+            panic!("expected fuzz")
+        };
+        assert_eq!(o.systems, 500);
+        assert_eq!(o.seed, 7);
+        assert_eq!(o.jobs, 4);
+        assert!(o.inject_safety);
+        assert!(!o.inject_deadlock);
+        assert!(o.inject_livelock);
+        assert_eq!(o.corpus_dir, "out");
+    }
+
+    #[test]
+    fn fuzz_rejects_bad_values() {
+        assert!(parse(&s(&["fuzz", "--inject", "hang"])).is_err());
+        assert!(parse(&s(&["fuzz", "--yield-percent", "120"])).is_err());
+        assert!(parse(&s(&["fuzz", "--max-threads", "1"])).is_err());
+        assert!(parse(&s(&["fuzz", "--jobs", "0"])).is_err());
+    }
+
+    #[test]
+    fn parses_replay() {
+        let cmd = parse(&s(&["replay", "corpus/safety-3.json"])).unwrap();
+        let Command::Replay(o) = cmd else {
+            panic!("expected replay")
+        };
+        assert_eq!(o.file, "corpus/safety-3.json");
+        assert!(parse(&s(&["replay"])).is_err());
+        assert!(parse(&s(&["replay", "a", "b"])).is_err());
     }
 
     #[test]

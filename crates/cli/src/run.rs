@@ -36,6 +36,8 @@ pub fn execute(cmd: Command) -> ExitCode {
         Command::Check(o) => dispatch(&o, Mode::Check),
         Command::Cover(o) => dispatch(&o, Mode::Cover),
         Command::Truth(o) => dispatch(&o, Mode::Truth),
+        Command::Fuzz(o) => crate::fuzzcmd::do_fuzz(&o),
+        Command::Replay(o) => crate::fuzzcmd::do_replay(&o),
     }
 }
 

@@ -452,15 +452,21 @@ where
                     }
                     let starved = enabled_in_cycle.difference(&scheduled).first();
                     let kind = match starved {
-                        None => DivergenceKind::FairCycle {
-                            cycle_start: start_idx,
-                            cycle_len,
-                        },
-                        Some(starved) => DivergenceKind::UnfairCycle {
-                            cycle_start: start_idx,
-                            cycle_len,
-                            starved,
-                        },
+                        None => {
+                            stats.fair_cycles += 1;
+                            DivergenceKind::FairCycle {
+                                cycle_start: start_idx,
+                                cycle_len,
+                            }
+                        }
+                        Some(starved) => {
+                            stats.unfair_cycles += 1;
+                            DivergenceKind::UnfairCycle {
+                                cycle_start: start_idx,
+                                cycle_len,
+                                starved,
+                            }
+                        }
                     };
                     break ExecEnd::Error(SearchOutcome::Divergence(Divergence {
                         kind,

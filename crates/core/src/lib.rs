@@ -80,6 +80,8 @@
 
 mod explore;
 mod fair;
+pub mod fuzz;
+pub mod minimize;
 mod observer;
 mod parallel;
 mod report;
@@ -89,6 +91,8 @@ mod trace;
 
 pub use explore::{iterative_context_bounding, Config, Explorer, FairnessConfig};
 pub use fair::{FairScheduler, PenaltyScope};
+pub use fuzz::{derive_seed, generate_system, FuzzConfig, FuzzOp, FuzzSystem};
+pub use minimize::{minimize_schedule, reproduces, OutcomeKind};
 pub use observer::{CountingObserver, NullObserver, Observer};
 pub use parallel::ParallelExplorer;
 pub use report::{

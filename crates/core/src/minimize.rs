@@ -1,0 +1,241 @@
+//! ddmin-style schedule minimization.
+//!
+//! A counterexample schedule found by search — especially by a random
+//! walk — usually contains many transitions irrelevant to the failure.
+//! [`minimize_schedule`] shrinks it with delta debugging (Zeller &
+//! Hildebrandt's ddmin): repeatedly remove chunks of decisions, keep a
+//! candidate whenever replaying it through [`FixedSchedule`] still
+//! reproduces the *same kind* of outcome, and halve the chunk size when
+//! no removal helps. The result is 1-minimal — removing any single
+//! decision changes or destroys the outcome — which also makes
+//! minimization idempotent.
+//!
+//! Replay is conservative: `FixedSchedule` abandons an execution the
+//! moment a recorded decision is unavailable (disabled, fairness-blocked
+//! or out of branching range), so a candidate only counts as reproducing
+//! when the truncated schedule genuinely drives the program back into
+//! the same class of failure.
+
+use crate::explore::Config;
+use crate::report::{DivergenceKind, SearchOutcome};
+use crate::strategy::FixedSchedule;
+use crate::system::TransitionSystem;
+use crate::trace::Schedule;
+use crate::Explorer;
+
+/// The kind-level classification of a search outcome, used as the
+/// preservation predicate during minimization: a shrunk schedule must
+/// reproduce the same kind, not the byte-identical outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutcomeKind {
+    /// A safety violation ([`SearchOutcome::SafetyViolation`]).
+    Safety,
+    /// A deadlock ([`SearchOutcome::Deadlock`]).
+    Deadlock,
+    /// A definite livelock ([`DivergenceKind::FairCycle`]).
+    FairCycle,
+    /// A definite good-samaritan violation ([`DivergenceKind::UnfairCycle`]).
+    UnfairCycle,
+    /// A good-samaritan suspect ([`DivergenceKind::GoodSamaritanSuspect`]).
+    GoodSamaritanSuspect,
+    /// A livelock suspect ([`DivergenceKind::LivelockSuspect`]).
+    LivelockSuspect,
+}
+
+impl OutcomeKind {
+    /// Classifies an outcome; `None` for non-error outcomes.
+    pub fn of(outcome: &SearchOutcome) -> Option<OutcomeKind> {
+        match outcome {
+            SearchOutcome::SafetyViolation(_) => Some(OutcomeKind::Safety),
+            SearchOutcome::Deadlock(_) => Some(OutcomeKind::Deadlock),
+            SearchOutcome::Divergence(d) => Some(match d.kind {
+                DivergenceKind::FairCycle { .. } => OutcomeKind::FairCycle,
+                DivergenceKind::UnfairCycle { .. } => OutcomeKind::UnfairCycle,
+                DivergenceKind::GoodSamaritanSuspect { .. } => OutcomeKind::GoodSamaritanSuspect,
+                DivergenceKind::LivelockSuspect => OutcomeKind::LivelockSuspect,
+            }),
+            SearchOutcome::Complete | SearchOutcome::BudgetExhausted(_) => None,
+        }
+    }
+
+    /// A stable, file-name-friendly identifier of the kind.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            OutcomeKind::Safety => "safety",
+            OutcomeKind::Deadlock => "deadlock",
+            OutcomeKind::FairCycle => "fair-cycle",
+            OutcomeKind::UnfairCycle => "unfair-cycle",
+            OutcomeKind::GoodSamaritanSuspect => "gs-suspect",
+            OutcomeKind::LivelockSuspect => "livelock-suspect",
+        }
+    }
+
+    /// Parses the identifier produced by [`OutcomeKind::as_str`].
+    pub fn parse(s: &str) -> Option<OutcomeKind> {
+        Some(match s {
+            "safety" => OutcomeKind::Safety,
+            "deadlock" => OutcomeKind::Deadlock,
+            "fair-cycle" => OutcomeKind::FairCycle,
+            "unfair-cycle" => OutcomeKind::UnfairCycle,
+            "gs-suspect" => OutcomeKind::GoodSamaritanSuspect,
+            "livelock-suspect" => OutcomeKind::LivelockSuspect,
+            _ => return None,
+        })
+    }
+}
+
+/// Replays `schedule` through [`FixedSchedule`] under `config` and
+/// returns whether the outcome has the given kind.
+pub fn reproduces<P, F>(
+    mut factory: F,
+    config: &Config,
+    schedule: &Schedule,
+    kind: OutcomeKind,
+) -> bool
+where
+    P: TransitionSystem,
+    F: FnMut() -> P,
+{
+    let report = Explorer::new(
+        &mut factory,
+        FixedSchedule::new(schedule.clone()),
+        config.clone(),
+    )
+    .run();
+    OutcomeKind::of(&report.outcome) == Some(kind)
+}
+
+/// Shrinks `schedule` with ddmin while it keeps reproducing an outcome
+/// of the given kind under `config`.
+///
+/// Returns the schedule unchanged if it does not reproduce the kind in
+/// the first place (a caller bug, but a safe one). The result always
+/// reproduces the kind and is 1-minimal: a second call returns it
+/// unchanged.
+pub fn minimize_schedule<P, F>(
+    mut factory: F,
+    config: &Config,
+    schedule: &Schedule,
+    kind: OutcomeKind,
+) -> Schedule
+where
+    P: TransitionSystem,
+    F: FnMut() -> P,
+{
+    let mut current = schedule.clone();
+    if !reproduces(&mut factory, config, &current, kind) {
+        return current;
+    }
+    let mut granularity = 2usize;
+    while current.len() >= 2 {
+        let chunk = current.len().div_ceil(granularity);
+        let mut reduced = false;
+        let mut start = 0usize;
+        while start < current.len() {
+            let end = (start + chunk).min(current.len());
+            let mut candidate = Vec::with_capacity(current.len() - (end - start));
+            candidate.extend_from_slice(&current[..start]);
+            candidate.extend_from_slice(&current[end..]);
+            if reproduces(&mut factory, config, &candidate, kind) {
+                current = candidate;
+                granularity = granularity.saturating_sub(1).max(2);
+                reduced = true;
+                break;
+            }
+            start = end;
+        }
+        if !reduced {
+            if granularity >= current.len() {
+                break;
+            }
+            granularity = (granularity * 2).min(current.len());
+        }
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fuzz::{generate_system, FuzzConfig};
+    use crate::strategy::RandomWalk;
+    use crate::Explorer;
+
+    fn injected(kind: &str, seed: u64) -> FuzzConfig {
+        FuzzConfig {
+            inject_safety: kind == "safety",
+            inject_deadlock: kind == "deadlock",
+            inject_livelock: kind == "livelock",
+            yield_percent: 100,
+            ..FuzzConfig::default().with_seed(seed)
+        }
+    }
+
+    /// Finds a (usually long) counterexample with a random walk and
+    /// checks the minimizer's three contracts: same kind, idempotence,
+    /// and a ≥2x shrink for the injected bug.
+    #[test]
+    fn minimizes_random_walk_safety_counterexample() {
+        let cfg = injected("safety", 5);
+        let factory = || generate_system(&cfg);
+        let config = Config::fair();
+        let mut walk_seed = 1;
+        let (schedule, kind) = loop {
+            let report = Explorer::new(factory, RandomWalk::new(walk_seed), config.clone()).run();
+            if let SearchOutcome::SafetyViolation(c) = report.outcome {
+                break (c.schedule, OutcomeKind::Safety);
+            }
+            walk_seed += 1;
+            assert!(walk_seed < 50, "no violation found by random walks");
+        };
+        let min = minimize_schedule(factory, &config, &schedule, kind);
+        assert!(reproduces(factory, &config, &min, kind));
+        assert!(
+            min.len() * 2 <= schedule.len(),
+            "minimized {} of {} decisions",
+            min.len(),
+            schedule.len()
+        );
+        let again = minimize_schedule(factory, &config, &min, kind);
+        assert_eq!(again, min, "minimization is idempotent");
+    }
+
+    #[test]
+    fn preserves_deadlock_kind() {
+        let cfg = injected("deadlock", 9);
+        let factory = || generate_system(&cfg);
+        let config = Config::fair();
+        let report = Explorer::new(factory, crate::strategy::Dfs::new(), config.clone()).run();
+        let SearchOutcome::Deadlock(c) = &report.outcome else {
+            panic!("expected deadlock, got {:?}", report.outcome);
+        };
+        let min = minimize_schedule(factory, &config, &c.schedule, OutcomeKind::Deadlock);
+        assert!(min.len() <= c.schedule.len());
+        assert!(reproduces(factory, &config, &min, OutcomeKind::Deadlock));
+    }
+
+    #[test]
+    fn non_reproducing_schedule_returned_unchanged() {
+        let cfg = FuzzConfig::default().with_seed(2);
+        let factory = || generate_system(&cfg);
+        let config = Config::fair();
+        let schedule = Vec::new();
+        let out = minimize_schedule(factory, &config, &schedule, OutcomeKind::Safety);
+        assert_eq!(out, schedule);
+    }
+
+    #[test]
+    fn kind_strings_round_trip() {
+        for k in [
+            OutcomeKind::Safety,
+            OutcomeKind::Deadlock,
+            OutcomeKind::FairCycle,
+            OutcomeKind::UnfairCycle,
+            OutcomeKind::GoodSamaritanSuspect,
+            OutcomeKind::LivelockSuspect,
+        ] {
+            assert_eq!(OutcomeKind::parse(k.as_str()), Some(k));
+        }
+        assert_eq!(OutcomeKind::parse("nope"), None);
+    }
+}

@@ -170,6 +170,12 @@ pub struct SearchStats {
     /// first): detected cycles plus fair depth-bound hits. Disjoint from
     /// [`SearchStats::nonterminating`], which only counts unfair cuts.
     pub divergences: u64,
+    /// Divergences that were definite **fair** cycles — livelocks in the
+    /// sense of Theorem 6. A subset of [`SearchStats::divergences`].
+    pub fair_cycles: u64,
+    /// Divergences that were definite **unfair** cycles — good-samaritan
+    /// violations. A subset of [`SearchStats::divergences`].
+    pub unfair_cycles: u64,
     /// Execution index of the first error found, if any.
     pub first_error_execution: Option<u64>,
     /// Deepest execution observed.
@@ -194,6 +200,8 @@ impl SearchStats {
         self.deadlocks += other.deadlocks;
         self.violations += other.violations;
         self.divergences += other.divergences;
+        self.fair_cycles += other.fair_cycles;
+        self.unfair_cycles += other.unfair_cycles;
         self.first_error_execution = match (self.first_error_execution, other.first_error_execution)
         {
             (Some(a), Some(b)) => Some(a.min(b)),

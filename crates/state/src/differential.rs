@@ -1,0 +1,523 @@
+//! Differential checking of the stateless fair explorer against the
+//! stateful reference.
+//!
+//! [`differential_check`] drives one program through both engines and
+//! cross-examines the results with an *executable oracle* per theorem of
+//! the paper:
+//!
+//! | oracle | theorem | claim checked |
+//! |---|---|---|
+//! | `visited-unreachable` | — | every state the explorer visits exists in the state graph |
+//! | `yield-free-coverage` | Thm 5 | every yield-free-reachable state is visited by the fair search |
+//! | `deadlock-missed` / `deadlock-phantom` | Thm 3 | yield-free-reachable deadlocks are found; reported deadlocks exist |
+//! | `violation-missed` / `violation-phantom` | Thm 3 | same for safety violations |
+//! | `livelock-missed` / `livelock-phantom` | Thm 6 | fair cycles are found iff the graph has a fair SCC |
+//! | `unrolling-bound` | Thm 4 | no program state recurs unboundedly within one execution |
+//! | `error-pass-disagrees` | — | the stop-at-first-error pass agrees with the counting pass |
+//! | `replay-*` | — | counterexamples replay deterministically and land on real graph states |
+//!
+//! The harness runs two stateless passes over the same program: pass A
+//! counts every error without stopping (so the completeness oracles can
+//! compare totals), pass B stops at the first error (producing the
+//! counterexample that is verified, cross-checked against the graph,
+//! minimized, and ultimately persisted to the fuzzing corpus).
+
+use std::collections::{HashMap, HashSet};
+
+use chess_core::minimize::{minimize_schedule, reproduces, OutcomeKind};
+use chess_core::strategy::{Dfs, FixedSchedule};
+use chess_core::{
+    replay, Config, Explorer, Observer, ParallelExplorer, Schedule, SearchOutcome, SystemStatus,
+    TransitionSystem,
+};
+
+use crate::coverage::CoverageTracker;
+use crate::stateful::{StateGraph, StatefulLimits};
+
+/// Budgets protecting one differential check from state-space blowup.
+/// Exceeding any of them yields [`SystemOutcome::Skipped`], never a
+/// discrepancy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OracleLimits {
+    /// Maximum distinct states for the stateful reference.
+    pub max_states: usize,
+    /// Maximum executions for each stateless pass.
+    pub max_executions: u64,
+    /// Per-execution depth bound for the stateless passes.
+    pub depth_bound: usize,
+    /// Also re-run error detection through a 2-worker
+    /// [`ParallelExplorer`] DFS and require it to agree on whether an
+    /// error exists.
+    pub parallel_cross_check: bool,
+}
+
+impl Default for OracleLimits {
+    fn default() -> Self {
+        OracleLimits {
+            max_states: 200_000,
+            max_executions: 500_000,
+            depth_bound: 10_000,
+            parallel_cross_check: true,
+        }
+    }
+}
+
+/// One oracle failure: the engines disagree about this program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Discrepancy {
+    /// Stable oracle identifier (see the module table).
+    pub oracle: &'static str,
+    /// Human-readable description of the disagreement.
+    pub detail: String,
+}
+
+/// What the differential check concluded about one program.
+#[derive(Debug, Clone)]
+pub enum SystemOutcome {
+    /// A budget was exceeded before the oracles could run.
+    Skipped(String),
+    /// The program has no errors and every oracle passed.
+    Clean,
+    /// An error was found, verified against the graph, and minimized.
+    Buggy {
+        /// Kind of the first error found by pass B.
+        kind: OutcomeKind,
+        /// Human-readable message of the error.
+        message: String,
+        /// The schedule pass B recorded.
+        schedule: Schedule,
+        /// The ddmin-minimized schedule (reproduces the same kind).
+        minimized: Schedule,
+    },
+}
+
+/// Result of one differential check.
+#[derive(Debug, Clone)]
+pub struct Verdict {
+    /// Distinct reachable states (ground truth).
+    pub graph_states: usize,
+    /// States reachable through yield-free transitions only (Theorem 5's
+    /// mandatory coverage set).
+    pub yield_free_states: usize,
+    /// Distinct states visited by the stateless fair search.
+    pub covered_states: usize,
+    /// Largest number of times any single program state recurred within
+    /// one execution (the Theorem 4 unrolling metric).
+    pub max_unrolling: u32,
+    /// Classification of the program.
+    pub outcome: SystemOutcome,
+    /// Oracle failures; empty means the engines agree.
+    pub discrepancies: Vec<Discrepancy>,
+}
+
+impl Verdict {
+    /// Whether every oracle agreed (a skipped system counts as agreeing).
+    pub fn agreed(&self) -> bool {
+        self.discrepancies.is_empty()
+    }
+}
+
+/// Coverage plus the Theorem 4 unrolling metric, observed in one pass.
+struct DifferentialObserver {
+    coverage: CoverageTracker,
+    in_execution: HashMap<u64, u32>,
+    max_unrolling: u32,
+}
+
+impl DifferentialObserver {
+    fn new() -> Self {
+        DifferentialObserver {
+            coverage: CoverageTracker::new(),
+            in_execution: HashMap::new(),
+            max_unrolling: 0,
+        }
+    }
+}
+
+impl<P: TransitionSystem + ?Sized> Observer<P> for DifferentialObserver {
+    fn on_state(&mut self, sys: &P, _depth: usize) {
+        self.coverage.insert(sys.state_bytes());
+        let n = self.in_execution.entry(sys.fingerprint()).or_insert(0);
+        *n += 1;
+        self.max_unrolling = self.max_unrolling.max(*n);
+    }
+
+    fn on_execution_end(&mut self, _sys: &P, _depth: usize) {
+        self.in_execution.clear();
+    }
+}
+
+/// Runs the full differential check of one program.
+///
+/// `factory` must produce identical fresh instances on every call (the
+/// stateless-checking contract). The `Sync` bound exists for the
+/// parallel cross-check; it is trivially satisfied by closures over
+/// immutable configuration.
+pub fn differential_check<P, F>(factory: F, limits: &OracleLimits) -> Verdict
+where
+    P: TransitionSystem + Clone,
+    F: Fn() -> P + Sync,
+{
+    let mut verdict = Verdict {
+        graph_states: 0,
+        yield_free_states: 0,
+        covered_states: 0,
+        max_unrolling: 0,
+        outcome: SystemOutcome::Clean,
+        discrepancies: Vec::new(),
+    };
+    let disc = |v: &mut Verdict, oracle: &'static str, detail: String| {
+        v.discrepancies.push(Discrepancy { oracle, detail });
+    };
+
+    // Ground truth: the explicit state graph.
+    let graph = match StateGraph::build(
+        &factory(),
+        StatefulLimits {
+            max_states: limits.max_states,
+        },
+    ) {
+        Ok(g) => g,
+        Err(e) => {
+            verdict.outcome = SystemOutcome::Skipped(e.to_string());
+            return verdict;
+        }
+    };
+    verdict.graph_states = graph.state_count();
+    let r0 = graph.yield_free_reachable();
+    verdict.yield_free_states = r0.iter().filter(|&&b| b).count();
+
+    // Pass A: count every error, never stop, observe coverage.
+    let config_a = Config::fair()
+        .with_stop_on_error(false)
+        .with_max_executions(limits.max_executions)
+        .with_depth_bound(limits.depth_bound);
+    let mut obs = DifferentialObserver::new();
+    let report_a = Explorer::new(&factory, Dfs::new(), config_a).run_observed(&mut obs);
+    verdict.covered_states = obs.coverage.distinct_states();
+    verdict.max_unrolling = obs.max_unrolling;
+    if let SearchOutcome::BudgetExhausted(k) = report_a.outcome {
+        verdict.outcome = SystemOutcome::Skipped(format!("counting pass budget exhausted: {k:?}"));
+        return verdict;
+    }
+
+    // Oracle: soundness of visits — the stateless engine may not invent
+    // states the reference cannot reach.
+    let graph_set: HashSet<&[u8]> = (0..graph.state_count())
+        .map(|i| graph.node_bytes(i))
+        .collect();
+    for sig in obs.coverage.iter() {
+        if !graph_set.contains(sig.as_slice()) {
+            disc(
+                &mut verdict,
+                "visited-unreachable",
+                format!("stateless search visited a state absent from the graph: {sig:?}"),
+            );
+            break;
+        }
+    }
+
+    // Oracle (Theorem 5): every yield-free-reachable state is covered.
+    let mut missed = 0usize;
+    for (i, &in_r0) in r0.iter().enumerate() {
+        if in_r0 && !obs.coverage.contains(graph.node_bytes(i)) {
+            missed += 1;
+        }
+    }
+    if missed > 0 {
+        let total_r0 = verdict.yield_free_states;
+        disc(
+            &mut verdict,
+            "yield-free-coverage",
+            format!(
+                "{missed} of {total_r0} yield-free-reachable states not visited by the fair search"
+            ),
+        );
+    }
+
+    // Oracles (Theorem 3): deadlocks found iff real. Completeness is
+    // required only for yield-free-reachable deadlocks — a deadlock
+    // behind a yield is still guaranteed found by fair DFS, but Theorem 5
+    // is the form we can state without a scheduler-completeness proof.
+    let graph_deadlocks = graph.deadlock_states();
+    let graph_violations = graph.violation_states();
+    if report_a.stats.deadlocks > 0 && graph_deadlocks.is_empty() {
+        disc(
+            &mut verdict,
+            "deadlock-phantom",
+            format!(
+                "stateless search reported {} deadlocks; graph has none",
+                report_a.stats.deadlocks
+            ),
+        );
+    }
+    if graph_deadlocks.iter().any(|&i| r0[i]) && report_a.stats.deadlocks == 0 {
+        disc(
+            &mut verdict,
+            "deadlock-missed",
+            "graph has a yield-free-reachable deadlock; stateless search reported none".into(),
+        );
+    }
+    if report_a.stats.violations > 0 && graph_violations.is_empty() {
+        disc(
+            &mut verdict,
+            "violation-phantom",
+            format!(
+                "stateless search reported {} violations; graph has none",
+                report_a.stats.violations
+            ),
+        );
+    }
+    if graph_violations.iter().any(|&i| r0[i]) && report_a.stats.violations == 0 {
+        disc(
+            &mut verdict,
+            "violation-missed",
+            "graph has a yield-free-reachable violation; stateless search reported none".into(),
+        );
+    }
+
+    // Oracle (Theorem 6): livelocks. The Streett check on the graph
+    // decides fair-cycle existence exactly; the fair stateless search
+    // must agree in both directions.
+    let fair_scc = graph.find_fair_scc();
+    if fair_scc.is_some() && report_a.stats.fair_cycles == 0 {
+        disc(
+            &mut verdict,
+            "livelock-missed",
+            format!(
+                "graph has a fair SCC of {} states; stateless search found no fair cycle",
+                fair_scc.as_ref().map_or(0, Vec::len)
+            ),
+        );
+    }
+    if fair_scc.is_none() && report_a.stats.fair_cycles > 0 {
+        disc(
+            &mut verdict,
+            "livelock-phantom",
+            format!(
+                "stateless search reported {} fair cycles; graph has no fair SCC",
+                report_a.stats.fair_cycles
+            ),
+        );
+    }
+
+    // Oracle (Theorem 4): bounded unrolling. The theorem bounds unfair
+    // cycle unrollings at two; executable form: within one execution no
+    // program state recurs more than `4·threads + 4` times (slack covers
+    // overlapping per-thread spin windows).
+    let threads = factory().thread_count() as u32;
+    if obs.max_unrolling > 4 * threads + 4 {
+        disc(
+            &mut verdict,
+            "unrolling-bound",
+            format!(
+                "a program state recurred {} times within one execution (bound {})",
+                obs.max_unrolling,
+                4 * threads + 4
+            ),
+        );
+    }
+
+    // Pass B: stop at the first error — the counterexample producer.
+    let config_b = Config::fair()
+        .with_max_executions(limits.max_executions)
+        .with_depth_bound(limits.depth_bound);
+    let report_b = Explorer::new(&factory, Dfs::new(), config_b.clone()).run();
+    let errors_a =
+        report_a.stats.violations + report_a.stats.deadlocks + report_a.stats.divergences;
+
+    if limits.parallel_cross_check {
+        let par = ParallelExplorer::new(&factory, config_b.clone(), 2).run_dfs();
+        if par.outcome.found_error() != (errors_a > 0) {
+            disc(
+                &mut verdict,
+                "error-pass-disagrees",
+                format!(
+                    "parallel DFS found_error = {}, counting pass saw {errors_a} errors",
+                    par.outcome.found_error()
+                ),
+            );
+        }
+    }
+
+    match &report_b.outcome {
+        SearchOutcome::Complete => {
+            if errors_a > 0 {
+                disc(
+                    &mut verdict,
+                    "error-pass-disagrees",
+                    format!("counting pass saw {errors_a} errors; error pass completed cleanly"),
+                );
+            }
+            verdict.outcome = SystemOutcome::Clean;
+        }
+        SearchOutcome::BudgetExhausted(k) => {
+            verdict.outcome = SystemOutcome::Skipped(format!("error pass budget exhausted: {k:?}"));
+        }
+        outcome => {
+            if errors_a == 0 {
+                disc(
+                    &mut verdict,
+                    "error-pass-disagrees",
+                    format!("error pass found {outcome:?}; counting pass saw none"),
+                );
+            }
+            let kind = OutcomeKind::of(outcome).expect("error outcome has a kind");
+            let (schedule, message) = match outcome {
+                SearchOutcome::SafetyViolation(c) | SearchOutcome::Deadlock(c) => {
+                    (c.schedule.clone(), c.message.clone())
+                }
+                SearchOutcome::Divergence(d) => (d.schedule.clone(), d.kind.to_string()),
+                _ => unreachable!(),
+            };
+
+            // Replay determinism: two fixed-schedule replays must agree
+            // with each other and with the original outcome kind.
+            let replay_once = || {
+                Explorer::new(
+                    &factory,
+                    FixedSchedule::new(schedule.clone()),
+                    config_b.clone(),
+                )
+                .run()
+                .outcome
+            };
+            let (r1, r2) = (replay_once(), replay_once());
+            if r1 != r2 {
+                disc(
+                    &mut verdict,
+                    "replay-nondeterministic",
+                    format!("two replays disagree: {r1:?} vs {r2:?}"),
+                );
+            }
+            if OutcomeKind::of(&r1) != Some(kind) {
+                disc(
+                    &mut verdict,
+                    "replay-kind-changed",
+                    format!("replay produced {r1:?}, expected kind {kind:?}"),
+                );
+            }
+
+            // Graph cross-check of the counterexample itself.
+            match kind {
+                OutcomeKind::Safety | OutcomeKind::Deadlock => {
+                    let mut sys = factory();
+                    let status = replay(&mut sys, &schedule);
+                    let final_bytes = sys.state_bytes();
+                    let node = graph.state_index(&final_bytes);
+                    let ok = match (kind, node) {
+                        (OutcomeKind::Safety, Some(i)) => {
+                            matches!(graph.nodes()[i].status, SystemStatus::Violation(..))
+                        }
+                        (OutcomeKind::Deadlock, Some(i)) => {
+                            matches!(graph.nodes()[i].status, SystemStatus::Deadlock)
+                        }
+                        _ => false,
+                    };
+                    if !ok {
+                        disc(
+                            &mut verdict,
+                            "replay-state-unreal",
+                            format!(
+                                "counterexample replays to {status:?} at graph node {node:?}, \
+                                 which is not a matching terminal state"
+                            ),
+                        );
+                    }
+                }
+                OutcomeKind::FairCycle if fair_scc.is_none() => {
+                    disc(
+                        &mut verdict,
+                        "livelock-phantom",
+                        "error pass reported a fair cycle; graph has no fair SCC".into(),
+                    );
+                }
+                _ => {}
+            }
+
+            // Shrink. The minimizer re-verifies reproduction internally;
+            // double-check its contract here so a minimizer regression
+            // surfaces as a discrepancy too.
+            let minimized = minimize_schedule(&factory, &config_b, &schedule, kind);
+            if !reproduces(&factory, &config_b, &minimized, kind) {
+                disc(
+                    &mut verdict,
+                    "minimizer-broken",
+                    format!(
+                        "minimized schedule ({} of {} decisions) stopped reproducing {kind:?}",
+                        minimized.len(),
+                        schedule.len()
+                    ),
+                );
+            }
+            verdict.outcome = SystemOutcome::Buggy {
+                kind,
+                message,
+                schedule,
+                minimized,
+            };
+        }
+    }
+    verdict
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chess_core::fuzz::{derive_seed, generate_system, FuzzConfig};
+
+    #[test]
+    fn clean_fuzz_systems_agree() {
+        for i in 0..10 {
+            let cfg = FuzzConfig::default().with_seed(derive_seed(0xC1EA, i));
+            let v = differential_check(|| generate_system(&cfg), &OracleLimits::default());
+            assert!(v.agreed(), "seed {i}: {:?}", v.discrepancies);
+            if let SystemOutcome::Clean = v.outcome {
+                assert!(v.covered_states <= v.graph_states);
+                assert!(v.yield_free_states <= v.graph_states);
+            }
+        }
+    }
+
+    #[test]
+    fn injected_safety_bug_yields_minimized_counterexample() {
+        let cfg = FuzzConfig {
+            inject_safety: true,
+            yield_percent: 100,
+            ..FuzzConfig::default().with_seed(derive_seed(0xB06, 0))
+        };
+        let v = differential_check(|| generate_system(&cfg), &OracleLimits::default());
+        assert!(v.agreed(), "{:?}", v.discrepancies);
+        match v.outcome {
+            SystemOutcome::Buggy {
+                kind,
+                ref minimized,
+                ref schedule,
+                ..
+            } => {
+                assert_eq!(kind, OutcomeKind::Safety);
+                assert!(minimized.len() <= schedule.len());
+            }
+            ref o => panic!("expected a bug, got {o:?}"),
+        }
+    }
+
+    #[test]
+    fn injected_livelock_agrees_with_streett_check() {
+        let cfg = FuzzConfig {
+            inject_livelock: true,
+            yield_percent: 100,
+            ..FuzzConfig::default().with_seed(derive_seed(0x11FE, 0))
+        };
+        let v = differential_check(|| generate_system(&cfg), &OracleLimits::default());
+        assert!(v.agreed(), "{:?}", v.discrepancies);
+        assert!(
+            matches!(
+                v.outcome,
+                SystemOutcome::Buggy { .. } | SystemOutcome::Skipped(_)
+            ),
+            "{:?}",
+            v.outcome
+        );
+    }
+}

@@ -59,10 +59,12 @@
 
 mod canonical;
 mod coverage;
+mod differential;
 mod stateful;
 
 pub use canonical::Canonicalizer;
 pub use coverage::{CoverageTracker, FingerprintCoverage};
+pub use differential::{differential_check, Discrepancy, OracleLimits, SystemOutcome, Verdict};
 pub use stateful::{
-    preemption_bounded_states, StateGraph, StateNode, StatefulError, StatefulLimits,
+    preemption_bounded_states, Edge, StateGraph, StateNode, StatefulError, StatefulLimits,
 };

@@ -14,7 +14,7 @@ use std::collections::HashMap;
 use std::fmt;
 
 use chess_core::{Decision, SystemStatus, TransitionSystem};
-use chess_kernel::{ThreadId, TidSet};
+use chess_kernel::{StepKind, ThreadId, TidSet};
 
 /// Limits protecting the stateful search from state-space explosion.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,13 +50,26 @@ impl fmt::Display for StatefulError {
 
 impl std::error::Error for StatefulError {}
 
+/// One outgoing transition of a state-graph node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edge {
+    /// The decision labelling the transition.
+    pub decision: Decision,
+    /// Index of the successor state.
+    pub target: usize,
+    /// Whether the transition was a yield ([`StepKind::Yield`]) — needed
+    /// by [`StateGraph::yield_free_reachable`], the reference set of
+    /// Theorem 5.
+    pub is_yield: bool,
+}
+
 /// One state of the explicit state graph.
 #[derive(Debug, Clone)]
 pub struct StateNode {
     /// Threads enabled in this state.
     pub enabled: TidSet,
-    /// Outgoing transitions: decision and successor state index.
-    pub edges: Vec<(Decision, usize)>,
+    /// Outgoing transitions.
+    pub edges: Vec<Edge>,
     /// Terminal classification of this state.
     pub status: SystemStatus,
 }
@@ -65,6 +78,8 @@ pub struct StateNode {
 #[derive(Debug, Clone)]
 pub struct StateGraph {
     nodes: Vec<StateNode>,
+    /// Canonical state bytes of each node, parallel to `nodes`.
+    bytes: Vec<Vec<u8>>,
 }
 
 impl StateGraph {
@@ -117,20 +132,27 @@ impl StateGraph {
             for t in enabled.iter() {
                 for c in 0..sys.branching(t) {
                     let mut succ = sys.clone();
-                    succ.step(t, c as u32);
+                    let kind = succ.step(t, c as u32);
                     let sid = intern(&succ, &mut nodes, &mut frontier)?;
-                    edges.push((
-                        Decision {
+                    edges.push(Edge {
+                        decision: Decision {
                             thread: t,
                             choice: c as u32,
                         },
-                        sid,
-                    ));
+                        target: sid,
+                        is_yield: kind == StepKind::Yield,
+                    });
                 }
             }
             nodes[id].edges = edges;
         }
-        Ok(StateGraph { nodes })
+        // Move the interning keys into per-node storage so callers can
+        // compare stateless coverage signatures against the graph.
+        let mut bytes = vec![Vec::new(); nodes.len()];
+        for (b, id) in index {
+            bytes[id] = b;
+        }
+        Ok(StateGraph { nodes, bytes })
     }
 
     /// Number of distinct reachable states — the "Total States" column of
@@ -142,6 +164,40 @@ impl StateGraph {
     /// The nodes of the graph (index 0 is the initial state).
     pub fn nodes(&self) -> &[StateNode] {
         &self.nodes
+    }
+
+    /// The canonical state bytes of node `i` — the same signature the
+    /// stateless side's `CoverageTracker` records.
+    pub fn node_bytes(&self, i: usize) -> &[u8] {
+        &self.bytes[i]
+    }
+
+    /// Looks up a state signature; returns its node index if reachable.
+    pub fn state_index(&self, bytes: &[u8]) -> Option<usize> {
+        // Linear scan is fine for oracle-sized graphs; callers needing
+        // many lookups should build a set from `node_bytes` once.
+        self.bytes.iter().position(|b| b == bytes)
+    }
+
+    /// Marks the states reachable from the initial state through
+    /// **yield-free** transitions only — the set `R0` of Theorem 5, which
+    /// a fair demonic scheduler must still cover entirely.
+    pub fn yield_free_reachable(&self) -> Vec<bool> {
+        let mut seen = vec![false; self.nodes.len()];
+        if self.nodes.is_empty() {
+            return seen;
+        }
+        seen[0] = true;
+        let mut stack = vec![0usize];
+        while let Some(i) = stack.pop() {
+            for e in &self.nodes[i].edges {
+                if !e.is_yield && !seen[e.target] {
+                    seen[e.target] = true;
+                    stack.push(e.target);
+                }
+            }
+        }
+        seen
     }
 
     /// Indices of deadlock states.
@@ -195,10 +251,10 @@ impl StateGraph {
             let mut scheduled = TidSet::new();
             let mut has_internal_edge = false;
             for &i in &scc {
-                for &(d, j) in &self.nodes[i].edges {
-                    if in_scc[j] {
+                for e in &self.nodes[i].edges {
+                    if in_scc[e.target] {
                         has_internal_edge = true;
-                        scheduled.insert(d.thread);
+                        scheduled.insert(e.decision.thread);
                     }
                 }
             }
@@ -267,7 +323,7 @@ impl StateGraph {
                 }
                 let mut advanced = false;
                 while *cursor < self.nodes[v].edges.len() {
-                    let (_, w) = self.nodes[v].edges[*cursor];
+                    let w = self.nodes[v].edges[*cursor].target;
                     *cursor += 1;
                     if !member[w] {
                         continue;

@@ -1,0 +1,225 @@
+//! Property-based tests of the fair scheduler's window-set bookkeeping
+//! (Algorithm 1, lines 12–29), driven with proptest-generated adversarial
+//! schedules.
+//!
+//! A note on the obvious-looking invariant "`S(t) ⊆ E(t)`": it does
+//! *not* hold of Algorithm 1 (a thread scheduled in `t`'s window lands
+//! in `S(t)` even if it was disabled at some point, while `E(t)` only
+//! keeps continuously-enabled threads), so these tests check the
+//! invariants the algorithm actually maintains:
+//!
+//! * `E(u)` is always a subset of the latest enabled set, and only ever
+//!   shrinks between yields of `u`;
+//! * a processed yield of `t` clears `S(t)` and `D(t)` and reseeds
+//!   `E(t)` with the current enabled set;
+//! * priority edges are added **only** on a starved-window yield, and
+//!   then exactly the edges `{t} × H` with `H = (E(t) ∪ D(t)) \ S(t)`;
+//!   every other transition only *removes* edges (the sink-removal of
+//!   line 13);
+//! * the relation stays acyclic and self-edge-free, so the schedulable
+//!   set is empty only when the enabled set is (Theorem 3).
+
+use chess_core::FairScheduler;
+use chess_kernel::{ThreadId, TidSet};
+use proptest::prelude::*;
+
+/// One generated scheduler step: which schedulable thread to run (as an
+/// index modulo the options), the next enabled set (as a bitmask over
+/// the thread universe), and whether the transition was a yield.
+type Step = (u64, u32, bool);
+
+fn mask_to_set(mask: u32, n: usize) -> TidSet {
+    (0..n)
+        .filter(|i| mask & (1 << i) != 0)
+        .map(ThreadId::new)
+        .collect()
+}
+
+fn is_subset(a: &TidSet, b: &TidSet) -> bool {
+    a.iter().all(|t| b.contains(t))
+}
+
+/// Drives a fresh scheduler through `steps`, invoking `check` after
+/// every transition with
+/// `(scheduler, t, es_before, es_after, yielded, processed, pre)`,
+/// where `pre` snapshots `(P, E, D, S)` before the call and `processed`
+/// says whether this yield hit the every-`k`-th processing point.
+#[allow(clippy::type_complexity)]
+fn drive(
+    n: usize,
+    k: u64,
+    steps: &[Step],
+    mut check: impl FnMut(
+        &FairScheduler,
+        ThreadId,
+        &TidSet,
+        &TidSet,
+        bool,
+        bool,
+        &(Vec<TidSet>, Vec<TidSet>, Vec<TidSet>, Vec<TidSet>),
+    ) -> Result<(), TestCaseError>,
+) -> Result<(), TestCaseError> {
+    let mut fair = FairScheduler::with_k(n, k);
+    let mut es = TidSet::full(n);
+    for &(pick, mask, yielded) in steps {
+        let schedulable = fair.schedulable(&es);
+        if schedulable.is_empty() {
+            // Only an empty enabled set may starve the scheduler; start a
+            // fresh "execution" as the explorer would.
+            prop_assert!(es.is_empty(), "Theorem 3: T empty but ES = {es:?}");
+            es = TidSet::full(n);
+            continue;
+        }
+        let options: Vec<ThreadId> = schedulable.iter().collect();
+        let t = options[(pick % options.len() as u64) as usize];
+        let es_after = mask_to_set(mask, n);
+
+        let pre = (
+            fair.priority_edges().to_vec(),
+            (0..n)
+                .map(|i| fair.window_enabled(ThreadId::new(i)).clone())
+                .collect::<Vec<_>>(),
+            (0..n)
+                .map(|i| fair.window_disabled(ThreadId::new(i)).clone())
+                .collect::<Vec<_>>(),
+            (0..n)
+                .map(|i| fair.window_scheduled(ThreadId::new(i)).clone())
+                .collect::<Vec<_>>(),
+        );
+        let yields_before = fair.yield_count(t);
+        fair.on_scheduled(t, &es, &es_after, yielded);
+        let processed = yielded && (yields_before + 1).is_multiple_of(k);
+        check(&fair, t, &es, &es_after, yielded, processed, &pre)?;
+        es = es_after;
+    }
+    Ok(())
+}
+
+fn steps_strategy() -> impl Strategy<Value = Vec<Step>> {
+    prop::collection::vec((any::<u64>(), 0u32..64, any::<bool>()), 1..80)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `E(u)` only ever holds continuously-enabled threads: after every
+    /// transition it is a subset of the new enabled set, and for
+    /// non-yielding threads it can only shrink.
+    #[test]
+    fn enabled_windows_track_continuous_enabledness(
+        n in 2usize..6,
+        k in 1u64..4,
+        steps in steps_strategy(),
+    ) {
+        drive(n, k, &steps, |fair, t, _esb, es_after, _y, processed, pre| {
+            for i in 0..n {
+                let u = ThreadId::new(i);
+                let e = fair.window_enabled(u);
+                prop_assert!(
+                    is_subset(e, es_after),
+                    "E({u}) = {e:?} ⊄ ES' = {es_after:?}"
+                );
+                if !(processed && u == t) {
+                    prop_assert!(
+                        is_subset(e, &pre.1[i]),
+                        "E({u}) grew without a processed yield of {u}"
+                    );
+                }
+            }
+            Ok(())
+        })?;
+    }
+
+    /// A processed yield of `t` opens a fresh window: `S(t)` and `D(t)`
+    /// are cleared and `E(t)` is reseeded with exactly the current
+    /// enabled set. Unprocessed yields (the k-parameterization) and
+    /// ordinary transitions leave `t` scheduled in every window.
+    #[test]
+    fn processed_yields_reset_the_window_sets(
+        n in 2usize..6,
+        k in 1u64..4,
+        steps in steps_strategy(),
+    ) {
+        drive(n, k, &steps, |fair, t, _esb, es_after, _y, processed, _pre| {
+            if processed {
+                prop_assert!(fair.window_scheduled(t).is_empty());
+                prop_assert!(fair.window_disabled(t).is_empty());
+                prop_assert_eq!(fair.window_enabled(t), es_after);
+            } else {
+                for i in 0..n {
+                    prop_assert!(
+                        fair.window_scheduled(ThreadId::new(i)).contains(t),
+                        "line 16: t must join every S(u)"
+                    );
+                }
+            }
+            Ok(())
+        })?;
+    }
+
+    /// Priority edges are added only on starved-window yields, and then
+    /// exactly `{t} × H` with `H = (E(t) ∪ D(t)) \ S(t)` evaluated on
+    /// the post-update window sets (lines 14–22 precede line 24). Every
+    /// transition also removes all edges with sink `t` (line 13), and
+    /// threads never gain edges on other threads' transitions.
+    #[test]
+    fn edges_added_only_on_starved_window_yields(
+        n in 2usize..6,
+        k in 1u64..4,
+        steps in steps_strategy(),
+    ) {
+        drive(n, k, &steps, |fair, t, es_before, es_after, _y, processed, pre| {
+            let ti = t.index();
+            for i in 0..n {
+                let mut expect = pre.0[i].clone();
+                expect.remove(t);
+                if i == ti && processed {
+                    // H from the mid-update window sets.
+                    let mut e_mid = pre.1[ti].clone();
+                    e_mid.intersect_with(es_after);
+                    let mut s_mid = pre.3[ti].clone();
+                    s_mid.insert(t);
+                    let mut d_mid = pre.2[ti].clone();
+                    d_mid.union_with(&es_before.difference(es_after));
+                    let mut h = e_mid.union(&d_mid);
+                    h.difference_with(&s_mid);
+                    h.remove(t);
+                    expect.union_with(&h);
+                }
+                prop_assert_eq!(
+                    &fair.priority_edges()[i],
+                    &expect,
+                    "P[{}] after scheduling {} (processed yield: {})",
+                    i,
+                    t,
+                    processed
+                );
+            }
+            Ok(())
+        })?;
+    }
+
+    /// Theorem 3's loop invariant: the relation stays acyclic with no
+    /// self-edges, the schedulable set is always a subset of the enabled
+    /// set, and it is empty only when the enabled set is.
+    #[test]
+    fn priority_relation_never_manufactures_deadlocks(
+        n in 2usize..6,
+        k in 1u64..4,
+        steps in steps_strategy(),
+    ) {
+        drive(n, k, &steps, |fair, _t, _esb, es_after, _y, _p, _pre| {
+            prop_assert!(fair.is_acyclic(), "P cyclic: {:?}", fair.priority_edges());
+            for i in 0..n {
+                prop_assert!(!fair.priority_edges()[i].contains(ThreadId::new(i)));
+            }
+            let t_set = fair.schedulable(es_after);
+            prop_assert!(is_subset(&t_set, es_after));
+            prop_assert_eq!(t_set.is_empty(), es_after.is_empty());
+            // And on a full enabled set (everything runnable) at least
+            // one thread must still be schedulable.
+            prop_assert!(!fair.schedulable(&TidSet::full(n)).is_empty());
+            Ok(())
+        })?;
+    }
+}

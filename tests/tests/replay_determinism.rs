@@ -3,7 +3,10 @@
 //! counterexamples, across every workload.
 
 use chess_core::strategy::{FixedSchedule, RandomWalk};
-use chess_core::{replay, Config, Explorer, SearchOutcome, SystemStatus, TransitionSystem};
+use chess_core::{
+    generate_system, replay, Config, Explorer, FuzzConfig, FuzzOp, FuzzSystem, ParallelExplorer,
+    Schedule, SearchOutcome, SystemStatus, TransitionSystem,
+};
 use chess_workloads::channels::{fifo_pipeline, FifoConfig};
 use chess_workloads::miniboot::{miniboot, BootConfig};
 use chess_workloads::philosophers::{philosophers, PhilosophersConfig};
@@ -113,4 +116,113 @@ fn render_is_pure() {
     let report = Explorer::new(factory, RandomWalk::new(3), Config::fair()).run();
     let cex = report.outcome.counterexample().unwrap();
     assert_eq!(cex.render(factory), cex.render(factory));
+}
+
+/// Replays `schedule` on a fresh system twice, recording the full
+/// byte-level state trace of each run, and requires the two traces to be
+/// identical (the fuzzer's "byte-identical replay" oracle).
+fn assert_byte_identical_replays<P, F>(mut factory: F, schedule: &Schedule)
+where
+    P: TransitionSystem,
+    F: FnMut() -> P,
+{
+    let trace = |sys: &mut P| {
+        let mut bytes = vec![sys.state_bytes()];
+        for d in schedule {
+            sys.step(d.thread, d.choice);
+            bytes.push(sys.state_bytes());
+        }
+        bytes
+    };
+    let (mut a, mut b) = (factory(), factory());
+    assert_eq!(
+        trace(&mut a),
+        trace(&mut b),
+        "two replays of the same schedule diverged at the byte level"
+    );
+}
+
+/// A fuzzer-generated system with an injected safety bug found through
+/// each of the three parallel shard modes (DFS frontier partitioning,
+/// sharded random walks, iterative context bounding): every mode's
+/// counterexample replays byte-identically twice through
+/// [`FixedSchedule`], and the explorer reproduces the same outcome.
+#[test]
+fn fuzzer_counterexamples_replay_across_parallel_modes() {
+    let config = FuzzConfig {
+        inject_safety: true,
+        yield_percent: 100,
+        ..FuzzConfig::default().with_seed(77)
+    };
+    let sys = generate_system(&config);
+    let search = Config::fair().with_depth_bound(10_000);
+
+    let parallel = ParallelExplorer::new(|| sys.clone(), search.clone(), 2);
+    let outcomes = [
+        ("dfs", parallel.run_dfs().outcome),
+        ("random", parallel.run_random(7).outcome),
+        (
+            "iterative-cb",
+            parallel
+                .run_iterative_cb(4)
+                .into_iter()
+                .map(|(_, r)| r.outcome)
+                .find(|o| o.found_error())
+                .expect("some context bound finds the injected bug"),
+        ),
+    ];
+    for (mode, outcome) in outcomes {
+        let SearchOutcome::SafetyViolation(cex) = outcome else {
+            panic!("{mode}: expected the injected safety violation, got {outcome:?}");
+        };
+        assert_byte_identical_replays(|| sys.clone(), &cex.schedule);
+
+        let replayed = Explorer::new(
+            || sys.clone(),
+            FixedSchedule::new(cex.schedule.clone()),
+            search.clone(),
+        )
+        .run();
+        let SearchOutcome::SafetyViolation(cex2) = replayed.outcome else {
+            panic!("{mode}: FixedSchedule did not reproduce the violation");
+        };
+        assert_eq!(cex2.schedule, cex.schedule, "{mode}: schedule changed");
+        assert_eq!(cex2.message, cex.message, "{mode}: message changed");
+    }
+}
+
+/// Golden output: rendering a counterexample on a hand-built fuzz
+/// system is stable down to the exact text. Guards the corpus/report
+/// format against accidental drift.
+#[test]
+fn render_golden_output_on_handbuilt_fuzz_system() {
+    // The injected-safety pattern, pinned by hand: f0 increments then
+    // decrements counter 0; f1 asserts it is zero in between.
+    let scripts = vec![
+        vec![FuzzOp::Inc(0), FuzzOp::Step, FuzzOp::Dec(0)],
+        vec![FuzzOp::Step, FuzzOp::AssertZero(0)],
+    ];
+    let sys = FuzzSystem::from_scripts(scripts, 1, 0, 0);
+    let report = Explorer::new(
+        || sys.clone(),
+        chess_core::strategy::Dfs::new(),
+        Config::fair(),
+    )
+    .run();
+    let SearchOutcome::SafetyViolation(cex) = report.outcome else {
+        panic!(
+            "expected the hand-built violation, got {:?}",
+            report.outcome
+        );
+    };
+    let rendered = cex.render(|| sys.clone());
+    let golden = "\
+safety violation (4 steps): f1: assert failed: c0 = 1 != 0
+    0  f0               inc(c0)
+    1  f0               step
+    2  f1               step
+    3  f1               assert(c0 == 0)
+  =>  violation in t1: assert failed: c0 = 1 != 0
+";
+    assert_eq!(rendered, golden, "rendered:\n{rendered}");
 }

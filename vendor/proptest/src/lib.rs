@@ -153,6 +153,27 @@ where
     }
 }
 
+/// Tuples of strategies are strategies for tuples of values, mirroring
+/// real proptest's tuple support (used for compound generated steps,
+/// e.g. `vec((any::<u64>(), 0u32..8, any::<bool>()), ..)`).
+macro_rules! impl_tuple_strategy {
+    ($($S:ident : $idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(S0: 0);
+impl_tuple_strategy!(S0: 0, S1: 1);
+impl_tuple_strategy!(S0: 0, S1: 1, S2: 2);
+impl_tuple_strategy!(S0: 0, S1: 1, S2: 2, S3: 3);
+impl_tuple_strategy!(S0: 0, S1: 1, S2: 2, S3: 3, S4: 4);
+impl_tuple_strategy!(S0: 0, S1: 1, S2: 2, S3: 3, S4: 4, S5: 5);
+
 /// A strategy producing exactly one value.
 #[derive(Debug, Clone)]
 pub struct Just<T: Clone>(pub T);
