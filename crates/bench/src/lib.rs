@@ -25,9 +25,14 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod journal;
 pub mod json;
 pub mod output;
 
 pub use experiments::*;
+pub use journal::{
+    checkpoint_from_json, checkpoint_to_json, read_journal, snapshot_from_json, snapshot_to_json,
+    stats_from_json, stats_to_json, write_atomic, JournalWriter, WritePolicy, JOURNAL_VERSION,
+};
 pub use json::{schedule_from_json, schedule_to_json, Json, ToJson};
 pub use output::*;

@@ -27,20 +27,22 @@
 //! identical [`chess_core::FuzzSystem`] and drive it through a
 //! [`FixedSchedule`] with the recorded decisions.
 
+use std::collections::HashSet;
 use std::path::Path;
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
-use chess_bench::{schedule_from_json, schedule_to_json, Json};
+use chess_bench::{read_journal, schedule_from_json, schedule_to_json, JournalWriter, Json};
 use chess_core::strategy::FixedSchedule;
 use chess_core::{
     derive_seed, generate_system, Config, Explorer, FuzzConfig, OutcomeKind, Schedule,
     SearchOutcome,
 };
-use chess_state::{differential_check, OracleLimits, SystemOutcome, Verdict};
+use chess_state::{differential_check, Discrepancy, OracleLimits, SystemOutcome, Verdict};
 
 use crate::opts::{FuzzOpts, ReplayOpts};
+use crate::{exitcode, signal};
 
 /// Corpus file schema version.
 const CORPUS_VERSION: u64 = 1;
@@ -56,36 +58,98 @@ struct SystemResult {
 pub fn do_fuzz(o: &FuzzOpts) -> ExitCode {
     if let Err(e) = std::fs::create_dir_all(&o.corpus_dir) {
         eprintln!("error: cannot create corpus dir '{}': {e}", o.corpus_dir);
-        return ExitCode::from(2);
+        return ExitCode::from(exitcode::USAGE);
     }
     let limits = OracleLimits {
         max_states: o.max_states,
         ..OracleLimits::default()
     };
 
+    // Crash-safe campaign journal: every checked system's verdict is
+    // persisted as it completes, and `--resume` replays the journal
+    // instead of re-checking those systems — the completed campaign's
+    // report is identical to an uninterrupted run's.
+    let stop = signal::install();
+    let prior: Vec<SystemResult> = match &o.resume {
+        Some(path) => match load_fuzz_journal(path, o) {
+            Ok(prior) => {
+                eprintln!(
+                    "resuming from {path}: {} systems already checked",
+                    prior.len()
+                );
+                prior
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(exitcode::USAGE);
+            }
+        },
+        None => Vec::new(),
+    };
+    let done: HashSet<u64> = prior.iter().map(|r| r.index).collect();
+    let writer: Option<Mutex<JournalWriter>> = o
+        .checkpoint
+        .as_ref()
+        .map(|path| Mutex::new(JournalWriter::new(path)));
+
     let next = AtomicU64::new(0);
-    let results: Mutex<Vec<SystemResult>> = Mutex::new(Vec::new());
+    let results: Mutex<Vec<SystemResult>> = Mutex::new(prior);
     std::thread::scope(|scope| {
         for _ in 0..o.jobs.max(1) {
             scope.spawn(|| loop {
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
                 let index = next.fetch_add(1, Ordering::Relaxed);
                 if index >= o.systems {
                     break;
+                }
+                if done.contains(&index) {
+                    continue;
                 }
                 let seed = derive_seed(o.seed, index);
                 let config = fuzz_config(o, seed);
                 let sys = generate_system(&config);
                 let verdict = differential_check(|| sys.clone(), &limits);
-                results.lock().unwrap().push(SystemResult {
-                    index,
-                    seed,
-                    verdict,
-                });
+                let doc = {
+                    let mut all = results.lock().unwrap();
+                    all.push(SystemResult {
+                        index,
+                        seed,
+                        verdict,
+                    });
+                    writer.as_ref().map(|_| fuzz_journal_doc(o, &all))
+                };
+                if let (Some(writer), Some(doc)) = (&writer, doc) {
+                    writer.lock().unwrap().write(&doc);
+                }
             });
         }
     });
     let mut results = results.into_inner().unwrap();
     results.sort_by_key(|r| r.index);
+
+    if let Some(writer) = &writer {
+        for warning in writer.lock().unwrap().warnings() {
+            eprintln!("warning: {warning}");
+        }
+    }
+    if signal::interrupted() && (results.len() as u64) < o.systems {
+        eprintln!(
+            "interrupted after {} of {} systems",
+            results.len(),
+            o.systems
+        );
+        match &o.checkpoint {
+            Some(path) => {
+                eprintln!("resume with --resume {path} (add --checkpoint to keep journaling)")
+            }
+            None => eprintln!(
+                "progress was lost (pass --checkpoint <FILE> to make interruptions resumable)"
+            ),
+        }
+        return ExitCode::from(exitcode::INTERRUPTED);
+    }
 
     report_fuzz_run(o, &results)
 }
@@ -99,8 +163,191 @@ fn fuzz_config(o: &FuzzOpts, seed: u64) -> FuzzConfig {
         inject_safety: o.inject_safety,
         inject_deadlock: o.inject_deadlock,
         inject_livelock: o.inject_livelock,
+        inject_panic: o.inject_panic,
         ..FuzzConfig::default().with_seed(seed)
     }
+}
+
+/// The campaign-level knobs a fuzz journal records, so `--resume` can
+/// refuse a journal taken with different generator settings.
+fn fuzz_context_json(o: &FuzzOpts) -> Json {
+    Json::object([
+        ("systems", Json::UInt(o.systems)),
+        ("seed", Json::UInt(o.seed)),
+        ("max_threads", Json::UInt(o.max_threads as u64)),
+        ("max_ops", Json::UInt(o.max_ops as u64)),
+        ("yield_percent", Json::UInt(u64::from(o.yield_percent))),
+        ("inject_safety", Json::Bool(o.inject_safety)),
+        ("inject_deadlock", Json::Bool(o.inject_deadlock)),
+        ("inject_livelock", Json::Bool(o.inject_livelock)),
+        ("inject_panic", Json::Bool(o.inject_panic)),
+        ("max_states", Json::UInt(o.max_states as u64)),
+    ])
+}
+
+/// Serializes the whole campaign state: run context plus one verdict
+/// record per checked system.
+fn fuzz_journal_doc(o: &FuzzOpts, results: &[SystemResult]) -> Json {
+    Json::object([
+        ("version", Json::UInt(CORPUS_VERSION)),
+        ("run", fuzz_context_json(o)),
+        (
+            "results",
+            Json::array(results.iter().map(|r| {
+                Json::object([
+                    ("index", Json::UInt(r.index)),
+                    ("seed", Json::UInt(r.seed)),
+                    ("verdict", verdict_to_json(&r.verdict)),
+                ])
+            })),
+        ),
+    ])
+}
+
+/// Loads a fuzz journal and validates it against the current options.
+fn load_fuzz_journal(path: &str, o: &FuzzOpts) -> Result<Vec<SystemResult>, String> {
+    let doc = read_journal(Path::new(path))?;
+    let version = doc
+        .get("version")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("{path}: fuzz journal has no version"))?;
+    if version != CORPUS_VERSION {
+        return Err(format!(
+            "{path}: unsupported fuzz journal version {version}"
+        ));
+    }
+    let run = doc
+        .get("run")
+        .ok_or_else(|| format!("{path}: fuzz journal has no run context"))?;
+    let expect = fuzz_context_json(o);
+    if run.to_string_pretty() != expect.to_string_pretty() {
+        return Err(format!(
+            "{path}: fuzz journal was taken with different options; resume must repeat the \
+             original --systems/--seed/--inject/... flags\nrecorded: {}\ncurrent:  {}",
+            run.to_string_pretty(),
+            expect.to_string_pretty()
+        ));
+    }
+    let Some(Json::Array(items)) = doc.get("results") else {
+        return Err(format!("{path}: fuzz journal has no results array"));
+    };
+    items
+        .iter()
+        .map(|item| {
+            let field = |name: &str| {
+                item.get(name)
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("{path}: journal result is missing '{name}'"))
+            };
+            Ok(SystemResult {
+                index: field("index")?,
+                seed: field("seed")?,
+                verdict: verdict_from_json(
+                    item.get("verdict")
+                        .ok_or_else(|| format!("{path}: journal result has no verdict"))?,
+                )?,
+            })
+        })
+        .collect()
+}
+
+/// Serializes one differential verdict for the campaign journal.
+fn verdict_to_json(v: &Verdict) -> Json {
+    let outcome = match &v.outcome {
+        SystemOutcome::Clean => Json::object([("kind", Json::Str("clean".into()))]),
+        SystemOutcome::Skipped(why) => Json::object([
+            ("kind", Json::Str("skipped".into())),
+            ("why", Json::Str(why.clone())),
+        ]),
+        SystemOutcome::Buggy {
+            kind,
+            message,
+            schedule,
+            minimized,
+        } => Json::object([
+            ("kind", Json::Str("buggy".into())),
+            ("bug", Json::Str(kind.as_str().into())),
+            ("message", Json::Str(message.clone())),
+            ("schedule", schedule_to_json(schedule)),
+            ("minimized", schedule_to_json(minimized)),
+        ]),
+    };
+    Json::object([
+        ("graph_states", Json::UInt(v.graph_states as u64)),
+        ("yield_free_states", Json::UInt(v.yield_free_states as u64)),
+        ("covered_states", Json::UInt(v.covered_states as u64)),
+        ("max_unrolling", Json::UInt(u64::from(v.max_unrolling))),
+        ("outcome", outcome),
+        (
+            "discrepancies",
+            Json::array(v.discrepancies.iter().map(|d| {
+                Json::object([
+                    ("oracle", Json::Str(d.oracle.into())),
+                    ("detail", Json::Str(d.detail.clone())),
+                ])
+            })),
+        ),
+    ])
+}
+
+/// Parses a verdict serialized by [`verdict_to_json`].
+fn verdict_from_json(json: &Json) -> Result<Verdict, String> {
+    let num = |name: &str| {
+        json.get(name)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("fuzz journal: verdict is missing '{name}'"))
+    };
+    let outcome_json = json
+        .get("outcome")
+        .ok_or("fuzz journal: verdict has no outcome")?;
+    let text = |j: &Json, name: &str| j.get(name).and_then(Json::as_str).unwrap_or("").to_string();
+    let outcome = match outcome_json.get("kind").and_then(Json::as_str) {
+        Some("clean") => SystemOutcome::Clean,
+        Some("skipped") => SystemOutcome::Skipped(text(outcome_json, "why")),
+        Some("buggy") => SystemOutcome::Buggy {
+            kind: outcome_json
+                .get("bug")
+                .and_then(Json::as_str)
+                .and_then(OutcomeKind::parse)
+                .ok_or("fuzz journal: buggy verdict has no recognizable bug kind")?,
+            message: text(outcome_json, "message"),
+            schedule: schedule_from_json(
+                outcome_json
+                    .get("schedule")
+                    .ok_or("fuzz journal: buggy verdict has no schedule")?,
+            )?,
+            minimized: schedule_from_json(
+                outcome_json
+                    .get("minimized")
+                    .ok_or("fuzz journal: buggy verdict has no minimized schedule")?,
+            )?,
+        },
+        other => {
+            return Err(format!(
+                "fuzz journal: unknown verdict outcome kind {other:?}"
+            ))
+        }
+    };
+    let discrepancies = match json.get("discrepancies") {
+        Some(Json::Array(items)) => items
+            .iter()
+            .map(|d| Discrepancy {
+                // The oracle id is `&'static str` in memory; a resumed
+                // journal leaks these few bytes once per discrepancy.
+                oracle: Box::leak(text(d, "oracle").into_boxed_str()),
+                detail: text(d, "detail"),
+            })
+            .collect(),
+        _ => Vec::new(),
+    };
+    Ok(Verdict {
+        graph_states: num("graph_states")? as usize,
+        yield_free_states: num("yield_free_states")? as usize,
+        covered_states: num("covered_states")? as usize,
+        max_unrolling: num("max_unrolling")? as u32,
+        outcome,
+        discrepancies,
+    })
 }
 
 /// Prints the aggregate report, writes corpus and discrepancy files,
@@ -194,10 +441,10 @@ fn report_fuzz_run(o: &FuzzOpts, results: &[SystemResult]) -> ExitCode {
     println!("max per-execution unrolling: {max_unrolling} (Theorem 4 metric)");
     if discrepancies > 0 {
         eprintln!("FAIL: {discrepancies} oracle discrepancies");
-        ExitCode::FAILURE
+        ExitCode::from(exitcode::SAFETY_VIOLATION)
     } else {
         println!("all theorem oracles agreed");
-        ExitCode::SUCCESS
+        ExitCode::from(exitcode::CLEAN)
     }
 }
 
@@ -230,6 +477,7 @@ fn corpus_entry(
                 ("inject_safety", Json::Bool(config.inject_safety)),
                 ("inject_deadlock", Json::Bool(config.inject_deadlock)),
                 ("inject_livelock", Json::Bool(config.inject_livelock)),
+                ("inject_panic", Json::Bool(config.inject_panic)),
             ]),
         ),
         ("original_len", Json::UInt(original.len() as u64)),
@@ -283,7 +531,9 @@ fn replay_corpus_file(file: &str) -> Result<(), String> {
     let search = Config::fair().with_depth_bound(depth_bound);
     let report = Explorer::new(|| sys.clone(), FixedSchedule::new(schedule.clone()), search).run();
     match &report.outcome {
-        SearchOutcome::SafetyViolation(cex) | SearchOutcome::Deadlock(cex) => {
+        SearchOutcome::SafetyViolation(cex)
+        | SearchOutcome::Deadlock(cex)
+        | SearchOutcome::Panic(cex) => {
             println!("{}", cex.render(|| sys.clone()));
         }
         other => println!("outcome: {other:?}"),
@@ -324,5 +574,10 @@ fn parse_corpus_config(json: &Json) -> Result<FuzzConfig, String> {
         inject_safety: flag("inject_safety")?,
         inject_deadlock: flag("inject_deadlock")?,
         inject_livelock: flag("inject_livelock")?,
+        // Absent in corpus files written before the panic knob existed.
+        inject_panic: json
+            .get("inject_panic")
+            .and_then(Json::as_bool)
+            .unwrap_or(false),
     })
 }

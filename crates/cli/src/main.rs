@@ -12,10 +12,12 @@
 //!
 //! Run `fair-chess help` for the full option list.
 
+mod exitcode;
 mod fuzzcmd;
 mod opts;
 mod registry;
 mod run;
+mod signal;
 
 use std::process::ExitCode;
 

@@ -53,6 +53,21 @@ OPTIONS:
                           First error wins; its schedule is verified to
                           replay deterministically. `check` only.
     --no-trace            Do not print the counterexample trace.
+    --checkpoint <FILE>   Periodically persist the search frontier, RNG
+                          state, and cumulative statistics to FILE
+                          (atomically: temp file + rename). On SIGINT or
+                          SIGTERM the search stops at the next execution
+                          boundary, flushes a final checkpoint, and exits
+                          with code 6 (interrupted, resumable). `check`
+                          with --jobs 1 only.
+    --checkpoint-every <N>
+                          Checkpoint every N completed executions
+                          [default: 1000].
+    --resume <FILE>       Resume an interrupted `check` from a checkpoint
+                          journal. The workload, bug, strategy, and
+                          fairness flags must match the original run; the
+                          resumed search converges to the same final
+                          report as an uninterrupted one.
 
 FUZZ OPTIONS:
     --systems <N>         Number of random systems to check [default: 100].
@@ -62,10 +77,27 @@ FUZZ OPTIONS:
     --max-ops <N>         Max operations per thread [default: 4].
     --yield-percent <P>   Yield/politeness density 0..=100 [default: 60].
     --inject <kinds>      Comma-separated bug injections applied to every
-                          system: safety, deadlock, livelock.
+                          system: safety, deadlock, livelock, panic.
     --corpus-dir <DIR>    Where to write corpus files [default: fuzz-corpus].
     --max-states <N>      Stateful-reference state cap; larger systems are
                           skipped [default: 200000].
+    --checkpoint <FILE>   Persist the fuzz shard cursor and per-system
+                          verdicts to FILE; SIGINT/SIGTERM flushes a final
+                          checkpoint and exits with code 6.
+    --resume <FILE>       Resume an interrupted fuzz campaign: systems
+                          already checked are replayed from the journal
+                          instead of re-fuzzed, so the final report matches
+                          an uninterrupted run.
+
+EXIT CODES:
+    0  clean — search complete (or all fuzz oracles agreed), no error
+    1  safety violation found (assertion failure or workload panic)
+    2  usage or configuration error
+    3  search incomplete — execution/time budget exhausted
+    4  deadlock found
+    5  livelock found (fair nontermination / divergence)
+    6  interrupted by SIGINT/SIGTERM — checkpoint flushed, resumable
+    7  internal error — a search worker was lost after repeated panics
 ";
 
 /// The strategy selector.
@@ -93,6 +125,9 @@ pub struct RunOpts {
     pub k: u64,
     pub jobs: usize,
     pub trace: bool,
+    pub checkpoint: Option<String>,
+    pub checkpoint_every: u64,
+    pub resume: Option<String>,
 }
 
 impl Default for RunOpts {
@@ -109,6 +144,9 @@ impl Default for RunOpts {
             k: 1,
             jobs: 1,
             trace: true,
+            checkpoint: None,
+            checkpoint_every: 1000,
+            resume: None,
         }
     }
 }
@@ -125,8 +163,11 @@ pub struct FuzzOpts {
     pub inject_safety: bool,
     pub inject_deadlock: bool,
     pub inject_livelock: bool,
+    pub inject_panic: bool,
     pub corpus_dir: String,
     pub max_states: usize,
+    pub checkpoint: Option<String>,
+    pub resume: Option<String>,
 }
 
 impl Default for FuzzOpts {
@@ -141,8 +182,11 @@ impl Default for FuzzOpts {
             inject_safety: false,
             inject_deadlock: false,
             inject_livelock: false,
+            inject_panic: false,
             corpus_dir: "fuzz-corpus".into(),
             max_states: 200_000,
+            checkpoint: None,
+            resume: None,
         }
     }
 }
@@ -259,8 +303,22 @@ fn parse_run_opts(args: &[String]) -> Result<RunOpts, ParseError> {
                 }
             }
             "--no-trace" => opts.trace = false,
+            "--checkpoint" => opts.checkpoint = Some(next_value("--checkpoint", &mut it)?),
+            "--checkpoint-every" => {
+                opts.checkpoint_every = parse_num(
+                    "--checkpoint-every",
+                    &next_value("--checkpoint-every", &mut it)?,
+                )? as u64;
+                if opts.checkpoint_every == 0 {
+                    return err("--checkpoint-every needs at least 1");
+                }
+            }
+            "--resume" => opts.resume = Some(next_value("--resume", &mut it)?),
             other => return err(format!("unknown option '{other}'")),
         }
+    }
+    if (opts.checkpoint.is_some() || opts.resume.is_some()) && opts.jobs > 1 {
+        return err("--checkpoint/--resume require --jobs 1 (the journal records one frontier)");
     }
     Ok(opts)
 }
@@ -321,10 +379,11 @@ fn parse_fuzz_opts(args: &[String]) -> Result<FuzzOpts, ParseError> {
                         "safety" => opts.inject_safety = true,
                         "deadlock" => opts.inject_deadlock = true,
                         "livelock" => opts.inject_livelock = true,
+                        "panic" => opts.inject_panic = true,
                         other => {
                             return err(format!(
                                 "unknown injection '{other}' (expected safety, deadlock, \
-                                 or livelock)"
+                                 livelock, or panic)"
                             ))
                         }
                     }
@@ -334,6 +393,8 @@ fn parse_fuzz_opts(args: &[String]) -> Result<FuzzOpts, ParseError> {
             "--max-states" => {
                 opts.max_states = parse_num("--max-states", &next_value("--max-states", &mut it)?)?;
             }
+            "--checkpoint" => opts.checkpoint = Some(next_value("--checkpoint", &mut it)?),
+            "--resume" => opts.resume = Some(next_value("--resume", &mut it)?),
             other => return err(format!("unknown option '{other}'")),
         }
     }
@@ -473,6 +534,76 @@ mod tests {
         assert_eq!(o.file, "corpus/safety-3.json");
         assert!(parse(&s(&["replay"])).is_err());
         assert!(parse(&s(&["replay", "a", "b"])).is_err());
+    }
+
+    #[test]
+    fn parses_checkpoint_and_resume() {
+        let cmd = parse(&s(&[
+            "check",
+            "wsq",
+            "--checkpoint",
+            "run.journal",
+            "--checkpoint-every",
+            "50",
+        ]))
+        .unwrap();
+        let Command::Check(o) = cmd else { panic!() };
+        assert_eq!(o.checkpoint.as_deref(), Some("run.journal"));
+        assert_eq!(o.checkpoint_every, 50);
+
+        let cmd = parse(&s(&["check", "wsq", "--resume", "run.journal"])).unwrap();
+        let Command::Check(o) = cmd else { panic!() };
+        assert_eq!(o.resume.as_deref(), Some("run.journal"));
+
+        assert!(parse(&s(&["check", "wsq", "--checkpoint-every", "0"])).is_err());
+        // the journal records one sequential frontier
+        assert!(parse(&s(&[
+            "check",
+            "wsq",
+            "--jobs",
+            "2",
+            "--checkpoint",
+            "x.journal"
+        ]))
+        .is_err());
+        assert!(parse(&s(&[
+            "check",
+            "wsq",
+            "--jobs",
+            "2",
+            "--resume",
+            "x.journal"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn parses_fuzz_panic_injection_and_journal() {
+        let cmd = parse(&s(&[
+            "fuzz",
+            "--inject",
+            "panic",
+            "--checkpoint",
+            "fuzz.journal",
+            "--resume",
+            "fuzz.journal",
+        ]))
+        .unwrap();
+        let Command::Fuzz(o) = cmd else { panic!() };
+        assert!(o.inject_panic);
+        assert!(!o.inject_safety);
+        assert_eq!(o.checkpoint.as_deref(), Some("fuzz.journal"));
+        assert_eq!(o.resume.as_deref(), Some("fuzz.journal"));
+    }
+
+    #[test]
+    fn usage_documents_the_exit_code_contract() {
+        for code in 0..=7 {
+            assert!(
+                USAGE.contains(&format!("\n    {code}  ")),
+                "exit code {code} missing from USAGE"
+            );
+        }
     }
 
     #[test]

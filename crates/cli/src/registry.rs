@@ -15,7 +15,10 @@ pub const WORKLOADS: &[WorkloadInfo] = &[
     WorkloadInfo {
         name: "counter",
         about: "mutex-protected shared counter (teaching example)",
-        bugs: &[("racy", "unprotected load/store increments lose updates")],
+        bugs: &[
+            ("racy", "unprotected load/store increments lose updates"),
+            ("deadlock", "AB-BA lock pair: the classic deadlock"),
+        ],
     },
     WorkloadInfo {
         name: "spinloop",

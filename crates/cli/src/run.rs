@@ -1,9 +1,17 @@
 //! Command execution: wiring the parsed options to the checker.
 
+use std::cell::RefCell;
+use std::path::Path;
 use std::process::ExitCode;
+use std::rc::Rc;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
 
+use chess_bench::{checkpoint_from_json, checkpoint_to_json, read_journal, JournalWriter, Json};
 use chess_core::strategy::{ContextBounded, Dfs, RandomWalk, Strategy};
-use chess_core::{Config, Explorer, ParallelExplorer, SearchOutcome, SearchReport};
+use chess_core::{
+    BudgetKind, Config, Explorer, ParallelExplorer, SearchOutcome, SearchReport, SearchStats,
+};
 use chess_kernel::{Capture, Kernel};
 use chess_state::{CoverageTracker, StateGraph, StatefulError, StatefulLimits};
 use chess_workloads::boundedbuffer::{bounded_buffer, BufferBug, BufferConfig};
@@ -13,14 +21,14 @@ use chess_workloads::miniboot::{miniboot, BootConfig};
 use chess_workloads::philosophers::{figure1, figure1_polite, philosophers, PhilosophersConfig};
 use chess_workloads::promise::{figure8, promises, PromiseConfig};
 use chess_workloads::rwcache::{rw_cache, RwCacheConfig};
-use chess_workloads::simple::{locked_counter, racy_counter};
+use chess_workloads::simple::{deadlock_pair, locked_counter, racy_counter};
 use chess_workloads::spinloop::{figure3, spinloop};
 use chess_workloads::treiber::{treiber_stack, TreiberConfig};
 use chess_workloads::workerpool::{figure7, worker_pool, PoolConfig};
 use chess_workloads::wsq::{wsq, WsqBug, WsqConfig};
 
 use crate::opts::{Command, RunOpts, StrategyOpt};
-use crate::registry;
+use crate::{exitcode, registry, signal};
 
 /// Runs a parsed command.
 pub fn execute(cmd: Command) -> ExitCode {
@@ -63,6 +71,7 @@ fn dispatch(o: &RunOpts, mode: Mode) -> ExitCode {
     match (o.workload.as_str(), o.bug.as_deref()) {
         ("counter", None) => go!(|| locked_counter(2)),
         ("counter", Some("racy")) => go!(|| racy_counter(2)),
+        ("counter", Some("deadlock")) => go!(deadlock_pair),
         ("spinloop", None) => go!(figure3),
         ("spinloop", Some("no-yield")) => go!(|| spinloop(1, false)),
         ("philosophers", None) => go!(|| philosophers(PhilosophersConfig::table2(3))),
@@ -157,24 +166,36 @@ where
     S: Capture + Clone + 'static,
     F: Fn() -> Kernel<S> + Copy + Sync,
 {
-    let report = if o.jobs > 1 {
-        match check_parallel(factory, o) {
-            Ok(report) => report,
-            Err(msg) => {
-                eprintln!("error: {msg}");
-                return ExitCode::from(2);
-            }
-        }
+    let stop = signal::install();
+    let mut warnings: Vec<String> = Vec::new();
+    let run = if o.jobs > 1 {
+        check_parallel(factory, o, stop)
     } else {
-        Explorer::new(factory, build_strategy(o), build_config(o)).run()
+        check_sequential(factory, o, stop, &mut warnings)
+    };
+    let report = match run {
+        Ok(report) => report,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::from(exitcode::USAGE);
+        }
     };
     println!("{report}");
+    for w in &warnings {
+        eprintln!("warning: {w}");
+    }
     match &report.outcome {
-        SearchOutcome::SafetyViolation(cex) | SearchOutcome::Deadlock(cex) => {
+        SearchOutcome::SafetyViolation(cex) | SearchOutcome::Panic(cex) => {
             if o.trace {
                 println!("\n{}", cex.render(factory));
             }
-            ExitCode::FAILURE
+            ExitCode::from(exitcode::SAFETY_VIOLATION)
+        }
+        SearchOutcome::Deadlock(cex) => {
+            if o.trace {
+                println!("\n{}", cex.render(factory));
+            }
+            ExitCode::from(exitcode::DEADLOCK)
         }
         SearchOutcome::Divergence(d) => {
             if o.trace {
@@ -188,10 +209,135 @@ where
                         .join(" ")
                 );
             }
-            ExitCode::FAILURE
+            ExitCode::from(exitcode::LIVELOCK)
         }
-        SearchOutcome::Complete => ExitCode::SUCCESS,
-        SearchOutcome::BudgetExhausted(_) => ExitCode::from(3),
+        SearchOutcome::Complete => ExitCode::from(exitcode::CLEAN),
+        SearchOutcome::BudgetExhausted(BudgetKind::WorkerPanicked) => {
+            eprintln!("error: a search worker was lost after repeated panics");
+            ExitCode::from(exitcode::INTERNAL)
+        }
+        SearchOutcome::BudgetExhausted(kind) => {
+            if signal::interrupted() {
+                match &o.checkpoint {
+                    Some(path) => eprintln!(
+                        "interrupted; resume with --resume {path} (add --checkpoint to keep \
+                         journaling)"
+                    ),
+                    None => eprintln!(
+                        "interrupted; progress was lost (pass --checkpoint <FILE> to make \
+                         interruptions resumable)"
+                    ),
+                }
+                ExitCode::from(exitcode::INTERRUPTED)
+            } else {
+                debug_assert!(matches!(
+                    kind,
+                    BudgetKind::Executions | BudgetKind::Time | BudgetKind::Cancelled
+                ));
+                ExitCode::from(exitcode::INCOMPLETE)
+            }
+        }
+    }
+}
+
+/// Sequential `check`, with optional crash-safe checkpointing and
+/// resume. Journal-write warnings (retries, degradation) are appended to
+/// `warnings` for the final report.
+fn check_sequential<S, F>(
+    factory: F,
+    o: &RunOpts,
+    stop: Arc<AtomicBool>,
+    warnings: &mut Vec<String>,
+) -> Result<SearchReport, String>
+where
+    S: Capture + Clone + 'static,
+    F: Fn() -> Kernel<S> + Copy + Sync,
+{
+    let mut strategy = build_strategy(o);
+    let mut initial = SearchStats::default();
+    if let Some(path) = &o.resume {
+        let doc = read_journal(Path::new(path))?;
+        validate_run_context(&doc, o, path)?;
+        let checkpoint = checkpoint_from_json(
+            doc.get("checkpoint")
+                .ok_or_else(|| format!("{path}: journal has no checkpoint"))?,
+        )?;
+        strategy.restore(&checkpoint.strategy)?;
+        initial = checkpoint.stats;
+        eprintln!(
+            "resuming from {path}: {} executions already explored",
+            initial.executions
+        );
+    }
+    let mut explorer = Explorer::new(factory, strategy, build_config(o))
+        .with_stop_flag(stop)
+        .with_initial_stats(initial);
+    let writer = o
+        .checkpoint
+        .as_ref()
+        .map(|path| Rc::new(RefCell::new(JournalWriter::new(path))));
+    if let Some(writer) = &writer {
+        let writer = Rc::clone(writer);
+        let run = run_context_json(o);
+        explorer = explorer.with_checkpointing(o.checkpoint_every, move |checkpoint| {
+            let doc = Json::object([
+                ("run", run.clone()),
+                ("checkpoint", checkpoint_to_json(checkpoint)),
+            ]);
+            writer.borrow_mut().write(&doc);
+        });
+    }
+    let report = explorer.run();
+    if let Some(writer) = &writer {
+        warnings.extend(writer.borrow().warnings().iter().cloned());
+    }
+    Ok(report)
+}
+
+/// The run-level options a checkpoint journal records, so `--resume`
+/// can refuse a journal taken under different search parameters.
+fn run_context_json(o: &RunOpts) -> Json {
+    Json::object([
+        ("workload", Json::Str(o.workload.clone())),
+        ("bug", o.bug.clone().map(Json::Str).unwrap_or(Json::Null)),
+        ("strategy", Json::Str(strategy_label(o))),
+        ("fair", Json::Bool(o.fair)),
+        ("k", Json::UInt(o.k)),
+        ("depth_bound", Json::UInt(o.depth_bound as u64)),
+    ])
+}
+
+/// Rejects a resume journal whose recorded run context differs from the
+/// current command line: a DFS frontier only makes sense against the
+/// exact same workload and search parameters.
+fn validate_run_context(doc: &Json, o: &RunOpts, path: &str) -> Result<(), String> {
+    let run = doc
+        .get("run")
+        .ok_or_else(|| format!("{path}: journal has no run context"))?;
+    let expect = run_context_json(o);
+    for key in ["workload", "bug", "strategy", "fair", "k", "depth_bound"] {
+        let recorded = run.get(key).map(Json::to_string_pretty).unwrap_or_default();
+        let current = expect
+            .get(key)
+            .map(Json::to_string_pretty)
+            .unwrap_or_default();
+        if recorded != current {
+            return Err(format!(
+                "{path}: journal was taken with {key} = {recorded}, but this run has \
+                 {key} = {current} (resume must use the original workload, bug, strategy, \
+                 and fairness flags)"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// The strategy in its command-line spelling, for journal validation.
+fn strategy_label(o: &RunOpts) -> String {
+    match o.strategy {
+        StrategyOpt::Dfs => "dfs".into(),
+        StrategyOpt::Cb(b) => format!("cb:{b}"),
+        StrategyOpt::Random(seed) => format!("random:{seed}"),
     }
 }
 
@@ -199,7 +345,11 @@ where
 /// workers. `dfs` partitions the root decision frontier, `random:<seed>`
 /// shards seeds, and `cb:<B>` runs iterative context bounding with the
 /// bounds `0..=B` dealt across the workers.
-fn check_parallel<S, F>(factory: F, o: &RunOpts) -> Result<SearchReport, String>
+fn check_parallel<S, F>(
+    factory: F,
+    o: &RunOpts,
+    stop: Arc<AtomicBool>,
+) -> Result<SearchReport, String>
 where
     S: Capture + Clone + 'static,
     F: Fn() -> Kernel<S> + Copy + Sync,
@@ -211,7 +361,7 @@ where
                 .into(),
         );
     }
-    let parallel = ParallelExplorer::new(factory, build_config(o), o.jobs);
+    let parallel = ParallelExplorer::new(factory, build_config(o), o.jobs).with_stop_flag(stop);
     match o.strategy {
         StrategyOpt::Dfs => Ok(parallel.run_dfs()),
         StrategyOpt::Random(seed) => Ok(parallel.run_random(seed)),

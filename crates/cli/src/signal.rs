@@ -1,0 +1,78 @@
+//! Graceful interruption: SIGINT/SIGTERM raise a stop flag instead of
+//! killing the process.
+//!
+//! The handler itself only stores into a static `AtomicBool` (the one
+//! async-signal-safe thing a Rust handler can do); a detached watcher
+//! thread bridges that static into the `Arc<AtomicBool>` stop flag the
+//! explorer polls at every execution boundary. The search then winds
+//! down cleanly: it reports `BudgetExhausted(Interrupted)`, flushes a
+//! final checkpoint when `--checkpoint` is active, and the CLI exits
+//! with [`crate::exitcode::INTERRUPTED`].
+//!
+//! The raw `signal(2)` FFI lives here and nowhere else; every library
+//! crate in the workspace keeps `#![forbid(unsafe_code)]`. A second
+//! signal while the search is winding down restores the default
+//! disposition first, so a double Ctrl-C still kills a wedged process.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Set by the signal handler; polled by the watcher thread.
+static INTERRUPT_PENDING: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod unix {
+    pub const SIGINT: i32 = 2;
+    pub const SIGTERM: i32 = 15;
+    /// `SIG_DFL`: restore the default disposition.
+    pub const SIG_DFL: usize = 0;
+
+    extern "C" {
+        /// POSIX `signal(2)`. The handler is passed as a raw function
+        /// address (or `SIG_DFL`); the return value is the previous
+        /// disposition, which we do not need.
+        pub fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    pub extern "C" fn on_signal(_signum: i32) {
+        super::INTERRUPT_PENDING.store(true, std::sync::atomic::Ordering::SeqCst);
+        // One chance to wind down gracefully: the next SIGINT/SIGTERM
+        // gets the default (terminating) disposition.
+        unsafe {
+            signal(SIGINT, SIG_DFL);
+            signal(SIGTERM, SIG_DFL);
+        }
+    }
+}
+
+/// Installs SIGINT/SIGTERM handlers and returns the stop flag they
+/// raise. The returned flag is the one to pass to
+/// `Explorer::with_stop_flag`. On non-Unix targets this is a no-op
+/// flag that is never raised.
+pub fn install() -> Arc<AtomicBool> {
+    let stop = Arc::new(AtomicBool::new(false));
+    #[cfg(unix)]
+    {
+        let handler = unix::on_signal as *const () as usize;
+        unsafe {
+            unix::signal(unix::SIGINT, handler);
+            unix::signal(unix::SIGTERM, handler);
+        }
+        let bridge = Arc::clone(&stop);
+        std::thread::spawn(move || loop {
+            if INTERRUPT_PENDING.load(Ordering::SeqCst) {
+                bridge.store(true, Ordering::SeqCst);
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        });
+    }
+    stop
+}
+
+/// True iff a SIGINT/SIGTERM arrived since [`install`]. Used to pick
+/// the interrupted-resumable exit code over the plain budget code.
+pub fn interrupted() -> bool {
+    INTERRUPT_PENDING.load(Ordering::SeqCst)
+}

@@ -15,9 +15,35 @@ use crate::observer::{NullObserver, Observer};
 use crate::report::{
     BudgetKind, Divergence, DivergenceKind, SearchOutcome, SearchReport, SearchStats,
 };
-use crate::strategy::{SchedulePoint, Strategy};
+use crate::strategy::{SchedulePoint, Strategy, StrategySnapshot};
 use crate::system::{SystemStatus, TransitionSystem};
 use crate::trace::{Counterexample, CounterexampleKind, Decision};
+
+/// A crash-safe capture of an in-flight search: the strategy's position
+/// together with the cumulative statistics at an execution boundary.
+///
+/// Restoring the snapshot into a fresh strategy (see
+/// [`Strategy::restore`]) and seeding a new explorer with the stats (see
+/// [`Explorer::with_initial_stats`]) resumes the search exactly where
+/// the checkpoint was taken: for the deterministic strategies (DFS,
+/// context-bounded) the resumed run visits the very executions the
+/// uninterrupted run would have visited, and the final report converges
+/// to the same outcome and counters (wall-clock time excepted).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SearchCheckpoint {
+    /// The strategy's search position.
+    pub strategy: StrategySnapshot,
+    /// Cumulative statistics at the checkpointed boundary.
+    pub stats: SearchStats,
+}
+
+/// The periodic-checkpoint sink attached to an [`Explorer`].
+struct CheckpointSink {
+    /// Emit after every `every`-th completed execution (plus once at
+    /// every resumable stop).
+    every: u64,
+    emit: Box<dyn FnMut(&SearchCheckpoint)>,
+}
 
 /// Configuration of the fair scheduler.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -194,6 +220,8 @@ pub struct Explorer<P, F, St> {
     strategy: St,
     config: Config,
     stop: Option<Arc<AtomicBool>>,
+    checkpoint: Option<CheckpointSink>,
+    initial_stats: SearchStats,
     _marker: std::marker::PhantomData<fn() -> P>,
 }
 
@@ -210,6 +238,8 @@ where
             strategy,
             config,
             stop: None,
+            checkpoint: None,
+            initial_stats: SearchStats::default(),
             _marker: std::marker::PhantomData,
         }
     }
@@ -224,10 +254,68 @@ where
         self
     }
 
+    /// Attaches a checkpoint sink: `emit` receives a [`SearchCheckpoint`]
+    /// after every `every`-th completed execution and once more at every
+    /// resumable stop (budget exhaustion, cancellation, interruption).
+    ///
+    /// An interruption that lands mid-execution checkpoints the
+    /// statistics of the **last completed execution boundary** while the
+    /// strategy snapshot still carries the in-flight replay prefix:
+    /// resume re-runs the interrupted execution from the top, so no
+    /// transition is counted twice and the resumed totals converge to
+    /// the uninterrupted run's.
+    ///
+    /// Checkpoints are skipped silently when the strategy does not
+    /// support snapshots (e.g. [`crate::strategy::FixedSchedule`]).
+    pub fn with_checkpointing(
+        mut self,
+        every: u64,
+        emit: impl FnMut(&SearchCheckpoint) + 'static,
+    ) -> Self {
+        self.checkpoint = Some(CheckpointSink {
+            every,
+            emit: Box::new(emit),
+        });
+        self
+    }
+
+    /// Seeds the search with statistics from a previous (checkpointed)
+    /// run. Budgets expressed in executions count the combined total, and
+    /// the final report's counters continue from these values; `wall`
+    /// accumulates across runs.
+    pub fn with_initial_stats(mut self, stats: SearchStats) -> Self {
+        self.initial_stats = stats;
+        self
+    }
+
     fn stop_requested(&self) -> bool {
         self.stop
             .as_ref()
             .is_some_and(|s| s.load(Ordering::Relaxed))
+    }
+
+    fn checkpoint_due(&self, executions: u64) -> bool {
+        self.checkpoint
+            .as_ref()
+            .is_some_and(|s| s.every > 0 && executions.is_multiple_of(s.every))
+    }
+
+    /// Emits a checkpoint carrying `stats` (with up-to-date cumulative
+    /// wall time) and the strategy's current position. A no-op without a
+    /// sink or for non-snapshottable strategies.
+    fn emit_checkpoint(&mut self, stats: &SearchStats, base_wall: Duration, start: Instant) {
+        let Some(sink) = self.checkpoint.as_mut() else {
+            return;
+        };
+        let Some(snapshot) = self.strategy.snapshot() else {
+            return;
+        };
+        let mut stats = stats.clone();
+        stats.wall = base_wall + start.elapsed();
+        (sink.emit)(&SearchCheckpoint {
+            strategy: snapshot,
+            stats,
+        });
     }
 
     /// Runs the search with no observer.
@@ -239,21 +327,55 @@ where
     pub fn run_observed(&mut self, obs: &mut dyn Observer<P>) -> SearchReport {
         let start = Instant::now();
         let deadline = self.config.time_budget.map(|d| start + d);
-        let mut stats = SearchStats::default();
+        let base_wall = self.initial_stats.wall;
+        let mut stats = self.initial_stats.clone();
+        // The schedule of the in-flight execution lives outside
+        // `one_execution` so that it survives a workload panic: the
+        // decisions pushed before the panicking step become the
+        // counterexample's replay schedule.
+        let mut schedule_buf: Vec<Decision> = Vec::new();
         let outcome = loop {
             if let Some(max) = self.config.max_executions {
                 if stats.executions >= max {
+                    self.emit_checkpoint(&stats, base_wall, start);
                     break SearchOutcome::BudgetExhausted(BudgetKind::Executions);
                 }
             }
             if deadline.is_some_and(|d| Instant::now() >= d) {
+                self.emit_checkpoint(&stats, base_wall, start);
                 break SearchOutcome::BudgetExhausted(BudgetKind::Time);
             }
             if self.stop_requested() {
+                self.emit_checkpoint(&stats, base_wall, start);
                 break SearchOutcome::BudgetExhausted(BudgetKind::Cancelled);
             }
+            // The last execution boundary: an interruption landing inside
+            // the next execution checkpoints these stats, rolling the
+            // partial execution back so resume re-runs it whole.
+            let boundary = stats.clone();
             stats.executions += 1;
-            let end = self.one_execution(obs, &mut stats, deadline);
+            schedule_buf.clear();
+            let caught = crate::panics::catch_silent(|| {
+                self.one_execution(obs, &mut stats, deadline, &mut schedule_buf)
+            });
+            let end = match caught {
+                Ok(end) => end,
+                Err(message) => {
+                    // The workload panicked mid-transition. The schedule
+                    // buffer already holds the panicking decision, so the
+                    // counterexample replays deterministically. A panic is
+                    // a safety violation with extra classification.
+                    stats.violations += 1;
+                    stats.panics += 1;
+                    stats.max_depth = stats.max_depth.max(schedule_buf.len());
+                    ExecEnd::Error(SearchOutcome::Panic(Counterexample {
+                        kind: CounterexampleKind::Panic,
+                        message,
+                        schedule: std::mem::take(&mut schedule_buf),
+                        execution: stats.executions,
+                    }))
+                }
+            };
             match end {
                 ExecEnd::Error(outcome) => {
                     if stats.first_error_execution.is_none() {
@@ -271,10 +393,16 @@ where
                         break SearchOutcome::Complete;
                     }
                 }
-                ExecEnd::Interrupted(kind) => break SearchOutcome::BudgetExhausted(kind),
+                ExecEnd::Interrupted(kind) => {
+                    self.emit_checkpoint(&boundary, base_wall, start);
+                    break SearchOutcome::BudgetExhausted(kind);
+                }
+            }
+            if self.checkpoint_due(stats.executions) {
+                self.emit_checkpoint(&stats, base_wall, start);
             }
         };
-        stats.wall = start.elapsed();
+        stats.wall = base_wall + start.elapsed();
         SearchReport { outcome, stats }
     }
 
@@ -283,6 +411,7 @@ where
         obs: &mut dyn Observer<P>,
         stats: &mut SearchStats,
         deadline: Option<Instant>,
+        schedule: &mut Vec<Decision>,
     ) -> ExecEnd {
         let execution = stats.executions;
         let mut sys = (self.factory)();
@@ -290,7 +419,6 @@ where
             .config
             .fairness
             .map(|fc| FairScheduler::with_k(sys.thread_count(), fc.k).with_scope(fc.scope));
-        let mut schedule: Vec<Decision> = Vec::new();
         // Steps each thread has taken since its last yield, for the
         // good-samaritan heuristic.
         let mut steps_since_yield: Vec<u64> = vec![0; sys.thread_count()];
@@ -324,7 +452,7 @@ where
                         break ExecEnd::Error(SearchOutcome::Deadlock(Counterexample {
                             kind: CounterexampleKind::Deadlock,
                             message: format!("no thread enabled; blocked: {blocked:?}"),
-                            schedule,
+                            schedule: std::mem::take(schedule),
                             execution,
                         }));
                     }
@@ -336,7 +464,7 @@ where
                     break ExecEnd::Error(SearchOutcome::SafetyViolation(Counterexample {
                         kind: CounterexampleKind::Safety,
                         message: format!("{}: {message}", sys.thread_name(t)),
-                        schedule,
+                        schedule: std::mem::take(schedule),
                         execution,
                     }));
                 }
@@ -363,7 +491,7 @@ where
                     stats.divergences += 1;
                     break ExecEnd::Error(SearchOutcome::Divergence(Divergence {
                         kind,
-                        schedule,
+                        schedule: std::mem::take(schedule),
                         execution,
                     }));
                 }
@@ -412,6 +540,11 @@ where
             };
             debug_assert!(options.contains(&d), "strategy picked unavailable {d:?}");
 
+            // Commit the decision to the schedule *before* stepping: if
+            // the workload panics inside `step`, the caller reports the
+            // panic with the triggering decision already on record, so
+            // replaying the schedule re-triggers it deterministically.
+            schedule.push(d);
             let kind = sys.step(d.thread, d.choice);
             let es_after = sys.enabled_set();
             if let Some(f) = fair.as_mut() {
@@ -424,7 +557,6 @@ where
             } else {
                 steps_since_yield[d.thread.index()] += 1;
             }
-            schedule.push(d);
             stats.transitions += 1;
             depth += 1;
             prev = Some(d.thread);
@@ -470,7 +602,7 @@ where
                     };
                     break ExecEnd::Error(SearchOutcome::Divergence(Divergence {
                         kind,
-                        schedule,
+                        schedule: std::mem::take(schedule),
                         execution,
                     }));
                 }
@@ -495,7 +627,7 @@ where
 /// bounds `0..=max_bound` in order, stopping early at the first error.
 /// Returns the report for each bound that ran.
 pub fn iterative_context_bounding<P, F>(
-    mut factory: F,
+    factory: F,
     config: Config,
     max_bound: u32,
 ) -> Vec<(u32, SearchReport)>
@@ -503,11 +635,33 @@ where
     P: TransitionSystem,
     F: FnMut() -> P,
 {
+    iterative_context_bounding_resumable(factory, config, max_bound, 0, |_, _| {})
+}
+
+/// [`iterative_context_bounding`] with crash-safe progress: the sweep
+/// starts at `start_bound` (0 for a fresh run, `b + 1` to resume after a
+/// journal recorded bound `b` as finished) and `on_bound_complete` fires
+/// after each bound's search returns — the hook where a caller persists
+/// bound-level progress. Running the remaining bounds of an interrupted
+/// sweep produces exactly the reports the uninterrupted sweep would have
+/// produced for those bounds.
+pub fn iterative_context_bounding_resumable<P, F>(
+    mut factory: F,
+    config: Config,
+    max_bound: u32,
+    start_bound: u32,
+    mut on_bound_complete: impl FnMut(u32, &SearchReport),
+) -> Vec<(u32, SearchReport)>
+where
+    P: TransitionSystem,
+    F: FnMut() -> P,
+{
     let mut reports = Vec::new();
-    for bound in 0..=max_bound {
+    for bound in start_bound..=max_bound {
         let strategy = crate::strategy::ContextBounded::new(bound);
         let report = Explorer::new(&mut factory, strategy, config.clone()).run();
         let stop = report.outcome.found_error();
+        on_bound_complete(bound, &report);
         reports.push((bound, report));
         if stop {
             break;
@@ -631,5 +785,232 @@ mod tests {
         assert!(reports.iter().all(|(_, r)| !r.outcome.found_error()));
         // Larger bounds explore at least as many executions.
         assert!(reports[0].1.stats.executions <= reports[2].1.stats.executions);
+    }
+
+    /// Resuming an iterative-CB sweep at a recorded bound yields exactly
+    /// the reports the uninterrupted sweep produced for those bounds.
+    #[test]
+    fn iterative_cb_resumes_at_recorded_bound() {
+        let zero_wall = |mut r: SearchReport| {
+            r.stats.wall = Duration::ZERO;
+            r
+        };
+        let full = iterative_context_bounding(two_step_scripts, Config::fair(), 2);
+        let mut completed = Vec::new();
+        iterative_context_bounding_resumable(two_step_scripts, Config::fair(), 2, 0, |b, _| {
+            completed.push(b)
+        });
+        assert_eq!(completed, vec![0, 1, 2]);
+        // Simulate a crash after bound 0 finished: resume at bound 1.
+        let resumed =
+            iterative_context_bounding_resumable(two_step_scripts, Config::fair(), 2, 1, |_, _| {});
+        assert_eq!(resumed.len(), 2);
+        for ((b_full, r_full), (b_res, r_res)) in full[1..].iter().zip(&resumed) {
+            assert_eq!(b_full, b_res);
+            assert_eq!(zero_wall(r_full.clone()), zero_wall(r_res.clone()));
+        }
+    }
+
+    /// A panicking workload becomes a replayable `Outcome::Panic`, never
+    /// an aborted search.
+    #[test]
+    fn workload_panic_is_isolated_and_replayable() {
+        let factory = || Script::new(vec![vec![Act::Step, Act::Step], vec![Act::Panic]], 0);
+        let mut ex = Explorer::new(factory, Dfs::new(), Config::fair());
+        let report = ex.run();
+        let SearchOutcome::Panic(cex) = &report.outcome else {
+            panic!("expected panic outcome, got {:?}", report.outcome);
+        };
+        assert_eq!(cex.kind, CounterexampleKind::Panic);
+        assert_eq!(cex.message, "scripted panic");
+        assert_eq!(report.stats.panics, 1);
+        assert_eq!(report.stats.violations, 1);
+        assert_eq!(
+            report.stats.first_error_execution,
+            Some(cex.execution),
+            "panic must be booked like any other error"
+        );
+        // The panicking decision is on the schedule: replay re-triggers it.
+        assert!(!cex.schedule.is_empty());
+        assert!(crate::minimize::reproduces(
+            factory,
+            &Config::fair(),
+            &cex.schedule,
+            crate::minimize::OutcomeKind::Panic,
+        ));
+    }
+
+    /// With `stop_on_error` off, every panicking schedule is counted and
+    /// the enumeration still completes.
+    #[test]
+    fn panics_counted_without_stopping() {
+        let factory = || Script::new(vec![vec![Act::Step], vec![Act::Panic]], 0);
+        let config = Config::fair().with_stop_on_error(false);
+        let mut ex = Explorer::new(factory, Dfs::new(), config);
+        let report = ex.run();
+        assert_eq!(report.outcome, SearchOutcome::Complete);
+        assert_eq!(report.stats.executions, 2);
+        assert_eq!(report.stats.panics, 2, "{:?}", report.stats);
+    }
+
+    /// Render of a panic counterexample must not re-abort: the replayed
+    /// panic is caught and printed.
+    #[test]
+    fn panic_counterexample_renders() {
+        let factory = || Script::new(vec![vec![Act::Panic]], 0);
+        let report = Explorer::new(factory, Dfs::new(), Config::fair()).run();
+        let SearchOutcome::Panic(cex) = report.outcome else {
+            panic!("expected panic");
+        };
+        let rendered = cex.render(factory);
+        assert!(
+            rendered.contains("panic (1 steps): scripted panic"),
+            "{rendered}"
+        );
+        assert!(
+            rendered.contains("=>  panic in s0: scripted panic"),
+            "{rendered}"
+        );
+    }
+
+    /// A search stopped by the wall-clock budget reports incomplete —
+    /// never an exhaustive pass.
+    #[test]
+    fn time_budget_expiry_is_reported_incomplete() {
+        let config = Config::fair().with_time_budget(Duration::ZERO);
+        let mut ex = Explorer::new(two_step_scripts, Dfs::new(), config);
+        let report = ex.run();
+        assert_eq!(
+            report.outcome,
+            SearchOutcome::BudgetExhausted(BudgetKind::Time)
+        );
+        assert!(!report.outcome.is_exhaustive_pass());
+        let text = report.to_string();
+        assert!(
+            text.contains("search incomplete (time budget exhausted)"),
+            "{text}"
+        );
+        assert!(!text.contains("search complete"), "{text}");
+    }
+
+    /// Checkpoint cadence: `every = 2` over a 3-execution space emits
+    /// exactly one periodic checkpoint (no final one — the search
+    /// completed, so there is nothing to resume).
+    #[test]
+    fn periodic_checkpoints_fire_on_cadence() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let seen: Rc<RefCell<Vec<SearchCheckpoint>>> = Rc::default();
+        let sink = Rc::clone(&seen);
+        let mut ex = Explorer::new(two_step_scripts, Dfs::new(), Config::fair())
+            .with_checkpointing(2, move |c| sink.borrow_mut().push(c.clone()));
+        let report = ex.run();
+        assert_eq!(report.outcome, SearchOutcome::Complete);
+        let seen = seen.borrow();
+        assert_eq!(seen.len(), 1);
+        assert_eq!(seen[0].stats.executions, 2);
+        assert!(matches!(
+            seen[0].strategy,
+            crate::strategy::StrategySnapshot::Dfs { .. }
+        ));
+    }
+
+    /// Kill-at-boundary convergence: stop after one execution, emit the
+    /// final checkpoint, resume into a fresh explorer — the final report
+    /// matches the uninterrupted run exactly (wall time zeroed).
+    #[test]
+    fn boundary_checkpoint_resume_converges() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let zero_wall = |mut r: SearchReport| {
+            r.stats.wall = Duration::ZERO;
+            r
+        };
+        let full = Explorer::new(two_step_scripts, Dfs::new(), Config::fair()).run();
+
+        let seen: Rc<RefCell<Vec<SearchCheckpoint>>> = Rc::default();
+        let sink = Rc::clone(&seen);
+        let interrupted = Explorer::new(
+            two_step_scripts,
+            Dfs::new(),
+            Config::fair().with_max_executions(1),
+        )
+        .with_checkpointing(0, move |c| sink.borrow_mut().push(c.clone()))
+        .run();
+        assert_eq!(
+            interrupted.outcome,
+            SearchOutcome::BudgetExhausted(BudgetKind::Executions)
+        );
+        let ckpt = seen.borrow().last().cloned().expect("final checkpoint");
+        assert_eq!(ckpt.stats.executions, 1);
+
+        let mut strategy = Dfs::new();
+        strategy.restore(&ckpt.strategy).unwrap();
+        let resumed = Explorer::new(two_step_scripts, strategy, Config::fair())
+            .with_initial_stats(ckpt.stats)
+            .run();
+        assert_eq!(zero_wall(resumed), zero_wall(full));
+    }
+
+    /// Mid-execution interruption rolls the partial execution back to the
+    /// last boundary; resume re-runs it whole and converges.
+    #[test]
+    fn mid_execution_interrupt_resume_converges() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        /// Observer that raises the stop flag once the execution passes
+        /// the given depth, forcing the explorer's in-execution poll (at
+        /// depth 4095) to interrupt mid-execution.
+        struct StopAtDepth {
+            stop: Arc<AtomicBool>,
+            depth: usize,
+        }
+        impl Observer<Script> for StopAtDepth {
+            fn on_state(&mut self, _: &Script, depth: usize) {
+                if depth >= self.depth {
+                    self.stop.store(true, Ordering::Relaxed);
+                }
+            }
+            fn on_execution_end(&mut self, _: &Script, _: usize) {}
+        }
+
+        let deep = || Script::new(vec![vec![Act::Step; 5000]], 0);
+        let zero_wall = |mut r: SearchReport| {
+            r.stats.wall = Duration::ZERO;
+            r
+        };
+        let full = Explorer::new(deep, Dfs::new(), Config::fair()).run();
+        assert_eq!(full.outcome, SearchOutcome::Complete);
+        assert_eq!(full.stats.transitions, 5000);
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let seen: Rc<RefCell<Vec<SearchCheckpoint>>> = Rc::default();
+        let sink = Rc::clone(&seen);
+        let mut obs = StopAtDepth {
+            stop: Arc::clone(&stop),
+            depth: 100,
+        };
+        let interrupted = Explorer::new(deep, Dfs::new(), Config::fair())
+            .with_stop_flag(stop)
+            .with_checkpointing(0, move |c| sink.borrow_mut().push(c.clone()))
+            .run_observed(&mut obs);
+        assert_eq!(
+            interrupted.outcome,
+            SearchOutcome::BudgetExhausted(BudgetKind::Cancelled)
+        );
+        // Interrupted at depth 4095 of execution 1: the checkpoint rolled
+        // back to the boundary (zero completed executions), while the
+        // snapshot keeps the in-flight prefix for replay.
+        let ckpt = seen.borrow().last().cloned().expect("final checkpoint");
+        assert_eq!(ckpt.stats.executions, 0);
+        assert_eq!(ckpt.stats.transitions, 0);
+
+        let mut strategy = Dfs::new();
+        strategy.restore(&ckpt.strategy).unwrap();
+        let resumed = Explorer::new(deep, strategy, Config::fair())
+            .with_initial_stats(ckpt.stats)
+            .run();
+        assert_eq!(zero_wall(resumed), zero_wall(full));
     }
 }

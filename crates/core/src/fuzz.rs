@@ -22,7 +22,7 @@
 //!   preceding every `Dec` and spin of a lower-numbered thread), so on
 //!   any fair cycle the setter must eventually run and break the spin.
 //!
-//! On top of a clean base, three knobs inject one bug each, using fresh
+//! On top of a clean base, four knobs inject one bug each, using fresh
 //! resources so the injection cannot interfere with the base threads:
 //!
 //! * [`FuzzConfig::inject_safety`] — a racy counter plus an `AssertZero`
@@ -30,7 +30,10 @@
 //! * [`FuzzConfig::inject_deadlock`] — two threads acquiring two fresh
 //!   locks in opposite orders;
 //! * [`FuzzConfig::inject_livelock`] — a polite spin on a flag nobody
-//!   ever sets: a definite fair cycle (Theorem 6's livelock).
+//!   ever sets: a definite fair cycle (Theorem 6's livelock);
+//! * [`FuzzConfig::inject_panic`] — a racy counter plus a
+//!   `PanicIfNonZero` that *unwinds out of the workload* on one
+//!   interleaving, exercising the explorer's panic isolation end to end.
 
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -72,6 +75,10 @@ pub struct FuzzConfig {
     pub inject_deadlock: bool,
     /// Injects a polite spin on a never-set flag: a definite livelock.
     pub inject_livelock: bool,
+    /// Injects a racy counter plus a panic that fires on one
+    /// interleaving (fresh counter): a workload crash, not a violation
+    /// the system reports itself.
+    pub inject_panic: bool,
 }
 
 impl Default for FuzzConfig {
@@ -87,6 +94,7 @@ impl Default for FuzzConfig {
             inject_safety: false,
             inject_deadlock: false,
             inject_livelock: false,
+            inject_panic: false,
         }
     }
 }
@@ -142,6 +150,11 @@ pub enum FuzzOp {
     },
     /// Fails (a safety violation) if the counter is nonzero.
     AssertZero(usize),
+    /// Panics — unwinds out of the workload — if the counter is nonzero.
+    /// Unlike [`FuzzOp::AssertZero`] the system never gets to report a
+    /// violation itself; the explorer's panic isolation must catch the
+    /// unwind and turn it into a replayable counterexample.
+    PanicIfNonZero(usize),
 }
 
 impl FuzzOp {
@@ -159,6 +172,7 @@ impl FuzzOp {
             }
             FuzzOp::Choose { width } => format!("choose({width})"),
             FuzzOp::AssertZero(c) => format!("assert(c{c} == 0)"),
+            FuzzOp::PanicIfNonZero(c) => format!("panic_if(c{c} != 0)"),
         }
     }
 }
@@ -315,6 +329,13 @@ impl TransitionSystem for FuzzSystem {
                 }
                 StepKind::Normal
             }
+            FuzzOp::PanicIfNonZero(c) => {
+                if self.counters[c] != 0 {
+                    panic!("injected panic: c{c} = {} != 0", self.counters[c]);
+                }
+                self.pcs[i] += 1;
+                StepKind::Normal
+            }
         }
     }
 
@@ -439,7 +460,10 @@ impl SplitMix64 {
 /// same system, which is what makes corpus files replayable.
 pub fn generate_system(config: &FuzzConfig) -> FuzzSystem {
     let mut rng = SplitMix64::new(config.seed);
-    let injecting = config.inject_safety || config.inject_deadlock || config.inject_livelock;
+    let injecting = config.inject_safety
+        || config.inject_deadlock
+        || config.inject_livelock
+        || config.inject_panic;
     // Injections add whole threads; cap the base so the exhaustive
     // stateful reference stays tractable on injected systems.
     let (cap_threads, cap_ops) = if injecting {
@@ -582,6 +606,15 @@ pub fn generate_system(config: &FuzzConfig) -> FuzzSystem {
             FuzzOp::Unlock(mb),
         ]);
     }
+    if config.inject_panic {
+        // A racy counter like the safety injection, but the observer
+        // panics instead of flagging a violation: the crash only happens
+        // if the check runs between the inc and the dec.
+        let c = counters;
+        counters += 1;
+        scripts.push(vec![FuzzOp::Inc(c), FuzzOp::Step, FuzzOp::Dec(c)]);
+        scripts.push(vec![FuzzOp::Step, FuzzOp::PanicIfNonZero(c)]);
+    }
     if config.inject_livelock {
         // A polite spin on a flag nobody sets: once every other thread
         // has finished, the spinner alone forms a fair cycle.
@@ -693,6 +726,35 @@ mod tests {
         )
         .run();
         assert!(report.stats.fair_cycles > 0, "{:?}", report.stats);
+    }
+
+    #[test]
+    fn injected_panic_is_isolated_and_minimizable() {
+        let cfg = FuzzConfig {
+            inject_panic: true,
+            yield_percent: 100,
+            ..FuzzConfig::default().with_seed(3)
+        };
+        let report = Explorer::new(|| generate_system(&cfg), Dfs::new(), Config::fair()).run();
+        let crate::SearchOutcome::Panic(cex) = &report.outcome else {
+            panic!("expected an isolated panic, got {:?}", report.outcome);
+        };
+        assert!(cex.message.starts_with("injected panic"), "{}", cex.message);
+        // The schedule alone pins the crash, and ddmin keeps it pinned.
+        let kind = crate::OutcomeKind::of(&report.outcome).unwrap();
+        let minimized = crate::minimize_schedule(
+            || generate_system(&cfg),
+            &Config::fair(),
+            &cex.schedule,
+            kind,
+        );
+        assert!(minimized.len() <= cex.schedule.len());
+        assert!(crate::reproduces(
+            || generate_system(&cfg),
+            &Config::fair(),
+            &minimized,
+            kind
+        ));
     }
 
     #[test]

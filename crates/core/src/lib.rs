@@ -83,13 +83,17 @@ mod fair;
 pub mod fuzz;
 pub mod minimize;
 mod observer;
+pub mod panics;
 mod parallel;
 mod report;
 pub mod strategy;
 mod system;
 mod trace;
 
-pub use explore::{iterative_context_bounding, Config, Explorer, FairnessConfig};
+pub use explore::{
+    iterative_context_bounding, iterative_context_bounding_resumable, Config, Explorer,
+    FairnessConfig, SearchCheckpoint,
+};
 pub use fair::{FairScheduler, PenaltyScope};
 pub use fuzz::{derive_seed, generate_system, FuzzConfig, FuzzOp, FuzzSystem};
 pub use minimize::{minimize_schedule, reproduces, OutcomeKind};
@@ -98,5 +102,6 @@ pub use parallel::ParallelExplorer;
 pub use report::{
     BudgetKind, Divergence, DivergenceKind, SearchOutcome, SearchReport, SearchStats,
 };
+pub use strategy::{FrameSnapshot, StrategySnapshot};
 pub use system::{SystemStatus, TransitionSystem};
 pub use trace::{replay, Counterexample, CounterexampleKind, Decision, Schedule};

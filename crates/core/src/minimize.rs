@@ -32,6 +32,8 @@ pub enum OutcomeKind {
     Safety,
     /// A deadlock ([`SearchOutcome::Deadlock`]).
     Deadlock,
+    /// A workload panic ([`SearchOutcome::Panic`]).
+    Panic,
     /// A definite livelock ([`DivergenceKind::FairCycle`]).
     FairCycle,
     /// A definite good-samaritan violation ([`DivergenceKind::UnfairCycle`]).
@@ -48,6 +50,7 @@ impl OutcomeKind {
         match outcome {
             SearchOutcome::SafetyViolation(_) => Some(OutcomeKind::Safety),
             SearchOutcome::Deadlock(_) => Some(OutcomeKind::Deadlock),
+            SearchOutcome::Panic(_) => Some(OutcomeKind::Panic),
             SearchOutcome::Divergence(d) => Some(match d.kind {
                 DivergenceKind::FairCycle { .. } => OutcomeKind::FairCycle,
                 DivergenceKind::UnfairCycle { .. } => OutcomeKind::UnfairCycle,
@@ -63,6 +66,7 @@ impl OutcomeKind {
         match self {
             OutcomeKind::Safety => "safety",
             OutcomeKind::Deadlock => "deadlock",
+            OutcomeKind::Panic => "panic",
             OutcomeKind::FairCycle => "fair-cycle",
             OutcomeKind::UnfairCycle => "unfair-cycle",
             OutcomeKind::GoodSamaritanSuspect => "gs-suspect",
@@ -75,6 +79,7 @@ impl OutcomeKind {
         Some(match s {
             "safety" => OutcomeKind::Safety,
             "deadlock" => OutcomeKind::Deadlock,
+            "panic" => OutcomeKind::Panic,
             "fair-cycle" => OutcomeKind::FairCycle,
             "unfair-cycle" => OutcomeKind::UnfairCycle,
             "gs-suspect" => OutcomeKind::GoodSamaritanSuspect,
@@ -229,6 +234,7 @@ mod tests {
         for k in [
             OutcomeKind::Safety,
             OutcomeKind::Deadlock,
+            OutcomeKind::Panic,
             OutcomeKind::FairCycle,
             OutcomeKind::UnfairCycle,
             OutcomeKind::GoodSamaritanSuspect,

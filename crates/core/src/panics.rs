@@ -1,0 +1,99 @@
+//! Panic capture for untrusted workloads.
+//!
+//! A stateless checker drives *real* program code, and real code panics.
+//! [`catch_silent`] runs a closure under [`std::panic::catch_unwind`]
+//! and, on unwind, returns the panic payload as a string instead of
+//! aborting the search. While a capture is in flight the default panic
+//! hook is suppressed for the capturing thread, so a panicking workload
+//! does not spray backtraces over the report; panics raised outside a
+//! capture (checker bugs) still reach the normal hook.
+
+use std::cell::Cell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Once;
+
+thread_local! {
+    /// Nesting depth of in-flight [`catch_silent`] calls on this thread.
+    static CAPTURE_DEPTH: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Installs (once, process-wide) a panic hook that stays silent while the
+/// current thread is inside [`catch_silent`] and delegates to the
+/// previously installed hook otherwise.
+fn install_quiet_hook() {
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            let capturing = CAPTURE_DEPTH.with(|d| d.get() > 0);
+            if !capturing {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Renders a panic payload (the `Box<dyn Any>` from `catch_unwind`) into
+/// the message the counterexample will carry.
+fn payload_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+/// Runs `f`, converting a panic into `Err(message)`.
+///
+/// The closure is wrapped in [`AssertUnwindSafe`]: callers treat any
+/// state reachable by `f` as poisoned on `Err` (the explorer discards
+/// the program instance and reports the panic as a counterexample, so
+/// broken invariants cannot leak into later executions).
+pub fn catch_silent<R>(f: impl FnOnce() -> R) -> Result<R, String> {
+    install_quiet_hook();
+    CAPTURE_DEPTH.with(|d| d.set(d.get() + 1));
+    let result = panic::catch_unwind(AssertUnwindSafe(f));
+    CAPTURE_DEPTH.with(|d| d.set(d.get() - 1));
+    result.map_err(payload_message)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ok_passes_through() {
+        assert_eq!(catch_silent(|| 41 + 1), Ok(42));
+    }
+
+    #[test]
+    fn str_payload_captured() {
+        let r = catch_silent(|| -> u32 { panic!("boom") });
+        assert_eq!(r, Err("boom".to_string()));
+    }
+
+    #[test]
+    fn formatted_payload_captured() {
+        let x = 7;
+        let r = catch_silent(|| -> u32 { panic!("bad value {x}") });
+        assert_eq!(r, Err("bad value 7".to_string()));
+    }
+
+    #[test]
+    fn nested_captures_unwind_innermost_first() {
+        let r = catch_silent(|| {
+            let inner = catch_silent(|| -> u32 { panic!("inner") });
+            assert_eq!(inner, Err("inner".to_string()));
+            panic!("outer")
+        });
+        assert_eq!(r, Err("outer".to_string()));
+    }
+
+    #[test]
+    fn depth_restored_after_capture() {
+        let _ = catch_silent(|| panic!("x"));
+        CAPTURE_DEPTH.with(|d| assert_eq!(d.get(), 0));
+    }
+}

@@ -29,8 +29,19 @@
 //! replayed through the *sequential* explorer with a [`FixedSchedule`] —
 //! deterministic reproduction is part of the engine's contract, so a
 //! replay mismatch panics rather than reporting an irreproducible bug.
+//!
+//! Workers are *supervised*: workload panics are already isolated inside
+//! the sequential explorer (they surface as [`SearchOutcome::Panic`]),
+//! but a panic that escapes the explorer itself — a buggy strategy or
+//! factory unwinding between executions — would otherwise take down the
+//! whole search at join time. Instead, each worker body runs under
+//! [`crate::panics::catch_silent`] and is restarted from its shard's
+//! initial strategy up to [`MAX_WORKER_RESTARTS`] times; restarts are
+//! counted in [`SearchStats::worker_restarts`]. A worker that keeps
+//! panicking is abandoned and surfaces as
+//! [`BudgetKind::WorkerPanicked`] — an incomplete search, never a crash.
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::Instant;
@@ -45,6 +56,7 @@ use crate::trace::Decision;
 /// decision frontier: the current root decision is forced at depth 0 and
 /// the stock [`Dfs`] stack machine (depth-shifted by one) enumerates
 /// everything below it.
+#[derive(Clone)]
 struct PartitionedDfs {
     roots: Vec<Decision>,
     current: usize,
@@ -139,6 +151,7 @@ pub struct ParallelExplorer<P, F> {
     factory: F,
     config: Config,
     jobs: usize,
+    external_stop: Option<Arc<AtomicBool>>,
     _marker: std::marker::PhantomData<fn() -> P>,
 }
 
@@ -153,6 +166,7 @@ where
             factory,
             config,
             jobs: jobs.max(1),
+            external_stop: None,
             _marker: std::marker::PhantomData,
         }
     }
@@ -160,6 +174,23 @@ where
     /// The worker count.
     pub fn jobs(&self) -> usize {
         self.jobs
+    }
+
+    /// Attaches an externally-owned cancellation flag (e.g. raised by a
+    /// SIGINT handler). It is shared with the internal first-error-wins
+    /// flag, so raising it stops every worker at its next poll; the
+    /// interrupted shards surface as [`BudgetKind::Cancelled`].
+    pub fn with_stop_flag(mut self, stop: Arc<AtomicBool>) -> Self {
+        self.external_stop = Some(stop);
+        self
+    }
+
+    /// The cancellation flag shared by all workers of one run: the
+    /// external flag when attached, otherwise a fresh private one.
+    fn shared_stop(&self) -> Arc<AtomicBool> {
+        self.external_stop
+            .clone()
+            .unwrap_or_else(|| Arc::new(AtomicBool::new(false)))
     }
 
     /// Seed-sharded random walk: worker `i` searches with
@@ -192,7 +223,9 @@ where
         let roots = self.root_frontier();
         if self.jobs == 1 || roots.len() <= 1 {
             // Nothing to partition: identical to the sequential search.
-            return Explorer::new(|| (self.factory)(), Dfs::new(), self.config.clone()).run();
+            return Explorer::new(|| (self.factory)(), Dfs::new(), self.config.clone())
+                .with_stop_flag(self.shared_stop())
+                .run();
         }
         let jobs = self.jobs.min(roots.len());
         let shares = split_budget(self.config.max_executions, jobs);
@@ -218,7 +251,7 @@ where
     /// *above* the erroring one may appear (they ran concurrently), and
     /// in-flight searches surface as [`BudgetKind::Cancelled`].
     pub fn run_iterative_cb(&self, max_bound: u32) -> Vec<(u32, SearchReport)> {
-        let stop = Arc::new(AtomicBool::new(false));
+        let stop = self.shared_stop();
         let jobs = self.jobs.min(max_bound as usize + 1);
         let mut reports: Vec<(u32, SearchReport)> = thread::scope(|s| {
             let handles: Vec<_> = (0..jobs)
@@ -230,10 +263,26 @@ where
                         let mut mine = Vec::new();
                         let mut bound = i as u32;
                         while bound <= max_bound && !stop.load(Ordering::Relaxed) {
-                            let report =
-                                Explorer::new(factory, ContextBounded::new(bound), config.clone())
-                                    .with_stop_flag(Arc::clone(&stop))
-                                    .run();
+                            // Supervise the per-bound search: an engine
+                            // panic restarts the bound from scratch (the
+                            // sequential search for one bound is
+                            // self-contained), then gives up on the bound.
+                            let mut restarts = 0u64;
+                            let mut report = loop {
+                                let stop = Arc::clone(&stop);
+                                let config = config.clone();
+                                let attempt = crate::panics::catch_silent(move || {
+                                    Explorer::new(factory, ContextBounded::new(bound), config)
+                                        .with_stop_flag(stop)
+                                        .run()
+                                });
+                                match attempt {
+                                    Ok(report) => break report,
+                                    Err(_) if restarts < MAX_WORKER_RESTARTS => restarts += 1,
+                                    Err(_) => break lost_worker_report(),
+                                }
+                            };
+                            report.stats.worker_restarts += restarts;
                             let found = report.outcome.found_error();
                             mine.push((bound, report));
                             if found && config.stop_on_error {
@@ -248,7 +297,10 @@ where
                 .collect();
             handles
                 .into_iter()
-                .flat_map(|h| h.join().expect("search worker panicked"))
+                // Worker bodies are supervised above; a join failure can
+                // only mean a panic in the bookkeeping itself. Harvest
+                // what the other workers produced instead of aborting.
+                .flat_map(|h| h.join().unwrap_or_default())
                 .collect()
         });
         reports.sort_by_key(|&(bound, _)| bound);
@@ -281,15 +333,17 @@ where
     }
 
     /// Runs one sequential explorer per `(strategy, config)` pair on
-    /// scoped threads, with first-error-wins cancellation, and merges the
+    /// scoped threads, with first-error-wins cancellation and a
+    /// supervisor per worker (see the module docs), and merges the
     /// per-worker reports.
-    fn run_workers<St: Strategy + Send>(
+    fn run_workers<St: Strategy + Clone + Send>(
         &self,
         start: Instant,
         workers: Vec<(St, Config)>,
     ) -> SearchReport {
-        let stop = Arc::new(AtomicBool::new(false));
+        let stop = self.shared_stop();
         let winner = AtomicUsize::new(usize::MAX);
+        let restarts = AtomicU64::new(0);
         let reports: Vec<SearchReport> = thread::scope(|s| {
             let handles: Vec<_> = workers
                 .into_iter()
@@ -298,11 +352,33 @@ where
                     let stop = Arc::clone(&stop);
                     let factory = &self.factory;
                     let winner = &winner;
+                    let restarts = &restarts;
                     s.spawn(move || {
                         let stop_on_error = config.stop_on_error;
-                        let report = Explorer::new(factory, strategy, config)
-                            .with_stop_flag(Arc::clone(&stop))
-                            .run();
+                        // Supervisor loop: restart a panicked worker from
+                        // its shard's initial strategy, give up after the
+                        // restart cap. The failed attempt's statistics
+                        // die with it — restarting re-runs the shard, so
+                        // only the surviving attempt is counted.
+                        let mut attempts = 0u64;
+                        let report = loop {
+                            let strategy = strategy.clone();
+                            let config = config.clone();
+                            let stop = Arc::clone(&stop);
+                            let attempt = crate::panics::catch_silent(move || {
+                                Explorer::new(factory, strategy, config)
+                                    .with_stop_flag(stop)
+                                    .run()
+                            });
+                            match attempt {
+                                Ok(report) => break report,
+                                Err(_) if attempts < MAX_WORKER_RESTARTS => {
+                                    attempts += 1;
+                                    restarts.fetch_add(1, Ordering::Relaxed);
+                                }
+                                Err(_) => break lost_worker_report(),
+                            }
+                        };
                         if stop_on_error && report.outcome.found_error() {
                             // Claim the win before raising the flag so
                             // the winning worker is unambiguous.
@@ -320,7 +396,9 @@ where
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("search worker panicked"))
+                // Supervised above; harvest the survivors even if a
+                // worker's bookkeeping somehow panicked.
+                .map(|h| h.join().unwrap_or_else(|_| lost_worker_report()))
                 .collect()
         });
         let winner = winner.load(Ordering::Acquire);
@@ -328,6 +406,7 @@ where
         for r in &reports {
             stats.merge(&r.stats);
         }
+        stats.worker_restarts += restarts.load(Ordering::Relaxed);
         stats.wall = start.elapsed();
         let outcome = if winner != usize::MAX {
             let outcome = reports[winner].outcome.clone();
@@ -349,7 +428,9 @@ where
     /// counterexample that cannot be reproduced must not be reported.
     fn verify_replay(&self, outcome: &SearchOutcome) {
         let schedule = match outcome {
-            SearchOutcome::SafetyViolation(c) | SearchOutcome::Deadlock(c) => &c.schedule,
+            SearchOutcome::SafetyViolation(c)
+            | SearchOutcome::Deadlock(c)
+            | SearchOutcome::Panic(c) => &c.schedule,
             SearchOutcome::Divergence(d) => &d.schedule,
             _ => return,
         };
@@ -361,7 +442,8 @@ where
         .run();
         match (outcome, &report.outcome) {
             (SearchOutcome::SafetyViolation(a), SearchOutcome::SafetyViolation(b))
-            | (SearchOutcome::Deadlock(a), SearchOutcome::Deadlock(b)) => {
+            | (SearchOutcome::Deadlock(a), SearchOutcome::Deadlock(b))
+            | (SearchOutcome::Panic(a), SearchOutcome::Panic(b)) => {
                 assert_eq!(
                     (&a.message, &a.schedule),
                     (&b.message, &b.schedule),
@@ -380,6 +462,19 @@ where
                  {original:?}\n  replayed: {replayed:?}"
             ),
         }
+    }
+}
+
+/// How many times a panicked worker is replaced before its shard is
+/// abandoned as [`BudgetKind::WorkerPanicked`].
+pub(crate) const MAX_WORKER_RESTARTS: u64 = 2;
+
+/// The report standing in for a worker whose shard was abandoned after
+/// exhausting its restarts: an incomplete search, not an error.
+fn lost_worker_report() -> SearchReport {
+    SearchReport {
+        outcome: SearchOutcome::BudgetExhausted(BudgetKind::WorkerPanicked),
+        stats: SearchStats::default(),
     }
 }
 
@@ -404,6 +499,7 @@ fn merge_outcomes(reports: Vec<SearchReport>) -> SearchOutcome {
     let mut merged = SearchOutcome::Complete;
     for r in reports {
         let rank = |o: &SearchOutcome| match o {
+            SearchOutcome::BudgetExhausted(BudgetKind::WorkerPanicked) => 4,
             SearchOutcome::BudgetExhausted(BudgetKind::Time) => 3,
             SearchOutcome::BudgetExhausted(BudgetKind::Executions) => 2,
             SearchOutcome::BudgetExhausted(BudgetKind::Cancelled) => 1,
@@ -530,6 +626,102 @@ mod tests {
         let bounds: Vec<u32> = parallel.iter().map(|&(b, _)| b).collect();
         assert_eq!(bounds, vec![0, 1, 2, 3, 4]);
         assert!(parallel.iter().all(|(_, r)| !r.outcome.found_error()));
+    }
+
+    /// A world where thread 0's second action panics: every interleaving
+    /// eventually executes it, so the search must surface an isolated,
+    /// replayable panic rather than crash.
+    fn sometimes_panics() -> Script {
+        Script::new(vec![vec![Act::Step, Act::Panic], vec![Act::Step]], 0)
+    }
+
+    #[test]
+    fn parallel_workload_panic_is_isolated_and_replays() {
+        for jobs in [1, 2, 4] {
+            let report = ParallelExplorer::new(sometimes_panics, Config::fair(), jobs).run_dfs();
+            let SearchOutcome::Panic(cex) = &report.outcome else {
+                panic!(
+                    "jobs={jobs}: expected a panic outcome, got {:?}",
+                    report.outcome
+                );
+            };
+            assert_eq!(cex.message, "scripted panic");
+            assert!(report.stats.panics >= 1, "jobs={jobs}");
+            // verify_replay already ran inside the engine; pin the bug
+            // again from the outside with the schedule alone.
+            let replay = Explorer::new(
+                sometimes_panics,
+                FixedSchedule::new(cex.schedule.clone()),
+                Config::fair(),
+            )
+            .run();
+            let SearchOutcome::Panic(replayed) = replay.outcome else {
+                panic!("jobs={jobs}: schedule did not replay to the panic");
+            };
+            assert_eq!(replayed.schedule, cex.schedule);
+            assert_eq!(replayed.message, cex.message);
+        }
+    }
+
+    /// A strategy that panics in `on_execution_end` when `dies` is set —
+    /// that hook runs *outside* the explorer's per-execution panic guard,
+    /// so the panic escapes the sequential search and exercises the
+    /// worker supervisor.
+    #[derive(Clone)]
+    struct MaybeDies {
+        dies: bool,
+        inner: Dfs,
+    }
+
+    impl Strategy for MaybeDies {
+        fn pick(&mut self, point: &SchedulePoint<'_>) -> Option<Decision> {
+            self.inner.pick(point)
+        }
+
+        fn on_execution_end(&mut self) -> bool {
+            if self.dies {
+                panic!("strategy bug between executions");
+            }
+            self.inner.on_execution_end()
+        }
+
+        fn name(&self) -> String {
+            "maybe-dies".to_string()
+        }
+    }
+
+    #[test]
+    fn supervisor_restarts_then_abandons_a_panicking_worker() {
+        let explorer = ParallelExplorer::new(two_step_scripts, Config::fair(), 2);
+        let healthy = MaybeDies {
+            dies: false,
+            inner: Dfs::new(),
+        };
+        let dying = MaybeDies {
+            dies: true,
+            inner: Dfs::new(),
+        };
+        let report = explorer.run_workers(
+            Instant::now(),
+            vec![(healthy, Config::fair()), (dying, Config::fair())],
+        );
+        // The dying worker was restarted up to the cap, then abandoned;
+        // the healthy worker's full result was still harvested.
+        assert_eq!(
+            report.outcome,
+            SearchOutcome::BudgetExhausted(BudgetKind::WorkerPanicked)
+        );
+        assert_eq!(report.stats.worker_restarts, MAX_WORKER_RESTARTS);
+        let sequential = Explorer::new(two_step_scripts, Dfs::new(), Config::fair()).run();
+        assert_eq!(report.stats.executions, sequential.stats.executions);
+    }
+
+    #[test]
+    fn supervisor_report_renders_as_incomplete() {
+        let report = lost_worker_report();
+        assert!(!report.outcome.found_error());
+        assert!(!report.outcome.is_exhaustive_pass());
+        assert!(report.to_string().contains("worker lost"));
     }
 
     #[test]

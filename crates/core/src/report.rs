@@ -105,8 +105,25 @@ pub enum BudgetKind {
     /// The configured wall-clock budget was exhausted.
     Time,
     /// The search was cancelled through its stop flag — in a parallel
-    /// search, another worker found an error first.
+    /// search, another worker found an error first; in the CLI, the user
+    /// pressed Ctrl-C.
     Cancelled,
+    /// A parallel worker panicked inside the checker itself (not in the
+    /// workload — workload panics are isolated as
+    /// [`SearchOutcome::Panic`]) and ran out of restarts, so part of its
+    /// shard is unexplored.
+    WorkerPanicked,
+}
+
+impl fmt::Display for BudgetKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BudgetKind::Executions => "execution budget exhausted",
+            BudgetKind::Time => "time budget exhausted",
+            BudgetKind::Cancelled => "cancelled",
+            BudgetKind::WorkerPanicked => "worker lost",
+        })
+    }
 }
 
 /// Final outcome of a search, mirroring the four outcomes of the paper's
@@ -120,6 +137,10 @@ pub enum SearchOutcome {
     SafetyViolation(Counterexample),
     /// A deadlock was found (a safety violation in the paper's setting).
     Deadlock(Counterexample),
+    /// The program panicked during a transition. A panic is a safety
+    /// violation with the panic message as evidence; the schedule replays
+    /// it deterministically.
+    Panic(Counterexample),
     /// A divergence was detected (outcomes 2 and 3).
     Divergence(Divergence),
     /// A budget ran out before the search completed.
@@ -133,6 +154,7 @@ impl SearchOutcome {
             self,
             SearchOutcome::SafetyViolation(_)
                 | SearchOutcome::Deadlock(_)
+                | SearchOutcome::Panic(_)
                 | SearchOutcome::Divergence(_)
         )
     }
@@ -140,9 +162,19 @@ impl SearchOutcome {
     /// Returns the counterexample, if the outcome carries one.
     pub fn counterexample(&self) -> Option<&Counterexample> {
         match self {
-            SearchOutcome::SafetyViolation(c) | SearchOutcome::Deadlock(c) => Some(c),
+            SearchOutcome::SafetyViolation(c)
+            | SearchOutcome::Deadlock(c)
+            | SearchOutcome::Panic(c) => Some(c),
             _ => None,
         }
+    }
+
+    /// Returns whether the outcome certifies an exhaustive pass: the
+    /// strategy ran out of schedules without finding an error. A search
+    /// stopped by any budget (executions, time, cancellation, a lost
+    /// worker) is **incomplete** and must never be read as a proof.
+    pub fn is_exhaustive_pass(&self) -> bool {
+        matches!(self, SearchOutcome::Complete)
     }
 }
 
@@ -176,6 +208,14 @@ pub struct SearchStats {
     /// Divergences that were definite **unfair** cycles — good-samaritan
     /// violations. A subset of [`SearchStats::divergences`].
     pub unfair_cycles: u64,
+    /// Workload panics isolated by the explorer. Every panic is also
+    /// counted in [`SearchStats::violations`]; this counter tells the two
+    /// apart.
+    pub panics: u64,
+    /// Panicked parallel workers that the supervisor replaced. Nonzero
+    /// only when the checker itself misbehaved; workload panics never
+    /// cost a worker.
+    pub worker_restarts: u64,
     /// Execution index of the first error found, if any.
     pub first_error_execution: Option<u64>,
     /// Deepest execution observed.
@@ -202,6 +242,8 @@ impl SearchStats {
         self.divergences += other.divergences;
         self.fair_cycles += other.fair_cycles;
         self.unfair_cycles += other.unfair_cycles;
+        self.panics += other.panics;
+        self.worker_restarts += other.worker_restarts;
         self.first_error_execution = match (self.first_error_execution, other.first_error_execution)
         {
             (Some(a), Some(b)) => Some(a.min(b)),
@@ -233,8 +275,11 @@ impl fmt::Display for SearchReport {
             SearchOutcome::Deadlock(c) => {
                 write!(f, "deadlock: {} (execution {})", c.message, c.execution)?
             }
+            SearchOutcome::Panic(c) => {
+                write!(f, "panic: {} (execution {})", c.message, c.execution)?
+            }
             SearchOutcome::Divergence(d) => write!(f, "{} (execution {})", d.kind, d.execution)?,
-            SearchOutcome::BudgetExhausted(k) => write!(f, "budget exhausted: {k:?}")?,
+            SearchOutcome::BudgetExhausted(k) => write!(f, "search incomplete ({k})")?,
         }
         write!(
             f,
@@ -292,6 +337,66 @@ mod tests {
             steps_without_yield: 99,
         };
         assert!(k.to_string().contains("99"));
+    }
+
+    #[test]
+    fn panic_outcome_is_an_error_with_counterexample() {
+        let cex = Counterexample {
+            kind: CounterexampleKind::Panic,
+            message: "boom".into(),
+            schedule: vec![],
+            execution: 3,
+        };
+        let o = SearchOutcome::Panic(cex);
+        assert!(o.found_error());
+        assert!(!o.is_exhaustive_pass());
+        assert_eq!(o.counterexample().unwrap().message, "boom");
+        let r = SearchReport {
+            outcome: o,
+            stats: SearchStats::default(),
+        };
+        assert!(r.to_string().contains("panic: boom"));
+    }
+
+    /// A budget-stopped search renders as incomplete and never claims an
+    /// exhaustive pass, whatever the budget kind.
+    #[test]
+    fn budget_stopped_search_is_incomplete_not_a_pass() {
+        for k in [
+            BudgetKind::Executions,
+            BudgetKind::Time,
+            BudgetKind::Cancelled,
+            BudgetKind::WorkerPanicked,
+        ] {
+            let o = SearchOutcome::BudgetExhausted(k);
+            assert!(!o.is_exhaustive_pass(), "{k} must not be a pass");
+            assert!(!o.found_error());
+            let r = SearchReport {
+                outcome: o,
+                stats: SearchStats::default(),
+            };
+            let text = r.to_string();
+            assert!(text.contains("search incomplete"), "{text}");
+            assert!(!text.contains("search complete"), "{text}");
+        }
+        assert!(SearchOutcome::Complete.is_exhaustive_pass());
+    }
+
+    #[test]
+    fn merge_adds_panics_and_restarts() {
+        let mut a = SearchStats {
+            panics: 1,
+            worker_restarts: 2,
+            ..Default::default()
+        };
+        let b = SearchStats {
+            panics: 3,
+            worker_restarts: 1,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.panics, 4);
+        assert_eq!(a.worker_restarts, 3);
     }
 
     #[test]

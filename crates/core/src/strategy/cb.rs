@@ -7,7 +7,8 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use crate::strategy::{SchedulePoint, Strategy};
+use crate::strategy::dfs::validate_frames;
+use crate::strategy::{FrameSnapshot, SchedulePoint, Strategy, StrategySnapshot};
 use crate::trace::Decision;
 
 #[derive(Debug, Clone)]
@@ -161,6 +162,55 @@ impl Strategy for ContextBounded {
             Some(db) => format!("cb={}(db={db})", self.bound),
             None => format!("cb={}", self.bound),
         }
+    }
+
+    fn snapshot(&self) -> Option<StrategySnapshot> {
+        Some(StrategySnapshot::Cb {
+            bound: self.bound,
+            budget: self.budget,
+            stack: self
+                .stack
+                .iter()
+                .map(|f| FrameSnapshot {
+                    options: f.options.clone(),
+                    index: f.index,
+                })
+                .collect(),
+            horizon: self.horizon,
+            rng: self.rng.state(),
+            charge_fairness_switches: self.charge_fairness_switches,
+        })
+    }
+
+    fn restore(&mut self, snapshot: &StrategySnapshot) -> Result<(), String> {
+        let StrategySnapshot::Cb {
+            bound,
+            budget,
+            stack,
+            horizon,
+            rng,
+            charge_fairness_switches,
+        } = snapshot
+        else {
+            return Err(format!(
+                "cannot restore a '{}' snapshot into a context-bounded strategy",
+                snapshot.kind()
+            ));
+        };
+        validate_frames(stack)?;
+        self.bound = *bound;
+        self.budget = *budget;
+        self.stack = stack
+            .iter()
+            .map(|f| Frame {
+                options: f.options.clone(),
+                index: f.index,
+            })
+            .collect();
+        self.horizon = *horizon;
+        self.rng = SmallRng::from_state(*rng);
+        self.charge_fairness_switches = *charge_fairness_switches;
+        Ok(())
     }
 }
 

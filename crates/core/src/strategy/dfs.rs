@@ -7,13 +7,28 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use crate::strategy::{SchedulePoint, Strategy};
+use crate::strategy::{FrameSnapshot, SchedulePoint, Strategy, StrategySnapshot};
 use crate::trace::Decision;
 
 #[derive(Debug, Clone)]
 struct Frame {
     options: Vec<Decision>,
     index: usize,
+}
+
+/// Checks that every frame's index points inside its option set, so a
+/// corrupted journal cannot make a restored strategy panic mid-search.
+pub(crate) fn validate_frames(stack: &[FrameSnapshot]) -> Result<(), String> {
+    for (depth, f) in stack.iter().enumerate() {
+        if f.index >= f.options.len() {
+            return Err(format!(
+                "snapshot frame at depth {depth} has index {} but only {} options",
+                f.index,
+                f.options.len()
+            ));
+        }
+    }
+    Ok(())
 }
 
 /// Depth-first search over scheduling decisions.
@@ -131,6 +146,50 @@ impl Strategy for Dfs {
             Some(db) => format!("dfs(db={db})"),
             None => "dfs".to_string(),
         }
+    }
+
+    fn snapshot(&self) -> Option<StrategySnapshot> {
+        Some(StrategySnapshot::Dfs {
+            stack: self
+                .stack
+                .iter()
+                .map(|f| FrameSnapshot {
+                    options: f.options.clone(),
+                    index: f.index,
+                })
+                .collect(),
+            horizon: self.horizon,
+            rng: self.rng.state(),
+            prefer_continuation: self.prefer_continuation,
+        })
+    }
+
+    fn restore(&mut self, snapshot: &StrategySnapshot) -> Result<(), String> {
+        let StrategySnapshot::Dfs {
+            stack,
+            horizon,
+            rng,
+            prefer_continuation,
+        } = snapshot
+        else {
+            return Err(format!(
+                "cannot restore a '{}' snapshot into a dfs strategy",
+                snapshot.kind()
+            ));
+        };
+        validate_frames(stack)?;
+        self.stack = stack
+            .iter()
+            .map(|f| Frame {
+                options: f.options.clone(),
+                index: f.index,
+            })
+            .collect();
+        self.horizon = *horizon;
+        self.rng = SmallRng::from_state(*rng);
+        self.exhausted = false;
+        self.prefer_continuation = *prefer_continuation;
+        Ok(())
     }
 }
 

@@ -16,6 +16,15 @@ pub use dfs::Dfs;
 pub use random::RandomWalk;
 pub use replay::FixedSchedule;
 
+use crate::trace::Schedule;
+
+/// Converts the committed backtracking prefix of a snapshot into the
+/// replay schedule it denotes — the decisions the next execution takes
+/// through the already-explored part of the tree.
+pub fn snapshot_prefix(stack: &[FrameSnapshot]) -> Schedule {
+    stack.iter().map(|f| f.options[f.index]).collect()
+}
+
 use chess_kernel::ThreadId;
 
 use crate::trace::Decision;
@@ -51,6 +60,72 @@ impl SchedulePoint<'_> {
     }
 }
 
+/// One backtracking frame of a snapshotted systematic strategy: the
+/// option set committed at some depth and the index currently being
+/// explored.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameSnapshot {
+    /// The decisions available at this depth, in the strategy's order.
+    pub options: Vec<Decision>,
+    /// Index of the decision the current execution takes at this depth.
+    pub index: usize,
+}
+
+/// A serializable capture of a strategy's complete search position.
+///
+/// Restoring a snapshot into a freshly built strategy of the same kind
+/// resumes the enumeration exactly where the capture left off: the next
+/// execution a restored [`Dfs`] runs is the very execution the original
+/// would have run. Snapshots contain plain data only (frames, RNG words,
+/// flags), so the journal layer can round-trip them through JSON.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StrategySnapshot {
+    /// State of a [`Dfs`] search.
+    Dfs {
+        /// The backtracking stack.
+        stack: Vec<FrameSnapshot>,
+        /// Backtracking horizon, if the random-tail baseline is active.
+        horizon: Option<usize>,
+        /// xoshiro256++ words of the random-tail generator.
+        rng: [u64; 4],
+        /// Whether the continuation-first ordering is active.
+        prefer_continuation: bool,
+    },
+    /// State of a [`ContextBounded`] search.
+    Cb {
+        /// The preemption bound.
+        bound: u32,
+        /// Remaining preemption budget of the in-flight execution.
+        budget: u32,
+        /// The backtracking stack.
+        stack: Vec<FrameSnapshot>,
+        /// Backtracking horizon, if the random-tail baseline is active.
+        horizon: Option<usize>,
+        /// xoshiro256++ words of the random-tail generator.
+        rng: [u64; 4],
+        /// Whether the fairness-charging ablation is active.
+        charge_fairness_switches: bool,
+    },
+    /// State of a [`RandomWalk`] search.
+    Random {
+        /// The original seed (kept for reporting).
+        seed: u64,
+        /// xoshiro256++ words of the walk's generator.
+        rng: [u64; 4],
+    },
+}
+
+impl StrategySnapshot {
+    /// A short name of the snapshotted strategy kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            StrategySnapshot::Dfs { .. } => "dfs",
+            StrategySnapshot::Cb { .. } => "cb",
+            StrategySnapshot::Random { .. } => "random",
+        }
+    }
+}
+
 /// A search strategy: picks decisions within an execution and enumerates
 /// executions.
 pub trait Strategy {
@@ -65,6 +140,24 @@ pub trait Strategy {
 
     /// A short human-readable name (used in experiment tables).
     fn name(&self) -> String;
+
+    /// Captures the strategy's search position for a checkpoint, or
+    /// `None` when the strategy does not support checkpointing (the
+    /// default).
+    fn snapshot(&self) -> Option<StrategySnapshot> {
+        None
+    }
+
+    /// Restores a position captured by [`Strategy::snapshot`] on a
+    /// strategy of the same kind. Implementors must reject snapshots of
+    /// a different kind; the default rejects everything.
+    fn restore(&mut self, snapshot: &StrategySnapshot) -> Result<(), String> {
+        Err(format!(
+            "strategy '{}' does not support resuming from a '{}' snapshot",
+            self.name(),
+            snapshot.kind()
+        ))
+    }
 }
 
 impl Strategy for Box<dyn Strategy> {
@@ -78,6 +171,14 @@ impl Strategy for Box<dyn Strategy> {
 
     fn name(&self) -> String {
         (**self).name()
+    }
+
+    fn snapshot(&self) -> Option<StrategySnapshot> {
+        (**self).snapshot()
+    }
+
+    fn restore(&mut self, snapshot: &StrategySnapshot) -> Result<(), String> {
+        (**self).restore(snapshot)
     }
 }
 

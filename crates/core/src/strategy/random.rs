@@ -4,7 +4,7 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use crate::strategy::{SchedulePoint, Strategy};
+use crate::strategy::{SchedulePoint, Strategy, StrategySnapshot};
 use crate::trace::Decision;
 
 /// Uniformly random decisions; executions are enumerated until the
@@ -38,6 +38,25 @@ impl Strategy for RandomWalk {
 
     fn name(&self) -> String {
         format!("random(seed={})", self.seed)
+    }
+
+    fn snapshot(&self) -> Option<StrategySnapshot> {
+        Some(StrategySnapshot::Random {
+            seed: self.seed,
+            rng: self.rng.state(),
+        })
+    }
+
+    fn restore(&mut self, snapshot: &StrategySnapshot) -> Result<(), String> {
+        let StrategySnapshot::Random { seed, rng } = snapshot else {
+            return Err(format!(
+                "cannot restore a '{}' snapshot into a random walk",
+                snapshot.kind()
+            ));
+        };
+        self.seed = *seed;
+        self.rng = SmallRng::from_state(*rng);
+        Ok(())
     }
 }
 

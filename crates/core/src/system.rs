@@ -152,6 +152,9 @@ pub(crate) mod testsys {
         Inc(usize),
         /// Step that decrements the given counter slot (enabled iff > 0).
         Dec(usize),
+        /// Step that panics when executed — models a workload bug that
+        /// unwinds out of the program under test.
+        Panic,
     }
 
     /// Scripted multithreaded test program.
@@ -203,6 +206,7 @@ pub(crate) mod testsys {
             match act {
                 Act::Inc(c) => self.counters[c] += 1,
                 Act::Dec(c) => self.counters[c] -= 1,
+                Act::Panic => panic!("scripted panic"),
                 _ => {}
             }
             self.pcs[t.index()] += 1;

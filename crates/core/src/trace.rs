@@ -48,6 +48,10 @@ pub enum CounterexampleKind {
     Safety,
     /// No thread was enabled while some had not finished.
     Deadlock,
+    /// The program panicked during a transition. Treated as a safety
+    /// violation: the final decision of the schedule re-triggers the
+    /// panic on replay.
+    Panic,
 }
 
 /// A reproducible erroneous execution.
@@ -81,6 +85,7 @@ impl Counterexample {
             match self.kind {
                 CounterexampleKind::Safety => "safety violation",
                 CounterexampleKind::Deadlock => "deadlock",
+                CounterexampleKind::Panic => "panic",
             },
             self.schedule.len(),
             self.message
@@ -94,7 +99,10 @@ impl Counterexample {
                 String::new()
             };
             out.push_str(&format!("{i:5}  {name:<16} {op}{choice}\n"));
-            sys.step(d.thread, d.choice);
+            if let Err(msg) = crate::panics::catch_silent(|| sys.step(d.thread, d.choice)) {
+                out.push_str(&format!("  =>  panic in {name}: {msg}\n"));
+                return out;
+            }
         }
         match sys.status() {
             SystemStatus::Violation(t, msg) => {

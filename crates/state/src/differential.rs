@@ -364,9 +364,9 @@ where
             }
             let kind = OutcomeKind::of(outcome).expect("error outcome has a kind");
             let (schedule, message) = match outcome {
-                SearchOutcome::SafetyViolation(c) | SearchOutcome::Deadlock(c) => {
-                    (c.schedule.clone(), c.message.clone())
-                }
+                SearchOutcome::SafetyViolation(c)
+                | SearchOutcome::Deadlock(c)
+                | SearchOutcome::Panic(c) => (c.schedule.clone(), c.message.clone()),
                 SearchOutcome::Divergence(d) => (d.schedule.clone(), d.kind.to_string()),
                 _ => unreachable!(),
             };
@@ -422,6 +422,31 @@ where
                                 "counterexample replays to {status:?} at graph node {node:?}, \
                                  which is not a matching terminal state"
                             ),
+                        );
+                    }
+                }
+                OutcomeKind::Panic => {
+                    // A panic counterexample has no final state to look
+                    // up — the unwind destroys it. Cross-check by direct
+                    // replay (the schedule must make the bare system
+                    // panic) and against the graph's synthetic nodes.
+                    let replays_to_panic = chess_core::panics::catch_silent(|| {
+                        let mut sys = factory();
+                        replay(&mut sys, &schedule)
+                    })
+                    .is_err();
+                    if !replays_to_panic {
+                        disc(
+                            &mut verdict,
+                            "replay-state-unreal",
+                            "panic counterexample did not panic on direct replay".into(),
+                        );
+                    }
+                    if graph.panicked_states().is_empty() {
+                        disc(
+                            &mut verdict,
+                            "violation-phantom",
+                            "error pass reported a panic; graph has no panic node".into(),
                         );
                     }
                 }
@@ -499,6 +524,30 @@ mod tests {
                 assert!(minimized.len() <= schedule.len());
             }
             ref o => panic!("expected a bug, got {o:?}"),
+        }
+    }
+
+    #[test]
+    fn injected_panic_yields_minimized_panic_counterexample() {
+        let cfg = FuzzConfig {
+            inject_panic: true,
+            yield_percent: 100,
+            ..FuzzConfig::default().with_seed(derive_seed(0x9A1C, 0))
+        };
+        let v = differential_check(|| generate_system(&cfg), &OracleLimits::default());
+        assert!(v.agreed(), "{:?}", v.discrepancies);
+        match v.outcome {
+            SystemOutcome::Buggy {
+                kind,
+                ref message,
+                ref minimized,
+                ref schedule,
+            } => {
+                assert_eq!(kind, OutcomeKind::Panic);
+                assert!(message.starts_with("injected panic"), "{message}");
+                assert!(minimized.len() <= schedule.len());
+            }
+            ref o => panic!("expected a panic bug, got {o:?}"),
         }
     }
 

@@ -72,6 +72,13 @@ pub struct StateNode {
     pub edges: Vec<Edge>,
     /// Terminal classification of this state.
     pub status: SystemStatus,
+    /// Whether this node is the *synthetic* target of a transition whose
+    /// `step` panicked. The real post-state is unknowable (the unwind
+    /// left the clone half-mutated), so the graph records a terminal
+    /// violation node keyed by the source state and decision instead.
+    /// Synthetic nodes are excluded from the Theorem 5 coverage reference
+    /// — the stateless side never captures a state for a panicked step.
+    pub panicked: bool,
 }
 
 /// An explicitly constructed reachable state graph.
@@ -94,35 +101,50 @@ impl StateGraph {
     where
         P: TransitionSystem + Clone,
     {
-        let mut index: HashMap<Vec<u8>, usize> = HashMap::new();
-        let mut nodes: Vec<StateNode> = Vec::new();
-        let mut frontier: Vec<(P, usize)> = Vec::new();
-
-        let mut intern = |sys: &P,
-                          nodes: &mut Vec<StateNode>,
-                          frontier: &mut Vec<(P, usize)>|
-         -> Result<usize, StatefulError> {
-            let bytes = sys.state_bytes();
-            match index.entry(bytes) {
-                Entry::Occupied(e) => Ok(*e.get()),
+        fn intern_node(
+            key: Vec<u8>,
+            node: StateNode,
+            index: &mut HashMap<Vec<u8>, usize>,
+            nodes: &mut Vec<StateNode>,
+            limits: StatefulLimits,
+        ) -> Result<(usize, bool), StatefulError> {
+            match index.entry(key) {
+                Entry::Occupied(e) => Ok((*e.get(), false)),
                 Entry::Vacant(e) => {
                     let id = nodes.len();
                     if id >= limits.max_states {
                         return Err(StatefulError::StateLimitExceeded(limits.max_states));
                     }
                     e.insert(id);
-                    nodes.push(StateNode {
-                        enabled: sys.enabled_set(),
-                        edges: Vec::new(),
-                        status: sys.status(),
-                    });
-                    frontier.push((sys.clone(), id));
-                    Ok(id)
+                    nodes.push(node);
+                    Ok((id, true))
                 }
             }
+        }
+
+        let mut index: HashMap<Vec<u8>, usize> = HashMap::new();
+        let mut nodes: Vec<StateNode> = Vec::new();
+        let mut frontier: Vec<(P, usize)> = Vec::new();
+
+        let intern = |sys: &P,
+                      index: &mut HashMap<Vec<u8>, usize>,
+                      nodes: &mut Vec<StateNode>,
+                      frontier: &mut Vec<(P, usize)>|
+         -> Result<usize, StatefulError> {
+            let node = StateNode {
+                enabled: sys.enabled_set(),
+                edges: Vec::new(),
+                status: sys.status(),
+                panicked: false,
+            };
+            let (id, fresh) = intern_node(sys.state_bytes(), node, index, nodes, limits)?;
+            if fresh {
+                frontier.push((sys.clone(), id));
+            }
+            Ok(id)
         };
 
-        intern(initial, &mut nodes, &mut frontier)?;
+        intern(initial, &mut index, &mut nodes, &mut frontier)?;
         while let Some((sys, id)) = frontier.pop() {
             if !nodes[id].status.is_running() {
                 continue;
@@ -132,15 +154,44 @@ impl StateGraph {
             for t in enabled.iter() {
                 for c in 0..sys.branching(t) {
                     let mut succ = sys.clone();
-                    let kind = succ.step(t, c as u32);
-                    let sid = intern(&succ, &mut nodes, &mut frontier)?;
+                    let sid = match chess_core::panics::catch_silent(|| succ.step(t, c as u32)) {
+                        Ok(kind) => {
+                            let sid = intern(&succ, &mut index, &mut nodes, &mut frontier)?;
+                            edges.push(Edge {
+                                decision: Decision {
+                                    thread: t,
+                                    choice: c as u32,
+                                },
+                                target: sid,
+                                is_yield: kind == StepKind::Yield,
+                            });
+                            continue;
+                        }
+                        Err(message) => {
+                            // The clone is poisoned; record a synthetic
+                            // terminal violation node keyed by (source
+                            // state, decision) so the edge stays in the
+                            // graph and the panic counts as a violation.
+                            let mut key = sys.state_bytes();
+                            key.push(0xFF);
+                            key.extend_from_slice(&(t.index() as u64).to_le_bytes());
+                            key.extend_from_slice(&(c as u32).to_le_bytes());
+                            let node = StateNode {
+                                enabled: TidSet::new(),
+                                edges: Vec::new(),
+                                status: SystemStatus::Violation(t, format!("panic: {message}")),
+                                panicked: true,
+                            };
+                            intern_node(key, node, &mut index, &mut nodes, limits)?.0
+                        }
+                    };
                     edges.push(Edge {
                         decision: Decision {
                             thread: t,
                             choice: c as u32,
                         },
                         target: sid,
-                        is_yield: kind == StepKind::Yield,
+                        is_yield: false,
                     });
                 }
             }
@@ -181,7 +232,9 @@ impl StateGraph {
 
     /// Marks the states reachable from the initial state through
     /// **yield-free** transitions only — the set `R0` of Theorem 5, which
-    /// a fair demonic scheduler must still cover entirely.
+    /// a fair demonic scheduler must still cover entirely. Synthetic
+    /// panic nodes are excluded: a panicked step has no post-state the
+    /// stateless side could ever capture.
     pub fn yield_free_reachable(&self) -> Vec<bool> {
         let mut seen = vec![false; self.nodes.len()];
         if self.nodes.is_empty() {
@@ -191,7 +244,7 @@ impl StateGraph {
         let mut stack = vec![0usize];
         while let Some(i) = stack.pop() {
             for e in &self.nodes[i].edges {
-                if !e.is_yield && !seen[e.target] {
+                if !e.is_yield && !seen[e.target] && !self.nodes[e.target].panicked {
                     seen[e.target] = true;
                     stack.push(e.target);
                 }
@@ -208,6 +261,17 @@ impl StateGraph {
     /// Indices of violation states.
     pub fn violation_states(&self) -> Vec<usize> {
         self.filter_status(|s| matches!(s, SystemStatus::Violation(..)))
+    }
+
+    /// Indices of synthetic panic nodes (a subset of
+    /// [`StateGraph::violation_states`]).
+    pub fn panicked_states(&self) -> Vec<usize> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.panicked)
+            .map(|(i, _)| i)
+            .collect()
     }
 
     fn filter_status(&self, f: impl Fn(&SystemStatus) -> bool) -> Vec<usize> {
@@ -421,7 +485,10 @@ where
             let new_budget = budget - cost;
             for c in 0..sys.branching(t) {
                 let mut succ = sys.clone();
-                succ.step(t, c as u32);
+                if chess_core::panics::catch_silent(|| succ.step(t, c as u32)).is_err() {
+                    // A panicked step has no post-state to count.
+                    continue;
+                }
                 let sid = intern(&succ, &mut state_ids)?;
                 let key = (sid, Some(t));
                 let improved = match best.get(&key) {
@@ -643,6 +710,37 @@ mod tests {
         fn box_clone(&self) -> Box<dyn GuestThread<bool>> {
             Box::new(self.clone())
         }
+    }
+
+    #[test]
+    fn panicking_step_becomes_a_synthetic_violation_node() {
+        use chess_core::{FuzzOp, FuzzSystem};
+        // The injected-panic shape: the panic fires only between the inc
+        // and the dec, so some interleavings are clean and some unwind.
+        let sys = FuzzSystem::from_scripts(
+            vec![
+                vec![FuzzOp::Inc(0), FuzzOp::Step, FuzzOp::Dec(0)],
+                vec![FuzzOp::Step, FuzzOp::PanicIfNonZero(0)],
+            ],
+            1,
+            0,
+            0,
+        );
+        let g = StateGraph::build(&sys, StatefulLimits::default()).unwrap();
+        let panicked = g.panicked_states();
+        assert!(!panicked.is_empty(), "the racy panic must be reachable");
+        for &i in &panicked {
+            let n = &g.nodes()[i];
+            assert!(n.edges.is_empty(), "panic nodes are terminal");
+            assert!(matches!(n.status, SystemStatus::Violation(..)));
+            assert!(g.violation_states().contains(&i));
+        }
+        // Theorem 5's reference set never contains a panic node: the
+        // stateless side has no post-state to capture for those steps.
+        let r0 = g.yield_free_reachable();
+        assert!(panicked.iter().all(|&i| !r0[i]));
+        // The bounded reference count tolerates the panic too.
+        preemption_bounded_states(&sys, 2, StatefulLimits::default()).unwrap();
     }
 
     #[test]

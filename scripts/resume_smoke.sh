@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Kill-and-resume determinism smoke.
+#
+# For each workload: run an uninterrupted baseline, then a checkpointed
+# run interrupted mid-flight with SIGINT (must exit 6 and flush a final
+# journal), then a resumed run killed hard with SIGKILL (the atomic
+# temp-file + rename write discipline must leave a parseable journal),
+# and finally resume to completion. The resumed report must match the
+# uninterrupted baseline byte-for-byte, wall-clock time excepted.
+#
+# Usage: scripts/resume_smoke.sh  (FAIR_CHESS overrides the binary path)
+set -euo pipefail
+
+BIN="${FAIR_CHESS:-target/release/fair-chess}"
+WORKDIR="$(mktemp -d)"
+trap 'rm -rf "$WORKDIR"' EXIT
+
+# Strips the trailing wall-clock field, the one legitimately
+# nondeterministic part of a report line.
+normalize() { sed 's/, [^,]*$//'; }
+
+# Waits (up to ~10s) for the journal to exist, i.e. for the search to be
+# measurably mid-flight before we interrupt it.
+wait_for_file() {
+  local path="$1" tries=0
+  until [ -s "$path" ]; do
+    tries=$((tries + 1))
+    if [ "$tries" -gt 500 ]; then return 1; fi
+    sleep 0.02
+  done
+}
+
+run_case() {
+  local name="$1"
+  local journal="$WORKDIR/$name.journal"
+  local pid status
+
+  echo "== $name: uninterrupted baseline"
+  "$BIN" check "$name" --no-trace > "$WORKDIR/$name.full"
+
+  echo "== $name: SIGINT mid-flight must exit 6 and flush a checkpoint"
+  "$BIN" check "$name" --no-trace --checkpoint "$journal" --checkpoint-every 200 \
+      > "$WORKDIR/$name.partial" &
+  pid=$!
+  wait_for_file "$journal" || { echo "no checkpoint appeared" >&2; exit 1; }
+  kill -INT "$pid"
+  status=0
+  wait "$pid" || status=$?
+  if [ "$status" -ne 6 ]; then
+    echo "expected exit 6 (interrupted, resumable), got $status" >&2
+    exit 1
+  fi
+
+  echo "== $name: SIGKILL mid-flight leaves a consistent journal"
+  "$BIN" check "$name" --no-trace --resume "$journal" --checkpoint "$journal" \
+      --checkpoint-every 200 > /dev/null 2>&1 &
+  pid=$!
+  sleep 0.3
+  kill -KILL "$pid" 2> /dev/null || true
+  wait "$pid" 2> /dev/null || true
+  [ -s "$journal" ] || { echo "journal lost after SIGKILL" >&2; exit 1; }
+
+  echo "== $name: resume to completion, diff against the baseline"
+  "$BIN" check "$name" --no-trace --resume "$journal" > "$WORKDIR/$name.resumed"
+  diff <(normalize < "$WORKDIR/$name.full") <(normalize < "$WORKDIR/$name.resumed")
+  echo "== $name: converged"
+}
+
+run_case treiber
+run_case rwcache
+
+echo "resume smoke passed: interrupted searches converge to the uninterrupted report"

@@ -120,6 +120,21 @@ mod small {
         }
     }
 
+    impl SmallRng {
+        /// Exposes the raw xoshiro256++ state so a checkpointed search can
+        /// persist its generator and resume the identical decision stream.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a state captured by
+        /// [`SmallRng::state`]. The stream continues exactly where the
+        /// captured generator left off.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            SmallRng { s }
+        }
+    }
+
     impl RngCore for SmallRng {
         fn next_u64(&mut self) -> u64 {
             let [s0, s1, s2, s3] = self.s;
@@ -169,6 +184,18 @@ mod tests {
         for _ in 0..10_000 {
             let v = r.gen_range(-5i32..6);
             assert!((-5..6).contains(&v));
+        }
+    }
+
+    #[test]
+    fn state_round_trip_resumes_stream() {
+        let mut a = SmallRng::seed_from_u64(13);
+        for _ in 0..5 {
+            a.gen_range(0u64..1000);
+        }
+        let mut b = SmallRng::from_state(a.state());
+        for _ in 0..64 {
+            assert_eq!(a.gen_range(0usize..1000), b.gen_range(0usize..1000));
         }
     }
 
