@@ -1,7 +1,7 @@
 //! A minimal JSON value type, serializer, and parser for persisting
 //! experiment artifacts and fuzzing corpora. The build environment
 //! cannot fetch `serde`/`serde_json`, so a small hand-rolled value tree
-//! plus the [`impl_to_json!`] macro covers writing, and a recursive-
+//! plus the [`impl_to_json!`](crate::impl_to_json) macro covers writing, and a recursive-
 //! descent [`Json::parse`] covers reading the files back (the `chess
 //! replay` corpus path and `--db` artifacts share this one format).
 

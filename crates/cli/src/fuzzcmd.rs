@@ -62,6 +62,7 @@ pub fn do_fuzz(o: &FuzzOpts) -> ExitCode {
     }
     let limits = OracleLimits {
         max_states: o.max_states,
+        reduce: o.reduce,
         ..OracleLimits::default()
     };
 
@@ -182,6 +183,7 @@ fn fuzz_context_json(o: &FuzzOpts) -> Json {
         ("inject_livelock", Json::Bool(o.inject_livelock)),
         ("inject_panic", Json::Bool(o.inject_panic)),
         ("max_states", Json::UInt(o.max_states as u64)),
+        ("reduce", Json::Bool(o.reduce)),
     ])
 }
 
@@ -277,6 +279,8 @@ fn verdict_to_json(v: &Verdict) -> Json {
         ("yield_free_states", Json::UInt(v.yield_free_states as u64)),
         ("covered_states", Json::UInt(v.covered_states as u64)),
         ("max_unrolling", Json::UInt(u64::from(v.max_unrolling))),
+        ("dfs_executions", Json::UInt(v.dfs_executions)),
+        ("sleep_executions", Json::UInt(v.sleep_executions)),
         ("outcome", outcome),
         (
             "discrepancies",
@@ -340,11 +344,15 @@ fn verdict_from_json(json: &Json) -> Result<Verdict, String> {
             .collect(),
         _ => Vec::new(),
     };
+    // Absent in journals written before the reduction oracles existed.
+    let lenient = |name: &str| json.get(name).and_then(Json::as_u64).unwrap_or(0);
     Ok(Verdict {
         graph_states: num("graph_states")? as usize,
         yield_free_states: num("yield_free_states")? as usize,
         covered_states: num("covered_states")? as usize,
         max_unrolling: num("max_unrolling")? as u32,
+        dfs_executions: lenient("dfs_executions"),
+        sleep_executions: lenient("sleep_executions"),
         outcome,
         discrepancies,
     })
@@ -439,6 +447,22 @@ fn report_fuzz_run(o: &FuzzOpts, results: &[SystemResult]) -> ExitCode {
     }
     println!("largest state graph: {max_states} states");
     println!("max per-execution unrolling: {max_unrolling} (Theorem 4 metric)");
+    if o.reduce {
+        let checked = results
+            .iter()
+            .filter(|r| !matches!(r.verdict.outcome, SystemOutcome::Skipped(_)));
+        let (plain, reduced) = checked.fold((0u64, 0u64), |(p, s), r| {
+            (p + r.verdict.dfs_executions, s + r.verdict.sleep_executions)
+        });
+        let saved = if plain > 0 {
+            100.0 * (plain as f64 - reduced as f64) / plain as f64
+        } else {
+            0.0
+        };
+        println!(
+            "sleep-set reduction: {reduced} executions vs {plain} unreduced ({saved:.1}% fewer)"
+        );
+    }
     if discrepancies > 0 {
         eprintln!("FAIL: {discrepancies} oracle discrepancies");
         ExitCode::from(exitcode::SAFETY_VIOLATION)

@@ -39,6 +39,14 @@ USAGE:
 OPTIONS:
     --bug <name>          Seed a bug (see `fair-chess list`).
     --strategy <s>        dfs | cb:<N> | random:<seed>   [default: dfs]
+    --reduce <mode>       none | sleep-sets   [default: none]. Sleep-set
+                          partial-order reduction for dfs and cb:<N>:
+                          prune interleavings that provably commute with
+                          an already-explored one (fairness-forced edges
+                          are never pruned). Incompatible with
+                          --strategy random:<seed>, with --db, and with
+                          --checkpoint/--resume (a reduced search is not
+                          snapshot-resumable).
     --unfair              Disable the fair scheduler (baseline mode).
     --db <N>              Backtracking horizon with a random tail
                           (the paper's unfair baseline configuration).
@@ -81,6 +89,11 @@ FUZZ OPTIONS:
     --corpus-dir <DIR>    Where to write corpus files [default: fuzz-corpus].
     --max-states <N>      Stateful-reference state cap; larger systems are
                           skipped [default: 200000].
+    --reduce <mode>       none | sleep-sets   [default: none]. Adds the
+                          sleep-* oracles: sleep-set DFS must report the
+                          same verdict as unreduced DFS on every system
+                          while exploring a subset of the executions, and
+                          the aggregate reduction is printed.
     --checkpoint <FILE>   Persist the fuzz shard cursor and per-system
                           verdicts to FILE; SIGINT/SIGTERM flushes a final
                           checkpoint and exits with code 6.
@@ -117,6 +130,7 @@ pub struct RunOpts {
     pub workload: String,
     pub bug: Option<String>,
     pub strategy: StrategyOpt,
+    pub reduce: bool,
     pub fair: bool,
     pub db: Option<usize>,
     pub depth_bound: usize,
@@ -136,6 +150,7 @@ impl Default for RunOpts {
             workload: String::new(),
             bug: None,
             strategy: StrategyOpt::Dfs,
+            reduce: false,
             fair: true,
             db: None,
             depth_bound: 100_000,
@@ -166,6 +181,7 @@ pub struct FuzzOpts {
     pub inject_panic: bool,
     pub corpus_dir: String,
     pub max_states: usize,
+    pub reduce: bool,
     pub checkpoint: Option<String>,
     pub resume: Option<String>,
 }
@@ -185,6 +201,7 @@ impl Default for FuzzOpts {
             inject_panic: false,
             corpus_dir: "fuzz-corpus".into(),
             max_states: 200_000,
+            reduce: false,
             checkpoint: None,
             resume: None,
         }
@@ -253,6 +270,16 @@ fn parse_strategy(s: &str) -> Result<StrategyOpt, ParseError> {
     ))
 }
 
+fn parse_reduce(s: &str) -> Result<bool, ParseError> {
+    match s {
+        "none" => Ok(false),
+        "sleep-sets" => Ok(true),
+        other => err(format!(
+            "unknown reduction '{other}' (expected none or sleep-sets)"
+        )),
+    }
+}
+
 fn parse_run_opts(args: &[String]) -> Result<RunOpts, ParseError> {
     let mut opts = RunOpts::default();
     let mut it = args.iter();
@@ -275,6 +302,7 @@ fn parse_run_opts(args: &[String]) -> Result<RunOpts, ParseError> {
             "--strategy" => {
                 opts.strategy = parse_strategy(&next_value("--strategy", &mut it)?)?;
             }
+            "--reduce" => opts.reduce = parse_reduce(&next_value("--reduce", &mut it)?)?,
             "--unfair" => opts.fair = false,
             "--db" => {
                 opts.db = Some(parse_num("--db", &next_value("--db", &mut it)?)?);
@@ -319,6 +347,23 @@ fn parse_run_opts(args: &[String]) -> Result<RunOpts, ParseError> {
     }
     if (opts.checkpoint.is_some() || opts.resume.is_some()) && opts.jobs > 1 {
         return err("--checkpoint/--resume require --jobs 1 (the journal records one frontier)");
+    }
+    if opts.reduce {
+        if opts.checkpoint.is_some() || opts.resume.is_some() {
+            return err(
+                "--reduce sleep-sets cannot be combined with --checkpoint/--resume \
+                 (a reduced search is not snapshot-resumable)",
+            );
+        }
+        if matches!(opts.strategy, StrategyOpt::Random(_)) {
+            return err("--reduce sleep-sets needs a systematic strategy (dfs or cb:<N>)");
+        }
+        if opts.db.is_some() {
+            return err(
+                "--reduce sleep-sets cannot be combined with --db (the horizon's \
+                 random tail defeats the explored-sibling bookkeeping)",
+            );
+        }
     }
     Ok(opts)
 }
@@ -393,6 +438,7 @@ fn parse_fuzz_opts(args: &[String]) -> Result<FuzzOpts, ParseError> {
             "--max-states" => {
                 opts.max_states = parse_num("--max-states", &next_value("--max-states", &mut it)?)?;
             }
+            "--reduce" => opts.reduce = parse_reduce(&next_value("--reduce", &mut it)?)?,
             "--checkpoint" => opts.checkpoint = Some(next_value("--checkpoint", &mut it)?),
             "--resume" => opts.resume = Some(next_value("--resume", &mut it)?),
             other => return err(format!("unknown option '{other}'")),
@@ -594,6 +640,65 @@ mod tests {
         assert!(!o.inject_safety);
         assert_eq!(o.checkpoint.as_deref(), Some("fuzz.journal"));
         assert_eq!(o.resume.as_deref(), Some("fuzz.journal"));
+    }
+
+    #[test]
+    fn parses_reduce_modes() {
+        let cmd = parse(&s(&["check", "wsq", "--reduce", "sleep-sets"])).unwrap();
+        let Command::Check(o) = cmd else { panic!() };
+        assert!(o.reduce);
+        let cmd = parse(&s(&["check", "wsq", "--reduce", "none"])).unwrap();
+        let Command::Check(o) = cmd else { panic!() };
+        assert!(!o.reduce);
+        let cmd = parse(&s(&["fuzz", "--reduce", "sleep-sets"])).unwrap();
+        let Command::Fuzz(o) = cmd else { panic!() };
+        assert!(o.reduce);
+        assert!(parse(&s(&["check", "wsq", "--reduce", "dpor"])).is_err());
+    }
+
+    #[test]
+    fn reduce_rejects_incompatible_combinations() {
+        // A reduced search is not snapshot-resumable.
+        assert!(parse(&s(&[
+            "check",
+            "wsq",
+            "--reduce",
+            "sleep-sets",
+            "--checkpoint",
+            "x.journal"
+        ]))
+        .is_err());
+        assert!(parse(&s(&[
+            "check",
+            "wsq",
+            "--reduce",
+            "sleep-sets",
+            "--resume",
+            "x.journal"
+        ]))
+        .is_err());
+        // The horizon's random tail defeats sibling bookkeeping.
+        assert!(parse(&s(&["check", "wsq", "--reduce", "sleep-sets", "--db", "4"])).is_err());
+        // Random walk has no backtracking tree to prune.
+        assert!(parse(&s(&[
+            "check",
+            "wsq",
+            "--reduce",
+            "sleep-sets",
+            "--strategy",
+            "random:1"
+        ]))
+        .is_err());
+        // Systematic strategies compose.
+        assert!(parse(&s(&[
+            "check",
+            "wsq",
+            "--reduce",
+            "sleep-sets",
+            "--strategy",
+            "cb:2"
+        ]))
+        .is_ok());
     }
 
     #[test]

@@ -129,6 +129,15 @@ fn dispatch(o: &RunOpts, mode: Mode) -> ExitCode {
 }
 
 fn build_strategy(o: &RunOpts) -> Box<dyn Strategy> {
+    if o.reduce {
+        // The parser rejects --reduce alongside --db and random walks.
+        debug_assert!(o.db.is_none());
+        return match o.strategy {
+            StrategyOpt::Dfs => Box::new(Dfs::with_sleep_sets()),
+            StrategyOpt::Cb(b) => Box::new(ContextBounded::with_sleep_sets(b)),
+            StrategyOpt::Random(_) => unreachable!("rejected during option parsing"),
+        };
+    }
     match (o.strategy, o.db) {
         (StrategyOpt::Dfs, None) => Box::new(Dfs::new()),
         (StrategyOpt::Dfs, Some(db)) => Box::new(Dfs::with_horizon(db)),
@@ -363,9 +372,17 @@ where
     }
     let parallel = ParallelExplorer::new(factory, build_config(o), o.jobs).with_stop_flag(stop);
     match o.strategy {
+        StrategyOpt::Dfs if o.reduce => Ok(parallel.run_dfs_with(chess_core::Reduction::SleepSets)),
         StrategyOpt::Dfs => Ok(parallel.run_dfs()),
         StrategyOpt::Random(seed) => Ok(parallel.run_random(seed)),
         StrategyOpt::Cb(max_bound) => {
+            if o.reduce {
+                return Err(
+                    "--reduce with cb:<N> requires --jobs 1 (iterative parallel \
+                     context bounding has no reduced path)"
+                        .into(),
+                );
+            }
             let reports = parallel.run_iterative_cb(max_bound);
             for (bound, report) in &reports {
                 println!("cb={bound}: {report}");

@@ -519,20 +519,48 @@ where
                 "Theorem 3: T empty iff ES empty"
             );
             let mut options = Vec::with_capacity(schedulable.len());
+            // Per-option footprints, computed only for strategies that
+            // apply partial-order reduction. Yielding options are forced
+            // universal: a yield mutates the fair scheduler's priority
+            // state, so it commutes with nothing and must never sleep.
+            let want_fps = self.strategy.wants_footprints();
+            let mut footprints = Vec::with_capacity(if want_fps { schedulable.len() } else { 0 });
             for t in schedulable.iter() {
+                let fp = want_fps.then(|| {
+                    if sys.is_yielding(t) {
+                        chess_kernel::Footprint::universal()
+                    } else {
+                        // Every transition writes its own thread's state
+                        // (pc, locals), so decisions of one thread are
+                        // pairwise dependent — without this, the two
+                        // branches of a data choice would look independent
+                        // and sleep sets would prune one of them.
+                        let mut fp = sys.footprint(t);
+                        fp.push(
+                            chess_kernel::ObjectRef::Thread(t),
+                            chess_kernel::AccessKind::Write,
+                        );
+                        fp
+                    }
+                });
                 for c in 0..sys.branching(t) {
                     options.push(Decision {
                         thread: t,
                         choice: c as u32,
                     });
+                    if let Some(fp) = &fp {
+                        footprints.push(fp.clone());
+                    }
                 }
             }
             let point = SchedulePoint {
                 depth,
                 options: &options,
+                footprints: &footprints,
                 prev,
                 prev_enabled: prev.is_some_and(|p| es.contains(p)),
                 prev_schedulable: prev.is_some_and(|p| schedulable.contains(p)),
+                fairness_filtered: schedulable.len() != es.len(),
             };
             let Some(d) = self.strategy.pick(&point) else {
                 stats.abandoned += 1;

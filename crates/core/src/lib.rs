@@ -102,6 +102,6 @@ pub use parallel::ParallelExplorer;
 pub use report::{
     BudgetKind, Divergence, DivergenceKind, SearchOutcome, SearchReport, SearchStats,
 };
-pub use strategy::{FrameSnapshot, StrategySnapshot};
+pub use strategy::{FrameSnapshot, Reduction, StrategySnapshot};
 pub use system::{SystemStatus, TransitionSystem};
 pub use trace::{replay, Counterexample, CounterexampleKind, Decision, Schedule};

@@ -48,7 +48,9 @@ use std::time::Instant;
 
 use crate::explore::{Config, Explorer};
 use crate::report::{BudgetKind, SearchOutcome, SearchReport, SearchStats};
-use crate::strategy::{ContextBounded, Dfs, FixedSchedule, RandomWalk, SchedulePoint, Strategy};
+use crate::strategy::{
+    ContextBounded, Dfs, FixedSchedule, RandomWalk, Reduction, SchedulePoint, Strategy,
+};
 use crate::system::TransitionSystem;
 use crate::trace::Decision;
 
@@ -61,16 +63,29 @@ struct PartitionedDfs {
     roots: Vec<Decision>,
     current: usize,
     inner: Dfs,
+    reduction: Reduction,
 }
 
 impl PartitionedDfs {
-    fn new(roots: Vec<Decision>) -> Self {
+    fn new(roots: Vec<Decision>, reduction: Reduction) -> Self {
         debug_assert!(!roots.is_empty());
         PartitionedDfs {
             roots,
             current: 0,
-            inner: Dfs::new(),
+            inner: inner_dfs(reduction),
+            reduction,
         }
+    }
+}
+
+/// The per-subtree DFS of one shard. With sleep sets, each subtree starts
+/// from an empty sleep set at its forced root — a sound superset of the
+/// sequential reduced search (dropping sleep entries only explores more),
+/// so per-shard reduction composes with root partitioning.
+fn inner_dfs(reduction: Reduction) -> Dfs {
+    match reduction {
+        Reduction::None => Dfs::new(),
+        Reduction::SleepSets => Dfs::with_sleep_sets(),
     }
 }
 
@@ -97,13 +112,17 @@ impl Strategy for PartitionedDfs {
             return true;
         }
         // Subtree exhausted: move to the next assigned root.
-        self.inner = Dfs::new();
+        self.inner = inner_dfs(self.reduction);
         self.current += 1;
         self.current < self.roots.len()
     }
 
     fn name(&self) -> String {
         format!("dfs-shard({} roots)", self.roots.len())
+    }
+
+    fn wants_footprints(&self) -> bool {
+        self.inner.wants_footprints()
     }
 }
 
@@ -219,13 +238,27 @@ where
     /// An execution budget is split across workers like
     /// [`ParallelExplorer::run_random`].
     pub fn run_dfs(&self) -> SearchReport {
+        self.run_dfs_with(Reduction::None)
+    }
+
+    /// [`ParallelExplorer::run_dfs`] with a partial-order reduction
+    /// applied inside every shard: each worker runs sleep-set DFS over
+    /// its subtrees, starting from an empty sleep set at each forced
+    /// root. The union of the shards is a superset of the sequential
+    /// reduced search and a subset of the unreduced one, and preserves
+    /// the same verdicts.
+    pub fn run_dfs_with(&self, reduction: Reduction) -> SearchReport {
         let start = Instant::now();
         let roots = self.root_frontier();
         if self.jobs == 1 || roots.len() <= 1 {
             // Nothing to partition: identical to the sequential search.
-            return Explorer::new(|| (self.factory)(), Dfs::new(), self.config.clone())
-                .with_stop_flag(self.shared_stop())
-                .run();
+            return Explorer::new(
+                || (self.factory)(),
+                inner_dfs(reduction),
+                self.config.clone(),
+            )
+            .with_stop_flag(self.shared_stop())
+            .run();
         }
         let jobs = self.jobs.min(roots.len());
         let shares = split_budget(self.config.max_executions, jobs);
@@ -234,7 +267,7 @@ where
                 let mine: Vec<Decision> = roots.iter().copied().skip(i).step_by(jobs).collect();
                 let mut config = self.config.clone();
                 config.max_executions = shares[i];
-                (PartitionedDfs::new(mine), config)
+                (PartitionedDfs::new(mine, reduction), config)
             })
             .collect();
         self.run_workers(start, workers)
@@ -570,6 +603,59 @@ mod tests {
             assert_eq!(parallel.stats.transitions, sequential.stats.transitions);
             assert_eq!(parallel.stats.terminating, sequential.stats.terminating);
             assert_eq!(parallel.stats.max_depth, sequential.stats.max_depth);
+        }
+    }
+
+    /// A world with an independent pair (distinct counters) where sleep
+    /// sets have something to prune, plus a dependent pair they must keep.
+    fn prunable_scripts() -> Script {
+        Script::new(
+            vec![
+                vec![Act::Inc(0), Act::Inc(2)],
+                vec![Act::Inc(1)],
+                vec![Act::Inc(2)],
+            ],
+            3,
+        )
+    }
+
+    #[test]
+    fn reduced_parallel_dfs_agrees_and_explores_no_more() {
+        let config = Config::fair();
+        let plain = Explorer::new(prunable_scripts, Dfs::new(), config.clone()).run();
+        assert_eq!(plain.outcome, SearchOutcome::Complete);
+        for jobs in [1, 2, 3] {
+            let reduced = ParallelExplorer::new(prunable_scripts, config.clone(), jobs)
+                .run_dfs_with(Reduction::SleepSets);
+            assert_eq!(reduced.outcome, SearchOutcome::Complete, "jobs={jobs}");
+            assert!(
+                reduced.stats.executions < plain.stats.executions,
+                "jobs={jobs}: sleep sets pruned nothing ({} vs {})",
+                reduced.stats.executions,
+                plain.stats.executions,
+            );
+        }
+        // With one worker the reduced parallel search IS the sequential
+        // reduced search.
+        let sequential =
+            Explorer::new(prunable_scripts, Dfs::with_sleep_sets(), config.clone()).run();
+        let one =
+            ParallelExplorer::new(prunable_scripts, config, 1).run_dfs_with(Reduction::SleepSets);
+        assert_eq!(zero_wall(one), zero_wall(sequential));
+    }
+
+    /// Per-shard sleep sets must not prune an error only some shards can
+    /// see: the deadlocking world still deadlocks under reduction.
+    #[test]
+    fn reduced_parallel_dfs_still_finds_errors() {
+        for jobs in [1, 2, 4] {
+            let report = ParallelExplorer::new(sometimes_deadlocks, Config::fair(), jobs)
+                .run_dfs_with(Reduction::SleepSets);
+            assert!(
+                matches!(report.outcome, SearchOutcome::Deadlock(_)),
+                "jobs={jobs}: {:?}",
+                report.outcome
+            );
         }
     }
 

@@ -2,19 +2,29 @@
 //! PLDI 2007], integrated with fairness per Section 4 of the paper: a
 //! context switch forced by the fairness priority (the running thread is
 //! enabled but not schedulable) does **not** count against the preemption
-//! budget.
+//! budget. Optionally applies sleep-set partial-order reduction on top of
+//! the budget filter ([`ContextBounded::with_sleep_sets`], see
+//! [`crate::strategy::sleep`]).
 
+use chess_kernel::Footprint;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::strategy::dfs::validate_frames;
+use crate::strategy::sleep::{Reduction, SleepFrame};
 use crate::strategy::{FrameSnapshot, SchedulePoint, Strategy, StrategySnapshot};
 use crate::trace::Decision;
 
 #[derive(Debug, Clone)]
 struct Frame {
     options: Vec<Decision>,
-    index: usize,
+    sleep: SleepFrame,
+}
+
+impl Frame {
+    fn current(&self) -> Decision {
+        self.options[self.sleep.live[self.sleep.cursor]]
+    }
 }
 
 /// Systematic search over all schedules with at most `bound` preemptions.
@@ -33,6 +43,7 @@ pub struct ContextBounded {
     horizon: Option<usize>,
     rng: SmallRng,
     charge_fairness_switches: bool,
+    reduction: Reduction,
 }
 
 impl ContextBounded {
@@ -45,6 +56,19 @@ impl ContextBounded {
             horizon: None,
             rng: SmallRng::seed_from_u64(0x5EED),
             charge_fairness_switches: false,
+            reduction: Reduction::None,
+        }
+    }
+
+    /// Context-bounded search with sleep-set partial-order reduction
+    /// applied on top of the budget filter. Fairness-forced edges are
+    /// exempt from pruning, exactly as they are exempt from the
+    /// preemption accounting. A reduced search does not support
+    /// checkpointing.
+    pub fn with_sleep_sets(bound: u32) -> Self {
+        ContextBounded {
+            reduction: Reduction::SleepSets,
+            ..ContextBounded::new(bound)
         }
     }
 
@@ -80,6 +104,11 @@ impl ContextBounded {
         self.bound
     }
 
+    /// The active partial-order reduction.
+    pub fn reduction(&self) -> Reduction {
+        self.reduction
+    }
+
     /// The preemption cost of a decision under this strategy's accounting.
     fn cost(&self, point: &SchedulePoint<'_>, d: Decision) -> u32 {
         if self.charge_fairness_switches {
@@ -94,17 +123,30 @@ impl ContextBounded {
         }
     }
 
-    /// Budget-eligible decisions, zero-cost first. May be empty only in
-    /// the charging ablation.
-    fn eligible(&self, point: &SchedulePoint<'_>) -> Vec<Decision> {
-        let mut v: Vec<(u32, Decision)> = point
+    /// Budget-eligible decisions, zero-cost first, with footprints
+    /// permuted in lockstep (empty when the point carries none). May be
+    /// empty only in the charging ablation.
+    fn eligible(&self, point: &SchedulePoint<'_>) -> (Vec<Decision>, Vec<Footprint>) {
+        let mut v: Vec<(u32, usize)> = point
             .options
             .iter()
-            .map(|&d| (self.cost(point, d), d))
+            .enumerate()
+            .map(|(i, &d)| (self.cost(point, d), i))
             .filter(|&(c, _)| c <= self.budget)
             .collect();
-        v.sort_by_key(|&(c, d)| (c, d.thread.index(), d.choice));
-        v.into_iter().map(|(_, d)| d).collect()
+        v.sort_by_key(|&(c, i)| {
+            let d = point.options[i];
+            (c, d.thread.index(), d.choice)
+        });
+        let decisions = v.iter().map(|&(_, i)| point.options[i]).collect();
+        let footprints = if point.footprints.is_empty() {
+            Vec::new()
+        } else {
+            v.iter()
+                .map(|&(_, i)| point.footprints[i].clone())
+                .collect()
+        };
+        (decisions, footprints)
     }
 }
 
@@ -113,7 +155,7 @@ impl Strategy for ContextBounded {
         if point.depth == 0 {
             self.budget = self.bound;
         }
-        let eligible = self.eligible(point);
+        let (eligible, footprints) = self.eligible(point);
         debug_assert!(
             !eligible.is_empty() || self.charge_fairness_switches,
             "a zero-cost decision always exists at {point:?}"
@@ -132,14 +174,30 @@ impl Strategy for ContextBounded {
                 "nondeterministic replay at depth {}",
                 point.depth
             );
-            f.options[f.index]
+            f.current()
         } else {
             debug_assert_eq!(point.depth, self.stack.len());
-            let first = eligible[0];
-            self.stack.push(Frame {
+            let sleep = if self.reduction.is_on() {
+                let parent = self.stack.last();
+                SleepFrame::derive(
+                    &eligible,
+                    footprints,
+                    parent.map(|f| &f.sleep),
+                    parent.map(|f| f.options.as_slice()),
+                    point,
+                )?
+                // `None`: every affordable option is asleep — covered by
+                // an equivalent reordering elsewhere. Abandon without
+                // pushing a frame.
+            } else {
+                SleepFrame::inert(eligible.len())
+            };
+            let frame = Frame {
                 options: eligible,
-                index: 0,
-            });
+                sleep,
+            };
+            let first = frame.current();
+            self.stack.push(frame);
             first
         };
         self.budget -= self.cost(point, selected);
@@ -148,8 +206,8 @@ impl Strategy for ContextBounded {
 
     fn on_execution_end(&mut self) -> bool {
         while let Some(last) = self.stack.last_mut() {
-            last.index += 1;
-            if last.index < last.options.len() {
+            last.sleep.cursor += 1;
+            if last.sleep.cursor < last.sleep.live.len() {
                 return true;
             }
             self.stack.pop();
@@ -158,13 +216,24 @@ impl Strategy for ContextBounded {
     }
 
     fn name(&self) -> String {
+        let base = match self.reduction {
+            Reduction::None => format!("cb={}", self.bound),
+            Reduction::SleepSets => format!("cb={}+sleep", self.bound),
+        };
         match self.horizon {
-            Some(db) => format!("cb={}(db={db})", self.bound),
-            None => format!("cb={}", self.bound),
+            Some(db) => format!("{base}(db={db})"),
+            None => base,
         }
     }
 
+    fn wants_footprints(&self) -> bool {
+        self.reduction.is_on()
+    }
+
     fn snapshot(&self) -> Option<StrategySnapshot> {
+        if self.reduction.is_on() {
+            return None;
+        }
         Some(StrategySnapshot::Cb {
             bound: self.bound,
             budget: self.budget,
@@ -173,7 +242,7 @@ impl Strategy for ContextBounded {
                 .iter()
                 .map(|f| FrameSnapshot {
                     options: f.options.clone(),
-                    index: f.index,
+                    index: f.sleep.live[f.sleep.cursor],
                 })
                 .collect(),
             horizon: self.horizon,
@@ -183,6 +252,9 @@ impl Strategy for ContextBounded {
     }
 
     fn restore(&mut self, snapshot: &StrategySnapshot) -> Result<(), String> {
+        if self.reduction.is_on() {
+            return Err("a sleep-set reduced search cannot be resumed from a snapshot".to_string());
+        }
         let StrategySnapshot::Cb {
             bound,
             budget,
@@ -202,9 +274,13 @@ impl Strategy for ContextBounded {
         self.budget = *budget;
         self.stack = stack
             .iter()
-            .map(|f| Frame {
-                options: f.options.clone(),
-                index: f.index,
+            .map(|f| {
+                let mut sleep = SleepFrame::inert(f.options.len());
+                sleep.cursor = f.index;
+                Frame {
+                    options: f.options.clone(),
+                    sleep,
+                }
             })
             .collect();
         self.horizon = *horizon;
@@ -217,10 +293,22 @@ impl Strategy for ContextBounded {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use chess_kernel::ThreadId;
+    use chess_kernel::{Access, AccessKind, ObjectRef, ThreadId};
 
     fn d(t: usize) -> Decision {
         Decision::run(ThreadId::new(t))
+    }
+
+    fn p<'a>(depth: usize, options: &'a [Decision]) -> SchedulePoint<'a> {
+        SchedulePoint {
+            depth,
+            options,
+            footprints: &[],
+            prev: None,
+            prev_enabled: false,
+            prev_schedulable: false,
+            fairness_filtered: false,
+        }
     }
 
     /// A fixed 2-thread straight-line world: both threads always enabled
@@ -237,9 +325,11 @@ mod tests {
                 let point = SchedulePoint {
                     depth,
                     options: &opts,
+                    footprints: &[],
                     prev,
                     prev_enabled: prev.is_some(),
                     prev_schedulable: prev.is_some(),
+                    fairness_filtered: false,
                 };
                 let pick = cb.pick(&point).unwrap();
                 sched.push(pick.thread.index());
@@ -298,21 +388,16 @@ mod tests {
         let point = SchedulePoint {
             depth: 1,
             options: &opts,
+            footprints: &[],
             prev: Some(ThreadId::new(0)),
             prev_enabled: true,
             prev_schedulable: false,
+            fairness_filtered: true,
         };
         // Reset budget by picking at depth 0 first.
         let opts0 = [d(0)];
-        cb.pick(&SchedulePoint {
-            depth: 0,
-            options: &opts0,
-            prev: None,
-            prev_enabled: false,
-            prev_schedulable: false,
-        })
-        .unwrap();
-        assert_eq!(cb.eligible(&point).len(), 2);
+        cb.pick(&p(0, &opts0)).unwrap();
+        assert_eq!(cb.eligible(&point).0.len(), 2);
     }
 
     /// The charging ablation abandons when the only affordable move is
@@ -321,35 +406,23 @@ mod tests {
     fn charging_ablation_can_abandon() {
         let mut cb = ContextBounded::new(0).charging_fairness_switches();
         let opts0 = [d(0)];
-        cb.pick(&SchedulePoint {
-            depth: 0,
-            options: &opts0,
-            prev: None,
-            prev_enabled: false,
-            prev_schedulable: false,
-        })
-        .unwrap();
+        cb.pick(&p(0, &opts0)).unwrap();
         // prev (t0) is enabled but NOT schedulable (fairness demoted it);
         // switching to t1 would cost 1 > budget 0.
         let opts = [d(1)];
         let point = SchedulePoint {
             depth: 1,
             options: &opts,
+            footprints: &[],
             prev: Some(ThreadId::new(0)),
             prev_enabled: true,
             prev_schedulable: false,
+            fairness_filtered: true,
         };
         assert_eq!(cb.pick(&point), None, "must abandon, not crash");
         // The paper's accounting keeps the same point affordable.
         let mut cb = ContextBounded::new(0);
-        cb.pick(&SchedulePoint {
-            depth: 0,
-            options: &opts0,
-            prev: None,
-            prev_enabled: false,
-            prev_schedulable: false,
-        })
-        .unwrap();
+        cb.pick(&p(0, &opts0)).unwrap();
         assert_eq!(cb.pick(&point), Some(d(1)));
     }
 
@@ -357,5 +430,71 @@ mod tests {
     fn name_includes_bound() {
         assert_eq!(ContextBounded::new(2).name(), "cb=2");
         assert_eq!(ContextBounded::with_horizon(2, 30).name(), "cb=2(db=30)");
+        assert_eq!(ContextBounded::with_sleep_sets(2).name(), "cb=2+sleep");
+    }
+
+    fn wfp(c: u32) -> Footprint {
+        Footprint::from_accesses([Access::new(ObjectRef::Custom("c", c), AccessKind::Write)])
+    }
+
+    /// With a generous bound, sleep sets prune the redundant order of an
+    /// independent pair while both orders of a dependent pair survive.
+    #[test]
+    fn sleep_sets_prune_on_top_of_the_budget() {
+        let run = |independent: bool| -> Vec<(usize, usize)> {
+            let mut cb = ContextBounded::with_sleep_sets(4);
+            let opts = [d(0), d(1)];
+            let fps = if independent {
+                [wfp(0), wfp(1)]
+            } else {
+                [wfp(7), wfp(7)]
+            };
+            let mut leaves = Vec::new();
+            loop {
+                let point0 = SchedulePoint {
+                    depth: 0,
+                    options: &opts,
+                    footprints: &fps,
+                    prev: None,
+                    prev_enabled: false,
+                    prev_schedulable: false,
+                    fairness_filtered: false,
+                };
+                let Some(a) = cb.pick(&point0) else {
+                    if !cb.on_execution_end() {
+                        break;
+                    }
+                    continue;
+                };
+                let rest = [d(1 - a.thread.index())];
+                let rest_fps = if independent {
+                    [wfp(1 - a.thread.index() as u32)]
+                } else {
+                    [wfp(7)]
+                };
+                let point1 = SchedulePoint {
+                    depth: 1,
+                    options: &rest,
+                    footprints: &rest_fps,
+                    prev: Some(a.thread),
+                    prev_enabled: false,
+                    prev_schedulable: false,
+                    fairness_filtered: false,
+                };
+                if let Some(b) = cb.pick(&point1) {
+                    leaves.push((a.thread.index(), b.thread.index()));
+                }
+                if !cb.on_execution_end() {
+                    break;
+                }
+            }
+            leaves
+        };
+        assert_eq!(run(true), vec![(0, 1)], "independent pair: one order");
+        assert_eq!(
+            run(false),
+            vec![(0, 1), (1, 0)],
+            "dependent pair: both orders"
+        );
     }
 }

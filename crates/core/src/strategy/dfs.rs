@@ -2,18 +2,28 @@
 //! with a backtracking *horizon* and a random tail — the configuration
 //! the paper uses for its "without fairness, depth bound db" baselines
 //! (Table 2: systematic search up to `db`, then random search to the end
-//! of the execution).
+//! of the execution) — and optionally with sleep-set partial-order
+//! reduction ([`Dfs::with_sleep_sets`], see [`crate::strategy::sleep`]).
 
+use chess_kernel::Footprint;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use crate::strategy::sleep::{Reduction, SleepFrame};
 use crate::strategy::{FrameSnapshot, SchedulePoint, Strategy, StrategySnapshot};
 use crate::trace::Decision;
 
 #[derive(Debug, Clone)]
 struct Frame {
     options: Vec<Decision>,
-    index: usize,
+    sleep: SleepFrame,
+}
+
+impl Frame {
+    /// The decision the current execution takes at this frame.
+    fn current(&self) -> Decision {
+        self.options[self.sleep.live[self.sleep.cursor]]
+    }
 }
 
 /// Checks that every frame's index points inside its option set, so a
@@ -37,6 +47,9 @@ pub(crate) fn validate_frames(stack: &[FrameSnapshot]) -> Result<(), String> {
 /// the explorer's depth bound). With [`Dfs::with_horizon`]`(db)` it only
 /// backtracks over the first `db` decisions and completes each execution
 /// with uniformly random decisions, exactly the paper's unfair baseline.
+/// With [`Dfs::with_sleep_sets`] it additionally prunes
+/// provably-equivalent reorderings of independent transitions (sleep-set
+/// partial-order reduction keyed on dependence footprints).
 #[derive(Debug, Clone)]
 pub struct Dfs {
     stack: Vec<Frame>,
@@ -44,6 +57,7 @@ pub struct Dfs {
     rng: SmallRng,
     exhausted: bool,
     prefer_continuation: bool,
+    reduction: Reduction,
 }
 
 impl Dfs {
@@ -55,6 +69,22 @@ impl Dfs {
             rng: SmallRng::seed_from_u64(0x5EED),
             exhausted: false,
             prefer_continuation: false,
+            reduction: Reduction::None,
+        }
+    }
+
+    /// Depth-first search with sleep-set partial-order reduction: prunes
+    /// branches that are provably-equivalent reorderings of independent
+    /// transitions, leaving every verdict reachable while exploring fewer
+    /// executions. Fairness-forced edges are exempt from pruning (see
+    /// the `strategy::sleep` module).
+    ///
+    /// A reduced search does not support checkpointing:
+    /// [`Strategy::snapshot`] returns `None`.
+    pub fn with_sleep_sets() -> Self {
+        Dfs {
+            reduction: Reduction::SleepSets,
+            ..Dfs::new()
         }
     }
 
@@ -82,6 +112,37 @@ impl Dfs {
         self.rng = SmallRng::seed_from_u64(seed);
         self
     }
+
+    /// The active partial-order reduction.
+    pub fn reduction(&self) -> Reduction {
+        self.reduction
+    }
+
+    /// The deterministic exploration ordering of a point's options, with
+    /// footprints permuted in lockstep (footprints are empty when the
+    /// point carries none).
+    fn ordered(&self, point: &SchedulePoint<'_>) -> (Vec<Decision>, Vec<Footprint>) {
+        let fps = |perm: &[usize]| -> Vec<Footprint> {
+            if point.footprints.is_empty() {
+                Vec::new()
+            } else {
+                perm.iter().map(|&i| point.footprints[i].clone()).collect()
+            }
+        };
+        let identity: Vec<usize> = (0..point.options.len()).collect();
+        let perm = match point.prev {
+            Some(p) if self.prefer_continuation => {
+                let mut v = identity;
+                v.sort_by_key(|&i| {
+                    let d = point.options[i];
+                    (d.thread != p, d.thread.index(), d.choice)
+                });
+                v
+            }
+            _ => identity,
+        };
+        (perm.iter().map(|&i| point.options[i]).collect(), fps(&perm))
+    }
 }
 
 impl Default for Dfs {
@@ -99,40 +160,47 @@ impl Strategy for Dfs {
                 return Some(point.options[i]);
             }
         }
-        let ordered = |options: &[Decision]| -> Vec<Decision> {
-            if !self.prefer_continuation {
-                return options.to_vec();
-            }
-            let mut v: Vec<Decision> = options.to_vec();
-            if let Some(p) = point.prev {
-                v.sort_by_key(|d| (d.thread != p, d.thread.index(), d.choice));
-            }
-            v
-        };
         if point.depth < self.stack.len() {
             // Replay of the committed prefix. Deterministic re-execution
             // must reproduce the very same option set.
             let f = &self.stack[point.depth];
             debug_assert_eq!(
                 f.options,
-                ordered(point.options),
+                self.ordered(point).0,
                 "nondeterministic replay at depth {}",
                 point.depth
             );
-            Some(f.options[f.index])
+            Some(f.current())
         } else {
             debug_assert_eq!(point.depth, self.stack.len());
-            let options = ordered(point.options);
-            let first = options[0];
-            self.stack.push(Frame { options, index: 0 });
+            let (options, footprints) = self.ordered(point);
+            let sleep = if self.reduction.is_on() {
+                let parent = self.stack.last();
+                SleepFrame::derive(
+                    &options,
+                    footprints,
+                    parent.map(|f| &f.sleep),
+                    parent.map(|f| f.options.as_slice()),
+                    point,
+                )?
+                // `None`: every option is asleep — the node is covered by
+                // an equivalent reordering explored elsewhere. Abandon
+                // without pushing a frame; on_execution_end backtracks
+                // the parent.
+            } else {
+                SleepFrame::inert(options.len())
+            };
+            let frame = Frame { options, sleep };
+            let first = frame.current();
+            self.stack.push(frame);
             Some(first)
         }
     }
 
     fn on_execution_end(&mut self) -> bool {
         while let Some(last) = self.stack.last_mut() {
-            last.index += 1;
-            if last.index < last.options.len() {
+            last.sleep.cursor += 1;
+            if last.sleep.cursor < last.sleep.live.len() {
                 return true;
             }
             self.stack.pop();
@@ -142,20 +210,34 @@ impl Strategy for Dfs {
     }
 
     fn name(&self) -> String {
+        let base = match self.reduction {
+            Reduction::None => "dfs".to_string(),
+            Reduction::SleepSets => "dfs+sleep".to_string(),
+        };
         match self.horizon {
-            Some(db) => format!("dfs(db={db})"),
-            None => "dfs".to_string(),
+            Some(db) => format!("{base}(db={db})"),
+            None => base,
         }
     }
 
+    fn wants_footprints(&self) -> bool {
+        self.reduction.is_on()
+    }
+
     fn snapshot(&self) -> Option<StrategySnapshot> {
+        if self.reduction.is_on() {
+            // Sleep state (footprints, live permutations) is not part of
+            // the serialized snapshot schema; a reduced search is not
+            // checkpointable.
+            return None;
+        }
         Some(StrategySnapshot::Dfs {
             stack: self
                 .stack
                 .iter()
                 .map(|f| FrameSnapshot {
                     options: f.options.clone(),
-                    index: f.index,
+                    index: f.sleep.live[f.sleep.cursor],
                 })
                 .collect(),
             horizon: self.horizon,
@@ -165,6 +247,9 @@ impl Strategy for Dfs {
     }
 
     fn restore(&mut self, snapshot: &StrategySnapshot) -> Result<(), String> {
+        if self.reduction.is_on() {
+            return Err("a sleep-set reduced search cannot be resumed from a snapshot".to_string());
+        }
         let StrategySnapshot::Dfs {
             stack,
             horizon,
@@ -180,9 +265,13 @@ impl Strategy for Dfs {
         validate_frames(stack)?;
         self.stack = stack
             .iter()
-            .map(|f| Frame {
-                options: f.options.clone(),
-                index: f.index,
+            .map(|f| {
+                let mut sleep = SleepFrame::inert(f.options.len());
+                sleep.cursor = f.index;
+                Frame {
+                    options: f.options.clone(),
+                    sleep,
+                }
             })
             .collect();
         self.horizon = *horizon;
@@ -196,7 +285,7 @@ impl Strategy for Dfs {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use chess_kernel::ThreadId;
+    use chess_kernel::{Access, AccessKind, ObjectRef, ThreadId};
 
     fn d(t: usize) -> Decision {
         Decision::run(ThreadId::new(t))
@@ -206,9 +295,11 @@ mod tests {
         SchedulePoint {
             depth,
             options,
+            footprints: &[],
             prev: None,
             prev_enabled: false,
             prev_schedulable: false,
+            fairness_filtered: false,
         }
     }
 
@@ -290,9 +381,11 @@ mod tests {
             let p1 = SchedulePoint {
                 depth: 1,
                 options: &opts,
+                footprints: &[],
                 prev: Some(a.thread),
                 prev_enabled: true,
                 prev_schedulable: true,
+                fairness_filtered: false,
             };
             let b = dfs.pick(&p1).unwrap();
             leaves.push((a.thread.index(), b.thread.index()));
@@ -308,5 +401,134 @@ mod tests {
     fn name_reports_horizon() {
         assert_eq!(Dfs::new().name(), "dfs");
         assert_eq!(Dfs::with_horizon(20).name(), "dfs(db=20)");
+        assert_eq!(Dfs::with_sleep_sets().name(), "dfs+sleep");
+    }
+
+    fn wfp(c: u32) -> Footprint {
+        Footprint::from_accesses([Access::new(ObjectRef::Custom("c", c), AccessKind::Write)])
+    }
+
+    fn fpoint<'a>(
+        depth: usize,
+        options: &'a [Decision],
+        footprints: &'a [Footprint],
+    ) -> SchedulePoint<'a> {
+        SchedulePoint {
+            depth,
+            options,
+            footprints,
+            prev: None,
+            prev_enabled: false,
+            prev_schedulable: false,
+            fairness_filtered: false,
+        }
+    }
+
+    /// Two independent threads over a 2-step tree: unreduced DFS explores
+    /// both orders, sleep-set DFS prunes the second (equivalent) one.
+    #[test]
+    fn sleep_sets_prune_commuting_interleavings() {
+        let mut dfs = Dfs::with_sleep_sets();
+        assert!(dfs.wants_footprints());
+        let opts = [d(0), d(1)];
+        let fps = [wfp(0), wfp(1)]; // distinct objects: independent
+        let mut leaves = Vec::new();
+        let mut abandoned = 0;
+        loop {
+            let Some(a) = dfs.pick(&fpoint(0, &opts, &fps)) else {
+                abandoned += 1;
+                if !dfs.on_execution_end() {
+                    break;
+                }
+                continue;
+            };
+            // After the first step only the other thread remains.
+            let rest = [d(1 - a.thread.index())];
+            let rest_fps = [wfp(1 - a.thread.index() as u32)];
+            match dfs.pick(&fpoint(1, &rest, &rest_fps)) {
+                Some(b) => leaves.push((a.thread.index(), b.thread.index())),
+                None => abandoned += 1,
+            }
+            if !dfs.on_execution_end() {
+                break;
+            }
+        }
+        // (0,1) explored; (1,0) is its equivalent reordering: pruned.
+        assert_eq!(leaves, vec![(0, 1)]);
+        assert_eq!(abandoned, 1, "the pruned branch abandons one execution");
+    }
+
+    /// Dependent transitions (same object) must still be explored in both
+    /// orders.
+    #[test]
+    fn sleep_sets_keep_dependent_interleavings() {
+        let mut dfs = Dfs::with_sleep_sets();
+        let opts = [d(0), d(1)];
+        let fps = [wfp(7), wfp(7)]; // same object: dependent
+        let mut leaves = Vec::new();
+        loop {
+            let Some(a) = dfs.pick(&fpoint(0, &opts, &fps)) else {
+                panic!("dependent branches must not be pruned");
+            };
+            let rest = [d(1 - a.thread.index())];
+            let rest_fps = [wfp(7)];
+            let b = dfs.pick(&fpoint(1, &rest, &rest_fps)).unwrap();
+            leaves.push((a.thread.index(), b.thread.index()));
+            if !dfs.on_execution_end() {
+                break;
+            }
+        }
+        assert_eq!(leaves, vec![(0, 1), (1, 0)]);
+    }
+
+    /// At a fairness-filtered point, pruning is disabled: both orders of
+    /// an independent pair stay explorable.
+    #[test]
+    fn fairness_filtered_points_are_exempt_from_pruning() {
+        let mut dfs = Dfs::with_sleep_sets();
+        let opts = [d(0), d(1)];
+        let fps = [wfp(0), wfp(1)];
+        let mut fair0 = fpoint(0, &opts, &fps);
+        fair0.fairness_filtered = true;
+        let mut leaves = Vec::new();
+        loop {
+            let a = dfs.pick(&fair0).expect("no pruning at fairness points");
+            let rest = [d(1 - a.thread.index())];
+            let rest_fps = [wfp(1 - a.thread.index() as u32)];
+            let b = dfs
+                .pick(&fpoint(1, &rest, &rest_fps))
+                .expect("children of fairness points inherit no sleep");
+            leaves.push((a.thread.index(), b.thread.index()));
+            if !dfs.on_execution_end() {
+                break;
+            }
+        }
+        assert_eq!(leaves, vec![(0, 1), (1, 0)]);
+    }
+
+    /// Without footprints supplied, a reduced DFS degenerates to the full
+    /// enumeration (everything treated as universal).
+    #[test]
+    fn missing_footprints_disable_pruning() {
+        let mut dfs = Dfs::with_sleep_sets();
+        let opts = [d(0), d(1)];
+        let mut count = 0;
+        loop {
+            dfs.pick(&point(0, &opts)).unwrap();
+            dfs.pick(&point(1, &opts)).unwrap();
+            count += 1;
+            if !dfs.on_execution_end() {
+                break;
+            }
+        }
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn reduced_search_is_not_checkpointable() {
+        let mut dfs = Dfs::with_sleep_sets();
+        assert!(dfs.snapshot().is_none());
+        let plain = Dfs::new().snapshot().unwrap();
+        assert!(dfs.restore(&plain).is_err());
     }
 }

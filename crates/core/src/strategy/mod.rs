@@ -10,11 +10,13 @@ mod cb;
 mod dfs;
 mod random;
 mod replay;
+mod sleep;
 
 pub use cb::ContextBounded;
 pub use dfs::Dfs;
 pub use random::RandomWalk;
 pub use replay::FixedSchedule;
+pub use sleep::Reduction;
 
 use crate::trace::Schedule;
 
@@ -25,7 +27,7 @@ pub fn snapshot_prefix(stack: &[FrameSnapshot]) -> Schedule {
     stack.iter().map(|f| f.options[f.index]).collect()
 }
 
-use chess_kernel::ThreadId;
+use chess_kernel::{Footprint, ThreadId};
 
 use crate::trace::Decision;
 
@@ -38,6 +40,17 @@ pub struct SchedulePoint<'a> {
     /// empty. When fairness is on, threads excluded by the priority
     /// relation are already filtered out.
     pub options: &'a [Decision],
+    /// Dependence footprints parallel to `options`, for strategies that
+    /// apply partial-order reduction. The explorer only computes them
+    /// when the strategy asks ([`Strategy::wants_footprints`]); otherwise
+    /// this is empty, which strategies must treat as "every option is
+    /// universal" (no pruning). Yielding options are reported as
+    /// [`Footprint::universal`] regardless of the system's footprint —
+    /// yields mutate the fair scheduler's global priority state and must
+    /// never be pruned. Every non-yield footprint additionally carries a
+    /// write on its own thread's state, so decisions of one thread (e.g.
+    /// the branches of a data choice) are pairwise dependent.
+    pub footprints: &'a [Footprint],
     /// The previously scheduled thread, if any.
     pub prev: Option<ThreadId>,
     /// Whether the previous thread is enabled in the current state.
@@ -45,6 +58,12 @@ pub struct SchedulePoint<'a> {
     /// Whether the previous thread appears among `options` (it may be
     /// enabled yet excluded by the fairness priority).
     pub prev_schedulable: bool,
+    /// Whether the fairness priority relation excluded at least one
+    /// enabled thread at this point. Sleep-set reduction neither prunes
+    /// nor propagates across such points: a fairness-forced edge must
+    /// stay explorable, mirroring the paper's rule that fairness-forced
+    /// preemptions do not count against the context bound.
+    pub fairness_filtered: bool,
 }
 
 impl SchedulePoint<'_> {
@@ -141,6 +160,14 @@ pub trait Strategy {
     /// A short human-readable name (used in experiment tables).
     fn name(&self) -> String;
 
+    /// Whether the explorer should compute per-option footprints for this
+    /// strategy's [`SchedulePoint`]s. The default is `false` so the
+    /// common, unreduced search never pays for footprint extraction;
+    /// strategies running sleep-set reduction return `true`.
+    fn wants_footprints(&self) -> bool {
+        false
+    }
+
     /// Captures the strategy's search position for a checkpoint, or
     /// `None` when the strategy does not support checkpointing (the
     /// default).
@@ -173,6 +200,10 @@ impl Strategy for Box<dyn Strategy> {
         (**self).name()
     }
 
+    fn wants_footprints(&self) -> bool {
+        (**self).wants_footprints()
+    }
+
     fn snapshot(&self) -> Option<StrategySnapshot> {
         (**self).snapshot()
     }
@@ -197,9 +228,11 @@ mod tests {
         let p0 = SchedulePoint {
             depth: 0,
             options: &options,
+            footprints: &[],
             prev: None,
             prev_enabled: false,
             prev_schedulable: false,
+            fairness_filtered: false,
         };
         assert_eq!(p0.preemption_cost(d(1)), 0);
 
@@ -207,9 +240,11 @@ mod tests {
         let p1 = SchedulePoint {
             depth: 1,
             options: &options,
+            footprints: &[],
             prev: Some(ThreadId::new(0)),
             prev_enabled: true,
             prev_schedulable: true,
+            fairness_filtered: false,
         };
         assert_eq!(p1.preemption_cost(d(0)), 0);
         assert_eq!(p1.preemption_cost(d(1)), 1);

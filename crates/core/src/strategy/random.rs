@@ -71,9 +71,11 @@ mod tests {
         let point = SchedulePoint {
             depth: 0,
             options: &opts,
+            footprints: &[],
             prev: None,
             prev_enabled: false,
             prev_schedulable: false,
+            fairness_filtered: false,
         };
         let picks = |seed| {
             let mut r = RandomWalk::new(seed);

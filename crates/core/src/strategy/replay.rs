@@ -56,9 +56,11 @@ mod tests {
         let point = SchedulePoint {
             depth: 0,
             options: &opts,
+            footprints: &[],
             prev: None,
             prev_enabled: false,
             prev_schedulable: false,
+            fairness_filtered: false,
         };
         assert_eq!(s.pick(&point).unwrap().thread, ThreadId::new(1));
         let point1 = SchedulePoint { depth: 1, ..point };
@@ -74,9 +76,11 @@ mod tests {
         let point = SchedulePoint {
             depth: 0,
             options: &opts,
+            footprints: &[],
             prev: None,
             prev_enabled: false,
             prev_schedulable: false,
+            fairness_filtered: false,
         };
         assert_eq!(s.pick(&point), None);
     }

@@ -6,7 +6,7 @@
 //! implements it, and tests implement it directly for small hand-built
 //! state spaces.
 
-use chess_kernel::{Capture, Kernel, KernelStatus, StepKind, ThreadId, TidSet};
+use chess_kernel::{Capture, Footprint, Kernel, KernelStatus, StepKind, ThreadId, TidSet};
 
 /// Status of a program under exploration, mirroring
 /// [`chess_kernel::KernelStatus`] at the abstract level.
@@ -43,6 +43,17 @@ pub trait TransitionSystem {
     fn enabled(&self, t: ThreadId) -> bool;
 
     /// The set of enabled threads (the paper's `ES`).
+    ///
+    /// # Override contract
+    ///
+    /// The default collects `enabled(t)` over every thread id. An
+    /// implementation may override this with a faster equivalent (the
+    /// kernel does, walking its thread table once), but the override
+    /// **must** return exactly the set the default would: the explorer,
+    /// the fair scheduler, and the parallel root partitioner all assume
+    /// `enabled_set() == {t | enabled(t)}` at every state. The
+    /// `enabled_set_default_agrees_with_*` property tests in this module
+    /// pin this agreement on fuzzed systems and on the kernel.
     fn enabled_set(&self) -> TidSet {
         (0..self.thread_count())
             .map(ThreadId::new)
@@ -61,6 +72,35 @@ pub trait TransitionSystem {
     /// Executes one transition of `t` with data choice `choice`, returning
     /// whether it was a yielding transition.
     fn step(&mut self, t: ThreadId, choice: u32) -> StepKind;
+
+    /// The dependence footprint of `t`'s next transition: which objects it
+    /// touches and how (see [`chess_kernel::Footprint`]).
+    ///
+    /// The default is [`Footprint::universal`] — dependent with every
+    /// other transition — which is always sound and makes partial-order
+    /// reduction a no-op. Systems whose accesses are statically known
+    /// (the fuzz generator's, the test scripts) override this with
+    /// precise footprints so sleep-set reduction can prune equivalent
+    /// interleavings. An override must be a pure observation and must
+    /// describe a superset of the objects the next `step(t, _)` actually
+    /// touches; under-reporting makes reduction unsound.
+    fn footprint(&self, t: ThreadId) -> Footprint {
+        let _ = t;
+        Footprint::universal()
+    }
+
+    /// The derived commutativity relation: may the next transitions of
+    /// `a` and `b` fail to commute?
+    ///
+    /// Two transitions are dependent when their [footprints](Self::footprint)
+    /// conflict; independent transitions reach the same state in either
+    /// order, which is what sleep-set pruning exploits. A thread is always
+    /// dependent with itself: every transition writes its own thread's
+    /// state (program counter, locals) even when its object footprint is
+    /// empty.
+    fn dependent(&self, a: ThreadId, b: ThreadId) -> bool {
+        a == b || self.footprint(a).dependent(&self.footprint(b))
+    }
 
     /// Current status.
     fn status(&self) -> SystemStatus;
@@ -103,6 +143,14 @@ impl<S: Capture> TransitionSystem for Kernel<S> {
 
     fn step(&mut self, t: ThreadId, choice: u32) -> StepKind {
         Kernel::step(self, t, choice).kind
+    }
+
+    fn footprint(&self, t: ThreadId) -> Footprint {
+        // Conservative: includes a shared-state write on every op (the
+        // guest's `on_op` gets `&mut S`), so kernel transitions never
+        // commute — sound, but reduction degenerates to no pruning. The
+        // per-object accesses still feed trace rendering.
+        Kernel::next_footprint(self, t)
     }
 
     fn status(&self) -> SystemStatus {
@@ -199,6 +247,23 @@ pub(crate) mod testsys {
 
         fn branching(&self, _t: ThreadId) -> usize {
             1
+        }
+
+        fn footprint(&self, t: ThreadId) -> Footprint {
+            use chess_kernel::{AccessKind, ObjectRef};
+            match self.current(t) {
+                None | Some(Act::Step) | Some(Act::Yield) | Some(Act::Panic) => Footprint::local(),
+                Some(Act::WaitNonZero(c)) => Footprint::from_accesses([chess_kernel::Access::new(
+                    ObjectRef::Custom("counter", c as u32),
+                    AccessKind::Read,
+                )]),
+                Some(Act::Inc(c)) | Some(Act::Dec(c)) => {
+                    Footprint::from_accesses([chess_kernel::Access::new(
+                        ObjectRef::Custom("counter", c as u32),
+                        AccessKind::Write,
+                    )])
+                }
+            }
         }
 
         fn step(&mut self, t: ThreadId, _choice: u32) -> StepKind {
@@ -298,6 +363,125 @@ mod tests {
         let k: Kernel<()> = Kernel::new(());
         assert_eq!(TransitionSystem::thread_count(&k), 0);
         assert_eq!(TransitionSystem::status(&k), SystemStatus::Terminated);
+    }
+
+    /// Recomputes what the trait's default `enabled_set` body returns,
+    /// regardless of any override the concrete type installs.
+    fn default_enabled_set<S: TransitionSystem>(sys: &S) -> TidSet {
+        (0..sys.thread_count())
+            .map(ThreadId::new)
+            .filter(|&t| sys.enabled(t))
+            .collect()
+    }
+
+    /// A tiny deterministic LCG so the walks below need no RNG machinery.
+    fn lcg(state: &mut u64) -> u64 {
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        *state >> 33
+    }
+
+    #[test]
+    fn enabled_set_default_agrees_with_kernel_override() {
+        use chess_kernel::{Effects, GuestThread, MutexId, OpDesc, OpResult};
+
+        // Two lock-steppers plus a blocked third thread: exercises states
+        // where enabledness differs across threads.
+        #[derive(Clone)]
+        struct Locker {
+            pc: u8,
+            m: MutexId,
+        }
+        impl GuestThread<u32> for Locker {
+            fn next_op(&self, _: &u32) -> OpDesc {
+                match self.pc {
+                    0 => OpDesc::Acquire(self.m),
+                    1 => OpDesc::Local,
+                    2 => OpDesc::Release(self.m),
+                    _ => OpDesc::Finished,
+                }
+            }
+            fn on_op(&mut self, _: OpResult, shared: &mut u32, _: &mut Effects<u32>) {
+                if self.pc == 1 {
+                    *shared += 1;
+                }
+                self.pc += 1;
+            }
+            fn box_clone(&self) -> Box<dyn GuestThread<u32>> {
+                Box::new(self.clone())
+            }
+        }
+
+        let mut rng = 0x5EEDu64;
+        for _ in 0..50 {
+            let mut k = Kernel::new(0u32);
+            let m = k.add_mutex();
+            for _ in 0..3 {
+                k.spawn(Locker { pc: 0, m });
+            }
+            loop {
+                let over = TransitionSystem::enabled_set(&k);
+                assert_eq!(
+                    over,
+                    default_enabled_set(&k),
+                    "kernel enabled_set override must match the trait default"
+                );
+                let options: Vec<ThreadId> = over.iter().collect();
+                if options.is_empty() {
+                    break;
+                }
+                let t = options[lcg(&mut rng) as usize % options.len()];
+                TransitionSystem::step(&mut k, t, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn enabled_set_default_agrees_on_fuzzed_systems() {
+        use crate::fuzz::{derive_seed, generate_system, FuzzConfig};
+
+        for index in 0..40 {
+            let seed = derive_seed(0xE5E7, index);
+            let mut sys = generate_system(&FuzzConfig::default().with_seed(seed));
+            let mut rng = seed | 1;
+            for _ in 0..200 {
+                let es = sys.enabled_set();
+                assert_eq!(
+                    es,
+                    default_enabled_set(&sys),
+                    "fuzzed system enabled_set disagrees with the default (seed {seed})"
+                );
+                let options: Vec<ThreadId> = es.iter().collect();
+                if options.is_empty() {
+                    break;
+                }
+                let t = options[lcg(&mut rng) as usize % options.len()];
+                let choice = lcg(&mut rng) as u32 % sys.branching(t).max(1) as u32;
+                sys.step(t, choice);
+            }
+        }
+    }
+
+    #[test]
+    fn script_footprints_key_on_counters() {
+        let s = Script::new(
+            vec![
+                vec![Act::Inc(0)],
+                vec![Act::Dec(1)],
+                vec![Act::WaitNonZero(0)],
+            ],
+            2,
+        );
+        let t0 = ThreadId::new(0);
+        let t1 = ThreadId::new(1);
+        let t2 = ThreadId::new(2);
+        // Writes to distinct counters commute; read/write on the same
+        // counter conflicts.
+        assert!(!s.dependent(t0, t1));
+        assert!(s.dependent(t0, t2));
+        assert!(s.dependent(t0, t0));
+        assert!(!s.dependent(t1, t2));
     }
 
     #[test]

@@ -98,7 +98,14 @@ impl Counterexample {
             } else {
                 String::new()
             };
-            out.push_str(&format!("{i:5}  {name:<16} {op}{choice}\n"));
+            // Pre-step footprint: names the sync object the transition is
+            // about to touch, so a reader can follow the dependence chain
+            // that makes the interleaving matter.
+            let touches = match sys.footprint(d.thread).describe() {
+                Some(fp) => format!("  [{fp}]"),
+                None => String::new(),
+            };
+            out.push_str(&format!("{i:5}  {name:<16} {op}{choice}{touches}\n"));
             if let Err(msg) = crate::panics::catch_silent(|| sys.step(d.thread, d.choice)) {
                 out.push_str(&format!("  =>  panic in {name}: {msg}\n"));
                 return out;
@@ -167,5 +174,33 @@ mod tests {
         assert!(rendered.contains("deadlock (1 steps): stuck"));
         assert!(rendered.contains("s0"));
         assert!(rendered.contains("=>  deadlock"));
+    }
+
+    #[test]
+    fn render_annotates_the_touched_object() {
+        let mk = || Script::new(vec![vec![Act::Step, Act::Inc(0), Act::WaitNonZero(1)]], 2);
+        let cex = Counterexample {
+            kind: CounterexampleKind::Deadlock,
+            message: "stuck".into(),
+            schedule: vec![
+                Decision::run(ThreadId::new(0)),
+                Decision::run(ThreadId::new(0)),
+            ],
+            execution: 1,
+        };
+        let rendered = cex.render(mk);
+        let lines: Vec<&str> = rendered.lines().collect();
+        // The local step carries no annotation; the counter write names
+        // the touched cell.
+        assert!(
+            !lines[1].contains('['),
+            "unexpected annotation: {}",
+            lines[1]
+        );
+        assert!(
+            lines[2].ends_with("[write counter0]"),
+            "missing annotation: {}",
+            lines[2]
+        );
     }
 }

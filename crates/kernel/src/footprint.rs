@@ -1,0 +1,373 @@
+//! Dependence footprints: which objects a transition touches, and how.
+//!
+//! Partial-order reduction needs to know when two transitions *commute*:
+//! executing them in either order from the same state reaches the same
+//! state. The kernel answers this question conservatively by attaching a
+//! [`Footprint`] — a small set of [`Access`]es — to every operation. Two
+//! footprints are [*dependent*](Footprint::dependent) when they touch a
+//! common object and at least one of the accesses is not a read; dependent
+//! transitions may not commute, independent ones provably do.
+//!
+//! Footprints flow through three surfaces:
+//!
+//! * [`Kernel::next_footprint`](crate::Kernel::next_footprint) — the
+//!   footprint of the transition a thread *would* take, queryable before
+//!   stepping (this is what exploration strategies consume);
+//! * [`StepInfo::footprint`](crate::StepInfo) — the footprint of the
+//!   transition that *was* taken, reported by
+//!   [`Kernel::step`](crate::Kernel::step);
+//! * `chess_core::TransitionSystem::footprint` — the abstract-system hook
+//!   that the model-checking strategies key their sleep sets on.
+//!
+//! # Conservatism
+//!
+//! Every kernel operation's footprint includes a write to
+//! [`ObjectRef::SharedState`]: the guest's *apply* half
+//! (`GuestThread::on_op`) receives `&mut S` on every step, so the kernel
+//! cannot prove that any two guest transitions commute on the shared
+//! state. This keeps kernel footprints sound (all kernel transitions are
+//! pairwise dependent, so reduction degenerates to no pruning) while still
+//! carrying precise per-object information for trace rendering and for
+//! systems — like the fuzz generator's — whose shared-state accesses are
+//! statically known and can override the conservative default.
+
+use std::fmt;
+
+use crate::ids::{
+    AtomicId, BarrierId, ChannelId, CondvarId, EventId, MutexId, RwLockId, SemaphoreId,
+};
+use crate::op::OpDesc;
+use crate::tid::ThreadId;
+
+/// How an access interacts with the object it touches.
+///
+/// Only [`AccessKind::Read`] commutes with itself; every other pairing on
+/// the same object is a conflict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Observes the object without changing it (atomic load, flag poll).
+    Read,
+    /// Mutates the object (atomic store, counter update, channel send).
+    Write,
+    /// Takes ownership or a unit of the object (mutex/rwlock/semaphore).
+    Acquire,
+    /// Returns ownership or a unit of the object.
+    Release,
+}
+
+impl AccessKind {
+    /// Returns true when two accesses of these kinds on the *same* object
+    /// conflict (i.e. the transitions may not commute).
+    pub fn conflicts(self, other: AccessKind) -> bool {
+        !(self == AccessKind::Read && other == AccessKind::Read)
+    }
+
+    /// Short lower-case label used in trace rendering.
+    pub fn label(self) -> &'static str {
+        match self {
+            AccessKind::Read => "read",
+            AccessKind::Write => "write",
+            AccessKind::Acquire => "acquire",
+            AccessKind::Release => "release",
+        }
+    }
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A reference to one object a transition may touch.
+///
+/// Kernel synchronization objects each get their own variant; abstract
+/// transition systems outside the kernel (the fuzz generator, test
+/// scripts) use [`ObjectRef::Custom`] with a static class label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum ObjectRef {
+    /// The kernel's shared guest state `S` (conservative: every guest
+    /// `on_op` may mutate it).
+    SharedState,
+    /// Another thread, as touched by `Join`.
+    Thread(ThreadId),
+    /// A kernel mutex.
+    Mutex(MutexId),
+    /// A kernel reader-writer lock.
+    RwLock(RwLockId),
+    /// A kernel counting semaphore.
+    Semaphore(SemaphoreId),
+    /// A kernel event.
+    Event(EventId),
+    /// A kernel condition variable.
+    Condvar(CondvarId),
+    /// A kernel bounded channel (both endpoints share one id: send and
+    /// receive race on the same buffer).
+    Channel(ChannelId),
+    /// A kernel atomic cell.
+    Atomic(AtomicId),
+    /// A kernel barrier.
+    Barrier(BarrierId),
+    /// An object of a non-kernel transition system: a static class label
+    /// (e.g. `"counter"`) plus a dense index.
+    Custom(&'static str, u32),
+}
+
+impl fmt::Display for ObjectRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObjectRef::SharedState => write!(f, "shared"),
+            ObjectRef::Thread(t) => write!(f, "{t:?}"),
+            ObjectRef::Mutex(id) => write!(f, "{id}"),
+            ObjectRef::RwLock(id) => write!(f, "{id}"),
+            ObjectRef::Semaphore(id) => write!(f, "{id}"),
+            ObjectRef::Event(id) => write!(f, "{id}"),
+            ObjectRef::Condvar(id) => write!(f, "{id}"),
+            ObjectRef::Channel(id) => write!(f, "{id}"),
+            ObjectRef::Atomic(id) => write!(f, "{id}"),
+            ObjectRef::Barrier(id) => write!(f, "{id}"),
+            ObjectRef::Custom(class, index) => write!(f, "{class}{index}"),
+        }
+    }
+}
+
+/// One object access within a footprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Access {
+    /// The object touched.
+    pub object: ObjectRef,
+    /// How it is touched.
+    pub kind: AccessKind,
+}
+
+impl Access {
+    /// Builds an access.
+    pub const fn new(object: ObjectRef, kind: AccessKind) -> Self {
+        Access { object, kind }
+    }
+
+    /// Returns true when this access conflicts with `other`: same object,
+    /// and not both reads.
+    pub fn conflicts(&self, other: &Access) -> bool {
+        self.object == other.object && self.kind.conflicts(other.kind)
+    }
+}
+
+impl fmt::Display for Access {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.kind, self.object)
+    }
+}
+
+/// The dependence footprint of one transition: the set of object accesses
+/// it may perform.
+///
+/// A footprint may additionally be [*universal*](Footprint::universal) —
+/// dependent with every other footprint regardless of accesses. Universal
+/// footprints model transitions whose effects the analysis cannot bound
+/// (and yielding transitions, which interact with the fair scheduler's
+/// global priority state and must never be pruned).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Footprint {
+    accesses: Vec<Access>,
+    universal: bool,
+}
+
+impl Footprint {
+    /// An empty footprint: a purely thread-local transition, independent
+    /// of everything (except universal footprints).
+    pub const fn local() -> Self {
+        Footprint {
+            accesses: Vec::new(),
+            universal: false,
+        }
+    }
+
+    /// A footprint conservatively dependent with every other footprint.
+    pub const fn universal() -> Self {
+        Footprint {
+            accesses: Vec::new(),
+            universal: true,
+        }
+    }
+
+    /// Builds a footprint from a list of accesses.
+    pub fn from_accesses(accesses: impl IntoIterator<Item = Access>) -> Self {
+        Footprint {
+            accesses: accesses.into_iter().collect(),
+            universal: false,
+        }
+    }
+
+    /// Adds one access.
+    pub fn push(&mut self, object: ObjectRef, kind: AccessKind) {
+        self.accesses.push(Access::new(object, kind));
+    }
+
+    /// Returns the accesses in this footprint (empty for universal
+    /// footprints, whose dependence is unconditional).
+    pub fn accesses(&self) -> &[Access] {
+        &self.accesses
+    }
+
+    /// Returns true when this footprint is dependent with everything.
+    pub fn is_universal(&self) -> bool {
+        self.universal
+    }
+
+    /// Returns true when two transitions with these footprints may fail
+    /// to commute: either footprint is universal, or some access pair
+    /// touches the same object with at least one non-read.
+    pub fn dependent(&self, other: &Footprint) -> bool {
+        if self.universal || other.universal {
+            return true;
+        }
+        self.accesses
+            .iter()
+            .any(|a| other.accesses.iter().any(|b| a.conflicts(b)))
+    }
+
+    /// Renders the non-[`SharedState`](ObjectRef::SharedState) accesses as
+    /// a compact annotation (e.g. `acquire mutex0`), or `None` when there
+    /// is nothing informative to show.
+    ///
+    /// The conservative shared-state write that every kernel op carries is
+    /// omitted: it annotates every line identically and would drown the
+    /// per-object information this rendering exists to surface.
+    pub fn describe(&self) -> Option<String> {
+        let parts: Vec<String> = self
+            .accesses
+            .iter()
+            .filter(|a| a.object != ObjectRef::SharedState)
+            .map(|a| a.to_string())
+            .collect();
+        if parts.is_empty() {
+            None
+        } else {
+            Some(parts.join(", "))
+        }
+    }
+}
+
+/// Maps a kernel operation to its footprint.
+///
+/// Every non-`Finished` op carries a conservative write to
+/// [`ObjectRef::SharedState`] on top of its precise sync-object accesses,
+/// because the guest's `on_op` receives `&mut S` when the op executes (see
+/// the module docs). `Finished` threads never step, so their footprint is
+/// empty.
+pub fn footprint_of_op(op: &OpDesc) -> Footprint {
+    use AccessKind::{Acquire, Read, Release, Write};
+    let mut fp = Footprint::local();
+    match *op {
+        OpDesc::Finished => return fp,
+        OpDesc::Local | OpDesc::Yield | OpDesc::Sleep | OpDesc::Choose(_) => {}
+        OpDesc::Acquire(m) | OpDesc::TryAcquire(m) | OpDesc::AcquireTimeout(m) => {
+            fp.push(ObjectRef::Mutex(m), Acquire);
+        }
+        OpDesc::Release(m) => fp.push(ObjectRef::Mutex(m), Release),
+        OpDesc::RwAcquireRead(l) | OpDesc::RwAcquireWrite(l) | OpDesc::RwTryAcquireWrite(l) => {
+            fp.push(ObjectRef::RwLock(l), Acquire);
+        }
+        OpDesc::RwRelease(l) => fp.push(ObjectRef::RwLock(l), Release),
+        OpDesc::SemDown(s) | OpDesc::SemDownTimeout(s) => {
+            fp.push(ObjectRef::Semaphore(s), Acquire);
+        }
+        OpDesc::SemUp(s) => fp.push(ObjectRef::Semaphore(s), Release),
+        OpDesc::EventWait(e) | OpDesc::EventWaitTimeout(e) => {
+            // Auto-reset events consume the signal, so a wait is a write.
+            fp.push(ObjectRef::Event(e), Write);
+        }
+        OpDesc::EventSet(e) | OpDesc::EventReset(e) => fp.push(ObjectRef::Event(e), Write),
+        OpDesc::CondEnroll(c, m) => {
+            fp.push(ObjectRef::Condvar(c), Write);
+            fp.push(ObjectRef::Mutex(m), Release);
+        }
+        OpDesc::CondConsume(c) | OpDesc::CondSignal(c) | OpDesc::CondBroadcast(c) => {
+            fp.push(ObjectRef::Condvar(c), Write);
+        }
+        OpDesc::Send(ch, _)
+        | OpDesc::TrySend(ch, _)
+        | OpDesc::Recv(ch)
+        | OpDesc::TryRecv(ch)
+        | OpDesc::Close(ch) => {
+            fp.push(ObjectRef::Channel(ch), Write);
+        }
+        OpDesc::Join(t) => fp.push(ObjectRef::Thread(t), Read),
+        OpDesc::AtomicLoad(a) => fp.push(ObjectRef::Atomic(a), Read),
+        OpDesc::AtomicStore(a, _)
+        | OpDesc::AtomicCas(a, _, _)
+        | OpDesc::AtomicSwap(a, _)
+        | OpDesc::AtomicAdd(a, _) => fp.push(ObjectRef::Atomic(a), Write),
+        OpDesc::BarrierArrive(b) | OpDesc::BarrierAwait(b, _) => {
+            fp.push(ObjectRef::Barrier(b), Write);
+        }
+    }
+    // Conservative: the guest's apply half may mutate the shared state on
+    // every executed op.
+    fp.push(ObjectRef::SharedState, Write);
+    fp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_commute_everything_else_conflicts() {
+        let a = ObjectRef::Custom("counter", 0);
+        let read = Footprint::from_accesses([Access::new(a, AccessKind::Read)]);
+        let write = Footprint::from_accesses([Access::new(a, AccessKind::Write)]);
+        assert!(!read.dependent(&read));
+        assert!(read.dependent(&write));
+        assert!(write.dependent(&write));
+    }
+
+    #[test]
+    fn distinct_objects_are_independent() {
+        let w0 = Footprint::from_accesses([Access::new(
+            ObjectRef::Custom("counter", 0),
+            AccessKind::Write,
+        )]);
+        let w1 = Footprint::from_accesses([Access::new(
+            ObjectRef::Custom("counter", 1),
+            AccessKind::Write,
+        )]);
+        assert!(!w0.dependent(&w1));
+    }
+
+    #[test]
+    fn universal_is_dependent_with_everything() {
+        let u = Footprint::universal();
+        assert!(u.dependent(&Footprint::local()));
+        assert!(Footprint::local().dependent(&u));
+        assert!(!Footprint::local().dependent(&Footprint::local()));
+    }
+
+    #[test]
+    fn kernel_ops_carry_conservative_shared_write() {
+        let fp = footprint_of_op(&OpDesc::Local);
+        assert!(fp
+            .accesses()
+            .iter()
+            .any(|a| a.object == ObjectRef::SharedState && a.kind == AccessKind::Write));
+        // Finished never steps: empty footprint.
+        assert!(footprint_of_op(&OpDesc::Finished).accesses().is_empty());
+    }
+
+    #[test]
+    fn mutex_ops_name_the_mutex() {
+        let m = MutexId::new(3);
+        let fp = footprint_of_op(&OpDesc::Acquire(m));
+        assert!(fp
+            .accesses()
+            .iter()
+            .any(|a| a.object == ObjectRef::Mutex(m) && a.kind == AccessKind::Acquire));
+        assert_eq!(
+            fp.describe().as_deref(),
+            Some("acquire mutex3"),
+            "shared-state access must be omitted from the annotation"
+        );
+    }
+}

@@ -4,6 +4,7 @@
 use std::fmt;
 
 use crate::capture::{Capture, StateWriter};
+use crate::footprint::{footprint_of_op, Footprint};
 use crate::ids::{
     AtomicId, BarrierId, ChannelId, CondvarId, EventId, MutexId, RwLockId, SemaphoreId,
 };
@@ -71,6 +72,10 @@ pub struct StepInfo {
     pub kind: StepKind,
     /// The operation's result as delivered to the guest.
     pub result: OpResult,
+    /// The dependence footprint of the executed operation (see
+    /// [`crate::footprint`] for the conservative shared-state write every
+    /// kernel op carries).
+    pub footprint: Footprint,
 }
 
 struct Slot<S> {
@@ -262,6 +267,17 @@ impl<S> Kernel<S> {
         self.next_op(t).branching()
     }
 
+    /// The dependence footprint of the transition thread `t` would take,
+    /// queryable before stepping.
+    ///
+    /// Like every kernel footprint this includes a conservative write to
+    /// the shared guest state (the guest's `on_op` receives `&mut S`), so
+    /// kernel transitions are pairwise dependent; the precise sync-object
+    /// accesses are still reported for trace rendering and diagnostics.
+    pub fn next_footprint(&self, t: ThreadId) -> Footprint {
+        footprint_of_op(&self.next_op(t))
+    }
+
     /// Executes one transition of thread `t`.
     ///
     /// `choice` selects the branch for a [`OpDesc::Choose`] operation and
@@ -289,6 +305,7 @@ impl<S> Kernel<S> {
                     // or kernel and search stats disagree by one.
                     self.stats.steps += 1;
                     return StepInfo {
+                        footprint: footprint_of_op(&op),
                         op,
                         kind: StepKind::Normal,
                         result: OpResult::Choice(0),
@@ -313,6 +330,7 @@ impl<S> Kernel<S> {
                         self.stats.sync_ops += 1;
                     }
                     return StepInfo {
+                        footprint: footprint_of_op(&op),
                         op,
                         kind: StepKind::Normal,
                         result: OpResult::Unit,
@@ -338,7 +356,12 @@ impl<S> Kernel<S> {
         if let Some(message) = fx.violation {
             self.violation = Some(Violation { thread: t, message });
         }
-        StepInfo { op, kind, result }
+        StepInfo {
+            footprint: footprint_of_op(&op),
+            op,
+            kind,
+            result,
+        }
     }
 
     /// Current execution status.
@@ -755,10 +778,19 @@ mod tests {
     #[test]
     fn step_info_reports_op_and_result() {
         let (mut k, a, b) = two_lockers();
+        let fp = k.next_footprint(a);
         let info = k.step(a, 0);
         assert!(matches!(info.op, OpDesc::Acquire(_)));
         assert_eq!(info.result, OpResult::Unit);
         assert!(!info.kind.is_yield());
+        assert_eq!(
+            info.footprint, fp,
+            "pre-step query matches executed footprint"
+        );
+        assert!(
+            info.footprint.describe().unwrap().contains("acquire mutex"),
+            "footprint names the mutex"
+        );
         let _ = b;
     }
 

@@ -82,6 +82,7 @@
 #![warn(missing_docs)]
 
 mod capture;
+pub mod footprint;
 mod ids;
 mod kernel;
 mod objects;
@@ -90,6 +91,7 @@ mod thread;
 mod tid;
 
 pub use capture::{Capture, StateWriter};
+pub use footprint::{footprint_of_op, Access, AccessKind, Footprint, ObjectRef};
 pub use ids::{AtomicId, BarrierId, ChannelId, CondvarId, EventId, MutexId, RwLockId, SemaphoreId};
 pub use kernel::{ExecStats, Kernel, KernelStatus, StepInfo, Violation};
 pub use op::{OpDesc, OpResult, StepKind};

@@ -15,6 +15,14 @@
 //! | `unrolling-bound` | Thm 4 | no program state recurs unboundedly within one execution |
 //! | `error-pass-disagrees` | — | the stop-at-first-error pass agrees with the counting pass |
 //! | `replay-*` | — | counterexamples replay deterministically and land on real graph states |
+//! | `sleep-verdict` | — | sleep-set DFS reports the same verdict class as unreduced DFS |
+//! | `sleep-executions` | — | sleep-set DFS explores a subset (never more executions) |
+//! | `sleep-coverage` | Thm 5 | on violation-free systems the reduced search still covers every yield-free-reachable state |
+//! | `sleep-parallel-agreement` | — | reduced parallel DFS agrees on error existence |
+//!
+//! The `sleep-*` oracles run only when [`OracleLimits::reduce`] is set:
+//! they add a third counting pass with [`Dfs::with_sleep_sets`] and
+//! compare it against the unreduced pass A.
 //!
 //! The harness runs two stateless passes over the same program: pass A
 //! counts every error without stopping (so the completeness oracles can
@@ -49,6 +57,10 @@ pub struct OracleLimits {
     /// [`ParallelExplorer`] DFS and require it to agree on whether an
     /// error exists.
     pub parallel_cross_check: bool,
+    /// Run the `sleep-*` oracles: a third counting pass with sleep-set
+    /// DFS must report the same verdict class as the unreduced pass while
+    /// exploring no more executions.
+    pub reduce: bool,
 }
 
 impl Default for OracleLimits {
@@ -58,6 +70,7 @@ impl Default for OracleLimits {
             max_executions: 500_000,
             depth_bound: 10_000,
             parallel_cross_check: true,
+            reduce: false,
         }
     }
 }
@@ -104,6 +117,11 @@ pub struct Verdict {
     /// Largest number of times any single program state recurred within
     /// one execution (the Theorem 4 unrolling metric).
     pub max_unrolling: u32,
+    /// Executions explored by the unreduced counting pass (pass A).
+    pub dfs_executions: u64,
+    /// Executions explored by the sleep-set counting pass; `0` unless
+    /// [`OracleLimits::reduce`] was set.
+    pub sleep_executions: u64,
     /// Classification of the program.
     pub outcome: SystemOutcome,
     /// Oracle failures; empty means the engines agree.
@@ -163,6 +181,8 @@ where
         yield_free_states: 0,
         covered_states: 0,
         max_unrolling: 0,
+        dfs_executions: 0,
+        sleep_executions: 0,
         outcome: SystemOutcome::Clean,
         discrepancies: Vec::new(),
     };
@@ -193,12 +213,90 @@ where
         .with_max_executions(limits.max_executions)
         .with_depth_bound(limits.depth_bound);
     let mut obs = DifferentialObserver::new();
-    let report_a = Explorer::new(&factory, Dfs::new(), config_a).run_observed(&mut obs);
+    let report_a = Explorer::new(&factory, Dfs::new(), config_a.clone()).run_observed(&mut obs);
     verdict.covered_states = obs.coverage.distinct_states();
     verdict.max_unrolling = obs.max_unrolling;
+    verdict.dfs_executions = report_a.stats.executions;
     if let SearchOutcome::BudgetExhausted(k) = report_a.outcome {
         verdict.outcome = SystemOutcome::Skipped(format!("counting pass budget exhausted: {k:?}"));
         return verdict;
+    }
+
+    // Pass R (optional): sleep-set reduction soundness. The reduced
+    // search must classify the system identically — same existence of
+    // violations, deadlocks, and fair cycles — while exploring a subset
+    // of the executions, and on violation-free systems it must still
+    // cover every yield-free-reachable state (sleep sets prune redundant
+    // *transitions*; every state stays visited via the commuted path).
+    if limits.reduce {
+        let mut obs_r = DifferentialObserver::new();
+        let report_r =
+            Explorer::new(&factory, Dfs::with_sleep_sets(), config_a).run_observed(&mut obs_r);
+        verdict.sleep_executions = report_r.stats.executions;
+        if matches!(report_r.outcome, SearchOutcome::BudgetExhausted(_)) {
+            // Unreachable in practice: the reduced search explores a
+            // subset of pass A, which fit the budget. Flag rather than
+            // skip so a regression cannot hide here.
+            disc(
+                &mut verdict,
+                "sleep-executions",
+                "reduced pass exhausted a budget the unreduced pass fit".into(),
+            );
+        }
+        let classes = [
+            (
+                "violations",
+                report_a.stats.violations,
+                report_r.stats.violations,
+            ),
+            (
+                "deadlocks",
+                report_a.stats.deadlocks,
+                report_r.stats.deadlocks,
+            ),
+            (
+                "fair cycles",
+                report_a.stats.fair_cycles,
+                report_r.stats.fair_cycles,
+            ),
+        ];
+        for (what, plain, reduced) in classes {
+            if (plain > 0) != (reduced > 0) {
+                disc(
+                    &mut verdict,
+                    "sleep-verdict",
+                    format!("unreduced DFS saw {plain} {what}, sleep-set DFS saw {reduced}"),
+                );
+            }
+        }
+        if report_r.stats.executions > report_a.stats.executions {
+            disc(
+                &mut verdict,
+                "sleep-executions",
+                format!(
+                    "sleep-set DFS explored {} executions, unreduced DFS {}",
+                    report_r.stats.executions, report_a.stats.executions
+                ),
+            );
+        }
+        let errors_a =
+            report_a.stats.violations + report_a.stats.deadlocks + report_a.stats.divergences;
+        if errors_a == 0 {
+            let missed_r = (0..graph.state_count())
+                .filter(|&i| r0[i] && !obs_r.coverage.contains(graph.node_bytes(i)))
+                .count();
+            if missed_r > 0 {
+                let total_r0 = verdict.yield_free_states;
+                disc(
+                    &mut verdict,
+                    "sleep-coverage",
+                    format!(
+                        "{missed_r} of {total_r0} yield-free-reachable states not visited \
+                         by the reduced search"
+                    ),
+                );
+            }
+        }
     }
 
     // Oracle: soundness of visits — the stateless engine may not invent
@@ -337,6 +435,22 @@ where
                     par.outcome.found_error()
                 ),
             );
+        }
+        if limits.reduce {
+            // Per-shard sleep sets compose with root partitioning; the
+            // reduced parallel search must agree on error existence.
+            let red = ParallelExplorer::new(&factory, config_b.clone(), 2)
+                .run_dfs_with(chess_core::Reduction::SleepSets);
+            if red.outcome.found_error() != (errors_a > 0) {
+                disc(
+                    &mut verdict,
+                    "sleep-parallel-agreement",
+                    format!(
+                        "reduced parallel DFS found_error = {}, counting pass saw {errors_a} errors",
+                        red.outcome.found_error()
+                    ),
+                );
+            }
         }
     }
 
@@ -501,6 +615,49 @@ mod tests {
                 assert!(v.covered_states <= v.graph_states);
                 assert!(v.yield_free_states <= v.graph_states);
             }
+        }
+    }
+
+    #[test]
+    fn sleep_reduction_oracles_pass_on_clean_systems() {
+        let limits = OracleLimits {
+            reduce: true,
+            ..OracleLimits::default()
+        };
+        let mut pruned_somewhere = false;
+        for i in 0..10 {
+            let cfg = FuzzConfig::default().with_seed(derive_seed(0x51E3, i));
+            let v = differential_check(|| generate_system(&cfg), &limits);
+            assert!(v.agreed(), "seed {i}: {:?}", v.discrepancies);
+            if matches!(v.outcome, SystemOutcome::Clean) {
+                assert!(v.sleep_executions <= v.dfs_executions, "seed {i}");
+                pruned_somewhere |= v.sleep_executions < v.dfs_executions;
+            }
+        }
+        assert!(pruned_somewhere, "sleep sets pruned nothing on 10 systems");
+    }
+
+    #[test]
+    fn sleep_reduction_oracles_pass_on_injected_bugs() {
+        let limits = OracleLimits {
+            reduce: true,
+            ..OracleLimits::default()
+        };
+        for (i, mutate) in [
+            (|c: &mut FuzzConfig| c.inject_safety = true) as fn(&mut FuzzConfig),
+            |c| c.inject_deadlock = true,
+            |c| c.inject_livelock = true,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let mut cfg = FuzzConfig {
+                yield_percent: 100,
+                ..FuzzConfig::default().with_seed(derive_seed(0x51E4, i as u64))
+            };
+            mutate(&mut cfg);
+            let v = differential_check(|| generate_system(&cfg), &limits);
+            assert!(v.agreed(), "injection {i}: {:?}", v.discrepancies);
         }
     }
 

@@ -216,12 +216,14 @@ fn render_golden_output_on_handbuilt_fuzz_system() {
         );
     };
     let rendered = cex.render(|| sys.clone());
+    // Footprint annotations name the touched object on counter ops;
+    // thread-local steps carry none.
     let golden = "\
 safety violation (4 steps): f1: assert failed: c0 = 1 != 0
-    0  f0               inc(c0)
+    0  f0               inc(c0)  [write counter0]
     1  f0               step
     2  f1               step
-    3  f1               assert(c0 == 0)
+    3  f1               assert(c0 == 0)  [read counter0]
   =>  violation in t1: assert failed: c0 = 1 != 0
 ";
     assert_eq!(rendered, golden, "rendered:\n{rendered}");
