@@ -36,10 +36,14 @@ use std::sync::Mutex;
 use chess_bench::{read_journal, schedule_from_json, schedule_to_json, JournalWriter, Json};
 use chess_core::strategy::FixedSchedule;
 use chess_core::{
-    derive_seed, generate_system, Config, Explorer, FuzzConfig, OutcomeKind, Schedule,
-    SearchOutcome,
+    derive_seed, generate_atomic_program, generate_system, Config, Explorer, FuzzConfig,
+    OutcomeKind, Schedule, SearchOutcome,
 };
-use chess_state::{differential_check, Discrepancy, OracleLimits, SystemOutcome, Verdict};
+use chess_kernel::MemoryModel;
+use chess_state::{
+    differential_check, memory_monotonicity_check, Discrepancy, MemoryLimits, OracleLimits,
+    SystemOutcome, Verdict,
+};
 
 use crate::opts::{FuzzOpts, ReplayOpts};
 use crate::{exitcode, signal};
@@ -52,6 +56,9 @@ struct SystemResult {
     index: u64,
     seed: u64,
     verdict: Verdict,
+    /// Executions enumerated by the relaxed-memory pass in
+    /// `[sc, tso, pso]` order; `None` when the pass did not run.
+    memory_executions: Option<[u64; 3]>,
 }
 
 /// Runs `fair-chess fuzz`.
@@ -111,13 +118,31 @@ pub fn do_fuzz(o: &FuzzOpts) -> ExitCode {
                 let seed = derive_seed(o.seed, index);
                 let config = fuzz_config(o, seed);
                 let sys = generate_system(&config);
-                let verdict = differential_check(|| sys.clone(), &limits);
+                let mut verdict = differential_check(|| sys.clone(), &limits);
+                let memory_executions = if o.memory.buffers() {
+                    // Per-system relaxed-memory pass: enumerate one atomic
+                    // program (same seed) under sc/tso/pso and require the
+                    // terminal outcome sets to nest. A tight budget keeps
+                    // the pass from dominating the campaign; blowups skip
+                    // rather than fail.
+                    let memory_limits = MemoryLimits {
+                        max_executions: 20_000,
+                        depth_bound: 1_000,
+                    };
+                    let prog = generate_atomic_program(&config);
+                    let mv = memory_monotonicity_check(&prog, &memory_limits);
+                    verdict.discrepancies.extend(mv.discrepancies);
+                    Some(mv.executions)
+                } else {
+                    None
+                };
                 let doc = {
                     let mut all = results.lock().unwrap();
                     all.push(SystemResult {
                         index,
                         seed,
                         verdict,
+                        memory_executions,
                     });
                     writer.as_ref().map(|_| fuzz_journal_doc(o, &all))
                 };
@@ -165,6 +190,7 @@ fn fuzz_config(o: &FuzzOpts, seed: u64) -> FuzzConfig {
         inject_deadlock: o.inject_deadlock,
         inject_livelock: o.inject_livelock,
         inject_panic: o.inject_panic,
+        memory: o.memory,
         ..FuzzConfig::default().with_seed(seed)
     }
 }
@@ -182,6 +208,7 @@ fn fuzz_context_json(o: &FuzzOpts) -> Json {
         ("inject_deadlock", Json::Bool(o.inject_deadlock)),
         ("inject_livelock", Json::Bool(o.inject_livelock)),
         ("inject_panic", Json::Bool(o.inject_panic)),
+        ("memory", Json::Str(o.memory.as_str().to_string())),
         ("max_states", Json::UInt(o.max_states as u64)),
         ("reduce", Json::Bool(o.reduce)),
     ])
@@ -196,11 +223,18 @@ fn fuzz_journal_doc(o: &FuzzOpts, results: &[SystemResult]) -> Json {
         (
             "results",
             Json::array(results.iter().map(|r| {
-                Json::object([
+                let mut fields = vec![
                     ("index", Json::UInt(r.index)),
                     ("seed", Json::UInt(r.seed)),
                     ("verdict", verdict_to_json(&r.verdict)),
-                ])
+                ];
+                if let Some(m) = r.memory_executions {
+                    fields.push((
+                        "memory_executions",
+                        Json::array(m.iter().map(|&x| Json::UInt(x))),
+                    ));
+                }
+                Json::object(fields)
             })),
         ),
     ])
@@ -248,6 +282,16 @@ fn load_fuzz_journal(path: &str, o: &FuzzOpts) -> Result<Vec<SystemResult>, Stri
                     item.get("verdict")
                         .ok_or_else(|| format!("{path}: journal result has no verdict"))?,
                 )?,
+                memory_executions: item.get("memory_executions").and_then(|j| match j {
+                    Json::Array(v) if v.len() == 3 => {
+                        let mut out = [0u64; 3];
+                        for (slot, x) in out.iter_mut().zip(v) {
+                            *slot = x.as_u64()?;
+                        }
+                        Some(out)
+                    }
+                    _ => None,
+                }),
             })
         })
         .collect()
@@ -447,6 +491,20 @@ fn report_fuzz_run(o: &FuzzOpts, results: &[SystemResult]) -> ExitCode {
     }
     println!("largest state graph: {max_states} states");
     println!("max per-execution unrolling: {max_unrolling} (Theorem 4 metric)");
+    if o.memory.buffers() {
+        let model_index = if o.memory == MemoryModel::Pso { 2 } else { 1 };
+        let (programs, sc_execs, buffered_execs) = results
+            .iter()
+            .filter_map(|r| r.memory_executions)
+            .fold((0u64, 0u64, 0u64), |(n, sc, buf), m| {
+                (n + 1, sc + m[0], buf + m[model_index])
+            });
+        println!(
+            "relaxed-memory oracle ({}): {programs} atomic programs, {buffered_execs} buffered \
+             executions vs {sc_execs} under sc",
+            o.memory
+        );
+    }
     if o.reduce {
         let checked = results
             .iter()
@@ -502,6 +560,7 @@ fn corpus_entry(
                 ("inject_deadlock", Json::Bool(config.inject_deadlock)),
                 ("inject_livelock", Json::Bool(config.inject_livelock)),
                 ("inject_panic", Json::Bool(config.inject_panic)),
+                ("memory", Json::Str(config.memory.as_str().to_string())),
             ]),
         ),
         ("original_len", Json::UInt(original.len() as u64)),
@@ -544,6 +603,15 @@ fn replay_corpus_file(file: &str) -> Result<(), String> {
         .and_then(Json::as_u64)
         .unwrap_or(10_000) as usize;
     let config = parse_corpus_config(doc.get("config").ok_or("corpus file has no config")?)?;
+    if config.memory.buffers() {
+        return Err(format!(
+            "corpus entry was recorded by a --memory {m} campaign; the schedule replayer \
+             drives the regenerated system under sc semantics, so replaying it here would \
+             silently change the memory model — re-run `fair-chess fuzz --memory {m}` with \
+             the recorded seed instead",
+            m = config.memory
+        ));
+    }
 
     let sys = generate_system(&config);
     println!(
@@ -603,5 +671,13 @@ fn parse_corpus_config(json: &Json) -> Result<FuzzConfig, String> {
             .get("inject_panic")
             .and_then(Json::as_bool)
             .unwrap_or(false),
+        // Absent in corpus files written before the memory-model knob
+        // existed; those campaigns necessarily ran under sc.
+        memory: match json.get("memory").and_then(Json::as_str) {
+            None => MemoryModel::Sc,
+            Some(s) => s
+                .parse()
+                .map_err(|e: String| format!("corpus config: {e}"))?,
+        },
     })
 }

@@ -4,6 +4,8 @@
 use std::fmt;
 use std::time::Duration;
 
+use chess_kernel::MemoryModel;
+
 /// Usage text for `help` and parse errors.
 pub const USAGE: &str = "\
 fair-chess — fair stateless model checking (PLDI 2008) for the bundled workloads
@@ -38,6 +40,13 @@ USAGE:
 
 OPTIONS:
     --bug <name>          Seed a bug (see `fair-chess list`).
+    --memory <m>          sc | tso | pso   [default: sc]. Memory model:
+                          tso/pso give every thread a FIFO store buffer
+                          (per-location FIFOs under pso) whose flushes are
+                          scheduled like ordinary thread steps and never
+                          charge the preemption budget. Only workloads
+                          built on atomics support tso/pso; `fair-chess
+                          list` marks them with their memory models.
     --strategy <s>        dfs | cb:<N> | random:<seed>   [default: dfs]
     --reduce <mode>       none | sleep-sets   [default: none]. Sleep-set
                           partial-order reduction for dfs and cb:<N>:
@@ -86,6 +95,12 @@ FUZZ OPTIONS:
     --yield-percent <P>   Yield/politeness density 0..=100 [default: 60].
     --inject <kinds>      Comma-separated bug injections applied to every
                           system: safety, deadlock, livelock, panic.
+    --memory <m>          sc | tso | pso   [default: sc]. tso/pso add a
+                          relaxed-memory pass per system: a generated
+                          atomic program is enumerated under sc, tso and
+                          pso and the terminal-outcome sets must nest
+                          (SC \u{2286} TSO \u{2286} PSO); the report compares
+                          buffered vs sc execution counts.
     --corpus-dir <DIR>    Where to write corpus files [default: fuzz-corpus].
     --max-states <N>      Stateful-reference state cap; larger systems are
                           skipped [default: 200000].
@@ -129,6 +144,7 @@ pub enum StrategyOpt {
 pub struct RunOpts {
     pub workload: String,
     pub bug: Option<String>,
+    pub memory: MemoryModel,
     pub strategy: StrategyOpt,
     pub reduce: bool,
     pub fair: bool,
@@ -149,6 +165,7 @@ impl Default for RunOpts {
         RunOpts {
             workload: String::new(),
             bug: None,
+            memory: MemoryModel::Sc,
             strategy: StrategyOpt::Dfs,
             reduce: false,
             fair: true,
@@ -179,6 +196,7 @@ pub struct FuzzOpts {
     pub inject_deadlock: bool,
     pub inject_livelock: bool,
     pub inject_panic: bool,
+    pub memory: MemoryModel,
     pub corpus_dir: String,
     pub max_states: usize,
     pub reduce: bool,
@@ -199,6 +217,7 @@ impl Default for FuzzOpts {
             inject_deadlock: false,
             inject_livelock: false,
             inject_panic: false,
+            memory: MemoryModel::Sc,
             corpus_dir: "fuzz-corpus".into(),
             max_states: 200_000,
             reduce: false,
@@ -299,6 +318,11 @@ fn parse_run_opts(args: &[String]) -> Result<RunOpts, ParseError> {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--bug" => opts.bug = Some(next_value("--bug", &mut it)?),
+            "--memory" => {
+                opts.memory = next_value("--memory", &mut it)?
+                    .parse()
+                    .map_err(ParseError)?;
+            }
             "--strategy" => {
                 opts.strategy = parse_strategy(&next_value("--strategy", &mut it)?)?;
             }
@@ -433,6 +457,11 @@ fn parse_fuzz_opts(args: &[String]) -> Result<FuzzOpts, ParseError> {
                         }
                     }
                 }
+            }
+            "--memory" => {
+                opts.memory = next_value("--memory", &mut it)?
+                    .parse()
+                    .map_err(ParseError)?;
             }
             "--corpus-dir" => opts.corpus_dir = next_value("--corpus-dir", &mut it)?,
             "--max-states" => {
@@ -709,6 +738,31 @@ mod tests {
                 "exit code {code} missing from USAGE"
             );
         }
+    }
+
+    #[test]
+    fn parses_memory_models() {
+        let cmd = parse(&s(&["check", "sb", "--memory", "tso"])).unwrap();
+        let Command::Check(o) = cmd else { panic!() };
+        assert_eq!(o.memory, MemoryModel::Tso);
+
+        let cmd = parse(&s(&["cover", "dekker", "--memory", "pso"])).unwrap();
+        let Command::Cover(o) = cmd else { panic!() };
+        assert_eq!(o.memory, MemoryModel::Pso);
+
+        // sc is the default and is accepted explicitly.
+        let cmd = parse(&s(&["check", "sb"])).unwrap();
+        let Command::Check(o) = cmd else { panic!() };
+        assert_eq!(o.memory, MemoryModel::Sc);
+        assert!(parse(&s(&["check", "sb", "--memory", "sc"])).is_ok());
+
+        let cmd = parse(&s(&["fuzz", "--memory", "tso"])).unwrap();
+        let Command::Fuzz(o) = cmd else { panic!() };
+        assert_eq!(o.memory, MemoryModel::Tso);
+
+        let e = parse(&s(&["check", "sb", "--memory", "arm"])).unwrap_err();
+        assert!(e.0.contains("unknown memory model"), "{}", e.0);
+        assert!(parse(&s(&["fuzz", "--memory"])).is_err());
     }
 
     #[test]

@@ -1,4 +1,12 @@
-//! The workload registry: names, descriptions, and seedable bugs.
+//! The workload registry: names, descriptions, seedable bugs, and
+//! supported memory models.
+
+/// Memory-model support of a workload that only uses locks, yields, and
+/// plain shared state: buffering is meaningless, so only `sc` is valid.
+const SC_ONLY: &[&str] = &["sc"];
+
+/// Memory-model support of the atomics-based litmus workloads.
+const ALL_MODELS: &[&str] = &["sc", "tso", "pso"];
 
 /// Descriptor of one bundled workload.
 pub struct WorkloadInfo {
@@ -8,6 +16,8 @@ pub struct WorkloadInfo {
     pub about: &'static str,
     /// Seedable bugs as `(name, description)` pairs.
     pub bugs: &'static [(&'static str, &'static str)],
+    /// Memory models the workload supports (`--memory` values).
+    pub memory: &'static [&'static str],
 }
 
 /// All bundled workloads.
@@ -19,6 +29,7 @@ pub const WORKLOADS: &[WorkloadInfo] = &[
             ("racy", "unprotected load/store increments lose updates"),
             ("deadlock", "AB-BA lock pair: the classic deadlock"),
         ],
+        memory: SC_ONLY,
     },
     WorkloadInfo {
         name: "spinloop",
@@ -27,6 +38,7 @@ pub const WORKLOADS: &[WorkloadInfo] = &[
             "no-yield",
             "spin loop without yields: good-samaritan violation",
         )],
+        memory: SC_ONLY,
     },
     WorkloadInfo {
         name: "philosophers",
@@ -38,6 +50,7 @@ pub const WORKLOADS: &[WorkloadInfo] = &[
                 "Figure 1 plus polite retry yields: pure livelock",
             ),
         ],
+        memory: SC_ONLY,
     },
     WorkloadInfo {
         name: "wsq",
@@ -50,6 +63,7 @@ pub const WORKLOADS: &[WorkloadInfo] = &[
                 "conflict path forgets to restore the tail: lost item",
             ),
         ],
+        memory: SC_ONLY,
     },
     WorkloadInfo {
         name: "promise",
@@ -58,6 +72,7 @@ pub const WORKLOADS: &[WorkloadInfo] = &[
             "stale-spin",
             "Figure 8: spin on a stale local copy — livelock",
         )],
+        memory: SC_ONLY,
     },
     WorkloadInfo {
         name: "workerpool",
@@ -66,6 +81,7 @@ pub const WORKLOADS: &[WorkloadInfo] = &[
             "figure7",
             "Idle returns without yielding during shutdown: GS violation",
         )],
+        memory: SC_ONLY,
     },
     WorkloadInfo {
         name: "channels",
@@ -85,6 +101,7 @@ pub const WORKLOADS: &[WorkloadInfo] = &[
                 "the incorrect fix: drains but misses in-flight messages",
             ),
         ],
+        memory: SC_ONLY,
     },
     WorkloadInfo {
         name: "boundedbuffer",
@@ -93,11 +110,13 @@ pub const WORKLOADS: &[WorkloadInfo] = &[
             ("if-bug", "guard re-checked with `if` instead of `while`"),
             ("lost-wakeup", "one shared condvar with single signals"),
         ],
+        memory: SC_ONLY,
     },
     WorkloadInfo {
         name: "treiber",
         about: "lock-free Treiber stack over a CAS'd head word",
         bugs: &[("aba", "unversioned head word: the classic ABA corruption")],
+        memory: SC_ONLY,
     },
     WorkloadInfo {
         name: "rwcache",
@@ -106,6 +125,7 @@ pub const WORKLOADS: &[WorkloadInfo] = &[
             "upgrade-race",
             "refresh value precomputed under the read lock",
         )],
+        memory: SC_ONLY,
     },
     WorkloadInfo {
         name: "bsp",
@@ -114,24 +134,84 @@ pub const WORKLOADS: &[WorkloadInfo] = &[
             "elided-barrier",
             "reduction consumed before the post-reduce barrier",
         )],
+        memory: SC_ONLY,
     },
     WorkloadInfo {
         name: "miniboot",
         about: "mini-OS boot/shutdown, 2 services (exhaustively checkable)",
         bugs: &[],
+        memory: SC_ONLY,
     },
     WorkloadInfo {
         name: "miniboot-full",
         about: "mini-OS boot/shutdown, 13 services + controller (14 threads)",
         bugs: &[],
+        memory: SC_ONLY,
+    },
+    WorkloadInfo {
+        name: "sb",
+        about: "litmus: store buffering — both loads read 0 iff stores buffer",
+        bugs: &[],
+        memory: ALL_MODELS,
+    },
+    WorkloadInfo {
+        name: "dekker",
+        about: "litmus: Dekker's entry protocol — mutual exclusion breaks under tso/pso",
+        bugs: &[],
+        memory: ALL_MODELS,
+    },
+    WorkloadInfo {
+        name: "dekker-fenced",
+        about: "litmus: Dekker with store→load fences — safe under every model",
+        bugs: &[],
+        memory: ALL_MODELS,
+    },
+    WorkloadInfo {
+        name: "mp",
+        about: "litmus: message passing — stale read allowed under pso only",
+        bugs: &[],
+        memory: ALL_MODELS,
+    },
+    WorkloadInfo {
+        name: "lb",
+        about: "litmus: load buffering — forbidden under sc, tso, and pso",
+        bugs: &[],
+        memory: ALL_MODELS,
+    },
+    WorkloadInfo {
+        name: "iriw",
+        about: "litmus: independent reads of independent writes — forbidden everywhere",
+        bugs: &[],
+        memory: ALL_MODELS,
     },
 ];
+
+/// Looks up a workload by CLI name.
+pub fn find(name: &str) -> Option<&'static WorkloadInfo> {
+    WORKLOADS.iter().find(|w| w.name == name)
+}
+
+/// Whether the named workload accepts `--memory tso|pso`. Unknown names
+/// return false; callers should let the normal unknown-workload path
+/// report those.
+pub fn supports_relaxed(name: &str) -> bool {
+    find(name).is_some_and(|w| w.memory.contains(&"tso"))
+}
 
 /// Renders the `list` command output.
 pub fn render_list() -> String {
     let mut out = String::from("available workloads:\n");
     for w in WORKLOADS {
-        out.push_str(&format!("  {:<16} {}\n", w.name, w.about));
+        if w.memory.len() > 1 {
+            out.push_str(&format!(
+                "  {:<16} {}   [--memory {}]\n",
+                w.name,
+                w.about,
+                w.memory.join("|")
+            ));
+        } else {
+            out.push_str(&format!("  {:<16} {}\n", w.name, w.about));
+        }
         for (bug, about) in w.bugs {
             out.push_str(&format!("      --bug {:<18} {}\n", bug, about));
         }
@@ -160,5 +240,29 @@ mod tests {
                 assert!(text.contains(bug), "missing bug {bug}");
             }
         }
+    }
+
+    #[test]
+    fn list_shows_memory_models_for_litmus_workloads() {
+        let text = render_list();
+        assert!(text.contains("[--memory sc|tso|pso]"));
+        // Exactly the litmus workloads advertise relaxed models.
+        let relaxed: Vec<_> = WORKLOADS
+            .iter()
+            .filter(|w| w.memory.contains(&"tso"))
+            .map(|w| w.name)
+            .collect();
+        assert_eq!(
+            relaxed,
+            ["sb", "dekker", "dekker-fenced", "mp", "lb", "iriw"]
+        );
+    }
+
+    #[test]
+    fn relaxed_support_lookup() {
+        assert!(supports_relaxed("sb"));
+        assert!(supports_relaxed("dekker-fenced"));
+        assert!(!supports_relaxed("counter"));
+        assert!(!supports_relaxed("no-such-workload"));
     }
 }

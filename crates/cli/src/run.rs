@@ -17,6 +17,9 @@ use chess_state::{CoverageTracker, StateGraph, StatefulError, StatefulLimits};
 use chess_workloads::boundedbuffer::{bounded_buffer, BufferBug, BufferConfig};
 use chess_workloads::bsp::{bsp, BspConfig};
 use chess_workloads::channels::{fifo_pipeline, ChannelBug, FifoConfig};
+use chess_workloads::litmus::{
+    dekker, dekker_fenced, iriw, load_buffering, message_passing, store_buffering,
+};
 use chess_workloads::miniboot::{miniboot, BootConfig};
 use chess_workloads::philosophers::{figure1, figure1_polite, philosophers, PhilosophersConfig};
 use chess_workloads::promise::{figure8, promises, PromiseConfig};
@@ -58,6 +61,19 @@ enum Mode {
 
 /// Monomorphized dispatch from (workload, bug) strings to factories.
 fn dispatch(o: &RunOpts, mode: Mode) -> ExitCode {
+    if !o.memory.is_sc()
+        && registry::find(&o.workload).is_some()
+        && !registry::supports_relaxed(&o.workload)
+    {
+        eprintln!(
+            "error: workload '{}' does not use atomics, so --memory {} would not change \
+             anything; relaxed models are supported by the litmus workloads \
+             (see `fair-chess list`)",
+            o.workload, o.memory
+        );
+        return ExitCode::from(2);
+    }
+    let memory = o.memory;
     macro_rules! go {
         ($factory:expr) => {{
             let factory = $factory;
@@ -117,6 +133,12 @@ fn dispatch(o: &RunOpts, mode: Mode) -> ExitCode {
         ("treiber", Some("aba")) => go!(|| treiber_stack(TreiberConfig::aba())),
         ("miniboot", None) => go!(|| miniboot(BootConfig::small())),
         ("miniboot-full", None) => go!(|| miniboot(BootConfig::full())),
+        ("sb", None) => go!(move || store_buffering(memory)),
+        ("dekker", None) => go!(move || dekker(memory)),
+        ("dekker-fenced", None) => go!(move || dekker_fenced(memory)),
+        ("mp", None) => go!(move || message_passing(memory)),
+        ("lb", None) => go!(move || load_buffering(memory)),
+        ("iriw", None) => go!(move || iriw(memory)),
         (w, b) => {
             match b {
                 Some(b) => eprintln!("error: unknown workload/bug combination '{w}' / '{b}'"),
@@ -313,6 +335,7 @@ fn run_context_json(o: &RunOpts) -> Json {
         ("fair", Json::Bool(o.fair)),
         ("k", Json::UInt(o.k)),
         ("depth_bound", Json::UInt(o.depth_bound as u64)),
+        ("memory", Json::Str(o.memory.as_str().to_string())),
     ])
 }
 
@@ -324,8 +347,22 @@ fn validate_run_context(doc: &Json, o: &RunOpts, path: &str) -> Result<(), Strin
         .get("run")
         .ok_or_else(|| format!("{path}: journal has no run context"))?;
     let expect = run_context_json(o);
-    for key in ["workload", "bug", "strategy", "fair", "k", "depth_bound"] {
-        let recorded = run.get(key).map(Json::to_string_pretty).unwrap_or_default();
+    for key in [
+        "workload",
+        "bug",
+        "strategy",
+        "fair",
+        "k",
+        "depth_bound",
+        "memory",
+    ] {
+        let recorded = match run.get(key).map(Json::to_string_pretty) {
+            Some(v) => v,
+            // Journals written before the memory-model knob existed carry
+            // no "memory" key; they were necessarily taken under sc.
+            None if key == "memory" => Json::Str("sc".into()).to_string_pretty(),
+            None => String::new(),
+        };
         let current = expect
             .get(key)
             .map(Json::to_string_pretty)
@@ -334,7 +371,7 @@ fn validate_run_context(doc: &Json, o: &RunOpts, path: &str) -> Result<(), Strin
             return Err(format!(
                 "{path}: journal was taken with {key} = {recorded}, but this run has \
                  {key} = {current} (resume must use the original workload, bug, strategy, \
-                 and fairness flags)"
+                 memory model, and fairness flags)"
             ));
         }
     }

@@ -1,18 +1,32 @@
 // Differential: ContextBounded vs ContextBounded+sleep on fuzzed systems.
-use chess_core::explore::{Config, Explorer};
 use chess_core::fuzz::{derive_seed, generate_system, FuzzConfig};
 use chess_core::strategy::ContextBounded;
+use chess_core::{Config, Explorer};
 
 fn main() {
     let mut diverged = 0;
     for bound in [0u32, 1, 2] {
         for i in 0..300u64 {
             let mut cfg = FuzzConfig::default().with_seed(derive_seed(0xCB5E, i));
-            if i % 3 == 0 { cfg.inject_safety = true; }
-            if i % 3 == 1 { cfg.inject_deadlock = true; }
+            if i % 3 == 0 {
+                cfg.inject_safety = true;
+            }
+            if i % 3 == 1 {
+                cfg.inject_deadlock = true;
+            }
             let config = Config::fair().with_max_executions(300_000);
-            let plain = Explorer::new(|| generate_system(&cfg), ContextBounded::new(bound), config.clone()).run();
-            let red = Explorer::new(|| generate_system(&cfg), ContextBounded::with_sleep_sets(bound), config.clone()).run();
+            let plain = Explorer::new(
+                || generate_system(&cfg),
+                ContextBounded::new(bound),
+                config.clone(),
+            )
+            .run();
+            let red = Explorer::new(
+                || generate_system(&cfg),
+                ContextBounded::with_sleep_sets(bound),
+                config.clone(),
+            )
+            .run();
             let pv = plain.stats.violations + plain.stats.deadlocks + plain.stats.divergences;
             let rv = red.stats.violations + red.stats.deadlocks + red.stats.divergences;
             if (pv > 0) != (rv > 0) {
@@ -21,7 +35,10 @@ fn main() {
                     plain.stats.executions, red.stats.executions);
             }
             if red.stats.executions > plain.stats.executions {
-                println!("MORE bound={bound} i={i}: reduced {} > plain {}", red.stats.executions, plain.stats.executions);
+                println!(
+                    "MORE bound={bound} i={i}: reduced {} > plain {}",
+                    red.stats.executions, plain.stats.executions
+                );
             }
         }
     }

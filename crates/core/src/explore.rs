@@ -525,6 +525,11 @@ where
             // state, so it commutes with nothing and must never sleep.
             let want_fps = self.strategy.wants_footprints();
             let mut footprints = Vec::with_capacity(if want_fps { schedulable.len() } else { 0 });
+            // Flush flags parallel to `options`, materialized only when a
+            // flusher lane is actually schedulable (never under SC): the
+            // strategies treat an empty slice as all-false.
+            let mut flushes = Vec::new();
+            let mut any_flush = false;
             for t in schedulable.iter() {
                 let fp = want_fps.then(|| {
                     if sys.is_yielding(t) {
@@ -543,15 +548,21 @@ where
                         fp
                     }
                 });
+                let is_flush = sys.is_flush(t);
+                any_flush |= is_flush;
                 for c in 0..sys.branching(t) {
                     options.push(Decision {
                         thread: t,
                         choice: c as u32,
                     });
+                    flushes.push(is_flush);
                     if let Some(fp) = &fp {
                         footprints.push(fp.clone());
                     }
                 }
+            }
+            if !any_flush {
+                flushes.clear();
             }
             let point = SchedulePoint {
                 depth,
@@ -561,6 +572,7 @@ where
                 prev_enabled: prev.is_some_and(|p| es.contains(p)),
                 prev_schedulable: prev.is_some_and(|p| schedulable.contains(p)),
                 fairness_filtered: schedulable.len() != es.len(),
+                flushes: &flushes,
             };
             let Some(d) = self.strategy.pick(&point) else {
                 stats.abandoned += 1;
@@ -587,7 +599,13 @@ where
             }
             stats.transitions += 1;
             depth += 1;
-            prev = Some(d.thread);
+            // Flush steps are transparent to continuation tracking: `prev`
+            // keeps pointing at the last *program* thread, so a buffer
+            // drain between two steps of one thread does not make the
+            // continuation look like a paid preemption under CB.
+            if !sys.is_flush(d.thread) {
+                prev = Some(d.thread);
+            }
             obs.on_state(&sys, depth);
 
             if self.config.detect_cycles && sys.status().is_running() {

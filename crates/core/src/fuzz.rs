@@ -38,7 +38,10 @@
 use std::fmt::Write as _;
 use std::sync::Arc;
 
-use chess_kernel::{Access, AccessKind, Footprint, ObjectRef, StepKind, ThreadId};
+use chess_kernel::{
+    Access, AccessKind, AtomicId, Capture, Effects, Footprint, GuestThread, Kernel, MemoryModel,
+    ObjectRef, OpDesc, OpResult, StateWriter, StepKind, ThreadId,
+};
 
 use crate::system::{SystemStatus, TransitionSystem};
 
@@ -79,6 +82,11 @@ pub struct FuzzConfig {
     /// interleaving (fresh counter): a workload crash, not a violation
     /// the system reports itself.
     pub inject_panic: bool,
+    /// Memory model the relaxed-memory differential passes instantiate
+    /// atomic programs under (see [`generate_atomic_program`]). `Sc`
+    /// disables those passes; the base [`FuzzSystem`] generator is
+    /// unaffected either way.
+    pub memory: MemoryModel,
 }
 
 impl Default for FuzzConfig {
@@ -95,6 +103,7 @@ impl Default for FuzzConfig {
             inject_deadlock: false,
             inject_livelock: false,
             inject_panic: false,
+            memory: MemoryModel::Sc,
         }
     }
 }
@@ -657,6 +666,252 @@ pub fn generate_system(config: &FuzzConfig) -> FuzzSystem {
     FuzzSystem::from_scripts(scripts, counters, locks, flags)
 }
 
+// ---------------------------------------------------------------------------
+// Relaxed-memory fuzzing: atomic programs executed through the kernel
+// ---------------------------------------------------------------------------
+
+/// One operation of a generated atomic program.
+///
+/// Atomic programs are straight-line and blocking-free by construction
+/// (RMWs and fences only wait on the thread's *own* store buffer, which a
+/// flusher lane can always drain), so every interleaving terminates and
+/// none reports a violation — what varies across memory models is the set
+/// of *observations* the loads make.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AtomicFuzzOp {
+    /// A local step with no shared effect.
+    Local,
+    /// Stores `value` to `location` — buffered under TSO/PSO.
+    Store {
+        /// Index of the atomic cell written.
+        location: usize,
+        /// The value written (unique per program, so forwarding and
+        /// reordering are observable).
+        value: u64,
+    },
+    /// Loads `location`, forwarding from the issuing thread's store
+    /// buffer when it holds the location; the observed value is appended
+    /// to the thread's log.
+    Load {
+        /// Index of the atomic cell read.
+        location: usize,
+    },
+    /// Atomic fetch-add: an RMW, which under a buffering model waits for
+    /// the issuing thread's buffer to drain first (x86 `LOCK` semantics).
+    Add {
+        /// Index of the atomic cell updated.
+        location: usize,
+        /// The addend.
+        delta: u64,
+    },
+    /// A full fence: blocks until the issuing thread's buffer is empty.
+    Fence,
+}
+
+impl AtomicFuzzOp {
+    fn describe(&self) -> String {
+        match *self {
+            AtomicFuzzOp::Local => "local".into(),
+            AtomicFuzzOp::Store { location, value } => format!("store(x{location}, {value})"),
+            AtomicFuzzOp::Load { location } => format!("load(x{location})"),
+            AtomicFuzzOp::Add { location, delta } => format!("add(x{location}, {delta})"),
+            AtomicFuzzOp::Fence => "fence".into(),
+        }
+    }
+}
+
+/// Shared state of an instantiated atomic program: every value each guest
+/// loaded, in program order.
+///
+/// The logs are part of the captured state, so two executions that
+/// observe different values are distinct terminal outcomes even when they
+/// leave memory identical — the store-buffering litmus shape, where the
+/// interesting relaxed behaviour lives entirely in what the loads saw.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AtomicObservations {
+    logs: Vec<Vec<u64>>,
+}
+
+impl AtomicObservations {
+    /// The values guest `g` loaded, in program order.
+    pub fn log(&self, g: usize) -> &[u64] {
+        &self.logs[g]
+    }
+}
+
+impl Capture for AtomicObservations {
+    fn capture(&self, w: &mut StateWriter) {
+        w.write_usize(self.logs.len());
+        for log in &self.logs {
+            w.write_usize(log.len());
+            for &v in log {
+                w.write_u64(v);
+            }
+        }
+    }
+}
+
+/// A kernel guest driving one script of an [`AtomicProgram`].
+#[derive(Clone)]
+struct AtomicScriptThread {
+    ops: Arc<Vec<AtomicFuzzOp>>,
+    cells: Arc<Vec<AtomicId>>,
+    pc: usize,
+    me: usize,
+}
+
+impl GuestThread<AtomicObservations> for AtomicScriptThread {
+    fn next_op(&self, _shared: &AtomicObservations) -> OpDesc {
+        match self.ops.get(self.pc) {
+            None => OpDesc::Finished,
+            Some(AtomicFuzzOp::Local) => OpDesc::Local,
+            Some(&AtomicFuzzOp::Store { location, value }) => {
+                OpDesc::AtomicStore(self.cells[location], value)
+            }
+            Some(&AtomicFuzzOp::Load { location }) => OpDesc::AtomicLoad(self.cells[location]),
+            Some(&AtomicFuzzOp::Add { location, delta }) => {
+                OpDesc::AtomicAdd(self.cells[location], delta)
+            }
+            Some(AtomicFuzzOp::Fence) => OpDesc::Fence,
+        }
+    }
+
+    fn on_op(
+        &mut self,
+        result: OpResult,
+        shared: &mut AtomicObservations,
+        _fx: &mut Effects<AtomicObservations>,
+    ) {
+        if let (Some(AtomicFuzzOp::Load { .. }), OpResult::Value(v)) =
+            (self.ops.get(self.pc), result)
+        {
+            shared.logs[self.me].push(v);
+        }
+        self.pc += 1;
+    }
+
+    fn name(&self) -> String {
+        format!("a{}", self.me)
+    }
+
+    fn capture(&self, w: &mut StateWriter) {
+        w.write_usize(self.pc);
+    }
+
+    fn box_clone(&self) -> Box<dyn GuestThread<AtomicObservations>> {
+        Box::new(self.clone())
+    }
+}
+
+/// A generated atomic program: per-thread scripts of store/load/RMW/fence
+/// operations over a small set of atomic cells, instantiable as a
+/// [`Kernel`] under any [`MemoryModel`].
+///
+/// The same program instantiated under SC, TSO and PSO is the raw
+/// material of the memory-model monotonicity oracle: the sets of
+/// reachable terminal outcomes must satisfy SC ⊆ TSO ⊆ PSO.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AtomicProgram {
+    scripts: Vec<Vec<AtomicFuzzOp>>,
+    locations: usize,
+}
+
+impl AtomicProgram {
+    /// Builds a program from explicit scripts over `locations` atomic
+    /// cells (all initially zero) — used by tests; fuzzing goes through
+    /// [`generate_atomic_program`].
+    pub fn from_scripts(scripts: Vec<Vec<AtomicFuzzOp>>, locations: usize) -> Self {
+        AtomicProgram { scripts, locations }
+    }
+
+    /// The per-thread scripts.
+    pub fn scripts(&self) -> &[Vec<AtomicFuzzOp>] {
+        &self.scripts
+    }
+
+    /// Number of atomic cells the program uses.
+    pub fn locations(&self) -> usize {
+        self.locations
+    }
+
+    /// Instantiates the program as a fresh kernel under `memory`.
+    pub fn instantiate(&self, memory: MemoryModel) -> Kernel<AtomicObservations> {
+        let shared = AtomicObservations {
+            logs: vec![Vec::new(); self.scripts.len()],
+        };
+        let mut k = Kernel::with_memory(shared, memory);
+        let cells: Arc<Vec<AtomicId>> =
+            Arc::new((0..self.locations).map(|_| k.add_atomic(0)).collect());
+        for (me, script) in self.scripts.iter().enumerate() {
+            k.spawn(AtomicScriptThread {
+                ops: Arc::new(script.clone()),
+                cells: Arc::clone(&cells),
+                pc: 0,
+                me,
+            });
+        }
+        k
+    }
+}
+
+/// Renders the scripts of an atomic program, for discrepancy reports.
+pub fn render_atomic_scripts(prog: &AtomicProgram) -> String {
+    let mut out = String::new();
+    for (i, script) in prog.scripts().iter().enumerate() {
+        let _ = write!(out, "a{i}:");
+        for op in script {
+            let _ = write!(out, " {}", op.describe());
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Generates the atomic program described by `config` (deterministic in
+/// `config.seed`; `max_threads` and `max_ops` bound its shape).
+///
+/// Stores carry globally unique values so every load observation
+/// identifies exactly which store (or initial zero) it read — the
+/// terminal observation logs then separate executions that differ only in
+/// forwarding or flush order.
+pub fn generate_atomic_program(config: &FuzzConfig) -> AtomicProgram {
+    let mut rng = SplitMix64::new(config.seed);
+    let max_threads = config.max_threads.max(2);
+    let threads = 2 + rng.below(max_threads as u64 - 1) as usize;
+    // Few cells keep same-location races frequent; more than 3 and the
+    // programs stop exhibiting interesting forwarding.
+    let locations = config.counters.clamp(1, 3);
+    let mut next_value = 0u64;
+    let mut scripts = Vec::with_capacity(threads);
+    for _ in 0..threads {
+        let slots = 1 + rng.below(config.max_ops.max(1) as u64) as usize;
+        let mut script = Vec::with_capacity(slots);
+        for _ in 0..slots {
+            let location = rng.below(locations as u64) as usize;
+            script.push(match rng.below(10) {
+                0..=3 => {
+                    next_value += 1;
+                    AtomicFuzzOp::Store {
+                        location,
+                        value: next_value,
+                    }
+                }
+                4..=7 => AtomicFuzzOp::Load { location },
+                8 => AtomicFuzzOp::Add { location, delta: 1 },
+                _ => {
+                    if rng.chance(50) {
+                        AtomicFuzzOp::Fence
+                    } else {
+                        AtomicFuzzOp::Local
+                    }
+                }
+            });
+        }
+        scripts.push(script);
+    }
+    AtomicProgram { scripts, locations }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -838,6 +1093,108 @@ mod tests {
         assert!(
             reduced_total < plain_total,
             "sleep sets pruned nothing across the corpus ({reduced_total} vs {plain_total})"
+        );
+    }
+
+    /// Collects the terminal state bytes of every fully terminated
+    /// execution — the outcome sets the monotonicity oracle compares.
+    struct Terminals(std::collections::BTreeSet<Vec<u8>>);
+
+    impl<P: TransitionSystem + ?Sized> crate::Observer<P> for Terminals {
+        fn on_execution_end(&mut self, sys: &P, _depth: usize) {
+            if matches!(sys.status(), SystemStatus::Terminated) {
+                self.0.insert(sys.state_bytes());
+            }
+        }
+    }
+
+    fn terminal_outcomes(
+        prog: &AtomicProgram,
+        memory: MemoryModel,
+    ) -> std::collections::BTreeSet<Vec<u8>> {
+        let mut obs = Terminals(Default::default());
+        let report = Explorer::new(
+            || prog.instantiate(memory),
+            Dfs::new(),
+            Config::fair().with_max_executions(500_000),
+        )
+        .run_observed(&mut obs);
+        assert!(
+            matches!(report.outcome, crate::SearchOutcome::Complete),
+            "{memory}: {:?}\n{}",
+            report.outcome,
+            render_atomic_scripts(prog),
+        );
+        obs.0
+    }
+
+    #[test]
+    fn atomic_generation_is_deterministic() {
+        let cfg = FuzzConfig::default().with_seed(9);
+        assert_eq!(generate_atomic_program(&cfg), generate_atomic_program(&cfg));
+        assert_ne!(
+            generate_atomic_program(&cfg),
+            generate_atomic_program(&FuzzConfig::default().with_seed(10))
+        );
+    }
+
+    #[test]
+    fn atomic_programs_terminate_cleanly_under_every_model() {
+        for i in 0..6 {
+            let cfg = FuzzConfig::default().with_seed(derive_seed(0xA70, i));
+            let prog = generate_atomic_program(&cfg);
+            for memory in MemoryModel::ALL {
+                terminal_outcomes(&prog, memory);
+            }
+        }
+    }
+
+    /// The store-buffering shape: under TSO both threads can load the
+    /// initial zero (their own store still buffered), an outcome SC
+    /// forbids — and every SC outcome stays reachable under TSO.
+    #[test]
+    fn buffering_strictly_widens_store_buffering_outcomes() {
+        let sb = AtomicProgram::from_scripts(
+            vec![
+                vec![
+                    AtomicFuzzOp::Store {
+                        location: 0,
+                        value: 1,
+                    },
+                    AtomicFuzzOp::Load { location: 1 },
+                ],
+                vec![
+                    AtomicFuzzOp::Store {
+                        location: 1,
+                        value: 2,
+                    },
+                    AtomicFuzzOp::Load { location: 0 },
+                ],
+            ],
+            2,
+        );
+        let sc = terminal_outcomes(&sb, MemoryModel::Sc);
+        let tso = terminal_outcomes(&sb, MemoryModel::Tso);
+        assert!(sc.is_subset(&tso), "an SC outcome vanished under TSO");
+        assert!(tso.len() > sc.len(), "TSO added no outcome on SB");
+    }
+
+    #[test]
+    fn atomic_scripts_render() {
+        let prog = AtomicProgram::from_scripts(
+            vec![vec![
+                AtomicFuzzOp::Store {
+                    location: 0,
+                    value: 7,
+                },
+                AtomicFuzzOp::Fence,
+                AtomicFuzzOp::Load { location: 1 },
+            ]],
+            2,
+        );
+        assert_eq!(
+            render_atomic_scripts(&prog),
+            "a0: store(x0, 7) fence load(x1)\n"
         );
     }
 

@@ -95,7 +95,10 @@ pub use explore::{
     FairnessConfig, SearchCheckpoint,
 };
 pub use fair::{FairScheduler, PenaltyScope};
-pub use fuzz::{derive_seed, generate_system, FuzzConfig, FuzzOp, FuzzSystem};
+pub use fuzz::{
+    derive_seed, generate_atomic_program, generate_system, AtomicFuzzOp, AtomicObservations,
+    AtomicProgram, FuzzConfig, FuzzOp, FuzzSystem,
+};
 pub use minimize::{minimize_schedule, reproduces, OutcomeKind};
 pub use observer::{CountingObserver, NullObserver, Observer};
 pub use parallel::ParallelExplorer;

@@ -308,6 +308,7 @@ mod tests {
             prev_enabled: false,
             prev_schedulable: false,
             fairness_filtered: false,
+            flushes: &[],
         }
     }
 
@@ -330,6 +331,7 @@ mod tests {
                     prev_enabled: prev.is_some(),
                     prev_schedulable: prev.is_some(),
                     fairness_filtered: false,
+                    flushes: &[],
                 };
                 let pick = cb.pick(&point).unwrap();
                 sched.push(pick.thread.index());
@@ -393,6 +395,7 @@ mod tests {
             prev_enabled: true,
             prev_schedulable: false,
             fairness_filtered: true,
+            flushes: &[],
         };
         // Reset budget by picking at depth 0 first.
         let opts0 = [d(0)];
@@ -418,6 +421,7 @@ mod tests {
             prev_enabled: true,
             prev_schedulable: false,
             fairness_filtered: true,
+            flushes: &[],
         };
         assert_eq!(cb.pick(&point), None, "must abandon, not crash");
         // The paper's accounting keeps the same point affordable.
@@ -459,6 +463,7 @@ mod tests {
                     prev_enabled: false,
                     prev_schedulable: false,
                     fairness_filtered: false,
+                    flushes: &[],
                 };
                 let Some(a) = cb.pick(&point0) else {
                     if !cb.on_execution_end() {
@@ -480,6 +485,7 @@ mod tests {
                     prev_enabled: false,
                     prev_schedulable: false,
                     fairness_filtered: false,
+                    flushes: &[],
                 };
                 if let Some(b) = cb.pick(&point1) {
                     leaves.push((a.thread.index(), b.thread.index()));

@@ -300,6 +300,7 @@ mod tests {
             prev_enabled: false,
             prev_schedulable: false,
             fairness_filtered: false,
+            flushes: &[],
         }
     }
 
@@ -386,6 +387,7 @@ mod tests {
                 prev_enabled: true,
                 prev_schedulable: true,
                 fairness_filtered: false,
+                flushes: &[],
             };
             let b = dfs.pick(&p1).unwrap();
             leaves.push((a.thread.index(), b.thread.index()));
@@ -421,6 +423,7 @@ mod tests {
             prev_enabled: false,
             prev_schedulable: false,
             fairness_filtered: false,
+            flushes: &[],
         }
     }
 

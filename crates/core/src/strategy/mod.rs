@@ -64,14 +64,41 @@ pub struct SchedulePoint<'a> {
     /// stay explorable, mirroring the paper's rule that fairness-forced
     /// preemptions do not count against the context bound.
     pub fairness_filtered: bool,
+    /// Flags parallel to `options`: is this option a store-buffer *flush*
+    /// pseudo-transition ([`is_flush`](crate::TransitionSystem::is_flush))?
+    /// Empty when no option is a
+    /// flush (in particular for every SC system), which strategies must
+    /// treat as all-`false`. Flush decisions are exempt from the
+    /// preemption budget: draining a buffer is the memory system acting,
+    /// not a preemption of program code (the relaxed-memory analog of §5's
+    /// free fairness-forced switches).
+    pub flushes: &'a [bool],
 }
 
 impl SchedulePoint<'_> {
+    /// Is the decision at `options[i]` a store-buffer flush?
+    pub fn is_flush_option(&self, d: Decision) -> bool {
+        if self.flushes.is_empty() {
+            return false;
+        }
+        self.options
+            .iter()
+            .position(|&o| o == d)
+            .is_some_and(|i| self.flushes[i])
+    }
+
     /// The *preemption cost* of a decision, following the paper's
     /// accounting (Section 4): switching away from an enabled,
     /// schedulable thread costs one preemption; switches forced by
-    /// blocking **or by the fairness priority** are free.
+    /// blocking **or by the fairness priority** are free, and so are
+    /// store-buffer flush pseudo-transitions (the explorer likewise keeps
+    /// `prev` pointing at the last *program* thread across flush steps,
+    /// so a flush between two steps of one thread does not turn the
+    /// continuation into a paid switch).
     pub fn preemption_cost(&self, d: Decision) -> u32 {
+        if self.is_flush_option(d) {
+            return 0;
+        }
         match self.prev {
             Some(p) if d.thread != p && self.prev_enabled && self.prev_schedulable => 1,
             _ => 0,
@@ -233,6 +260,7 @@ mod tests {
             prev_enabled: false,
             prev_schedulable: false,
             fairness_filtered: false,
+            flushes: &[],
         };
         assert_eq!(p0.preemption_cost(d(1)), 0);
 
@@ -245,9 +273,20 @@ mod tests {
             prev_enabled: true,
             prev_schedulable: true,
             fairness_filtered: false,
+            flushes: &[],
         };
         assert_eq!(p1.preemption_cost(d(0)), 0);
         assert_eq!(p1.preemption_cost(d(1)), 1);
+
+        // A flush pseudo-transition is free even where an ordinary switch
+        // away from an enabled previous thread would cost 1.
+        let p4 = SchedulePoint {
+            flushes: &[false, true],
+            ..p1
+        };
+        assert!(p4.is_flush_option(d(1)) && !p4.is_flush_option(d(0)));
+        assert_eq!(p4.preemption_cost(d(1)), 0);
+        assert_eq!(p4.preemption_cost(d(0)), 0);
 
         // Previous thread blocked: the switch is free.
         let p2 = SchedulePoint {

@@ -76,6 +76,7 @@ mod tests {
             prev_enabled: false,
             prev_schedulable: false,
             fairness_filtered: false,
+            flushes: &[],
         };
         let picks = |seed| {
             let mut r = RandomWalk::new(seed);

@@ -61,6 +61,7 @@ mod tests {
             prev_enabled: false,
             prev_schedulable: false,
             fairness_filtered: false,
+            flushes: &[],
         };
         assert_eq!(s.pick(&point).unwrap().thread, ThreadId::new(1));
         let point1 = SchedulePoint { depth: 1, ..point };
@@ -81,6 +82,7 @@ mod tests {
             prev_enabled: false,
             prev_schedulable: false,
             fairness_filtered: false,
+            flushes: &[],
         };
         assert_eq!(s.pick(&point), None);
     }

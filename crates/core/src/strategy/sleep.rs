@@ -184,6 +184,7 @@ mod tests {
             prev_enabled: false,
             prev_schedulable: false,
             fairness_filtered: false,
+            flushes: &[],
         }
     }
 

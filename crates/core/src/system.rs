@@ -102,6 +102,19 @@ pub trait TransitionSystem {
         a == b || self.footprint(a).dependent(&self.footprint(b))
     }
 
+    /// Is thread `t` a store-buffer *flusher* pseudo-thread (a relaxed
+    /// memory-system transition rather than program code)?
+    ///
+    /// Flush steps are exempt from the context-bounding preemption budget
+    /// (mirroring §5's treatment of fairness-forced switches): a buffer
+    /// drain is not a preemption the program must be robust to counting.
+    /// The default — no flushers — is correct for every system without a
+    /// relaxed-memory mode.
+    fn is_flush(&self, t: ThreadId) -> bool {
+        let _ = t;
+        false
+    }
+
     /// Current status.
     fn status(&self) -> SystemStatus;
 
@@ -151,6 +164,10 @@ impl<S: Capture> TransitionSystem for Kernel<S> {
         // commute — sound, but reduction degenerates to no pruning. The
         // per-object accesses still feed trace rendering.
         Kernel::next_footprint(self, t)
+    }
+
+    fn is_flush(&self, t: ThreadId) -> bool {
+        Kernel::is_flush(self, t)
     }
 
     fn status(&self) -> SystemStatus {

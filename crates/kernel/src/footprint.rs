@@ -53,6 +53,16 @@ pub enum AccessKind {
     Acquire,
     /// Returns ownership or a unit of the object.
     Release,
+    /// Enqueues a store into the issuing thread's store buffer without
+    /// writing memory (a buffered `AtomicStore` under TSO/PSO). Conflicts
+    /// like a write: its eventual flush changes the object.
+    Buffered,
+    /// Drains a buffered store of this object to memory (the flusher
+    /// lane's pseudo-transition).
+    Flush,
+    /// Waits for the issuing thread's store buffer to drain
+    /// ([`OpDesc::Fence`]).
+    Fence,
 }
 
 impl AccessKind {
@@ -69,6 +79,9 @@ impl AccessKind {
             AccessKind::Write => "write",
             AccessKind::Acquire => "acquire",
             AccessKind::Release => "release",
+            AccessKind::Buffered => "buffer",
+            AccessKind::Flush => "flush",
+            AccessKind::Fence => "fence",
         }
     }
 }
@@ -109,6 +122,10 @@ pub enum ObjectRef {
     Atomic(AtomicId),
     /// A kernel barrier.
     Barrier(BarrierId),
+    /// A thread's store buffer, as drained by a fence. Used as a marker
+    /// object so fences render as a bare `fence` annotation; flushes name
+    /// the [`Atomic`](ObjectRef::Atomic) cells they drain instead.
+    Buffer(ThreadId),
     /// An object of a non-kernel transition system: a static class label
     /// (e.g. `"counter"`) plus a dense index.
     Custom(&'static str, u32),
@@ -127,6 +144,7 @@ impl fmt::Display for ObjectRef {
             ObjectRef::Channel(id) => write!(f, "{id}"),
             ObjectRef::Atomic(id) => write!(f, "{id}"),
             ObjectRef::Barrier(id) => write!(f, "{id}"),
+            ObjectRef::Buffer(t) => write!(f, "buffer({t})"),
             ObjectRef::Custom(class, index) => write!(f, "{class}{index}"),
         }
     }
@@ -240,7 +258,12 @@ impl Footprint {
             .accesses
             .iter()
             .filter(|a| a.object != ObjectRef::SharedState)
-            .map(|a| a.to_string())
+            .map(|a| match a.object {
+                // The buffer is implied by the issuing thread: `[fence]`
+                // reads better than `[fence buffer(t0)]`.
+                ObjectRef::Buffer(_) => a.kind.to_string(),
+                _ => a.to_string(),
+            })
             .collect();
         if parts.is_empty() {
             None
@@ -303,6 +326,11 @@ pub fn footprint_of_op(op: &OpDesc) -> Footprint {
         OpDesc::BarrierArrive(b) | OpDesc::BarrierAwait(b, _) => {
             fp.push(ObjectRef::Barrier(b), Write);
         }
+        // The precise buffered/flush/fence footprints depend on memory
+        // model and buffer contents, which only the kernel knows; see
+        // `Kernel::next_footprint`. These are the context-free fallbacks.
+        OpDesc::Fence => {}
+        OpDesc::Flush(t) => fp.push(ObjectRef::Buffer(t), AccessKind::Flush),
     }
     // Conservative: the guest's apply half may mutate the shared state on
     // every executed op.

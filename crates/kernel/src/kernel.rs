@@ -4,10 +4,11 @@
 use std::fmt;
 
 use crate::capture::{Capture, StateWriter};
-use crate::footprint::{footprint_of_op, Footprint};
+use crate::footprint::{footprint_of_op, AccessKind, Footprint, ObjectRef};
 use crate::ids::{
     AtomicId, BarrierId, ChannelId, CondvarId, EventId, MutexId, RwLockId, SemaphoreId,
 };
+use crate::memory::{MemoryModel, StoreBuffer};
 use crate::objects::Objects;
 use crate::op::{OpDesc, OpResult, StepKind};
 use crate::thread::{Effects, GuestThread};
@@ -83,6 +84,24 @@ struct Slot<S> {
     name: String,
 }
 
+/// One schedulable unit. Thread ids index the lane table: under
+/// sequential consistency every lane is a guest and ids match the
+/// historical numbering; under a buffering memory model every guest lane
+/// is immediately followed by its *flusher* lane, the pseudo-thread that
+/// drains the guest's store buffer one store per step.
+#[derive(Clone)]
+enum Lane {
+    /// A guest thread (index into the guest slot table).
+    Guest(usize),
+    /// The store-buffer flusher of guest `guest`; `owner` is the guest's
+    /// lane id (what [`OpDesc::Flush`] reports in traces).
+    Flusher {
+        guest: usize,
+        owner: ThreadId,
+        name: String,
+    },
+}
+
 /// A deterministic multithreaded program instance: shared state `S`, a set
 /// of guest threads, and a table of synchronization objects.
 ///
@@ -119,21 +138,46 @@ struct Slot<S> {
 pub struct Kernel<S> {
     shared: S,
     threads: Vec<Slot<S>>,
+    /// Schedulable lanes; thread ids index this table.
+    lanes: Vec<Lane>,
+    memory: MemoryModel,
+    /// Per-guest store buffers (parallel to `threads`; always empty under
+    /// [`MemoryModel::Sc`]).
+    buffers: Vec<StoreBuffer>,
     objects: Objects,
     violation: Option<Violation>,
     stats: ExecStats,
 }
 
 impl<S> Kernel<S> {
-    /// Creates a kernel with the given shared state and no threads.
+    /// Creates a kernel with the given shared state and no threads,
+    /// executing under sequential consistency.
     pub fn new(shared: S) -> Self {
+        Kernel::with_memory(shared, MemoryModel::Sc)
+    }
+
+    /// Creates a kernel executing atomic operations under `memory`.
+    ///
+    /// Under [`MemoryModel::Tso`]/[`MemoryModel::Pso`] every spawned guest
+    /// gets a companion *flusher* lane (an extra thread id, directly after
+    /// the guest's) that drains the guest's store buffer one store per
+    /// scheduled step; see [`crate::memory`] for the semantics.
+    pub fn with_memory(shared: S, memory: MemoryModel) -> Self {
         Kernel {
             shared,
             threads: Vec::new(),
+            lanes: Vec::new(),
+            memory,
+            buffers: Vec::new(),
             objects: Objects::default(),
             violation: None,
             stats: ExecStats::default(),
         }
+    }
+
+    /// The memory model this kernel executes under.
+    pub fn memory_model(&self) -> MemoryModel {
+        self.memory
     }
 
     /// Adds a guest thread and returns its id. Threads are identified by
@@ -146,7 +190,19 @@ impl<S> Kernel<S> {
     pub fn spawn_boxed(&mut self, guest: Box<dyn GuestThread<S>>) -> ThreadId {
         let name = guest.name();
         self.threads.push(Slot { guest, name });
-        ThreadId::new(self.threads.len() - 1)
+        self.buffers.push(StoreBuffer::new());
+        let g = self.threads.len() - 1;
+        let owner = ThreadId::new(self.lanes.len());
+        self.lanes.push(Lane::Guest(g));
+        if self.memory.buffers() {
+            let name = format!("{}:flush", self.threads[g].name);
+            self.lanes.push(Lane::Flusher {
+                guest: g,
+                owner,
+                name,
+            });
+        }
+        owner
     }
 
     /// Creates a mutex.
@@ -205,19 +261,44 @@ impl<S> Kernel<S> {
         self.objects.add_channel(capacity)
     }
 
-    /// Number of threads ever added (including finished ones).
+    /// Number of schedulable lanes ever added (including finished ones).
+    /// Under a buffering memory model this counts flusher lanes too: each
+    /// guest contributes two ids.
     pub fn thread_count(&self) -> usize {
-        self.threads.len()
+        self.lanes.len()
     }
 
     /// Iterates over all thread ids.
     pub fn thread_ids(&self) -> impl Iterator<Item = ThreadId> {
-        (0..self.threads.len()).map(ThreadId::new)
+        (0..self.lanes.len()).map(ThreadId::new)
     }
 
-    /// The display name of a thread.
+    /// The display name of a thread (flusher lanes are named after their
+    /// guest, e.g. `writer:flush`).
     pub fn thread_name(&self, t: ThreadId) -> &str {
-        &self.threads[t.index()].name
+        match &self.lanes[t.index()] {
+            Lane::Guest(g) => &self.threads[*g].name,
+            Lane::Flusher { name, .. } => name,
+        }
+    }
+
+    /// Is thread `t` a store-buffer flusher lane?
+    pub fn is_flush(&self, t: ThreadId) -> bool {
+        matches!(self.lanes[t.index()], Lane::Flusher { .. })
+    }
+
+    /// The store buffer of the guest behind lane `t` (its own for a guest
+    /// lane, the owner's for a flusher lane), or `None` under sequential
+    /// consistency where no buffering happens.
+    pub fn store_buffer(&self, t: ThreadId) -> Option<&StoreBuffer> {
+        let (Lane::Guest(g) | Lane::Flusher { guest: g, .. }) = &self.lanes[t.index()];
+        self.memory.buffers().then(|| &self.buffers[*g])
+    }
+
+    /// The guest slot index behind lane `t`.
+    fn guest_of(&self, t: ThreadId) -> usize {
+        let (Lane::Guest(g) | Lane::Flusher { guest: g, .. }) = &self.lanes[t.index()];
+        *g
     }
 
     /// Shared state accessor (for assertions and result extraction).
@@ -231,9 +312,21 @@ impl<S> Kernel<S> {
         &mut self.shared
     }
 
-    /// The next operation thread `t` would perform (for traces).
+    /// The next operation thread `t` would perform (for traces). A
+    /// flusher lane reports [`OpDesc::Flush`] while its guest's buffer is
+    /// non-empty and [`OpDesc::Finished`] once drained, so termination
+    /// requires every buffered store to reach memory.
     pub fn next_op(&self, t: ThreadId) -> OpDesc {
-        self.threads[t.index()].guest.next_op(&self.shared)
+        match &self.lanes[t.index()] {
+            Lane::Guest(g) => self.threads[*g].guest.next_op(&self.shared),
+            Lane::Flusher { guest, owner, .. } => {
+                if self.buffers[*guest].is_empty() {
+                    OpDesc::Finished
+                } else {
+                    OpDesc::Flush(*owner)
+                }
+            }
+        }
     }
 
     /// Has thread `t` finished?
@@ -246,6 +339,20 @@ impl<S> Kernel<S> {
         match self.next_op(t) {
             OpDesc::Finished => false,
             OpDesc::Join(u) => self.is_finished(u),
+            // A flusher only reports Flush while its buffer is non-empty,
+            // and draining one store is always possible.
+            OpDesc::Flush(_) => true,
+            // A fence waits for the issuing thread's buffer to drain
+            // (no-op under SC, where nothing buffers).
+            OpDesc::Fence => self.memory.is_sc() || self.buffers[self.guest_of(t)].is_empty(),
+            // Read-modify-write ops act on memory directly and carry an
+            // implicit fence (x86 LOCK semantics): they wait out the
+            // issuing thread's own buffered stores.
+            OpDesc::AtomicCas(..) | OpDesc::AtomicSwap(..) | OpDesc::AtomicAdd(..)
+                if self.memory.buffers() =>
+            {
+                self.buffers[self.guest_of(t)].is_empty()
+            }
             op => self.objects.satisfiable(t, &op),
         }
     }
@@ -262,9 +369,15 @@ impl<S> Kernel<S> {
     }
 
     /// The number of branches exploring thread `t` requires (1 except for
-    /// [`OpDesc::Choose`]).
+    /// [`OpDesc::Choose`], and PSO flushers with several distinct buffered
+    /// locations, which may drain in any cross-location order).
     pub fn branching(&self, t: ThreadId) -> usize {
-        self.next_op(t).branching()
+        match &self.lanes[t.index()] {
+            Lane::Flusher { guest, .. } if self.memory == MemoryModel::Pso => {
+                self.buffers[*guest].location_count().max(1)
+            }
+            _ => self.next_op(t).branching(),
+        }
     }
 
     /// The dependence footprint of the transition thread `t` would take,
@@ -275,7 +388,43 @@ impl<S> Kernel<S> {
     /// kernel transitions are pairwise dependent; the precise sync-object
     /// accesses are still reported for trace rendering and diagnostics.
     pub fn next_footprint(&self, t: ThreadId) -> Footprint {
-        footprint_of_op(&self.next_op(t))
+        match &self.lanes[t.index()] {
+            // A flush writes memory cells but never the shared guest
+            // state (no `on_op` runs), so it provably commutes with
+            // transitions that touch neither its locations nor its
+            // buffer. Each distinct buffered location is a potential
+            // target (under PSO the choice picks one; under TSO only the
+            // oldest drains, but one conservative access is cheap).
+            Lane::Flusher { guest, .. } => {
+                let mut fp = Footprint::local();
+                for a in self.buffers[*guest].locations() {
+                    fp.push(ObjectRef::Atomic(a), AccessKind::Flush);
+                }
+                fp
+            }
+            Lane::Guest(g) => {
+                let op = self.threads[*g].guest.next_op(&self.shared);
+                match op {
+                    // A buffered store touches the cell (its flush will
+                    // change it) but as a `Buffered` access, so traces
+                    // distinguish `[buffer atomic0]` from `[write
+                    // atomic0]`.
+                    OpDesc::AtomicStore(a, _) if self.memory.buffers() => {
+                        let mut fp = Footprint::local();
+                        fp.push(ObjectRef::Atomic(a), AccessKind::Buffered);
+                        fp.push(ObjectRef::SharedState, AccessKind::Write);
+                        fp
+                    }
+                    OpDesc::Fence => {
+                        let mut fp = Footprint::local();
+                        fp.push(ObjectRef::Buffer(t), AccessKind::Fence);
+                        fp.push(ObjectRef::SharedState, AccessKind::Write);
+                        fp
+                    }
+                    op => footprint_of_op(&op),
+                }
+            }
+        }
     }
 
     /// Executes one transition of thread `t`.
@@ -292,9 +441,39 @@ impl<S> Kernel<S> {
             self.enabled(t),
             "scheduler bug: stepped disabled thread {t}"
         );
+        // Query the footprint before mutating anything so StepInfo agrees
+        // with what `next_footprint` reported to the strategy.
+        let footprint = self.next_footprint(t);
+        let g = match &self.lanes[t.index()] {
+            Lane::Guest(g) => *g,
+            Lane::Flusher { guest, owner, .. } => {
+                let (guest, owner) = (*guest, *owner);
+                return self.flush_step(t, guest, owner, choice, footprint);
+            }
+        };
         let op = self.next_op(t);
         let (result, kind) = match op {
             OpDesc::Local | OpDesc::Join(_) => (OpResult::Unit, StepKind::Normal),
+            // `enabled` guarantees the buffer already drained (or SC,
+            // where there is nothing to drain): the fence itself is a
+            // no-op transition.
+            OpDesc::Fence => (OpResult::Unit, StepKind::Normal),
+            // Under a buffering model a store goes to the issuing
+            // thread's buffer, not memory; its flusher lane becomes
+            // schedulable.
+            OpDesc::AtomicStore(a, v) if self.memory.buffers() => {
+                self.buffers[g].push(a, v);
+                (OpResult::Unit, StepKind::Normal)
+            }
+            // A load forwards from the youngest buffered store to the
+            // same location; only on a miss does it read memory.
+            OpDesc::AtomicLoad(a) if self.memory.buffers() => match self.buffers[g].lookup(a) {
+                Some(v) => (OpResult::Value(v), StepKind::Normal),
+                None => self
+                    .objects
+                    .execute(t, &op)
+                    .expect("atomic loads cannot fault"),
+            },
             OpDesc::Choose(n) => {
                 if n == 0 {
                     self.violation = Some(Violation {
@@ -305,7 +484,7 @@ impl<S> Kernel<S> {
                     // or kernel and search stats disagree by one.
                     self.stats.steps += 1;
                     return StepInfo {
-                        footprint: footprint_of_op(&op),
+                        footprint,
                         op,
                         kind: StepKind::Normal,
                         result: OpResult::Choice(0),
@@ -330,7 +509,7 @@ impl<S> Kernel<S> {
                         self.stats.sync_ops += 1;
                     }
                     return StepInfo {
-                        footprint: footprint_of_op(&op),
+                        footprint,
                         op,
                         kind: StepKind::Normal,
                         result: OpResult::Unit,
@@ -345,9 +524,10 @@ impl<S> Kernel<S> {
         if kind.is_yield() {
             self.stats.yields += 1;
         }
-        let mut fx = Effects::new(self.threads.len());
+        let stride = if self.memory.buffers() { 2 } else { 1 };
+        let mut fx = Effects::with_stride(self.lanes.len(), stride);
         {
-            let slot = &mut self.threads[t.index()];
+            let slot = &mut self.threads[g];
             slot.guest.on_op(result, &mut self.shared, &mut fx);
         }
         for guest in fx.spawns {
@@ -357,8 +537,52 @@ impl<S> Kernel<S> {
             self.violation = Some(Violation { thread: t, message });
         }
         StepInfo {
-            footprint: footprint_of_op(&op),
+            footprint,
             op,
+            kind,
+            result,
+        }
+    }
+
+    /// Executes one flusher-lane transition: drains one buffered store of
+    /// guest `g` to memory. No guest code runs (`on_op` is not called) —
+    /// the flush is a pure memory-system step, which is why its footprint
+    /// carries no shared-state write.
+    fn flush_step(
+        &mut self,
+        t: ThreadId,
+        g: usize,
+        owner: ThreadId,
+        choice: u32,
+        footprint: Footprint,
+    ) -> StepInfo {
+        let (a, v) = match self.memory {
+            MemoryModel::Pso => {
+                let locs = self.buffers[g].locations();
+                assert!(
+                    (choice as usize) < locs.len(),
+                    "scheduler bug: flush choice {choice} out of {}",
+                    locs.len()
+                );
+                let a = locs[choice as usize];
+                let v = self.buffers[g]
+                    .pop_location(a)
+                    .expect("chosen location has a buffered store");
+                (a, v)
+            }
+            _ => self.buffers[g]
+                .pop_oldest()
+                .expect("flusher lanes are only enabled while the buffer is non-empty"),
+        };
+        let (result, kind) = self
+            .objects
+            .execute(t, &OpDesc::AtomicStore(a, v))
+            .expect("atomic stores cannot fault");
+        self.stats.steps += 1;
+        self.stats.sync_ops += 1;
+        StepInfo {
+            footprint,
+            op: OpDesc::Flush(owner),
             kind,
             result,
         }
@@ -425,6 +649,21 @@ impl<S: Capture> Kernel<S> {
             w.write_str(&format!("{op:?}"));
         }
         self.objects.capture(&mut w);
+        // Store-buffer contents are control state too (they decide what
+        // loads forward and what flushes remain). Only non-empty buffers
+        // are written, so a terminal state (all buffers drained) captures
+        // to exactly the same bytes as the equivalent SC state — the
+        // property the cross-model outcome-monotonicity oracle relies on.
+        for (g, buf) in self.buffers.iter().enumerate() {
+            if !buf.is_empty() {
+                w.write_u32(g as u32 + 1);
+                w.write_usize(buf.len());
+                for (a, v) in buf.entries() {
+                    w.write_u32(a.index() as u32);
+                    w.write_u64(v);
+                }
+            }
+        }
         w
     }
 
@@ -446,6 +685,9 @@ impl<S: Clone> Clone for Kernel<S> {
                     name: s.name.clone(),
                 })
                 .collect(),
+            lanes: self.lanes.clone(),
+            memory: self.memory,
+            buffers: self.buffers.clone(),
             objects: self.objects.clone(),
             violation: self.violation.clone(),
             stats: self.stats,
@@ -458,6 +700,7 @@ impl<S: fmt::Debug> fmt::Debug for Kernel<S> {
         f.debug_struct("Kernel")
             .field("shared", &self.shared)
             .field("threads", &self.threads.len())
+            .field("memory", &self.memory)
             .field("objects", &self.objects.count())
             .field("violation", &self.violation)
             .field("stats", &self.stats)
@@ -856,5 +1099,244 @@ mod tests {
         let (mut k, a, b) = two_lockers();
         k.step(a, 0);
         k.step(b, 0); // b is disabled: scheduler bug
+    }
+
+    /// A store/load/fence straight-line guest over two atomic cells, for
+    /// the memory-model tests below.
+    #[derive(Clone)]
+    struct Writer {
+        pc: u8,
+        ops: Vec<OpDesc>,
+    }
+
+    impl GuestThread<()> for Writer {
+        fn next_op(&self, _: &()) -> OpDesc {
+            self.ops
+                .get(self.pc as usize)
+                .copied()
+                .unwrap_or(OpDesc::Finished)
+        }
+        fn on_op(&mut self, _: OpResult, _: &mut (), _: &mut Effects<()>) {
+            self.pc += 1;
+        }
+        fn name(&self) -> String {
+            "writer".to_string()
+        }
+        fn box_clone(&self) -> Box<dyn GuestThread<()>> {
+            Box::new(self.clone())
+        }
+    }
+
+    #[test]
+    fn sc_never_buffers() {
+        let mut k = Kernel::with_memory((), crate::MemoryModel::Sc);
+        let x = k.add_atomic(0);
+        let t = k.spawn(Writer {
+            pc: 0,
+            ops: vec![OpDesc::AtomicStore(x, 7)],
+        });
+        assert_eq!(k.thread_count(), 1, "no flusher lane under SC");
+        k.step(t, 0);
+        assert!(k.store_buffer(t).is_none());
+        assert_eq!(k.status(), KernelStatus::Terminated);
+    }
+
+    #[test]
+    fn tso_buffers_store_until_flush() {
+        let mut k = Kernel::with_memory((), crate::MemoryModel::Tso);
+        let x = k.add_atomic(0);
+        let t = k.spawn(Writer {
+            pc: 0,
+            ops: vec![OpDesc::AtomicStore(x, 7), OpDesc::AtomicLoad(x)],
+        });
+        let f = ThreadId::new(t.index() + 1);
+        assert_eq!(k.thread_count(), 2);
+        assert!(k.is_flush(f) && !k.is_flush(t));
+        assert_eq!(k.thread_name(f), "writer:flush");
+        // Before the store the flusher has nothing to do.
+        assert!(!k.enabled(f));
+        assert!(k.is_finished(f));
+        k.step(t, 0); // store goes to the buffer
+        assert_eq!(k.store_buffer(t).unwrap().len(), 1);
+        assert!(k.enabled(f), "non-empty buffer enables the flusher");
+        assert_eq!(k.next_op(f), OpDesc::Flush(t));
+        // The issuing thread forwards from its own buffer.
+        let info = k.step(t, 0);
+        assert_eq!(info.result, OpResult::Value(7));
+        // Termination requires the drain.
+        assert_eq!(k.status(), KernelStatus::Running);
+        let info = k.step(f, 0);
+        assert_eq!(info.op, OpDesc::Flush(t));
+        assert!(k.store_buffer(t).unwrap().is_empty());
+        assert_eq!(k.status(), KernelStatus::Terminated);
+    }
+
+    #[test]
+    fn load_reads_memory_on_buffer_miss() {
+        let mut k = Kernel::with_memory((), crate::MemoryModel::Tso);
+        let x = k.add_atomic(3);
+        let y = k.add_atomic(0);
+        let t = k.spawn(Writer {
+            pc: 0,
+            ops: vec![OpDesc::AtomicStore(y, 1), OpDesc::AtomicLoad(x)],
+        });
+        k.step(t, 0);
+        let info = k.step(t, 0);
+        assert_eq!(info.result, OpResult::Value(3), "x is not buffered");
+    }
+
+    #[test]
+    fn fence_blocks_until_drained() {
+        let mut k = Kernel::with_memory((), crate::MemoryModel::Tso);
+        let x = k.add_atomic(0);
+        let t = k.spawn(Writer {
+            pc: 0,
+            ops: vec![OpDesc::AtomicStore(x, 1), OpDesc::Fence],
+        });
+        let f = ThreadId::new(t.index() + 1);
+        k.step(t, 0);
+        assert!(!k.enabled(t), "fence waits for the buffer to drain");
+        k.step(f, 0);
+        assert!(k.enabled(t), "drained buffer unblocks the fence");
+        k.step(t, 0);
+        assert_eq!(k.status(), KernelStatus::Terminated);
+    }
+
+    #[test]
+    fn rmw_waits_for_own_buffer() {
+        let mut k = Kernel::with_memory((), crate::MemoryModel::Tso);
+        let x = k.add_atomic(0);
+        let t = k.spawn(Writer {
+            pc: 0,
+            ops: vec![OpDesc::AtomicStore(x, 1), OpDesc::AtomicAdd(x, 1)],
+        });
+        let f = ThreadId::new(t.index() + 1);
+        k.step(t, 0);
+        assert!(!k.enabled(t), "RMW carries an implicit fence");
+        k.step(f, 0);
+        let info = k.step(t, 0);
+        assert_eq!(
+            info.result,
+            OpResult::Value(1),
+            "add sees the flushed store"
+        );
+    }
+
+    #[test]
+    fn pso_flush_choices_cover_distinct_locations() {
+        let mut k = Kernel::with_memory((), crate::MemoryModel::Pso);
+        let x = k.add_atomic(0);
+        let y = k.add_atomic(0);
+        let t = k.spawn(Writer {
+            pc: 0,
+            ops: vec![
+                OpDesc::AtomicStore(x, 1),
+                OpDesc::AtomicStore(y, 2),
+                OpDesc::AtomicStore(x, 3),
+            ],
+        });
+        let f = ThreadId::new(t.index() + 1);
+        k.step(t, 0);
+        k.step(t, 0);
+        k.step(t, 0);
+        assert_eq!(k.branching(f), 2, "two distinct buffered locations");
+        // Drain y (choice 1) before either store to x: cross-location
+        // reorder that TSO forbids.
+        k.step(f, 1);
+        assert_eq!(k.branching(f), 1);
+        // Per-location FIFO: x drains 1 then 3.
+        k.step(f, 0);
+        k.step(f, 0);
+        assert_eq!(k.status(), KernelStatus::Terminated);
+    }
+
+    #[test]
+    fn buffered_execution_reaches_same_terminal_capture_as_sc() {
+        let run = |memory: crate::MemoryModel| {
+            let mut k = Kernel::with_memory((), memory);
+            let x = k.add_atomic(0);
+            let t = k.spawn(Writer {
+                pc: 0,
+                ops: vec![OpDesc::AtomicStore(x, 5)],
+            });
+            k.step(t, 0);
+            if memory.buffers() {
+                k.step(ThreadId::new(t.index() + 1), 0);
+            }
+            assert_eq!(k.status(), KernelStatus::Terminated);
+            k.capture_state().into_bytes()
+        };
+        let sc = run(crate::MemoryModel::Sc);
+        assert_eq!(sc, run(crate::MemoryModel::Tso));
+        assert_eq!(sc, run(crate::MemoryModel::Pso));
+    }
+
+    #[test]
+    fn dynamic_spawn_predicts_ids_across_flusher_lanes() {
+        #[derive(Clone)]
+        struct Spawner {
+            pc: u8,
+            predicted: Option<ThreadId>,
+        }
+        impl GuestThread<()> for Spawner {
+            fn next_op(&self, _: &()) -> OpDesc {
+                match self.pc {
+                    0 => OpDesc::Local,
+                    1 => OpDesc::Join(self.predicted.unwrap()),
+                    _ => OpDesc::Finished,
+                }
+            }
+            fn on_op(&mut self, _: OpResult, _: &mut (), fx: &mut Effects<()>) {
+                if self.pc == 0 {
+                    self.predicted = Some(fx.spawn(Box::new(Writer { pc: 0, ops: vec![] })));
+                }
+                self.pc += 1;
+            }
+            fn box_clone(&self) -> Box<dyn GuestThread<()>> {
+                Box::new(self.clone())
+            }
+        }
+        let mut k = Kernel::with_memory((), crate::MemoryModel::Tso);
+        let p = k.spawn(Spawner {
+            pc: 0,
+            predicted: None,
+        });
+        k.step(p, 0);
+        // Parent (lane 0) + its flusher (1) + child (2) + child's flusher (3).
+        assert_eq!(k.thread_count(), 4);
+        let c = ThreadId::new(2);
+        assert!(!k.is_flush(c) && k.is_flush(ThreadId::new(3)));
+        // The join on the predicted id resolves: the child is finished.
+        assert!(k.enabled(p));
+        k.step(p, 0);
+        assert_eq!(k.status(), KernelStatus::Terminated);
+    }
+
+    #[test]
+    fn flush_and_fence_footprints_render() {
+        let mut k = Kernel::with_memory((), crate::MemoryModel::Tso);
+        let x = k.add_atomic(0);
+        let t = k.spawn(Writer {
+            pc: 0,
+            ops: vec![OpDesc::AtomicStore(x, 1), OpDesc::Fence],
+        });
+        let f = ThreadId::new(t.index() + 1);
+        assert_eq!(
+            k.next_footprint(t).describe().as_deref(),
+            Some("buffer atomic0")
+        );
+        k.step(t, 0);
+        assert_eq!(
+            k.next_footprint(f).describe().as_deref(),
+            Some("flush atomic0")
+        );
+        assert_eq!(k.next_footprint(t).describe().as_deref(), Some("fence"));
+        // The flush carries no shared-state write: it commutes with
+        // guest-local transitions.
+        assert!(k
+            .next_footprint(f)
+            .accesses()
+            .iter()
+            .all(|a| a.object != crate::ObjectRef::SharedState));
     }
 }

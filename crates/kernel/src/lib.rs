@@ -29,6 +29,10 @@
 //! * Yield modeling — explicit yields, sleeps, and every timeout
 //!   operation are *yielding transitions*, the signal the fair scheduler
 //!   uses (the paper's good-samaritan property).
+//! * Relaxed memory — an optional [`MemoryModel`] (TSO/PSO) routes atomic
+//!   stores through per-thread store buffers whose flushes are ordinary
+//!   schedulable pseudo-transitions ([`OpDesc::Flush`]), with
+//!   [`OpDesc::Fence`] to drain them; see the [`memory`] module.
 //! * [`Capture`]/[`StateWriter`] — on-demand state extraction for the
 //!   coverage experiments (Table 2), used by the `chess-state` crate.
 //!
@@ -85,6 +89,7 @@ mod capture;
 pub mod footprint;
 mod ids;
 mod kernel;
+pub mod memory;
 mod objects;
 mod op;
 mod thread;
@@ -94,6 +99,7 @@ pub use capture::{Capture, StateWriter};
 pub use footprint::{footprint_of_op, Access, AccessKind, Footprint, ObjectRef};
 pub use ids::{AtomicId, BarrierId, ChannelId, CondvarId, EventId, MutexId, RwLockId, SemaphoreId};
 pub use kernel::{ExecStats, Kernel, KernelStatus, StepInfo, Violation};
+pub use memory::{MemoryModel, StoreBuffer};
 pub use op::{OpDesc, OpResult, StepKind};
 pub use thread::{Effects, GuestThread, ThreadStatus};
 pub use tid::{Iter as TidSetIter, ThreadId, TidSet};

@@ -1,0 +1,245 @@
+//! Relaxed-memory models: TSO/PSO store buffers as schedulable state.
+//!
+//! The kernel optionally executes atomic stores under a *relaxed* memory
+//! model. Following "Stateless Model Checking for TSO and PSO" (Abdulla et
+//! al.), buffering is made explicit: each guest thread owns a FIFO
+//! [`StoreBuffer`]; an `AtomicStore` enqueues into the issuing thread's
+//! buffer instead of writing memory, an `AtomicLoad` forwards from the
+//! youngest buffered store to the same location (else reads memory), and
+//! every non-empty buffer contributes an always-enabled
+//! [`Flush`](crate::OpDesc::Flush) pseudo-transition that the scheduler
+//! picks like any other thread step. Nondeterminism stays fully external:
+//! *when* a store drains to memory is a scheduling choice, so the fair
+//! scheduler, sleep sets, context bounding and replay all apply to flushes
+//! unchanged — which is exactly the fairness story "Making Weak Memory
+//! Models Fair" (Lahav et al.) asks for (a buffered store must eventually
+//! propagate; Algorithm 1 guarantees the flusher eventually runs).
+//!
+//! Under [`MemoryModel::Tso`] the buffer drains in program order (one FIFO
+//! per thread). Under [`MemoryModel::Pso`] stores to *different* locations
+//! may drain in any order (a FIFO per location, modeled here as a flush
+//! *choice* per buffered location), while same-location stores stay
+//! ordered. [`MemoryModel::Sc`] bypasses buffering entirely and is
+//! bit-for-bit the kernel's historical behavior.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::str::FromStr;
+
+use crate::ids::AtomicId;
+
+/// Which memory model the kernel executes atomic operations under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MemoryModel {
+    /// Sequential consistency: stores hit memory immediately (the
+    /// kernel's historical behavior, and the model the CHESS paper
+    /// assumes).
+    #[default]
+    Sc,
+    /// Total store order (x86-like): per-thread FIFO store buffers;
+    /// stores drain to memory in program order.
+    Tso,
+    /// Partial store order (SPARC PSO-like): per-thread, per-*location*
+    /// FIFO store buffers; stores to different locations may drain in any
+    /// order.
+    Pso,
+}
+
+impl MemoryModel {
+    /// All models, weakest-last (the order the monotonicity oracle
+    /// compares outcome sets in: SC ⊆ TSO ⊆ PSO).
+    pub const ALL: [MemoryModel; 3] = [MemoryModel::Sc, MemoryModel::Tso, MemoryModel::Pso];
+
+    /// Is this sequential consistency (no buffering)?
+    pub fn is_sc(self) -> bool {
+        matches!(self, MemoryModel::Sc)
+    }
+
+    /// Does this model buffer stores (and thus add flusher lanes)?
+    pub fn buffers(self) -> bool {
+        !self.is_sc()
+    }
+
+    /// The CLI/serialization name of the model.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MemoryModel::Sc => "sc",
+            MemoryModel::Tso => "tso",
+            MemoryModel::Pso => "pso",
+        }
+    }
+
+    /// Parses a CLI/serialization name (`sc`, `tso`, `pso`).
+    pub fn parse(s: &str) -> Option<MemoryModel> {
+        match s {
+            "sc" => Some(MemoryModel::Sc),
+            "tso" => Some(MemoryModel::Tso),
+            "pso" => Some(MemoryModel::Pso),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for MemoryModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for MemoryModel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        MemoryModel::parse(s).ok_or_else(|| format!("unknown memory model `{s}` (want sc|tso|pso)"))
+    }
+}
+
+/// One thread's store buffer: the pending atomic stores that have been
+/// issued but not yet drained to memory.
+///
+/// A single program-order queue serves both buffering models: TSO drains
+/// from the front ([`StoreBuffer::pop_oldest`]); PSO drains the oldest
+/// entry of a chosen *location* ([`StoreBuffer::pop_location`]), which
+/// preserves per-location FIFO order while letting different locations
+/// overtake each other. Load forwarding reads the *youngest* entry for the
+/// location ([`StoreBuffer::lookup`]) — a thread always sees its own
+/// stores.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StoreBuffer {
+    entries: VecDeque<(AtomicId, u64)>,
+}
+
+impl StoreBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        StoreBuffer::default()
+    }
+
+    /// Is the buffer drained?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of buffered stores.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Enqueues a store in program order.
+    pub fn push(&mut self, location: AtomicId, value: u64) {
+        self.entries.push_back((location, value));
+    }
+
+    /// The value the issuing thread observes for `location`: the youngest
+    /// buffered store to it, or `None` if the thread must read memory.
+    pub fn lookup(&self, location: AtomicId) -> Option<u64> {
+        self.entries
+            .iter()
+            .rev()
+            .find(|(a, _)| *a == location)
+            .map(|&(_, v)| v)
+    }
+
+    /// The distinct buffered locations, in ascending id order. Under PSO
+    /// each is a separate flush choice.
+    pub fn locations(&self) -> Vec<AtomicId> {
+        let mut locs: Vec<AtomicId> = self.entries.iter().map(|&(a, _)| a).collect();
+        locs.sort_by_key(|a| a.index());
+        locs.dedup();
+        locs
+    }
+
+    /// Number of distinct buffered locations (the PSO flush branching).
+    pub fn location_count(&self) -> usize {
+        self.locations().len()
+    }
+
+    /// Drains the oldest buffered store (TSO flush order).
+    pub fn pop_oldest(&mut self) -> Option<(AtomicId, u64)> {
+        self.entries.pop_front()
+    }
+
+    /// Drains the oldest buffered store *to `location`* (PSO flush order:
+    /// per-location FIFO, cross-location free).
+    pub fn pop_location(&mut self, location: AtomicId) -> Option<u64> {
+        let pos = self.entries.iter().position(|(a, _)| *a == location)?;
+        self.entries.remove(pos).map(|(_, v)| v)
+    }
+
+    /// Iterates the buffered `(location, value)` entries in program order
+    /// (oldest first), for state capture and diagnostics.
+    pub fn entries(&self) -> impl Iterator<Item = (AtomicId, u64)> + '_ {
+        self.entries.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(i: usize) -> AtomicId {
+        AtomicId::new(i)
+    }
+
+    #[test]
+    fn model_names_round_trip() {
+        for m in MemoryModel::ALL {
+            assert_eq!(MemoryModel::parse(m.as_str()), Some(m));
+            assert_eq!(m.as_str().parse::<MemoryModel>(), Ok(m));
+        }
+        assert_eq!(MemoryModel::parse("weak"), None);
+        assert!("weak".parse::<MemoryModel>().is_err());
+        assert_eq!(MemoryModel::default(), MemoryModel::Sc);
+        assert!(MemoryModel::Sc.is_sc() && !MemoryModel::Sc.buffers());
+        assert!(MemoryModel::Tso.buffers() && MemoryModel::Pso.buffers());
+    }
+
+    #[test]
+    fn lookup_forwards_youngest_store() {
+        let mut b = StoreBuffer::new();
+        assert_eq!(b.lookup(a(0)), None);
+        b.push(a(0), 1);
+        b.push(a(1), 7);
+        b.push(a(0), 2);
+        assert_eq!(b.lookup(a(0)), Some(2), "youngest same-location store");
+        assert_eq!(b.lookup(a(1)), Some(7));
+        assert_eq!(b.lookup(a(2)), None);
+    }
+
+    #[test]
+    fn tso_drains_in_program_order() {
+        let mut b = StoreBuffer::new();
+        b.push(a(1), 10);
+        b.push(a(0), 20);
+        b.push(a(1), 30);
+        assert_eq!(b.pop_oldest(), Some((a(1), 10)));
+        assert_eq!(b.pop_oldest(), Some((a(0), 20)));
+        assert_eq!(b.pop_oldest(), Some((a(1), 30)));
+        assert_eq!(b.pop_oldest(), None);
+    }
+
+    #[test]
+    fn pso_preserves_per_location_fifo() {
+        let mut b = StoreBuffer::new();
+        b.push(a(1), 10);
+        b.push(a(0), 20);
+        b.push(a(1), 30);
+        assert_eq!(b.locations(), vec![a(0), a(1)]);
+        assert_eq!(b.location_count(), 2);
+        // Location 0 may overtake, but stores to location 1 stay ordered.
+        assert_eq!(b.pop_location(a(0)), Some(20));
+        assert_eq!(b.pop_location(a(1)), Some(10));
+        assert_eq!(b.pop_location(a(1)), Some(30));
+        assert_eq!(b.pop_location(a(1)), None);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn entries_report_program_order() {
+        let mut b = StoreBuffer::new();
+        b.push(a(2), 1);
+        b.push(a(0), 2);
+        assert_eq!(b.entries().collect::<Vec<_>>(), vec![(a(2), 1), (a(0), 2)]);
+        assert_eq!(b.len(), 2);
+    }
+}

@@ -463,7 +463,7 @@ impl Objects {
             BarrierAwait(..) => (OpResult::Unit, StepKind::Normal),
             Yield => (OpResult::Unit, StepKind::Yield),
             Sleep => (OpResult::Unit, StepKind::Yield),
-            Local | Finished | Choose(_) | Join(_) => {
+            Local | Finished | Choose(_) | Join(_) | Fence | Flush(_) => {
                 unreachable!("operation {op:?} is handled by the kernel, not the object table")
             }
         };

@@ -125,6 +125,18 @@ pub enum OpDesc {
     /// Wait until the barrier's generation exceeds `gen` (i.e. all
     /// parties of that generation arrived). Enabled iff it has.
     BarrierAwait(BarrierId, u64),
+    /// A full memory fence: blocks until the issuing thread's store
+    /// buffer has drained. Enabled iff the buffer is empty (always enabled
+    /// under sequential consistency, where it is a no-op).
+    Fence,
+    /// Drain one buffered store of the named guest thread to memory.
+    ///
+    /// Never returned by guests: this is the pseudo-operation of the
+    /// *flusher* lane the kernel adds per guest thread under a buffering
+    /// [`MemoryModel`](crate::MemoryModel). Offered exactly while the
+    /// owner's buffer is non-empty; under PSO the scheduling `choice`
+    /// selects which buffered location drains.
+    Flush(ThreadId),
     /// A `k`-way nondeterministic data choice. Always enabled; the model
     /// checker enumerates all `k` branches and the chosen index arrives as
     /// [`OpResult::Choice`]. `Choose(0)` is a guest bug and is reported as
@@ -252,6 +264,8 @@ mod tests {
         assert!(!OpDesc::Choose(2).is_sync_op());
         assert!(OpDesc::Yield.is_sync_op());
         assert!(OpDesc::Acquire(MutexId::new(0)).is_sync_op());
+        assert!(OpDesc::Fence.is_sync_op());
+        assert!(OpDesc::Flush(crate::ThreadId::new(0)).is_sync_op());
     }
 
     #[test]

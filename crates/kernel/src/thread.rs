@@ -103,21 +103,31 @@ pub struct Effects<S> {
     pub(crate) spawns: Vec<Box<dyn GuestThread<S>>>,
     pub(crate) violation: Option<String>,
     pub(crate) next_tid: usize,
+    /// Thread-id distance between consecutive spawns: 1 under sequential
+    /// consistency, 2 under a buffering memory model (each spawned guest
+    /// is followed by its flusher lane).
+    pub(crate) stride: usize,
 }
 
 impl<S> Effects<S> {
+    #[cfg(test)]
     pub(crate) fn new(next_tid: usize) -> Self {
+        Effects::with_stride(next_tid, 1)
+    }
+
+    pub(crate) fn with_stride(next_tid: usize, stride: usize) -> Self {
         Effects {
             spawns: Vec::new(),
             violation: None,
             next_tid,
+            stride,
         }
     }
 
     /// Spawns a new guest thread; it becomes schedulable from the next
     /// scheduling point. Returns the id the new thread will receive.
     pub fn spawn(&mut self, guest: Box<dyn GuestThread<S>>) -> ThreadId {
-        let tid = ThreadId::new(self.next_tid + self.spawns.len());
+        let tid = ThreadId::new(self.next_tid + self.spawns.len() * self.stride);
         self.spawns.push(guest);
         tid
     }
@@ -181,6 +191,13 @@ mod tests {
         assert_eq!(fx.spawn(Box::new(Nop)), ThreadId::new(3));
         assert_eq!(fx.spawn(Box::new(Nop)), ThreadId::new(4));
         assert_eq!(fx.spawns.len(), 2);
+    }
+
+    #[test]
+    fn strided_effects_skip_flusher_lanes() {
+        let mut fx = Effects::<()>::with_stride(4, 2);
+        assert_eq!(fx.spawn(Box::new(Nop)), ThreadId::new(4));
+        assert_eq!(fx.spawn(Box::new(Nop)), ThreadId::new(6));
     }
 
     #[test]

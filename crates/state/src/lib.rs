@@ -60,11 +60,13 @@
 mod canonical;
 mod coverage;
 mod differential;
+mod memory;
 mod stateful;
 
 pub use canonical::Canonicalizer;
 pub use coverage::{CoverageTracker, FingerprintCoverage};
 pub use differential::{differential_check, Discrepancy, OracleLimits, SystemOutcome, Verdict};
+pub use memory::{memory_monotonicity_check, MemoryLimits, MemoryVerdict};
 pub use stateful::{
     preemption_bounded_states, Edge, StateGraph, StateNode, StatefulError, StatefulLimits,
 };

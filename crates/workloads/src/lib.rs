@@ -17,6 +17,7 @@
 //! | [`bsp`] | barrier-synchronized BSP computation with a barrier-elision race |
 //! | [`boundedbuffer`] | condvar monitor with if-vs-while and lost-wakeup bugs |
 //! | [`simple`] | tiny teaching programs (racy counter, deadlock pair) |
+//! | [`litmus`] | relaxed-memory litmus tests (SB/Dekker, MP, LB, IRIW) |
 //!
 //! Every workload is parameterized by a config struct, instrumented with
 //! safety assertions, and implements state capture so the coverage
@@ -28,6 +29,7 @@
 pub mod boundedbuffer;
 pub mod bsp;
 pub mod channels;
+pub mod litmus;
 pub mod miniboot;
 pub mod philosophers;
 pub mod promise;

@@ -1,0 +1,344 @@
+//! Classic relaxed-memory litmus tests, parameterized by
+//! [`MemoryModel`]: the store-buffering/Dekker shape, message passing,
+//! load buffering, IRIW, and a fenced Dekker fix.
+//!
+//! Every litmus workload asserts that its *forbidden outcome* is
+//! unreachable, so `fair-chess check` reports a safety violation exactly
+//! on the models that allow the relaxation:
+//!
+//! | workload | forbidden outcome | sc | tso | pso |
+//! |---|---|---|---|---|
+//! | [`store_buffering`] | both loads see 0 | forbidden | **allowed** | **allowed** |
+//! | [`dekker`] | both threads enter the critical section | forbidden | **allowed** | **allowed** |
+//! | [`dekker_fenced`] | same, with store→load fences | forbidden | forbidden | forbidden |
+//! | [`message_passing`] | flag seen set, data seen stale | forbidden | forbidden | **allowed** |
+//! | [`load_buffering`] | both loads see the other's later store | forbidden | forbidden | forbidden |
+//! | [`iriw`] | the two readers disagree on the store order | forbidden | forbidden | forbidden |
+//!
+//! The split is exactly what per-thread FIFO store buffers predict: TSO's
+//! single FIFO still commits one thread's stores in program order (so
+//! message passing is safe), PSO's per-location FIFOs may commit the flag
+//! before the data; neither model reorders loads (so load buffering stays
+//! forbidden) and both keep stores globally atomic once flushed (so IRIW
+//! stays forbidden).
+
+use chess_kernel::{
+    AtomicId, Effects, GuestThread, Kernel, MemoryModel, OpDesc, OpResult, StateWriter,
+};
+
+/// Shared state of a litmus program: a global register file the loads
+/// record their observations into.
+#[derive(Debug, Clone)]
+pub struct LitmusShared {
+    /// Observed values, one slot per load in the whole program.
+    pub regs: Vec<u64>,
+    done: u32,
+    expected: u32,
+}
+
+impl chess_kernel::Capture for LitmusShared {
+    fn capture(&self, w: &mut StateWriter) {
+        for &r in &self.regs {
+            w.write_u64(r);
+        }
+        w.write_u32(self.done);
+    }
+}
+
+/// One straight-line operation of a litmus thread.
+#[derive(Debug, Clone, Copy)]
+enum LOp {
+    /// Store `1` (the value is immaterial — every litmus cell is a flag).
+    Store(AtomicId, u64),
+    /// Load into the global register `reg`.
+    Load(AtomicId, usize),
+    /// A full fence (drains the issuing thread's store buffer).
+    Fence,
+}
+
+/// The forbidden-outcome predicate of a workload: returns the violation
+/// message when the terminal register file exhibits the outcome.
+type Verdict = fn(&[u64]) -> Option<String>;
+
+#[derive(Clone)]
+struct LitmusThread {
+    label: &'static str,
+    ops: Vec<LOp>,
+    pc: usize,
+    verdict: Verdict,
+}
+
+impl GuestThread<LitmusShared> for LitmusThread {
+    fn next_op(&self, _: &LitmusShared) -> OpDesc {
+        match self.ops.get(self.pc) {
+            None => OpDesc::Finished,
+            Some(&LOp::Store(cell, v)) => OpDesc::AtomicStore(cell, v),
+            Some(&LOp::Load(cell, _)) => OpDesc::AtomicLoad(cell),
+            Some(LOp::Fence) => OpDesc::Fence,
+        }
+    }
+
+    fn on_op(&mut self, r: OpResult, sh: &mut LitmusShared, fx: &mut Effects<LitmusShared>) {
+        if let (Some(&LOp::Load(_, reg)), OpResult::Value(v)) = (self.ops.get(self.pc), r) {
+            sh.regs[reg] = v;
+        }
+        self.pc += 1;
+        if self.pc == self.ops.len() {
+            sh.done += 1;
+            if sh.done == sh.expected {
+                if let Some(message) = (self.verdict)(&sh.regs) {
+                    fx.fail(message);
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> String {
+        self.label.to_string()
+    }
+
+    fn capture(&self, w: &mut StateWriter) {
+        w.write_usize(self.pc);
+    }
+
+    fn box_clone(&self) -> Box<dyn GuestThread<LitmusShared>> {
+        Box::new(self.clone())
+    }
+}
+
+/// A thread's script builder: maps the minted atomic ids to its ops.
+type ScriptBuilder = dyn Fn(&[AtomicId]) -> Vec<LOp>;
+
+/// Builds a litmus kernel: `cells` zero-initialized atomics, `regs`
+/// registers, one thread per `(label, script builder)` pair. The verdict
+/// runs once, when the last thread retires its last operation (buffers
+/// may still hold stores at that point, which is precisely what lets a
+/// relaxed outcome surface — the registers are already final).
+fn litmus(
+    model: MemoryModel,
+    cells: usize,
+    regs: usize,
+    verdict: Verdict,
+    threads: &[(&'static str, &ScriptBuilder)],
+) -> Kernel<LitmusShared> {
+    let mut k = Kernel::with_memory(
+        LitmusShared {
+            regs: vec![0; regs],
+            done: 0,
+            expected: threads.len() as u32,
+        },
+        model,
+    );
+    let ids: Vec<AtomicId> = (0..cells).map(|_| k.add_atomic(0)).collect();
+    for &(label, build) in threads {
+        k.spawn(LitmusThread {
+            label,
+            ops: build(&ids),
+            pc: 0,
+            verdict,
+        });
+    }
+    k
+}
+
+/// The store-buffering (SB) litmus: each thread stores to its own cell
+/// then loads the other's. Forbidden outcome: both loads observe the
+/// initial 0 — impossible under SC, reachable as soon as stores buffer.
+pub fn store_buffering(model: MemoryModel) -> Kernel<LitmusShared> {
+    litmus(
+        model,
+        2,
+        2,
+        |r| {
+            (r[0] == 0 && r[1] == 0).then(|| {
+                format!(
+                    "relaxed outcome: both loads read 0 (r0={}, r1={})",
+                    r[0], r[1]
+                )
+            })
+        },
+        &[
+            ("sb0", &|x| vec![LOp::Store(x[0], 1), LOp::Load(x[1], 0)]),
+            ("sb1", &|x| vec![LOp::Store(x[1], 1), LOp::Load(x[0], 1)]),
+        ],
+    )
+}
+
+/// Dekker's mutual-exclusion entry protocol: each thread raises its flag
+/// then checks the other's, entering the critical section when it reads
+/// 0. Forbidden outcome: both enter. The SB shape wearing its original
+/// motivation — store buffering breaks Dekker's algorithm.
+pub fn dekker(model: MemoryModel) -> Kernel<LitmusShared> {
+    litmus(
+        model,
+        2,
+        2,
+        |r| {
+            (r[0] == 0 && r[1] == 0).then(|| {
+                "mutual exclusion violated: both threads entered the critical section".to_string()
+            })
+        },
+        &[
+            ("dekker0", &|f| {
+                vec![LOp::Store(f[0], 1), LOp::Load(f[1], 0)]
+            }),
+            ("dekker1", &|f| {
+                vec![LOp::Store(f[1], 1), LOp::Load(f[0], 1)]
+            }),
+        ],
+    )
+}
+
+/// Dekker with a full fence between the flag store and the flag load:
+/// the store is committed to memory before the other flag is examined,
+/// restoring mutual exclusion under every supported model.
+pub fn dekker_fenced(model: MemoryModel) -> Kernel<LitmusShared> {
+    litmus(
+        model,
+        2,
+        2,
+        |r| {
+            (r[0] == 0 && r[1] == 0).then(|| "mutual exclusion violated despite fences".to_string())
+        },
+        &[
+            ("dekker0", &|f| {
+                vec![LOp::Store(f[0], 1), LOp::Fence, LOp::Load(f[1], 0)]
+            }),
+            ("dekker1", &|f| {
+                vec![LOp::Store(f[1], 1), LOp::Fence, LOp::Load(f[0], 1)]
+            }),
+        ],
+    )
+}
+
+/// Message passing (MP): the writer publishes data then sets a flag; the
+/// reader loads the flag then the data. Forbidden outcome: flag observed
+/// set but data observed stale. TSO's single FIFO commits the two stores
+/// in order, so only PSO (per-location FIFOs) reaches it.
+pub fn message_passing(model: MemoryModel) -> Kernel<LitmusShared> {
+    litmus(
+        model,
+        2,
+        2,
+        |r| {
+            (r[0] == 1 && r[1] == 0)
+                .then(|| "stale read: flag was set but data reads 0".to_string())
+        },
+        &[
+            ("writer", &|x| {
+                vec![LOp::Store(x[0], 1), LOp::Store(x[1], 1)]
+            }),
+            ("reader", &|x| vec![LOp::Load(x[1], 0), LOp::Load(x[0], 1)]),
+        ],
+    )
+}
+
+/// Load buffering (LB): each thread loads the other's cell then stores
+/// its own. Forbidden outcome: both loads observe the other's *later*
+/// store. Store buffers delay stores but never advance loads, so the
+/// outcome stays forbidden under SC, TSO and PSO alike.
+pub fn load_buffering(model: MemoryModel) -> Kernel<LitmusShared> {
+    litmus(
+        model,
+        2,
+        2,
+        |r| {
+            (r[0] == 1 && r[1] == 1)
+                .then(|| "load buffering: both loads read the later stores".to_string())
+        },
+        &[
+            ("lb0", &|x| vec![LOp::Load(x[1], 0), LOp::Store(x[0], 1)]),
+            ("lb1", &|x| vec![LOp::Load(x[0], 1), LOp::Store(x[1], 1)]),
+        ],
+    )
+}
+
+/// Independent reads of independent writes (IRIW): two writers store to
+/// distinct cells, two readers load both in opposite orders. Forbidden
+/// outcome: the readers disagree on which store happened first. Flushing
+/// through a single shared memory keeps stores atomic, so TSO and PSO
+/// both forbid it — a model with shared/partially ordered buffers would
+/// not.
+pub fn iriw(model: MemoryModel) -> Kernel<LitmusShared> {
+    litmus(
+        model,
+        2,
+        4,
+        |r| {
+            (r[0] == 1 && r[1] == 0 && r[2] == 1 && r[3] == 0).then(|| {
+                "store order disagreement: reader0 saw x before y, reader1 saw y before x"
+                    .to_string()
+            })
+        },
+        &[
+            ("w-x", &|c| vec![LOp::Store(c[0], 1)]),
+            ("w-y", &|c| vec![LOp::Store(c[1], 1)]),
+            ("r-xy", &|c| vec![LOp::Load(c[0], 0), LOp::Load(c[1], 1)]),
+            ("r-yx", &|c| vec![LOp::Load(c[1], 2), LOp::Load(c[0], 3)]),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chess_core::strategy::Dfs;
+    use chess_core::{Config, Explorer, SearchOutcome};
+
+    fn violates(factory: impl Fn() -> Kernel<LitmusShared> + Copy) -> bool {
+        let report = Explorer::new(
+            factory,
+            Dfs::new(),
+            Config::fair().with_max_executions(500_000),
+        )
+        .run();
+        match report.outcome {
+            SearchOutcome::SafetyViolation(_) => true,
+            SearchOutcome::Complete => false,
+            o => panic!("unexpected litmus outcome: {o:?}"),
+        }
+    }
+
+    /// The full allowed/forbidden matrix from the module table, each cell
+    /// asserted by an exhaustive search.
+    type LitmusFactory = fn(MemoryModel) -> Kernel<LitmusShared>;
+
+    #[test]
+    fn litmus_matrix_holds() {
+        use MemoryModel::{Pso, Sc, Tso};
+        let cases: &[(&str, LitmusFactory, &[bool; 3])] = &[
+            ("sb", store_buffering, &[false, true, true]),
+            ("dekker", dekker, &[false, true, true]),
+            ("dekker-fenced", dekker_fenced, &[false, false, false]),
+            ("mp", message_passing, &[false, false, true]),
+            ("lb", load_buffering, &[false, false, false]),
+            ("iriw", iriw, &[false, false, false]),
+        ];
+        for &(name, factory, expect) in cases {
+            for (model, &allowed) in [Sc, Tso, Pso].iter().zip(expect) {
+                assert_eq!(
+                    violates(|| factory(*model)),
+                    allowed,
+                    "{name} under {model}: expected the relaxed outcome to be {}",
+                    if allowed { "reachable" } else { "forbidden" },
+                );
+            }
+        }
+    }
+
+    /// A TSO counterexample on Dekker names the violation in terms of the
+    /// critical section, so `fair-chess check --memory tso` reads well.
+    #[test]
+    fn dekker_violation_message_mentions_mutual_exclusion() {
+        let report = Explorer::new(
+            || dekker(MemoryModel::Tso),
+            Dfs::new(),
+            Config::fair().with_max_executions(500_000),
+        )
+        .run();
+        let SearchOutcome::SafetyViolation(cex) = report.outcome else {
+            panic!("expected a violation under tso");
+        };
+        assert!(cex.message.contains("mutual exclusion"), "{}", cex.message);
+    }
+}

@@ -1,0 +1,307 @@
+//! Integration tests of the relaxed-memory subsystem: store-buffer
+//! invariants (property-based), golden trace annotations for buffered
+//! stores, flushes and fences, cross-model replay of a relaxed
+//! counterexample, and the fenced-Dekker differential cross-check.
+
+use chess_core::fuzz::{generate_atomic_program, AtomicProgram};
+use chess_core::strategy::{Dfs, FixedSchedule};
+use chess_core::{Config, Explorer, SearchOutcome};
+use chess_kernel::{
+    AtomicId, Effects, GuestThread, Kernel, MemoryModel, OpDesc, OpResult, StateWriter,
+    StoreBuffer, ThreadId,
+};
+use chess_state::{differential_check, OracleLimits, SystemOutcome};
+use chess_workloads::litmus;
+use proptest::prelude::*;
+
+/// Mints `n` atomic ids the only way external code can: from a kernel.
+fn atomic_ids(n: usize) -> Vec<AtomicId> {
+    let mut k: Kernel<()> = Kernel::new(());
+    (0..n).map(|_| k.add_atomic(0)).collect()
+}
+
+/// A deterministic scheduler for driving a kernel by hand: repeatedly
+/// pick an enabled lane (and a branch choice) from a seed, for up to
+/// `max_steps` transitions. The callback sees the kernel *before* each
+/// step together with the chosen lane.
+fn drive<S: chess_kernel::Capture>(
+    k: &mut Kernel<S>,
+    seed: u64,
+    max_steps: usize,
+    mut before_step: impl FnMut(&Kernel<S>, ThreadId),
+) {
+    let mut state = seed.wrapping_mul(2) | 1;
+    let mut rand = |bound: usize| {
+        // SplitMix64 step — plenty for schedule diversity.
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        (z ^ (z >> 31)) as usize % bound.max(1)
+    };
+    for _ in 0..max_steps {
+        let enabled: Vec<ThreadId> = k.thread_ids().filter(|&t| k.enabled(t)).collect();
+        if enabled.is_empty() {
+            break;
+        }
+        let t = enabled[rand(enabled.len())];
+        let choice = rand(k.branching(t)) as u32;
+        before_step(k, t);
+        k.step(t, choice);
+    }
+}
+
+proptest! {
+    /// Per-location FIFO order: draining a buffer one location at a time
+    /// yields exactly that location's values in push order, and draining
+    /// oldest-first yields the global push order.
+    #[test]
+    fn store_buffer_preserves_per_location_fifo(
+        pushes in proptest::collection::vec((0usize..3, 0u64..1000), 0..24)
+    ) {
+        let ids = atomic_ids(3);
+        let mut buf = StoreBuffer::new();
+        for &(loc, v) in &pushes {
+            buf.push(ids[loc], v);
+        }
+        prop_assert_eq!(buf.len(), pushes.len());
+
+        // lookup forwards the youngest store per location.
+        for (loc, id) in ids.iter().enumerate() {
+            let youngest = pushes.iter().rev().find(|&&(l, _)| l == loc).map(|&(_, v)| v);
+            prop_assert_eq!(buf.lookup(*id), youngest);
+        }
+
+        // Global FIFO drain (the TSO flush order).
+        let mut fifo = buf.clone();
+        let mut drained = Vec::new();
+        while let Some((id, v)) = fifo.pop_oldest() {
+            drained.push((id, v));
+        }
+        let expect: Vec<_> = pushes.iter().map(|&(l, v)| (ids[l], v)).collect();
+        prop_assert_eq!(drained, expect);
+
+        // Per-location drain (a PSO flush order).
+        for (loc, id) in ids.iter().enumerate() {
+            let mut per = buf.clone();
+            let mut got = Vec::new();
+            while let Some(v) = per.pop_location(*id) {
+                got.push(v);
+            }
+            let expect: Vec<_> = pushes
+                .iter()
+                .filter(|&&(l, _)| l == loc)
+                .map(|&(_, v)| v)
+                .collect();
+            prop_assert_eq!(got, expect);
+        }
+    }
+
+    /// Under SC nothing ever buffers: no flusher lanes exist,
+    /// `store_buffer` is `None` for every lane, and the lane count equals
+    /// the guest count.
+    #[test]
+    fn sc_never_buffers(seed in 0u64..64, schedule_seed in 0u64..8) {
+        let cfg = chess_core::FuzzConfig {
+            max_threads: 3,
+            max_ops: 3,
+            ..chess_core::FuzzConfig::default().with_seed(seed)
+        };
+        let prog = generate_atomic_program(&cfg);
+        let guests = prog.scripts().len();
+        let mut k = prog.instantiate(MemoryModel::Sc);
+        prop_assert_eq!(k.thread_count(), guests);
+        drive(&mut k, schedule_seed, 200, |k, t| {
+            assert!(!k.is_flush(t));
+            assert!(k.store_buffer(t).is_none());
+        });
+    }
+
+    /// A fence is enabled only once the issuing thread's buffer is empty,
+    /// and a flusher lane is offered exactly while its buffer is
+    /// non-empty (never for an empty buffer).
+    #[test]
+    fn fence_waits_and_empty_flush_never_offered(
+        seed in 0u64..64,
+        schedule_seed in 0u64..8,
+        pso in 0u8..2,
+    ) {
+        let model = if pso == 1 { MemoryModel::Pso } else { MemoryModel::Tso };
+        let cfg = chess_core::FuzzConfig {
+            max_threads: 3,
+            max_ops: 4,
+            ..chess_core::FuzzConfig::default().with_seed(seed)
+        };
+        let prog = generate_atomic_program(&cfg);
+        let mut k = prog.instantiate(model);
+        drive(&mut k, schedule_seed, 400, |k, picked| {
+            for t in k.thread_ids() {
+                let buffer_empty = k.store_buffer(t).is_none_or(StoreBuffer::is_empty);
+                if k.is_flush(t) {
+                    // Offered iff there is something to drain.
+                    assert_eq!(k.enabled(t), !buffer_empty);
+                } else if matches!(k.next_op(t), OpDesc::Fence) && k.enabled(t) {
+                    assert!(buffer_empty);
+                }
+            }
+            // An enabled fence about to step has already drained.
+            if matches!(k.next_op(picked), OpDesc::Fence) {
+                assert!(k.store_buffer(picked).is_none_or(StoreBuffer::is_empty));
+            }
+        });
+    }
+}
+
+/// A guest that stores, fences, then fails — forcing any TSO execution
+/// to buffer, flush, and fence before the violation, so the rendered
+/// trace must carry all three annotations.
+#[derive(Clone)]
+struct StoreFenceFail {
+    cell: AtomicId,
+    pc: usize,
+}
+
+impl GuestThread<()> for StoreFenceFail {
+    fn next_op(&self, _: &()) -> OpDesc {
+        match self.pc {
+            0 => OpDesc::AtomicStore(self.cell, 7),
+            1 => OpDesc::Fence,
+            _ => OpDesc::Finished,
+        }
+    }
+
+    fn on_op(&mut self, _: OpResult, _: &mut (), fx: &mut Effects<()>) {
+        self.pc += 1;
+        if self.pc == 2 {
+            fx.fail("stop here so the trace renders");
+        }
+    }
+
+    fn name(&self) -> String {
+        "writer".into()
+    }
+
+    fn capture(&self, w: &mut StateWriter) {
+        w.write_usize(self.pc);
+    }
+
+    fn box_clone(&self) -> Box<dyn GuestThread<()>> {
+        Box::new(self.clone())
+    }
+}
+
+/// Golden trace: buffered stores render `[buffer …]`, flusher steps
+/// render as the owner's `:flush` lane with `[flush …]`, and fences
+/// render `[fence]`.
+#[test]
+fn trace_annotations_for_buffer_flush_and_fence() {
+    let factory = || {
+        let mut k = Kernel::with_memory((), MemoryModel::Tso);
+        let cell = k.add_atomic(0);
+        k.spawn(StoreFenceFail { cell, pc: 0 });
+        k
+    };
+    let report = Explorer::new(factory, Dfs::new(), Config::fair()).run();
+    let SearchOutcome::SafetyViolation(cex) = report.outcome else {
+        panic!("expected the seeded violation, got {:?}", report.outcome);
+    };
+    let trace = cex.render(factory);
+    for needle in [
+        "AtomicStore(atomic0, 7)",
+        "[buffer atomic0]",
+        "writer:flush",
+        "Flush(t0)",
+        "[flush atomic0]",
+        "Fence",
+        "[fence]",
+    ] {
+        assert!(trace.contains(needle), "missing {needle:?} in:\n{trace}");
+    }
+}
+
+/// A TSO-found violation replays deterministically under TSO but does
+/// not silently reproduce under SC: the schedule refers to flusher lanes
+/// that do not exist there, and SC forbids the outcome anyway. (The CLI
+/// additionally refuses such a replay up front via the corpus/journal
+/// memory field.)
+#[test]
+fn tso_counterexample_does_not_replay_under_sc() {
+    let report = Explorer::new(
+        || litmus::store_buffering(MemoryModel::Tso),
+        Dfs::new(),
+        Config::fair().with_max_executions(100_000),
+    )
+    .run();
+    let SearchOutcome::SafetyViolation(cex) = report.outcome else {
+        panic!("sb must violate under tso");
+    };
+
+    // Same model: deterministic reproduction.
+    let replayed = Explorer::new(
+        || litmus::store_buffering(MemoryModel::Tso),
+        FixedSchedule::new(cex.schedule.clone()),
+        Config::fair(),
+    )
+    .run();
+    assert!(
+        matches!(replayed.outcome, SearchOutcome::SafetyViolation(_)),
+        "tso replay must reproduce, got {:?}",
+        replayed.outcome
+    );
+
+    // Different model: the relaxed outcome must not appear.
+    let downgraded = Explorer::new(
+        || litmus::store_buffering(MemoryModel::Sc),
+        FixedSchedule::new(cex.schedule.clone()),
+        Config::fair(),
+    )
+    .run();
+    assert!(
+        !matches!(downgraded.outcome, SearchOutcome::SafetyViolation(_)),
+        "an sc replay of a tso schedule must not resurface the relaxed outcome, got {:?}",
+        downgraded.outcome
+    );
+}
+
+/// The fenced Dekker is clean under every model, cross-checked by the
+/// full differential harness (stateless search vs stateful reference,
+/// one oracle per theorem) rather than the plain explorer alone.
+#[test]
+fn fenced_dekker_is_clean_under_every_model_differentially() {
+    for model in MemoryModel::ALL {
+        let verdict = differential_check(|| litmus::dekker_fenced(model), &OracleLimits::default());
+        assert!(
+            matches!(verdict.outcome, SystemOutcome::Clean),
+            "{model}: expected clean, got {:?}",
+            verdict.outcome
+        );
+        assert!(
+            verdict.discrepancies.is_empty(),
+            "{model}: {:?}",
+            verdict.discrepancies
+        );
+    }
+}
+
+/// The relaxed searches terminate: every buffered store must flush
+/// before the kernel reports termination, so terminal states carry empty
+/// buffers and capture identically across models when memory agrees.
+#[test]
+fn terminated_executions_have_drained_buffers() {
+    let cfg = chess_core::FuzzConfig {
+        max_threads: 3,
+        max_ops: 3,
+        ..chess_core::FuzzConfig::default().with_seed(0xfeed)
+    };
+    let prog: AtomicProgram = generate_atomic_program(&cfg);
+    for model in [MemoryModel::Tso, MemoryModel::Pso] {
+        let mut k = prog.instantiate(model);
+        drive(&mut k, 3, 10_000, |_, _| {});
+        for t in k.thread_ids() {
+            assert!(
+                k.store_buffer(t).is_none_or(StoreBuffer::is_empty),
+                "{model}: lane {t} still buffered after quiescence"
+            );
+        }
+    }
+}
