@@ -56,6 +56,11 @@ OPTIONS:
                           --strategy random:<seed>, with --db, and with
                           --checkpoint/--resume (a reduced search is not
                           snapshot-resumable).
+    --validate-effects    Capture-diff validation of the guests' declared
+                          read/write sets: diff the shared-state cells
+                          around every step and report any mutation
+                          outside the declared write set as a safety
+                          violation. `check` and `cover`.
     --unfair              Disable the fair scheduler (baseline mode).
     --db <N>              Backtracking horizon with a random tail
                           (the paper's unfair baseline configuration).
@@ -147,6 +152,7 @@ pub struct RunOpts {
     pub memory: MemoryModel,
     pub strategy: StrategyOpt,
     pub reduce: bool,
+    pub validate_effects: bool,
     pub fair: bool,
     pub db: Option<usize>,
     pub depth_bound: usize,
@@ -168,6 +174,7 @@ impl Default for RunOpts {
             memory: MemoryModel::Sc,
             strategy: StrategyOpt::Dfs,
             reduce: false,
+            validate_effects: false,
             fair: true,
             db: None,
             depth_bound: 100_000,
@@ -327,6 +334,7 @@ fn parse_run_opts(args: &[String]) -> Result<RunOpts, ParseError> {
                 opts.strategy = parse_strategy(&next_value("--strategy", &mut it)?)?;
             }
             "--reduce" => opts.reduce = parse_reduce(&next_value("--reduce", &mut it)?)?,
+            "--validate-effects" => opts.validate_effects = true,
             "--unfair" => opts.fair = false,
             "--db" => {
                 opts.db = Some(parse_num("--db", &next_value("--db", &mut it)?)?);
@@ -669,6 +677,16 @@ mod tests {
         assert!(!o.inject_safety);
         assert_eq!(o.checkpoint.as_deref(), Some("fuzz.journal"));
         assert_eq!(o.resume.as_deref(), Some("fuzz.journal"));
+    }
+
+    #[test]
+    fn parses_validate_effects() {
+        let cmd = parse(&s(&["check", "counter", "--validate-effects"])).unwrap();
+        let Command::Check(o) = cmd else { panic!() };
+        assert!(o.validate_effects);
+        let cmd = parse(&s(&["cover", "counter"])).unwrap();
+        let Command::Cover(o) = cmd else { panic!() };
+        assert!(!o.validate_effects);
     }
 
     #[test]

@@ -76,7 +76,15 @@ fn dispatch(o: &RunOpts, mode: Mode) -> ExitCode {
     let memory = o.memory;
     macro_rules! go {
         ($factory:expr) => {{
-            let factory = $factory;
+            let inner = $factory;
+            let validate = o.validate_effects;
+            let factory = move || {
+                let mut k = inner();
+                if validate {
+                    k.set_validate_effects(true);
+                }
+                k
+            };
             match mode {
                 Mode::Check => do_check(factory, o),
                 Mode::Cover => do_cover(factory, o),
@@ -215,6 +223,9 @@ where
     for w in &warnings {
         eprintln!("warning: {w}");
     }
+    if o.reduce && matches!(report.outcome, SearchOutcome::Complete) {
+        report_savings(factory, o, report.stats.executions);
+    }
     match &report.outcome {
         SearchOutcome::SafetyViolation(cex) | SearchOutcome::Panic(cex) => {
             if o.trace {
@@ -268,6 +279,39 @@ where
                 ExitCode::from(exitcode::INCOMPLETE)
             }
         }
+    }
+}
+
+/// Re-runs a completed `--reduce` search without sleep sets and prints
+/// how much the reduction saved. The comparison pass reuses the same
+/// budgets, so it either completes too or honestly reports that the
+/// unreduced space did not fit.
+fn report_savings<S, F>(factory: F, o: &RunOpts, reduced: u64)
+where
+    S: Capture + Clone + 'static,
+    F: Fn() -> Kernel<S> + Copy + Sync,
+{
+    let mut plain_opts = o.clone();
+    plain_opts.reduce = false;
+    if plain_opts.time_budget.is_none() && plain_opts.max_executions.is_none() {
+        // Mirror build_config's default budget without re-printing its note.
+        plain_opts.time_budget = Some(std::time::Duration::from_secs(60));
+    }
+    let report = Explorer::new(
+        factory,
+        build_strategy(&plain_opts),
+        build_config(&plain_opts),
+    )
+    .run();
+    if matches!(report.outcome, SearchOutcome::Complete) {
+        let plain = report.stats.executions;
+        let ratio = plain as f64 / reduced.max(1) as f64;
+        println!("sleep-set reduction: {reduced} executions vs {plain} unreduced ({ratio:.2}x)");
+    } else {
+        println!(
+            "sleep-set reduction: {reduced} executions; the unreduced comparison pass did \
+             not finish within the same budget"
+        );
     }
 }
 

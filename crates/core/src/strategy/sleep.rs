@@ -118,6 +118,27 @@ impl SleepFrame {
             (Some(p), Some(po)) => p.child_sleep(po),
             _ => Vec::new(),
         };
+        // Staleness check: a sleeping entry's footprint was recorded when
+        // it went to sleep, and pruning relies on it still describing the
+        // decision's transition now. That holds because any step that
+        // changes the transition must conflict with it and wake it first
+        // — e.g. a buffered store changing which locations its owner's
+        // flush can drain carries a `Buffer` marker access that conflicts
+        // with the sleeping flush. Debug builds verify the recorded
+        // footprint against the current one instead of trusting this.
+        #[cfg(debug_assertions)]
+        if !footprints.is_empty() {
+            for (z, fp) in &sleep {
+                if let Some(i) = options.iter().position(|o| o == z) {
+                    debug_assert_eq!(
+                        &footprints[i], fp,
+                        "stale sleeping footprint for {z:?}: a step changed this \
+                         decision's transition without waking it (every such step \
+                         must conflict with the sleeping entry)"
+                    );
+                }
+            }
+        }
         let live: Vec<usize> = if point.fairness_filtered || sleep.is_empty() {
             (0..options.len()).collect()
         } else {
@@ -273,7 +294,7 @@ mod tests {
         // Re-derive a child whose only option is asleep.
         let mut upper = SleepFrame::derive(
             &[d(0), d(1)],
-            vec![wfp(5), wfp(6)],
+            vec![wfp(6), wfp(6)],
             None,
             None,
             &point(&[d(0), d(1)], &[]),
@@ -291,6 +312,33 @@ mod tests {
         // d(0) survives (independent of taken wfp(6)) and covers the only
         // option: the node is pruned entirely.
         assert!(child.is_none());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "stale sleeping footprint")]
+    fn stale_sleeping_footprint_is_caught_in_debug_builds() {
+        let options = [d(0), d(1)];
+        let mut parent = SleepFrame::derive(
+            &options,
+            vec![wfp(0), wfp(1)],
+            None,
+            None,
+            &point(&options, &[]),
+        )
+        .unwrap();
+        // d(0) explored, now asleep with footprint wfp(0). The child
+        // presents a *different* current footprint for the sleeping d(0):
+        // some step changed its transition without waking it, which the
+        // pruning argument forbids.
+        parent.cursor = 1;
+        SleepFrame::derive(
+            &options,
+            vec![wfp(9), wfp(1)],
+            Some(&parent),
+            Some(&options),
+            &point(&options, &[]),
+        );
     }
 
     #[test]

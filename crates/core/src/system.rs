@@ -155,14 +155,18 @@ impl<S: Capture> TransitionSystem for Kernel<S> {
     }
 
     fn step(&mut self, t: ThreadId, choice: u32) -> StepKind {
-        Kernel::step(self, t, choice).kind
+        if self.validate_effects() {
+            Kernel::step_validated(self, t, choice).kind
+        } else {
+            Kernel::step(self, t, choice).kind
+        }
     }
 
     fn footprint(&self, t: ThreadId) -> Footprint {
-        // Conservative: includes a shared-state write on every op (the
-        // guest's `on_op` gets `&mut S`), so kernel transitions never
-        // commute — sound, but reduction degenerates to no pruning. The
-        // per-object accesses still feed trace rendering.
+        // Sync-object accesses merged with the guest's declared
+        // shared-state effects. Guests that declare nothing default to a
+        // whole-state write (sound: their transitions never commute);
+        // guests that declare per-cell read/write sets get real pruning.
         Kernel::next_footprint(self, t)
     }
 

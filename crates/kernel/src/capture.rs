@@ -33,6 +33,23 @@ use std::fmt;
 pub trait Capture {
     /// Writes the canonical state representation into `w`.
     fn capture(&self, w: &mut StateWriter);
+
+    /// The named cells of this state, matching the `(name, index)` pairs
+    /// guests use in their `shared_effects` declarations. The default —
+    /// no cells — means the state is opaque to per-cell diffing, and
+    /// effect validation falls back to whole-state comparison.
+    fn cells(&self) -> Vec<(&'static str, u32)> {
+        Vec::new()
+    }
+
+    /// Writes the canonical representation of one named cell into `w`.
+    ///
+    /// Called only for pairs returned by [`Capture::cells`]; the default
+    /// writes nothing (every cell compares equal, disabling per-cell
+    /// validation).
+    fn capture_cell(&self, name: &'static str, index: u32, w: &mut StateWriter) {
+        let _ = (name, index, w);
+    }
 }
 
 impl Capture for () {

@@ -1,0 +1,191 @@
+//! Guest-declared shared-state effects.
+//!
+//! The kernel knows which *synchronization objects* an op touches (see
+//! [`footprint_of_op`](crate::footprint_of_op)), but what the guest's
+//! `on_op` does to the shared state `S` is opaque: it receives `&mut S`
+//! on every step. [`SharedEffects`] is the guest's declaration of that
+//! half — a read-set/write-set over named cells of `S` — returned by
+//! [`GuestThread::shared_effects`](crate::GuestThread::shared_effects)
+//! and merged into the transition's [`Footprint`] by
+//! [`Kernel::next_footprint`](crate::Kernel::next_footprint).
+//!
+//! The default is [`SharedEffects::Whole`]: a conservative whole-state
+//! write that conflicts with every other shared-state access, so guests
+//! that declare nothing are never wrongly reduced. Guests that do
+//! declare can be checked at runtime: with
+//! [`Kernel::set_validate_effects`](crate::Kernel::set_validate_effects)
+//! the kernel diffs the per-cell captures around every step and reports
+//! any mutation outside the declared write-set as a violation.
+
+use crate::footprint::{AccessKind, Footprint, ObjectRef};
+
+/// A guest's declared effect on the shared state for one op.
+///
+/// Cells are identified as `(name, index)` pairs: a static cell name
+/// plus an index for array-shaped cells (scalar cells use index 0). The
+/// same pairs must be reported by
+/// [`Capture::cells`](crate::Capture::cells) for validation mode to
+/// check the declaration.
+///
+/// # Soundness contract
+///
+/// The declaration must cover *both* halves of the guest's step
+/// protocol:
+///
+/// * the write set lists every cell `on_op` may mutate when this op
+///   executes;
+/// * the read set lists every cell whose value can influence the guest
+///   — cells `on_op` reads, **and** cells `next_op` consults to choose
+///   this op in the first place (a guest whose program counter logic
+///   polls a shared flag reads that flag, even if `on_op` ignores it).
+///
+/// Validation mode checks the write direction mechanically; the read
+/// direction is the guest author's obligation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum SharedEffects {
+    /// Conservative default: the op may read and write the entire
+    /// shared state. Merged as a write to
+    /// [`ObjectRef::SharedState`], which overlaps every cell.
+    #[default]
+    Whole,
+    /// The op does not touch the shared state at all (a pure
+    /// scheduling or sync-object-only step).
+    Pure,
+    /// The op touches exactly the named cells.
+    Cells {
+        /// Cells the op (or the `next_op` choice leading to it) reads.
+        reads: Vec<(&'static str, u32)>,
+        /// Cells the op may mutate.
+        writes: Vec<(&'static str, u32)>,
+    },
+}
+
+impl SharedEffects {
+    /// Declares an op that touches exactly the given cells.
+    pub fn cells(
+        reads: impl IntoIterator<Item = (&'static str, u32)>,
+        writes: impl IntoIterator<Item = (&'static str, u32)>,
+    ) -> Self {
+        SharedEffects::Cells {
+            reads: reads.into_iter().collect(),
+            writes: writes.into_iter().collect(),
+        }
+    }
+
+    /// Declares an op that only reads the given cells.
+    pub fn reads(cells: impl IntoIterator<Item = (&'static str, u32)>) -> Self {
+        SharedEffects::cells(cells, [])
+    }
+
+    /// Declares an op that only writes the given cells.
+    pub fn writes(cells: impl IntoIterator<Item = (&'static str, u32)>) -> Self {
+        SharedEffects::cells([], cells)
+    }
+
+    /// Returns true for the conservative whole-state declaration.
+    pub fn is_whole(&self) -> bool {
+        matches!(self, SharedEffects::Whole)
+    }
+
+    /// Returns true when the declaration permits mutating the cell.
+    pub fn allows_write(&self, name: &str, index: u32) -> bool {
+        match self {
+            SharedEffects::Whole => true,
+            SharedEffects::Pure => false,
+            SharedEffects::Cells { writes, .. } => {
+                writes.iter().any(|&(n, i)| n == name && i == index)
+            }
+        }
+    }
+
+    /// Returns true when the declaration permits mutating *some* cell.
+    pub fn may_write(&self) -> bool {
+        match self {
+            SharedEffects::Whole => true,
+            SharedEffects::Pure => false,
+            SharedEffects::Cells { writes, .. } => !writes.is_empty(),
+        }
+    }
+
+    /// Merges the declared accesses into a footprint.
+    pub fn apply_to(&self, fp: &mut Footprint) {
+        match self {
+            SharedEffects::Whole => fp.push(ObjectRef::SharedState, AccessKind::Write),
+            SharedEffects::Pure => {}
+            SharedEffects::Cells { reads, writes } => {
+                for &(name, index) in reads {
+                    fp.push(ObjectRef::Cell(name, index), AccessKind::Read);
+                }
+                for &(name, index) in writes {
+                    fp.push(ObjectRef::Cell(name, index), AccessKind::Write);
+                }
+            }
+        }
+    }
+
+    /// Renders the declaration for violation messages.
+    pub fn describe(&self) -> String {
+        fn list(cells: &[(&'static str, u32)]) -> String {
+            let parts: Vec<String> = cells
+                .iter()
+                .map(|&(n, i)| ObjectRef::Cell(n, i).to_string())
+                .collect();
+            parts.join(", ")
+        }
+        match self {
+            SharedEffects::Whole => "whole-state write".to_string(),
+            SharedEffects::Pure => "no shared-state access".to_string(),
+            SharedEffects::Cells { reads, writes } => {
+                format!("reads [{}], writes [{}]", list(reads), list(writes))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::footprint::Access;
+
+    #[test]
+    fn whole_merges_as_shared_write() {
+        let mut fp = Footprint::local();
+        SharedEffects::Whole.apply_to(&mut fp);
+        assert_eq!(
+            fp.accesses(),
+            [Access::new(ObjectRef::SharedState, AccessKind::Write)]
+        );
+    }
+
+    #[test]
+    fn pure_merges_nothing() {
+        let mut fp = Footprint::local();
+        SharedEffects::Pure.apply_to(&mut fp);
+        assert!(fp.accesses().is_empty());
+        assert!(!SharedEffects::Pure.may_write());
+    }
+
+    #[test]
+    fn cells_merge_reads_and_writes() {
+        let mut fp = Footprint::local();
+        let fx = SharedEffects::cells([("count", 0)], [("done", 2)]);
+        fx.apply_to(&mut fp);
+        assert_eq!(
+            fp.accesses(),
+            [
+                Access::new(ObjectRef::Cell("count", 0), AccessKind::Read),
+                Access::new(ObjectRef::Cell("done", 2), AccessKind::Write),
+            ]
+        );
+        assert!(fx.allows_write("done", 2));
+        assert!(!fx.allows_write("done", 0));
+        assert!(!fx.allows_write("count", 0));
+        assert!(SharedEffects::Whole.allows_write("anything", 7));
+    }
+
+    #[test]
+    fn describe_names_cells() {
+        let fx = SharedEffects::cells([("count", 0)], [("handled", 1)]);
+        assert_eq!(fx.describe(), "reads [count], writes [handled[1]]");
+    }
+}

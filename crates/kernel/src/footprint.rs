@@ -19,17 +19,23 @@
 //! * `chess_core::TransitionSystem::footprint` — the abstract-system hook
 //!   that the model-checking strategies key their sleep sets on.
 //!
-//! # Conservatism
+//! # Shared-state precision
 //!
-//! Every kernel operation's footprint includes a write to
-//! [`ObjectRef::SharedState`]: the guest's *apply* half
-//! (`GuestThread::on_op`) receives `&mut S` on every step, so the kernel
-//! cannot prove that any two guest transitions commute on the shared
-//! state. This keeps kernel footprints sound (all kernel transitions are
-//! pairwise dependent, so reduction degenerates to no pruning) while still
-//! carrying precise per-object information for trace rendering and for
-//! systems — like the fuzz generator's — whose shared-state accesses are
-//! statically known and can override the conservative default.
+//! The guest's *apply* half (`GuestThread::on_op`) receives `&mut S` on
+//! every step, so the kernel cannot prove on its own that any two guest
+//! transitions commute on the shared state. Guests therefore *declare*
+//! their shared-state effects through
+//! [`GuestThread::shared_effects`](crate::GuestThread::shared_effects):
+//! a read-set/write-set over named cells
+//! ([`ObjectRef::Cell`]) that
+//! [`Kernel::next_footprint`](crate::Kernel::next_footprint) merges into
+//! the op's sync-object accesses. The default declaration is
+//! [`SharedEffects::Whole`](crate::SharedEffects) — a conservative write
+//! to [`ObjectRef::SharedState`], which [overlaps](ObjectRef::overlaps)
+//! every cell — so guests that do not opt in stay sound (all of their
+//! transitions remain pairwise dependent and reduction degenerates to no
+//! pruning for them). Declarations can be checked at runtime: see
+//! [`Kernel::set_validate_effects`](crate::Kernel::set_validate_effects).
 
 use std::fmt;
 
@@ -68,8 +74,22 @@ pub enum AccessKind {
 impl AccessKind {
     /// Returns true when two accesses of these kinds on the *same* object
     /// conflict (i.e. the transitions may not commute).
+    ///
+    /// Two reads commute. A [`Fence`](AccessKind::Fence) only waits for
+    /// the issuing thread's own store buffer to drain, so it conflicts
+    /// with the transitions that change that buffer's contents —
+    /// [`Buffered`](AccessKind::Buffered) enqueues and
+    /// [`Flush`](AccessKind::Flush) drains — and with nothing else: two
+    /// fences on the same buffer commute (both are no-ops on an empty
+    /// buffer), and a fence never conflicts with plain reads or writes.
+    /// Every other same-object pairing conflicts.
     pub fn conflicts(self, other: AccessKind) -> bool {
-        !(self == AccessKind::Read && other == AccessKind::Read)
+        use AccessKind::{Buffered, Fence, Flush, Read};
+        match (self, other) {
+            (Read, Read) => false,
+            (Fence, o) | (o, Fence) => matches!(o, Buffered | Flush),
+            _ => true,
+        }
     }
 
     /// Short lower-case label used in trace rendering.
@@ -100,9 +120,14 @@ impl fmt::Display for AccessKind {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[non_exhaustive]
 pub enum ObjectRef {
-    /// The kernel's shared guest state `S` (conservative: every guest
-    /// `on_op` may mutate it).
+    /// The kernel's shared guest state `S` as a whole (conservative:
+    /// the guest declared no precise effects, so its `on_op` may mutate
+    /// anything). Overlaps every [`Cell`](ObjectRef::Cell).
     SharedState,
+    /// One named cell of the kernel's shared guest state, as declared by
+    /// a guest's `shared_effects` hook: a static cell name plus an index
+    /// for array-shaped cells (scalar cells use index 0).
+    Cell(&'static str, u32),
     /// Another thread, as touched by `Join`.
     Thread(ThreadId),
     /// A kernel mutex.
@@ -131,10 +156,28 @@ pub enum ObjectRef {
     Custom(&'static str, u32),
 }
 
+impl ObjectRef {
+    /// Returns true when two object references may denote overlapping
+    /// state. Distinct references are disjoint, except that the whole
+    /// shared state overlaps every declared cell: a guest that declares
+    /// precise effects must still conflict with one that keeps the
+    /// conservative whole-state default.
+    pub fn overlaps(self, other: ObjectRef) -> bool {
+        self == other
+            || matches!(
+                (self, other),
+                (ObjectRef::SharedState, ObjectRef::Cell(..))
+                    | (ObjectRef::Cell(..), ObjectRef::SharedState)
+            )
+    }
+}
+
 impl fmt::Display for ObjectRef {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ObjectRef::SharedState => write!(f, "shared"),
+            ObjectRef::Cell(name, 0) => write!(f, "{name}"),
+            ObjectRef::Cell(name, index) => write!(f, "{name}[{index}]"),
             ObjectRef::Thread(t) => write!(f, "{t:?}"),
             ObjectRef::Mutex(id) => write!(f, "{id}"),
             ObjectRef::RwLock(id) => write!(f, "{id}"),
@@ -165,10 +208,11 @@ impl Access {
         Access { object, kind }
     }
 
-    /// Returns true when this access conflicts with `other`: same object,
-    /// and not both reads.
+    /// Returns true when this access conflicts with `other`: the objects
+    /// [overlap](ObjectRef::overlaps), and the kinds
+    /// [conflict](AccessKind::conflicts).
     pub fn conflicts(&self, other: &Access) -> bool {
-        self.object == other.object && self.kind.conflicts(other.kind)
+        self.object.overlaps(other.object) && self.kind.conflicts(other.kind)
     }
 }
 
@@ -250,14 +294,27 @@ impl Footprint {
     /// a compact annotation (e.g. `acquire mutex0`), or `None` when there
     /// is nothing informative to show.
     ///
-    /// The conservative shared-state write that every kernel op carries is
-    /// omitted: it annotates every line identically and would drown the
-    /// per-object information this rendering exists to surface.
+    /// The conservative whole-state write that undeclared kernel ops carry
+    /// is omitted: it annotates every line identically and would drown the
+    /// per-object information this rendering exists to surface. The
+    /// [`Buffer`](ObjectRef::Buffer) bookkeeping markers that buffered
+    /// stores and flushes carry (so a sleeping flush wakes when its
+    /// owner's buffer changes) are likewise omitted — the
+    /// [`Atomic`](ObjectRef::Atomic) access already names the cell.
     pub fn describe(&self) -> Option<String> {
         let parts: Vec<String> = self
             .accesses
             .iter()
-            .filter(|a| a.object != ObjectRef::SharedState)
+            .filter(|a| {
+                a.object != ObjectRef::SharedState
+                    && !matches!(
+                        (a.object, a.kind),
+                        (
+                            ObjectRef::Buffer(_),
+                            AccessKind::Buffered | AccessKind::Flush
+                        )
+                    )
+            })
             .map(|a| match a.object {
                 // The buffer is implied by the issuing thread: `[fence]`
                 // reads better than `[fence buffer(t0)]`.
@@ -273,13 +330,16 @@ impl Footprint {
     }
 }
 
-/// Maps a kernel operation to its footprint.
+/// Maps a kernel operation to its *synchronization-object* footprint.
 ///
-/// Every non-`Finished` op carries a conservative write to
-/// [`ObjectRef::SharedState`] on top of its precise sync-object accesses,
-/// because the guest's `on_op` receives `&mut S` when the op executes (see
-/// the module docs). `Finished` threads never step, so their footprint is
-/// empty.
+/// This covers only the kernel-owned objects the op touches (mutexes,
+/// channels, atomics, ...). What the op does to the guest's shared state
+/// `S` is not the op's to know: the guest declares it through
+/// [`GuestThread::shared_effects`](crate::GuestThread::shared_effects),
+/// and [`Kernel::next_footprint`](crate::Kernel::next_footprint) merges
+/// the declaration (default: a conservative whole-state write) into the
+/// accesses returned here. Purely local ops (`Local`, `Yield`, `Sleep`,
+/// `Choose`) therefore map to [`Footprint::local`] at this layer.
 pub fn footprint_of_op(op: &OpDesc) -> Footprint {
     use AccessKind::{Acquire, Read, Release, Write};
     let mut fp = Footprint::local();
@@ -332,9 +392,6 @@ pub fn footprint_of_op(op: &OpDesc) -> Footprint {
         OpDesc::Fence => {}
         OpDesc::Flush(t) => fp.push(ObjectRef::Buffer(t), AccessKind::Flush),
     }
-    // Conservative: the guest's apply half may mutate the shared state on
-    // every executed op.
-    fp.push(ObjectRef::SharedState, Write);
     fp
 }
 
@@ -374,14 +431,50 @@ mod tests {
     }
 
     #[test]
-    fn kernel_ops_carry_conservative_shared_write() {
-        let fp = footprint_of_op(&OpDesc::Local);
-        assert!(fp
-            .accesses()
-            .iter()
-            .any(|a| a.object == ObjectRef::SharedState && a.kind == AccessKind::Write));
-        // Finished never steps: empty footprint.
-        assert!(footprint_of_op(&OpDesc::Finished).accesses().is_empty());
+    fn local_ops_have_no_sync_accesses() {
+        // The shared-state effect is the guest's declaration, merged in
+        // by `Kernel::next_footprint` — not the op's.
+        for op in [
+            OpDesc::Local,
+            OpDesc::Yield,
+            OpDesc::Sleep,
+            OpDesc::Finished,
+        ] {
+            assert!(
+                footprint_of_op(&op).accesses().is_empty(),
+                "{op:?} should carry no sync-object access"
+            );
+        }
+    }
+
+    #[test]
+    fn whole_state_overlaps_every_cell() {
+        let whole =
+            Footprint::from_accesses([Access::new(ObjectRef::SharedState, AccessKind::Write)]);
+        let cell =
+            Footprint::from_accesses([Access::new(ObjectRef::Cell("count", 0), AccessKind::Read)]);
+        let other =
+            Footprint::from_accesses([Access::new(ObjectRef::Cell("done", 1), AccessKind::Write)]);
+        assert!(whole.dependent(&cell), "Whole must conflict with any cell");
+        assert!(cell.dependent(&whole));
+        assert!(!cell.dependent(&other), "distinct cells are disjoint");
+        assert!(!cell.dependent(&cell), "two reads of the same cell commute");
+    }
+
+    #[test]
+    fn fence_conflicts_only_with_own_buffer_traffic() {
+        use AccessKind::{Buffered, Fence, Flush, Read, Write};
+        assert!(Fence.conflicts(Buffered));
+        assert!(Fence.conflicts(Flush));
+        assert!(Buffered.conflicts(Fence));
+        assert!(Flush.conflicts(Fence));
+        // A fence waits only on the issuing thread's own buffer: it
+        // commutes with reads, writes, and other fences.
+        assert!(!Fence.conflicts(Read));
+        assert!(!Read.conflicts(Fence));
+        assert!(!Fence.conflicts(Write));
+        assert!(!Write.conflicts(Fence));
+        assert!(!Fence.conflicts(Fence));
     }
 
     #[test]

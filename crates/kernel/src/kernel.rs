@@ -4,6 +4,7 @@
 use std::fmt;
 
 use crate::capture::{Capture, StateWriter};
+use crate::effects::SharedEffects;
 use crate::footprint::{footprint_of_op, AccessKind, Footprint, ObjectRef};
 use crate::ids::{
     AtomicId, BarrierId, ChannelId, CondvarId, EventId, MutexId, RwLockId, SemaphoreId,
@@ -73,9 +74,9 @@ pub struct StepInfo {
     pub kind: StepKind,
     /// The operation's result as delivered to the guest.
     pub result: OpResult,
-    /// The dependence footprint of the executed operation (see
-    /// [`crate::footprint`] for the conservative shared-state write every
-    /// kernel op carries).
+    /// The dependence footprint of the executed operation: its
+    /// sync-object accesses merged with the guest's declared
+    /// shared-state effects (see [`crate::footprint`]).
     pub footprint: Footprint,
 }
 
@@ -147,6 +148,10 @@ pub struct Kernel<S> {
     objects: Objects,
     violation: Option<Violation>,
     stats: ExecStats,
+    /// When set, [`Kernel::step_validated`] (reached through the
+    /// `TransitionSystem` impl) diffs the shared state around every step
+    /// and reports mutations outside the guest's declared write-set.
+    validate_effects: bool,
 }
 
 impl<S> Kernel<S> {
@@ -172,7 +177,23 @@ impl<S> Kernel<S> {
             objects: Objects::default(),
             violation: None,
             stats: ExecStats::default(),
+            validate_effects: false,
         }
+    }
+
+    /// Arms (or disarms) per-step effect validation: with it on, the
+    /// `TransitionSystem` impl routes every step through
+    /// [`Kernel::step_validated`], which diffs the shared-state capture
+    /// around the step and reports any mutation outside the guest's
+    /// declared write-set as a violation. Off by default — the diff
+    /// costs two captures per step.
+    pub fn set_validate_effects(&mut self, on: bool) {
+        self.validate_effects = on;
+    }
+
+    /// Is per-step effect validation armed?
+    pub fn validate_effects(&self) -> bool {
+        self.validate_effects
     }
 
     /// The memory model this kernel executes under.
@@ -383,46 +404,67 @@ impl<S> Kernel<S> {
     /// The dependence footprint of the transition thread `t` would take,
     /// queryable before stepping.
     ///
-    /// Like every kernel footprint this includes a conservative write to
-    /// the shared guest state (the guest's `on_op` receives `&mut S`), so
-    /// kernel transitions are pairwise dependent; the precise sync-object
-    /// accesses are still reported for trace rendering and diagnostics.
+    /// Sync-object accesses come from the op itself
+    /// ([`footprint_of_op`]); shared-state accesses come from the
+    /// guest's [`GuestThread::shared_effects`] declaration (default: a
+    /// conservative whole-state write, which keeps undeclared guests
+    /// pairwise dependent).
     pub fn next_footprint(&self, t: ThreadId) -> Footprint {
         match &self.lanes[t.index()] {
             // A flush writes memory cells but never the shared guest
             // state (no `on_op` runs), so it provably commutes with
             // transitions that touch neither its locations nor its
-            // buffer. Each distinct buffered location is a potential
-            // target (under PSO the choice picks one; under TSO only the
-            // oldest drains, but one conservative access is cheap).
-            Lane::Flusher { guest, .. } => {
+            // buffer. Under TSO only the oldest store can drain, so only
+            // its location is named; under PSO the choice picks any
+            // distinct location, so all of them are. The `Buffer(owner)`
+            // marker keeps a sleeping flush decision dependent with the
+            // owner's later buffered stores, which can change the
+            // flusher's choice set (see [`Kernel::branching`]).
+            Lane::Flusher { guest, owner, .. } => {
                 let mut fp = Footprint::local();
-                for a in self.buffers[*guest].locations() {
-                    fp.push(ObjectRef::Atomic(a), AccessKind::Flush);
+                match self.memory {
+                    MemoryModel::Pso => {
+                        for a in self.buffers[*guest].locations() {
+                            fp.push(ObjectRef::Atomic(a), AccessKind::Flush);
+                        }
+                    }
+                    _ => {
+                        if let Some(a) = self.buffers[*guest].oldest_location() {
+                            fp.push(ObjectRef::Atomic(a), AccessKind::Flush);
+                        }
+                    }
                 }
+                fp.push(ObjectRef::Buffer(*owner), AccessKind::Flush);
                 fp
             }
             Lane::Guest(g) => {
                 let op = self.threads[*g].guest.next_op(&self.shared);
-                match op {
+                let mut fp = match op {
                     // A buffered store touches the cell (its flush will
                     // change it) but as a `Buffered` access, so traces
                     // distinguish `[buffer atomic0]` from `[write
-                    // atomic0]`.
+                    // atomic0]`; the `Buffer(t)` marker makes it
+                    // dependent with sleeping flush and fence decisions
+                    // on this thread's buffer.
                     OpDesc::AtomicStore(a, _) if self.memory.buffers() => {
                         let mut fp = Footprint::local();
                         fp.push(ObjectRef::Atomic(a), AccessKind::Buffered);
-                        fp.push(ObjectRef::SharedState, AccessKind::Write);
+                        fp.push(ObjectRef::Buffer(t), AccessKind::Buffered);
                         fp
                     }
                     OpDesc::Fence => {
                         let mut fp = Footprint::local();
                         fp.push(ObjectRef::Buffer(t), AccessKind::Fence);
-                        fp.push(ObjectRef::SharedState, AccessKind::Write);
                         fp
                     }
-                    op => footprint_of_op(&op),
+                    ref op => footprint_of_op(op),
+                };
+                // Finished threads never step: keep their footprint
+                // empty rather than asking for effects they won't have.
+                if !matches!(op, OpDesc::Finished) {
+                    self.threads[*g].guest.shared_effects(&op).apply_to(&mut fp);
                 }
+                fp
             }
         }
     }
@@ -671,6 +713,95 @@ impl<S: Capture> Kernel<S> {
     pub fn fingerprint(&self) -> u64 {
         self.capture_state().fingerprint()
     }
+
+    /// Captures the shared state alone (not threads or objects).
+    fn capture_shared(&self) -> Vec<u8> {
+        let mut w = StateWriter::new();
+        self.shared.capture(&mut w);
+        w.into_bytes()
+    }
+
+    /// Captures one named cell of the shared state.
+    fn capture_cell(&self, name: &'static str, index: u32) -> Vec<u8> {
+        let mut w = StateWriter::new();
+        self.shared.capture_cell(name, index, &mut w);
+        w.into_bytes()
+    }
+
+    /// Executes one transition like [`Kernel::step`], additionally
+    /// checking the guest's [`GuestThread::shared_effects`] declaration
+    /// against the mutation the step actually performed.
+    ///
+    /// The check diffs the per-cell captures ([`Capture::cells`] /
+    /// [`Capture::capture_cell`]) and the whole shared-state capture
+    /// around the step. A changed cell outside the declared write-set —
+    /// or a changed whole-state capture with no named cell changed, i.e.
+    /// a mutation of un-named residue — is reported as a violation.
+    /// Steps declared [`SharedEffects::Whole`] and flusher-lane steps
+    /// (which never run guest code) skip the diff.
+    ///
+    /// This is the validation mode behind the `TransitionSystem` impl
+    /// when [`Kernel::set_validate_effects`] is armed; it checks the
+    /// write half of the declaration contract mechanically (the read
+    /// half is not observable from state diffs).
+    pub fn step_validated(&mut self, t: ThreadId, choice: u32) -> StepInfo {
+        let effects = match &self.lanes[t.index()] {
+            // A flush never runs guest code: `on_op` is not called and
+            // the shared state cannot change.
+            Lane::Flusher { .. } => SharedEffects::Pure,
+            Lane::Guest(g) => {
+                let op = self.threads[*g].guest.next_op(&self.shared);
+                self.threads[*g].guest.shared_effects(&op)
+            }
+        };
+        if effects.is_whole() {
+            // Nothing to check: the declaration permits any mutation.
+            return self.step(t, choice);
+        }
+        let label = self.thread_name(t).to_string();
+        let op = self.next_op(t);
+        let cells = self.shared.cells();
+        let before: Vec<Vec<u8>> = cells
+            .iter()
+            .map(|&(n, i)| self.capture_cell(n, i))
+            .collect();
+        let whole_before = self.capture_shared();
+        let info = self.step(t, choice);
+        let undeclared: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .filter(|&(idx, &(n, i))| {
+                !effects.allows_write(n, i) && self.capture_cell(n, i) != before[idx]
+            })
+            .map(|(_, &(n, i))| ObjectRef::Cell(n, i).to_string())
+            .collect();
+        if !undeclared.is_empty() {
+            self.report_violation(
+                t,
+                format!(
+                    "undeclared shared-state write: '{label}' ({op:?}) declared {} but \
+                     mutated [{}]",
+                    effects.describe(),
+                    undeclared.join(", ")
+                ),
+            );
+        } else if self.capture_shared() != whole_before
+            && cells
+                .iter()
+                .enumerate()
+                .all(|(idx, &(n, i))| self.capture_cell(n, i) == before[idx])
+        {
+            self.report_violation(
+                t,
+                format!(
+                    "undeclared shared-state write: '{label}' ({op:?}) declared {} but \
+                     mutated shared state outside the named cells",
+                    effects.describe()
+                ),
+            );
+        }
+        info
+    }
 }
 
 impl<S: Clone> Clone for Kernel<S> {
@@ -691,6 +822,7 @@ impl<S: Clone> Clone for Kernel<S> {
             objects: self.objects.clone(),
             violation: self.violation.clone(),
             stats: self.stats,
+            validate_effects: self.validate_effects,
         }
     }
 }
@@ -704,6 +836,7 @@ impl<S: fmt::Debug> fmt::Debug for Kernel<S> {
             .field("objects", &self.objects.count())
             .field("violation", &self.violation)
             .field("stats", &self.stats)
+            .field("validate_effects", &self.validate_effects)
             .finish()
     }
 }
@@ -1338,5 +1471,221 @@ mod tests {
             .accesses()
             .iter()
             .all(|a| a.object != crate::ObjectRef::SharedState));
+    }
+
+    /// Shared state with two named cells for the effect-API tests.
+    #[derive(Clone, Default)]
+    struct Pair {
+        x: u64,
+        y: u64,
+    }
+
+    impl Capture for Pair {
+        fn capture(&self, w: &mut StateWriter) {
+            w.write_u64(self.x);
+            w.write_u64(self.y);
+        }
+        fn cells(&self) -> Vec<(&'static str, u32)> {
+            vec![("x", 0), ("y", 0)]
+        }
+        fn capture_cell(&self, name: &'static str, _index: u32, w: &mut StateWriter) {
+            match name {
+                "x" => w.write_u64(self.x),
+                "y" => w.write_u64(self.y),
+                _ => {}
+            }
+        }
+    }
+
+    /// Bumps one cell; declares either the truth or a lie.
+    #[derive(Clone)]
+    struct CellBumper {
+        pc: u8,
+        target: &'static str,
+        honest: bool,
+    }
+
+    impl GuestThread<Pair> for CellBumper {
+        fn next_op(&self, _: &Pair) -> OpDesc {
+            if self.pc == 0 {
+                OpDesc::Local
+            } else {
+                OpDesc::Finished
+            }
+        }
+        fn on_op(&mut self, _: OpResult, sh: &mut Pair, _: &mut Effects<Pair>) {
+            match self.target {
+                "x" => sh.x += 1,
+                _ => sh.y += 1,
+            }
+            self.pc += 1;
+        }
+        fn shared_effects(&self, _: &OpDesc) -> SharedEffects {
+            if self.honest {
+                SharedEffects::writes([(self.target, 0)])
+            } else {
+                SharedEffects::Pure
+            }
+        }
+        fn box_clone(&self) -> Box<dyn GuestThread<Pair>> {
+            Box::new(self.clone())
+        }
+    }
+
+    #[test]
+    fn declared_effects_make_disjoint_cell_writers_independent() {
+        let mut k = Kernel::new(Pair::default());
+        let a = k.spawn(CellBumper {
+            pc: 0,
+            target: "x",
+            honest: true,
+        });
+        let b = k.spawn(CellBumper {
+            pc: 0,
+            target: "y",
+            honest: true,
+        });
+        let fa = k.next_footprint(a);
+        let fb = k.next_footprint(b);
+        assert_eq!(fa.describe().as_deref(), Some("write x"));
+        assert!(!fa.dependent(&fb), "writes to distinct cells commute");
+        assert!(fa.dependent(&fa.clone()), "same-cell writes conflict");
+    }
+
+    #[test]
+    fn pure_yields_are_independent() {
+        // Regression: pure scheduling ops used to stamp a whole-state
+        // write, making two yielding threads' transitions dependent at
+        // the kernel level.
+        #[derive(Clone)]
+        struct Yielder(u8);
+        impl GuestThread<Pair> for Yielder {
+            fn next_op(&self, _: &Pair) -> OpDesc {
+                if self.0 == 0 {
+                    OpDesc::Yield
+                } else {
+                    OpDesc::Finished
+                }
+            }
+            fn on_op(&mut self, _: OpResult, _: &mut Pair, _: &mut Effects<Pair>) {
+                self.0 += 1;
+            }
+            fn shared_effects(&self, _: &OpDesc) -> SharedEffects {
+                SharedEffects::Pure
+            }
+            fn box_clone(&self) -> Box<dyn GuestThread<Pair>> {
+                Box::new(self.clone())
+            }
+        }
+        let mut k = Kernel::new(Pair::default());
+        let a = k.spawn(Yielder(0));
+        let b = k.spawn(Yielder(0));
+        let (fa, fb) = (k.next_footprint(a), k.next_footprint(b));
+        assert!(fa.accesses().is_empty(), "a pure yield has no accesses");
+        assert!(!fa.dependent(&fb), "two pure yields are independent");
+        // An undeclared guest's op stays conservatively dependent.
+        let mut conservative = Kernel::new(0u32);
+        let m = conservative.add_mutex();
+        let c = conservative.spawn(Locker { pc: 0, m });
+        let d = conservative.spawn(Locker { pc: 0, m });
+        assert!(conservative
+            .next_footprint(c)
+            .dependent(&conservative.next_footprint(d)));
+    }
+
+    #[test]
+    fn validation_accepts_honest_declarations() {
+        let mut k = Kernel::new(Pair::default());
+        let a = k.spawn(CellBumper {
+            pc: 0,
+            target: "x",
+            honest: true,
+        });
+        k.step_validated(a, 0);
+        assert_eq!(k.status(), KernelStatus::Terminated);
+        assert_eq!(k.shared().x, 1);
+    }
+
+    #[test]
+    fn validation_flags_undeclared_cell_write() {
+        let mut k = Kernel::new(Pair::default());
+        let a = k.spawn(CellBumper {
+            pc: 0,
+            target: "y",
+            honest: false,
+        });
+        k.step_validated(a, 0);
+        match k.status() {
+            KernelStatus::Violation(v) => {
+                assert!(
+                    v.message.contains("undeclared shared-state write"),
+                    "unexpected message: {}",
+                    v.message
+                );
+                assert!(
+                    v.message.contains("[y]"),
+                    "must name the cell: {}",
+                    v.message
+                );
+            }
+            s => panic!("expected a violation, got {s:?}"),
+        }
+    }
+
+    #[test]
+    fn validation_flags_mutation_outside_named_cells() {
+        // `z` is captured but not named as a cell: mutating it changes
+        // the whole-state capture while every named cell stays equal.
+        #[derive(Clone, Default)]
+        struct WithResidue {
+            x: u64,
+            z: u64,
+        }
+        impl Capture for WithResidue {
+            fn capture(&self, w: &mut StateWriter) {
+                w.write_u64(self.x);
+                w.write_u64(self.z);
+            }
+            fn cells(&self) -> Vec<(&'static str, u32)> {
+                vec![("x", 0)]
+            }
+            fn capture_cell(&self, name: &'static str, _i: u32, w: &mut StateWriter) {
+                if name == "x" {
+                    w.write_u64(self.x);
+                }
+            }
+        }
+        #[derive(Clone)]
+        struct ResidueWriter(u8);
+        impl GuestThread<WithResidue> for ResidueWriter {
+            fn next_op(&self, _: &WithResidue) -> OpDesc {
+                if self.0 == 0 {
+                    OpDesc::Local
+                } else {
+                    OpDesc::Finished
+                }
+            }
+            fn on_op(&mut self, _: OpResult, sh: &mut WithResidue, _: &mut Effects<WithResidue>) {
+                sh.z += 1;
+                self.0 += 1;
+            }
+            fn shared_effects(&self, _: &OpDesc) -> SharedEffects {
+                SharedEffects::writes([("x", 0)])
+            }
+            fn box_clone(&self) -> Box<dyn GuestThread<WithResidue>> {
+                Box::new(self.clone())
+            }
+        }
+        let mut k = Kernel::new(WithResidue::default());
+        let a = k.spawn(ResidueWriter(0));
+        k.step_validated(a, 0);
+        match k.status() {
+            KernelStatus::Violation(v) => assert!(
+                v.message.contains("outside the named cells"),
+                "unexpected message: {}",
+                v.message
+            ),
+            s => panic!("expected a violation, got {s:?}"),
+        }
     }
 }

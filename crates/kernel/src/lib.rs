@@ -86,6 +86,7 @@
 #![warn(missing_docs)]
 
 mod capture;
+pub mod effects;
 pub mod footprint;
 mod ids;
 mod kernel;
@@ -96,6 +97,7 @@ mod thread;
 mod tid;
 
 pub use capture::{Capture, StateWriter};
+pub use effects::SharedEffects;
 pub use footprint::{footprint_of_op, Access, AccessKind, Footprint, ObjectRef};
 pub use ids::{AtomicId, BarrierId, ChannelId, CondvarId, EventId, MutexId, RwLockId, SemaphoreId};
 pub use kernel::{ExecStats, Kernel, KernelStatus, StepInfo, Violation};

@@ -154,6 +154,12 @@ impl StoreBuffer {
         self.locations().len()
     }
 
+    /// The location of the oldest buffered store — the only one a TSO
+    /// flush can drain next.
+    pub fn oldest_location(&self) -> Option<AtomicId> {
+        self.entries.front().map(|&(a, _)| a)
+    }
+
     /// Drains the oldest buffered store (TSO flush order).
     pub fn pop_oldest(&mut self) -> Option<(AtomicId, u64)> {
         self.entries.pop_front()

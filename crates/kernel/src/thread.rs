@@ -11,6 +11,7 @@
 use std::fmt;
 
 use crate::capture::StateWriter;
+use crate::effects::SharedEffects;
 use crate::op::{OpDesc, OpResult};
 use crate::tid::ThreadId;
 
@@ -73,6 +74,29 @@ pub trait GuestThread<S> {
     /// Applies the transition body after the kernel executed the operation
     /// described by [`GuestThread::next_op`].
     fn on_op(&mut self, result: OpResult, shared: &mut S, fx: &mut Effects<S>);
+
+    /// Declares which named shared-state cells the transition executing
+    /// `op` touches, for dependence-aware reduction.
+    ///
+    /// The default, [`SharedEffects::Whole`], is the sound conservative
+    /// answer: `on_op` receives `&mut S`, so an undeclared guest is
+    /// assumed to write the whole shared state and its transitions stay
+    /// pairwise dependent. Overriding this with precise per-cell
+    /// read/write sets is what lets sleep-set reduction prune kernel
+    /// schedules.
+    ///
+    /// The declaration is a *promise* (see the
+    /// [`SharedEffects`] soundness contract): the write set must cover
+    /// every cell `on_op` may mutate, and the read set every cell that
+    /// can influence the thread — including cells `next_op` consults to
+    /// choose `op`. Promises about the write half are checkable: run the
+    /// kernel with
+    /// [`set_validate_effects`](crate::Kernel::set_validate_effects) and
+    /// any mutation outside the declared write set becomes a violation.
+    fn shared_effects(&self, op: &OpDesc) -> SharedEffects {
+        let _ = op;
+        SharedEffects::Whole
+    }
 
     /// A human-readable name for traces and counterexamples.
     fn name(&self) -> String {

@@ -18,6 +18,7 @@
 //! | `sleep-verdict` | — | sleep-set DFS reports the same verdict class as unreduced DFS |
 //! | `sleep-executions` | — | sleep-set DFS explores a subset (never more executions) |
 //! | `sleep-coverage` | Thm 5 | on violation-free systems the reduced search still covers every yield-free-reachable state |
+//! | `sleep-terminal-states` | — | on error-free systems both searches reach exactly the same terminal states |
 //! | `sleep-parallel-agreement` | — | reduced parallel DFS agrees on error existence |
 //!
 //! The `sleep-*` oracles run only when [`OracleLimits::reduce`] is set:
@@ -140,6 +141,9 @@ struct DifferentialObserver {
     coverage: CoverageTracker,
     in_execution: HashMap<u64, u32>,
     max_unrolling: u32,
+    /// Distinct final states of executions that ran to clean termination,
+    /// for the `sleep-terminal-states` oracle.
+    terminal_states: HashSet<Vec<u8>>,
 }
 
 impl DifferentialObserver {
@@ -148,6 +152,7 @@ impl DifferentialObserver {
             coverage: CoverageTracker::new(),
             in_execution: HashMap::new(),
             max_unrolling: 0,
+            terminal_states: HashSet::new(),
         }
     }
 }
@@ -160,8 +165,11 @@ impl<P: TransitionSystem + ?Sized> Observer<P> for DifferentialObserver {
         self.max_unrolling = self.max_unrolling.max(*n);
     }
 
-    fn on_execution_end(&mut self, _sys: &P, _depth: usize) {
+    fn on_execution_end(&mut self, sys: &P, _depth: usize) {
         self.in_execution.clear();
+        if sys.status() == SystemStatus::Terminated {
+            self.terminal_states.insert(sys.state_bytes());
+        }
     }
 }
 
@@ -293,6 +301,28 @@ where
                     format!(
                         "{missed_r} of {total_r0} yield-free-reachable states not visited \
                          by the reduced search"
+                    ),
+                );
+            }
+            // Sleep sets prune redundant interleavings, never outcomes:
+            // on an error-free system both searches must run every
+            // execution to clean termination and agree exactly on the
+            // set of terminal states reached.
+            if obs_r.terminal_states != obs.terminal_states {
+                let only_plain = obs
+                    .terminal_states
+                    .difference(&obs_r.terminal_states)
+                    .count();
+                let only_reduced = obs_r
+                    .terminal_states
+                    .difference(&obs.terminal_states)
+                    .count();
+                disc(
+                    &mut verdict,
+                    "sleep-terminal-states",
+                    format!(
+                        "terminal-state sets differ: {only_plain} states only in the \
+                         unreduced search, {only_reduced} only in the reduced search"
                     ),
                 );
             }

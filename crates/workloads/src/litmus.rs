@@ -23,7 +23,8 @@
 //! stays forbidden).
 
 use chess_kernel::{
-    AtomicId, Effects, GuestThread, Kernel, MemoryModel, OpDesc, OpResult, StateWriter,
+    AtomicId, Effects, GuestThread, Kernel, MemoryModel, OpDesc, OpResult, SharedEffects,
+    StateWriter,
 };
 
 /// Shared state of a litmus program: a global register file the loads
@@ -42,6 +43,25 @@ impl chess_kernel::Capture for LitmusShared {
             w.write_u64(r);
         }
         w.write_u32(self.done);
+    }
+
+    fn cells(&self) -> Vec<(&'static str, u32)> {
+        let mut cells: Vec<(&'static str, u32)> =
+            (0..self.regs.len()).map(|i| ("reg", i as u32)).collect();
+        cells.push(("done", 0));
+        cells
+    }
+
+    fn capture_cell(&self, name: &'static str, index: u32, w: &mut StateWriter) {
+        match name {
+            "reg" => {
+                if let Some(&r) = self.regs.get(index as usize) {
+                    w.write_u64(r);
+                }
+            }
+            "done" => w.write_u32(self.done),
+            _ => {}
+        }
     }
 }
 
@@ -66,6 +86,8 @@ struct LitmusThread {
     ops: Vec<LOp>,
     pc: usize,
     verdict: Verdict,
+    /// Size of the program's register file (the verdict reads all of it).
+    regs: u32,
 }
 
 impl GuestThread<LitmusShared> for LitmusThread {
@@ -90,6 +112,30 @@ impl GuestThread<LitmusShared> for LitmusThread {
                     fx.fail(message);
                 }
             }
+        }
+    }
+
+    fn shared_effects(&self, _: &OpDesc) -> SharedEffects {
+        let mut reads: Vec<(&'static str, u32)> = Vec::new();
+        let mut writes: Vec<(&'static str, u32)> = Vec::new();
+        match self.ops.get(self.pc) {
+            None => return SharedEffects::Pure,
+            Some(&LOp::Load(_, reg)) => writes.push(("reg", reg as u32)),
+            // Stores and fences touch only atomics/buffers, not the
+            // shared register file.
+            Some(LOp::Store(..) | LOp::Fence) => {}
+        }
+        if self.pc + 1 == self.ops.len() {
+            // The retiring op bumps `done` and, when last to retire,
+            // runs the verdict over the whole register file.
+            reads.push(("done", 0));
+            reads.extend((0..self.regs).map(|i| ("reg", i)));
+            writes.push(("done", 0));
+        }
+        if reads.is_empty() && writes.is_empty() {
+            SharedEffects::Pure
+        } else {
+            SharedEffects::cells(reads, writes)
         }
     }
 
@@ -136,6 +182,7 @@ fn litmus(
             ops: build(&ids),
             pc: 0,
             verdict,
+            regs: regs as u32,
         });
     }
     k

@@ -20,8 +20,8 @@
 //! programs checkable at all.
 
 use chess_kernel::{
-    Capture, ChannelId, Effects, EventId, GuestThread, Kernel, OpDesc, OpResult, StateWriter,
-    ThreadId,
+    Capture, ChannelId, Effects, EventId, GuestThread, Kernel, OpDesc, OpResult, SharedEffects,
+    StateWriter, ThreadId,
 };
 
 /// Boot scenario configuration.
@@ -73,6 +73,23 @@ impl Capture for BootShared {
             w.write_u32(h);
         }
         w.write_u32(self.acks);
+    }
+
+    fn cells(&self) -> Vec<(&'static str, u32)> {
+        vec![("ready", 0), ("handled", 0), ("acks", 0)]
+    }
+
+    fn capture_cell(&self, name: &'static str, _index: u32, w: &mut StateWriter) {
+        match name {
+            "ready" => w.write_u32(self.ready_count),
+            "handled" => {
+                for &h in &self.handled {
+                    w.write_u32(h);
+                }
+            }
+            "acks" => w.write_u32(self.acks),
+            _ => {}
+        }
     }
 }
 
@@ -155,6 +172,14 @@ impl GuestThread<BootShared> for Service {
             ServicePc::Cleanup => ServicePc::Done,
             ServicePc::Done => unreachable!(),
         };
+    }
+
+    fn shared_effects(&self, _: &OpDesc) -> SharedEffects {
+        match self.pc {
+            ServicePc::SignalReady => SharedEffects::cells([("ready", 0)], [("ready", 0)]),
+            ServicePc::Serve => SharedEffects::cells([("handled", 0)], [("handled", 0)]),
+            _ => SharedEffects::Pure,
+        }
     }
 
     fn name(&self) -> String {
@@ -312,6 +337,14 @@ impl GuestThread<BootShared> for BootController {
             }
             BootPc::Done => unreachable!(),
         };
+    }
+
+    fn shared_effects(&self, _: &OpDesc) -> SharedEffects {
+        match self.pc {
+            BootPc::CollectAcks => SharedEffects::cells([("acks", 0)], [("acks", 0)]),
+            BootPc::FinalCheck => SharedEffects::reads([("ready", 0), ("acks", 0), ("handled", 0)]),
+            _ => SharedEffects::Pure,
+        }
     }
 
     fn name(&self) -> String {

@@ -1,7 +1,9 @@
 //! Tiny teaching programs used throughout the documentation and tests:
 //! a racy counter, its lock-protected fix, and an AB–BA deadlock pair.
 
-use chess_kernel::{Effects, GuestThread, Kernel, MutexId, OpDesc, OpResult, StateWriter};
+use chess_kernel::{
+    Effects, GuestThread, Kernel, MutexId, OpDesc, OpResult, SharedEffects, StateWriter,
+};
 
 /// Shared state of the counter programs.
 #[derive(Debug, Clone, Default)]
@@ -18,6 +20,18 @@ impl chess_kernel::Capture for CounterShared {
     fn capture(&self, w: &mut StateWriter) {
         w.write_u64(self.count);
         w.write_u32(self.done);
+    }
+
+    fn cells(&self) -> Vec<(&'static str, u32)> {
+        vec![("count", 0), ("done", 0)]
+    }
+
+    fn capture_cell(&self, name: &'static str, _index: u32, w: &mut StateWriter) {
+        match name {
+            "count" => w.write_u64(self.count),
+            "done" => w.write_u32(self.done),
+            _ => {}
+        }
     }
 }
 
@@ -53,6 +67,16 @@ impl GuestThread<CounterShared> for RacyIncrement {
             _ => unreachable!(),
         }
         self.pc += 1;
+    }
+
+    fn shared_effects(&self, _: &OpDesc) -> SharedEffects {
+        match self.pc {
+            0 => SharedEffects::reads([("count", 0)]),
+            1 => SharedEffects::writes([("count", 0)]),
+            // The retiring step bumps `done` and, when last, checks `count`.
+            2 => SharedEffects::cells([("count", 0), ("done", 0)], [("done", 0)]),
+            _ => SharedEffects::Pure,
+        }
     }
 
     fn name(&self) -> String {
@@ -106,6 +130,17 @@ impl GuestThread<CounterShared> for LockedIncrement {
             _ => unreachable!(),
         }
         self.pc += 1;
+    }
+
+    fn shared_effects(&self, _: &OpDesc) -> SharedEffects {
+        match self.pc {
+            1 => SharedEffects::reads([("count", 0)]),
+            2 => SharedEffects::writes([("count", 0)]),
+            4 => SharedEffects::cells([("count", 0), ("done", 0)], [("done", 0)]),
+            // Lock acquire/release touch no shared-state cells (their
+            // synchronization footprint comes from the op itself).
+            _ => SharedEffects::Pure,
+        }
     }
 
     fn name(&self) -> String {
@@ -175,6 +210,10 @@ impl GuestThread<()> for TwoLocks {
 
     fn on_op(&mut self, _: OpResult, _: &mut (), _: &mut Effects<()>) {
         self.pc += 1;
+    }
+
+    fn shared_effects(&self, _: &OpDesc) -> SharedEffects {
+        SharedEffects::Pure
     }
 
     fn name(&self) -> String {

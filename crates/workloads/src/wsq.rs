@@ -48,7 +48,8 @@
 //!   a subsequently pushed item becomes invisible (lost item).
 
 use chess_kernel::{
-    Capture, Effects, GuestThread, Kernel, MutexId, OpDesc, OpResult, StateWriter, ThreadId,
+    Capture, Effects, GuestThread, Kernel, MutexId, OpDesc, OpResult, SharedEffects, StateWriter,
+    ThreadId,
 };
 
 /// Seeded bugs for the work-stealing queue (see module docs).
@@ -160,6 +161,38 @@ impl Capture for WsqShared {
             w.write_u8(t);
         }
         w.write_bool(self.owner_done);
+    }
+
+    // `deque` and `take` are aggregate cells: per-element precision buys
+    // little here because every take already serializes on `take`.
+    fn cells(&self) -> Vec<(&'static str, u32)> {
+        vec![
+            ("head", 0),
+            ("tail", 0),
+            ("deque", 0),
+            ("take", 0),
+            ("done", 0),
+        ]
+    }
+
+    fn capture_cell(&self, name: &'static str, _index: u32, w: &mut StateWriter) {
+        match name {
+            "head" => w.write_i64(self.head),
+            "tail" => w.write_i64(self.tail),
+            "deque" => {
+                for &c in &self.deque {
+                    w.write_u64(c);
+                }
+            }
+            "take" => {
+                for &t in &self.taken {
+                    w.write_u8(t);
+                }
+                w.write_u32(self.taken_count);
+            }
+            "done" => w.write_bool(self.owner_done),
+            _ => {}
+        }
     }
 }
 
@@ -353,6 +386,23 @@ impl GuestThread<WsqShared> for Owner {
         };
     }
 
+    fn shared_effects(&self, _: &OpDesc) -> SharedEffects {
+        use OwnerPc::*;
+        match self.pc {
+            Dispatch | PopLock | PopUnlockFail | PopUnlockOk | Done => SharedEffects::Pure,
+            PushWrite => SharedEffects::cells([("tail", 0)], [("deque", 0)]),
+            // T increments/decrements are read-modify-writes of `tail`.
+            PushBump | PopDec | PopRestore1 | PopDec2 | PopRestore2 => {
+                SharedEffects::cells([("tail", 0)], [("tail", 0)])
+            }
+            PopReadH | PopReadH2 => SharedEffects::reads([("head", 0), ("tail", 0)]),
+            PopTake | PopTakeLocked => {
+                SharedEffects::cells([("tail", 0), ("deque", 0), ("take", 0)], [("take", 0)])
+            }
+            SetDone => SharedEffects::writes([("done", 0)]),
+        }
+    }
+
     fn name(&self) -> String {
         "owner".to_string()
     }
@@ -485,6 +535,23 @@ impl GuestThread<WsqShared> for Stealer {
         };
     }
 
+    fn shared_effects(&self, _: &OpDesc) -> SharedEffects {
+        use StealerPc::*;
+        match self.pc {
+            Lock | UnlockFail | UnlockOk | Retry | Done => SharedEffects::Pure,
+            IncH | DecH => SharedEffects::cells([("head", 0)], [("head", 0)]),
+            CheckT => SharedEffects::reads([("head", 0), ("tail", 0)]),
+            ReadCell => {
+                SharedEffects::cells([("head", 0), ("deque", 0), ("take", 0)], [("take", 0)])
+            }
+            CheckDone => SharedEffects::reads([("done", 0)]),
+            RawReadH => SharedEffects::reads([("head", 0)]),
+            RawCheckT => SharedEffects::reads([("tail", 0)]),
+            RawReadCell => SharedEffects::reads([("deque", 0)]),
+            RawBumpH => SharedEffects::cells([("take", 0)], [("head", 0), ("take", 0)]),
+        }
+    }
+
     fn name(&self) -> String {
         format!("stealer{}", self.id)
     }
@@ -533,6 +600,14 @@ impl GuestThread<WsqShared> for Verifier {
             fx.check(count == 1, format_args!("item {v} taken {count} times"));
         }
         self.checked = true;
+    }
+
+    fn shared_effects(&self, _: &OpDesc) -> SharedEffects {
+        if self.joined < self.workers.len() || self.checked {
+            SharedEffects::Pure
+        } else {
+            SharedEffects::reads([("take", 0)])
+        }
     }
 
     fn name(&self) -> String {

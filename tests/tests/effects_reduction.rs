@@ -1,0 +1,290 @@
+//! Cross-layer tests of the guest-declared effects API.
+//!
+//! The kernel workloads now declare per-cell read/write sets instead of
+//! inheriting the blanket whole-state write, so sleep-set reduction must
+//! actually prune their interleavings while agreeing with the unreduced
+//! search and the stateful reference on every oracle — and capture-diff
+//! validation must accept every declaration at every reachable schedule
+//! point.
+
+use chess_core::strategy::{Dfs, RandomWalk};
+use chess_core::{Config, Explorer, SearchOutcome};
+use chess_kernel::{Capture, Kernel, MemoryModel};
+use chess_state::{differential_check, OracleLimits};
+use chess_workloads::litmus::{
+    dekker, dekker_fenced, iriw, load_buffering, message_passing, store_buffering,
+};
+use chess_workloads::miniboot::{miniboot, BootConfig};
+use chess_workloads::simple::{deadlock_pair, locked_counter, ordered_pair, racy_counter};
+use chess_workloads::wsq::{wsq, WsqConfig};
+use proptest::prelude::*;
+
+/// Wraps a kernel factory so every produced kernel validates declared
+/// effects by capture-diffing around each step.
+fn validated<S, F>(factory: F) -> impl Fn() -> Kernel<S> + Copy
+where
+    S: Capture,
+    F: Fn() -> Kernel<S> + Copy,
+{
+    move || {
+        let mut k = factory();
+        k.set_validate_effects(true);
+        k
+    }
+}
+
+/// Runs the full counting search twice — unreduced and with sleep sets —
+/// and returns `(plain, reduced)` execution counts after asserting both
+/// passes agree on the error classes they saw.
+fn count_both<S, F>(factory: F) -> (u64, u64)
+where
+    S: Capture,
+    F: Fn() -> Kernel<S> + Copy,
+{
+    let config = Config::fair()
+        .with_stop_on_error(false)
+        .with_detect_cycles(false)
+        .with_max_executions(2_000_000);
+    let plain = Explorer::new(factory, Dfs::new(), config.clone()).run();
+    let reduced = Explorer::new(factory, Dfs::with_sleep_sets(), config).run();
+    assert!(
+        !matches!(plain.outcome, SearchOutcome::BudgetExhausted(_)),
+        "unreduced pass exhausted its budget: {plain}"
+    );
+    assert_eq!(
+        plain.stats.violations > 0,
+        reduced.stats.violations > 0,
+        "verdict class must survive reduction (plain {plain}, reduced {reduced})"
+    );
+    assert_eq!(plain.stats.deadlocks > 0, reduced.stats.deadlocks > 0);
+    assert!(
+        reduced.stats.executions <= plain.stats.executions,
+        "reduction may never explore more: {} vs {}",
+        reduced.stats.executions,
+        plain.stats.executions
+    );
+    (plain.stats.executions, reduced.stats.executions)
+}
+
+/// With declared effects, the locked counter's critical sections commute
+/// and sleep sets prune real work — the whole point of this layer.
+#[test]
+fn sleep_sets_pay_on_locked_counter() {
+    let (plain, reduced) = count_both(|| locked_counter(2));
+    assert!(
+        reduced < plain,
+        "declared effects must let sleep sets prune the locked counter \
+         ({reduced} vs {plain} executions)"
+    );
+}
+
+/// The fenced Dekker's exhaustive count drops once `Fence` conflicts only
+/// with the issuing thread's own buffer traffic (and the register file is
+/// declared per-cell): disjoint loads and fences commute.
+#[test]
+fn fenced_dekker_exhaustive_count_drops() {
+    for model in [MemoryModel::Tso, MemoryModel::Pso] {
+        let (plain, reduced) = count_both(move || dekker_fenced(model));
+        assert!(
+            reduced < plain,
+            "{model}: fenced Dekker must reduce ({reduced} vs {plain} executions)"
+        );
+    }
+}
+
+/// Regression for the sleep-footprint staleness assertion: exhaustive
+/// sleep-set searches over every buffered-store litmus shape run under
+/// TSO and PSO in a debug build, where any sleeping flush whose footprint
+/// went stale without a waking conflict panics. The buffer-marker
+/// accesses on buffered stores and flushes are what keep this silent.
+#[test]
+fn sleep_sets_agree_on_tso_pso_litmus() {
+    type Factory = fn(MemoryModel) -> Kernel<chess_workloads::litmus::LitmusShared>;
+    let factories: &[(&str, Factory)] = &[
+        ("sb", store_buffering),
+        ("dekker", dekker),
+        ("dekker-fenced", dekker_fenced),
+        ("mp", message_passing),
+        ("lb", load_buffering),
+        ("iriw", iriw),
+    ];
+    for &(name, factory) in factories {
+        for model in MemoryModel::ALL {
+            let (plain, reduced) = count_both(move || factory(model));
+            assert!(
+                reduced <= plain,
+                "{name} under {model}: {reduced} vs {plain}"
+            );
+        }
+    }
+}
+
+/// The differential harness (stateful reference + unreduced pass +
+/// sleep-set pass + parallel cross-checks) on the real kernel workloads:
+/// verdicts, terminal-state sets, and yield-free coverage must all agree.
+#[test]
+fn differential_oracles_pass_on_kernel_workloads() {
+    let limits = OracleLimits {
+        reduce: true,
+        ..OracleLimits::default()
+    };
+    let check = |name: &str, v: chess_state::Verdict| {
+        assert!(v.agreed(), "{name}: {:?}", v.discrepancies);
+        assert!(
+            v.sleep_executions <= v.dfs_executions,
+            "{name}: reduced pass explored more ({} vs {})",
+            v.sleep_executions,
+            v.dfs_executions
+        );
+    };
+    check(
+        "racy-counter",
+        differential_check(|| racy_counter(2), &limits),
+    );
+    check(
+        "locked-counter",
+        differential_check(|| locked_counter(2), &limits),
+    );
+    check("deadlock-pair", differential_check(deadlock_pair, &limits));
+    check("ordered-pair", differential_check(ordered_pair, &limits));
+    for model in MemoryModel::ALL {
+        check(
+            &format!("sb/{model}"),
+            differential_check(move || store_buffering(model), &limits),
+        );
+        check(
+            &format!("dekker-fenced/{model}"),
+            differential_check(move || dekker_fenced(model), &limits),
+        );
+        check(
+            &format!("mp/{model}"),
+            differential_check(move || message_passing(model), &limits),
+        );
+    }
+    check(
+        "wsq",
+        differential_check(
+            || {
+                wsq(WsqConfig {
+                    stealers: 1,
+                    items: 1,
+                    burst: 0,
+                    bug: None,
+                })
+            },
+            &limits,
+        ),
+    );
+    check(
+        "miniboot",
+        differential_check(
+            || {
+                miniboot(BootConfig {
+                    services: 1,
+                    work_per_service: 1,
+                    init_steps: 1,
+                })
+            },
+            &limits,
+        ),
+    );
+}
+
+/// Exhaustive validated searches over the *correct* workloads: with
+/// capture-diff validation on, any mutation outside a declared write set
+/// would surface as a safety violation, so `Complete` here proves every
+/// declaration covers everything its thread actually writes.
+#[test]
+fn validation_accepts_declarations_exhaustively() {
+    let config = Config::fair()
+        .with_detect_cycles(false)
+        .with_max_executions(500_000);
+    let complete = |name: &str, outcome: SearchOutcome| {
+        assert_eq!(
+            outcome,
+            SearchOutcome::Complete,
+            "{name}: validated search must stay clean"
+        );
+    };
+    complete(
+        "locked-counter",
+        Explorer::new(validated(|| locked_counter(2)), Dfs::new(), config.clone())
+            .run()
+            .outcome,
+    );
+    complete(
+        "ordered-pair",
+        Explorer::new(validated(ordered_pair), Dfs::new(), config.clone())
+            .run()
+            .outcome,
+    );
+    for model in MemoryModel::ALL {
+        complete(
+            &format!("dekker-fenced/{model}"),
+            Explorer::new(
+                validated(move || dekker_fenced(model)),
+                Dfs::new(),
+                config.clone(),
+            )
+            .run()
+            .outcome,
+        );
+        complete(
+            &format!("lb/{model}"),
+            Explorer::new(
+                validated(move || load_buffering(model)),
+                Dfs::new(),
+                config.clone(),
+            )
+            .run()
+            .outcome,
+        );
+    }
+}
+
+/// Random validated walks over every workload family, including the
+/// buggy ones: a genuine workload bug may fire, but the capture-diff
+/// layer must never flag an undeclared shared-state write — i.e. at
+/// every reachable schedule point the inferred write set is a subset of
+/// the declared one.
+fn assert_no_undeclared_writes<S, F>(name: &str, factory: F, seed: u64)
+where
+    S: Capture,
+    F: Fn() -> Kernel<S> + Copy,
+{
+    let config = Config::fair()
+        .with_detect_cycles(false)
+        .with_max_executions(40);
+    let report = Explorer::new(validated(factory), RandomWalk::new(seed), config).run();
+    if let SearchOutcome::SafetyViolation(cex) = &report.outcome {
+        assert!(
+            !cex.message.contains("undeclared shared-state write"),
+            "{name}: {}",
+            cex.message
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn declared_write_sets_cover_observed_writes(seed in any::<u64>()) {
+        assert_no_undeclared_writes("racy-counter", || racy_counter(3), seed);
+        assert_no_undeclared_writes("locked-counter", || locked_counter(3), seed);
+        assert_no_undeclared_writes("deadlock-pair", deadlock_pair, seed);
+        for model in MemoryModel::ALL {
+            assert_no_undeclared_writes("sb", move || store_buffering(model), seed);
+            assert_no_undeclared_writes("dekker", move || dekker(model), seed);
+            assert_no_undeclared_writes("mp", move || message_passing(model), seed);
+            assert_no_undeclared_writes("iriw", move || iriw(model), seed);
+        }
+        assert_no_undeclared_writes("wsq", || wsq(WsqConfig::table2(2)), seed);
+        assert_no_undeclared_writes(
+            "wsq-bug",
+            || wsq(WsqConfig::with_bug(chess_workloads::wsq::WsqBug::UnsynchronizedSteal)),
+            seed,
+        );
+        assert_no_undeclared_writes("miniboot", || miniboot(BootConfig::small()), seed);
+    }
+}
