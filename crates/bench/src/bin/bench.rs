@@ -1,0 +1,105 @@
+//! The raw-speed bench harness: runs the perf workload matrix (see
+//! `chess_bench::perf`) under both the fast and the reference execution
+//! paths for a fixed wall budget per cell, prints the table, and writes
+//! `results/BENCH_scaling.{txt,json}`.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench [--budget-ms N] [--check BASELINE.json] [--tolerance F]
+//! ```
+//!
+//! * `--budget-ms N` — wall budget per cell in milliseconds (default
+//!   2000; `BENCH_BUDGET_MS` is the env equivalent, the flag wins).
+//! * `--check BASELINE.json` — after measuring, compare the fast-path
+//!   executions/sec against the given baseline report (normally the
+//!   `results/BENCH_scaling.json` checked into the repo) and exit
+//!   nonzero if any workload regressed more than the tolerance.
+//! * `--tolerance F` — allowed fractional regression for `--check`
+//!   (default 0.30, i.e. fail below 70% of the baseline rate).
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use chess_bench::{check_against_baseline, perf_matrix, persist, Json, PerfReport};
+
+struct Args {
+    budget_ms: u64,
+    check: Option<String>,
+    tolerance: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        budget_ms: std::env::var("BENCH_BUDGET_MS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(2000),
+        check: None,
+        tolerance: 0.30,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--budget-ms" => {
+                args.budget_ms = value("--budget-ms")?
+                    .parse()
+                    .map_err(|e| format!("--budget-ms: {e}"))?;
+            }
+            "--check" => args.check = Some(value("--check")?),
+            "--tolerance" => {
+                args.tolerance = value("--tolerance")?
+                    .parse()
+                    .map_err(|e| format!("--tolerance: {e}"))?;
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn load_baseline(path: &str) -> Result<PerfReport, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read baseline {path}: {e}"))?;
+    let json = Json::parse(&text).map_err(|e| format!("baseline {path}: {e}"))?;
+    PerfReport::from_json(&json)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("bench: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = perf_matrix(Duration::from_millis(args.budget_ms));
+    let text = report.render();
+    println!("{text}");
+    persist("BENCH_scaling", &text, &report.to_json());
+
+    let Some(baseline_path) = args.check else {
+        return ExitCode::SUCCESS;
+    };
+    let baseline = match load_baseline(&baseline_path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("bench: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match check_against_baseline(&report, &baseline, args.tolerance) {
+        Ok(lines) => {
+            println!("baseline check passed ({baseline_path}):");
+            for line in lines {
+                println!("  {line}");
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("bench: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

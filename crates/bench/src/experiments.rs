@@ -223,7 +223,7 @@ impl_to_json!(Table1Row {
 
 /// Drives one representative execution to termination under a seeded
 /// random fair schedule and returns the kernel for inspection.
-fn one_random_fair<S: Capture>(mut k: Kernel<S>, cap: u64) -> Kernel<S> {
+fn one_random_fair<S: Capture + Clone>(mut k: Kernel<S>, cap: u64) -> Kernel<S> {
     let mut fair = chess_core::FairScheduler::new(k.thread_count());
     let mut rng: u64 = 0x5EED_CAFE;
     let mut next = move || {
@@ -250,7 +250,7 @@ fn one_random_fair<S: Capture>(mut k: Kernel<S>, cap: u64) -> Kernel<S> {
 /// Table 1: characteristics of the input programs (one representative
 /// execution each).
 pub fn table1() -> Vec<Table1Row> {
-    fn row<S: Capture>(program: &str, loc: usize, k: Kernel<S>) -> Table1Row {
+    fn row<S: Capture + Clone>(program: &str, loc: usize, k: Kernel<S>) -> Table1Row {
         let k = one_random_fair(k, 1_000_000);
         Table1Row {
             program: program.to_string(),

@@ -1,0 +1,439 @@
+//! The raw-speed perf harness: executions/sec and steps/sec on the
+//! `scaling` workload matrix plus the kernel-heavy workloads, for a fixed
+//! wall budget per cell.
+//!
+//! Unlike the paper-repro experiments (one-shot numbers in `results/`),
+//! this harness produces a *trajectory*: `BENCH_scaling.json` is written
+//! on every run, CI regenerates it nightly, and the PR-time smoke gate
+//! compares a fresh run against the baseline checked into `results/` so a
+//! per-transition slowdown in the execution core is visible immediately.
+//!
+//! Every workload runs twice in the same process:
+//!
+//! * **fast** — the production path: pooled kernel allocations
+//!   ([`chess_core::Config::with_pooling`]) and incrementally-maintained
+//!   capture fingerprints ([`chess_kernel::Kernel::set_fingerprint_caching`]);
+//! * **reference** — the from-scratch path kept for the equivalence tests
+//!   (`tests/tests/perf_equivalence.rs`): factory-fresh kernels, full
+//!   recapture per fingerprint.
+//!
+//! The same-run pair gives a machine-independent before/after comparison
+//! (`speedup` per row); the absolute fast-path numbers feed the baseline
+//! gate ([`check_against_baseline`]).
+
+use std::time::Duration;
+
+use chess_core::strategy::RandomWalk;
+use chess_core::{Config, Explorer};
+use chess_kernel::{Capture, Kernel, MemoryModel};
+use chess_workloads::litmus::dekker_fenced;
+use chess_workloads::miniboot::{miniboot, BootConfig};
+use chess_workloads::philosophers::{philosophers, PhilosophersConfig};
+use chess_workloads::wsq::{wsq, WsqConfig};
+
+use crate::impl_to_json;
+use crate::json::{Json, ToJson};
+
+/// Which execution-core path a measurement exercised.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PerfMode {
+    /// Pooled kernel state + incremental capture fingerprints.
+    Fast,
+    /// From-scratch per execution: the slow path the equivalence harness
+    /// compares against.
+    Reference,
+}
+
+impl PerfMode {
+    /// Stable label used in the JSON rows.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PerfMode::Fast => "fast",
+            PerfMode::Reference => "reference",
+        }
+    }
+}
+
+/// One measured cell: a workload under one mode.
+#[derive(Debug, Clone)]
+pub struct PerfRow {
+    /// Workload label (stable across PRs; the baseline gate keys on it).
+    pub workload: String,
+    /// `"fast"` or `"reference"`.
+    pub mode: String,
+    /// Executions completed within the budget.
+    pub executions: u64,
+    /// Transitions executed within the budget.
+    pub transitions: u64,
+    /// Wall-clock seconds actually spent.
+    pub secs: f64,
+    /// Executions per second.
+    pub execs_per_sec: f64,
+    /// Transitions per second.
+    pub steps_per_sec: f64,
+}
+
+impl_to_json!(PerfRow {
+    workload,
+    mode,
+    executions,
+    transitions,
+    secs,
+    execs_per_sec,
+    steps_per_sec
+});
+
+/// A full harness run: every workload × mode, plus process peak RSS.
+#[derive(Debug, Clone)]
+pub struct PerfReport {
+    /// Wall budget per cell, in milliseconds.
+    pub budget_ms: u64,
+    /// Peak resident set size of the process in kilobytes (`VmHWM`;
+    /// 0 where `/proc/self/status` is unavailable).
+    pub peak_rss_kb: u64,
+    /// Measured cells.
+    pub rows: Vec<PerfRow>,
+}
+
+impl PerfReport {
+    /// Serializes the report (schema round-tripped by
+    /// [`PerfReport::from_json`]).
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("budget_ms", Json::UInt(self.budget_ms)),
+            ("peak_rss_kb", Json::UInt(self.peak_rss_kb)),
+            ("rows", Json::array(self.rows.iter().map(|r| r.to_json()))),
+        ])
+    }
+
+    /// Parses a report previously written by [`PerfReport::to_json`].
+    pub fn from_json(json: &Json) -> Result<PerfReport, String> {
+        let budget_ms = json
+            .get("budget_ms")
+            .and_then(Json::as_u64)
+            .ok_or("bench report: missing budget_ms")?;
+        let peak_rss_kb = json
+            .get("peak_rss_kb")
+            .and_then(Json::as_u64)
+            .ok_or("bench report: missing peak_rss_kb")?;
+        let rows = json
+            .get("rows")
+            .and_then(Json::as_array)
+            .ok_or("bench report: missing rows")?
+            .iter()
+            .map(|row| {
+                let str_field = |k: &str| -> Result<String, String> {
+                    row.get(k)
+                        .and_then(Json::as_str)
+                        .map(str::to_string)
+                        .ok_or(format!("bench row: missing {k}"))
+                };
+                let num_field = |k: &str| -> Result<f64, String> {
+                    match row.get(k) {
+                        Some(Json::UInt(n)) => Ok(*n as f64),
+                        Some(Json::Int(n)) => Ok(*n as f64),
+                        Some(Json::Float(f)) => Ok(*f),
+                        _ => Err(format!("bench row: missing {k}")),
+                    }
+                };
+                let u64_field = |k: &str| -> Result<u64, String> {
+                    row.get(k)
+                        .and_then(Json::as_u64)
+                        .ok_or(format!("bench row: missing {k}"))
+                };
+                Ok(PerfRow {
+                    workload: str_field("workload")?,
+                    mode: str_field("mode")?,
+                    executions: u64_field("executions")?,
+                    transitions: u64_field("transitions")?,
+                    secs: num_field("secs")?,
+                    execs_per_sec: num_field("execs_per_sec")?,
+                    steps_per_sec: num_field("steps_per_sec")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(PerfReport {
+            budget_ms,
+            peak_rss_kb,
+            rows,
+        })
+    }
+
+    /// Renders an aligned text table of the rows, with a per-workload
+    /// fast/reference speedup column.
+    pub fn render(&self) -> String {
+        let mut table = crate::output::TextTable::new([
+            "workload", "mode", "execs", "steps", "secs", "execs/s", "steps/s", "speedup",
+        ]);
+        for r in &self.rows {
+            let speedup = if r.mode == PerfMode::Fast.as_str() {
+                self.speedup(&r.workload)
+                    .map(|s| format!("{s:.2}x"))
+                    .unwrap_or_default()
+            } else {
+                String::new()
+            };
+            table.row([
+                r.workload.clone(),
+                r.mode.clone(),
+                r.executions.to_string(),
+                r.transitions.to_string(),
+                format!("{:.2}", r.secs),
+                format!("{:.0}", r.execs_per_sec),
+                format!("{:.0}", r.steps_per_sec),
+                speedup,
+            ]);
+        }
+        format!(
+            "{}\npeak RSS: {} kB (budget {} ms/cell)\n",
+            table.render(),
+            self.peak_rss_kb,
+            self.budget_ms
+        )
+    }
+
+    /// The row for `workload` under `mode`, if measured.
+    pub fn row(&self, workload: &str, mode: PerfMode) -> Option<&PerfRow> {
+        self.rows
+            .iter()
+            .find(|r| r.workload == workload && r.mode == mode.as_str())
+    }
+
+    /// Fast-path executions/sec divided by reference-path executions/sec
+    /// for one workload (the same-run before/after comparison).
+    pub fn speedup(&self, workload: &str) -> Option<f64> {
+        let fast = self.row(workload, PerfMode::Fast)?.execs_per_sec;
+        let reference = self.row(workload, PerfMode::Reference)?.execs_per_sec;
+        (reference > 0.0).then(|| fast / reference)
+    }
+}
+
+/// The bench workload matrix: the `scaling` subjects plus the
+/// kernel-heavy workloads named by the roadmap (miniboot, wsq,
+/// fenced Dekker under TSO).
+pub fn workload_names() -> Vec<&'static str> {
+    vec![
+        "philosophers(3)",
+        "wsq(2 stealers)",
+        "miniboot",
+        "dekker-fenced(tso)",
+    ]
+}
+
+fn run_cell<S, F>(name: &str, factory: F, mode: PerfMode, budget: Duration) -> PerfRow
+where
+    S: Capture + Clone + 'static,
+    F: Fn() -> Kernel<S>,
+{
+    // Fair config with cycle detection: the per-step fingerprint path is
+    // exactly what the incremental-capture optimization targets, so the
+    // bench must exercise it. The random walk revisits interleavings
+    // freely — throughput, not coverage, is the metric here.
+    let config = Config::fair()
+        .with_time_budget(budget)
+        .with_pooling(mode == PerfMode::Fast);
+    let caching = mode == PerfMode::Fast;
+    let mut explorer = Explorer::new(
+        move || {
+            let mut k = factory();
+            k.set_fingerprint_caching(caching);
+            k
+        },
+        RandomWalk::new(42),
+        config,
+    );
+    let report = explorer.run();
+    let secs = report.stats.wall.as_secs_f64().max(1e-9);
+    PerfRow {
+        workload: name.to_string(),
+        mode: mode.as_str().to_string(),
+        executions: report.stats.executions,
+        transitions: report.stats.transitions,
+        secs,
+        execs_per_sec: report.stats.executions as f64 / secs,
+        steps_per_sec: report.stats.transitions as f64 / secs,
+    }
+}
+
+/// Runs the full matrix: every workload under both modes, reference
+/// first (so the fast rows of a same-run comparison cannot benefit from
+/// warmup the reference rows did not get).
+pub fn perf_matrix(budget: Duration) -> PerfReport {
+    let mut rows = Vec::new();
+    for mode in [PerfMode::Reference, PerfMode::Fast] {
+        rows.push(run_cell(
+            "philosophers(3)",
+            || philosophers(PhilosophersConfig::table2(3)),
+            mode,
+            budget,
+        ));
+        rows.push(run_cell(
+            "wsq(2 stealers)",
+            || wsq(WsqConfig::table2(2)),
+            mode,
+            budget,
+        ));
+        rows.push(run_cell(
+            "miniboot",
+            || miniboot(BootConfig::small()),
+            mode,
+            budget,
+        ));
+        rows.push(run_cell(
+            "dekker-fenced(tso)",
+            || dekker_fenced(MemoryModel::Tso),
+            mode,
+            budget,
+        ));
+    }
+    PerfReport {
+        budget_ms: budget.as_millis() as u64,
+        peak_rss_kb: peak_rss_kb(),
+        rows,
+    }
+}
+
+/// Peak resident set size of the current process in kilobytes, from
+/// `/proc/self/status` (`VmHWM`); 0 where unavailable.
+pub fn peak_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|l| l.trim().trim_end_matches("kB").trim().parse().ok())
+        .unwrap_or(0)
+}
+
+/// The PR-time regression gate: every fast-mode workload in `current`
+/// must reach at least `(1 - tolerance)` of the baseline's fast-mode
+/// executions/sec. Returns the per-workload comparison lines, or the
+/// offending rows as an error.
+pub fn check_against_baseline(
+    current: &PerfReport,
+    baseline: &PerfReport,
+    tolerance: f64,
+) -> Result<Vec<String>, String> {
+    let mut lines = Vec::new();
+    let mut failures = Vec::new();
+    for base in baseline
+        .rows
+        .iter()
+        .filter(|r| r.mode == PerfMode::Fast.as_str())
+    {
+        let Some(cur) = current.row(&base.workload, PerfMode::Fast) else {
+            failures.push(format!("{}: missing from current run", base.workload));
+            continue;
+        };
+        let floor = base.execs_per_sec * (1.0 - tolerance);
+        let line = format!(
+            "{}: {:.0} execs/s vs baseline {:.0} (floor {:.0})",
+            base.workload, cur.execs_per_sec, base.execs_per_sec, floor
+        );
+        if cur.execs_per_sec < floor {
+            failures.push(line);
+        } else {
+            lines.push(line);
+        }
+    }
+    if failures.is_empty() {
+        Ok(lines)
+    } else {
+        Err(format!(
+            "executions/sec regressed more than {:.0}% vs results/ baseline:\n  {}",
+            tolerance * 100.0,
+            failures.join("\n  ")
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PerfReport {
+        PerfReport {
+            budget_ms: 100,
+            peak_rss_kb: 4321,
+            rows: vec![
+                PerfRow {
+                    workload: "w".into(),
+                    mode: "reference".into(),
+                    executions: 10,
+                    transitions: 100,
+                    secs: 1.0,
+                    execs_per_sec: 10.0,
+                    steps_per_sec: 100.0,
+                },
+                PerfRow {
+                    workload: "w".into(),
+                    mode: "fast".into(),
+                    executions: 30,
+                    transitions: 300,
+                    secs: 1.0,
+                    execs_per_sec: 30.0,
+                    steps_per_sec: 300.0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn report_round_trips_through_json_text() {
+        let report = sample();
+        let text = report.to_json().to_string_pretty();
+        let parsed = PerfReport::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(parsed.budget_ms, report.budget_ms);
+        assert_eq!(parsed.peak_rss_kb, report.peak_rss_kb);
+        assert_eq!(parsed.rows.len(), report.rows.len());
+        for (a, b) in parsed.rows.iter().zip(&report.rows) {
+            assert_eq!(a.workload, b.workload);
+            assert_eq!(a.mode, b.mode);
+            assert_eq!(a.executions, b.executions);
+            assert_eq!(a.transitions, b.transitions);
+            assert_eq!(a.execs_per_sec, b.execs_per_sec);
+        }
+    }
+
+    #[test]
+    fn speedup_compares_modes() {
+        let report = sample();
+        assert_eq!(report.speedup("w"), Some(3.0));
+        assert_eq!(report.speedup("missing"), None);
+        let rendered = report.render();
+        assert!(rendered.contains("3.00x"), "{rendered}");
+        assert!(rendered.contains("peak RSS: 4321 kB"), "{rendered}");
+    }
+
+    #[test]
+    fn baseline_gate_accepts_within_tolerance_and_rejects_regressions() {
+        let baseline = sample();
+        let mut current = sample();
+        current.rows[1].execs_per_sec = 25.0; // -17%: within 30%
+        assert!(check_against_baseline(&current, &baseline, 0.30).is_ok());
+        current.rows[1].execs_per_sec = 10.0; // -67%: regression
+        let err = check_against_baseline(&current, &baseline, 0.30).unwrap_err();
+        assert!(err.contains("regressed"), "{err}");
+        assert!(err.contains('w'), "{err}");
+        // A workload missing from the current run fails loudly.
+        current.rows.remove(1);
+        assert!(check_against_baseline(&current, &baseline, 0.30).is_err());
+    }
+
+    #[test]
+    fn tiny_budget_matrix_produces_all_cells() {
+        let report = perf_matrix(Duration::from_millis(30));
+        for w in workload_names() {
+            assert!(report.row(w, PerfMode::Fast).is_some(), "missing fast {w}");
+            assert!(
+                report.row(w, PerfMode::Reference).is_some(),
+                "missing reference {w}"
+            );
+        }
+        // Re-parse what the bench binary would write.
+        let text = report.to_json().to_string_pretty();
+        let parsed = PerfReport::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(parsed.rows.len(), report.rows.len());
+    }
+}

@@ -1,0 +1,110 @@
+//! Smoke tests for the `bench` binary: a tiny-budget run must produce a
+//! complete, parseable `BENCH_scaling.json`, and the `--check` gate must
+//! pass against the report it just produced and fail against an
+//! impossible baseline.
+//!
+//! The binary is run from a temp directory so its `results/` output
+//! lands there, never on the baseline checked into the repo.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+use chess_bench::{Json, PerfMode, PerfReport};
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bench-smoke-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn run_bench(cwd: &Path, args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_bench"))
+        .args(args)
+        .current_dir(cwd)
+        .output()
+        .expect("failed to run bench")
+}
+
+#[test]
+fn tiny_budget_run_writes_complete_report() {
+    let dir = temp_dir("report");
+    let out = run_bench(&dir, &["--budget-ms", "20"]);
+    assert!(out.status.success(), "{out:?}");
+
+    let json_path = dir.join("results/BENCH_scaling.json");
+    let text = std::fs::read_to_string(&json_path)
+        .unwrap_or_else(|e| panic!("missing {}: {e}", json_path.display()));
+    let report = PerfReport::from_json(&Json::parse(&text).expect("invalid JSON"))
+        .expect("report schema drifted");
+
+    assert_eq!(report.budget_ms, 20);
+    for workload in chess_bench::workload_names() {
+        for mode in [PerfMode::Fast, PerfMode::Reference] {
+            let row = report
+                .row(workload, mode)
+                .unwrap_or_else(|| panic!("missing row {workload}/{}", mode.as_str()));
+            assert!(
+                row.executions > 0,
+                "{workload}/{}: no executions in the budget",
+                mode.as_str()
+            );
+        }
+    }
+    assert!(dir.join("results/BENCH_scaling.txt").exists());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn check_gate_passes_own_report_and_fails_impossible_baseline() {
+    let dir = temp_dir("check");
+    // First run produces the baseline.
+    let out = run_bench(&dir, &["--budget-ms", "20"]);
+    assert!(out.status.success(), "{out:?}");
+    let baseline = dir.join("results/BENCH_scaling.json");
+    let baseline_s = baseline.to_str().unwrap();
+
+    // A same-machine re-run with a generous tolerance must pass.
+    let out = run_bench(
+        &dir,
+        &[
+            "--budget-ms",
+            "20",
+            "--check",
+            baseline_s,
+            "--tolerance",
+            "0.95",
+        ],
+    );
+    assert!(
+        out.status.success(),
+        "check against own report failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("baseline check passed"));
+
+    // Inflate the baseline beyond reach: the gate must fail.
+    let text = std::fs::read_to_string(&baseline).unwrap();
+    let mut report = PerfReport::from_json(&Json::parse(&text).unwrap()).unwrap();
+    for row in &mut report.rows {
+        row.execs_per_sec *= 1e6;
+    }
+    let impossible = dir.join("impossible.json");
+    std::fs::write(&impossible, report.to_json().to_string_pretty()).unwrap();
+    let out = run_bench(
+        &dir,
+        &["--budget-ms", "20", "--check", impossible.to_str().unwrap()],
+    );
+    assert!(!out.status.success(), "gate passed an impossible baseline");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("regressed"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn check_fails_loudly_on_unreadable_baseline() {
+    let dir = temp_dir("missing");
+    let out = run_bench(&dir, &["--budget-ms", "20", "--check", "no-such-file.json"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read baseline"));
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,62 @@
+//! Regression gate over the checked-in fuzz corpus.
+//!
+//! Every entry under `fuzz-corpus/` is a minimized schedule that once
+//! exposed a divergence between the stateless search and the stateful
+//! oracle. Each must keep reproducing its recorded outcome through
+//! `fair-chess replay` — if a kernel or scheduler change stops one from
+//! reproducing, that change altered observable execution semantics and
+//! this test names the exact entry.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../fuzz-corpus")
+}
+
+#[test]
+fn every_corpus_entry_reproduces_its_recorded_outcome() {
+    let dir = corpus_dir();
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("cannot read corpus dir {}: {e}", dir.display()))
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    entries.sort();
+    assert!(
+        !entries.is_empty(),
+        "no corpus entries under {} — the regression gate is vacuous",
+        dir.display()
+    );
+
+    for entry in &entries {
+        let name = entry.display();
+        // Parse the recorded outcome kind ourselves so an unreadable or
+        // schema-drifted entry fails with a specific message instead of
+        // silently weakening the gate.
+        let text = std::fs::read_to_string(entry)
+            .unwrap_or_else(|e| panic!("unreadable corpus entry {name}: {e}"));
+        let kind = text
+            .split("\"kind\"")
+            .nth(1)
+            .and_then(|rest| rest.split('"').nth(1))
+            .unwrap_or_else(|| panic!("corpus entry {name} has no \"kind\" field"));
+
+        let out = Command::new(env!("CARGO_BIN_EXE_fair-chess"))
+            .args(["replay", entry.to_str().unwrap()])
+            .output()
+            .expect("failed to run fair-chess");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "corpus entry {name} no longer replays cleanly\nstdout:\n{stdout}\nstderr:\n{stderr}"
+        );
+        assert!(
+            stdout.contains(&format!("reproduced: {kind}")),
+            "corpus entry {name} replayed but did not reproduce '{kind}'\nstdout:\n{stdout}"
+        );
+    }
+}

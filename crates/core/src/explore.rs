@@ -91,6 +91,11 @@ pub struct Config {
     /// Consecutive non-yielding transitions of one thread after which a
     /// depth-bound hit is classified as a good-samaritan suspect.
     pub gs_threshold: u64,
+    /// Reuse the previous execution's system allocations when building
+    /// the next one (see [`TransitionSystem::reset_from`]). On by
+    /// default; disable to force the from-scratch reference path the
+    /// equivalence tests compare against.
+    pub pooling: bool,
 }
 
 impl Config {
@@ -106,6 +111,7 @@ impl Config {
             deadlock_is_error: true,
             detect_cycles: true,
             gs_threshold: 100,
+            pooling: true,
         }
     }
 
@@ -169,6 +175,12 @@ impl Config {
         self.fairness = Some(FairnessConfig { k, scope });
         self
     }
+
+    /// Enables or disables cross-execution allocation pooling.
+    pub fn with_pooling(mut self, on: bool) -> Self {
+        self.pooling = on;
+        self
+    }
 }
 
 /// Result of one execution, internal to the explorer.
@@ -223,6 +235,106 @@ pub struct Explorer<P, F, St> {
     checkpoint: Option<CheckpointSink>,
     initial_stats: SearchStats,
     _marker: std::marker::PhantomData<fn() -> P>,
+}
+
+/// The execution-instance pool behind [`Config::pooling`]: a pristine
+/// `template` built once from the factory, plus the previous execution's
+/// instance (`spare`) awaiting a [`TransitionSystem::reset_from`].
+///
+/// Whether the system supports pooling is learned on the first reset
+/// attempt; systems that return `false` permanently fall back to the
+/// factory. An instance the workload panicked out of is never released
+/// back into the pool — the unwind drops it, and the next execution
+/// starts from the factory again.
+struct SysPool<P> {
+    enabled: bool,
+    template: Option<P>,
+    spare: Option<P>,
+}
+
+impl<P: TransitionSystem> SysPool<P> {
+    fn new(enabled: bool) -> Self {
+        SysPool {
+            enabled,
+            template: None,
+            spare: None,
+        }
+    }
+
+    /// A fresh-for-this-execution system: the reset spare when pooling is
+    /// live, a factory product otherwise.
+    fn acquire(&mut self, factory: &mut impl FnMut() -> P) -> P {
+        if !self.enabled {
+            return factory();
+        }
+        if self.template.is_none() {
+            self.template = Some(factory());
+        }
+        let template = self.template.as_ref().expect("template just installed");
+        match self.spare.take() {
+            Some(mut sys) => {
+                if sys.reset_from(template) {
+                    sys
+                } else {
+                    self.enabled = false;
+                    self.template = None;
+                    factory()
+                }
+            }
+            None => factory(),
+        }
+    }
+
+    /// Returns a completed execution's instance to the pool.
+    fn release(&mut self, sys: P) {
+        if self.enabled {
+            self.spare = Some(sys);
+        }
+    }
+}
+
+/// Pass-through hasher for the cycle-detection map: its keys are 64-bit
+/// state fingerprints, already FNV-mixed, so piping them through the
+/// default SipHash buys no distribution at a measurable per-step cost.
+#[derive(Default)]
+struct FpHasher(u64);
+
+impl std::hash::Hasher for FpHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        // Unused for u64 keys; an FNV fold keeps the hasher total.
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v;
+    }
+}
+
+type FpBuildHasher = std::hash::BuildHasherDefault<FpHasher>;
+
+/// Per-execution and per-step scratch buffers, hoisted out of the
+/// execution loop so one search reuses their allocations across every
+/// execution instead of re-allocating per schedule point.
+#[derive(Default)]
+struct ExecScratch {
+    steps_since_yield: Vec<u64>,
+    seen: HashMap<u64, usize, FpBuildHasher>,
+    /// Pooled per-step enabled sets for cycle classification; only the
+    /// first `hist_len` entries (managed by `one_execution`) are live.
+    es_history: Vec<TidSet>,
+    es: TidSet,
+    es_after: TidSet,
+    schedulable: TidSet,
+    options: Vec<Decision>,
+    /// Pooled per-option footprints; only the first `n_fps` entries built
+    /// this step are live.
+    footprints: Vec<chess_kernel::Footprint>,
+    flushes: Vec<bool>,
+    fp: chess_kernel::Footprint,
 }
 
 impl<P, F, St> Explorer<P, F, St>
@@ -334,6 +446,8 @@ where
         // decisions pushed before the panicking step become the
         // counterexample's replay schedule.
         let mut schedule_buf: Vec<Decision> = Vec::new();
+        let mut pool = SysPool::new(self.config.pooling);
+        let mut scratch = ExecScratch::default();
         let outcome = loop {
             if let Some(max) = self.config.max_executions {
                 if stats.executions >= max {
@@ -356,7 +470,14 @@ where
             stats.executions += 1;
             schedule_buf.clear();
             let caught = crate::panics::catch_silent(|| {
-                self.one_execution(obs, &mut stats, deadline, &mut schedule_buf)
+                self.one_execution(
+                    obs,
+                    &mut stats,
+                    deadline,
+                    &mut schedule_buf,
+                    &mut pool,
+                    &mut scratch,
+                )
             });
             let end = match caught {
                 Ok(end) => end,
@@ -412,26 +533,32 @@ where
         stats: &mut SearchStats,
         deadline: Option<Instant>,
         schedule: &mut Vec<Decision>,
+        pool: &mut SysPool<P>,
+        scratch: &mut ExecScratch,
     ) -> ExecEnd {
         let execution = stats.executions;
-        let mut sys = (self.factory)();
+        let mut sys = pool.acquire(&mut self.factory);
         let mut fair = self
             .config
             .fairness
             .map(|fc| FairScheduler::with_k(sys.thread_count(), fc.k).with_scope(fc.scope));
         // Steps each thread has taken since its last yield, for the
         // good-samaritan heuristic.
-        let mut steps_since_yield: Vec<u64> = vec![0; sys.thread_count()];
+        scratch.steps_since_yield.clear();
+        scratch.steps_since_yield.resize(sys.thread_count(), 0);
         // Cycle detection: (program ⊕ scheduler) fingerprint → step index,
         // plus per-state enabled sets to classify detected cycles.
-        let mut seen: HashMap<u64, usize> = HashMap::new();
-        let mut es_history: Vec<TidSet> = Vec::new();
+        scratch.seen.clear();
+        let mut hist_len = 0usize;
         let mut prev: Option<chess_kernel::ThreadId> = None;
         let mut depth = 0usize;
+        let mut have_es = false;
 
         obs.on_state(&sys, 0);
         if self.config.detect_cycles {
-            seen.insert(self.combined_fingerprint(&sys, fair.as_ref()), 0);
+            scratch
+                .seen
+                .insert(self.combined_fingerprint(&sys, fair.as_ref()), 0);
         }
 
         let end = loop {
@@ -478,7 +605,8 @@ where
                     // — that counter is the unfair baseline's wasted-cut
                     // metric (Figure 2), and counting the same hit in both
                     // would double-book one event.
-                    let kind = steps_since_yield
+                    let kind = scratch
+                        .steps_since_yield
                         .iter()
                         .enumerate()
                         .filter(|&(_, &s)| s >= self.config.gs_threshold)
@@ -508,77 +636,96 @@ where
                 }
             }
 
-            let es = sys.enabled_set();
-            let schedulable = match &fair {
-                Some(f) => f.schedulable(&es),
-                None => es.clone(),
+            // The post-step enabled set of the previous iteration IS this
+            // iteration's pre-step set — nothing steps in between.
+            if have_es {
+                std::mem::swap(&mut scratch.es, &mut scratch.es_after);
+            } else {
+                sys.enabled_set_into(&mut scratch.es);
+            }
+            let es = &scratch.es;
+            let schedulable: &TidSet = match &fair {
+                Some(f) => {
+                    f.schedulable_into(es, &mut scratch.schedulable);
+                    &scratch.schedulable
+                }
+                None => es,
             };
             debug_assert_eq!(
                 schedulable.is_empty(),
                 es.is_empty(),
                 "Theorem 3: T empty iff ES empty"
             );
-            let mut options = Vec::with_capacity(schedulable.len());
+            scratch.options.clear();
             // Per-option footprints, computed only for strategies that
             // apply partial-order reduction. Yielding options are forced
             // universal: a yield mutates the fair scheduler's priority
             // state, so it commutes with nothing and must never sleep.
+            // The footprint buffers persist across steps; only the first
+            // `n_fps` are live this step.
             let want_fps = self.strategy.wants_footprints();
-            let mut footprints = Vec::with_capacity(if want_fps { schedulable.len() } else { 0 });
+            let mut n_fps = 0usize;
             // Flush flags parallel to `options`, materialized only when a
             // flusher lane is actually schedulable (never under SC): the
             // strategies treat an empty slice as all-false.
-            let mut flushes = Vec::new();
+            scratch.flushes.clear();
             let mut any_flush = false;
             for t in schedulable.iter() {
-                let fp = want_fps.then(|| {
+                if want_fps {
                     if sys.is_yielding(t) {
-                        chess_kernel::Footprint::universal()
+                        scratch.fp.make_universal();
                     } else {
                         // Every transition writes its own thread's state
                         // (pc, locals), so decisions of one thread are
                         // pairwise dependent — without this, the two
                         // branches of a data choice would look independent
                         // and sleep sets would prune one of them.
-                        let mut fp = sys.footprint(t);
-                        fp.push(
+                        sys.footprint_into(t, &mut scratch.fp);
+                        scratch.fp.push(
                             chess_kernel::ObjectRef::Thread(t),
                             chess_kernel::AccessKind::Write,
                         );
-                        fp
                     }
-                });
+                }
                 let is_flush = sys.is_flush(t);
                 any_flush |= is_flush;
                 for c in 0..sys.branching(t) {
-                    options.push(Decision {
+                    scratch.options.push(Decision {
                         thread: t,
                         choice: c as u32,
                     });
-                    flushes.push(is_flush);
-                    if let Some(fp) = &fp {
-                        footprints.push(fp.clone());
+                    scratch.flushes.push(is_flush);
+                    if want_fps {
+                        if let Some(slot) = scratch.footprints.get_mut(n_fps) {
+                            slot.clone_from(&scratch.fp);
+                        } else {
+                            scratch.footprints.push(scratch.fp.clone());
+                        }
+                        n_fps += 1;
                     }
                 }
             }
             if !any_flush {
-                flushes.clear();
+                scratch.flushes.clear();
             }
             let point = SchedulePoint {
                 depth,
-                options: &options,
-                footprints: &footprints,
+                options: &scratch.options,
+                footprints: &scratch.footprints[..n_fps],
                 prev,
                 prev_enabled: prev.is_some_and(|p| es.contains(p)),
                 prev_schedulable: prev.is_some_and(|p| schedulable.contains(p)),
                 fairness_filtered: schedulable.len() != es.len(),
-                flushes: &flushes,
+                flushes: &scratch.flushes,
             };
             let Some(d) = self.strategy.pick(&point) else {
                 stats.abandoned += 1;
                 break ExecEnd::Done;
             };
-            debug_assert!(options.contains(&d), "strategy picked unavailable {d:?}");
+            debug_assert!(
+                scratch.options.contains(&d),
+                "strategy picked unavailable {d:?}"
+            );
 
             // Commit the decision to the schedule *before* stepping: if
             // the workload panics inside `step`, the caller reports the
@@ -586,16 +733,17 @@ where
             // replaying the schedule re-triggers it deterministically.
             schedule.push(d);
             let kind = sys.step(d.thread, d.choice);
-            let es_after = sys.enabled_set();
+            sys.enabled_set_into(&mut scratch.es_after);
+            have_es = true;
             if let Some(f) = fair.as_mut() {
                 f.grow(sys.thread_count());
-                f.on_scheduled(d.thread, &es, &es_after, kind.is_yield());
+                f.on_scheduled(d.thread, &scratch.es, &scratch.es_after, kind.is_yield());
             }
-            steps_since_yield.resize(sys.thread_count(), 0);
+            scratch.steps_since_yield.resize(sys.thread_count(), 0);
             if kind.is_yield() {
-                steps_since_yield[d.thread.index()] = 0;
+                scratch.steps_since_yield[d.thread.index()] = 0;
             } else {
-                steps_since_yield[d.thread.index()] += 1;
+                scratch.steps_since_yield[d.thread.index()] += 1;
             }
             stats.transitions += 1;
             depth += 1;
@@ -614,9 +762,15 @@ where
                 // violation aborts the step before the guest observes it),
                 // and treating that repeat as a cycle would misreport the
                 // safety violation as a divergence.
-                es_history.push(es);
+                if let Some(slot) = scratch.es_history.get_mut(hist_len) {
+                    slot.clear();
+                    slot.union_with(&scratch.es);
+                } else {
+                    scratch.es_history.push(scratch.es.clone());
+                }
+                hist_len += 1;
                 let fp = self.combined_fingerprint(&sys, fair.as_ref());
-                if let Some(&start_idx) = seen.get(&fp) {
+                if let Some(&start_idx) = scratch.seen.get(&fp) {
                     // Transitions start_idx..depth form a repeatable cycle.
                     stats.divergences += 1;
                     let cycle_len = depth - start_idx;
@@ -625,7 +779,7 @@ where
                         .map(|d| d.thread)
                         .collect();
                     let mut enabled_in_cycle = TidSet::new();
-                    for e in &es_history[start_idx..depth] {
+                    for e in &scratch.es_history[start_idx..depth] {
                         enabled_in_cycle.union_with(e);
                     }
                     let starved = enabled_in_cycle.difference(&scheduled).first();
@@ -652,11 +806,12 @@ where
                         execution,
                     }));
                 }
-                seen.insert(fp, depth);
+                scratch.seen.insert(fp, depth);
             }
         };
         stats.max_depth = stats.max_depth.max(depth);
         obs.on_execution_end(&sys, depth);
+        pool.release(sys);
         end
     }
 

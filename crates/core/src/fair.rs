@@ -157,9 +157,21 @@ impl FairScheduler {
     /// relation never manufactures a deadlock); this is upheld because `P`
     /// stays acyclic.
     pub fn schedulable(&self, es: &TidSet) -> TidSet {
-        es.iter()
-            .filter(|t| !self.p[t.index()].intersects(es))
-            .collect()
+        let mut out = TidSet::new();
+        self.schedulable_into(es, &mut out);
+        out
+    }
+
+    /// [`FairScheduler::schedulable`] written into a caller-provided set,
+    /// clearing it first — the allocation-free form for the explorer's
+    /// per-step loop.
+    pub fn schedulable_into(&self, es: &TidSet, out: &mut TidSet) {
+        out.clear();
+        for t in es.iter() {
+            if !self.p[t.index()].intersects(es) {
+                out.insert(t);
+            }
+        }
     }
 
     /// Lines 12–29: bookkeeping after thread `t` executed one transition.
@@ -268,15 +280,23 @@ impl FairScheduler {
         };
         for group in [&self.p, &self.e, &self.d, &self.s] {
             for set in group.iter() {
-                for t in set.iter() {
-                    mix(t.index() as u64 + 1);
+                // Length-prefixed canonical words: one mix per 64
+                // threads instead of one per member, same collision
+                // behavior (equal sets always hash alike).
+                let words = set.canonical_words();
+                mix(words.len() as u64);
+                for &w in words {
+                    mix(w);
                 }
-                mix(0);
             }
             mix(u64::MAX);
         }
-        for &c in &self.yield_counts {
-            mix(c % self.k);
+        // With the default k = 1 every yield phase is identically zero:
+        // skip the per-thread division, the priciest op in this fold.
+        if self.k > 1 {
+            for &c in &self.yield_counts {
+                mix(c % self.k);
+            }
         }
         h
     }

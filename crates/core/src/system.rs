@@ -61,6 +61,27 @@ pub trait TransitionSystem {
             .collect()
     }
 
+    /// [`TransitionSystem::enabled_set`] written into a caller-provided
+    /// set — the allocation-free form the explorer's per-step loop uses.
+    /// Overrides must produce exactly what `enabled_set` returns.
+    fn enabled_set_into(&self, out: &mut TidSet) {
+        *out = self.enabled_set();
+    }
+
+    /// Rebuilds `self` into a fresh copy of `template`, reusing existing
+    /// allocations, and returns `true` — or returns `false` to signal
+    /// pooling is unsupported (the default), making the explorer fall
+    /// back to its factory. A `true` implementation must be behaviorally
+    /// indistinguishable from replacing `self` with a clone of
+    /// `template`: same traces, same captures, same stats.
+    fn reset_from(&mut self, template: &Self) -> bool
+    where
+        Self: Sized,
+    {
+        let _ = template;
+        false
+    }
+
     /// The paper's `yield(t)`: `t` is enabled and its next transition is a
     /// yield.
     fn is_yielding(&self, t: ThreadId) -> bool;
@@ -87,6 +108,13 @@ pub trait TransitionSystem {
     fn footprint(&self, t: ThreadId) -> Footprint {
         let _ = t;
         Footprint::universal()
+    }
+
+    /// [`TransitionSystem::footprint`] written into a caller-provided
+    /// footprint — the allocation-free form for the explorer's per-option
+    /// loop. Overrides must produce exactly what `footprint` returns.
+    fn footprint_into(&self, t: ThreadId, fp: &mut Footprint) {
+        *fp = self.footprint(t);
     }
 
     /// The derived commutativity relation: may the next transitions of
@@ -126,6 +154,15 @@ pub trait TransitionSystem {
     /// collision-free visited-set key).
     fn state_bytes(&self) -> Vec<u8>;
 
+    /// [`TransitionSystem::state_bytes`] written into a caller-provided
+    /// buffer (cleared first) — the allocation-free form for coverage
+    /// tracking. Overrides must produce exactly what `state_bytes`
+    /// returns.
+    fn state_bytes_into(&self, out: &mut Vec<u8>) {
+        out.clear();
+        out.extend_from_slice(&self.state_bytes());
+    }
+
     /// Human-readable description of `t`'s pending operation, for traces.
     fn describe_op(&self, t: ThreadId) -> String;
 
@@ -133,7 +170,7 @@ pub trait TransitionSystem {
     fn thread_name(&self, t: ThreadId) -> String;
 }
 
-impl<S: Capture> TransitionSystem for Kernel<S> {
+impl<S: Capture + Clone> TransitionSystem for Kernel<S> {
     fn thread_count(&self) -> usize {
         Kernel::thread_count(self)
     }
@@ -144,6 +181,15 @@ impl<S: Capture> TransitionSystem for Kernel<S> {
 
     fn enabled_set(&self) -> TidSet {
         Kernel::enabled_set(self)
+    }
+
+    fn enabled_set_into(&self, out: &mut TidSet) {
+        Kernel::enabled_set_into(self, out)
+    }
+
+    fn reset_from(&mut self, template: &Self) -> bool {
+        Kernel::reset_from(self, template);
+        true
     }
 
     fn is_yielding(&self, t: ThreadId) -> bool {
@@ -158,7 +204,9 @@ impl<S: Capture> TransitionSystem for Kernel<S> {
         if self.validate_effects() {
             Kernel::step_validated(self, t, choice).kind
         } else {
-            Kernel::step(self, t, choice).kind
+            // Only the step kind is observed here: skip the footprint
+            // query the full `Kernel::step` performs for its `StepInfo`.
+            Kernel::step_fast(self, t, choice).kind
         }
     }
 
@@ -168,6 +216,10 @@ impl<S: Capture> TransitionSystem for Kernel<S> {
         // whole-state write (sound: their transitions never commute);
         // guests that declare per-cell read/write sets get real pruning.
         Kernel::next_footprint(self, t)
+    }
+
+    fn footprint_into(&self, t: ThreadId, fp: &mut Footprint) {
+        Kernel::next_footprint_into(self, t, fp)
     }
 
     fn is_flush(&self, t: ThreadId) -> bool {
@@ -189,6 +241,10 @@ impl<S: Capture> TransitionSystem for Kernel<S> {
 
     fn state_bytes(&self) -> Vec<u8> {
         self.capture_state().into_bytes()
+    }
+
+    fn state_bytes_into(&self, out: &mut Vec<u8>) {
+        Kernel::state_bytes_into(self, out)
     }
 
     fn describe_op(&self, t: ThreadId) -> String {

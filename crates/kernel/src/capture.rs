@@ -125,8 +125,19 @@ pub struct StateWriter {
     hash: u64,
 }
 
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+pub(crate) const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Continues an FNV-1a hash state through additional bytes, as if they
+/// had been appended to the writer whose state is `h`. Lets the kernel's
+/// fingerprint cache compose a segment hash from separately cached parts
+/// without re-hashing the prefix.
+pub(crate) fn fnv_continue(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+    }
+    h
+}
 
 impl StateWriter {
     /// Creates an empty writer.
@@ -201,6 +212,13 @@ impl StateWriter {
         self.hash
     }
 
+    /// Resets the writer to the empty state, keeping the byte buffer's
+    /// allocation for reuse across captures.
+    pub fn clear(&mut self) {
+        self.bytes.clear();
+        self.hash = FNV_OFFSET;
+    }
+
     /// Consumes the writer and returns the exact byte signature.
     pub fn into_bytes(self) -> Vec<u8> {
         self.bytes
@@ -266,6 +284,20 @@ mod tests {
         assert!(w.is_empty());
         assert_eq!(w.len(), 0);
         assert_eq!(w.fingerprint(), FNV_OFFSET);
+    }
+
+    #[test]
+    fn clear_resets_bytes_and_hash() {
+        let mut w = StateWriter::new();
+        w.write_u64(42);
+        w.clear();
+        assert!(w.is_empty());
+        assert_eq!(w.fingerprint(), FNV_OFFSET);
+        w.write_u32(7);
+        let mut fresh = StateWriter::new();
+        fresh.write_u32(7);
+        assert_eq!(w.as_bytes(), fresh.as_bytes());
+        assert_eq!(w.fingerprint(), fresh.fingerprint());
     }
 
     #[test]

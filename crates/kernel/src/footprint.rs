@@ -230,10 +230,27 @@ impl fmt::Display for Access {
 /// footprints model transitions whose effects the analysis cannot bound
 /// (and yielding transitions, which interact with the fair scheduler's
 /// global priority state and must never be pruned).
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, PartialEq, Eq, Default)]
 pub struct Footprint {
     accesses: Vec<Access>,
     universal: bool,
+}
+
+impl Clone for Footprint {
+    fn clone(&self) -> Self {
+        Footprint {
+            accesses: self.accesses.clone(),
+            universal: self.universal,
+        }
+    }
+
+    // The derived impl would fall back to a fresh allocation here; the
+    // explorer clones footprints into per-schedule-point buffers on every
+    // step, so reusing the access buffer matters.
+    fn clone_from(&mut self, source: &Self) {
+        self.accesses.clone_from(&source.accesses);
+        self.universal = source.universal;
+    }
 }
 
 impl Footprint {
@@ -265,6 +282,21 @@ impl Footprint {
     /// Adds one access.
     pub fn push(&mut self, object: ObjectRef, kind: AccessKind) {
         self.accesses.push(Access::new(object, kind));
+    }
+
+    /// Resets to the empty (local) footprint, keeping the access buffer's
+    /// allocation for reuse.
+    pub fn clear(&mut self) {
+        self.accesses.clear();
+        self.universal = false;
+    }
+
+    /// Marks this footprint universal (dependent with everything),
+    /// dropping any named accesses so the result matches
+    /// [`Footprint::universal`] exactly.
+    pub fn make_universal(&mut self) {
+        self.accesses.clear();
+        self.universal = true;
     }
 
     /// Returns the accesses in this footprint (empty for universal
@@ -341,10 +373,18 @@ impl Footprint {
 /// accesses returned here. Purely local ops (`Local`, `Yield`, `Sleep`,
 /// `Choose`) therefore map to [`Footprint::local`] at this layer.
 pub fn footprint_of_op(op: &OpDesc) -> Footprint {
-    use AccessKind::{Acquire, Read, Release, Write};
     let mut fp = Footprint::local();
+    footprint_of_op_into(op, &mut fp);
+    fp
+}
+
+/// [`footprint_of_op`] writing into a caller-provided footprint, clearing
+/// it first — the allocation-free form for per-step scratch reuse.
+pub fn footprint_of_op_into(op: &OpDesc, fp: &mut Footprint) {
+    use AccessKind::{Acquire, Read, Release, Write};
+    fp.clear();
     match *op {
-        OpDesc::Finished => return fp,
+        OpDesc::Finished => {}
         OpDesc::Local | OpDesc::Yield | OpDesc::Sleep | OpDesc::Choose(_) => {}
         OpDesc::Acquire(m) | OpDesc::TryAcquire(m) | OpDesc::AcquireTimeout(m) => {
             fp.push(ObjectRef::Mutex(m), Acquire);
@@ -392,7 +432,6 @@ pub fn footprint_of_op(op: &OpDesc) -> Footprint {
         OpDesc::Fence => {}
         OpDesc::Flush(t) => fp.push(ObjectRef::Buffer(t), AccessKind::Flush),
     }
-    fp
 }
 
 #[cfg(test)]

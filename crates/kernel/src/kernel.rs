@@ -1,11 +1,12 @@
 //! The kernel: a deterministic world of guest threads, shared state and
 //! synchronization objects, driven one transition at a time by a scheduler.
 
+use std::cell::RefCell;
 use std::fmt;
 
-use crate::capture::{Capture, StateWriter};
+use crate::capture::{Capture, StateWriter, FNV_OFFSET, FNV_PRIME};
 use crate::effects::SharedEffects;
-use crate::footprint::{footprint_of_op, AccessKind, Footprint, ObjectRef};
+use crate::footprint::{footprint_of_op_into, AccessKind, Footprint, ObjectRef};
 use crate::ids::{
     AtomicId, BarrierId, ChannelId, CondvarId, EventId, MutexId, RwLockId, SemaphoreId,
 };
@@ -90,7 +91,6 @@ struct Slot<S> {
 /// historical numbering; under a buffering memory model every guest lane
 /// is immediately followed by its *flusher* lane, the pseudo-thread that
 /// drains the guest's store buffer one store per step.
-#[derive(Clone)]
 enum Lane {
     /// A guest thread (index into the guest slot table).
     Guest(usize),
@@ -101,6 +101,197 @@ enum Lane {
         owner: ThreadId,
         name: String,
     },
+}
+
+impl Clone for Lane {
+    fn clone(&self) -> Self {
+        match self {
+            Lane::Guest(g) => Lane::Guest(*g),
+            Lane::Flusher { guest, owner, name } => Lane::Flusher {
+                guest: *guest,
+                owner: *owner,
+                name: name.clone(),
+            },
+        }
+    }
+
+    // Reuses the flusher-name buffer when the kernel pool resets the lane
+    // table from an execution template (see `Kernel::reset_from`).
+    fn clone_from(&mut self, source: &Self) {
+        match (self, source) {
+            (
+                Lane::Flusher { guest, owner, name },
+                Lane::Flusher {
+                    guest: sg,
+                    owner: so,
+                    name: sn,
+                },
+            ) => {
+                *guest = *sg;
+                *owner = *so;
+                name.clone_from(sn);
+            }
+            (dst, src) => *dst = src.clone(),
+        }
+    }
+}
+
+/// Cached per-segment state captures for incremental fingerprinting.
+///
+/// The abstract state splits into segments — the shared state, one per
+/// guest thread (locals plus pending op), the object table, and the
+/// non-empty store buffers — and every kernel mutation dirties exactly
+/// the segments it can change (marked at the mutation sites in
+/// [`Kernel::step`], [`Kernel::spawn_boxed`] via the length check, and
+/// friends). A [`Kernel::fingerprint`] or [`Kernel::state_bytes_into`]
+/// query then re-captures only the dirty segments.
+///
+/// Shared-state writes by guest code are detected through the guest's
+/// [`SharedEffects`] declaration — the same trust boundary sleep-set
+/// reduction stands on, mechanically checkable with
+/// [`Kernel::set_validate_effects`].
+///
+/// Each thread segment is cached in two parts: the guest's locals
+/// capture and its pending-op capture. A guest's own step dirties both;
+/// a declared shared write dirties only the op tails (pending ops are
+/// `next_op(&shared)`, locals are untouched), and a tail whose
+/// recomputed op is unchanged costs nothing to re-hash — the common
+/// case, since most shared writes leave other threads' pending ops
+/// alone. The combined segment hash is the FNV continuation of the
+/// locals hash through the op bytes, byte-identical to hashing the
+/// concatenated segment.
+///
+/// Lives in a `RefCell` so the read-only queries (`&self`) can refresh
+/// it; the kernel holds `dyn` guests and is never shared across threads.
+struct FpCache {
+    /// Fast path armed? Off = the from-scratch reference path the
+    /// equivalence tests compare against.
+    enabled: bool,
+    shared: StateWriter,
+    /// Per-guest locals captures (`guest.capture` bytes only).
+    threads: Vec<StateWriter>,
+    /// Per-guest pending-op captures — the tail of each thread segment.
+    thread_ops: Vec<StateWriter>,
+    /// The op whose bytes sit in `thread_ops` (the equality shortcut for
+    /// op-tail refreshes).
+    pending: Vec<OpDesc>,
+    /// Combined per-thread segment hashes: FNV over locals ++ op bytes.
+    seg_hash: Vec<u64>,
+    objects: StateWriter,
+    buffers: StateWriter,
+    shared_dirty: bool,
+    /// Whole-segment staleness: the guest stepped, locals and op alike.
+    threads_dirty: Vec<bool>,
+    /// Op-tail-only staleness: a shared write may have changed the
+    /// pending op, but the locals capture is still good.
+    ops_dirty: Vec<bool>,
+    objects_dirty: bool,
+    buffers_dirty: bool,
+}
+
+impl FpCache {
+    fn new(enabled: bool) -> Self {
+        FpCache {
+            enabled,
+            shared: StateWriter::new(),
+            threads: Vec::new(),
+            thread_ops: Vec::new(),
+            pending: Vec::new(),
+            seg_hash: Vec::new(),
+            objects: StateWriter::new(),
+            buffers: StateWriter::new(),
+            shared_dirty: true,
+            threads_dirty: Vec::new(),
+            ops_dirty: Vec::new(),
+            objects_dirty: true,
+            buffers_dirty: true,
+        }
+    }
+
+    /// Marks every segment dirty and resizes the thread segments to
+    /// `threads` entries, keeping existing writer allocations.
+    fn invalidate_all(&mut self, threads: usize) {
+        self.shared_dirty = true;
+        self.objects_dirty = true;
+        self.buffers_dirty = true;
+        if self.threads.len() < threads {
+            self.threads.resize_with(threads, StateWriter::new);
+            self.thread_ops.resize_with(threads, StateWriter::new);
+        } else {
+            self.threads.truncate(threads);
+            self.thread_ops.truncate(threads);
+        }
+        self.pending.clear();
+        self.pending.resize(threads, OpDesc::Finished);
+        self.seg_hash.clear();
+        self.seg_hash.resize(threads, 0);
+        self.threads_dirty.clear();
+        self.threads_dirty.resize(threads, true);
+        self.ops_dirty.clear();
+        self.ops_dirty.resize(threads, false);
+    }
+
+    /// The shared state (may have) changed: its segment is stale, and so
+    /// is every thread segment's op tail — pending ops are
+    /// `next_op(&shared)`. The locals captures stay good.
+    fn mark_shared_dirty(&mut self) {
+        self.shared_dirty = true;
+        for d in &mut self.ops_dirty {
+            *d = true;
+        }
+    }
+}
+
+/// One fold step of the segment-combined fingerprint: FNV-1a over the
+/// per-segment hashes.
+fn fold_fp(h: u64, segment: u64) -> u64 {
+    (h ^ segment).wrapping_mul(FNV_PRIME)
+}
+
+/// Memoized pending operations, one per guest slot.
+///
+/// `GuestThread::next_op` is a pure function of the guest's local state
+/// and the shared state, and the exploration loop asks for it many times
+/// per transition (status, enabled sets, yield/branching queries, the
+/// step itself, capture refresh). The memo computes it once per
+/// (guest-state, shared-state) pair and invalidates on exactly the events
+/// that can change the answer: the guest's own step, and any declared
+/// shared write — the same [`SharedEffects`] trust boundary the
+/// fingerprint cache stands on. Flusher-lane ops are never memoized;
+/// they are derived directly from the buffers.
+///
+/// Armed and disarmed together with [`FpCache`] through
+/// [`Kernel::set_fingerprint_caching`], so the reference path recomputes
+/// everything from scratch. Lives in its own `RefCell` because the
+/// capture refresh reads it while holding the `FpCache` borrow.
+struct OpMemo {
+    /// Mirrors [`FpCache::enabled`]; kept as a copy so reads do not
+    /// alias the `FpCache` borrow.
+    enabled: bool,
+    ops: Vec<Option<OpDesc>>,
+}
+
+impl OpMemo {
+    fn new(enabled: bool) -> Self {
+        OpMemo {
+            enabled,
+            ops: Vec::new(),
+        }
+    }
+
+    /// Forgets every memoized op and resizes to `threads` slots.
+    fn invalidate_all(&mut self, threads: usize) {
+        self.ops.clear();
+        self.ops.resize(threads, None);
+    }
+
+    /// Forgets guest `g`'s memoized op (no-op if the table has not
+    /// caught up with a spawn yet — the length check on read handles it).
+    fn invalidate(&mut self, g: usize) {
+        if let Some(slot) = self.ops.get_mut(g) {
+            *slot = None;
+        }
+    }
 }
 
 /// A deterministic multithreaded program instance: shared state `S`, a set
@@ -152,6 +343,12 @@ pub struct Kernel<S> {
     /// `TransitionSystem` impl) diffs the shared state around every step
     /// and reports mutations outside the guest's declared write-set.
     validate_effects: bool,
+    /// Per-segment capture cache backing incremental fingerprints; see
+    /// [`FpCache`]. Interior mutability lets the read-only queries
+    /// refresh it.
+    fp_cache: RefCell<FpCache>,
+    /// Memoized pending guest ops; see [`OpMemo`].
+    op_memo: RefCell<OpMemo>,
 }
 
 impl<S> Kernel<S> {
@@ -178,6 +375,8 @@ impl<S> Kernel<S> {
             violation: None,
             stats: ExecStats::default(),
             validate_effects: false,
+            fp_cache: RefCell::new(FpCache::new(true)),
+            op_memo: RefCell::new(OpMemo::new(true)),
         }
     }
 
@@ -194,6 +393,31 @@ impl<S> Kernel<S> {
     /// Is per-step effect validation armed?
     pub fn validate_effects(&self) -> bool {
         self.validate_effects
+    }
+
+    /// Arms (or disarms) incremental fingerprint caching. On by default;
+    /// disabling it forces every [`Kernel::fingerprint`] and
+    /// [`Kernel::state_bytes_into`] query down the from-scratch reference
+    /// path. Both paths produce identical values — this switch exists so
+    /// the equivalence tests can compare them.
+    pub fn set_fingerprint_caching(&mut self, on: bool) {
+        let n = self.threads.len();
+        let cache = self.fp_cache.get_mut();
+        cache.enabled = on;
+        cache.invalidate_all(n);
+        let memo = self.op_memo.get_mut();
+        memo.enabled = on;
+        memo.invalidate_all(n);
+    }
+
+    /// Is incremental fingerprint caching armed?
+    pub fn fingerprint_caching(&self) -> bool {
+        self.fp_cache.borrow().enabled
+    }
+
+    /// Dirties the object-table segment of the fingerprint cache.
+    fn touch_objects(&mut self) {
+        self.fp_cache.get_mut().objects_dirty = true;
     }
 
     /// The memory model this kernel executes under.
@@ -228,36 +452,43 @@ impl<S> Kernel<S> {
 
     /// Creates a mutex.
     pub fn add_mutex(&mut self) -> MutexId {
+        self.touch_objects();
         self.objects.add_mutex()
     }
 
     /// Creates a reader-writer lock.
     pub fn add_rwlock(&mut self) -> RwLockId {
+        self.touch_objects();
         self.objects.add_rwlock()
     }
 
     /// Creates a counting semaphore with `permits` initial permits.
     pub fn add_semaphore(&mut self, permits: u32) -> SemaphoreId {
+        self.touch_objects();
         self.objects.add_semaphore(permits)
     }
 
     /// Creates an auto-reset event (consumed by the first completed wait).
     pub fn add_auto_event(&mut self, initially_set: bool) -> EventId {
+        self.touch_objects();
         self.objects.add_event(true, initially_set)
     }
 
     /// Creates a manual-reset event (stays set until explicitly reset).
     pub fn add_manual_event(&mut self, initially_set: bool) -> EventId {
+        self.touch_objects();
         self.objects.add_event(false, initially_set)
     }
 
     /// Creates a condition variable.
     pub fn add_condvar(&mut self) -> CondvarId {
+        self.touch_objects();
         self.objects.add_condvar()
     }
 
     /// Creates an atomic cell with an initial value.
     pub fn add_atomic(&mut self, value: u64) -> AtomicId {
+        self.touch_objects();
         self.objects.add_atomic(value)
     }
 
@@ -268,6 +499,7 @@ impl<S> Kernel<S> {
     /// Panics if `parties` is zero.
     pub fn add_barrier(&mut self, parties: u32) -> BarrierId {
         assert!(parties > 0, "a barrier needs at least one party");
+        self.touch_objects();
         self.objects.add_barrier(parties)
     }
 
@@ -279,6 +511,7 @@ impl<S> Kernel<S> {
     /// supported; use capacity 1 plus an event for a handshake).
     pub fn add_channel(&mut self, capacity: usize) -> ChannelId {
         assert!(capacity > 0, "channel capacity must be positive");
+        self.touch_objects();
         self.objects.add_channel(capacity)
     }
 
@@ -330,6 +563,9 @@ impl<S> Kernel<S> {
     /// Mutable shared state accessor, intended for test-harness setup
     /// before the search starts.
     pub fn shared_mut(&mut self) -> &mut S {
+        self.fp_cache.get_mut().mark_shared_dirty();
+        let n = self.threads.len();
+        self.op_memo.get_mut().invalidate_all(n);
         &mut self.shared
     }
 
@@ -338,8 +574,15 @@ impl<S> Kernel<S> {
     /// non-empty and [`OpDesc::Finished`] once drained, so termination
     /// requires every buffered store to reach memory.
     pub fn next_op(&self, t: ThreadId) -> OpDesc {
+        self.next_op_in(&mut self.op_memo.borrow_mut(), t)
+    }
+
+    /// [`Kernel::next_op`] against an already-borrowed memo — the form
+    /// the whole-table scans use, so one scan costs one `RefCell` borrow
+    /// instead of one per thread.
+    fn next_op_in(&self, memo: &mut OpMemo, t: ThreadId) -> OpDesc {
         match &self.lanes[t.index()] {
-            Lane::Guest(g) => self.threads[*g].guest.next_op(&self.shared),
+            Lane::Guest(g) => self.guest_op_in(memo, *g),
             Lane::Flusher { guest, owner, .. } => {
                 if self.buffers[*guest].is_empty() {
                     OpDesc::Finished
@@ -350,6 +593,31 @@ impl<S> Kernel<S> {
         }
     }
 
+    /// The pending op of guest slot `g`, memoized while fast caching is
+    /// armed (see [`OpMemo`]); recomputed from the guest on every call
+    /// otherwise.
+    fn guest_op(&self, g: usize) -> OpDesc {
+        self.guest_op_in(&mut self.op_memo.borrow_mut(), g)
+    }
+
+    /// [`Kernel::guest_op`] against an already-borrowed memo.
+    fn guest_op_in(&self, memo: &mut OpMemo, g: usize) -> OpDesc {
+        if !memo.enabled {
+            return self.threads[g].guest.next_op(&self.shared);
+        }
+        // A spawn since the last invalidation grew the thread table;
+        // resizing here both covers it and keeps indexing in bounds.
+        if memo.ops.len() != self.threads.len() {
+            memo.invalidate_all(self.threads.len());
+        }
+        if let Some(op) = memo.ops[g] {
+            return op;
+        }
+        let op = self.threads[g].guest.next_op(&self.shared);
+        memo.ops[g] = Some(op);
+        op
+    }
+
     /// Has thread `t` finished?
     pub fn is_finished(&self, t: ThreadId) -> bool {
         matches!(self.next_op(t), OpDesc::Finished)
@@ -357,9 +625,14 @@ impl<S> Kernel<S> {
 
     /// The paper's `enabled(t)` predicate: can `t` take a transition now?
     pub fn enabled(&self, t: ThreadId) -> bool {
-        match self.next_op(t) {
+        self.enabled_in(&mut self.op_memo.borrow_mut(), t)
+    }
+
+    /// [`Kernel::enabled`] against an already-borrowed memo.
+    fn enabled_in(&self, memo: &mut OpMemo, t: ThreadId) -> bool {
+        match self.next_op_in(memo, t) {
             OpDesc::Finished => false,
-            OpDesc::Join(u) => self.is_finished(u),
+            OpDesc::Join(u) => matches!(self.next_op_in(memo, u), OpDesc::Finished),
             // A flusher only reports Flush while its buffer is non-empty,
             // and draining one store is always possible.
             OpDesc::Flush(_) => true,
@@ -380,7 +653,22 @@ impl<S> Kernel<S> {
 
     /// The set of enabled threads (the paper's `ES`).
     pub fn enabled_set(&self) -> TidSet {
-        self.thread_ids().filter(|&t| self.enabled(t)).collect()
+        let mut out = TidSet::new();
+        self.enabled_set_into(&mut out);
+        out
+    }
+
+    /// [`Kernel::enabled_set`] writing into a caller-provided set,
+    /// clearing it first — the allocation-free form for the explorer's
+    /// per-step loop. One memo borrow covers the whole scan.
+    pub fn enabled_set_into(&self, out: &mut TidSet) {
+        out.clear();
+        let memo = &mut *self.op_memo.borrow_mut();
+        for t in self.thread_ids() {
+            if self.enabled_in(memo, t) {
+                out.insert(t);
+            }
+        }
     }
 
     /// The paper's `yield(t)` predicate: is `t` enabled and would its next
@@ -405,11 +693,21 @@ impl<S> Kernel<S> {
     /// queryable before stepping.
     ///
     /// Sync-object accesses come from the op itself
-    /// ([`footprint_of_op`]); shared-state accesses come from the
+    /// ([`footprint_of_op_into`]); shared-state accesses come from the
     /// guest's [`GuestThread::shared_effects`] declaration (default: a
     /// conservative whole-state write, which keeps undeclared guests
     /// pairwise dependent).
     pub fn next_footprint(&self, t: ThreadId) -> Footprint {
+        let mut fp = Footprint::local();
+        self.next_footprint_into(t, &mut fp);
+        fp
+    }
+
+    /// [`Kernel::next_footprint`] writing into a caller-provided
+    /// footprint, clearing it first — the allocation-free form for the
+    /// explorer's per-option loop.
+    pub fn next_footprint_into(&self, t: ThreadId, fp: &mut Footprint) {
+        fp.clear();
         match &self.lanes[t.index()] {
             // A flush writes memory cells but never the shared guest
             // state (no `on_op` runs), so it provably commutes with
@@ -421,7 +719,6 @@ impl<S> Kernel<S> {
             // owner's later buffered stores, which can change the
             // flusher's choice set (see [`Kernel::branching`]).
             Lane::Flusher { guest, owner, .. } => {
-                let mut fp = Footprint::local();
                 match self.memory {
                     MemoryModel::Pso => {
                         for a in self.buffers[*guest].locations() {
@@ -435,11 +732,10 @@ impl<S> Kernel<S> {
                     }
                 }
                 fp.push(ObjectRef::Buffer(*owner), AccessKind::Flush);
-                fp
             }
             Lane::Guest(g) => {
-                let op = self.threads[*g].guest.next_op(&self.shared);
-                let mut fp = match op {
+                let op = self.guest_op(*g);
+                match op {
                     // A buffered store touches the cell (its flush will
                     // change it) but as a `Buffered` access, so traces
                     // distinguish `[buffer atomic0]` from `[write
@@ -447,24 +743,19 @@ impl<S> Kernel<S> {
                     // dependent with sleeping flush and fence decisions
                     // on this thread's buffer.
                     OpDesc::AtomicStore(a, _) if self.memory.buffers() => {
-                        let mut fp = Footprint::local();
                         fp.push(ObjectRef::Atomic(a), AccessKind::Buffered);
                         fp.push(ObjectRef::Buffer(t), AccessKind::Buffered);
-                        fp
                     }
                     OpDesc::Fence => {
-                        let mut fp = Footprint::local();
                         fp.push(ObjectRef::Buffer(t), AccessKind::Fence);
-                        fp
                     }
-                    ref op => footprint_of_op(op),
-                };
+                    ref op => footprint_of_op_into(op, fp),
+                }
                 // Finished threads never step: keep their footprint
                 // empty rather than asking for effects they won't have.
                 if !matches!(op, OpDesc::Finished) {
-                    self.threads[*g].guest.shared_effects(&op).apply_to(&mut fp);
+                    self.threads[*g].guest.shared_effects(&op).apply_to(fp);
                 }
-                fp
             }
         }
     }
@@ -479,13 +770,26 @@ impl<S> Kernel<S> {
     /// Panics if `t` is not enabled or `choice` is out of range; both
     /// indicate a scheduler bug, not a guest bug.
     pub fn step(&mut self, t: ThreadId, choice: u32) -> StepInfo {
+        // Query the footprint before mutating anything so StepInfo agrees
+        // with what `next_footprint` reported to the strategy.
+        let footprint = self.next_footprint(t);
+        self.step_with_footprint(t, choice, footprint)
+    }
+
+    /// [`Kernel::step`] without the footprint query: the returned
+    /// `StepInfo` carries an empty placeholder footprint. For drivers
+    /// that never read it (the default `TransitionSystem` stepping path,
+    /// which uses only the step kind) this skips a footprint computation
+    /// per transition.
+    pub fn step_fast(&mut self, t: ThreadId, choice: u32) -> StepInfo {
+        self.step_with_footprint(t, choice, Footprint::local())
+    }
+
+    fn step_with_footprint(&mut self, t: ThreadId, choice: u32, footprint: Footprint) -> StepInfo {
         assert!(
             self.enabled(t),
             "scheduler bug: stepped disabled thread {t}"
         );
-        // Query the footprint before mutating anything so StepInfo agrees
-        // with what `next_footprint` reported to the strategy.
-        let footprint = self.next_footprint(t);
         let g = match &self.lanes[t.index()] {
             Lane::Guest(g) => *g,
             Lane::Flusher { guest, owner, .. } => {
@@ -494,6 +798,14 @@ impl<S> Kernel<S> {
             }
         };
         let op = self.next_op(t);
+        let cache_on = self.fp_cache.get_mut().enabled;
+        // Whether `on_op` may mutate the shared state, per the guest's
+        // declaration — the write half of the same contract sleep-set
+        // reduction trusts (checked by `--validate-effects`). Queried
+        // before the step because the op changes under it.
+        let shared_write = cache_on && self.threads[g].guest.shared_effects(&op).may_write();
+        let mut objects_touched = false;
+        let mut buffers_touched = false;
         let (result, kind) = match op {
             OpDesc::Local | OpDesc::Join(_) => (OpResult::Unit, StepKind::Normal),
             // `enabled` guarantees the buffer already drained (or SC,
@@ -505,6 +817,7 @@ impl<S> Kernel<S> {
             // schedulable.
             OpDesc::AtomicStore(a, v) if self.memory.buffers() => {
                 self.buffers[g].push(a, v);
+                buffers_touched = true;
                 (OpResult::Unit, StepKind::Normal)
             }
             // A load forwards from the youngest buffered store to the
@@ -537,8 +850,14 @@ impl<S> Kernel<S> {
             }
             OpDesc::Finished => unreachable!("finished threads are never enabled"),
             ref obj_op => match self.objects.execute(t, obj_op) {
-                Ok(r) => r,
+                Ok(r) => {
+                    objects_touched = true;
+                    r
+                }
                 Err(v) => {
+                    // Conservatively stale: `execute` may have mutated the
+                    // table before faulting.
+                    self.touch_objects();
                     self.violation = Some(Violation {
                         thread: t,
                         message: v.0,
@@ -577,6 +896,34 @@ impl<S> Kernel<S> {
         }
         if let Some(message) = fx.violation {
             self.violation = Some(Violation { thread: t, message });
+        }
+        if cache_on {
+            // Spawns grew the thread table; `refresh_cache`'s length
+            // check already invalidates everything in that (rare) case.
+            let cache = self.fp_cache.get_mut();
+            if let Some(d) = cache.threads_dirty.get_mut(g) {
+                *d = true;
+            }
+            if shared_write {
+                cache.mark_shared_dirty();
+            }
+            if objects_touched {
+                cache.objects_dirty = true;
+            }
+            if buffers_touched {
+                cache.buffers_dirty = true;
+            }
+            // `on_op` ran: the stepping guest's pending op is stale, and
+            // so is everyone's if the shared state was (declared)
+            // written. The early-return paths above skip this because no
+            // guest code ran there — neither locals nor shared changed.
+            let n = self.threads.len();
+            let memo = self.op_memo.get_mut();
+            if shared_write {
+                memo.invalidate_all(n);
+            } else {
+                memo.invalidate(g);
+            }
         }
         StepInfo {
             footprint,
@@ -622,6 +969,16 @@ impl<S> Kernel<S> {
             .expect("atomic stores cannot fault");
         self.stats.steps += 1;
         self.stats.sync_ops += 1;
+        {
+            // A flush moves a store from the buffer into the atomic
+            // table; no guest code runs, so the owner's pending op (a
+            // function of guest locals and shared state only) is intact.
+            let cache = self.fp_cache.get_mut();
+            if cache.enabled {
+                cache.objects_dirty = true;
+                cache.buffers_dirty = true;
+            }
+        }
         StepInfo {
             footprint,
             op: OpDesc::Flush(owner),
@@ -635,11 +992,12 @@ impl<S> Kernel<S> {
         if let Some(v) = &self.violation {
             return KernelStatus::Violation(v.clone());
         }
+        let memo = &mut *self.op_memo.borrow_mut();
         let mut any_active = false;
         for t in self.thread_ids() {
-            if !self.is_finished(t) {
+            if !matches!(self.next_op_in(memo, t), OpDesc::Finished) {
                 any_active = true;
-                if self.enabled(t) {
+                if self.enabled_in(memo, t) {
                     return KernelStatus::Running;
                 }
             }
@@ -683,19 +1041,29 @@ impl<S: Capture> Kernel<S> {
     pub fn capture_state(&self) -> StateWriter {
         let mut w = StateWriter::new();
         self.shared.capture(&mut w);
-        for slot in &self.threads {
-            slot.guest.capture(&mut w);
-            // The pending op disambiguates threads whose `capture` is
-            // coarse; it is part of the control state.
-            let op = slot.guest.next_op(&self.shared);
-            w.write_str(&format!("{op:?}"));
+        for g in 0..self.threads.len() {
+            self.capture_thread_seg(g, &mut w);
         }
         self.objects.capture(&mut w);
-        // Store-buffer contents are control state too (they decide what
-        // loads forward and what flushes remain). Only non-empty buffers
-        // are written, so a terminal state (all buffers drained) captures
-        // to exactly the same bytes as the equivalent SC state — the
-        // property the cross-model outcome-monotonicity oracle relies on.
+        self.capture_buffers_seg(&mut w);
+        w
+    }
+
+    /// Captures one guest-thread segment: the guest's local state plus
+    /// its pending op. The pending op disambiguates threads whose
+    /// `capture` is coarse; it is part of the control state.
+    fn capture_thread_seg(&self, g: usize, w: &mut StateWriter) {
+        self.threads[g].guest.capture(w);
+        self.guest_op(g).capture(w);
+    }
+
+    /// Captures the store-buffer segment. Buffer contents are control
+    /// state too (they decide what loads forward and what flushes
+    /// remain). Only non-empty buffers are written, so a terminal state
+    /// (all buffers drained) captures to exactly the same bytes as the
+    /// equivalent SC state — the property the cross-model
+    /// outcome-monotonicity oracle relies on.
+    fn capture_buffers_seg(&self, w: &mut StateWriter) {
         for (g, buf) in self.buffers.iter().enumerate() {
             if !buf.is_empty() {
                 w.write_u32(g as u32 + 1);
@@ -706,12 +1074,128 @@ impl<S: Capture> Kernel<S> {
                 }
             }
         }
-        w
     }
 
-    /// 64-bit fingerprint of [`Kernel::capture_state`].
+    /// Re-captures the dirty segments of the fingerprint cache (and
+    /// everything, if the thread table changed size under it).
+    fn refresh_cache(&self, cache: &mut FpCache) {
+        if cache.threads.len() != self.threads.len() {
+            cache.invalidate_all(self.threads.len());
+        }
+        if cache.shared_dirty {
+            cache.shared.clear();
+            self.shared.capture(&mut cache.shared);
+            cache.shared_dirty = false;
+        }
+        let memo = &mut *self.op_memo.borrow_mut();
+        for g in 0..self.threads.len() {
+            if cache.threads_dirty[g] {
+                // The guest stepped: locals and op tail both stale.
+                cache.threads[g].clear();
+                self.threads[g].guest.capture(&mut cache.threads[g]);
+                let op = self.guest_op_in(memo, g);
+                cache.thread_ops[g].clear();
+                op.capture(&mut cache.thread_ops[g]);
+                cache.pending[g] = op;
+                cache.seg_hash[g] = crate::capture::fnv_continue(
+                    cache.threads[g].fingerprint(),
+                    cache.thread_ops[g].as_bytes(),
+                );
+                cache.threads_dirty[g] = false;
+                cache.ops_dirty[g] = false;
+            } else if cache.ops_dirty[g] {
+                // A shared write elsewhere: only the pending op can have
+                // changed — and usually it hasn't.
+                let op = self.guest_op_in(memo, g);
+                if op != cache.pending[g] {
+                    cache.thread_ops[g].clear();
+                    op.capture(&mut cache.thread_ops[g]);
+                    cache.pending[g] = op;
+                    cache.seg_hash[g] = crate::capture::fnv_continue(
+                        cache.threads[g].fingerprint(),
+                        cache.thread_ops[g].as_bytes(),
+                    );
+                }
+                cache.ops_dirty[g] = false;
+            }
+        }
+        if cache.objects_dirty {
+            cache.objects.clear();
+            self.objects.capture(&mut cache.objects);
+            cache.objects_dirty = false;
+        }
+        if cache.buffers_dirty {
+            cache.buffers.clear();
+            self.capture_buffers_seg(&mut cache.buffers);
+            cache.buffers_dirty = false;
+        }
+    }
+
+    /// 64-bit fingerprint of the abstract state: a fold of the
+    /// per-segment FNV-1a hashes (shared state, each guest thread, the
+    /// object table, the store buffers).
+    ///
+    /// With fingerprint caching armed (the default) only segments dirtied
+    /// since the last query are re-captured; the value is identical on
+    /// the cached and from-scratch paths, which the equivalence tests and
+    /// the `proptest` in `crates/tests` pin. Cycle detection feeds these
+    /// values into scheduling decisions, so the two paths agreeing is a
+    /// correctness requirement, not a nicety.
     pub fn fingerprint(&self) -> u64 {
-        self.capture_state().fingerprint()
+        let mut cache = self.fp_cache.borrow_mut();
+        if !cache.enabled {
+            drop(cache);
+            return self.fresh_fingerprint();
+        }
+        self.refresh_cache(&mut cache);
+        let mut h = fold_fp(FNV_OFFSET, cache.shared.fingerprint());
+        for &sh in &cache.seg_hash {
+            h = fold_fp(h, sh);
+        }
+        h = fold_fp(h, cache.objects.fingerprint());
+        fold_fp(h, cache.buffers.fingerprint())
+    }
+
+    /// The from-scratch fingerprint: same per-segment fold as the cached
+    /// path, computed through one reused writer.
+    fn fresh_fingerprint(&self) -> u64 {
+        let mut w = StateWriter::new();
+        self.shared.capture(&mut w);
+        let mut h = fold_fp(FNV_OFFSET, w.fingerprint());
+        for g in 0..self.threads.len() {
+            w.clear();
+            self.capture_thread_seg(g, &mut w);
+            h = fold_fp(h, w.fingerprint());
+        }
+        w.clear();
+        self.objects.capture(&mut w);
+        h = fold_fp(h, w.fingerprint());
+        w.clear();
+        self.capture_buffers_seg(&mut w);
+        fold_fp(h, w.fingerprint())
+    }
+
+    /// Writes the bytes of [`Kernel::capture_state`] into a
+    /// caller-provided buffer, clearing it first. With fingerprint
+    /// caching armed the bytes are assembled from the cached segments
+    /// without re-capturing clean ones; the result is byte-identical to
+    /// the from-scratch capture either way.
+    pub fn state_bytes_into(&self, out: &mut Vec<u8>) {
+        out.clear();
+        let mut cache = self.fp_cache.borrow_mut();
+        if !cache.enabled {
+            drop(cache);
+            out.extend_from_slice(self.capture_state().as_bytes());
+            return;
+        }
+        self.refresh_cache(&mut cache);
+        out.extend_from_slice(cache.shared.as_bytes());
+        for (tw, ow) in cache.threads.iter().zip(&cache.thread_ops) {
+            out.extend_from_slice(tw.as_bytes());
+            out.extend_from_slice(ow.as_bytes());
+        }
+        out.extend_from_slice(cache.objects.as_bytes());
+        out.extend_from_slice(cache.buffers.as_bytes());
     }
 
     /// Captures the shared state alone (not threads or objects).
@@ -823,7 +1307,54 @@ impl<S: Clone> Clone for Kernel<S> {
             violation: self.violation.clone(),
             stats: self.stats,
             validate_effects: self.validate_effects,
+            // A fresh all-dirty cache: captures are lazily rebuilt on the
+            // clone's first fingerprint query.
+            fp_cache: RefCell::new(FpCache::new(self.fp_cache.borrow().enabled)),
+            op_memo: RefCell::new(OpMemo::new(self.op_memo.borrow().enabled)),
         }
+    }
+}
+
+impl<S: Clone> Kernel<S> {
+    /// Rebuilds this kernel into a fresh copy of `template`, reusing the
+    /// allocations this instance already owns (thread/lane/buffer tables,
+    /// object tables, buffer queues, name strings, cache writers).
+    ///
+    /// This is the allocation-pooling path behind the explorer's
+    /// per-execution reset: behaviorally it is exactly
+    /// `*self = template.clone()`, which the `reset_from` tests pin. The
+    /// guest boxes themselves are re-cloned — trait objects cannot be
+    /// reset in place — so the per-execution cost drops to one small
+    /// allocation per thread.
+    pub fn reset_from(&mut self, template: &Self) {
+        self.shared.clone_from(&template.shared);
+        self.threads.truncate(template.threads.len());
+        let have = self.threads.len();
+        for (dst, src) in self.threads.iter_mut().zip(&template.threads) {
+            dst.guest = src.guest.box_clone();
+            dst.name.clone_from(&src.name);
+        }
+        for src in &template.threads[have..] {
+            self.threads.push(Slot {
+                guest: src.guest.box_clone(),
+                name: src.name.clone(),
+            });
+        }
+        self.lanes.clone_from(&template.lanes);
+        self.memory = template.memory;
+        self.buffers.clone_from(&template.buffers);
+        self.objects.clone_from(&template.objects);
+        self.violation.clone_from(&template.violation);
+        self.stats = template.stats;
+        self.validate_effects = template.validate_effects;
+        let enabled = template.fp_cache.borrow().enabled;
+        let n = self.threads.len();
+        let cache = self.fp_cache.get_mut();
+        cache.enabled = enabled;
+        cache.invalidate_all(n);
+        let memo = self.op_memo.get_mut();
+        memo.enabled = enabled;
+        memo.invalidate_all(n);
     }
 }
 
@@ -1687,5 +2218,145 @@ mod tests {
             ),
             s => panic!("expected a violation, got {s:?}"),
         }
+    }
+
+    /// Two kernels built identically: `fast` keeps fingerprint caching
+    /// armed, `slow` is forced down the from-scratch path. Drives both
+    /// through the same schedule to termination, checking after every
+    /// transition that fingerprints, state bytes, and the full capture
+    /// agree — the incremental-fingerprint invariant in one place.
+    fn lockstep_cache_agreement<S: Capture>(mut fast: Kernel<S>, mut slow: Kernel<S>) {
+        fast.set_fingerprint_caching(true);
+        slow.set_fingerprint_caching(false);
+        let mut bytes_fast = Vec::new();
+        let mut bytes_slow = Vec::new();
+        for steps in 0usize..10_000 {
+            assert_eq!(fast.fingerprint(), slow.fingerprint(), "fp at step {steps}");
+            assert_eq!(
+                fast.fingerprint(),
+                fast.fresh_fingerprint(),
+                "cached vs fresh at step {steps}"
+            );
+            fast.state_bytes_into(&mut bytes_fast);
+            slow.state_bytes_into(&mut bytes_slow);
+            assert_eq!(bytes_fast, bytes_slow, "bytes at step {steps}");
+            assert_eq!(
+                bytes_fast,
+                fast.capture_state().as_bytes(),
+                "cached bytes vs capture at step {steps}"
+            );
+            let enabled: Vec<ThreadId> = fast.thread_ids().filter(|&t| fast.enabled(t)).collect();
+            if enabled.is_empty() {
+                return;
+            }
+            let t = enabled[steps % enabled.len()];
+            let choice = (steps % fast.branching(t).max(1)) as u32;
+            fast.step(t, choice);
+            slow.step(t, choice);
+        }
+        panic!("workload did not terminate");
+    }
+
+    /// A two-writer store/load/fence workload over two atomic cells,
+    /// buffered under `model`.
+    fn buffered_pair(model: crate::MemoryModel) -> Kernel<()> {
+        let mut k = Kernel::with_memory((), model);
+        let x = k.add_atomic(0);
+        let y = k.add_atomic(0);
+        k.spawn(Writer {
+            pc: 0,
+            ops: vec![
+                OpDesc::AtomicStore(x, 1),
+                OpDesc::AtomicLoad(y),
+                OpDesc::Fence,
+            ],
+        });
+        k.spawn(Writer {
+            pc: 0,
+            ops: vec![
+                OpDesc::AtomicStore(y, 2),
+                OpDesc::AtomicStore(x, 3),
+                OpDesc::AtomicLoad(x),
+            ],
+        });
+        k
+    }
+
+    #[test]
+    fn cached_fingerprint_agrees_with_fresh_on_a_mutex_workload() {
+        let (fast, _, _) = two_lockers();
+        let (slow, _, _) = two_lockers();
+        lockstep_cache_agreement(fast, slow);
+    }
+
+    #[test]
+    fn cached_fingerprint_agrees_with_fresh_under_buffering() {
+        for model in [crate::MemoryModel::Tso, crate::MemoryModel::Pso] {
+            lockstep_cache_agreement(buffered_pair(model), buffered_pair(model));
+        }
+    }
+
+    #[test]
+    fn shared_mut_dirties_the_cached_fingerprint() {
+        let (mut k, _, _) = two_lockers();
+        let before = k.fingerprint();
+        *k.shared_mut() += 7;
+        assert_ne!(k.fingerprint(), before);
+        assert_eq!(k.fingerprint(), k.fresh_fingerprint());
+    }
+
+    #[test]
+    fn spawn_after_fingerprint_query_invalidates_the_cache() {
+        let (mut k, a, _) = two_lockers();
+        let _ = k.fingerprint();
+        k.step(a, 0);
+        let m2 = k.add_mutex();
+        k.spawn(Locker { pc: 0, m: m2 });
+        assert_eq!(k.fingerprint(), k.fresh_fingerprint());
+        let mut bytes = Vec::new();
+        k.state_bytes_into(&mut bytes);
+        assert_eq!(bytes, k.capture_state().as_bytes());
+    }
+
+    #[test]
+    fn reset_from_is_equivalent_to_cloning_the_template() {
+        let (template, a, b) = two_lockers();
+        let mut pooled = template.clone();
+        for t in [a, a, a, b] {
+            pooled.step(t, 0);
+        }
+        pooled.reset_from(&template);
+        let fresh = template.clone();
+        assert_eq!(pooled.stats().steps, fresh.stats().steps);
+        assert_eq!(pooled.fingerprint(), fresh.fingerprint());
+        assert_eq!(
+            pooled.capture_state().as_bytes(),
+            fresh.capture_state().as_bytes()
+        );
+        // And the reset kernel replays exactly like the fresh clone.
+        let (mut p, mut f) = (pooled, fresh);
+        for t in [a, a, a, b, b, b] {
+            p.step(t, 0);
+            f.step(t, 0);
+            assert_eq!(p.fingerprint(), f.fingerprint());
+        }
+        assert_eq!(p.status(), KernelStatus::Terminated);
+        assert_eq!(*p.shared(), *f.shared());
+    }
+
+    #[test]
+    fn reset_from_clears_buffered_state() {
+        let template = buffered_pair(crate::MemoryModel::Tso);
+        let mut pooled = template.clone();
+        let t0 = ThreadId::new(0);
+        pooled.step(t0, 0);
+        assert!(!pooled.store_buffer(t0).unwrap().is_empty());
+        pooled.reset_from(&template);
+        assert!(pooled.store_buffer(t0).unwrap().is_empty());
+        assert_eq!(pooled.fingerprint(), template.fingerprint());
+        assert_eq!(
+            pooled.capture_state().as_bytes(),
+            template.capture_state().as_bytes()
+        );
     }
 }

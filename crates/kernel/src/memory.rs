@@ -104,9 +104,23 @@ impl FromStr for MemoryModel {
 /// overtake each other. Load forwarding reads the *youngest* entry for the
 /// location ([`StoreBuffer::lookup`]) — a thread always sees its own
 /// stores.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Default, PartialEq, Eq)]
 pub struct StoreBuffer {
     entries: VecDeque<(AtomicId, u64)>,
+}
+
+impl Clone for StoreBuffer {
+    fn clone(&self) -> Self {
+        StoreBuffer {
+            entries: self.entries.clone(),
+        }
+    }
+
+    // Keeps the queue's allocation alive when the kernel pool resets a
+    // buffer from an execution template (see `Kernel::reset_from`).
+    fn clone_from(&mut self, source: &Self) {
+        self.entries.clone_from(&source.entries);
+    }
 }
 
 impl StoreBuffer {

@@ -90,7 +90,7 @@ pub struct ChannelState {
 pub struct ObjectViolation(pub String);
 
 /// The table of all synchronization objects in a kernel instance.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct Objects {
     pub(crate) mutexes: Vec<MutexState>,
     pub(crate) rwlocks: Vec<RwLockState>,
@@ -100,6 +100,35 @@ pub struct Objects {
     pub(crate) events: Vec<EventState>,
     pub(crate) condvars: Vec<CondvarState>,
     pub(crate) channels: Vec<ChannelState>,
+}
+
+impl Clone for Objects {
+    fn clone(&self) -> Self {
+        Objects {
+            mutexes: self.mutexes.clone(),
+            rwlocks: self.rwlocks.clone(),
+            semaphores: self.semaphores.clone(),
+            atomics: self.atomics.clone(),
+            barriers: self.barriers.clone(),
+            events: self.events.clone(),
+            condvars: self.condvars.clone(),
+            channels: self.channels.clone(),
+        }
+    }
+
+    // Field-wise `Vec::clone_from` reuses the per-table buffers when the
+    // kernel pool resets a table from an execution template (the derived
+    // impl would reallocate all eight on every execution).
+    fn clone_from(&mut self, source: &Self) {
+        self.mutexes.clone_from(&source.mutexes);
+        self.rwlocks.clone_from(&source.rwlocks);
+        self.semaphores.clone_from(&source.semaphores);
+        self.atomics.clone_from(&source.atomics);
+        self.barriers.clone_from(&source.barriers);
+        self.events.clone_from(&source.events);
+        self.condvars.clone_from(&source.condvars);
+        self.channels.clone_from(&source.channels);
+    }
 }
 
 impl Objects {

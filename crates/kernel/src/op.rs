@@ -9,6 +9,7 @@
 //! block is simply *not enabled* and is never scheduled, just as in the
 //! formal model of Section 3.
 
+use crate::capture::StateWriter;
 use crate::ids::{
     AtomicId, BarrierId, ChannelId, CondvarId, EventId, MutexId, RwLockId, SemaphoreId,
 };
@@ -162,6 +163,170 @@ impl OpDesc {
             _ => 1,
         }
     }
+
+    /// Writes a compact binary encoding of the descriptor — a tag byte
+    /// plus the payload fields — into a state capture.
+    ///
+    /// The encoding is injective (distinct descriptors produce distinct
+    /// bytes), which is all state capture needs from it: the pending op is
+    /// part of a thread's control state (see `Kernel::capture_state`), and
+    /// two states must compare equal iff they are behaviorally equal. It
+    /// replaces the former `format!("{op:?}")` rendering in the capture
+    /// hot path, which allocated a `String` per thread per capture.
+    pub fn capture(&self, w: &mut StateWriter) {
+        match *self {
+            OpDesc::Local => w.write_u8(0),
+            OpDesc::Yield => w.write_u8(1),
+            OpDesc::Sleep => w.write_u8(2),
+            OpDesc::Acquire(m) => {
+                w.write_u8(3);
+                w.write_u32(m.index() as u32);
+            }
+            OpDesc::TryAcquire(m) => {
+                w.write_u8(4);
+                w.write_u32(m.index() as u32);
+            }
+            OpDesc::AcquireTimeout(m) => {
+                w.write_u8(5);
+                w.write_u32(m.index() as u32);
+            }
+            OpDesc::Release(m) => {
+                w.write_u8(6);
+                w.write_u32(m.index() as u32);
+            }
+            OpDesc::RwAcquireRead(l) => {
+                w.write_u8(7);
+                w.write_u32(l.index() as u32);
+            }
+            OpDesc::RwAcquireWrite(l) => {
+                w.write_u8(8);
+                w.write_u32(l.index() as u32);
+            }
+            OpDesc::RwTryAcquireWrite(l) => {
+                w.write_u8(9);
+                w.write_u32(l.index() as u32);
+            }
+            OpDesc::RwRelease(l) => {
+                w.write_u8(10);
+                w.write_u32(l.index() as u32);
+            }
+            OpDesc::SemDown(s) => {
+                w.write_u8(11);
+                w.write_u32(s.index() as u32);
+            }
+            OpDesc::SemDownTimeout(s) => {
+                w.write_u8(12);
+                w.write_u32(s.index() as u32);
+            }
+            OpDesc::SemUp(s) => {
+                w.write_u8(13);
+                w.write_u32(s.index() as u32);
+            }
+            OpDesc::EventWait(e) => {
+                w.write_u8(14);
+                w.write_u32(e.index() as u32);
+            }
+            OpDesc::EventWaitTimeout(e) => {
+                w.write_u8(15);
+                w.write_u32(e.index() as u32);
+            }
+            OpDesc::EventSet(e) => {
+                w.write_u8(16);
+                w.write_u32(e.index() as u32);
+            }
+            OpDesc::EventReset(e) => {
+                w.write_u8(17);
+                w.write_u32(e.index() as u32);
+            }
+            OpDesc::CondEnroll(c, m) => {
+                w.write_u8(18);
+                w.write_u32(c.index() as u32);
+                w.write_u32(m.index() as u32);
+            }
+            OpDesc::CondConsume(c) => {
+                w.write_u8(19);
+                w.write_u32(c.index() as u32);
+            }
+            OpDesc::CondSignal(c) => {
+                w.write_u8(20);
+                w.write_u32(c.index() as u32);
+            }
+            OpDesc::CondBroadcast(c) => {
+                w.write_u8(21);
+                w.write_u32(c.index() as u32);
+            }
+            OpDesc::Send(ch, v) => {
+                w.write_u8(22);
+                w.write_u32(ch.index() as u32);
+                w.write_u64(v);
+            }
+            OpDesc::TrySend(ch, v) => {
+                w.write_u8(23);
+                w.write_u32(ch.index() as u32);
+                w.write_u64(v);
+            }
+            OpDesc::Recv(ch) => {
+                w.write_u8(24);
+                w.write_u32(ch.index() as u32);
+            }
+            OpDesc::TryRecv(ch) => {
+                w.write_u8(25);
+                w.write_u32(ch.index() as u32);
+            }
+            OpDesc::Close(ch) => {
+                w.write_u8(26);
+                w.write_u32(ch.index() as u32);
+            }
+            OpDesc::Join(t) => {
+                w.write_u8(27);
+                w.write_u32(t.index() as u32);
+            }
+            OpDesc::AtomicLoad(a) => {
+                w.write_u8(28);
+                w.write_u32(a.index() as u32);
+            }
+            OpDesc::AtomicStore(a, v) => {
+                w.write_u8(29);
+                w.write_u32(a.index() as u32);
+                w.write_u64(v);
+            }
+            OpDesc::AtomicCas(a, expected, new) => {
+                w.write_u8(30);
+                w.write_u32(a.index() as u32);
+                w.write_u64(expected);
+                w.write_u64(new);
+            }
+            OpDesc::AtomicSwap(a, v) => {
+                w.write_u8(31);
+                w.write_u32(a.index() as u32);
+                w.write_u64(v);
+            }
+            OpDesc::AtomicAdd(a, v) => {
+                w.write_u8(32);
+                w.write_u32(a.index() as u32);
+                w.write_u64(v);
+            }
+            OpDesc::BarrierArrive(b) => {
+                w.write_u8(33);
+                w.write_u32(b.index() as u32);
+            }
+            OpDesc::BarrierAwait(b, generation) => {
+                w.write_u8(34);
+                w.write_u32(b.index() as u32);
+                w.write_u64(generation);
+            }
+            OpDesc::Fence => w.write_u8(35),
+            OpDesc::Flush(t) => {
+                w.write_u8(36);
+                w.write_u32(t.index() as u32);
+            }
+            OpDesc::Choose(n) => {
+                w.write_u8(37);
+                w.write_u32(n);
+            }
+            OpDesc::Finished => w.write_u8(38),
+        }
+    }
 }
 
 /// Outcome of an executed operation, passed to [`crate::GuestThread::on_op`].
@@ -292,5 +457,34 @@ mod tests {
     fn step_kind() {
         assert!(StepKind::Yield.is_yield());
         assert!(!StepKind::Normal.is_yield());
+    }
+
+    #[test]
+    fn binary_capture_is_injective_over_a_sample() {
+        use crate::ids::{AtomicId, ChannelId};
+        // Variants that share payload shapes must still capture to
+        // distinct bytes (the tag byte separates them), and distinct
+        // payloads of one variant must differ.
+        let ops = [
+            OpDesc::Local,
+            OpDesc::Yield,
+            OpDesc::Finished,
+            OpDesc::Acquire(MutexId::new(0)),
+            OpDesc::Acquire(MutexId::new(1)),
+            OpDesc::Release(MutexId::new(0)),
+            OpDesc::Send(ChannelId::new(0), 5),
+            OpDesc::TrySend(ChannelId::new(0), 5),
+            OpDesc::AtomicStore(AtomicId::new(0), 5),
+            OpDesc::AtomicStore(AtomicId::new(0), 6),
+            OpDesc::AtomicCas(AtomicId::new(0), 5, 6),
+            OpDesc::Choose(2),
+            OpDesc::Choose(3),
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for op in ops {
+            let mut w = StateWriter::new();
+            op.capture(&mut w);
+            assert!(seen.insert(w.into_bytes()), "capture collision for {op:?}");
+        }
     }
 }

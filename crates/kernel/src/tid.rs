@@ -200,6 +200,19 @@ impl TidSet {
         }
     }
 
+    /// The backing bit words with trailing zero words trimmed — a
+    /// canonical form: equal sets return equal slices regardless of
+    /// insertion/removal history. Lets fingerprinting consume a set one
+    /// word at a time instead of one member at a time.
+    pub fn canonical_words(&self) -> &[u64] {
+        let end = self
+            .words
+            .iter()
+            .rposition(|&w| w != 0)
+            .map_or(0, |i| i + 1);
+        &self.words[..end]
+    }
+
     /// Returns the smallest member, if any.
     pub fn first(&self) -> Option<ThreadId> {
         self.iter().next()

@@ -10,10 +10,16 @@ use chess_core::{Observer, TransitionSystem};
 
 /// Exact coverage tracker: keys the visited set on the full state byte
 /// signature, so distinct states are never conflated.
+///
+/// The per-state capture lands in a reused scratch buffer
+/// ([`TransitionSystem::state_bytes_into`]); a signature is cloned into
+/// the set only when it is genuinely new, so re-visiting known states —
+/// the overwhelmingly common case in a long search — allocates nothing.
 #[derive(Debug, Clone, Default)]
 pub struct CoverageTracker {
     visited: HashSet<Vec<u8>>,
     occurrences: u64,
+    scratch: Vec<u8>,
 }
 
 impl CoverageTracker {
@@ -49,6 +55,16 @@ impl CoverageTracker {
         self.visited.insert(state)
     }
 
+    /// Records a borrowed state signature, cloning it only if unseen.
+    pub fn insert_ref(&mut self, state: &[u8]) -> bool {
+        self.occurrences += 1;
+        if self.visited.contains(state) {
+            false
+        } else {
+            self.visited.insert(state.to_vec())
+        }
+    }
+
     /// Fraction of `total` states covered, in percent.
     pub fn percent_of(&self, total: usize) -> f64 {
         if total == 0 {
@@ -61,7 +77,10 @@ impl CoverageTracker {
 
 impl<P: TransitionSystem + ?Sized> Observer<P> for CoverageTracker {
     fn on_state(&mut self, sys: &P, _depth: usize) {
-        self.insert(sys.state_bytes());
+        let mut scratch = std::mem::take(&mut self.scratch);
+        sys.state_bytes_into(&mut scratch);
+        self.insert_ref(&scratch);
+        self.scratch = scratch;
     }
 }
 

@@ -23,7 +23,7 @@ use proptest::prelude::*;
 /// effects by capture-diffing around each step.
 fn validated<S, F>(factory: F) -> impl Fn() -> Kernel<S> + Copy
 where
-    S: Capture,
+    S: Capture + Clone,
     F: Fn() -> Kernel<S> + Copy,
 {
     move || {
@@ -38,7 +38,7 @@ where
 /// passes agree on the error classes they saw.
 fn count_both<S, F>(factory: F) -> (u64, u64)
 where
-    S: Capture,
+    S: Capture + Clone,
     F: Fn() -> Kernel<S> + Copy,
 {
     let config = Config::fair()
@@ -249,7 +249,7 @@ fn validation_accepts_declarations_exhaustively() {
 /// the declared one.
 fn assert_no_undeclared_writes<S, F>(name: &str, factory: F, seed: u64)
 where
-    S: Capture,
+    S: Capture + Clone,
     F: Fn() -> Kernel<S> + Copy,
 {
     let config = Config::fair()

@@ -1,0 +1,107 @@
+//! Property tests for the incrementally-maintained capture fingerprint.
+//!
+//! The kernel's fast path (`Kernel::set_fingerprint_caching(true)`) keeps
+//! per-segment hashes up to date as operations execute instead of
+//! re-canonicalizing the whole state on every query. The invariant these
+//! properties pin down: after *any* schedule of transitions — under any
+//! memory model, through spawns, mutex churn, store-buffer flushes and
+//! violations — the cached [`TransitionSystem::fingerprint`] and
+//! [`TransitionSystem::state_bytes`] are exactly what a from-scratch
+//! canonicalization of the same state produces.
+//!
+//! The from-scratch oracle is a clone of the kernel with caching turned
+//! off: cloning never copies cache state, so the clone recaptures
+//! everything.
+
+use chess_core::TransitionSystem;
+use chess_kernel::{Capture, Kernel, MemoryModel, ThreadId};
+use chess_workloads::litmus::{dekker, iriw, store_buffering};
+use chess_workloads::miniboot::{miniboot, BootConfig};
+use chess_workloads::treiber::{treiber_stack, TreiberConfig};
+use proptest::prelude::*;
+
+/// Drives `kernel` (caching ON) through the schedule encoded by
+/// `picks`, checking after every transition that the cached fingerprint
+/// and state bytes match a fresh full canonicalization.
+fn check_schedule<S: Capture + Clone>(
+    mut kernel: Kernel<S>,
+    picks: &[(u8, u8)],
+) -> Result<(), TestCaseError> {
+    kernel.set_fingerprint_caching(true);
+    for &(thread_pick, choice_pick) in picks {
+        if !kernel.status().is_running() {
+            break;
+        }
+        let enabled: Vec<ThreadId> = (0..kernel.thread_count())
+            .map(ThreadId::new)
+            .filter(|&t| TransitionSystem::enabled(&kernel, t))
+            .collect();
+        let t = enabled[thread_pick as usize % enabled.len()];
+        let branches = kernel.branching(t) as u32;
+        let choice = choice_pick as u32 % branches.max(1);
+        TransitionSystem::step(&mut kernel, t, choice);
+
+        // The oracle: a clone recaptures from scratch (clones never
+        // inherit cache state), and with caching off it keeps doing so.
+        let mut fresh = kernel.clone();
+        fresh.set_fingerprint_caching(false);
+        prop_assert_eq!(
+            kernel.fingerprint(),
+            fresh.fingerprint(),
+            "cached fingerprint diverged from full canonicalization after stepping {}",
+            t
+        );
+        prop_assert_eq!(
+            kernel.state_bytes(),
+            fresh.state_bytes(),
+            "cached state bytes diverged from full canonicalization after stepping {}",
+            t
+        );
+    }
+    Ok(())
+}
+
+/// A schedule is a list of (thread pick, data-choice pick) pairs, both
+/// reduced modulo whatever is legal at that point.
+fn schedules() -> impl Strategy<Value = Vec<(u8, u8)>> {
+    proptest::collection::vec((any::<u8>(), any::<u8>()), 1..80)
+}
+
+fn models() -> impl Strategy<Value = MemoryModel> {
+    prop_oneof![
+        Just(MemoryModel::Sc),
+        Just(MemoryModel::Tso),
+        Just(MemoryModel::Pso),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn store_buffering_fingerprints_match_fresh(model in models(), picks in schedules()) {
+        check_schedule(store_buffering(model), &picks)?;
+    }
+
+    #[test]
+    fn dekker_fingerprints_match_fresh(model in models(), picks in schedules()) {
+        check_schedule(dekker(model), &picks)?;
+    }
+
+    #[test]
+    fn iriw_fingerprints_match_fresh(model in models(), picks in schedules()) {
+        check_schedule(iriw(model), &picks)?;
+    }
+
+    /// Object-heavy workload: mutexes, CAS retries and dynamic data,
+    /// exercising the object-table and shared-segment invalidation paths.
+    #[test]
+    fn treiber_fingerprints_match_fresh(picks in schedules()) {
+        check_schedule(treiber_stack(TreiberConfig::correct()), &picks)?;
+    }
+
+    /// Spawn-heavy workload: dynamic thread creation grows the cached
+    /// per-thread segment tables mid-execution.
+    #[test]
+    fn miniboot_fingerprints_match_fresh(picks in schedules()) {
+        check_schedule(miniboot(BootConfig::small()), &picks)?;
+    }
+}

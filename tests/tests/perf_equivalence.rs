@@ -1,0 +1,261 @@
+//! Equivalence harness for the raw-speed pass on the execution core.
+//!
+//! The fast path (pooled kernel state via `Config::with_pooling` plus
+//! incrementally-maintained capture fingerprints via
+//! `Kernel::set_fingerprint_caching`) must be *observationally invisible*:
+//! for every kernel workload, under every memory model where one applies,
+//! a search on the fast path must produce
+//!
+//! * a byte-identical visited-state trace (depth, fingerprint, and full
+//!   canonical state signature of every state occurrence, in order),
+//! * identical `SearchStats` (wall-clock excluded) and `SearchOutcome`,
+//! * an identical set of terminal-state fingerprints,
+//!
+//! compared with the reference path (factory-fresh kernels, full
+//! recapture on every fingerprint). Any divergence is a soundness bug in
+//! the optimizations, not a perf trade-off.
+
+use std::collections::BTreeSet;
+
+use chess_core::strategy::{Dfs, RandomWalk};
+use chess_core::{Config, Explorer, Observer, SearchReport};
+use chess_kernel::{Capture, Kernel, MemoryModel};
+use chess_workloads::boundedbuffer::{bounded_buffer, BufferConfig};
+use chess_workloads::bsp::{bsp, BspConfig};
+use chess_workloads::channels::{fifo_pipeline, FifoConfig};
+use chess_workloads::litmus::{
+    dekker, dekker_fenced, iriw, load_buffering, message_passing, store_buffering,
+};
+use chess_workloads::miniboot::{miniboot, BootConfig};
+use chess_workloads::philosophers::{philosophers, PhilosophersConfig};
+use chess_workloads::promise::{promises, PromiseConfig};
+use chess_workloads::rwcache::{rw_cache, RwCacheConfig};
+use chess_workloads::simple::{deadlock_pair, locked_counter, racy_counter};
+use chess_workloads::spinloop::spinloop;
+use chess_workloads::treiber::{treiber_stack, TreiberConfig};
+use chess_workloads::workerpool::{worker_pool, PoolConfig};
+use chess_workloads::wsq::{wsq, WsqConfig};
+
+/// Records everything the two paths must agree on: a flat byte trace of
+/// every visited state occurrence and the set of terminal fingerprints.
+#[derive(Default)]
+struct TraceRecorder {
+    /// Concatenated per-state records: depth, fingerprint, signature
+    /// length, signature bytes; executions separated by an all-ones
+    /// marker. Byte equality of two traces means the searches visited
+    /// the same states in the same order with the same canonical forms.
+    trace: Vec<u8>,
+    terminal_fingerprints: BTreeSet<u64>,
+    scratch: Vec<u8>,
+}
+
+impl<S: Capture + Clone> Observer<Kernel<S>> for TraceRecorder {
+    fn on_state(&mut self, sys: &Kernel<S>, depth: usize) {
+        self.trace.extend_from_slice(&(depth as u64).to_le_bytes());
+        self.trace
+            .extend_from_slice(&sys.fingerprint().to_le_bytes());
+        self.scratch.clear();
+        sys.state_bytes_into(&mut self.scratch);
+        self.trace
+            .extend_from_slice(&(self.scratch.len() as u64).to_le_bytes());
+        self.trace.extend_from_slice(&self.scratch);
+    }
+
+    fn on_execution_end(&mut self, sys: &Kernel<S>, _depth: usize) {
+        self.terminal_fingerprints.insert(sys.fingerprint());
+        self.trace.extend_from_slice(&u64::MAX.to_le_bytes());
+    }
+}
+
+/// Runs a bounded random-walk search on one path and returns everything
+/// the equivalence check compares.
+fn run_path<S, F>(factory: F, fast: bool, executions: u64) -> (SearchReport, TraceRecorder)
+where
+    S: Capture + Clone + 'static,
+    F: Fn() -> Kernel<S>,
+{
+    let config = Config::fair()
+        .with_max_executions(executions)
+        .with_stop_on_error(false)
+        .with_pooling(fast);
+    let mut rec = TraceRecorder::default();
+    let report = Explorer::new(
+        move || {
+            let mut k = factory();
+            k.set_fingerprint_caching(fast);
+            k
+        },
+        RandomWalk::new(7),
+        config,
+    )
+    .run_observed(&mut rec);
+    (report, rec)
+}
+
+/// Asserts full observational equivalence of the two paths on one
+/// workload.
+fn assert_equivalent<S, F>(name: &str, factory: F, executions: u64)
+where
+    S: Capture + Clone + 'static,
+    F: Fn() -> Kernel<S> + Copy,
+{
+    let (ref_report, ref_rec) = run_path(factory, false, executions);
+    let (fast_report, fast_rec) = run_path(factory, true, executions);
+
+    assert_eq!(
+        ref_report.outcome, fast_report.outcome,
+        "{name}: outcomes diverge between reference and fast path"
+    );
+    let mut ref_stats = ref_report.stats.clone();
+    let mut fast_stats = fast_report.stats.clone();
+    ref_stats.wall = Default::default();
+    fast_stats.wall = Default::default();
+    assert_eq!(
+        ref_stats, fast_stats,
+        "{name}: SearchStats diverge between reference and fast path"
+    );
+    assert_eq!(
+        ref_rec.terminal_fingerprints, fast_rec.terminal_fingerprints,
+        "{name}: terminal fingerprint sets diverge"
+    );
+    assert!(
+        ref_rec.trace == fast_rec.trace,
+        "{name}: visited-state traces are not byte-identical \
+         (reference {} bytes, fast {} bytes)",
+        ref_rec.trace.len(),
+        fast_rec.trace.len()
+    );
+    assert!(
+        !ref_rec.trace.is_empty(),
+        "{name}: trace empty — the harness observed nothing"
+    );
+}
+
+const EXECS: u64 = 40;
+
+#[test]
+fn litmus_workloads_equivalent_under_every_memory_model() {
+    type LitmusFactory = fn(MemoryModel) -> Kernel<chess_workloads::litmus::LitmusShared>;
+    let litmus: [(&str, LitmusFactory); 6] = [
+        ("store_buffering", store_buffering),
+        ("dekker", dekker),
+        ("dekker_fenced", dekker_fenced),
+        ("message_passing", message_passing),
+        ("load_buffering", load_buffering),
+        ("iriw", iriw),
+    ];
+    for (name, factory) in litmus {
+        for model in [MemoryModel::Sc, MemoryModel::Tso, MemoryModel::Pso] {
+            assert_equivalent(&format!("{name}({model:?})"), move || factory(model), EXECS);
+        }
+    }
+}
+
+#[test]
+fn philosophers_equivalent() {
+    assert_equivalent(
+        "philosophers(3)",
+        || philosophers(PhilosophersConfig::table2(3)),
+        EXECS,
+    );
+}
+
+#[test]
+fn wsq_equivalent() {
+    assert_equivalent("wsq(1 stealer)", || wsq(WsqConfig::table2(1)), EXECS);
+}
+
+#[test]
+fn miniboot_equivalent() {
+    assert_equivalent("miniboot", || miniboot(BootConfig::small()), EXECS);
+}
+
+#[test]
+fn queue_and_stack_workloads_equivalent() {
+    assert_equivalent(
+        "bounded_buffer",
+        || bounded_buffer(BufferConfig::correct()),
+        EXECS,
+    );
+    assert_equivalent(
+        "fifo_pipeline",
+        || fifo_pipeline(FifoConfig::correct()),
+        EXECS,
+    );
+    assert_equivalent(
+        "treiber_stack",
+        || treiber_stack(TreiberConfig::correct()),
+        EXECS,
+    );
+}
+
+#[test]
+fn coordination_workloads_equivalent() {
+    assert_equivalent("worker_pool", || worker_pool(PoolConfig::correct()), EXECS);
+    assert_equivalent("promises", || promises(PromiseConfig::correct()), EXECS);
+    assert_equivalent("bsp", || bsp(BspConfig::correct()), EXECS);
+    assert_equivalent("rw_cache", || rw_cache(RwCacheConfig::correct()), EXECS);
+}
+
+#[test]
+fn simple_and_divergent_workloads_equivalent() {
+    assert_equivalent("racy_counter(2)", || racy_counter(2), EXECS);
+    assert_equivalent("locked_counter(2)", || locked_counter(2), EXECS);
+    assert_equivalent("deadlock_pair", deadlock_pair, EXECS);
+    // Spins until its partner flips a flag: exercises the fair
+    // scheduler's yield bookkeeping and divergence detection on both
+    // paths.
+    assert_equivalent("spinloop(1, yield)", || spinloop(1, true), EXECS);
+}
+
+/// An exhaustive DFS (not a sampled walk) must also agree — this drives
+/// the fast path through backtracking and replay from scratch on every
+/// execution, where stale pooled state would be most visible.
+#[test]
+fn exhaustive_dfs_equivalent_on_dekker() {
+    for model in [MemoryModel::Sc, MemoryModel::Tso, MemoryModel::Pso] {
+        let factory = move || dekker_fenced(model);
+        let run = |fast: bool| {
+            let config = Config::fair()
+                .with_max_executions(200_000)
+                .with_stop_on_error(false)
+                .with_pooling(fast);
+            let mut rec = TraceRecorder::default();
+            let report = Explorer::new(
+                move || {
+                    let mut k = factory();
+                    k.set_fingerprint_caching(fast);
+                    k
+                },
+                Dfs::new(),
+                config,
+            )
+            .run_observed(&mut rec);
+            (report, rec)
+        };
+        let (ref_report, ref_rec) = run(false);
+        let (fast_report, fast_rec) = run(true);
+        assert!(
+            ref_report.outcome.is_exhaustive_pass(),
+            "dekker_fenced({model:?}) should complete: {:?}",
+            ref_report.outcome
+        );
+        assert_eq!(ref_report.outcome, fast_report.outcome);
+        assert_eq!(
+            ref_report.stats.executions, fast_report.stats.executions,
+            "dekker_fenced({model:?}): execution counts diverge"
+        );
+        assert_eq!(
+            ref_report.stats.transitions, fast_report.stats.transitions,
+            "dekker_fenced({model:?}): transition counts diverge"
+        );
+        assert_eq!(
+            ref_rec.terminal_fingerprints,
+            fast_rec.terminal_fingerprints
+        );
+        assert!(
+            ref_rec.trace == fast_rec.trace,
+            "dekker_fenced({model:?}): exhaustive traces differ"
+        );
+    }
+}

@@ -15,7 +15,7 @@ struct KernelSteps {
     executions: u64,
 }
 
-impl<S: Capture> Observer<Kernel<S>> for KernelSteps {
+impl<S: Capture + Clone> Observer<Kernel<S>> for KernelSteps {
     fn on_execution_end(&mut self, sys: &Kernel<S>, _depth: usize) {
         self.total_steps += sys.stats().steps;
         self.executions += 1;
