@@ -17,11 +17,19 @@
 //!   nonzero if any workload regressed more than the tolerance.
 //! * `--tolerance F` — allowed fractional regression for `--check`
 //!   (default 0.30, i.e. fail below 70% of the baseline rate).
+//!
+//! The matrix also carries a `"serve"` row: the philosophers subject
+//! driven through a process pool (this binary re-execed with the hidden
+//! `--worker` flag), pricing the campaign runner's isolation overhead.
+//! The baseline gate ignores it — spawn costs are machine noise.
 
 use std::process::ExitCode;
 use std::time::Duration;
 
-use chess_bench::{check_against_baseline, perf_matrix, persist, Json, PerfReport};
+use chess_bench::{
+    check_against_baseline, perf_matrix, persist, serve_overhead_row, serve_worker_main, Json,
+    PerfReport,
+};
 
 struct Args {
     budget_ms: u64,
@@ -67,6 +75,12 @@ fn load_baseline(path: &str) -> Result<PerfReport, String> {
 }
 
 fn main() -> ExitCode {
+    // Hidden worker mode: the serve cell re-execs this binary as its
+    // pool workers.
+    if std::env::args().nth(1).as_deref() == Some("--worker") {
+        serve_worker_main();
+        return ExitCode::SUCCESS;
+    }
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
@@ -74,7 +88,15 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let report = perf_matrix(Duration::from_millis(args.budget_ms));
+    let budget = Duration::from_millis(args.budget_ms);
+    let mut report = perf_matrix(budget);
+    match std::env::current_exe() {
+        Ok(exe) => report
+            .rows
+            .push(serve_overhead_row(budget, 2, exe, vec!["--worker".into()])),
+        Err(e) => eprintln!("bench: skipping serve cell (cannot locate own executable: {e})"),
+    }
+    let report = report;
     let text = report.render();
     println!("{text}");
     persist("BENCH_scaling", &text, &report.to_json());

@@ -47,6 +47,7 @@ pub fn stats_to_json(stats: &SearchStats) -> Json {
         ("unfair_cycles", Json::UInt(stats.unfair_cycles)),
         ("panics", Json::UInt(stats.panics)),
         ("worker_restarts", Json::UInt(stats.worker_restarts)),
+        ("lost_to_restart", Json::UInt(stats.lost_to_restart)),
         (
             "first_error_execution",
             match stats.first_error_execution {
@@ -84,6 +85,13 @@ pub fn stats_from_json(json: &Json) -> Result<SearchStats, String> {
         unfair_cycles: field_u64(json, "unfair_cycles")?,
         panics: field_u64(json, "panics")?,
         worker_restarts: field_u64(json, "worker_restarts")?,
+        // Added after JOURNAL_VERSION 1 shipped; journals written before
+        // it simply have no lost work on record, so parse leniently.
+        lost_to_restart: json
+            .get("lost_to_restart")
+            .map(|v| v.as_u64().ok_or("journal: bad field 'lost_to_restart'"))
+            .transpose()?
+            .unwrap_or(0),
         first_error_execution: match json.get("first_error_execution") {
             None | Some(Json::Null) => None,
             Some(v) => Some(
@@ -455,6 +463,7 @@ mod tests {
             unfair_cycles: 0,
             panics: 1,
             worker_restarts: 2,
+            lost_to_restart: 5,
             first_error_execution: Some(4),
             max_depth: 77,
             wall: Duration::from_millis(1234),

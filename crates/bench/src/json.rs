@@ -281,7 +281,7 @@ impl Parser<'_> {
         let mut out = String::new();
         loop {
             match self.peek() {
-                None => return Err("unterminated string".into()),
+                None => return Err(format!("unterminated string at byte {}", self.pos)),
                 Some(b'"') => {
                     self.pos += 1;
                     return Ok(out);
@@ -290,7 +290,7 @@ impl Parser<'_> {
                     self.pos += 1;
                     let esc = self
                         .peek()
-                        .ok_or_else(|| "unterminated escape".to_string())?;
+                        .ok_or_else(|| format!("unterminated escape at byte {}", self.pos))?;
                     self.pos += 1;
                     match esc {
                         b'"' => out.push('"'),

@@ -42,5 +42,6 @@ pub use journal::{
 pub use json::{schedule_from_json, schedule_to_json, Json, ToJson};
 pub use output::*;
 pub use perf::{
-    check_against_baseline, peak_rss_kb, perf_matrix, workload_names, PerfMode, PerfReport, PerfRow,
+    check_against_baseline, peak_rss_kb, perf_matrix, serve_overhead_row, serve_worker_main,
+    workload_names, PerfMode, PerfReport, PerfRow,
 };

@@ -293,6 +293,113 @@ pub fn perf_matrix(budget: Duration) -> PerfReport {
     }
 }
 
+/// The campaign-runner overhead cell: the philosophers subject again,
+/// but driven through a [`chess_core::procpool::Supervisor`] as a pool
+/// of re-execed worker processes (mode `"serve"`), the way `fair-chess
+/// serve` runs a campaign. Comparing its executions/sec against the
+/// same-run `"fast"` row prices the process isolation: protocol
+/// framing, heartbeats, and spawn overhead, amortized over `2 ×
+/// workers` jobs.
+///
+/// The row is informational: [`check_against_baseline`] gates on
+/// `"fast"` rows only, so machine-dependent spawn costs cannot fail CI.
+///
+/// `program`/`worker_args` name the worker command — normally the
+/// calling binary with a flag routing into [`serve_worker_main`].
+pub fn serve_overhead_row(
+    budget: Duration,
+    workers: usize,
+    program: std::path::PathBuf,
+    worker_args: Vec<String>,
+) -> PerfRow {
+    use chess_core::procpool::{JobOutcome, JobSpec, PoolConfig, ProcessWorkerFactory, Supervisor};
+
+    let workers = workers.max(1);
+    let jobs = workers * 2;
+    // Each worker runs two jobs back to back, so the campaign's wall
+    // time tracks the overall budget.
+    let per_job = budget * workers as u32 / jobs as u32;
+    let specs = (0..jobs)
+        .map(|i| JobSpec {
+            id: format!("cell-{i}"),
+            payload: per_job.as_millis().to_string(),
+        })
+        .collect();
+    let config = PoolConfig {
+        workers,
+        // Generous watchdog: this cell measures throughput, not
+        // liveness, and a busy machine must not kill a slow worker.
+        heartbeat_timeout: Duration::from_secs(10).max(per_job * 4),
+        ..PoolConfig::default()
+    };
+    let start = std::time::Instant::now();
+    let factory = ProcessWorkerFactory::new(program, worker_args);
+    let report = Supervisor::new(factory, config).run(specs, |_| {});
+    let secs = start.elapsed().as_secs_f64().max(1e-9);
+
+    let (mut executions, mut transitions) = (0u64, 0u64);
+    for verdict in &report.verdicts {
+        if let JobOutcome::Done { payload } = &verdict.outcome {
+            let mut counts = payload.split_whitespace();
+            let mut next = || {
+                counts
+                    .next()
+                    .and_then(|s| s.parse::<u64>().ok())
+                    .unwrap_or(0)
+            };
+            executions += next();
+            transitions += next();
+        }
+    }
+    PerfRow {
+        workload: "philosophers(3)".to_string(),
+        mode: "serve".to_string(),
+        executions,
+        transitions,
+        secs,
+        execs_per_sec: executions as f64 / secs,
+        steps_per_sec: transitions as f64 / secs,
+    }
+}
+
+/// The worker half of [`serve_overhead_row`]: speaks the procpool line
+/// protocol on stdin/stdout. Each job payload is a wall budget in
+/// milliseconds for one fast-mode philosophers cell; the result payload
+/// is `"<executions> <transitions>"`.
+pub fn serve_worker_main() {
+    use std::sync::Arc;
+
+    chess_core::procpool::worker_main(
+        std::io::stdin().lock(),
+        std::io::stdout(),
+        Duration::from_millis(100),
+        |_id, _attempt, payload, progress| {
+            let ms: u64 = payload
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad cell budget {payload:?}"))?;
+            let config = Config::fair()
+                .with_time_budget(Duration::from_millis(ms))
+                .with_pooling(true);
+            let report = Explorer::new(
+                || {
+                    let mut k = philosophers(PhilosophersConfig::table2(3));
+                    k.set_fingerprint_caching(true);
+                    k
+                },
+                RandomWalk::new(42),
+                config,
+            )
+            .with_progress(Arc::clone(progress))
+            .run();
+            Ok(format!(
+                "{} {}",
+                report.stats.executions, report.stats.transitions
+            ))
+        },
+    );
+}
+
 /// Peak resident set size of the current process in kilobytes, from
 /// `/proc/self/status` (`VmHWM`); 0 where unavailable.
 pub fn peak_rss_kb() -> u64 {

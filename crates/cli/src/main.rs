@@ -8,6 +8,7 @@
 //! fair-chess truth <workload> [--bug <bug>]
 //! fair-chess fuzz [--systems <N>] [--seed <S>] [--jobs <J>]
 //! fair-chess replay <corpus-file>
+//! fair-chess serve <manifest.json> [--workers <N>] [options]
 //! ```
 //!
 //! Run `fair-chess help` for the full option list.
@@ -17,7 +18,9 @@ mod fuzzcmd;
 mod opts;
 mod registry;
 mod run;
+mod servecmd;
 mod signal;
+mod workercmd;
 
 use std::process::ExitCode;
 

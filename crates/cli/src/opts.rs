@@ -38,6 +38,17 @@ USAGE:
         from its recorded seed and knobs and replay the minimized
         schedule, requiring the same outcome kind.
 
+    fair-chess serve <manifest.json> [--workers <N>] [options]
+        Run a campaign of check/fuzz jobs across supervised worker
+        *processes* (the CLI re-execs itself through a hidden `worker`
+        subcommand): idle workers steal the next ready job, a silent
+        worker is killed by a watchdog and its job retried under
+        exponential backoff, and a job that keeps killing workers is
+        quarantined instead of looping forever. The exit code is the
+        worst job outcome under the contract below (quarantine counts
+        as 7). When no worker process can be spawned at all, the
+        remaining jobs degrade to in-process execution with a warning.
+
 OPTIONS:
     --bug <name>          Seed a bug (see `fair-chess list`).
     --memory <m>          sc | tso | pso   [default: sc]. Memory model:
@@ -121,6 +132,28 @@ FUZZ OPTIONS:
                           already checked are replayed from the journal
                           instead of re-fuzzed, so the final report matches
                           an uninterrupted run.
+
+SERVE OPTIONS:
+    --workers <N>         Worker processes [default: 2].
+    --checkpoint <FILE>   Persist every job verdict to FILE (atomically:
+                          temp file + fsync + rename) as it lands, so a
+                          SIGKILL'd supervisor loses nothing: resuming
+                          reprints the identical final report.
+    --resume <FILE>       Resume a campaign from its verdict journal;
+                          completed jobs are replayed from the records,
+                          not re-run. The journal must match the
+                          manifest (a digest is recorded and checked).
+    --status-file <FILE>  Atomically rewrite a JSON progress snapshot
+                          (total/done/quarantined/pending) as the
+                          campaign advances.
+    --heartbeat-timeout <SECS>
+                          Watchdog deadline: a worker with no protocol
+                          traffic for this long is killed and its job
+                          requeued [default: 10].
+    --max-attempts <N>    Attempts before a job is quarantined as
+                          poison [default: 3].
+    --jitter-seed <N>     Seed for the deterministic retry-backoff
+                          jitter [default: 0].
 
 EXIT CODES:
     0  clean — search complete (or all fuzz oracles agreed), no error
@@ -240,6 +273,51 @@ pub struct ReplayOpts {
     pub file: String,
 }
 
+/// Options for `serve` (the process-pool campaign supervisor).
+#[derive(Debug, Clone)]
+pub struct ServeOpts {
+    pub manifest: String,
+    pub workers: usize,
+    pub checkpoint: Option<String>,
+    pub resume: Option<String>,
+    pub status_file: Option<String>,
+    pub heartbeat_timeout: Duration,
+    pub max_attempts: u32,
+    pub jitter_seed: u64,
+}
+
+impl Default for ServeOpts {
+    fn default() -> Self {
+        ServeOpts {
+            manifest: String::new(),
+            workers: 2,
+            checkpoint: None,
+            resume: None,
+            status_file: None,
+            heartbeat_timeout: Duration::from_secs(10),
+            max_attempts: 3,
+            jitter_seed: 0,
+        }
+    }
+}
+
+/// Options for the hidden `worker` subcommand (the process a `serve`
+/// supervisor re-execs; not documented in [`USAGE`]).
+#[derive(Debug, Clone)]
+pub struct WorkerOpts {
+    /// How often the protocol loop checks the job's progress counters
+    /// and, if they advanced, emits a heartbeat.
+    pub heartbeat_millis: u64,
+}
+
+impl Default for WorkerOpts {
+    fn default() -> Self {
+        WorkerOpts {
+            heartbeat_millis: 200,
+        }
+    }
+}
+
 /// A parsed command line.
 #[derive(Debug, Clone)]
 pub enum Command {
@@ -257,6 +335,10 @@ pub enum Command {
     Fuzz(FuzzOpts),
     /// `fair-chess replay <file>`
     Replay(ReplayOpts),
+    /// `fair-chess serve <manifest> ...`
+    Serve(ServeOpts),
+    /// `fair-chess worker ...` (hidden: spawned by `serve`)
+    Worker(WorkerOpts),
 }
 
 /// A parse failure with a human-readable message.
@@ -275,7 +357,9 @@ fn err<T>(msg: impl Into<String>) -> Result<T, ParseError> {
     Err(ParseError(msg.into()))
 }
 
-fn parse_strategy(s: &str) -> Result<StrategyOpt, ParseError> {
+/// Parses a strategy in its command-line spelling; also used by the
+/// campaign job codec, which records strategies the same way.
+pub(crate) fn parse_strategy(s: &str) -> Result<StrategyOpt, ParseError> {
     if s == "dfs" {
         return Ok(StrategyOpt::Dfs);
     }
@@ -484,6 +568,82 @@ fn parse_fuzz_opts(args: &[String]) -> Result<FuzzOpts, ParseError> {
     Ok(opts)
 }
 
+fn parse_serve_opts(args: &[String]) -> Result<ServeOpts, ParseError> {
+    let mut opts = ServeOpts::default();
+    let mut it = args.iter();
+    let Some(manifest) = it.next() else {
+        return err("serve needs a campaign manifest file");
+    };
+    if manifest.starts_with('-') {
+        return err("the manifest file must come before options");
+    }
+    opts.manifest = manifest.clone();
+    let next_value = |flag: &str, it: &mut std::slice::Iter<'_, String>| {
+        it.next()
+            .cloned()
+            .ok_or_else(|| ParseError(format!("{flag} needs a value")))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workers" => {
+                opts.workers = parse_num("--workers", &next_value("--workers", &mut it)?)?;
+                if opts.workers == 0 {
+                    return err("--workers needs at least 1 worker");
+                }
+            }
+            "--checkpoint" => opts.checkpoint = Some(next_value("--checkpoint", &mut it)?),
+            "--resume" => opts.resume = Some(next_value("--resume", &mut it)?),
+            "--status-file" => opts.status_file = Some(next_value("--status-file", &mut it)?),
+            "--heartbeat-timeout" => {
+                let secs: f64 = next_value("--heartbeat-timeout", &mut it)?
+                    .parse()
+                    .map_err(|_| ParseError("--heartbeat-timeout needs seconds".into()))?;
+                if secs.is_nan() || secs <= 0.0 {
+                    return err("--heartbeat-timeout must be positive");
+                }
+                opts.heartbeat_timeout = Duration::from_secs_f64(secs);
+            }
+            "--max-attempts" => {
+                opts.max_attempts =
+                    parse_num("--max-attempts", &next_value("--max-attempts", &mut it)?)? as u32;
+                if opts.max_attempts == 0 {
+                    return err("--max-attempts needs at least 1");
+                }
+            }
+            "--jitter-seed" => {
+                let v = next_value("--jitter-seed", &mut it)?;
+                opts.jitter_seed = v
+                    .parse()
+                    .map_err(|_| ParseError(format!("--jitter-seed needs a number, got '{v}'")))?;
+            }
+            other => return err(format!("unknown option '{other}'")),
+        }
+    }
+    Ok(opts)
+}
+
+fn parse_worker_opts(args: &[String]) -> Result<WorkerOpts, ParseError> {
+    let mut opts = WorkerOpts::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--heartbeat-millis" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| ParseError("--heartbeat-millis needs a value".into()))?;
+                opts.heartbeat_millis = v.parse().map_err(|_| {
+                    ParseError(format!("--heartbeat-millis needs a number, got '{v}'"))
+                })?;
+                if opts.heartbeat_millis == 0 {
+                    return err("--heartbeat-millis must be positive");
+                }
+            }
+            other => return err(format!("unknown option '{other}'")),
+        }
+    }
+    Ok(opts)
+}
+
 /// Parses a full command line (without the program name).
 pub fn parse(args: &[String]) -> Result<Command, ParseError> {
     let Some(cmd) = args.first() else {
@@ -502,6 +662,8 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             }
             _ => err("replay needs exactly one corpus file argument"),
         },
+        "serve" => Ok(Command::Serve(parse_serve_opts(&args[1..])?)),
+        "worker" => Ok(Command::Worker(parse_worker_opts(&args[1..])?)),
         other => err(format!("unknown command '{other}'")),
     }
 }
@@ -746,6 +908,78 @@ mod tests {
             "cb:2"
         ]))
         .is_ok());
+    }
+
+    #[test]
+    fn parses_serve_options() {
+        let cmd = parse(&s(&[
+            "serve",
+            "campaign.json",
+            "--workers",
+            "4",
+            "--checkpoint",
+            "verdicts.json",
+            "--status-file",
+            "status.json",
+            "--heartbeat-timeout",
+            "2.5",
+            "--max-attempts",
+            "5",
+            "--jitter-seed",
+            "9",
+        ]))
+        .unwrap();
+        let Command::Serve(o) = cmd else {
+            panic!("expected serve")
+        };
+        assert_eq!(o.manifest, "campaign.json");
+        assert_eq!(o.workers, 4);
+        assert_eq!(o.checkpoint.as_deref(), Some("verdicts.json"));
+        assert_eq!(o.status_file.as_deref(), Some("status.json"));
+        assert_eq!(o.heartbeat_timeout, Duration::from_secs_f64(2.5));
+        assert_eq!(o.max_attempts, 5);
+        assert_eq!(o.jitter_seed, 9);
+
+        let cmd = parse(&s(&["serve", "c.json", "--resume", "verdicts.json"])).unwrap();
+        let Command::Serve(o) = cmd else { panic!() };
+        assert_eq!(o.resume.as_deref(), Some("verdicts.json"));
+        assert_eq!(o.workers, 2, "default worker count");
+
+        assert!(parse(&s(&["serve"])).is_err(), "manifest is required");
+        assert!(parse(&s(&["serve", "--workers", "2"])).is_err());
+        assert!(parse(&s(&["serve", "c.json", "--workers", "0"])).is_err());
+        assert!(parse(&s(&["serve", "c.json", "--max-attempts", "0"])).is_err());
+        assert!(parse(&s(&["serve", "c.json", "--heartbeat-timeout", "0"])).is_err());
+    }
+
+    #[test]
+    fn parses_hidden_worker_command() {
+        let cmd = parse(&s(&["worker"])).unwrap();
+        let Command::Worker(o) = cmd else {
+            panic!("expected worker")
+        };
+        assert_eq!(o.heartbeat_millis, WorkerOpts::default().heartbeat_millis);
+        let cmd = parse(&s(&["worker", "--heartbeat-millis", "50"])).unwrap();
+        let Command::Worker(o) = cmd else { panic!() };
+        assert_eq!(o.heartbeat_millis, 50);
+        assert!(parse(&s(&["worker", "--heartbeat-millis", "0"])).is_err());
+        assert!(parse(&s(&["worker", "--wat"])).is_err());
+        // Hidden means hidden: the help text never mentions it.
+        assert!(!USAGE.contains("fair-chess worker"));
+    }
+
+    #[test]
+    fn usage_documents_serve() {
+        assert!(USAGE.contains("fair-chess serve"));
+        for flag in [
+            "--workers",
+            "--status-file",
+            "--heartbeat-timeout",
+            "--max-attempts",
+            "--jitter-seed",
+        ] {
+            assert!(USAGE.contains(flag), "{flag} missing from USAGE");
+        }
     }
 
     #[test]

@@ -10,7 +10,8 @@ use std::sync::Arc;
 use chess_bench::{checkpoint_from_json, checkpoint_to_json, read_journal, JournalWriter, Json};
 use chess_core::strategy::{ContextBounded, Dfs, RandomWalk, Strategy};
 use chess_core::{
-    BudgetKind, Config, Explorer, ParallelExplorer, SearchOutcome, SearchReport, SearchStats,
+    BudgetKind, Config, Explorer, ParallelExplorer, Progress, SearchOutcome, SearchReport,
+    SearchStats,
 };
 use chess_kernel::{Capture, Kernel};
 use chess_state::{CoverageTracker, StateGraph, StatefulError, StatefulLimits};
@@ -49,6 +50,8 @@ pub fn execute(cmd: Command) -> ExitCode {
         Command::Truth(o) => dispatch(&o, Mode::Truth),
         Command::Fuzz(o) => crate::fuzzcmd::do_fuzz(&o),
         Command::Replay(o) => crate::fuzzcmd::do_replay(&o),
+        Command::Serve(o) => crate::servecmd::do_serve(&o),
+        Command::Worker(o) => crate::workercmd::do_worker(&o),
     }
 }
 
@@ -59,19 +62,39 @@ enum Mode {
     Truth,
 }
 
-/// Monomorphized dispatch from (workload, bug) strings to factories.
-fn dispatch(o: &RunOpts, mode: Mode) -> ExitCode {
+/// One monomorphized action over a resolved workload factory.
+///
+/// The (workload, bug) table in [`with_workload`] is the single source
+/// of truth for what the CLI can run; `check`/`cover`/`truth` and the
+/// campaign worker's job runner all enter through it with a different
+/// visitor, so a workload added to the table is immediately availble to
+/// every front end.
+pub trait WorkloadVisitor {
+    /// What the action produces (an exit code, a job result, ...).
+    type Out;
+    /// Called with the resolved factory; monomorphized per state type.
+    fn visit<S, F>(self, factory: F) -> Self::Out
+    where
+        S: Capture + Clone + 'static,
+        F: Fn() -> Kernel<S> + Copy + Sync;
+    /// Called when the options name no runnable workload; `message` is
+    /// the human-readable reason.
+    fn reject(self, message: String) -> Self::Out;
+}
+
+/// Resolves `o` against the workload table and hands the factory to
+/// `visitor` (wrapped with `--validate-effects` when requested).
+pub fn with_workload<V: WorkloadVisitor>(o: &RunOpts, visitor: V) -> V::Out {
     if !o.memory.is_sc()
         && registry::find(&o.workload).is_some()
         && !registry::supports_relaxed(&o.workload)
     {
-        eprintln!(
-            "error: workload '{}' does not use atomics, so --memory {} would not change \
+        return visitor.reject(format!(
+            "workload '{}' does not use atomics, so --memory {} would not change \
              anything; relaxed models are supported by the litmus workloads \
              (see `fair-chess list`)",
             o.workload, o.memory
-        );
-        return ExitCode::from(2);
+        ));
     }
     let memory = o.memory;
     macro_rules! go {
@@ -85,11 +108,7 @@ fn dispatch(o: &RunOpts, mode: Mode) -> ExitCode {
                 }
                 k
             };
-            match mode {
-                Mode::Check => do_check(factory, o),
-                Mode::Cover => do_cover(factory, o),
-                Mode::Truth => do_truth(factory),
-            }
+            visitor.visit(factory)
         }};
     }
     match (o.workload.as_str(), o.bug.as_deref()) {
@@ -147,15 +166,124 @@ fn dispatch(o: &RunOpts, mode: Mode) -> ExitCode {
         ("mp", None) => go!(move || message_passing(memory)),
         ("lb", None) => go!(move || load_buffering(memory)),
         ("iriw", None) => go!(move || iriw(memory)),
-        (w, b) => {
-            match b {
-                Some(b) => eprintln!("error: unknown workload/bug combination '{w}' / '{b}'"),
-                None => eprintln!("error: unknown workload '{w}'"),
-            }
-            eprintln!("\n{}", registry::render_list());
-            ExitCode::from(2)
+        (w, b) => visitor.reject(match b {
+            Some(b) => format!("unknown workload/bug combination '{w}' / '{b}'"),
+            None => format!("unknown workload '{w}'"),
+        }),
+    }
+}
+
+/// The interactive visitor: `check`/`cover`/`truth` with their printing
+/// and exit-code behavior.
+struct ModeVisitor<'a> {
+    o: &'a RunOpts,
+    mode: Mode,
+}
+
+impl WorkloadVisitor for ModeVisitor<'_> {
+    type Out = ExitCode;
+
+    fn visit<S, F>(self, factory: F) -> ExitCode
+    where
+        S: Capture + Clone + 'static,
+        F: Fn() -> Kernel<S> + Copy + Sync,
+    {
+        match self.mode {
+            Mode::Check => do_check(factory, self.o),
+            Mode::Cover => do_cover(factory, self.o),
+            Mode::Truth => do_truth(factory),
         }
     }
+
+    fn reject(self, message: String) -> ExitCode {
+        eprintln!("error: {message}");
+        if message.starts_with("unknown workload") {
+            eprintln!("\n{}", registry::render_list());
+        }
+        ExitCode::from(2)
+    }
+}
+
+/// Monomorphized dispatch from (workload, bug) strings to factories.
+fn dispatch(o: &RunOpts, mode: Mode) -> ExitCode {
+    with_workload(o, ModeVisitor { o, mode })
+}
+
+// ---------------------------------------------------------------------
+// The campaign job runner
+// ---------------------------------------------------------------------
+
+/// What a campaign check job produces: the exit code the outcome maps
+/// to under the documented 0–7 contract, plus a summary line with no
+/// wall-clock field — two runs of the same job print identical lines,
+/// which is what lets a resumed campaign reprint its report
+/// byte-for-byte.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobRunResult {
+    /// Exit-code contribution of this job (0/1/3/4/5).
+    pub code: u8,
+    /// Deterministic one-line outcome summary.
+    pub line: String,
+}
+
+/// Maps a search outcome to the CLI's documented exit code.
+pub fn outcome_code(outcome: &SearchOutcome) -> u8 {
+    match outcome {
+        SearchOutcome::Complete => exitcode::CLEAN,
+        SearchOutcome::SafetyViolation(_) | SearchOutcome::Panic(_) => exitcode::SAFETY_VIOLATION,
+        SearchOutcome::Deadlock(_) => exitcode::DEADLOCK,
+        SearchOutcome::Divergence(_) => exitcode::LIVELOCK,
+        SearchOutcome::BudgetExhausted(BudgetKind::WorkerPanicked) => exitcode::INTERNAL,
+        SearchOutcome::BudgetExhausted(_) => exitcode::INCOMPLETE,
+    }
+}
+
+/// The report's display line minus the trailing wall-clock field (the
+/// one part that differs between two runs of the same search).
+fn deterministic_report_line(report: &SearchReport) -> String {
+    let shown = report.to_string();
+    match shown.rsplit_once(',') {
+        Some((head, _wall)) => head.to_string(),
+        None => shown,
+    }
+}
+
+/// The visitor behind [`run_check_job`]: a plain sequential search with
+/// live progress publication and a structured result.
+struct JobVisitor<'a> {
+    o: &'a RunOpts,
+    progress: &'a Arc<Progress>,
+}
+
+impl WorkloadVisitor for JobVisitor<'_> {
+    type Out = Result<JobRunResult, String>;
+
+    fn visit<S, F>(self, factory: F) -> Self::Out
+    where
+        S: Capture + Clone + 'static,
+        F: Fn() -> Kernel<S> + Copy + Sync,
+    {
+        let report = Explorer::new(factory, build_strategy(self.o), build_config(self.o))
+            .with_progress(Arc::clone(self.progress))
+            .run();
+        Ok(JobRunResult {
+            code: outcome_code(&report.outcome),
+            line: deterministic_report_line(&report),
+        })
+    }
+
+    fn reject(self, message: String) -> Self::Out {
+        Err(message)
+    }
+}
+
+/// Runs one campaign check job in this process, publishing progress to
+/// `progress` so the worker protocol loop can heartbeat while the
+/// search advances. Errors are option-level (unknown workload, bad
+/// combination) — a found bug is a *successful* job whose result line
+/// and code say so.
+pub fn run_check_job(o: &RunOpts, progress: &Arc<Progress>) -> Result<JobRunResult, String> {
+    with_workload(o, JobVisitor { o, progress })
 }
 
 fn build_strategy(o: &RunOpts) -> Box<dyn Strategy> {

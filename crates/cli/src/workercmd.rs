@@ -1,0 +1,418 @@
+//! The hidden `worker` subcommand: the process a `serve` supervisor
+//! re-execs for every pool slot.
+//!
+//! A worker speaks the `chess_core::procpool` line protocol over
+//! stdin/stdout and runs one job at a time through the same workload
+//! table as `check` (via [`crate::run::run_check_job`]) or a small
+//! in-process differential-fuzz sweep. Heartbeats are emitted only
+//! while the job's [`Progress`] counters advance, so a genuinely hung
+//! search stalls the heartbeat and gets this process killed by the
+//! supervisor's watchdog — the intended failure mode.
+//!
+//! # Job payloads
+//!
+//! A job is one JSON object from the campaign manifest's `jobs` array:
+//!
+//! ```json
+//! {"id": "w1", "kind": "check", "workload": "wsq", "bug": "lost-tail",
+//!  "strategy": "cb:2", "max_executions": 5000}
+//! {"id": "f1", "kind": "fuzz", "seed": 5, "systems": 8,
+//!  "inject": ["deadlock"]}
+//! ```
+//!
+//! The result payload is `{"code": <0-7>, "line": "<summary>"}` where
+//! `line` carries no wall-clock field — the supervisor's final report
+//! is assembled from these lines, and their determinism is what makes
+//! a resumed campaign reprint byte-for-byte.
+//!
+//! # Chaos injection
+//!
+//! Setting `FAIR_CHESS_CHAOS="abort:P,hang:P,garbage:P,seed:N"` makes
+//! the worker misbehave at job start with the given probabilities:
+//! `abort` calls `std::process::abort()`, `hang` sleeps forever without
+//! ticking progress (exercising the watchdog), and `garbage` emits an
+//! unparsable protocol line. Each decision is drawn from a hash of
+//! (seed, job id, attempt), so retries re-roll deterministically and a
+//! re-run (or resumed) campaign injects the identical fault sequence.
+
+use std::process::ExitCode;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+use chess_bench::Json;
+use chess_core::procpool::worker_main;
+use chess_core::{derive_seed, generate_system, FuzzConfig, Progress};
+use chess_state::{differential_check_with_progress, OracleLimits, SystemOutcome};
+
+use crate::exitcode;
+use crate::opts::{self, RunOpts, WorkerOpts};
+use crate::run::{run_check_job, JobRunResult};
+
+/// Runs the worker protocol loop until the supervisor shuts us down or
+/// closes stdin.
+pub fn do_worker(o: &WorkerOpts) -> ExitCode {
+    let chaos = ChaosConfig::from_env();
+    worker_main(
+        std::io::stdin().lock(),
+        std::io::stdout(),
+        Duration::from_millis(o.heartbeat_millis),
+        move |id, attempt, payload, progress| {
+            chaos.inject(id, attempt);
+            let result = run_job(payload, progress)?;
+            Ok(job_result_to_json(&result).to_string_pretty())
+        },
+    );
+    ExitCode::SUCCESS
+}
+
+/// Parses and runs one job payload. Also the degraded in-process path:
+/// when `serve` cannot spawn any worker it calls this directly.
+pub fn run_job(payload: &str, progress: &Arc<Progress>) -> Result<JobRunResult, String> {
+    let json = Json::parse(payload).map_err(|e| format!("job payload: {e}"))?;
+    match job_kind(&json) {
+        "check" => run_check_job(&check_opts_from_json(&json)?, progress),
+        "fuzz" => run_fuzz_job(&json, progress),
+        other => Err(format!("unknown job kind '{other}'")),
+    }
+}
+
+/// Structural validation of a manifest job, without running it: the
+/// supervisor calls this at load time so a malformed manifest fails
+/// fast (exit 2), before any worker is spawned. Semantic problems a
+/// worker discovers later (an unknown workload name, say) surface as
+/// handler errors and quarantine the job with that evidence instead.
+pub fn validate_job(json: &Json) -> Result<(), String> {
+    match job_kind(json) {
+        "check" => check_opts_from_json(json).map(|_| ()),
+        "fuzz" => Ok(()),
+        other => Err(format!("unknown job kind '{other}'")),
+    }
+}
+
+fn job_kind(json: &Json) -> &str {
+    json.get("kind").and_then(Json::as_str).unwrap_or("check")
+}
+
+/// Builds the `check`-equivalent options from a check job object. Only
+/// single-process knobs are honored: parallelism comes from the pool,
+/// and journaling belongs to the supervisor, so `jobs`, `checkpoint`,
+/// and `resume` stay at their defaults.
+fn check_opts_from_json(json: &Json) -> Result<RunOpts, String> {
+    let mut o = RunOpts {
+        workload: json
+            .get("workload")
+            .and_then(Json::as_str)
+            .ok_or("check job has no 'workload'")?
+            .to_string(),
+        bug: json.get("bug").and_then(Json::as_str).map(str::to_string),
+        trace: false,
+        ..RunOpts::default()
+    };
+    if let Some(m) = json.get("memory").and_then(Json::as_str) {
+        o.memory = m.parse()?;
+    }
+    if let Some(s) = json.get("strategy").and_then(Json::as_str) {
+        o.strategy = opts::parse_strategy(s).map_err(|e| e.0)?;
+    }
+    if let Some(r) = json.get("reduce").and_then(Json::as_bool) {
+        o.reduce = r;
+    }
+    if let Some(v) = json.get("validate_effects").and_then(Json::as_bool) {
+        o.validate_effects = v;
+    }
+    if let Some(f) = json.get("fair").and_then(Json::as_bool) {
+        o.fair = f;
+    }
+    if let Some(k) = json.get("k").and_then(Json::as_u64) {
+        o.k = k;
+    }
+    if let Some(d) = json.get("depth_bound").and_then(Json::as_u64) {
+        o.depth_bound = d as usize;
+    }
+    if let Some(n) = json.get("max_executions").and_then(Json::as_u64) {
+        o.max_executions = Some(n);
+    }
+    if let Some(ms) = json.get("time_budget_ms").and_then(Json::as_u64) {
+        o.time_budget = Some(Duration::from_millis(ms));
+    }
+    Ok(o)
+}
+
+/// A small in-process differential-fuzz sweep: `systems` generated
+/// systems checked against the stateful oracles, one progress tick per
+/// system. The summary line is deterministic (counts only).
+fn run_fuzz_job(json: &Json, progress: &Arc<Progress>) -> Result<JobRunResult, String> {
+    let num = |key: &str, default: u64| json.get(key).and_then(Json::as_u64).unwrap_or(default);
+    let systems = num("systems", 10);
+    let base_seed = num("seed", 1);
+    let limits = OracleLimits {
+        max_states: num("max_states", 200_000) as usize,
+        // The pool owns parallelism (and the cross-check's private
+        // workers would not feed the heartbeat progress); keep each job
+        // a single-threaded, fully progress-observed check.
+        parallel_cross_check: false,
+        ..OracleLimits::default()
+    };
+    let mut inject = [false; 4]; // safety, deadlock, livelock, panic
+    if let Some(Json::Array(kinds)) = json.get("inject") {
+        for kind in kinds {
+            match kind.as_str() {
+                Some("safety") => inject[0] = true,
+                Some("deadlock") => inject[1] = true,
+                Some("livelock") => inject[2] = true,
+                Some("panic") => inject[3] = true,
+                other => return Err(format!("fuzz job: unknown injection {other:?}")),
+            }
+        }
+    }
+    let (mut clean, mut buggy, mut skipped, mut discrepancies) = (0u64, 0u64, 0u64, 0u64);
+    for i in 0..systems {
+        let seed = derive_seed(base_seed, i);
+        let config = FuzzConfig {
+            max_threads: num("max_threads", 3) as usize,
+            max_ops: num("max_ops", 4) as usize,
+            yield_percent: num("yield_percent", 60) as u32,
+            inject_safety: inject[0],
+            inject_deadlock: inject[1],
+            inject_livelock: inject[2],
+            inject_panic: inject[3],
+            ..FuzzConfig::default().with_seed(seed)
+        };
+        let sys = generate_system(&config);
+        let verdict = differential_check_with_progress(|| sys.clone(), &limits, progress);
+        match &verdict.outcome {
+            SystemOutcome::Clean => clean += 1,
+            SystemOutcome::Skipped(_) => skipped += 1,
+            SystemOutcome::Buggy { .. } => buggy += 1,
+        }
+        discrepancies += verdict.discrepancies.len() as u64;
+        progress.executions.fetch_add(1, Ordering::Relaxed);
+    }
+    let code = if discrepancies > 0 {
+        exitcode::SAFETY_VIOLATION
+    } else {
+        exitcode::CLEAN
+    };
+    Ok(JobRunResult {
+        code,
+        line: format!(
+            "fuzz: {systems} systems (base seed {base_seed}) — {clean} clean, {buggy} buggy, \
+             {skipped} skipped, {discrepancies} discrepancies"
+        ),
+    })
+}
+
+// ---------------------------------------------------------------------
+// Result payload codec
+// ---------------------------------------------------------------------
+
+/// Serializes a job result as the protocol result payload.
+pub fn job_result_to_json(r: &JobRunResult) -> Json {
+    Json::object([
+        ("code", Json::UInt(u64::from(r.code))),
+        ("line", Json::Str(r.line.clone())),
+    ])
+}
+
+/// Parses a result payload written by [`job_result_to_json`].
+pub fn job_result_from_payload(payload: &str) -> Result<JobRunResult, String> {
+    let json = Json::parse(payload).map_err(|e| format!("job result payload: {e}"))?;
+    Ok(JobRunResult {
+        code: json
+            .get("code")
+            .and_then(Json::as_u64)
+            .ok_or("job result has no code")? as u8,
+        line: json
+            .get("line")
+            .and_then(Json::as_str)
+            .ok_or("job result has no line")?
+            .to_string(),
+    })
+}
+
+// ---------------------------------------------------------------------
+// Chaos injection
+// ---------------------------------------------------------------------
+
+/// Fault injection knobs parsed from `FAIR_CHESS_CHAOS`. All-zero (the
+/// default) injects nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+struct ChaosConfig {
+    abort: f64,
+    hang: f64,
+    garbage: f64,
+    seed: u64,
+}
+
+impl ChaosConfig {
+    fn from_env() -> ChaosConfig {
+        let Ok(spec) = std::env::var("FAIR_CHESS_CHAOS") else {
+            return ChaosConfig::default();
+        };
+        match ChaosConfig::parse(&spec) {
+            Ok(c) => c,
+            Err(e) => {
+                // A worker must never die over a bad knob: report and
+                // run un-sabotaged.
+                eprintln!("worker: ignoring FAIR_CHESS_CHAOS ({e})");
+                ChaosConfig::default()
+            }
+        }
+    }
+
+    fn parse(spec: &str) -> Result<ChaosConfig, String> {
+        let mut c = ChaosConfig::default();
+        for part in spec.split(',').filter(|p| !p.trim().is_empty()) {
+            let (key, value) = part
+                .split_once(':')
+                .ok_or_else(|| format!("expected key:value, got '{part}'"))?;
+            let p = || -> Result<f64, String> {
+                let p: f64 = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad probability '{value}'"))?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(format!("probability '{value}' outside 0..=1"));
+                }
+                Ok(p)
+            };
+            match key.trim() {
+                "abort" => c.abort = p()?,
+                "hang" => c.hang = p()?,
+                "garbage" => c.garbage = p()?,
+                "seed" => {
+                    c.seed = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("bad seed '{value}'"))?;
+                }
+                other => return Err(format!("unknown chaos knob '{other}'")),
+            }
+        }
+        Ok(c)
+    }
+
+    /// Rolls the dice for (job, attempt) and misbehaves accordingly.
+    /// Deterministic: the same (seed, id, attempt) always rolls the
+    /// same way, so a resumed campaign replays the original faults.
+    fn inject(&self, id: &str, attempt: u32) {
+        if self.abort == 0.0 && self.hang == 0.0 && self.garbage == 0.0 {
+            return;
+        }
+        let mut h = 0xcbf2_9ce4_8422_2325u64 ^ self.seed;
+        for b in id.bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h = (h ^ u64::from(attempt)).wrapping_mul(0x0000_0100_0000_01b3);
+        let mut roll = move |p: f64| {
+            // splitmix64 step per roll: three independent decisions
+            // from one hash without a full RNG.
+            h = h.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = h;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            ((z % 1_000_000) as f64) < p * 1_000_000.0
+        };
+        if roll(self.abort) {
+            eprintln!("worker: chaos abort (job {id}, attempt {attempt})");
+            std::process::abort();
+        }
+        if roll(self.hang) {
+            eprintln!("worker: chaos hang (job {id}, attempt {attempt})");
+            loop {
+                // No progress ticks, so no heartbeats: the supervisor's
+                // watchdog will SIGKILL this process.
+                std::thread::sleep(Duration::from_secs(3600));
+            }
+        }
+        if roll(self.garbage) {
+            eprintln!("worker: chaos garbage (job {id}, attempt {attempt})");
+            // Deliberately unparsable: the supervisor must treat the
+            // stream as unframeable and kill us.
+            println!("!!chaos garbage!!");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chaos_spec_parses_and_rejects() {
+        let c = ChaosConfig::parse("abort:0.5,hang:0.25,garbage:0,seed:42").unwrap();
+        assert_eq!(
+            c,
+            ChaosConfig {
+                abort: 0.5,
+                hang: 0.25,
+                garbage: 0.0,
+                seed: 42
+            }
+        );
+        assert!(ChaosConfig::parse("abort:1.5").is_err());
+        assert!(ChaosConfig::parse("explode:0.5").is_err());
+        assert!(ChaosConfig::parse("abort").is_err());
+        assert_eq!(ChaosConfig::parse("").unwrap(), ChaosConfig::default());
+    }
+
+    #[test]
+    fn job_result_round_trips() {
+        let r = JobRunResult {
+            code: 4,
+            line: "deadlock: both forks held (execution 9) — 12 executions".to_string(),
+        };
+        let back = job_result_from_payload(&job_result_to_json(&r).to_string_pretty()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn check_job_payload_maps_onto_run_opts() {
+        let json = Json::parse(
+            r#"{"kind": "check", "workload": "wsq", "bug": "lost-tail",
+                "strategy": "cb:2", "max_executions": 100, "fair": true,
+                "k": 2, "depth_bound": 500, "time_budget_ms": 250}"#,
+        )
+        .unwrap();
+        let o = check_opts_from_json(&json).unwrap();
+        assert_eq!(o.workload, "wsq");
+        assert_eq!(o.bug.as_deref(), Some("lost-tail"));
+        assert_eq!(o.strategy, crate::opts::StrategyOpt::Cb(2));
+        assert_eq!(o.max_executions, Some(100));
+        assert_eq!(o.k, 2);
+        assert_eq!(o.depth_bound, 500);
+        assert_eq!(o.time_budget, Some(Duration::from_millis(250)));
+        assert!(!o.trace, "job runs never print traces");
+
+        let bad = Json::parse(r#"{"kind": "check"}"#).unwrap();
+        assert!(check_opts_from_json(&bad).is_err(), "workload is required");
+    }
+
+    #[test]
+    fn run_job_reports_a_seeded_bug_deterministically() {
+        let payload = r#"{"kind": "check", "workload": "counter", "bug": "racy",
+                          "max_executions": 2000}"#;
+        let progress = Arc::new(Progress::default());
+        let first = run_job(payload, &progress).unwrap();
+        assert_eq!(first.code, exitcode::SAFETY_VIOLATION);
+        assert!(first.line.contains("safety violation"), "{}", first.line);
+        assert!(
+            progress.tick() > 0,
+            "the job must publish progress for the heartbeat loop"
+        );
+        // Byte-identical across runs: no wall-clock field in the line.
+        let second = run_job(payload, &Arc::new(Progress::default())).unwrap();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn run_job_rejects_unknown_workloads_as_handler_errors() {
+        let progress = Arc::new(Progress::default());
+        let err = run_job(r#"{"workload": "nope"}"#, &progress).unwrap_err();
+        assert!(err.contains("unknown workload"), "{err}");
+        let err = run_job("not json at all", &progress).unwrap_err();
+        assert!(err.contains("job payload"), "{err}");
+    }
+}

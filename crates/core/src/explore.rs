@@ -4,7 +4,7 @@
 //! ever stored across executions.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -35,6 +35,30 @@ pub struct SearchCheckpoint {
     pub strategy: StrategySnapshot,
     /// Cumulative statistics at the checkpointed boundary.
     pub stats: SearchStats,
+}
+
+/// Live progress counters shared with a supervisor (see
+/// [`Explorer::with_progress`]). The explorer publishes its cumulative
+/// execution/transition totals here at every execution boundary, so a
+/// supervisor can harvest how much work an attempt did even when the
+/// attempt itself dies before returning a report — and a process-level
+/// watchdog can distinguish a hung worker from a slow one.
+#[derive(Debug, Default)]
+pub struct Progress {
+    /// Executions completed so far (published at execution boundaries).
+    pub executions: AtomicU64,
+    /// Transitions executed so far (published at execution boundaries).
+    pub transitions: AtomicU64,
+}
+
+impl Progress {
+    /// A monotone tick combining both counters; a watchdog that only
+    /// cares about "did anything advance" can poll this single value.
+    pub fn tick(&self) -> u64 {
+        self.executions
+            .load(Ordering::Relaxed)
+            .wrapping_add(self.transitions.load(Ordering::Relaxed))
+    }
 }
 
 /// The periodic-checkpoint sink attached to an [`Explorer`].
@@ -233,6 +257,7 @@ pub struct Explorer<P, F, St> {
     config: Config,
     stop: Option<Arc<AtomicBool>>,
     checkpoint: Option<CheckpointSink>,
+    progress: Option<Arc<Progress>>,
     initial_stats: SearchStats,
     _marker: std::marker::PhantomData<fn() -> P>,
 }
@@ -351,6 +376,7 @@ where
             config,
             stop: None,
             checkpoint: None,
+            progress: None,
             initial_stats: SearchStats::default(),
             _marker: std::marker::PhantomData,
         }
@@ -389,6 +415,26 @@ where
             emit: Box::new(emit),
         });
         self
+    }
+
+    /// Attaches shared progress counters. The explorer publishes its
+    /// cumulative execution/transition totals into them at every
+    /// execution boundary. A supervisor reads them to harvest the work of
+    /// an attempt that dies mid-search (the counters survive the panic;
+    /// see `SearchStats::lost_to_restart`) and a process watchdog reads
+    /// them as a liveness signal.
+    pub fn with_progress(mut self, progress: Arc<Progress>) -> Self {
+        self.progress = Some(progress);
+        self
+    }
+
+    /// Publishes the boundary totals of `stats` into the shared progress
+    /// counters, if any.
+    fn publish_progress(&self, stats: &SearchStats) {
+        if let Some(p) = &self.progress {
+            p.executions.store(stats.executions, Ordering::Relaxed);
+            p.transitions.store(stats.transitions, Ordering::Relaxed);
+        }
     }
 
     /// Seeds the search with statistics from a previous (checkpointed)
@@ -441,6 +487,7 @@ where
         let deadline = self.config.time_budget.map(|d| start + d);
         let base_wall = self.initial_stats.wall;
         let mut stats = self.initial_stats.clone();
+        self.publish_progress(&stats);
         // The schedule of the in-flight execution lives outside
         // `one_execution` so that it survives a workload panic: the
         // decisions pushed before the panicking step become the
@@ -497,6 +544,10 @@ where
                     }))
                 }
             };
+            // Publish before the strategy callbacks below run: if one of
+            // them panics and kills the attempt, the supervisor can still
+            // harvest everything up to and including this execution.
+            self.publish_progress(&stats);
             match end {
                 ExecEnd::Error(outcome) => {
                     if stats.first_error_execution.is_none() {

@@ -85,6 +85,7 @@ pub mod minimize;
 mod observer;
 pub mod panics;
 mod parallel;
+pub mod procpool;
 mod report;
 pub mod strategy;
 mod system;
@@ -92,7 +93,7 @@ mod trace;
 
 pub use explore::{
     iterative_context_bounding, iterative_context_bounding_resumable, Config, Explorer,
-    FairnessConfig, SearchCheckpoint,
+    FairnessConfig, Progress, SearchCheckpoint,
 };
 pub use fair::{FairScheduler, PenaltyScope};
 pub use fuzz::{

@@ -46,7 +46,7 @@ use std::sync::Arc;
 use std::thread;
 use std::time::Instant;
 
-use crate::explore::{Config, Explorer};
+use crate::explore::{Config, Explorer, Progress};
 use crate::report::{BudgetKind, SearchOutcome, SearchReport, SearchStats};
 use crate::strategy::{
     ContextBounded, Dfs, FixedSchedule, RandomWalk, Reduction, SchedulePoint, Strategy,
@@ -301,21 +301,35 @@ where
                             // sequential search for one bound is
                             // self-contained), then gives up on the bound.
                             let mut restarts = 0u64;
+                            let mut lost = 0u64;
                             let mut report = loop {
                                 let stop = Arc::clone(&stop);
                                 let config = config.clone();
+                                let progress = Arc::new(Progress::default());
+                                let shared = Arc::clone(&progress);
                                 let attempt = crate::panics::catch_silent(move || {
                                     Explorer::new(factory, ContextBounded::new(bound), config)
                                         .with_stop_flag(stop)
+                                        .with_progress(shared)
                                         .run()
                                 });
                                 match attempt {
                                     Ok(report) => break report,
-                                    Err(_) if restarts < MAX_WORKER_RESTARTS => restarts += 1,
-                                    Err(_) => break lost_worker_report(),
+                                    Err(_) => {
+                                        // Harvest the dead attempt's
+                                        // boundary totals before the
+                                        // restart re-runs the bound.
+                                        lost += progress.executions.load(Ordering::Relaxed);
+                                        if restarts < MAX_WORKER_RESTARTS {
+                                            restarts += 1;
+                                        } else {
+                                            break lost_worker_report();
+                                        }
+                                    }
                                 }
                             };
                             report.stats.worker_restarts += restarts;
+                            report.stats.lost_to_restart += lost;
                             let found = report.outcome.found_error();
                             mine.push((bound, report));
                             if found && config.stop_on_error {
@@ -390,28 +404,39 @@ where
                         let stop_on_error = config.stop_on_error;
                         // Supervisor loop: restart a panicked worker from
                         // its shard's initial strategy, give up after the
-                        // restart cap. The failed attempt's statistics
-                        // die with it — restarting re-runs the shard, so
-                        // only the surviving attempt is counted.
+                        // restart cap. Restarting re-runs the shard, so a
+                        // failed attempt's counters must not be merged
+                        // into the live totals — instead its boundary
+                        // progress is harvested into `lost_to_restart`,
+                        // keeping the work it did visible in the report.
                         let mut attempts = 0u64;
-                        let report = loop {
+                        let mut lost = 0u64;
+                        let mut report = loop {
                             let strategy = strategy.clone();
                             let config = config.clone();
                             let stop = Arc::clone(&stop);
+                            let progress = Arc::new(Progress::default());
+                            let shared = Arc::clone(&progress);
                             let attempt = crate::panics::catch_silent(move || {
                                 Explorer::new(factory, strategy, config)
                                     .with_stop_flag(stop)
+                                    .with_progress(shared)
                                     .run()
                             });
                             match attempt {
                                 Ok(report) => break report,
-                                Err(_) if attempts < MAX_WORKER_RESTARTS => {
-                                    attempts += 1;
-                                    restarts.fetch_add(1, Ordering::Relaxed);
+                                Err(_) => {
+                                    lost += progress.executions.load(Ordering::Relaxed);
+                                    if attempts < MAX_WORKER_RESTARTS {
+                                        attempts += 1;
+                                        restarts.fetch_add(1, Ordering::Relaxed);
+                                    } else {
+                                        break lost_worker_report();
+                                    }
                                 }
-                                Err(_) => break lost_worker_report(),
                             }
                         };
+                        report.stats.lost_to_restart += lost;
                         if stop_on_error && report.outcome.found_error() {
                             // Claim the win before raising the flag so
                             // the winning worker is unambiguous.
@@ -800,6 +825,11 @@ mod tests {
         assert_eq!(report.stats.worker_restarts, MAX_WORKER_RESTARTS);
         let sequential = Explorer::new(two_step_scripts, Dfs::new(), Config::fair()).run();
         assert_eq!(report.stats.executions, sequential.stats.executions);
+        // Every failed attempt completed one execution before dying in
+        // `on_execution_end`; the supervisor harvests those boundary
+        // totals instead of dropping them (initial try + each restart,
+        // plus the final abandoned attempt).
+        assert_eq!(report.stats.lost_to_restart, MAX_WORKER_RESTARTS + 1);
     }
 
     #[test]

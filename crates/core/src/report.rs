@@ -216,6 +216,11 @@ pub struct SearchStats {
     /// only when the checker itself misbehaved; workload panics never
     /// cost a worker.
     pub worker_restarts: u64,
+    /// Executions completed by attempts that later died and were
+    /// restarted. Restarting re-runs the shard, so these executions are
+    /// not in [`SearchStats::executions`] — this counter keeps the work a
+    /// failed attempt did from disappearing from the report entirely.
+    pub lost_to_restart: u64,
     /// Execution index of the first error found, if any.
     pub first_error_execution: Option<u64>,
     /// Deepest execution observed.
@@ -244,6 +249,7 @@ impl SearchStats {
         self.unfair_cycles += other.unfair_cycles;
         self.panics += other.panics;
         self.worker_restarts += other.worker_restarts;
+        self.lost_to_restart += other.lost_to_restart;
         self.first_error_execution = match (self.first_error_execution, other.first_error_execution)
         {
             (Some(a), Some(b)) => Some(a.min(b)),

@@ -32,12 +32,14 @@
 //! minimized, and ultimately persisted to the fuzzing corpus).
 
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
 
 use chess_core::minimize::{minimize_schedule, reproduces, OutcomeKind};
 use chess_core::strategy::{Dfs, FixedSchedule};
 use chess_core::{
-    replay, Config, Explorer, Observer, ParallelExplorer, Schedule, SearchOutcome, SystemStatus,
-    TransitionSystem,
+    replay, Config, Explorer, Observer, ParallelExplorer, Progress, Schedule, SearchOutcome,
+    SystemStatus, TransitionSystem,
 };
 
 use crate::coverage::CoverageTracker;
@@ -184,6 +186,27 @@ where
     P: TransitionSystem + Clone,
     F: Fn() -> P + Sync,
 {
+    differential_check_with_progress(factory, limits, &Arc::new(Progress::default()))
+}
+
+/// [`differential_check`] with live progress publication: the graph
+/// build ticks `progress.transitions` per interned state and every
+/// sequential stateless pass publishes its execution counters, so a
+/// watchdog keyed on [`Progress::tick`] (the campaign runner's
+/// heartbeat gate) sees a slow-but-live check advancing. The parallel
+/// cross-check keeps its own private counters (its supervision loop
+/// harvests them per attempt), so callers needing a pulse through
+/// every phase should disable it via
+/// [`OracleLimits::parallel_cross_check`].
+pub fn differential_check_with_progress<P, F>(
+    factory: F,
+    limits: &OracleLimits,
+    progress: &Arc<Progress>,
+) -> Verdict
+where
+    P: TransitionSystem + Clone,
+    F: Fn() -> P + Sync,
+{
     let mut verdict = Verdict {
         graph_states: 0,
         yield_free_states: 0,
@@ -199,10 +222,13 @@ where
     };
 
     // Ground truth: the explicit state graph.
-    let graph = match StateGraph::build(
+    let graph = match StateGraph::build_observed(
         &factory(),
         StatefulLimits {
             max_states: limits.max_states,
+        },
+        &mut || {
+            progress.transitions.fetch_add(1, Ordering::Relaxed);
         },
     ) {
         Ok(g) => g,
@@ -221,7 +247,9 @@ where
         .with_max_executions(limits.max_executions)
         .with_depth_bound(limits.depth_bound);
     let mut obs = DifferentialObserver::new();
-    let report_a = Explorer::new(&factory, Dfs::new(), config_a.clone()).run_observed(&mut obs);
+    let report_a = Explorer::new(&factory, Dfs::new(), config_a.clone())
+        .with_progress(Arc::clone(progress))
+        .run_observed(&mut obs);
     verdict.covered_states = obs.coverage.distinct_states();
     verdict.max_unrolling = obs.max_unrolling;
     verdict.dfs_executions = report_a.stats.executions;
@@ -238,8 +266,9 @@ where
     // *transitions*; every state stays visited via the commuted path).
     if limits.reduce {
         let mut obs_r = DifferentialObserver::new();
-        let report_r =
-            Explorer::new(&factory, Dfs::with_sleep_sets(), config_a).run_observed(&mut obs_r);
+        let report_r = Explorer::new(&factory, Dfs::with_sleep_sets(), config_a)
+            .with_progress(Arc::clone(progress))
+            .run_observed(&mut obs_r);
         verdict.sleep_executions = report_r.stats.executions;
         if matches!(report_r.outcome, SearchOutcome::BudgetExhausted(_)) {
             // Unreachable in practice: the reduced search explores a
@@ -450,7 +479,9 @@ where
     let config_b = Config::fair()
         .with_max_executions(limits.max_executions)
         .with_depth_bound(limits.depth_bound);
-    let report_b = Explorer::new(&factory, Dfs::new(), config_b.clone()).run();
+    let report_b = Explorer::new(&factory, Dfs::new(), config_b.clone())
+        .with_progress(Arc::clone(progress))
+        .run();
     let errors_a =
         report_a.stats.violations + report_a.stats.deadlocks + report_a.stats.divergences;
 
@@ -523,6 +554,7 @@ where
                     FixedSchedule::new(schedule.clone()),
                     config_b.clone(),
                 )
+                .with_progress(Arc::clone(progress))
                 .run()
                 .outcome
             };

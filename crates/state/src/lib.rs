@@ -65,7 +65,10 @@ mod stateful;
 
 pub use canonical::Canonicalizer;
 pub use coverage::{CoverageTracker, FingerprintCoverage};
-pub use differential::{differential_check, Discrepancy, OracleLimits, SystemOutcome, Verdict};
+pub use differential::{
+    differential_check, differential_check_with_progress, Discrepancy, OracleLimits, SystemOutcome,
+    Verdict,
+};
 pub use memory::{memory_monotonicity_check, MemoryLimits, MemoryVerdict};
 pub use stateful::{
     preemption_bounded_states, Edge, StateGraph, StateNode, StatefulError, StatefulLimits,

@@ -101,6 +101,26 @@ impl StateGraph {
     where
         P: TransitionSystem + Clone,
     {
+        StateGraph::build_observed(initial, limits, &mut || {})
+    }
+
+    /// [`StateGraph::build`] with a liveness callback, invoked once per
+    /// freshly interned state. Long graph builds otherwise look like
+    /// hangs to watchdogs keyed on observable progress (the campaign
+    /// runner's heartbeat gate); the callback gives them a pulse.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatefulError::StateLimitExceeded`] if more than
+    /// `limits.max_states` distinct states are reachable.
+    pub fn build_observed<P>(
+        initial: &P,
+        limits: StatefulLimits,
+        on_state: &mut dyn FnMut(),
+    ) -> Result<StateGraph, StatefulError>
+    where
+        P: TransitionSystem + Clone,
+    {
         fn intern_node(
             key: Vec<u8>,
             node: StateNode,
@@ -129,7 +149,8 @@ impl StateGraph {
         let intern = |sys: &P,
                       index: &mut HashMap<Vec<u8>, usize>,
                       nodes: &mut Vec<StateNode>,
-                      frontier: &mut Vec<(P, usize)>|
+                      frontier: &mut Vec<(P, usize)>,
+                      on_state: &mut dyn FnMut()|
          -> Result<usize, StatefulError> {
             let node = StateNode {
                 enabled: sys.enabled_set(),
@@ -139,12 +160,13 @@ impl StateGraph {
             };
             let (id, fresh) = intern_node(sys.state_bytes(), node, index, nodes, limits)?;
             if fresh {
+                on_state();
                 frontier.push((sys.clone(), id));
             }
             Ok(id)
         };
 
-        intern(initial, &mut index, &mut nodes, &mut frontier)?;
+        intern(initial, &mut index, &mut nodes, &mut frontier, on_state)?;
         while let Some((sys, id)) = frontier.pop() {
             if !nodes[id].status.is_running() {
                 continue;
@@ -156,7 +178,8 @@ impl StateGraph {
                     let mut succ = sys.clone();
                     let sid = match chess_core::panics::catch_silent(|| succ.step(t, c as u32)) {
                         Ok(kind) => {
-                            let sid = intern(&succ, &mut index, &mut nodes, &mut frontier)?;
+                            let sid =
+                                intern(&succ, &mut index, &mut nodes, &mut frontier, on_state)?;
                             edges.push(Edge {
                                 decision: Decision {
                                     thread: t,

@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# Chaos smoke for the process-isolated campaign runner.
+#
+# Three acts, all against the same fixed campaign manifest:
+#
+#   1. Baseline: a clean `serve` run; its report (already wall-clock
+#      free) is the reference output, and the worst job outcome must
+#      map to the documented exit code (here 1: one job finds a safety
+#      violation).
+#   2. Chaos: re-run under FAIR_CHESS_CHAOS with workers aborting,
+#      hanging, and babbling at fixed probabilities and a fixed seed.
+#      The supervisor must retry/quarantine its way to completion, and
+#      because chaos rolls are keyed on (seed, job, attempt), a second
+#      chaos run must produce the byte-identical report.
+#   3. Kill the supervisor: SIGKILL mid-campaign (no handler runs; only
+#      the atomic checkpoint rewrites protect state), then --resume and
+#      require the final report byte-identical to the baseline.
+#
+# Usage: scripts/chaos_smoke.sh  (FAIR_CHESS overrides the binary path)
+set -euo pipefail
+
+BIN="${FAIR_CHESS:-target/release/fair-chess}"
+WORKDIR="$(mktemp -d)"
+trap 'rm -rf "$WORKDIR"' EXIT
+
+MANIFEST="$WORKDIR/campaign.json"
+cat > "$MANIFEST" <<'EOF'
+{"jobs": [
+  {"id": "clean",  "workload": "counter", "max_executions": 5000},
+  {"id": "racy",   "workload": "counter", "bug": "racy", "max_executions": 5000},
+  {"id": "phil-1", "workload": "philosophers", "strategy": "random:1", "max_executions": 20000},
+  {"id": "phil-2", "workload": "philosophers", "strategy": "random:2", "max_executions": 20000},
+  {"id": "phil-3", "workload": "philosophers", "strategy": "random:3", "max_executions": 20000},
+  {"id": "fuzz-1", "kind": "fuzz", "seed": 7, "systems": 4, "inject": ["deadlock"], "max_states": 50000}
+]}
+EOF
+
+expect_exit() {
+  local want="$1"; shift
+  local got=0
+  "$@" || got=$?
+  if [ "$got" -ne "$want" ]; then
+    echo "expected exit $want, got $got: $*" >&2
+    exit 1
+  fi
+}
+
+echo "== baseline: clean campaign, worst job outcome maps to exit 1"
+expect_exit 1 "$BIN" serve "$MANIFEST" --workers 2 > "$WORKDIR/baseline.out"
+
+echo "== chaos: aborting/hanging/babbling workers, campaign still converges"
+export FAIR_CHESS_CHAOS="abort:0.3,hang:0.1,garbage:0.2,seed:42"
+expect_exit 1 env FAIR_CHESS_CHAOS="$FAIR_CHESS_CHAOS" \
+  "$BIN" serve "$MANIFEST" --workers 2 --heartbeat-timeout 1 --max-attempts 6 \
+  > "$WORKDIR/chaos-1.out" 2> "$WORKDIR/chaos-1.err"
+grep -q "workers spawned" "$WORKDIR/chaos-1.err"
+
+echo "== chaos determinism: identical seed, identical report"
+expect_exit 1 env FAIR_CHESS_CHAOS="$FAIR_CHESS_CHAOS" \
+  "$BIN" serve "$MANIFEST" --workers 2 --heartbeat-timeout 1 --max-attempts 6 \
+  > "$WORKDIR/chaos-2.out" 2> /dev/null
+diff "$WORKDIR/chaos-1.out" "$WORKDIR/chaos-2.out"
+unset FAIR_CHESS_CHAOS
+
+echo "== chaos survivors match the baseline job-for-job"
+# Chaos must change *when* things run, never *what* they compute: every
+# job line a chaos run reports as done must equal the baseline's.
+if ! diff "$WORKDIR/baseline.out" "$WORKDIR/chaos-1.out"; then
+  # Quarantined jobs may differ; done jobs must not.
+  grep -v "quarantined" "$WORKDIR/chaos-1.out" | grep -v "^campaign:" | while read -r line; do
+    grep -qxF "$line" "$WORKDIR/baseline.out" || {
+      echo "chaos changed a job result: $line" >&2; exit 1; }
+  done
+fi
+
+echo "== SIGKILL the supervisor mid-campaign, resume byte-identically"
+JOURNAL="$WORKDIR/journal.json"
+"$BIN" serve "$MANIFEST" --workers 2 --checkpoint "$JOURNAL" \
+  > /dev/null 2>&1 &
+pid=$!
+tries=0
+until grep -q '"attempts"' "$JOURNAL" 2> /dev/null; do
+  tries=$((tries + 1))
+  if [ "$tries" -gt 500 ]; then echo "no verdict journaled" >&2; exit 1; fi
+  if ! kill -0 "$pid" 2> /dev/null; then break; fi
+  sleep 0.02
+done
+kill -KILL "$pid" 2> /dev/null || true
+wait "$pid" 2> /dev/null || true
+[ -s "$JOURNAL" ] || { echo "journal lost after SIGKILL" >&2; exit 1; }
+
+expect_exit 1 "$BIN" serve "$MANIFEST" --workers 2 --resume "$JOURNAL" \
+  > "$WORKDIR/resumed.out" 2> "$WORKDIR/resumed.err"
+diff "$WORKDIR/baseline.out" "$WORKDIR/resumed.out"
+
+echo "chaos smoke passed: sabotaged and killed campaigns converge to the baseline report"
