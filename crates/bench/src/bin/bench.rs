@@ -88,6 +88,20 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Load the baseline FIRST: when --check points at the same path
+    // persist() writes (the usual `results/BENCH_scaling.json`), reading
+    // it after the rewrite would compare the run against itself and the
+    // gate would never fire.
+    let baseline = match &args.check {
+        Some(path) => match load_baseline(path) {
+            Ok(b) => Some((path.clone(), b)),
+            Err(e) => {
+                eprintln!("bench: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
     let budget = Duration::from_millis(args.budget_ms);
     let mut report = perf_matrix(budget);
     match std::env::current_exe() {
@@ -101,15 +115,8 @@ fn main() -> ExitCode {
     println!("{text}");
     persist("BENCH_scaling", &text, &report.to_json());
 
-    let Some(baseline_path) = args.check else {
+    let Some((baseline_path, baseline)) = baseline else {
         return ExitCode::SUCCESS;
-    };
-    let baseline = match load_baseline(&baseline_path) {
-        Ok(b) => b,
-        Err(e) => {
-            eprintln!("bench: {e}");
-            return ExitCode::FAILURE;
-        }
     };
     match check_against_baseline(&report, &baseline, args.tolerance) {
         Ok(lines) => {

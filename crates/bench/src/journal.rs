@@ -21,7 +21,11 @@ use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::time::Duration;
 
-use chess_core::{FrameSnapshot, SearchCheckpoint, SearchStats, StrategySnapshot};
+use chess_core::{
+    BudgetKind, Counterexample, CounterexampleKind, Divergence, DivergenceKind, FrameSnapshot,
+    SearchCheckpoint, SearchOutcome, SearchReport, SearchStats, StrategySnapshot,
+};
+use chess_kernel::ThreadId;
 
 use crate::json::{schedule_from_json, schedule_to_json, Json};
 
@@ -276,6 +280,202 @@ pub fn checkpoint_from_json(json: &Json) -> Result<SearchCheckpoint, String> {
     Ok(SearchCheckpoint {
         strategy: snapshot_from_json(json.get("strategy").ok_or("journal: no strategy section")?)?,
         stats: stats_from_json(json.get("stats").ok_or("journal: no stats section")?)?,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Search-report codec
+// ---------------------------------------------------------------------
+
+fn counterexample_to_json(c: &Counterexample) -> Json {
+    Json::object([
+        ("message", Json::Str(c.message.clone())),
+        ("schedule", schedule_to_json(&c.schedule)),
+        ("execution", Json::UInt(c.execution)),
+    ])
+}
+
+fn counterexample_from_json(
+    json: &Json,
+    kind: CounterexampleKind,
+) -> Result<Counterexample, String> {
+    Ok(Counterexample {
+        kind,
+        message: json
+            .get("message")
+            .and_then(Json::as_str)
+            .ok_or("report: counterexample has no message")?
+            .to_string(),
+        schedule: schedule_from_json(
+            json.get("schedule")
+                .ok_or("report: counterexample has no schedule")?,
+        )?,
+        execution: field_u64(json, "execution")?,
+    })
+}
+
+fn divergence_to_json(d: &Divergence) -> Json {
+    let kind = match &d.kind {
+        DivergenceKind::FairCycle {
+            cycle_start,
+            cycle_len,
+        } => Json::object([
+            ("kind", Json::Str("fair_cycle".into())),
+            ("cycle_start", Json::UInt(*cycle_start as u64)),
+            ("cycle_len", Json::UInt(*cycle_len as u64)),
+        ]),
+        DivergenceKind::UnfairCycle {
+            cycle_start,
+            cycle_len,
+            starved,
+        } => Json::object([
+            ("kind", Json::Str("unfair_cycle".into())),
+            ("cycle_start", Json::UInt(*cycle_start as u64)),
+            ("cycle_len", Json::UInt(*cycle_len as u64)),
+            ("starved", Json::UInt(starved.index() as u64)),
+        ]),
+        DivergenceKind::GoodSamaritanSuspect {
+            thread,
+            steps_without_yield,
+        } => Json::object([
+            ("kind", Json::Str("gs_suspect".into())),
+            ("thread", Json::UInt(thread.index() as u64)),
+            ("steps_without_yield", Json::UInt(*steps_without_yield)),
+        ]),
+        DivergenceKind::LivelockSuspect => {
+            Json::object([("kind", Json::Str("livelock_suspect".into()))])
+        }
+    };
+    Json::object([
+        ("divergence", kind),
+        ("schedule", schedule_to_json(&d.schedule)),
+        ("execution", Json::UInt(d.execution)),
+    ])
+}
+
+fn divergence_from_json(json: &Json) -> Result<Divergence, String> {
+    let k = json
+        .get("divergence")
+        .ok_or("report: divergence has no kind object")?;
+    let kind = match k.get("kind").and_then(Json::as_str) {
+        Some("fair_cycle") => DivergenceKind::FairCycle {
+            cycle_start: field_u64(k, "cycle_start")? as usize,
+            cycle_len: field_u64(k, "cycle_len")? as usize,
+        },
+        Some("unfair_cycle") => DivergenceKind::UnfairCycle {
+            cycle_start: field_u64(k, "cycle_start")? as usize,
+            cycle_len: field_u64(k, "cycle_len")? as usize,
+            starved: ThreadId::new(field_u64(k, "starved")? as usize),
+        },
+        Some("gs_suspect") => DivergenceKind::GoodSamaritanSuspect {
+            thread: ThreadId::new(field_u64(k, "thread")? as usize),
+            steps_without_yield: field_u64(k, "steps_without_yield")?,
+        },
+        Some("livelock_suspect") => DivergenceKind::LivelockSuspect,
+        other => return Err(format!("report: unknown divergence kind {other:?}")),
+    };
+    Ok(Divergence {
+        kind,
+        schedule: schedule_from_json(
+            json.get("schedule")
+                .ok_or("report: divergence has no schedule")?,
+        )?,
+        execution: field_u64(json, "execution")?,
+    })
+}
+
+fn budget_to_str(kind: BudgetKind) -> &'static str {
+    match kind {
+        BudgetKind::Executions => "executions",
+        BudgetKind::Time => "time",
+        BudgetKind::Cancelled => "cancelled",
+        BudgetKind::WorkerPanicked => "worker_panicked",
+    }
+}
+
+fn outcome_to_json(outcome: &SearchOutcome) -> Json {
+    match outcome {
+        SearchOutcome::Complete => Json::object([("kind", Json::Str("complete".into()))]),
+        SearchOutcome::SafetyViolation(c) => Json::object([
+            ("kind", Json::Str("safety_violation".into())),
+            ("counterexample", counterexample_to_json(c)),
+        ]),
+        SearchOutcome::Deadlock(c) => Json::object([
+            ("kind", Json::Str("deadlock".into())),
+            ("counterexample", counterexample_to_json(c)),
+        ]),
+        SearchOutcome::Panic(c) => Json::object([
+            ("kind", Json::Str("panic".into())),
+            ("counterexample", counterexample_to_json(c)),
+        ]),
+        SearchOutcome::Divergence(d) => Json::object([
+            ("kind", Json::Str("divergence".into())),
+            ("divergence", divergence_to_json(d)),
+        ]),
+        SearchOutcome::BudgetExhausted(k) => Json::object([
+            ("kind", Json::Str("budget_exhausted".into())),
+            ("budget", Json::Str(budget_to_str(*k).into())),
+        ]),
+    }
+}
+
+fn outcome_from_json(json: &Json) -> Result<SearchOutcome, String> {
+    let kind = json
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or("report: outcome has no kind")?;
+    let cex = |k: CounterexampleKind| {
+        counterexample_from_json(
+            json.get("counterexample")
+                .ok_or("report: outcome has no counterexample")?,
+            k,
+        )
+    };
+    match kind {
+        "complete" => Ok(SearchOutcome::Complete),
+        "safety_violation" => Ok(SearchOutcome::SafetyViolation(cex(
+            CounterexampleKind::Safety,
+        )?)),
+        "deadlock" => Ok(SearchOutcome::Deadlock(cex(CounterexampleKind::Deadlock)?)),
+        "panic" => Ok(SearchOutcome::Panic(cex(CounterexampleKind::Panic)?)),
+        "divergence" => Ok(SearchOutcome::Divergence(divergence_from_json(
+            json.get("divergence")
+                .ok_or("report: outcome has no divergence")?,
+        )?)),
+        "budget_exhausted" => match json.get("budget").and_then(Json::as_str) {
+            Some("executions") => Ok(SearchOutcome::BudgetExhausted(BudgetKind::Executions)),
+            Some("time") => Ok(SearchOutcome::BudgetExhausted(BudgetKind::Time)),
+            Some("cancelled") => Ok(SearchOutcome::BudgetExhausted(BudgetKind::Cancelled)),
+            Some("worker_panicked") => {
+                Ok(SearchOutcome::BudgetExhausted(BudgetKind::WorkerPanicked))
+            }
+            other => Err(format!("report: unknown budget kind {other:?}")),
+        },
+        other => Err(format!("report: unknown outcome kind '{other}'")),
+    }
+}
+
+/// Serializes a whole [`SearchReport`] — outcome (with counterexample or
+/// divergence evidence, schedules included) plus statistics. This is how
+/// shard workers ship their full reports to the campaign daemon, which
+/// merges them with `chess_core::merge_contiguous_shards` /
+/// `merge_seed_shards` into the report of the unsharded search.
+pub fn report_to_json(report: &SearchReport) -> Json {
+    Json::object([
+        ("outcome", outcome_to_json(&report.outcome)),
+        ("stats", stats_to_json(&report.stats)),
+    ])
+}
+
+/// Parses a report serialized by [`report_to_json`].
+///
+/// # Errors
+///
+/// Returns a message naming the first missing or ill-typed field.
+pub fn report_from_json(json: &Json) -> Result<SearchReport, String> {
+    Ok(SearchReport {
+        outcome: outcome_from_json(json.get("outcome").ok_or("report: no outcome section")?)?,
+        stats: stats_from_json(json.get("stats").ok_or("report: no stats section")?)?,
     })
 }
 
@@ -538,6 +738,87 @@ mod tests {
         pairs[0].1 = Json::UInt(999);
         let err = checkpoint_from_json(&Json::Object(pairs)).unwrap_err();
         assert!(err.contains("version 999"), "{err}");
+    }
+
+    #[test]
+    fn report_round_trips_every_outcome() {
+        let cex = Counterexample {
+            kind: CounterexampleKind::Safety,
+            message: "lost update: counter == 1".into(),
+            schedule: vec![d(0, 0), d(1, 0), d(0, 1)],
+            execution: 9,
+        };
+        let outcomes = [
+            SearchOutcome::Complete,
+            SearchOutcome::SafetyViolation(cex.clone()),
+            SearchOutcome::Deadlock(Counterexample {
+                kind: CounterexampleKind::Deadlock,
+                ..cex.clone()
+            }),
+            SearchOutcome::Panic(Counterexample {
+                kind: CounterexampleKind::Panic,
+                ..cex.clone()
+            }),
+            SearchOutcome::Divergence(Divergence {
+                kind: DivergenceKind::FairCycle {
+                    cycle_start: 3,
+                    cycle_len: 5,
+                },
+                schedule: vec![d(1, 0)],
+                execution: 2,
+            }),
+            SearchOutcome::Divergence(Divergence {
+                kind: DivergenceKind::UnfairCycle {
+                    cycle_start: 0,
+                    cycle_len: 2,
+                    starved: ThreadId::new(2),
+                },
+                schedule: vec![],
+                execution: 4,
+            }),
+            SearchOutcome::Divergence(Divergence {
+                kind: DivergenceKind::GoodSamaritanSuspect {
+                    thread: ThreadId::new(1),
+                    steps_without_yield: 150,
+                },
+                schedule: vec![d(1, 1)],
+                execution: 1,
+            }),
+            SearchOutcome::Divergence(Divergence {
+                kind: DivergenceKind::LivelockSuspect,
+                schedule: vec![],
+                execution: 7,
+            }),
+            SearchOutcome::BudgetExhausted(BudgetKind::Executions),
+            SearchOutcome::BudgetExhausted(BudgetKind::Time),
+            SearchOutcome::BudgetExhausted(BudgetKind::Cancelled),
+            SearchOutcome::BudgetExhausted(BudgetKind::WorkerPanicked),
+        ];
+        for outcome in outcomes {
+            let report = SearchReport {
+                outcome,
+                stats: sample_stats(),
+            };
+            let text = report_to_json(&report).to_string_pretty();
+            let back = report_from_json(&Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, report);
+        }
+    }
+
+    #[test]
+    fn report_codec_names_the_broken_field() {
+        let err = report_from_json(&Json::parse("{}").unwrap()).unwrap_err();
+        assert!(err.contains("no outcome"), "{err}");
+        let err = report_from_json(
+            &Json::parse(r#"{"outcome": {"kind": "weird"}, "stats": {}}"#).unwrap(),
+        )
+        .unwrap_err();
+        assert!(err.contains("unknown outcome kind"), "{err}");
+        let err = report_from_json(
+            &Json::parse(r#"{"outcome": {"kind": "budget_exhausted"}, "stats": {}}"#).unwrap(),
+        )
+        .unwrap_err();
+        assert!(err.contains("unknown budget kind"), "{err}");
     }
 
     #[test]

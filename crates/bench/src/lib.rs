@@ -36,8 +36,9 @@ pub mod perf;
 
 pub use experiments::*;
 pub use journal::{
-    checkpoint_from_json, checkpoint_to_json, read_journal, snapshot_from_json, snapshot_to_json,
-    stats_from_json, stats_to_json, write_atomic, JournalWriter, WritePolicy, JOURNAL_VERSION,
+    checkpoint_from_json, checkpoint_to_json, read_journal, report_from_json, report_to_json,
+    snapshot_from_json, snapshot_to_json, stats_from_json, stats_to_json, write_atomic,
+    JournalWriter, WritePolicy, JOURNAL_VERSION,
 };
 pub use json::{schedule_from_json, schedule_to_json, Json, ToJson};
 pub use output::*;

@@ -286,10 +286,45 @@ pub fn perf_matrix(budget: Duration) -> PerfReport {
             budget,
         ));
     }
+    rows.push(reduced_search_row(budget));
     PerfReport {
         budget_ms: budget.as_millis() as u64,
         peak_rss_kb: peak_rss_kb(),
         rows,
+    }
+}
+
+/// The reduction-mode cell: sleep-set DFS on the fast path (mode
+/// `"reduced"`), on the philosophers subject. Unlike the random-walk
+/// rows this exercises the reduction hot path — per-option footprint
+/// collection, exploration-order permutation, and sleep-frame
+/// derivation — which the strategy-side frame pooling targets. The row
+/// is informational: [`check_against_baseline`] gates on `"fast"` rows
+/// only, so a systematic search exhausting its space early cannot fail
+/// CI on throughput.
+pub fn reduced_search_row(budget: Duration) -> PerfRow {
+    use chess_core::strategy::Dfs;
+
+    let config = Config::fair().with_time_budget(budget).with_pooling(true);
+    let mut explorer = Explorer::new(
+        || {
+            let mut k = philosophers(PhilosophersConfig::table2(3));
+            k.set_fingerprint_caching(true);
+            k
+        },
+        Dfs::with_sleep_sets(),
+        config,
+    );
+    let report = explorer.run();
+    let secs = report.stats.wall.as_secs_f64().max(1e-9);
+    PerfRow {
+        workload: "philosophers(3)".to_string(),
+        mode: "reduced".to_string(),
+        executions: report.stats.executions,
+        transitions: report.stats.transitions,
+        secs,
+        execs_per_sec: report.stats.executions as f64 / secs,
+        steps_per_sec: report.stats.transitions as f64 / secs,
     }
 }
 
@@ -538,6 +573,10 @@ mod tests {
                 "missing reference {w}"
             );
         }
+        assert!(
+            report.rows.iter().any(|r| r.mode == "reduced"),
+            "missing the reduced-search cell"
+        );
         // Re-parse what the bench binary would write.
         let text = report.to_json().to_string_pretty();
         let parsed = PerfReport::from_json(&Json::parse(&text).unwrap()).unwrap();

@@ -9,10 +9,14 @@
 //! fair-chess fuzz [--systems <N>] [--seed <S>] [--jobs <J>]
 //! fair-chess replay <corpus-file>
 //! fair-chess serve <manifest.json> [--workers <N>] [options]
+//! fair-chess daemon --listen <addr> --store <dir> [options]
+//! fair-chess submit <manifest.json> --connect <addr> [--watch]
+//! fair-chess status|watch|cancel|results|shutdown ... --connect <addr>
 //! ```
 //!
 //! Run `fair-chess help` for the full option list.
 
+mod daemoncmd;
 mod exitcode;
 mod fuzzcmd;
 mod opts;

@@ -49,6 +49,45 @@ USAGE:
         as 7). When no worker process can be spawned at all, the
         remaining jobs degrade to in-process execution with a warning.
 
+    fair-chess daemon --listen <addr> --store <dir> [options]
+        Long-running campaign daemon: accept manifests over a unix or
+        TCP socket, run them through the worker pool one campaign at a
+        time, and journal every verdict into a persistent
+        content-addressed store. Campaigns are keyed by manifest
+        content, so resubmitting a finished manifest returns the cached
+        verdict without re-execution, and a daemon killed with -9 and
+        restarted on the same --store resumes every in-flight campaign
+        and re-answers finished ones byte-for-byte. Check jobs may
+        declare \"shards\": K to fan out across the pool; shard reports
+        are merged so the campaign report equals the unsharded run
+        (byte-identically for dfs, deterministically for random:<seed>).
+
+    fair-chess submit <manifest.json> --connect <addr> [--watch]
+        Submit a campaign manifest to a daemon. Prints the campaign id
+        (the manifest digest). With --watch, stream verdicts as they
+        land and exit with the campaign's final code.
+
+    fair-chess status [<campaign>] --connect <addr>
+        One campaign's progress counters, or — without an id — every
+        campaign the daemon knows about.
+
+    fair-chess watch <campaign> --connect <addr>
+        Stream a campaign's verdicts (replayed from the start, so a
+        late subscriber sees the full history) until it finishes; exit
+        with its final code.
+
+    fair-chess cancel <campaign> --connect <addr>
+        Cancel a queued or running campaign. Idempotent; prints the
+        campaign's state.
+
+    fair-chess results <campaign> --connect <addr>
+        Print a finished campaign's deterministic report and exit with
+        its code.
+
+    fair-chess shutdown --connect <addr>
+        Ask the daemon to shut down. A running campaign is parked and
+        resumes when the daemon next starts on the same store.
+
 OPTIONS:
     --bug <name>          Seed a bug (see `fair-chess list`).
     --memory <m>          sc | tso | pso   [default: sc]. Memory model:
@@ -85,6 +124,15 @@ OPTIONS:
                           or context bounds (cb:<B> runs bounds 0..=B).
                           First error wins; its schedule is verified to
                           replay deterministically. `check` only.
+    --shard <I/K>         Run shard I of K (0 <= I < K): this process
+                          covers its contiguous slice of the root
+                          decision frontier (dfs) or its slice of the
+                          seed/budget split (random:<seed>), so K
+                          cooperating processes cover the space. dfs
+                          shard reports merge byte-identically to the
+                          sequential run. Requires --jobs 1; not
+                          combinable with cb:<N>, --reduce, --db, or
+                          --checkpoint/--resume. `check` only.
     --no-trace            Do not print the counterexample trace.
     --checkpoint <FILE>   Periodically persist the search frontier, RNG
                           state, and cumulative statistics to FILE
@@ -155,6 +203,27 @@ SERVE OPTIONS:
     --jitter-seed <N>     Seed for the deterministic retry-backoff
                           jitter [default: 0].
 
+DAEMON OPTIONS:
+    --listen <addr>       Required. unix:/path.sock | tcp:host:port; a
+                          bare path (contains '/') means unix, anything
+                          else means tcp.
+    --store <dir>         Required. Campaign store directory (created
+                          if missing). One directory per campaign,
+                          keyed by manifest digest, holding the
+                          manifest and its atomically-rewritten verdict
+                          journal.
+    --workers <N>         Worker processes [default: 2].
+    --heartbeat-timeout <SECS>
+                          Watchdog deadline, as for serve [default: 10].
+    --max-attempts <N>    Attempts before quarantine [default: 3].
+    --jitter-seed <N>     Retry-backoff jitter seed [default: 0].
+
+CLIENT OPTIONS (submit/status/watch/cancel/results/shutdown):
+    --connect <addr>      Required. The daemon's --listen address (same
+                          spellings).
+    --watch               After submit: stream progress and exit with
+                          the campaign's final code.
+
 EXIT CODES:
     0  clean — search complete (or all fuzz oracles agreed), no error
     1  safety violation found (assertion failure or workload panic)
@@ -193,6 +262,7 @@ pub struct RunOpts {
     pub time_budget: Option<Duration>,
     pub k: u64,
     pub jobs: usize,
+    pub shard: Option<(usize, usize)>,
     pub trace: bool,
     pub checkpoint: Option<String>,
     pub checkpoint_every: u64,
@@ -215,6 +285,7 @@ impl Default for RunOpts {
             time_budget: None,
             k: 1,
             jobs: 1,
+            shard: None,
             trace: true,
             checkpoint: None,
             checkpoint_every: 1000,
@@ -301,6 +372,55 @@ impl Default for ServeOpts {
     }
 }
 
+/// Options for `daemon` (the long-running campaign daemon).
+#[derive(Debug, Clone)]
+pub struct DaemonOpts {
+    pub listen: String,
+    pub store: String,
+    pub workers: usize,
+    pub heartbeat_timeout: Duration,
+    pub max_attempts: u32,
+    pub jitter_seed: u64,
+}
+
+impl Default for DaemonOpts {
+    fn default() -> Self {
+        DaemonOpts {
+            listen: String::new(),
+            store: String::new(),
+            workers: 2,
+            heartbeat_timeout: Duration::from_secs(10),
+            max_attempts: 3,
+            jitter_seed: 0,
+        }
+    }
+}
+
+/// One daemon-client operation (the campaign id stays a string here;
+/// the client parses it against the store's hex-digest grammar).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientOp {
+    /// `fair-chess submit <manifest> [--watch]`
+    Submit { manifest: String, watch: bool },
+    /// `fair-chess status [<campaign>]`
+    Status { campaign: Option<String> },
+    /// `fair-chess watch <campaign>`
+    Watch { campaign: String },
+    /// `fair-chess cancel <campaign>`
+    Cancel { campaign: String },
+    /// `fair-chess results <campaign>`
+    Results { campaign: String },
+    /// `fair-chess shutdown`
+    Shutdown,
+}
+
+/// Options shared by the daemon-client subcommands.
+#[derive(Debug, Clone)]
+pub struct ClientOpts {
+    pub op: ClientOp,
+    pub connect: String,
+}
+
 /// Options for the hidden `worker` subcommand (the process a `serve`
 /// supervisor re-execs; not documented in [`USAGE`]).
 #[derive(Debug, Clone)]
@@ -337,7 +457,11 @@ pub enum Command {
     Replay(ReplayOpts),
     /// `fair-chess serve <manifest> ...`
     Serve(ServeOpts),
-    /// `fair-chess worker ...` (hidden: spawned by `serve`)
+    /// `fair-chess daemon --listen ... --store ...`
+    Daemon(DaemonOpts),
+    /// `fair-chess submit/status/watch/cancel/results/shutdown ...`
+    Client(ClientOpts),
+    /// `fair-chess worker ...` (hidden: spawned by `serve` and `daemon`)
     Worker(WorkerOpts),
 }
 
@@ -446,6 +570,18 @@ fn parse_run_opts(args: &[String]) -> Result<RunOpts, ParseError> {
                     return err("--jobs needs at least 1 worker");
                 }
             }
+            "--shard" => {
+                let v = next_value("--shard", &mut it)?;
+                let Some((index, of)) = v.split_once('/') else {
+                    return err(format!("--shard needs I/K (e.g. 0/4), got '{v}'"));
+                };
+                let index = parse_num("--shard", index)?;
+                let of = parse_num("--shard", of)?;
+                if of == 0 || index >= of {
+                    return err(format!("--shard needs 0 <= I < K, got '{v}'"));
+                }
+                opts.shard = Some((index, of));
+            }
             "--no-trace" => opts.trace = false,
             "--checkpoint" => opts.checkpoint = Some(next_value("--checkpoint", &mut it)?),
             "--checkpoint-every" => {
@@ -478,6 +614,37 @@ fn parse_run_opts(args: &[String]) -> Result<RunOpts, ParseError> {
             return err(
                 "--reduce sleep-sets cannot be combined with --db (the horizon's \
                  random tail defeats the explored-sibling bookkeeping)",
+            );
+        }
+    }
+    if opts.shard.is_some() {
+        if opts.jobs > 1 {
+            return err(
+                "--shard requires --jobs 1 (each shard is one process; parallelism \
+                 comes from running the other shards elsewhere)",
+            );
+        }
+        if opts.checkpoint.is_some() || opts.resume.is_some() {
+            return err("--shard cannot be combined with --checkpoint/--resume");
+        }
+        if opts.reduce {
+            return err(
+                "--shard cannot be combined with --reduce (sleep sets depend on the \
+                 whole exploration order, so shard reports would not merge to the \
+                 unsharded one)",
+            );
+        }
+        if opts.db.is_some() {
+            return err(
+                "--shard cannot be combined with --db (the horizon's random \
+                        tail is sequential-only)",
+            );
+        }
+        if matches!(opts.strategy, StrategyOpt::Cb(_)) {
+            return err(
+                "--shard needs --strategy dfs or random:<seed> (context-bound state \
+                 is path-dependent, so root slices would not merge to the sequential \
+                 report)",
             );
         }
     }
@@ -622,6 +789,121 @@ fn parse_serve_opts(args: &[String]) -> Result<ServeOpts, ParseError> {
     Ok(opts)
 }
 
+fn parse_daemon_opts(args: &[String]) -> Result<DaemonOpts, ParseError> {
+    let mut opts = DaemonOpts::default();
+    let mut it = args.iter();
+    let next_value = |flag: &str, it: &mut std::slice::Iter<'_, String>| {
+        it.next()
+            .cloned()
+            .ok_or_else(|| ParseError(format!("{flag} needs a value")))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--listen" => opts.listen = next_value("--listen", &mut it)?,
+            "--store" => opts.store = next_value("--store", &mut it)?,
+            "--workers" => {
+                opts.workers = parse_num("--workers", &next_value("--workers", &mut it)?)?;
+                if opts.workers == 0 {
+                    return err("--workers needs at least 1 worker");
+                }
+            }
+            "--heartbeat-timeout" => {
+                let secs: f64 = next_value("--heartbeat-timeout", &mut it)?
+                    .parse()
+                    .map_err(|_| ParseError("--heartbeat-timeout needs seconds".into()))?;
+                if secs.is_nan() || secs <= 0.0 {
+                    return err("--heartbeat-timeout must be positive");
+                }
+                opts.heartbeat_timeout = Duration::from_secs_f64(secs);
+            }
+            "--max-attempts" => {
+                opts.max_attempts =
+                    parse_num("--max-attempts", &next_value("--max-attempts", &mut it)?)? as u32;
+                if opts.max_attempts == 0 {
+                    return err("--max-attempts needs at least 1");
+                }
+            }
+            "--jitter-seed" => {
+                let v = next_value("--jitter-seed", &mut it)?;
+                opts.jitter_seed = v
+                    .parse()
+                    .map_err(|_| ParseError(format!("--jitter-seed needs a number, got '{v}'")))?;
+            }
+            other => return err(format!("unknown option '{other}'")),
+        }
+    }
+    if opts.listen.is_empty() {
+        return err("daemon needs --listen <addr> (unix:/path.sock or tcp:host:port)");
+    }
+    if opts.store.is_empty() {
+        return err("daemon needs --store <dir> (the persistent campaign store)");
+    }
+    Ok(opts)
+}
+
+fn parse_client_opts(op: &str, args: &[String]) -> Result<ClientOpts, ParseError> {
+    let mut positional: Vec<String> = Vec::new();
+    let mut connect: Option<String> = None;
+    let mut watch = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--connect" => {
+                connect = Some(
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| ParseError("--connect needs a value".into()))?,
+                );
+            }
+            "--watch" if op == "submit" => watch = true,
+            other if !other.starts_with('-') => positional.push(other.to_string()),
+            other => return err(format!("unknown option '{other}'")),
+        }
+    }
+    let Some(connect) = connect else {
+        return err(format!(
+            "{op} needs --connect <addr> (the daemon's --listen address)"
+        ));
+    };
+    let one = |what: &str| -> Result<String, ParseError> {
+        match positional.as_slice() {
+            [only] => Ok(only.clone()),
+            [] => Err(ParseError(format!("{op} needs a {what}"))),
+            _ => Err(ParseError(format!("{op} takes exactly one {what}"))),
+        }
+    };
+    let op = match op {
+        "submit" => ClientOp::Submit {
+            manifest: one("manifest file")?,
+            watch,
+        },
+        "status" => match positional.as_slice() {
+            [] => ClientOp::Status { campaign: None },
+            [only] => ClientOp::Status {
+                campaign: Some(only.clone()),
+            },
+            _ => return err("status takes at most one campaign id"),
+        },
+        "watch" => ClientOp::Watch {
+            campaign: one("campaign id")?,
+        },
+        "cancel" => ClientOp::Cancel {
+            campaign: one("campaign id")?,
+        },
+        "results" => ClientOp::Results {
+            campaign: one("campaign id")?,
+        },
+        "shutdown" => {
+            if !positional.is_empty() {
+                return err("shutdown takes no arguments");
+            }
+            ClientOp::Shutdown
+        }
+        other => return err(format!("unknown client command '{other}'")),
+    };
+    Ok(ClientOpts { op, connect })
+}
+
 fn parse_worker_opts(args: &[String]) -> Result<WorkerOpts, ParseError> {
     let mut opts = WorkerOpts::default();
     let mut it = args.iter();
@@ -663,6 +945,10 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             _ => err("replay needs exactly one corpus file argument"),
         },
         "serve" => Ok(Command::Serve(parse_serve_opts(&args[1..])?)),
+        "daemon" => Ok(Command::Daemon(parse_daemon_opts(&args[1..])?)),
+        "submit" | "status" | "watch" | "cancel" | "results" | "shutdown" => {
+            Ok(Command::Client(parse_client_opts(cmd, &args[1..])?))
+        }
         "worker" => Ok(Command::Worker(parse_worker_opts(&args[1..])?)),
         other => err(format!("unknown command '{other}'")),
     }
@@ -1015,6 +1301,163 @@ mod tests {
         let e = parse(&s(&["check", "sb", "--memory", "arm"])).unwrap_err();
         assert!(e.0.contains("unknown memory model"), "{}", e.0);
         assert!(parse(&s(&["fuzz", "--memory"])).is_err());
+    }
+
+    #[test]
+    fn parses_shard() {
+        let cmd = parse(&s(&["check", "counter", "--shard", "1/4"])).unwrap();
+        let Command::Check(o) = cmd else { panic!() };
+        assert_eq!(o.shard, Some((1, 4)));
+        // Shape and range errors.
+        assert!(parse(&s(&["check", "counter", "--shard", "3"])).is_err());
+        assert!(parse(&s(&["check", "counter", "--shard", "4/4"])).is_err());
+        assert!(parse(&s(&["check", "counter", "--shard", "0/0"])).is_err());
+        // Incompatible combinations: the shard merge is only defined for
+        // plain dfs and seed-split random walks.
+        assert!(parse(&s(&["check", "counter", "--shard", "0/2", "--jobs", "2"])).is_err());
+        assert!(parse(&s(&["check", "counter", "--shard", "0/2", "--db", "4"])).is_err());
+        assert!(parse(&s(&[
+            "check",
+            "counter",
+            "--shard",
+            "0/2",
+            "--reduce",
+            "sleep-sets"
+        ]))
+        .is_err());
+        assert!(parse(&s(&[
+            "check",
+            "counter",
+            "--shard",
+            "0/2",
+            "--strategy",
+            "cb:2"
+        ]))
+        .is_err());
+        assert!(parse(&s(&[
+            "check",
+            "counter",
+            "--shard",
+            "0/2",
+            "--checkpoint",
+            "x.journal"
+        ]))
+        .is_err());
+        assert!(parse(&s(&[
+            "check",
+            "counter",
+            "--shard",
+            "0/2",
+            "--strategy",
+            "random:7"
+        ]))
+        .is_ok());
+    }
+
+    #[test]
+    fn parses_daemon_options() {
+        let cmd = parse(&s(&[
+            "daemon",
+            "--listen",
+            "unix:/tmp/d.sock",
+            "--store",
+            "store-dir",
+            "--workers",
+            "4",
+            "--heartbeat-timeout",
+            "2.5",
+            "--max-attempts",
+            "5",
+            "--jitter-seed",
+            "9",
+        ]))
+        .unwrap();
+        let Command::Daemon(o) = cmd else {
+            panic!("expected daemon")
+        };
+        assert_eq!(o.listen, "unix:/tmp/d.sock");
+        assert_eq!(o.store, "store-dir");
+        assert_eq!(o.workers, 4);
+        assert_eq!(o.heartbeat_timeout, Duration::from_secs_f64(2.5));
+        assert_eq!(o.max_attempts, 5);
+        assert_eq!(o.jitter_seed, 9);
+        // Both endpoints are required.
+        assert!(parse(&s(&["daemon", "--store", "x"])).is_err());
+        assert!(parse(&s(&["daemon", "--listen", "tcp:127.0.0.1:1"])).is_err());
+        assert!(parse(&s(&[
+            "daemon",
+            "--listen",
+            "a",
+            "--store",
+            "b",
+            "--workers",
+            "0"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn parses_client_commands() {
+        let cmd = parse(&s(&[
+            "submit",
+            "campaign.json",
+            "--connect",
+            "unix:/tmp/d.sock",
+            "--watch",
+        ]))
+        .unwrap();
+        let Command::Client(o) = cmd else {
+            panic!("expected client")
+        };
+        assert_eq!(o.connect, "unix:/tmp/d.sock");
+        assert_eq!(
+            o.op,
+            ClientOp::Submit {
+                manifest: "campaign.json".to_string(),
+                watch: true
+            }
+        );
+
+        let cmd = parse(&s(&["status", "--connect", "tcp:127.0.0.1:7979"])).unwrap();
+        let Command::Client(o) = cmd else { panic!() };
+        assert_eq!(o.op, ClientOp::Status { campaign: None });
+
+        let cmd = parse(&s(&["results", "00ff00ff00ff00ff", "--connect", "a:1"])).unwrap();
+        let Command::Client(o) = cmd else { panic!() };
+        assert_eq!(
+            o.op,
+            ClientOp::Results {
+                campaign: "00ff00ff00ff00ff".to_string()
+            }
+        );
+
+        let cmd = parse(&s(&["shutdown", "--connect", "a:1"])).unwrap();
+        let Command::Client(o) = cmd else { panic!() };
+        assert_eq!(o.op, ClientOp::Shutdown);
+
+        // --connect is mandatory, campaigns are one-per-command, and
+        // --watch belongs to submit alone.
+        assert!(parse(&s(&["submit", "campaign.json"])).is_err());
+        assert!(parse(&s(&["watch", "--connect", "a:1"])).is_err());
+        assert!(parse(&s(&["cancel", "x", "y", "--connect", "a:1"])).is_err());
+        assert!(parse(&s(&["shutdown", "x", "--connect", "a:1"])).is_err());
+        assert!(parse(&s(&["status", "x", "--watch", "--connect", "a:1"])).is_err());
+    }
+
+    #[test]
+    fn usage_documents_the_daemon() {
+        for needle in [
+            "fair-chess daemon",
+            "fair-chess submit",
+            "fair-chess watch",
+            "fair-chess results",
+            "--listen",
+            "--store",
+            "--connect",
+            "--shard",
+        ] {
+            assert!(USAGE.contains(needle), "{needle} missing from USAGE");
+        }
     }
 
     #[test]

@@ -11,7 +11,7 @@ use chess_bench::{checkpoint_from_json, checkpoint_to_json, read_journal, Journa
 use chess_core::strategy::{ContextBounded, Dfs, RandomWalk, Strategy};
 use chess_core::{
     BudgetKind, Config, Explorer, ParallelExplorer, Progress, SearchOutcome, SearchReport,
-    SearchStats,
+    SearchStats, ShardSpec,
 };
 use chess_kernel::{Capture, Kernel};
 use chess_state::{CoverageTracker, StateGraph, StatefulError, StatefulLimits};
@@ -51,6 +51,8 @@ pub fn execute(cmd: Command) -> ExitCode {
         Command::Fuzz(o) => crate::fuzzcmd::do_fuzz(&o),
         Command::Replay(o) => crate::fuzzcmd::do_replay(&o),
         Command::Serve(o) => crate::servecmd::do_serve(&o),
+        Command::Daemon(o) => crate::daemoncmd::do_daemon(&o),
+        Command::Client(o) => crate::daemoncmd::do_client(&o),
         Command::Worker(o) => crate::workercmd::do_worker(&o),
     }
 }
@@ -214,38 +216,23 @@ fn dispatch(o: &RunOpts, mode: Mode) -> ExitCode {
 // ---------------------------------------------------------------------
 
 /// What a campaign check job produces: the exit code the outcome maps
-/// to under the documented 0–7 contract, plus a summary line with no
+/// to under the documented 0–7 contract, a summary line with no
 /// wall-clock field — two runs of the same job print identical lines,
 /// which is what lets a resumed campaign reprint its report
-/// byte-for-byte.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct JobRunResult {
-    /// Exit-code contribution of this job (0/1/3/4/5).
-    pub code: u8,
-    /// Deterministic one-line outcome summary.
-    pub line: String,
-}
+/// byte-for-byte — and the full report, which is how shard jobs ship
+/// mergeable results back to the campaign layer. The type lives in
+/// `chess-server` so the daemon's merge machinery shares the codec.
+pub use chess_server::JobResult as JobRunResult;
 
 /// Maps a search outcome to the CLI's documented exit code.
 pub fn outcome_code(outcome: &SearchOutcome) -> u8 {
-    match outcome {
-        SearchOutcome::Complete => exitcode::CLEAN,
-        SearchOutcome::SafetyViolation(_) | SearchOutcome::Panic(_) => exitcode::SAFETY_VIOLATION,
-        SearchOutcome::Deadlock(_) => exitcode::DEADLOCK,
-        SearchOutcome::Divergence(_) => exitcode::LIVELOCK,
-        SearchOutcome::BudgetExhausted(BudgetKind::WorkerPanicked) => exitcode::INTERNAL,
-        SearchOutcome::BudgetExhausted(_) => exitcode::INCOMPLETE,
-    }
+    outcome.exit_code()
 }
 
 /// The report's display line minus the trailing wall-clock field (the
 /// one part that differs between two runs of the same search).
 fn deterministic_report_line(report: &SearchReport) -> String {
-    let shown = report.to_string();
-    match shown.rsplit_once(',') {
-        Some((head, _wall)) => head.to_string(),
-        None => shown,
-    }
+    report.deterministic_line()
 }
 
 /// The visitor behind [`run_check_job`]: a plain sequential search with
@@ -263,12 +250,34 @@ impl WorkloadVisitor for JobVisitor<'_> {
         S: Capture + Clone + 'static,
         F: Fn() -> Kernel<S> + Copy + Sync,
     {
-        let report = Explorer::new(factory, build_strategy(self.o), build_config(self.o))
-            .with_progress(Arc::clone(self.progress))
-            .run();
+        let o = self.o;
+        let mut report = match o.shard {
+            Some((index, of)) if of > 1 => {
+                let parallel = ParallelExplorer::new(factory, build_config(o), 1)
+                    .with_progress(Arc::clone(self.progress));
+                match o.strategy {
+                    StrategyOpt::Dfs => parallel.run_dfs_shard(ShardSpec { index, of }),
+                    StrategyOpt::Random(seed) => {
+                        parallel.run_random_shard(seed, ShardSpec { index, of })
+                    }
+                    StrategyOpt::Cb(_) => {
+                        // The option parser and the manifest expander both
+                        // reject this shape; a hand-built payload lands here.
+                        return Err("sharding needs strategy dfs or random:<seed>".to_string());
+                    }
+                }
+            }
+            _ => Explorer::new(factory, build_strategy(o), build_config(o))
+                .with_progress(Arc::clone(self.progress))
+                .run(),
+        };
+        // Result payloads are journaled and compared byte-for-byte
+        // across runs; the wall clock is the one nondeterministic stat.
+        report.stats.wall = std::time::Duration::default();
         Ok(JobRunResult {
             code: outcome_code(&report.outcome),
             line: deterministic_report_line(&report),
+            report: Some(report),
         })
     }
 
@@ -335,7 +344,9 @@ where
 {
     let stop = signal::install();
     let mut warnings: Vec<String> = Vec::new();
-    let run = if o.jobs > 1 {
+    let run = if o.shard.is_some_and(|(_, of)| of > 1) {
+        check_shard(factory, o, stop)
+    } else if o.jobs > 1 {
         check_parallel(factory, o, stop)
     } else {
         check_sequential(factory, o, stop, &mut warnings)
@@ -556,6 +567,26 @@ fn strategy_label(o: &RunOpts) -> String {
         StrategyOpt::Dfs => "dfs".into(),
         StrategyOpt::Cb(b) => format!("cb:{b}"),
         StrategyOpt::Random(seed) => format!("random:{seed}"),
+    }
+}
+
+/// One shard of a cooperating `check`: this process covers its slice of
+/// the root decision frontier (dfs) or of the seed/budget split
+/// (`random:<seed>`). The printed report is mergeable: collect the K
+/// shard reports and `merge_contiguous_shards`/`merge_seed_shards`
+/// reproduce the unsharded result — which is exactly what the campaign
+/// daemon does with `"shards": K` jobs.
+fn check_shard<S, F>(factory: F, o: &RunOpts, stop: Arc<AtomicBool>) -> Result<SearchReport, String>
+where
+    S: Capture + Clone + 'static,
+    F: Fn() -> Kernel<S> + Copy + Sync,
+{
+    let (index, of) = o.shard.expect("caller checked");
+    let parallel = ParallelExplorer::new(factory, build_config(o), 1).with_stop_flag(stop);
+    match o.strategy {
+        StrategyOpt::Dfs => Ok(parallel.run_dfs_shard(ShardSpec { index, of })),
+        StrategyOpt::Random(seed) => Ok(parallel.run_random_shard(seed, ShardSpec { index, of })),
+        StrategyOpt::Cb(_) => Err("--shard needs --strategy dfs or random:<seed>".into()),
     }
 }
 

@@ -10,6 +10,13 @@
 //! backoff, and jobs that keep killing workers are quarantined after
 //! `--max-attempts` with the failure evidence attached.
 //!
+//! The manifest/journal/report machinery is shared with the
+//! long-running daemon and lives in [`chess_server::campaign`]; `serve`
+//! is the one-shot front end over it. Like the daemon, `serve` expands
+//! `"shards": K` check jobs into per-shard jobs and merges the shard
+//! reports back before printing, so a sharded campaign's report equals
+//! the unsharded one.
+//!
 //! # Persistence and resume
 //!
 //! With `--checkpoint <file>` every verdict atomically rewrites a
@@ -32,23 +39,22 @@
 //! what finished and exits 6 with a resume hint.
 
 use std::cell::RefCell;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
-use chess_bench::{read_journal, write_atomic, JournalWriter, Json};
+use chess_bench::JournalWriter;
 use chess_core::procpool::{
     JobOutcome, JobSpec, JobVerdict, PoolConfig, ProcessWorkerFactory, Supervisor,
 };
 use chess_core::Progress;
+use chess_server::campaign::{journal_doc, load_campaign_journal, write_status};
+use chess_server::{expand_jobs, load_manifest, merge_verdicts, render_report, Verdict};
 
 use crate::opts::ServeOpts;
 use crate::{exitcode, signal, workercmd};
-
-/// Campaign journal format version.
-const SERVE_JOURNAL_VERSION: u64 = 1;
 
 /// Entry point for `fair-chess serve`.
 pub fn do_serve(o: &ServeOpts) -> ExitCode {
@@ -61,57 +67,14 @@ pub fn do_serve(o: &ServeOpts) -> ExitCode {
     }
 }
 
-/// A validated campaign manifest.
-#[derive(Debug)]
-struct Manifest {
-    /// Jobs in manifest order; payload is the canonicalized job object.
-    jobs: Vec<JobSpec>,
-    /// FNV-1a digest of the canonicalized manifest text, stored in the
-    /// journal so `--resume` rejects a journal from a different
-    /// campaign.
-    digest: u64,
-}
-
-/// A terminal job verdict as `serve` records it: failures are kept as
-/// display strings so the journal round-trips them exactly and a
-/// resumed report reprints byte-for-byte.
-#[derive(Debug, Clone, PartialEq, Eq)]
-struct ServeVerdict {
-    id: String,
-    attempts: u32,
-    outcome: ServeOutcome,
-}
-
-#[derive(Debug, Clone, PartialEq, Eq)]
-enum ServeOutcome {
-    Done { payload: String },
-    Quarantined { failures: Vec<String> },
-}
-
-impl ServeVerdict {
-    fn from_pool(v: &JobVerdict) -> ServeVerdict {
-        ServeVerdict {
-            id: v.id.clone(),
-            attempts: v.attempts,
-            outcome: match &v.outcome {
-                JobOutcome::Done { payload } => ServeOutcome::Done {
-                    payload: payload.clone(),
-                },
-                JobOutcome::Quarantined { failures } => ServeOutcome::Quarantined {
-                    failures: failures.iter().map(|f| f.to_string()).collect(),
-                },
-            },
-        }
-    }
-}
-
 fn serve(o: &ServeOpts) -> Result<u8, String> {
-    let manifest = load_manifest(&o.manifest)?;
-    let total = manifest.jobs.len();
+    let manifest = load_manifest(&o.manifest, workercmd::validate_job)?;
+    let expanded = expand_jobs(&manifest.jobs)?;
+    let total = expanded.len();
 
-    let mut verdicts: Vec<ServeVerdict> = Vec::new();
+    let mut verdicts: Vec<Verdict> = Vec::new();
     if let Some(path) = &o.resume {
-        verdicts = load_serve_journal(Path::new(path), manifest.digest)?;
+        verdicts = load_campaign_journal(Path::new(path), manifest.digest)?;
         eprintln!(
             "resuming from {path}: {} of {total} jobs already decided",
             verdicts.len()
@@ -121,8 +84,7 @@ fn serve(o: &ServeOpts) -> Result<u8, String> {
         }
     }
     let decided: HashSet<String> = verdicts.iter().map(|v| v.id.clone()).collect();
-    let todo: Vec<JobSpec> = manifest
-        .jobs
+    let todo: Vec<JobSpec> = expanded
         .iter()
         .filter(|j| !decided.contains(&j.id))
         .cloned()
@@ -135,7 +97,7 @@ fn serve(o: &ServeOpts) -> Result<u8, String> {
     let verdicts = RefCell::new(verdicts);
     let persist = |pool_verdict: &JobVerdict| {
         let mut verdicts = verdicts.borrow_mut();
-        verdicts.push(ServeVerdict::from_pool(pool_verdict));
+        verdicts.push(Verdict::from_pool(pool_verdict));
         if let Some(w) = &writer {
             w.borrow_mut()
                 .write(&journal_doc(manifest.digest, &verdicts));
@@ -188,7 +150,7 @@ fn serve(o: &ServeOpts) -> Result<u8, String> {
             let progress = Arc::new(Progress::default());
             let outcome = match workercmd::run_job(&spec.payload, &progress) {
                 Ok(result) => JobOutcome::Done {
-                    payload: workercmd::job_result_to_json(&result).to_string_pretty(),
+                    payload: result.to_payload(),
                 },
                 Err(msg) => JobOutcome::Quarantined {
                     failures: vec![chess_core::procpool::AttemptFailure::HandlerError(msg)],
@@ -221,370 +183,42 @@ fn serve(o: &ServeOpts) -> Result<u8, String> {
         return Ok(exitcode::INTERRUPTED);
     }
 
-    print_report(&manifest, &verdicts)
+    // Collapse shard verdicts back to manifest-level jobs, then print
+    // the deterministic report in manifest order.
+    let merged = merge_verdicts(&manifest, &verdicts)?;
+    let (text, code) = render_report(&manifest, &merged)?;
+    print!("{text}");
+    Ok(code)
 }
 
 /// Resolves the binary to re-exec as a worker. `FAIR_CHESS_WORKER_BIN`
 /// overrides the default (this executable) — the fault-injection tests
 /// point it at a nonexistent path to force the degraded in-process
-/// path.
-fn worker_binary() -> Result<PathBuf, String> {
+/// path. Shared with the daemon front end.
+pub(crate) fn worker_binary() -> Result<PathBuf, String> {
     match std::env::var_os("FAIR_CHESS_WORKER_BIN") {
         Some(p) => Ok(PathBuf::from(p)),
         None => std::env::current_exe().map_err(|e| format!("cannot locate own executable: {e}")),
     }
 }
 
-// ---------------------------------------------------------------------
-// Manifest
-// ---------------------------------------------------------------------
-
-fn load_manifest(path: &str) -> Result<Manifest, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
-    let doc = Json::parse(&text).map_err(|e| format!("parse {path}: {e}"))?;
-    let Some(Json::Array(items)) = doc.get("jobs") else {
-        return Err(format!("{path}: manifest has no \"jobs\" array"));
-    };
-    let mut jobs = Vec::with_capacity(items.len());
-    let mut seen = HashSet::new();
-    for (i, item) in items.iter().enumerate() {
-        let id = item
-            .get("id")
-            .and_then(Json::as_str)
-            .ok_or_else(|| format!("{path}: job #{i} has no \"id\""))?;
-        if id.is_empty() || id.chars().any(char::is_whitespace) {
-            // The id travels in protocol line headers, which are
-            // space-delimited.
-            return Err(format!(
-                "{path}: job id {id:?} is empty or contains whitespace"
-            ));
-        }
-        if !seen.insert(id.to_string()) {
-            return Err(format!("{path}: duplicate job id {id:?}"));
-        }
-        workercmd::validate_job(item).map_err(|e| format!("{path}: job {id:?}: {e}"))?;
-        jobs.push(JobSpec {
-            id: id.to_string(),
-            payload: item.to_string_pretty(),
-        });
-    }
-    // Digest the re-serialized document, not the raw bytes, so
-    // insignificant whitespace edits do not orphan a journal.
-    Ok(Manifest {
-        digest: fnv1a(&doc.to_string_pretty()),
-        jobs,
-    })
-}
-
-fn fnv1a(text: &str) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for b in text.bytes() {
-        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
-
-// ---------------------------------------------------------------------
-// Journal + status file
-// ---------------------------------------------------------------------
-
-fn journal_doc(digest: u64, verdicts: &[ServeVerdict]) -> Json {
-    Json::object([
-        ("version", Json::UInt(SERVE_JOURNAL_VERSION)),
-        ("manifest_digest", Json::UInt(digest)),
-        (
-            "verdicts",
-            Json::array(verdicts.iter().map(verdict_to_json)),
-        ),
-    ])
-}
-
-fn verdict_to_json(v: &ServeVerdict) -> Json {
-    let outcome = match &v.outcome {
-        ServeOutcome::Done { payload } => Json::object([
-            ("kind", Json::Str("done".to_string())),
-            ("payload", Json::Str(payload.clone())),
-        ]),
-        ServeOutcome::Quarantined { failures } => Json::object([
-            ("kind", Json::Str("quarantined".to_string())),
-            (
-                "failures",
-                Json::array(failures.iter().map(|f| Json::Str(f.clone()))),
-            ),
-        ]),
-    };
-    Json::object([
-        ("id", Json::Str(v.id.clone())),
-        ("attempts", Json::UInt(u64::from(v.attempts))),
-        ("outcome", outcome),
-    ])
-}
-
-fn verdict_from_json(json: &Json) -> Result<ServeVerdict, String> {
-    let id = json
-        .get("id")
-        .and_then(Json::as_str)
-        .ok_or("verdict has no id")?
-        .to_string();
-    let attempts = json
-        .get("attempts")
-        .and_then(Json::as_u64)
-        .ok_or("verdict has no attempts")? as u32;
-    let outcome = json.get("outcome").ok_or("verdict has no outcome")?;
-    let outcome = match outcome.get("kind").and_then(Json::as_str) {
-        Some("done") => ServeOutcome::Done {
-            payload: outcome
-                .get("payload")
-                .and_then(Json::as_str)
-                .ok_or("done verdict has no payload")?
-                .to_string(),
-        },
-        Some("quarantined") => {
-            let Some(Json::Array(items)) = outcome.get("failures") else {
-                return Err("quarantined verdict has no failures array".to_string());
-            };
-            let mut failures = Vec::with_capacity(items.len());
-            for f in items {
-                failures.push(f.as_str().ok_or("failure is not a string")?.to_string());
-            }
-            ServeOutcome::Quarantined { failures }
-        }
-        other => return Err(format!("unknown verdict kind {other:?}")),
-    };
-    Ok(ServeVerdict {
-        id,
-        attempts,
-        outcome,
-    })
-}
-
-fn load_serve_journal(path: &Path, digest: u64) -> Result<Vec<ServeVerdict>, String> {
-    let doc = read_journal(path)?;
-    let version = doc.get("version").and_then(Json::as_u64);
-    if version != Some(SERVE_JOURNAL_VERSION) {
-        return Err(format!(
-            "{}: unsupported campaign journal version {version:?}",
-            path.display()
-        ));
-    }
-    let recorded = doc.get("manifest_digest").and_then(Json::as_u64);
-    if recorded != Some(digest) {
-        return Err(format!(
-            "{}: journal was taken for a different manifest \
-             (digest {recorded:?}, expected {digest})",
-            path.display()
-        ));
-    }
-    let Some(Json::Array(items)) = doc.get("verdicts") else {
-        return Err(format!("{}: journal has no verdicts array", path.display()));
-    };
-    let mut verdicts = Vec::with_capacity(items.len());
-    for item in items {
-        verdicts.push(verdict_from_json(item).map_err(|e| format!("{}: {e}", path.display()))?);
-    }
-    Ok(verdicts)
-}
-
-fn write_status(path: Option<&str>, verdicts: &[ServeVerdict], total: usize) {
-    let Some(path) = path else { return };
-    let done = verdicts
-        .iter()
-        .filter(|v| matches!(v.outcome, ServeOutcome::Done { .. }))
-        .count();
-    let doc = Json::object([
-        ("total", Json::UInt(total as u64)),
-        ("done", Json::UInt(done as u64)),
-        ("quarantined", Json::UInt((verdicts.len() - done) as u64)),
-        ("pending", Json::UInt((total - verdicts.len()) as u64)),
-    ]);
-    if let Err(e) = write_atomic(Path::new(path), &doc.to_string_pretty()) {
-        // Status is advisory; never fail a campaign over it.
-        eprintln!("warning: status file: {e}");
-    }
-}
-
-// ---------------------------------------------------------------------
-// Final report
-// ---------------------------------------------------------------------
-
-/// Exit-code precedence for the campaign's worst job: an actual bug
-/// outranks a deadlock outranks a livelock outranks a quarantine
-/// outranks an exhausted budget outranks clean.
-fn severity(code: u8) -> u8 {
-    match code {
-        exitcode::SAFETY_VIOLATION => 5,
-        exitcode::DEADLOCK => 4,
-        exitcode::LIVELOCK => 3,
-        exitcode::INTERNAL => 2,
-        exitcode::INCOMPLETE => 1,
-        _ => 0,
-    }
-}
-
-/// Prints the deterministic final report (manifest order, one line per
-/// job, then a summary line) and returns the campaign exit code.
-fn print_report(manifest: &Manifest, verdicts: &[ServeVerdict]) -> Result<u8, String> {
-    let by_id: HashMap<&str, &ServeVerdict> = verdicts.iter().map(|v| (v.id.as_str(), v)).collect();
-    let (mut done, mut quarantined) = (0usize, 0usize);
-    let mut worst = exitcode::CLEAN;
-    for job in &manifest.jobs {
-        let Some(v) = by_id.get(job.id.as_str()) else {
-            return Err(format!("internal: job {:?} has no verdict", job.id));
-        };
-        let code = match &v.outcome {
-            ServeOutcome::Done { payload } => {
-                let result = workercmd::job_result_from_payload(payload)
-                    .map_err(|e| format!("job {:?}: {e}", v.id))?;
-                println!("{}: {}", v.id, result.line);
-                done += 1;
-                result.code
-            }
-            ServeOutcome::Quarantined { failures } => {
-                println!(
-                    "{}: quarantined after {} attempts ({})",
-                    v.id,
-                    v.attempts,
-                    failures.join("; ")
-                );
-                quarantined += 1;
-                exitcode::INTERNAL
-            }
-        };
-        if severity(code) > severity(worst) {
-            worst = code;
-        }
-    }
-    println!(
-        "campaign: {done} of {} jobs done, {quarantined} quarantined",
-        manifest.jobs.len()
-    );
-    Ok(worst)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn sample_verdicts() -> Vec<ServeVerdict> {
-        vec![
-            ServeVerdict {
-                id: "a".to_string(),
-                attempts: 1,
-                outcome: ServeOutcome::Done {
-                    payload: "{\"code\": 0, \"line\": \"search complete\"}".to_string(),
-                },
-            },
-            ServeVerdict {
-                id: "b".to_string(),
-                attempts: 3,
-                outcome: ServeOutcome::Quarantined {
-                    failures: vec![
-                        "worker died".to_string(),
-                        "watchdog timeout".to_string(),
-                        "protocol violation: \"!!\"".to_string(),
-                    ],
-                },
-            },
-        ]
-    }
-
+    /// `load_manifest` itself is covered in `chess-server`; what this
+    /// crate adds is the wiring to the real workload table, so the
+    /// validator must catch semantic problems the generic layer cannot.
     #[test]
-    fn journal_round_trips_verdicts() {
-        let verdicts = sample_verdicts();
-        let doc = journal_doc(7, &verdicts);
-        let text = doc.to_string_pretty();
-        let parsed = Json::parse(&text).unwrap();
-        let Some(Json::Array(items)) = parsed.get("verdicts") else {
-            panic!("no verdicts array");
-        };
-        let back: Vec<ServeVerdict> = items
-            .iter()
-            .map(|i| verdict_from_json(i).unwrap())
-            .collect();
-        assert_eq!(back, verdicts);
-        assert_eq!(
-            parsed.get("manifest_digest").and_then(Json::as_u64),
-            Some(7)
-        );
-    }
-
-    #[test]
-    fn severity_orders_the_exit_code_contract() {
-        // 1 > 4 > 5 > 7 > 3 > 0
-        let order = [
-            exitcode::SAFETY_VIOLATION,
-            exitcode::DEADLOCK,
-            exitcode::LIVELOCK,
-            exitcode::INTERNAL,
-            exitcode::INCOMPLETE,
-            exitcode::CLEAN,
-        ];
-        for pair in order.windows(2) {
-            assert!(
-                severity(pair[0]) > severity(pair[1]),
-                "{} should outrank {}",
-                pair[0],
-                pair[1]
-            );
-        }
-    }
-
-    #[test]
-    fn manifest_digest_ignores_whitespace_but_not_content() {
-        let dir = std::env::temp_dir().join(format!("fair-chess-manifest-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        let write = |name: &str, text: &str| {
-            let path = dir.join(name);
-            std::fs::write(&path, text).unwrap();
-            path.to_str().unwrap().to_string()
-        };
-        let a = load_manifest(&write(
-            "a.json",
-            r#"{"jobs": [{"id": "j1", "workload": "counter", "max_executions": 10}]}"#,
-        ))
-        .unwrap();
-        let b = load_manifest(&write(
-            "b.json",
-            "{\n  \"jobs\": [ {\"id\": \"j1\",\n    \"workload\": \"counter\", \"max_executions\": 10} ]\n}",
-        ))
-        .unwrap();
-        let c = load_manifest(&write(
-            "c.json",
-            r#"{"jobs": [{"id": "j1", "workload": "counter", "max_executions": 11}]}"#,
-        ))
-        .unwrap();
-        assert_eq!(a.digest, b.digest, "whitespace must not orphan a journal");
-        assert_ne!(a.digest, c.digest, "content changes must be detected");
-        std::fs::remove_dir_all(&dir).ok();
-    }
-
-    #[test]
-    fn manifest_rejects_bad_jobs() {
+    fn manifest_validation_uses_the_workload_table() {
         let dir = std::env::temp_dir().join(format!("fair-chess-badman-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let check = |name: &str, text: &str, needle: &str| {
             let path = dir.join(name);
             std::fs::write(&path, text).unwrap();
-            let err = load_manifest(path.to_str().unwrap()).unwrap_err();
+            let err = load_manifest(path.to_str().unwrap(), workercmd::validate_job).unwrap_err();
             assert!(err.contains(needle), "{err:?} should mention {needle:?}");
         };
-        check("nojobs.json", r#"{"work": []}"#, "no \"jobs\" array");
-        check(
-            "noid.json",
-            r#"{"jobs": [{"workload": "counter"}]}"#,
-            "no \"id\"",
-        );
-        check(
-            "space.json",
-            r#"{"jobs": [{"id": "a b", "workload": "counter"}]}"#,
-            "whitespace",
-        );
-        check(
-            "dup.json",
-            r#"{"jobs": [{"id": "x", "workload": "counter"},
-                         {"id": "x", "workload": "counter"}]}"#,
-            "duplicate",
-        );
         check(
             "nokind.json",
             r#"{"jobs": [{"id": "x", "kind": "bake"}]}"#,
@@ -595,6 +229,26 @@ mod tests {
             r#"{"jobs": [{"id": "x", "kind": "check"}]}"#,
             "no 'workload'",
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A sharded manifest expands to shard jobs for the pool while the
+    /// report stays keyed by the manifest ids.
+    #[test]
+    fn serve_expands_sharded_jobs() {
+        let dir = std::env::temp_dir().join(format!("fair-chess-shards-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.json");
+        std::fs::write(
+            &path,
+            r#"{"jobs": [{"id": "w", "workload": "counter", "shards": 2},
+                         {"id": "f", "kind": "fuzz", "systems": 1}]}"#,
+        )
+        .unwrap();
+        let manifest = load_manifest(path.to_str().unwrap(), workercmd::validate_job).unwrap();
+        let expanded = expand_jobs(&manifest.jobs).unwrap();
+        let ids: Vec<&str> = expanded.iter().map(|j| j.id.as_str()).collect();
+        assert_eq!(ids, ["w#0", "w#1", "f"]);
         std::fs::remove_dir_all(&dir).ok();
     }
 }

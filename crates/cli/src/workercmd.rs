@@ -20,10 +20,14 @@
 //!  "inject": ["deadlock"]}
 //! ```
 //!
-//! The result payload is `{"code": <0-7>, "line": "<summary>"}` where
-//! `line` carries no wall-clock field — the supervisor's final report
-//! is assembled from these lines, and their determinism is what makes
-//! a resumed campaign reprint byte-for-byte.
+//! The result payload is `{"code": <0-7>, "line": "<summary>"}` —
+//! plus, for check jobs, the full `report` (wall clock zeroed) so the
+//! campaign layer can merge shard results. `line` carries no
+//! wall-clock field — the supervisor's final report is assembled from
+//! these lines, and their determinism is what makes a resumed campaign
+//! reprint byte-for-byte. A check job may carry `shard_index`/
+//! `shard_of` (written by the campaign layer's expansion of a
+//! `"shards": K` job) to run one slice of a dfs or random search.
 //!
 //! # Chaos injection
 //!
@@ -59,8 +63,7 @@ pub fn do_worker(o: &WorkerOpts) -> ExitCode {
         Duration::from_millis(o.heartbeat_millis),
         move |id, attempt, payload, progress| {
             chaos.inject(id, attempt);
-            let result = run_job(payload, progress)?;
-            Ok(job_result_to_json(&result).to_string_pretty())
+            Ok(run_job(payload, progress)?.to_payload())
         },
     );
     ExitCode::SUCCESS
@@ -136,6 +139,32 @@ fn check_opts_from_json(json: &Json) -> Result<RunOpts, String> {
     if let Some(ms) = json.get("time_budget_ms").and_then(Json::as_u64) {
         o.time_budget = Some(Duration::from_millis(ms));
     }
+    // shard_index/shard_of are what the campaign layer's expansion of a
+    // `"shards": K` job writes into each shard payload.
+    match (
+        json.get("shard_index").and_then(Json::as_u64),
+        json.get("shard_of").and_then(Json::as_u64),
+    ) {
+        (None, None) => {}
+        (Some(index), Some(of)) if of >= 1 && index < of => {
+            o.shard = Some((index as usize, of as usize));
+        }
+        _ => {
+            return Err(
+                "shard_index/shard_of must appear together with 0 <= index < of".to_string(),
+            )
+        }
+    }
+    if o.shard.is_some_and(|(_, of)| of > 1) {
+        // Mirror the --shard flag's compatibility rules for hand-built
+        // payloads that bypassed the manifest expander.
+        if o.reduce {
+            return Err("a reduced search cannot shard".to_string());
+        }
+        if matches!(o.strategy, opts::StrategyOpt::Cb(_)) {
+            return Err("sharding needs strategy dfs or random:<seed>".to_string());
+        }
+    }
     Ok(o)
 }
 
@@ -200,34 +229,9 @@ fn run_fuzz_job(json: &Json, progress: &Arc<Progress>) -> Result<JobRunResult, S
             "fuzz: {systems} systems (base seed {base_seed}) — {clean} clean, {buggy} buggy, \
              {skipped} skipped, {discrepancies} discrepancies"
         ),
-    })
-}
-
-// ---------------------------------------------------------------------
-// Result payload codec
-// ---------------------------------------------------------------------
-
-/// Serializes a job result as the protocol result payload.
-pub fn job_result_to_json(r: &JobRunResult) -> Json {
-    Json::object([
-        ("code", Json::UInt(u64::from(r.code))),
-        ("line", Json::Str(r.line.clone())),
-    ])
-}
-
-/// Parses a result payload written by [`job_result_to_json`].
-pub fn job_result_from_payload(payload: &str) -> Result<JobRunResult, String> {
-    let json = Json::parse(payload).map_err(|e| format!("job result payload: {e}"))?;
-    Ok(JobRunResult {
-        code: json
-            .get("code")
-            .and_then(Json::as_u64)
-            .ok_or("job result has no code")? as u8,
-        line: json
-            .get("line")
-            .and_then(Json::as_str)
-            .ok_or("job result has no line")?
-            .to_string(),
+        // A fuzz sweep has no search report to merge; only check jobs
+        // shard.
+        report: None,
     })
 }
 
@@ -363,9 +367,71 @@ mod tests {
         let r = JobRunResult {
             code: 4,
             line: "deadlock: both forks held (execution 9) — 12 executions".to_string(),
+            report: None,
         };
-        let back = job_result_from_payload(&job_result_to_json(&r).to_string_pretty()).unwrap();
+        let back = JobRunResult::from_payload(&r.to_payload()).unwrap();
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn shard_fields_map_onto_run_opts() {
+        let json = Json::parse(
+            r#"{"kind": "check", "workload": "counter",
+                "shard_index": 1, "shard_of": 3}"#,
+        )
+        .unwrap();
+        let o = check_opts_from_json(&json).unwrap();
+        assert_eq!(o.shard, Some((1, 3)));
+
+        // Half a shard spec, an out-of-range index, and unshardable
+        // strategies are all malformed payloads.
+        for (bad, needle) in [
+            (r#"{"workload": "counter", "shard_index": 0}"#, "together"),
+            (
+                r#"{"workload": "counter", "shard_index": 3, "shard_of": 3}"#,
+                "together",
+            ),
+            (
+                r#"{"workload": "counter", "shard_index": 0, "shard_of": 2,
+                    "strategy": "cb:2"}"#,
+                "dfs or random",
+            ),
+            (
+                r#"{"workload": "counter", "shard_index": 0, "shard_of": 2,
+                    "reduce": true}"#,
+                "reduced",
+            ),
+        ] {
+            let err = check_opts_from_json(&Json::parse(bad).unwrap()).unwrap_err();
+            assert!(err.contains(needle), "{err:?} should mention {needle:?}");
+        }
+    }
+
+    #[test]
+    fn sharded_check_jobs_cover_the_space_and_merge_to_the_sequential_report() {
+        // Run the same job unsharded and as 2 shards; the merged shard
+        // reports must equal the unsharded report byte-for-byte.
+        let progress = Arc::new(Progress::default());
+        let solo = run_job(
+            r#"{"workload": "counter", "max_executions": 100000}"#,
+            &progress,
+        )
+        .unwrap();
+        let mut reports = Vec::new();
+        for index in 0..2 {
+            let r = run_job(
+                &format!(
+                    r#"{{"workload": "counter", "max_executions": 100000,
+                        "shard_index": {index}, "shard_of": 2}}"#
+                ),
+                &progress,
+            )
+            .unwrap();
+            reports.push(r.report.expect("check jobs carry reports"));
+        }
+        let merged = chess_core::merge_contiguous_shards(&reports);
+        assert_eq!(merged, solo.report.unwrap());
+        assert_eq!(merged.deterministic_line(), solo.line);
     }
 
     #[test]

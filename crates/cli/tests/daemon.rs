@@ -1,0 +1,334 @@
+//! End-to-end tests of the campaign daemon and its client verbs,
+//! driving the real binary over a unix socket: sharded-vs-unsharded
+//! report identity, cached resubmits, `kill -9` of the daemon with a
+//! byte-identical resume from the persistent store, and protocol
+//! garbage injection.
+
+#![cfg(unix)]
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Output, Stdio};
+use std::time::{Duration, Instant};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_fair-chess"))
+}
+
+fn fair_chess(args: &[&str]) -> Output {
+    bin().args(args).output().expect("failed to run fair-chess")
+}
+
+fn stdout(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stdout).into_owned()
+}
+
+fn stderr(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stderr).into_owned()
+}
+
+/// Per-test scratch dir: tests run concurrently in one process, so the
+/// directory is keyed by test name, not just pid.
+fn temp_dir(test: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fair-chess-daemon-{}-{test}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn write_manifest(dir: &Path, name: &str, text: &str) -> String {
+    let path = dir.join(name);
+    std::fs::write(&path, text).unwrap();
+    path.to_str().unwrap().to_string()
+}
+
+/// A running daemon child, SIGKILLed on drop so a failing test cannot
+/// leak a listener into the next run.
+struct Daemon {
+    child: Child,
+    sock: String,
+    store: String,
+}
+
+impl Daemon {
+    /// Spawns `fair-chess daemon` on a fresh unix socket over `store`
+    /// and waits until it answers a `status` request.
+    fn start(dir: &Path, store: &str) -> Daemon {
+        let sock = dir.join("daemon.sock").to_str().unwrap().to_string();
+        let store = dir.join(store).to_str().unwrap().to_string();
+        let child = bin()
+            .args([
+                "daemon",
+                "--listen",
+                &sock,
+                "--store",
+                &store,
+                "--workers",
+                "2",
+            ])
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn daemon");
+        let daemon = Daemon { child, sock, store };
+        let deadline = Instant::now() + Duration::from_secs(60);
+        loop {
+            let out = fair_chess(&["status", "--connect", &daemon.sock]);
+            if out.status.code() == Some(0) {
+                return daemon;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "daemon did not come up in 60s: {out:?}"
+            );
+            std::thread::sleep(Duration::from_millis(25));
+        }
+    }
+
+    /// Restarts a daemon on this one's socket and store (after a kill).
+    fn restart(&mut self) {
+        let dir = Path::new(&self.sock).parent().unwrap().to_path_buf();
+        let store_name = Path::new(&self.store)
+            .file_name()
+            .unwrap()
+            .to_str()
+            .unwrap()
+            .to_string();
+        *self = Daemon::start(&dir, &store_name);
+    }
+
+    fn kill_nine(&mut self) {
+        let _ = Command::new("sh")
+            .args(["-c", &format!("kill -9 {}", self.child.id())])
+            .status();
+        let _ = self.child.wait();
+    }
+
+    /// Clean shutdown through the protocol; asserts the process exits.
+    fn shutdown(mut self) {
+        let out = fair_chess(&["shutdown", "--connect", &self.sock]);
+        assert_eq!(out.status.code(), Some(0), "{out:?}");
+        let deadline = Instant::now() + Duration::from_secs(60);
+        while self.child.try_wait().expect("try_wait").is_none() {
+            assert!(Instant::now() < deadline, "daemon ignored shutdown");
+            std::thread::sleep(Duration::from_millis(25));
+        }
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        if self.child.try_wait().ok().flatten().is_none() {
+            self.kill_nine();
+        }
+    }
+}
+
+/// Extracts the campaign digest from a submit acknowledgment line
+/// (`campaign <hex>: queued (3 jobs)` / `campaign <hex>: cached (...)`).
+fn campaign_of(submit_stdout: &str) -> String {
+    submit_stdout
+        .split_whitespace()
+        .nth(1)
+        .unwrap_or_else(|| panic!("no campaign digest in {submit_stdout:?}"))
+        .trim_end_matches(':')
+        .to_string()
+}
+
+/// Polls `status <campaign>` until `pred` holds on the raw JSON text.
+fn wait_for_status(sock: &str, campaign: &str, pred: impl Fn(&str) -> bool) -> String {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let out = fair_chess(&["status", campaign, "--connect", sock]);
+        let text = stdout(&out);
+        if out.status.code() == Some(0) && pred(&text) {
+            return text;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "status condition not reached in 120s; last: {text}"
+        );
+        std::thread::sleep(Duration::from_millis(30));
+    }
+}
+
+/// The acceptance criterion for sharding: a `"shards": K` check job
+/// fanned across workers must merge to a report byte-identical to the
+/// unsharded run of the same manifest.
+#[test]
+fn sharded_campaign_report_is_byte_identical_to_the_unsharded_one() {
+    let dir = temp_dir("shards");
+    // The sharded job is clean and exhausts its space: merge equality
+    // with the sequential run is exact whenever every shard completes.
+    // The racy job rides along (unsharded) so the campaign code is
+    // nonzero.
+    let sharded = write_manifest(
+        &dir,
+        "sharded.json",
+        r#"{"jobs": [
+          {"id": "w", "workload": "counter", "max_executions": 100000, "shards": 2},
+          {"id": "r", "workload": "counter", "bug": "racy", "max_executions": 50000}
+        ]}"#,
+    );
+    let unsharded = write_manifest(
+        &dir,
+        "unsharded.json",
+        r#"{"jobs": [
+          {"id": "w", "workload": "counter", "max_executions": 100000},
+          {"id": "r", "workload": "counter", "bug": "racy", "max_executions": 50000}
+        ]}"#,
+    );
+    // Reference: the unsharded one-shot runner.
+    let reference = fair_chess(&["serve", &unsharded, "--workers", "2"]);
+    assert_eq!(reference.status.code(), Some(1), "{reference:?}");
+
+    let daemon = Daemon::start(&dir, "store");
+    let submit = fair_chess(&["submit", &sharded, "--connect", &daemon.sock, "--watch"]);
+    assert_eq!(
+        submit.status.code(),
+        Some(1),
+        "watch must exit with the report code: {submit:?}"
+    );
+    let campaign = campaign_of(&stdout(&submit));
+    let results = fair_chess(&["results", &campaign, "--connect", &daemon.sock]);
+    assert_eq!(results.status.code(), Some(1), "{results:?}");
+    assert_eq!(
+        stdout(&results),
+        stdout(&reference),
+        "merged shard report must be byte-identical to the unsharded run"
+    );
+    // The watch stream printed per-shard verdicts along the way.
+    assert!(stdout(&submit).contains("w#0:"), "{submit:?}");
+    assert!(stdout(&submit).contains("w#1:"), "{submit:?}");
+    daemon.shutdown();
+}
+
+/// Content addressing: resubmitting a completed manifest answers from
+/// the store without re-execution, carrying the original verdict code.
+#[test]
+fn resubmit_of_a_completed_campaign_is_answered_from_the_store() {
+    let dir = temp_dir("cached");
+    let manifest = write_manifest(
+        &dir,
+        "cached.json",
+        r#"{"jobs": [{"id": "r", "workload": "counter", "bug": "racy", "max_executions": 50000}]}"#,
+    );
+    let daemon = Daemon::start(&dir, "store");
+    let first = fair_chess(&["submit", &manifest, "--connect", &daemon.sock, "--watch"]);
+    assert_eq!(first.status.code(), Some(1), "{first:?}");
+    assert!(stdout(&first).contains("queued"), "{first:?}");
+
+    let again = fair_chess(&["submit", &manifest, "--connect", &daemon.sock]);
+    assert_eq!(
+        again.status.code(),
+        Some(1),
+        "a cached finished campaign must answer with its report code: {again:?}"
+    );
+    assert!(stdout(&again).contains("cached"), "{again:?}");
+
+    // Equivalent-but-reformatted manifest text (same fields, same
+    // order, different whitespace): same canonical digest, still
+    // cached.
+    let reformatted = write_manifest(
+        &dir,
+        "cached2.json",
+        r#"{ "jobs" :
+             [ { "id": "r", "workload": "counter", "bug": "racy", "max_executions": 50000 } ] }"#,
+    );
+    let third = fair_chess(&["submit", &reformatted, "--connect", &daemon.sock]);
+    assert!(stdout(&third).contains("cached"), "{third:?}");
+    daemon.shutdown();
+}
+
+/// The durability acceptance test: `kill -9` the daemon mid-campaign,
+/// restart it over the same store, and require the resumed campaign's
+/// final report byte-identical to an uninterrupted run's.
+#[test]
+fn kill_nine_of_the_daemon_resumes_the_campaign_byte_identically() {
+    let dir = temp_dir("kill9");
+    let jobs: Vec<String> = (0..6)
+        .map(|i| {
+            format!(
+                r#"{{"id": "p{i}", "workload": "philosophers", "strategy": "random:{i}",
+                    "max_executions": 8000}}"#
+            )
+        })
+        .collect();
+    let manifest = write_manifest(
+        &dir,
+        "kill9.json",
+        &format!(r#"{{"jobs": [{}]}}"#, jobs.join(",\n")),
+    );
+    // Reference: the same campaign through the one-shot runner.
+    let reference = fair_chess(&["serve", &manifest, "--workers", "2"]);
+    assert_eq!(reference.status.code(), Some(3), "{reference:?}");
+
+    let mut daemon = Daemon::start(&dir, "store");
+    let submit = fair_chess(&["submit", &manifest, "--connect", &daemon.sock]);
+    assert_eq!(submit.status.code(), Some(0), "{submit:?}");
+    let campaign = campaign_of(&stdout(&submit));
+
+    // Wait until some verdicts are in and some pending, then SIGKILL:
+    // no destructor runs, so only the store's atomic journal protects
+    // the campaign.
+    wait_for_status(&daemon.sock, &campaign, |s| {
+        !s.contains("\"done\": 0") && !s.contains("\"pending\": 0")
+    });
+    daemon.kill_nine();
+
+    daemon.restart();
+    let watch = fair_chess(&["watch", &campaign, "--connect", &daemon.sock]);
+    assert_eq!(watch.status.code(), Some(3), "{watch:?}");
+    let results = fair_chess(&["results", &campaign, "--connect", &daemon.sock]);
+    assert_eq!(results.status.code(), Some(3), "{results:?}");
+    assert_eq!(
+        stdout(&results),
+        stdout(&reference),
+        "resumed report must be byte-identical to the uninterrupted run"
+    );
+    daemon.shutdown();
+}
+
+/// Chaos: a client that leads every request with protocol garbage must
+/// get a structured error back (never a dropped connection), and the
+/// daemon must keep serving other clients afterwards.
+#[test]
+fn protocol_garbage_gets_a_structured_error_and_the_daemon_survives() {
+    let dir = temp_dir("garbage");
+    let daemon = Daemon::start(&dir, "store");
+    let out = bin()
+        .args(["status", "--connect", &daemon.sock])
+        .env("FAIR_CHESS_CHAOS", "garbage:1,seed:7")
+        .output()
+        .expect("run chaos client");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "garbage must be answered with a structured error, then the real \
+         request must still succeed: {out:?}"
+    );
+    assert!(stderr(&out).contains("chaos garbage"), "{out:?}");
+    // The daemon is unimpressed.
+    let after = fair_chess(&["status", "--connect", &daemon.sock]);
+    assert_eq!(after.status.code(), Some(0), "{after:?}");
+    daemon.shutdown();
+}
+
+/// Error surfaces: a manifest that fails validation is refused at
+/// submit, and unknown campaign digests are structured errors.
+#[test]
+fn bad_submissions_and_unknown_campaigns_are_structured_errors() {
+    let dir = temp_dir("errors");
+    let daemon = Daemon::start(&dir, "store");
+    let bad = write_manifest(
+        &dir,
+        "bad.json",
+        r#"{"jobs": [{"id": "x", "kind": "bake"}]}"#,
+    );
+    let out = fair_chess(&["submit", &bad, "--connect", &daemon.sock]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    assert!(stderr(&out).contains("unknown job kind"), "{out:?}");
+
+    let out = fair_chess(&["results", "00000000deadbeef", "--connect", &daemon.sock]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    assert!(stderr(&out).contains("unknown campaign"), "{out:?}");
+    daemon.shutdown();
+}

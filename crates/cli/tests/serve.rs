@@ -290,6 +290,69 @@ fn sigint_checkpoints_and_exits_interrupted() {
     assert!(stderr(&out).contains("--resume"), "{out:?}");
 }
 
+/// Satellite of the status-file contract: the file is atomically
+/// rewritten after every verdict, so a polling reader racing the
+/// campaign must never observe a torn document — every successful read
+/// parses as JSON with the full counter set.
+#[test]
+fn concurrent_status_file_reads_are_never_torn() {
+    use chess_bench::Json;
+
+    let jobs: Vec<String> = (0..6)
+        .map(|i| {
+            format!(
+                r#"{{"id": "s{i}", "workload": "philosophers", "strategy": "random:{i}",
+                    "max_executions": 6000}}"#
+            )
+        })
+        .collect();
+    let manifest = write_manifest(
+        "status-poll.json",
+        &format!(r#"{{"jobs": [{}]}}"#, jobs.join(",\n")),
+    );
+    let status = temp_dir().join("status-poll-status.json");
+    let mut child = bin()
+        .args([
+            "serve",
+            manifest.to_str().unwrap(),
+            "--workers",
+            "2",
+            "--status-file",
+            status.to_str().unwrap(),
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn supervisor");
+
+    // Poll as fast as the filesystem lets us while the campaign runs.
+    let mut reads = 0u64;
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        if let Ok(text) = std::fs::read_to_string(&status) {
+            reads += 1;
+            let doc = Json::parse(&text)
+                .unwrap_or_else(|e| panic!("torn status read #{reads}: {e}\n{text}"));
+            for field in ["total", "done", "quarantined", "pending"] {
+                assert!(
+                    doc.get(field).and_then(Json::as_u64).is_some(),
+                    "status read #{reads} lacks {field}: {text}"
+                );
+            }
+        }
+        if child.try_wait().expect("try_wait").is_some() {
+            break;
+        }
+        assert!(Instant::now() < deadline, "campaign did not finish in 120s");
+    }
+    assert!(reads > 0, "the reader never saw a status file");
+    // The final document accounts for every job.
+    let text = std::fs::read_to_string(&status).unwrap();
+    let doc = Json::parse(&text).unwrap();
+    assert_eq!(doc.get("total").and_then(Json::as_u64), Some(6), "{text}");
+    assert_eq!(doc.get("pending").and_then(Json::as_u64), Some(0), "{text}");
+}
+
 // ---------------------------------------------------------------------
 // Torn-journal diagnostics
 // ---------------------------------------------------------------------

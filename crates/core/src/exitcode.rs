@@ -1,0 +1,40 @@
+//! The checker's exit-code contract.
+//!
+//! Scripts, CI jobs, and the campaign daemon branch on these values, so
+//! they are stable API: every distinct terminal condition of a search
+//! gets a distinct code. The CLI documents them in its `EXIT CODES`
+//! usage section and re-exports this module; the daemon stores them in
+//! verdict records, which is why the contract lives here rather than in
+//! the CLI crate. The mapping from a search outcome to its code is
+//! [`crate::SearchOutcome::exit_code`].
+
+/// Search complete (or all fuzz oracles agreed); no error found.
+pub const CLEAN: u8 = 0;
+
+/// A safety violation was found — an assertion failure or a workload
+/// panic (panics are isolated by the runtime and reported as replayable
+/// violations).
+pub const SAFETY_VIOLATION: u8 = 1;
+
+/// Usage or configuration error (bad flags, unknown workload, unreadable
+/// journal, mismatched resume options).
+pub const USAGE: u8 = 2;
+
+/// Search incomplete: the execution or wall-clock budget ran out before
+/// the state space was exhausted.
+pub const INCOMPLETE: u8 = 3;
+
+/// A deadlock was found.
+pub const DEADLOCK: u8 = 4;
+
+/// A livelock was found: fair nontermination / divergence.
+pub const LIVELOCK: u8 = 5;
+
+/// SIGINT/SIGTERM stopped the search at an execution boundary; the final
+/// checkpoint (if `--checkpoint` was given) was flushed and the run is
+/// resumable with `--resume`.
+pub const INTERRUPTED: u8 = 6;
+
+/// Internal error: a search worker was lost after repeated panics, so
+/// part of the search space may be unexplored.
+pub const INTERNAL: u8 = 7;

@@ -78,6 +78,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod exitcode;
 mod explore;
 mod fair;
 pub mod fuzz;
@@ -102,7 +103,7 @@ pub use fuzz::{
 };
 pub use minimize::{minimize_schedule, reproduces, OutcomeKind};
 pub use observer::{CountingObserver, NullObserver, Observer};
-pub use parallel::ParallelExplorer;
+pub use parallel::{merge_contiguous_shards, merge_seed_shards, ParallelExplorer, ShardSpec};
 pub use report::{
     BudgetKind, Divergence, DivergenceKind, SearchOutcome, SearchReport, SearchStats,
 };

@@ -171,6 +171,7 @@ pub struct ParallelExplorer<P, F> {
     config: Config,
     jobs: usize,
     external_stop: Option<Arc<AtomicBool>>,
+    progress: Option<Arc<Progress>>,
     _marker: std::marker::PhantomData<fn() -> P>,
 }
 
@@ -186,6 +187,7 @@ where
             config,
             jobs: jobs.max(1),
             external_stop: None,
+            progress: None,
             _marker: std::marker::PhantomData,
         }
     }
@@ -204,12 +206,104 @@ where
         self
     }
 
+    /// Attaches shared progress counters, published by the single-shard
+    /// runners ([`ParallelExplorer::run_dfs_shard`],
+    /// [`ParallelExplorer::run_random_shard`]) at every execution
+    /// boundary — a process supervisor watches these as a liveness
+    /// signal.
+    pub fn with_progress(mut self, progress: Arc<Progress>) -> Self {
+        self.progress = Some(progress);
+        self
+    }
+
     /// The cancellation flag shared by all workers of one run: the
     /// external flag when attached, otherwise a fresh private one.
     fn shared_stop(&self) -> Arc<AtomicBool> {
         self.external_stop
             .clone()
             .unwrap_or_else(|| Arc::new(AtomicBool::new(false)))
+    }
+
+    /// Wires the optional stop flag and progress counters into one
+    /// sequential explorer.
+    fn instrument<F2: FnMut() -> P, St: Strategy>(
+        &self,
+        explorer: Explorer<P, F2, St>,
+    ) -> Explorer<P, F2, St> {
+        let explorer = explorer.with_stop_flag(self.shared_stop());
+        match &self.progress {
+            Some(p) => explorer.with_progress(Arc::clone(p)),
+            None => explorer,
+        }
+    }
+
+    /// Runs one *shard* of the depth-first search sequentially: the
+    /// contiguous slice `shard.range(n)` of the depth-0 decision
+    /// frontier (`n` roots total), enumerated exhaustively in frontier
+    /// order.
+    ///
+    /// This is the distributed-search counterpart of
+    /// [`ParallelExplorer::run_dfs`]: instead of threads in one process
+    /// dealing roots round-robin, independent *processes* each run one
+    /// shard and a coordinator merges the reports with
+    /// [`merge_contiguous_shards`]. Contiguity in frontier order is what
+    /// makes the merge exact — sequential DFS explores the root subtrees
+    /// left to right, so shard `i`'s executions are precisely a
+    /// contiguous window of the sequential execution sequence, and a
+    /// shard-local execution index rebases to the global one by adding
+    /// the prior shards' totals.
+    ///
+    /// An empty slice (more shards than roots) returns a zero-stats
+    /// [`SearchOutcome::Complete`] report. A world with an *empty*
+    /// frontier (nothing schedulable at the root) is degenerate: shard 0
+    /// runs the whole sequential search so the merged report still
+    /// matches it, and every other shard is empty.
+    pub fn run_dfs_shard(&self, shard: ShardSpec) -> SearchReport {
+        let roots = self.root_frontier();
+        if roots.is_empty() {
+            if shard.index == 0 {
+                return self
+                    .instrument(Explorer::new(
+                        &self.factory,
+                        Dfs::new(),
+                        self.config.clone(),
+                    ))
+                    .run();
+            }
+            return empty_shard_report();
+        }
+        let range = shard.range(roots.len());
+        if range.is_empty() {
+            return empty_shard_report();
+        }
+        let mine = roots[range].to_vec();
+        self.instrument(Explorer::new(
+            &self.factory,
+            PartitionedDfs::new(mine, Reduction::None),
+            self.config.clone(),
+        ))
+        .run()
+    }
+
+    /// Runs one *shard* of the seed-sharded random walk sequentially:
+    /// shard `i` of `k` walks with `seed + i` and an even share of the
+    /// total execution budget, exactly as worker `i` of
+    /// [`ParallelExplorer::run_random`] with `k` jobs would. Merge the
+    /// shard reports with [`merge_seed_shards`]; the merged totals match
+    /// the in-process parallel walk, though — unlike DFS shards — random
+    /// shards sample distinct schedule sequences, so the merge is
+    /// deterministic rather than byte-identical to the *sequential*
+    /// single-seed walk.
+    pub fn run_random_shard(&self, seed: u64, shard: ShardSpec) -> SearchReport {
+        let shares = split_budget(self.config.max_executions, shard.of);
+        let mut config = self.config.clone();
+        config.max_executions = shares[shard.index];
+        self.instrument(Explorer::new(
+            &self.factory,
+            RandomWalk::new(seed.wrapping_add(shard.index as u64)),
+            config,
+        ))
+        .run()
     }
 
     /// Seed-sharded random walk: worker `i` searches with
@@ -523,6 +617,133 @@ where
     }
 }
 
+/// One shard of a distributed search: this process is shard `index` of
+/// `of` total (indices `0..of`).
+///
+/// For DFS ([`ParallelExplorer::run_dfs_shard`]) the spec selects a
+/// contiguous slice of the depth-0 decision frontier; for random walk
+/// ([`ParallelExplorer::run_random_shard`]) it selects a seed offset and
+/// a budget share.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// This shard's position, `0 <= index < of`.
+    pub index: usize,
+    /// Total number of shards (≥ 1).
+    pub of: usize,
+}
+
+impl ShardSpec {
+    /// Creates a shard spec, or an error message when the pair is not a
+    /// valid position (`of == 0` or `index >= of`).
+    pub fn new(index: usize, of: usize) -> Result<ShardSpec, String> {
+        if of == 0 {
+            return Err("shard count must be at least 1".to_string());
+        }
+        if index >= of {
+            return Err(format!("shard index {index} out of range 0..{of}"));
+        }
+        Ok(ShardSpec { index, of })
+    }
+
+    /// The contiguous slice of `n` items this shard owns:
+    /// `[index·n/of, (index+1)·n/of)`. Adjacent shards tile `0..n`
+    /// without gaps or overlap, and every share differs in size by at
+    /// most one.
+    pub fn range(&self, n: usize) -> std::ops::Range<usize> {
+        self.index * n / self.of..(self.index + 1) * n / self.of
+    }
+}
+
+/// The report of a shard whose frontier slice is empty: zero work,
+/// trivially complete.
+fn empty_shard_report() -> SearchReport {
+    SearchReport {
+        outcome: SearchOutcome::Complete,
+        stats: SearchStats::default(),
+    }
+}
+
+/// Rebases a shard-local 1-based execution index in an error outcome to
+/// the global sequence by adding the executions of all prior shards.
+fn rebase_outcome(mut outcome: SearchOutcome, prior: u64) -> SearchOutcome {
+    match &mut outcome {
+        SearchOutcome::SafetyViolation(c)
+        | SearchOutcome::Deadlock(c)
+        | SearchOutcome::Panic(c) => c.execution += prior,
+        SearchOutcome::Divergence(d) => d.execution += prior,
+        _ => {}
+    }
+    outcome
+}
+
+/// Merges the reports of a contiguous DFS shard run
+/// ([`ParallelExplorer::run_dfs_shard`]), in shard order, into the
+/// report the *sequential* DFS over the same world produces.
+///
+/// The walk mirrors what sequential DFS with `stop_on_error` does:
+/// prior shards' statistics accumulate until the first shard that found
+/// an error; that shard's error wins with its execution index rebased
+/// by the accumulated prior executions, and everything after it — work
+/// the sequential search would never have reached — is dropped. With no
+/// error the outcome is `Complete` only if every shard completed,
+/// otherwise the most limiting budget across shards (the
+/// [`BudgetKind`] ranking of the in-process parallel merge).
+///
+/// Equality with the sequential report is exact (wall clock aside)
+/// whenever no shard hit a budget before the winning error — in
+/// particular whenever the sequential search itself fits the budget.
+pub fn merge_contiguous_shards(reports: &[SearchReport]) -> SearchReport {
+    let mut stats = SearchStats::default();
+    let mut merged = SearchOutcome::Complete;
+    for r in reports {
+        let prior = stats.executions;
+        let mut s = r.stats.clone();
+        if let Some(e) = s.first_error_execution {
+            s.first_error_execution = Some(e + prior);
+        }
+        stats.merge(&s);
+        if r.outcome.found_error() {
+            return SearchReport {
+                outcome: rebase_outcome(r.outcome.clone(), prior),
+                stats,
+            };
+        }
+        if outcome_rank(&r.outcome) > outcome_rank(&merged) {
+            merged = r.outcome.clone();
+        }
+    }
+    SearchReport {
+        outcome: merged,
+        stats,
+    }
+}
+
+/// Merges the reports of a seed-sharded random walk
+/// ([`ParallelExplorer::run_random_shard`]): all statistics accumulate
+/// (every shard ran), and the outcome is the lowest-indexed shard's
+/// error if any — a deterministic tie-break, where the in-process
+/// [`ParallelExplorer::run_random`] races its workers for the win —
+/// otherwise the most limiting budget.
+pub fn merge_seed_shards(reports: &[SearchReport]) -> SearchReport {
+    let mut stats = SearchStats::default();
+    for r in reports {
+        stats.merge(&r.stats);
+    }
+    let outcome = reports
+        .iter()
+        .find(|r| r.outcome.found_error())
+        .map(|r| r.outcome.clone())
+        .unwrap_or_else(|| {
+            reports
+                .iter()
+                .map(|r| &r.outcome)
+                .max_by_key(|o| outcome_rank(o))
+                .cloned()
+                .unwrap_or(SearchOutcome::Complete)
+        });
+    SearchReport { outcome, stats }
+}
+
 /// How many times a panicked worker is replaced before its shard is
 /// abandoned as [`BudgetKind::WorkerPanicked`].
 pub(crate) const MAX_WORKER_RESTARTS: u64 = 2;
@@ -551,19 +772,25 @@ fn split_budget(total: Option<u64>, jobs: usize) -> Vec<Option<u64>> {
     }
 }
 
+/// Severity ranking of error-free outcomes: a merged search is
+/// `Complete` only if every shard completed, otherwise it reports the
+/// most limiting budget across shards.
+fn outcome_rank(o: &SearchOutcome) -> u8 {
+    match o {
+        SearchOutcome::BudgetExhausted(BudgetKind::WorkerPanicked) => 4,
+        SearchOutcome::BudgetExhausted(BudgetKind::Time) => 3,
+        SearchOutcome::BudgetExhausted(BudgetKind::Executions) => 2,
+        SearchOutcome::BudgetExhausted(BudgetKind::Cancelled) => 1,
+        _ => 0,
+    }
+}
+
 /// The overall outcome of an error-free parallel search: `Complete` only
 /// if every shard completed; otherwise the most limiting budget.
 fn merge_outcomes(reports: Vec<SearchReport>) -> SearchOutcome {
     let mut merged = SearchOutcome::Complete;
     for r in reports {
-        let rank = |o: &SearchOutcome| match o {
-            SearchOutcome::BudgetExhausted(BudgetKind::WorkerPanicked) => 4,
-            SearchOutcome::BudgetExhausted(BudgetKind::Time) => 3,
-            SearchOutcome::BudgetExhausted(BudgetKind::Executions) => 2,
-            SearchOutcome::BudgetExhausted(BudgetKind::Cancelled) => 1,
-            _ => 0,
-        };
-        if rank(&r.outcome) > rank(&merged) {
+        if outcome_rank(&r.outcome) > outcome_rank(&merged) {
             merged = r.outcome;
         }
     }
@@ -838,6 +1065,109 @@ mod tests {
         assert!(!report.outcome.found_error());
         assert!(!report.outcome.is_exhaustive_pass());
         assert!(report.to_string().contains("worker lost"));
+    }
+
+    #[test]
+    fn shard_ranges_tile_without_gaps_or_overlap() {
+        for n in 0..12usize {
+            for of in 1..6usize {
+                let mut covered = Vec::new();
+                for index in 0..of {
+                    let spec = ShardSpec::new(index, of).unwrap();
+                    covered.extend(spec.range(n));
+                }
+                assert_eq!(covered, (0..n).collect::<Vec<_>>(), "n={n} of={of}");
+            }
+        }
+        assert!(ShardSpec::new(0, 0).is_err());
+        assert!(ShardSpec::new(3, 3).is_err());
+    }
+
+    /// The acceptance property of the daemon's sharded `check`: running
+    /// every contiguous DFS shard independently and merging the reports
+    /// reproduces the sequential report exactly (wall clock aside).
+    #[test]
+    fn merged_dfs_shards_equal_the_sequential_report() {
+        let config = Config::fair();
+        let sequential = Explorer::new(two_step_scripts, Dfs::new(), config.clone()).run();
+        for of in [1, 2, 3, 4, 7] {
+            let shards: Vec<SearchReport> = (0..of)
+                .map(|index| {
+                    ParallelExplorer::new(two_step_scripts, config.clone(), 1)
+                        .run_dfs_shard(ShardSpec::new(index, of).unwrap())
+                })
+                .collect();
+            let merged = merge_contiguous_shards(&shards);
+            assert_eq!(zero_wall(merged), zero_wall(sequential.clone()), "of={of}");
+        }
+    }
+
+    /// Error rebasing: the merged error must carry the *global*
+    /// execution index, matching the sequential first-error run even
+    /// when the error lives in a later shard.
+    #[test]
+    fn merged_dfs_shards_rebase_the_error_execution() {
+        let config = Config::fair();
+        let sequential = Explorer::new(sometimes_deadlocks, Dfs::new(), config.clone()).run();
+        assert!(matches!(sequential.outcome, SearchOutcome::Deadlock(_)));
+        for of in [1, 2, 3, 5] {
+            let shards: Vec<SearchReport> = (0..of)
+                .map(|index| {
+                    ParallelExplorer::new(sometimes_deadlocks, config.clone(), 1)
+                        .run_dfs_shard(ShardSpec::new(index, of).unwrap())
+                })
+                .collect();
+            let merged = merge_contiguous_shards(&shards);
+            assert_eq!(zero_wall(merged), zero_wall(sequential.clone()), "of={of}");
+        }
+    }
+
+    /// Merged seed shards reproduce the in-process parallel random walk:
+    /// same budget split, same seeds, same totals.
+    #[test]
+    fn merged_seed_shards_match_the_parallel_random_walk() {
+        let config = Config::fair().with_max_executions(16);
+        let of = 4;
+        let parallel = ParallelExplorer::new(two_step_scripts, config.clone(), of).run_random(3);
+        let shards: Vec<SearchReport> = (0..of)
+            .map(|index| {
+                ParallelExplorer::new(two_step_scripts, config.clone(), 1)
+                    .run_random_shard(3, ShardSpec::new(index, of).unwrap())
+            })
+            .collect();
+        let merged = merge_seed_shards(&shards);
+        assert_eq!(zero_wall(merged), zero_wall(parallel));
+    }
+
+    #[test]
+    fn empty_shard_slices_merge_away() {
+        // 5 roots at most in this world; 9 shards leaves some empty.
+        let config = Config::fair();
+        let sequential = Explorer::new(two_step_scripts, Dfs::new(), config.clone()).run();
+        let shards: Vec<SearchReport> = (0..9)
+            .map(|index| {
+                ParallelExplorer::new(two_step_scripts, config.clone(), 1)
+                    .run_dfs_shard(ShardSpec::new(index, 9).unwrap())
+            })
+            .collect();
+        assert!(shards
+            .iter()
+            .any(|r| r.stats.executions == 0 && r.outcome == SearchOutcome::Complete));
+        let merged = merge_contiguous_shards(&shards);
+        assert_eq!(zero_wall(merged), zero_wall(sequential));
+    }
+
+    #[test]
+    fn shard_progress_is_published() {
+        let progress = Arc::new(Progress::default());
+        let report = ParallelExplorer::new(two_step_scripts, Config::fair(), 1)
+            .with_progress(Arc::clone(&progress))
+            .run_dfs_shard(ShardSpec::new(0, 2).unwrap());
+        assert!(report.stats.executions > 0);
+        assert_eq!(
+            progress.executions.load(Ordering::Relaxed),
+            report.stats.executions
+        );
     }
 
     #[test]

@@ -176,6 +176,24 @@ impl SearchOutcome {
     pub fn is_exhaustive_pass(&self) -> bool {
         matches!(self, SearchOutcome::Complete)
     }
+
+    /// The process exit code this outcome maps to under the contract of
+    /// [`crate::exitcode`]. Interruption ([`crate::exitcode::INTERRUPTED`])
+    /// is a property of the *process* (a signal arrived), not of the
+    /// outcome, so it is never returned here.
+    pub fn exit_code(&self) -> u8 {
+        use crate::exitcode;
+        match self {
+            SearchOutcome::Complete => exitcode::CLEAN,
+            SearchOutcome::SafetyViolation(_) | SearchOutcome::Panic(_) => {
+                exitcode::SAFETY_VIOLATION
+            }
+            SearchOutcome::Deadlock(_) => exitcode::DEADLOCK,
+            SearchOutcome::Divergence(_) => exitcode::LIVELOCK,
+            SearchOutcome::BudgetExhausted(BudgetKind::WorkerPanicked) => exitcode::INTERNAL,
+            SearchOutcome::BudgetExhausted(_) => exitcode::INCOMPLETE,
+        }
+    }
 }
 
 /// Statistics accumulated over a whole search.
@@ -267,6 +285,20 @@ pub struct SearchReport {
     pub outcome: SearchOutcome,
     /// Counters describing the work performed.
     pub stats: SearchStats,
+}
+
+impl SearchReport {
+    /// The display line minus the trailing wall-clock field — the one
+    /// part that differs between two runs of the same search. This is
+    /// the line the campaign machinery stores and compares: a resumed or
+    /// re-merged campaign must reproduce it byte for byte.
+    pub fn deterministic_line(&self) -> String {
+        let shown = self.to_string();
+        match shown.rsplit_once(',') {
+            Some((head, _wall)) => head.to_string(),
+            None => shown,
+        }
+    }
 }
 
 impl fmt::Display for SearchReport {
@@ -403,6 +435,53 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.panics, 4);
         assert_eq!(a.worker_restarts, 3);
+    }
+
+    #[test]
+    fn exit_codes_follow_the_contract() {
+        assert_eq!(SearchOutcome::Complete.exit_code(), crate::exitcode::CLEAN);
+        let cex = Counterexample {
+            kind: CounterexampleKind::Safety,
+            message: "m".into(),
+            schedule: vec![],
+            execution: 1,
+        };
+        assert_eq!(
+            SearchOutcome::SafetyViolation(cex.clone()).exit_code(),
+            crate::exitcode::SAFETY_VIOLATION
+        );
+        assert_eq!(
+            SearchOutcome::Panic(cex.clone()).exit_code(),
+            crate::exitcode::SAFETY_VIOLATION
+        );
+        assert_eq!(
+            SearchOutcome::Deadlock(cex).exit_code(),
+            crate::exitcode::DEADLOCK
+        );
+        assert_eq!(
+            SearchOutcome::BudgetExhausted(BudgetKind::Time).exit_code(),
+            crate::exitcode::INCOMPLETE
+        );
+        assert_eq!(
+            SearchOutcome::BudgetExhausted(BudgetKind::WorkerPanicked).exit_code(),
+            crate::exitcode::INTERNAL
+        );
+    }
+
+    #[test]
+    fn deterministic_line_strips_only_the_wall_field() {
+        let r = SearchReport {
+            outcome: SearchOutcome::Complete,
+            stats: SearchStats {
+                executions: 7,
+                transitions: 21,
+                ..Default::default()
+            },
+        };
+        assert_eq!(
+            r.deterministic_line(),
+            "search complete — 7 executions, 21 transitions, 0 nonterminating"
+        );
     }
 
     #[test]

@@ -11,11 +11,11 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::strategy::dfs::validate_frames;
-use crate::strategy::sleep::{Reduction, SleepFrame};
+use crate::strategy::sleep::{set_footprint, Reduction, SleepFrame};
 use crate::strategy::{FrameSnapshot, SchedulePoint, Strategy, StrategySnapshot};
 use crate::trace::Decision;
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 struct Frame {
     options: Vec<Decision>,
     sleep: SleepFrame,
@@ -25,6 +25,20 @@ impl Frame {
     fn current(&self) -> Decision {
         self.options[self.sleep.live[self.sleep.cursor]]
     }
+}
+
+/// Reusable buffers for the budget filter, which runs at **every**
+/// decision point (including replay of the committed prefix), so a
+/// fresh allocation here is the strategy's hottest allocation site.
+#[derive(Debug, Clone, Default)]
+struct EligScratch {
+    /// `(cost, index)` pairs surviving the budget filter, sort order.
+    idx: Vec<(u32, usize)>,
+    /// The eligible decisions, zero-cost first.
+    decisions: Vec<Decision>,
+    /// Footprints parallel to `decisions` (empty when the point carries
+    /// none).
+    footprints: Vec<Footprint>,
 }
 
 /// Systematic search over all schedules with at most `bound` preemptions.
@@ -44,6 +58,10 @@ pub struct ContextBounded {
     rng: SmallRng,
     charge_fairness_switches: bool,
     reduction: Reduction,
+    /// Popped frames, recycled on push (see [`crate::strategy::Dfs`]).
+    pool: Vec<Frame>,
+    /// Buffers for the per-pick budget filter.
+    scratch: EligScratch,
 }
 
 impl ContextBounded {
@@ -57,6 +75,8 @@ impl ContextBounded {
             rng: SmallRng::seed_from_u64(0x5EED),
             charge_fairness_switches: false,
             reduction: Reduction::None,
+            pool: Vec::new(),
+            scratch: EligScratch::default(),
         }
     }
 
@@ -123,30 +143,35 @@ impl ContextBounded {
         }
     }
 
-    /// Budget-eligible decisions, zero-cost first, with footprints
-    /// permuted in lockstep (empty when the point carries none). May be
+    /// Fills `scratch` with the budget-eligible decisions, zero-cost
+    /// first, footprints permuted in lockstep (empty when the point
+    /// carries none), reusing every buffer in place. The result may be
     /// empty only in the charging ablation.
-    fn eligible(&self, point: &SchedulePoint<'_>) -> (Vec<Decision>, Vec<Footprint>) {
-        let mut v: Vec<(u32, usize)> = point
-            .options
-            .iter()
-            .enumerate()
-            .map(|(i, &d)| (self.cost(point, d), i))
-            .filter(|&(c, _)| c <= self.budget)
-            .collect();
-        v.sort_by_key(|&(c, i)| {
+    fn eligible_into(&self, point: &SchedulePoint<'_>, scratch: &mut EligScratch) {
+        scratch.idx.clear();
+        scratch.idx.extend(
+            point
+                .options
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| (self.cost(point, d), i))
+                .filter(|&(c, _)| c <= self.budget),
+        );
+        scratch.idx.sort_by_key(|&(c, i)| {
             let d = point.options[i];
             (c, d.thread.index(), d.choice)
         });
-        let decisions = v.iter().map(|&(_, i)| point.options[i]).collect();
-        let footprints = if point.footprints.is_empty() {
-            Vec::new()
-        } else {
-            v.iter()
-                .map(|&(_, i)| point.footprints[i].clone())
-                .collect()
-        };
-        (decisions, footprints)
+        scratch.decisions.clear();
+        scratch
+            .decisions
+            .extend(scratch.idx.iter().map(|&(_, i)| point.options[i]));
+        let mut n = 0;
+        if !point.footprints.is_empty() {
+            for &(_, i) in &scratch.idx {
+                set_footprint(&mut scratch.footprints, &mut n, &point.footprints[i]);
+            }
+        }
+        scratch.footprints.truncate(n);
     }
 }
 
@@ -155,51 +180,59 @@ impl Strategy for ContextBounded {
         if point.depth == 0 {
             self.budget = self.bound;
         }
-        let (eligible, footprints) = self.eligible(point);
+        let mut scratch = std::mem::take(&mut self.scratch);
+        self.eligible_into(point, &mut scratch);
         debug_assert!(
-            !eligible.is_empty() || self.charge_fairness_switches,
+            !scratch.decisions.is_empty() || self.charge_fairness_switches,
             "a zero-cost decision always exists at {point:?}"
         );
-        if eligible.is_empty() {
+        let selected = if scratch.decisions.is_empty() {
             // Only reachable in the charging ablation: the execution is
             // unaffordable and must be abandoned.
-            return None;
-        }
-        let selected = if self.horizon.is_some_and(|db| point.depth >= db) {
-            eligible[self.rng.gen_range(0..eligible.len())]
+            None
+        } else if self.horizon.is_some_and(|db| point.depth >= db) {
+            Some(scratch.decisions[self.rng.gen_range(0..scratch.decisions.len())])
         } else if point.depth < self.stack.len() {
             let f = &self.stack[point.depth];
             debug_assert_eq!(
-                f.options, eligible,
+                f.options, scratch.decisions,
                 "nondeterministic replay at depth {}",
                 point.depth
             );
-            f.current()
+            Some(f.current())
         } else {
             debug_assert_eq!(point.depth, self.stack.len());
-            let sleep = if self.reduction.is_on() {
+            // Recycle a popped frame and steal the scratch buffers
+            // outright — the frame's previous buffers flow back into the
+            // scratch for the next fill.
+            let mut frame = self.pool.pop().unwrap_or_default();
+            std::mem::swap(&mut frame.options, &mut scratch.decisions);
+            std::mem::swap(&mut frame.sleep.footprints, &mut scratch.footprints);
+            let alive = if self.reduction.is_on() {
                 let parent = self.stack.last();
-                SleepFrame::derive(
-                    &eligible,
-                    footprints,
-                    parent.map(|f| &f.sleep),
-                    parent.map(|f| f.options.as_slice()),
+                frame.sleep.rederive(
+                    &frame.options,
+                    parent.map(|f| (&f.sleep, f.options.as_slice())),
                     point,
-                )?
-                // `None`: every affordable option is asleep — covered by
-                // an equivalent reordering elsewhere. Abandon without
-                // pushing a frame.
+                )
             } else {
-                SleepFrame::inert(eligible.len())
+                frame.sleep.make_inert(frame.options.len());
+                true
             };
-            let frame = Frame {
-                options: eligible,
-                sleep,
-            };
-            let first = frame.current();
-            self.stack.push(frame);
-            first
+            if alive {
+                let first = frame.current();
+                self.stack.push(frame);
+                Some(first)
+            } else {
+                // Every affordable option is asleep — covered by an
+                // equivalent reordering elsewhere. Abandon without
+                // pushing a frame.
+                self.pool.push(frame);
+                None
+            }
         };
+        self.scratch = scratch;
+        let selected = selected?;
         self.budget -= self.cost(point, selected);
         Some(selected)
     }
@@ -210,7 +243,8 @@ impl Strategy for ContextBounded {
             if last.sleep.cursor < last.sleep.live.len() {
                 return true;
             }
-            self.stack.pop();
+            let frame = self.stack.pop().expect("last_mut saw a frame");
+            self.pool.push(frame);
         }
         false
     }
@@ -400,7 +434,9 @@ mod tests {
         // Reset budget by picking at depth 0 first.
         let opts0 = [d(0)];
         cb.pick(&p(0, &opts0)).unwrap();
-        assert_eq!(cb.eligible(&point).0.len(), 2);
+        let mut scratch = EligScratch::default();
+        cb.eligible_into(&point, &mut scratch);
+        assert_eq!(scratch.decisions.len(), 2);
     }
 
     /// The charging ablation abandons when the only affordable move is

@@ -13,10 +13,13 @@ use crate::strategy::sleep::{Reduction, SleepFrame};
 use crate::strategy::{FrameSnapshot, SchedulePoint, Strategy, StrategySnapshot};
 use crate::trace::Decision;
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 struct Frame {
     options: Vec<Decision>,
     sleep: SleepFrame,
+    /// Scratch for the exploration-order permutation, kept on the frame
+    /// so recycled frames reuse its buffer.
+    perm: Vec<usize>,
 }
 
 impl Frame {
@@ -58,6 +61,10 @@ pub struct Dfs {
     exhausted: bool,
     prefer_continuation: bool,
     reduction: Reduction,
+    /// Popped frames, recycled on push so the steady-state search makes
+    /// no per-frame allocations (options, footprints, sleep entries and
+    /// their access vectors are all reused in place).
+    pool: Vec<Frame>,
 }
 
 impl Dfs {
@@ -70,6 +77,7 @@ impl Dfs {
             exhausted: false,
             prefer_continuation: false,
             reduction: Reduction::None,
+            pool: Vec::new(),
         }
     }
 
@@ -120,29 +128,53 @@ impl Dfs {
 
     /// The deterministic exploration ordering of a point's options, with
     /// footprints permuted in lockstep (footprints are empty when the
-    /// point carries none).
+    /// point carries none). Used only by the replay determinism check;
+    /// the hot path fills a recycled frame via [`ordered_into`].
     fn ordered(&self, point: &SchedulePoint<'_>) -> (Vec<Decision>, Vec<Footprint>) {
-        let fps = |perm: &[usize]| -> Vec<Footprint> {
-            if point.footprints.is_empty() {
-                Vec::new()
-            } else {
-                perm.iter().map(|&i| point.footprints[i].clone()).collect()
-            }
-        };
-        let identity: Vec<usize> = (0..point.options.len()).collect();
-        let perm = match point.prev {
-            Some(p) if self.prefer_continuation => {
-                let mut v = identity;
-                v.sort_by_key(|&i| {
-                    let d = point.options[i];
-                    (d.thread != p, d.thread.index(), d.choice)
-                });
-                v
-            }
-            _ => identity,
-        };
-        (perm.iter().map(|&i| point.options[i]).collect(), fps(&perm))
+        let mut perm = Vec::new();
+        let mut options = Vec::new();
+        let mut footprints = Vec::new();
+        ordered_into(
+            point,
+            self.prefer_continuation,
+            &mut perm,
+            &mut options,
+            &mut footprints,
+        );
+        (options, footprints)
     }
+}
+
+/// Fills `options`/`footprints` with the deterministic exploration
+/// ordering of a point's options, reusing the buffers (and each
+/// footprint slot's allocations) in place. `footprints` ends up empty
+/// when the point carries none.
+fn ordered_into(
+    point: &SchedulePoint<'_>,
+    prefer_continuation: bool,
+    perm: &mut Vec<usize>,
+    options: &mut Vec<Decision>,
+    footprints: &mut Vec<Footprint>,
+) {
+    perm.clear();
+    perm.extend(0..point.options.len());
+    if let Some(p) = point.prev {
+        if prefer_continuation {
+            perm.sort_by_key(|&i| {
+                let d = point.options[i];
+                (d.thread != p, d.thread.index(), d.choice)
+            });
+        }
+    }
+    options.clear();
+    options.extend(perm.iter().map(|&i| point.options[i]));
+    let mut n = 0;
+    if !point.footprints.is_empty() {
+        for &i in perm.iter() {
+            crate::strategy::sleep::set_footprint(footprints, &mut n, &point.footprints[i]);
+        }
+    }
+    footprints.truncate(n);
 }
 
 impl Default for Dfs {
@@ -173,24 +205,33 @@ impl Strategy for Dfs {
             Some(f.current())
         } else {
             debug_assert_eq!(point.depth, self.stack.len());
-            let (options, footprints) = self.ordered(point);
-            let sleep = if self.reduction.is_on() {
+            let mut frame = self.pool.pop().unwrap_or_default();
+            ordered_into(
+                point,
+                self.prefer_continuation,
+                &mut frame.perm,
+                &mut frame.options,
+                &mut frame.sleep.footprints,
+            );
+            let alive = if self.reduction.is_on() {
                 let parent = self.stack.last();
-                SleepFrame::derive(
-                    &options,
-                    footprints,
-                    parent.map(|f| &f.sleep),
-                    parent.map(|f| f.options.as_slice()),
+                frame.sleep.rederive(
+                    &frame.options,
+                    parent.map(|f| (&f.sleep, f.options.as_slice())),
                     point,
-                )?
-                // `None`: every option is asleep — the node is covered by
-                // an equivalent reordering explored elsewhere. Abandon
+                )
+            } else {
+                frame.sleep.make_inert(frame.options.len());
+                true
+            };
+            if !alive {
+                // Every option is asleep — the node is covered by an
+                // equivalent reordering explored elsewhere. Abandon
                 // without pushing a frame; on_execution_end backtracks
                 // the parent.
-            } else {
-                SleepFrame::inert(options.len())
-            };
-            let frame = Frame { options, sleep };
+                self.pool.push(frame);
+                return None;
+            }
             let first = frame.current();
             self.stack.push(frame);
             Some(first)
@@ -203,7 +244,8 @@ impl Strategy for Dfs {
             if last.sleep.cursor < last.sleep.live.len() {
                 return true;
             }
-            self.stack.pop();
+            let frame = self.stack.pop().expect("last_mut saw a frame");
+            self.pool.push(frame);
         }
         self.exhausted = true;
         false
@@ -271,6 +313,7 @@ impl Strategy for Dfs {
                 Frame {
                     options: f.options.clone(),
                     sleep,
+                    perm: Vec::new(),
                 }
             })
             .collect();

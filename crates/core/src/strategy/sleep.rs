@@ -67,6 +67,28 @@ impl Reduction {
 /// its footprint — cannot have changed.
 pub(crate) type SleepEntry = (Decision, Footprint);
 
+/// Writes `fp` into `dst[*n]`, reusing the slot's allocations when the
+/// slot exists and pushing a clone otherwise, then bumps `*n`. The
+/// caller truncates `dst` to `n` when the fill is complete.
+pub(crate) fn set_footprint(dst: &mut Vec<Footprint>, n: &mut usize, fp: &Footprint) {
+    match dst.get_mut(*n) {
+        Some(slot) => slot.clone_from(fp),
+        None => dst.push(fp.clone()),
+    }
+    *n += 1;
+}
+
+fn set_entry(dst: &mut Vec<SleepEntry>, n: &mut usize, d: Decision, fp: &Footprint) {
+    match dst.get_mut(*n) {
+        Some(slot) => {
+            slot.0 = d;
+            slot.1.clone_from(fp);
+        }
+        None => dst.push((d, fp.clone())),
+    }
+    *n += 1;
+}
+
 /// One backtracking frame's sleep-set state.
 ///
 /// With reduction off this is inert: `live` is the identity permutation
@@ -99,6 +121,18 @@ impl SleepFrame {
         }
     }
 
+    /// Resets this frame to the inert state over `n` options: identity
+    /// `live`, no sleep state. Reuses the frame's buffers — the pooled
+    /// counterpart of [`SleepFrame::inert`].
+    pub fn make_inert(&mut self, n: usize) {
+        self.footprints.clear();
+        self.sleep.clear();
+        self.live.clear();
+        self.live.extend(0..n);
+        self.cursor = 0;
+        self.fairness_filtered = false;
+    }
+
     /// Builds the sleep state for a new frame whose ordered options and
     /// parallel footprints are given, inheriting from `parent` (the frame
     /// one level up, whose `cursor` names the edge just taken), under the
@@ -107,6 +141,10 @@ impl SleepFrame {
     /// Returns `None` when every option is asleep: the node is entirely
     /// pruned and the caller must abandon the execution without pushing a
     /// frame.
+    ///
+    /// The strategies drive [`SleepFrame::rederive`] on recycled frames
+    /// directly; this allocating constructor is kept for the unit tests.
+    #[cfg(test)]
     pub fn derive(
         options: &[Decision],
         footprints: Vec<Footprint>,
@@ -114,10 +152,37 @@ impl SleepFrame {
         parent_options: Option<&[Decision]>,
         point: &SchedulePoint<'_>,
     ) -> Option<Self> {
-        let sleep = match (parent, parent_options) {
-            (Some(p), Some(po)) => p.child_sleep(po),
-            _ => Vec::new(),
+        let mut frame = SleepFrame {
+            footprints,
+            ..SleepFrame::default()
         };
+        let parent = match (parent, parent_options) {
+            (Some(p), Some(po)) => Some((p, po)),
+            _ => None,
+        };
+        frame.rederive(options, parent, point).then_some(frame)
+    }
+
+    /// [`SleepFrame::derive`] in place: re-initializes this (typically
+    /// recycled) frame's sleep state, reusing its `sleep` and `live`
+    /// buffers. The caller must have already filled `self.footprints`
+    /// with the footprints parallel to `options` (or cleared it when the
+    /// point carries none). Returns `false` when every option is asleep
+    /// — the caller must abandon the execution without pushing the
+    /// frame.
+    pub fn rederive(
+        &mut self,
+        options: &[Decision],
+        parent: Option<(&SleepFrame, &[Decision])>,
+        point: &SchedulePoint<'_>,
+    ) -> bool {
+        self.cursor = 0;
+        self.fairness_filtered = point.fairness_filtered;
+        let mut n = 0;
+        if let Some((p, po)) = parent {
+            p.child_sleep_into(po, &mut self.sleep, &mut n);
+        }
+        self.sleep.truncate(n);
         // Staleness check: a sleeping entry's footprint was recorded when
         // it went to sleep, and pruning relies on it still describing the
         // decision's transition now. That holds because any step that
@@ -127,11 +192,11 @@ impl SleepFrame {
         // with the sleeping flush. Debug builds verify the recorded
         // footprint against the current one instead of trusting this.
         #[cfg(debug_assertions)]
-        if !footprints.is_empty() {
-            for (z, fp) in &sleep {
+        if !self.footprints.is_empty() {
+            for (z, fp) in &self.sleep {
                 if let Some(i) = options.iter().position(|o| o == z) {
                     debug_assert_eq!(
-                        &footprints[i], fp,
+                        &self.footprints[i], fp,
                         "stale sleeping footprint for {z:?}: a step changed this \
                          decision's transition without waking it (every such step \
                          must conflict with the sleeping entry)"
@@ -139,46 +204,48 @@ impl SleepFrame {
                 }
             }
         }
-        let live: Vec<usize> = if point.fairness_filtered || sleep.is_empty() {
-            (0..options.len()).collect()
+        self.live.clear();
+        if point.fairness_filtered || self.sleep.is_empty() {
+            self.live.extend(0..options.len());
         } else {
-            (0..options.len())
-                .filter(|&i| !sleep.iter().any(|(z, _)| *z == options[i]))
-                .collect()
-        };
-        if live.is_empty() {
-            return None;
+            self.live.extend(
+                (0..options.len()).filter(|&i| !self.sleep.iter().any(|(z, _)| *z == options[i])),
+            );
         }
-        Some(SleepFrame {
-            footprints,
-            sleep,
-            live,
-            cursor: 0,
-            fairness_filtered: point.fairness_filtered,
-        })
+        !self.live.is_empty()
     }
 
-    /// The sleep set for the child reached by this frame's current edge:
+    /// The sleep set for the child reached by this frame's current edge,
+    /// written into `out[..n]` (slots reused, caller truncates):
     /// surviving inherited entries plus already-explored independent
-    /// siblings. Empty when this node is fairness-exempt or footprints
-    /// were not supplied.
-    fn child_sleep(&self, options: &[Decision]) -> Vec<SleepEntry> {
+    /// siblings. Writes nothing when this node is fairness-exempt or
+    /// footprints were not supplied.
+    fn child_sleep_into(&self, options: &[Decision], out: &mut Vec<SleepEntry>, n: &mut usize) {
         if self.fairness_filtered || self.footprints.is_empty() {
-            return Vec::new();
+            return;
         }
         let taken = self.live[self.cursor];
         let taken_fp = &self.footprints[taken];
-        let mut out = Vec::new();
         for (z, fp) in &self.sleep {
             if !fp.dependent(taken_fp) {
-                out.push((*z, fp.clone()));
+                set_entry(out, n, *z, fp);
             }
         }
         for &j in &self.live[..self.cursor] {
             if !self.footprints[j].dependent(taken_fp) {
-                out.push((options[j], self.footprints[j].clone()));
+                set_entry(out, n, options[j], &self.footprints[j]);
             }
         }
+    }
+
+    /// Allocating wrapper over [`SleepFrame::child_sleep_into`], kept for
+    /// the unit tests' convenience.
+    #[cfg(test)]
+    fn child_sleep(&self, options: &[Decision]) -> Vec<SleepEntry> {
+        let mut out = Vec::new();
+        let mut n = 0;
+        self.child_sleep_into(options, &mut out, &mut n);
+        out.truncate(n);
         out
     }
 }

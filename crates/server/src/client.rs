@@ -1,0 +1,207 @@
+//! The client side of the daemon protocol: a connection wrapper used
+//! by `fair-chess submit/status/watch/cancel/results/shutdown`.
+//!
+//! # Chaos injection
+//!
+//! The `garbage` knob of `FAIR_CHESS_CHAOS` (the same variable the
+//! campaign workers honor) extends to this protocol: with probability
+//! `P` per request the client first sends a deliberately unparsable
+//! line and *requires* a structured error back. A daemon that drops
+//! the connection — or crashes — over garbage fails the exchange
+//! loudly, which is exactly what the chaos smoke test is hunting for.
+
+use std::io::{BufRead, BufReader, Write};
+
+use chess_bench::Json;
+
+use crate::net::{Listen, Stream};
+use crate::protocol::{request_to_json, to_line, Request};
+
+/// A connected protocol client.
+pub struct Client {
+    reader: BufReader<Stream>,
+    writer: Stream,
+    chaos: Chaos,
+    requests: u64,
+}
+
+impl Client {
+    /// Connects to a daemon and arms chaos injection from the
+    /// environment.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect failures.
+    pub fn connect(addr: &Listen) -> Result<Client, String> {
+        let writer = addr.connect()?;
+        let read_half = writer
+            .try_clone()
+            .map_err(|e| format!("clone connection: {e}"))?;
+        Ok(Client {
+            reader: BufReader::new(read_half),
+            writer,
+            chaos: Chaos::from_env(),
+            requests: 0,
+        })
+    }
+
+    /// Sends one request and returns the daemon's response object.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, unparsable responses, and chaos-contract
+    /// violations (garbage answered with anything but a structured
+    /// error).
+    pub fn request(&mut self, request: &Request) -> Result<Json, String> {
+        self.requests += 1;
+        if self.chaos.roll_garbage(self.requests) {
+            eprintln!("client: chaos garbage (request {})", self.requests);
+            self.send_line("!!chaos garbage!!\n")?;
+            let response = self.read_response()?;
+            if response.get("ok").and_then(Json::as_bool) != Some(false) {
+                return Err(format!(
+                    "chaos contract violated: garbage was answered with {} instead of a \
+                     structured error",
+                    response.to_string_pretty()
+                ));
+            }
+        }
+        self.send_line(&to_line(&request_to_json(request)))?;
+        self.read_response()
+    }
+
+    /// Reads one streamed event (after a `watch`); `None` on a clean
+    /// end of stream.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and unparsable events.
+    pub fn read_event(&mut self) -> Result<Option<Json>, String> {
+        let mut line = String::new();
+        let n = self
+            .reader
+            .read_line(&mut line)
+            .map_err(|e| format!("read event: {e}"))?;
+        if n == 0 {
+            return Ok(None);
+        }
+        Json::parse(line.trim_end())
+            .map(Some)
+            .map_err(|e| format!("daemon sent a malformed event: {e}"))
+    }
+
+    fn send_line(&mut self, line: &str) -> Result<(), String> {
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| format!("send request: {e}"))
+    }
+
+    fn read_response(&mut self) -> Result<Json, String> {
+        match self.read_event()? {
+            Some(json) => Ok(json),
+            None => Err("daemon closed the connection mid-request".to_string()),
+        }
+    }
+}
+
+/// Checks a response's `ok` bit, surfacing the daemon's error message.
+///
+/// # Errors
+///
+/// The daemon's `error` field when `ok` is false (or the raw document
+/// when it is shaped wrong).
+pub fn expect_ok(response: Json) -> Result<Json, String> {
+    match response.get("ok").and_then(Json::as_bool) {
+        Some(true) => Ok(response),
+        Some(false) => Err(response
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap_or("daemon refused the request")
+            .to_string()),
+        None => Err(format!(
+            "daemon sent a malformed response: {}",
+            response.to_string_pretty()
+        )),
+    }
+}
+
+/// The client-side chaos knobs: only `garbage` (and `seed`) apply to
+/// the protocol; `abort`/`hang` stay worker-side.
+#[derive(Debug, Clone, Copy, Default)]
+struct Chaos {
+    garbage: f64,
+    seed: u64,
+}
+
+impl Chaos {
+    fn from_env() -> Chaos {
+        let Ok(spec) = std::env::var("FAIR_CHESS_CHAOS") else {
+            return Chaos::default();
+        };
+        let mut c = Chaos::default();
+        for part in spec.split(',').filter(|p| !p.trim().is_empty()) {
+            let Some((key, value)) = part.split_once(':') else {
+                continue;
+            };
+            match key.trim() {
+                "garbage" => c.garbage = value.trim().parse().unwrap_or(0.0),
+                "seed" => c.seed = value.trim().parse().unwrap_or(0),
+                // Worker-side knobs (abort, hang) and typos are the
+                // worker's problem to report; stay quiet here.
+                _ => {}
+            }
+        }
+        if !(0.0..=1.0).contains(&c.garbage) {
+            c.garbage = 0.0;
+        }
+        c
+    }
+
+    /// Deterministic per-request roll (same splitmix64-over-FNV scheme
+    /// as the worker's injector, so one seed drives the whole chaos
+    /// campaign).
+    fn roll_garbage(&self, request: u64) -> bool {
+        if self.garbage == 0.0 {
+            return false;
+        }
+        let mut h = 0xcbf2_9ce4_8422_2325u64 ^ self.seed;
+        h = (h ^ request).wrapping_mul(0x0000_0100_0000_01b3);
+        h = h.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = h;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        ((z % 1_000_000) as f64) < self.garbage * 1_000_000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chaos_rolls_are_deterministic_and_bounded() {
+        let chaos = Chaos {
+            garbage: 0.5,
+            seed: 42,
+        };
+        let a: Vec<bool> = (0..64).map(|i| chaos.roll_garbage(i)).collect();
+        let b: Vec<bool> = (0..64).map(|i| chaos.roll_garbage(i)).collect();
+        assert_eq!(a, b, "same seed, same rolls");
+        let hits = a.iter().filter(|&&x| x).count();
+        assert!((10..=54).contains(&hits), "p=0.5 should hit roughly half");
+        let off = Chaos::default();
+        assert!((0..64).all(|i| !off.roll_garbage(i)));
+    }
+
+    #[test]
+    fn expect_ok_separates_the_cases() {
+        let ok = Json::parse(r#"{"ok": true, "x": 1}"#).unwrap();
+        assert!(expect_ok(ok).is_ok());
+        let err = Json::parse(r#"{"ok": false, "error": "nope"}"#).unwrap();
+        assert_eq!(expect_ok(err).unwrap_err(), "nope");
+        let odd = Json::parse(r#"{"event": "verdict"}"#).unwrap();
+        assert!(expect_ok(odd).unwrap_err().contains("malformed"));
+    }
+}

@@ -1,0 +1,271 @@
+//! Socket transport for the daemon protocol: one address type covering
+//! unix-domain and TCP sockets, with a matching listener and stream.
+//!
+//! Address spellings (the `--listen` / `--connect` grammar):
+//!
+//! ```text
+//! unix:/path/to.sock   explicit unix-domain socket
+//! tcp:127.0.0.1:7979   explicit TCP
+//! /path/to.sock        anything with a '/' defaults to unix
+//! 127.0.0.1:7979       anything else defaults to TCP
+//! ```
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+
+/// A daemon endpoint address.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Listen {
+    /// A unix-domain socket path.
+    Unix(PathBuf),
+    /// A TCP address (`host:port`).
+    Tcp(String),
+}
+
+impl Listen {
+    /// Parses an address spelling (see the module docs for the grammar).
+    ///
+    /// # Errors
+    ///
+    /// Rejects empty addresses.
+    pub fn parse(text: &str) -> Result<Listen, String> {
+        let listen = if let Some(path) = text.strip_prefix("unix:") {
+            Listen::Unix(PathBuf::from(path))
+        } else if let Some(addr) = text.strip_prefix("tcp:") {
+            Listen::Tcp(addr.to_string())
+        } else if text.contains('/') {
+            Listen::Unix(PathBuf::from(text))
+        } else {
+            Listen::Tcp(text.to_string())
+        };
+        match &listen {
+            Listen::Unix(p) if p.as_os_str().is_empty() => Err("empty socket path".to_string()),
+            Listen::Tcp(a) if a.is_empty() => Err("empty TCP address".to_string()),
+            _ => Ok(listen),
+        }
+    }
+
+    /// Binds a listener on this address. A stale unix socket file (a
+    /// previous daemon was `kill -9`ed) is removed and rebound —
+    /// running two daemons on one socket path is not supported.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures, labeled with the address.
+    pub fn bind(&self) -> Result<Listener, String> {
+        match self {
+            #[cfg(unix)]
+            Listen::Unix(path) => {
+                if path.exists() {
+                    std::fs::remove_file(path)
+                        .map_err(|e| format!("remove stale socket {}: {e}", path.display()))?;
+                }
+                UnixListener::bind(path)
+                    .map(Listener::Unix)
+                    .map_err(|e| format!("bind {}: {e}", path.display()))
+            }
+            #[cfg(not(unix))]
+            Listen::Unix(path) => Err(format!(
+                "unix sockets are not supported on this platform ({})",
+                path.display()
+            )),
+            Listen::Tcp(addr) => TcpListener::bind(addr)
+                .map(Listener::Tcp)
+                .map_err(|e| format!("bind {addr}: {e}")),
+        }
+    }
+
+    /// Connects a client stream to this address.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect failures, labeled with the address.
+    pub fn connect(&self) -> Result<Stream, String> {
+        match self {
+            #[cfg(unix)]
+            Listen::Unix(path) => UnixStream::connect(path)
+                .map(Stream::Unix)
+                .map_err(|e| format!("connect {}: {e}", path.display())),
+            #[cfg(not(unix))]
+            Listen::Unix(path) => Err(format!(
+                "unix sockets are not supported on this platform ({})",
+                path.display()
+            )),
+            Listen::Tcp(addr) => TcpStream::connect(addr)
+                .map(Stream::Tcp)
+                .map_err(|e| format!("connect {addr}: {e}")),
+        }
+    }
+}
+
+impl std::fmt::Display for Listen {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Listen::Unix(path) => write!(f, "unix:{}", path.display()),
+            Listen::Tcp(addr) => write!(f, "tcp:{addr}"),
+        }
+    }
+}
+
+/// A bound daemon listener.
+pub enum Listener {
+    /// A unix-domain listener.
+    #[cfg(unix)]
+    Unix(UnixListener),
+    /// A TCP listener.
+    Tcp(TcpListener),
+}
+
+impl Listener {
+    /// Switches the listener between blocking and polling accepts (the
+    /// daemon polls so it can observe its shutdown flag).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket option failure.
+    pub fn set_nonblocking(&self, nonblocking: bool) -> std::io::Result<()> {
+        match self {
+            #[cfg(unix)]
+            Listener::Unix(l) => l.set_nonblocking(nonblocking),
+            Listener::Tcp(l) => l.set_nonblocking(nonblocking),
+        }
+    }
+
+    /// Accepts one connection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept failures (including `WouldBlock` when
+    /// nonblocking).
+    pub fn accept(&self) -> std::io::Result<Stream> {
+        match self {
+            #[cfg(unix)]
+            Listener::Unix(l) => l.accept().map(|(s, _)| Stream::Unix(s)),
+            Listener::Tcp(l) => l.accept().map(|(s, _)| Stream::Tcp(s)),
+        }
+    }
+}
+
+/// One protocol connection (either family), readable and writable.
+pub enum Stream {
+    /// A unix-domain stream.
+    #[cfg(unix)]
+    Unix(UnixStream),
+    /// A TCP stream.
+    Tcp(TcpStream),
+}
+
+impl Stream {
+    /// Clones the handle so one side can buffer reads while the other
+    /// writes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying `try_clone` failure.
+    pub fn try_clone(&self) -> std::io::Result<Stream> {
+        match self {
+            #[cfg(unix)]
+            Stream::Unix(s) => s.try_clone().map(Stream::Unix),
+            Stream::Tcp(s) => s.try_clone().map(Stream::Tcp),
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            #[cfg(unix)]
+            Stream::Unix(s) => s.read(buf),
+            Stream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            #[cfg(unix)]
+            Stream::Unix(s) => s.write(buf),
+            Stream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            #[cfg(unix)]
+            Stream::Unix(s) => s.flush(),
+            Stream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn address_spellings_parse() {
+        assert_eq!(
+            Listen::parse("unix:/tmp/d.sock").unwrap(),
+            Listen::Unix(PathBuf::from("/tmp/d.sock"))
+        );
+        assert_eq!(
+            Listen::parse("/tmp/d.sock").unwrap(),
+            Listen::Unix(PathBuf::from("/tmp/d.sock"))
+        );
+        assert_eq!(
+            Listen::parse("tcp:127.0.0.1:7979").unwrap(),
+            Listen::Tcp("127.0.0.1:7979".to_string())
+        );
+        assert_eq!(
+            Listen::parse("127.0.0.1:7979").unwrap(),
+            Listen::Tcp("127.0.0.1:7979".to_string())
+        );
+        assert!(Listen::parse("unix:").is_err());
+        assert!(Listen::parse("tcp:").is_err());
+        assert_eq!(
+            Listen::parse("unix:/a.sock").unwrap().to_string(),
+            "unix:/a.sock"
+        );
+    }
+
+    #[test]
+    fn tcp_listener_round_trips_bytes() {
+        let listener = Listen::parse("127.0.0.1:0").unwrap().bind().unwrap();
+        let addr = match &listener {
+            Listener::Tcp(l) => l.local_addr().unwrap().to_string(),
+            #[cfg(unix)]
+            _ => unreachable!(),
+        };
+        let handle = std::thread::spawn(move || {
+            let mut conn = listener.accept().unwrap();
+            let mut buf = [0u8; 5];
+            conn.read_exact(&mut buf).unwrap();
+            conn.write_all(&buf).unwrap();
+        });
+        let mut client = Listen::Tcp(addr).connect().unwrap();
+        client.write_all(b"hello").unwrap();
+        let mut back = [0u8; 5];
+        client.read_exact(&mut back).unwrap();
+        assert_eq!(&back, b"hello");
+        handle.join().unwrap();
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn stale_unix_sockets_are_rebindable() {
+        let path = std::env::temp_dir().join(format!("chess-net-{}.sock", std::process::id()));
+        let first = Listen::Unix(path.clone()).bind();
+        assert!(first.is_ok());
+        // Simulate a kill -9: drop the listener but leave the file.
+        drop(first);
+        assert!(path.exists(), "socket file outlives the listener");
+        let second = Listen::Unix(path.clone()).bind();
+        assert!(second.is_ok(), "{:?}", second.err());
+        drop(second);
+        let _ = std::fs::remove_file(&path);
+    }
+}

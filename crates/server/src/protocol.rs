@@ -1,0 +1,248 @@
+//! The daemon's wire protocol: line-delimited JSON over a unix or TCP
+//! socket.
+//!
+//! Every request is one JSON object on one line carrying a protocol
+//! version `v` and an operation `op`; every response is one object with
+//! `"ok": true` plus operation fields, or `"ok": false` plus a
+//! human-readable `error`. Malformed input — unparsable JSON, a missing
+//! or future `v`, an unknown `op` — always gets a *structured error
+//! response*, never a dropped connection or a crash: a garbage-emitting
+//! client is an expected fault, exactly like a garbage-emitting worker
+//! in the process pool underneath.
+//!
+//! `watch` is the one streaming operation: after the initial `ok` the
+//! connection carries `{"event": ...}` objects (one per line) until a
+//! final `{"event": "done"}`.
+//!
+//! # Grammar
+//!
+//! ```text
+//! request  = submit | status | watch | cancel | results | shutdown
+//! submit   = {"v": 1, "op": "submit", "manifest": {...}}
+//! status   = {"v": 1, "op": "status", "campaign": hexid?}
+//! watch    = {"v": 1, "op": "watch", "campaign": hexid}
+//! cancel   = {"v": 1, "op": "cancel", "campaign": hexid}
+//! results  = {"v": 1, "op": "results", "campaign": hexid}
+//! shutdown = {"v": 1, "op": "shutdown"}
+//! hexid    = 16 lowercase hex digits (the manifest digest)
+//! ```
+//!
+//! # Compatibility
+//!
+//! `v` is required and must equal [`PROTOCOL_VERSION`] exactly; a
+//! daemon answers any other version with a structured error naming
+//! both versions, so a mismatched client fails loudly on its first
+//! request instead of mis-parsing later ones. Additive response fields
+//! are not a version bump — clients must ignore fields they do not
+//! know.
+
+use chess_bench::Json;
+
+use crate::store::{digest_hex, parse_digest};
+
+/// The protocol version this build speaks.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Submit a campaign manifest (the document under `"manifest"`).
+    Submit {
+        /// The manifest document.
+        manifest: Json,
+    },
+    /// Progress counters for one campaign, or for all when `None`.
+    Status {
+        /// The campaign digest, if narrowing to one.
+        campaign: Option<u64>,
+    },
+    /// Stream verdicts and progress until the campaign finishes.
+    Watch {
+        /// The campaign digest.
+        campaign: u64,
+    },
+    /// Stop an in-flight campaign and mark it cancelled in the store.
+    Cancel {
+        /// The campaign digest.
+        campaign: u64,
+    },
+    /// The final report of a finished campaign.
+    Results {
+        /// The campaign digest.
+        campaign: u64,
+    },
+    /// Stop accepting work and exit once the current campaign parks.
+    Shutdown,
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// Returns the message to ship in the structured error response; the
+/// connection stays usable.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let json = Json::parse(line).map_err(|e| format!("request is not JSON: {e}"))?;
+    match json.get("v").and_then(Json::as_u64) {
+        Some(PROTOCOL_VERSION) => {}
+        Some(v) => {
+            return Err(format!(
+                "protocol version {v} is not supported; this daemon speaks {PROTOCOL_VERSION}"
+            ))
+        }
+        None => return Err(format!("request has no \"v\" (speak {PROTOCOL_VERSION})")),
+    }
+    let campaign = |required: bool| -> Result<Option<u64>, String> {
+        match json.get("campaign") {
+            Some(c) => {
+                let text = c.as_str().ok_or("\"campaign\" must be a string")?;
+                Ok(Some(parse_digest(text)?))
+            }
+            None if required => Err("request has no \"campaign\"".to_string()),
+            None => Ok(None),
+        }
+    };
+    match json.get("op").and_then(Json::as_str) {
+        Some("submit") => Ok(Request::Submit {
+            manifest: json
+                .get("manifest")
+                .cloned()
+                .ok_or("submit has no \"manifest\"")?,
+        }),
+        Some("status") => Ok(Request::Status {
+            campaign: campaign(false)?,
+        }),
+        Some("watch") => Ok(Request::Watch {
+            campaign: campaign(true)?.expect("required"),
+        }),
+        Some("cancel") => Ok(Request::Cancel {
+            campaign: campaign(true)?.expect("required"),
+        }),
+        Some("results") => Ok(Request::Results {
+            campaign: campaign(true)?.expect("required"),
+        }),
+        Some("shutdown") => Ok(Request::Shutdown),
+        Some(op) => Err(format!(
+            "unknown op {op:?} (expected submit, status, watch, cancel, results, or shutdown)"
+        )),
+        None => Err("request has no \"op\"".to_string()),
+    }
+}
+
+/// Serializes a request for the client side (the inverse of
+/// [`parse_request`]).
+pub fn request_to_json(request: &Request) -> Json {
+    let mut fields = vec![("v".to_string(), Json::UInt(PROTOCOL_VERSION))];
+    let mut push = |k: &str, v: Json| fields.push((k.to_string(), v));
+    match request {
+        Request::Submit { manifest } => {
+            push("op", Json::Str("submit".into()));
+            push("manifest", manifest.clone());
+        }
+        Request::Status { campaign } => {
+            push("op", Json::Str("status".into()));
+            if let Some(c) = campaign {
+                push("campaign", Json::Str(digest_hex(*c)));
+            }
+        }
+        Request::Watch { campaign } => {
+            push("op", Json::Str("watch".into()));
+            push("campaign", Json::Str(digest_hex(*campaign)));
+        }
+        Request::Cancel { campaign } => {
+            push("op", Json::Str("cancel".into()));
+            push("campaign", Json::Str(digest_hex(*campaign)));
+        }
+        Request::Results { campaign } => {
+            push("op", Json::Str("results".into()));
+            push("campaign", Json::Str(digest_hex(*campaign)));
+        }
+        Request::Shutdown => push("op", Json::Str("shutdown".into())),
+    }
+    Json::Object(fields)
+}
+
+/// An `"ok": true` response with extra fields.
+pub fn ok_response<K: Into<String>>(fields: impl IntoIterator<Item = (K, Json)>) -> Json {
+    let mut all = vec![("ok".to_string(), Json::Bool(true))];
+    all.extend(fields.into_iter().map(|(k, v)| (k.into(), v)));
+    Json::Object(all)
+}
+
+/// An `"ok": false` response carrying the error message.
+pub fn error_response(message: &str) -> Json {
+    Json::object([
+        ("ok", Json::Bool(false)),
+        ("error", Json::Str(message.to_string())),
+    ])
+}
+
+/// A watch-stream event with extra fields.
+pub fn event<K: Into<String>>(kind: &str, fields: impl IntoIterator<Item = (K, Json)>) -> Json {
+    let mut all = vec![("event".to_string(), Json::Str(kind.to_string()))];
+    all.extend(fields.into_iter().map(|(k, v)| (k.into(), v)));
+    Json::Object(all)
+}
+
+/// Serializes a protocol object onto one line (requests, responses,
+/// and events are all newline-delimited; documents never contain a
+/// literal newline because the serializer escapes them).
+pub fn to_line(json: &Json) -> String {
+    let mut line = json.to_string_pretty().replace('\n', " ");
+    line.push('\n');
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        let requests = [
+            Request::Submit {
+                manifest: Json::parse(r#"{"jobs": []}"#).unwrap(),
+            },
+            Request::Status { campaign: None },
+            Request::Status {
+                campaign: Some(0xabc),
+            },
+            Request::Watch { campaign: 7 },
+            Request::Cancel { campaign: 7 },
+            Request::Results { campaign: u64::MAX },
+            Request::Shutdown,
+        ];
+        for request in requests {
+            let line = to_line(&request_to_json(&request));
+            assert!(!line.trim_end().contains('\n'), "one line per request");
+            assert_eq!(parse_request(line.trim_end()).unwrap(), request);
+        }
+    }
+
+    #[test]
+    fn malformed_requests_name_the_problem() {
+        let check = |line: &str, needle: &str| {
+            let err = parse_request(line).unwrap_err();
+            assert!(err.contains(needle), "{err:?} should mention {needle:?}");
+        };
+        check("!!garbage!!", "not JSON");
+        check(r#"{"op": "status"}"#, "\"v\"");
+        check(r#"{"v": 99, "op": "status"}"#, "version 99");
+        check(r#"{"v": 1}"#, "\"op\"");
+        check(r#"{"v": 1, "op": "explode"}"#, "unknown op");
+        check(r#"{"v": 1, "op": "watch"}"#, "\"campaign\"");
+        check(r#"{"v": 1, "op": "watch", "campaign": "zz"}"#, "hex");
+        check(r#"{"v": 1, "op": "submit"}"#, "\"manifest\"");
+    }
+
+    #[test]
+    fn responses_carry_the_ok_bit() {
+        let ok = ok_response([("campaign", Json::Str("aa".into()))]);
+        assert_eq!(ok.get("ok").and_then(Json::as_bool), Some(true));
+        let err = error_response("nope");
+        assert_eq!(err.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(err.get("error").and_then(Json::as_str), Some("nope"));
+        let ev = event("done", [("code", Json::UInt(0))]);
+        assert_eq!(ev.get("event").and_then(Json::as_str), Some("done"));
+    }
+}
